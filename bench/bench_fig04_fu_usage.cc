@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Figure 4: execution time of each benchmark on the reference
+ * architecture, broken into the eight (FU2, FU1, LD) joint states,
+ * for memory latencies 1, 20, 70 and 100.
+ */
+
+#include "bench/bench_util.hh"
+#include "src/common/strutil.hh"
+#include "src/common/table.hh"
+#include "src/driver/experiments.hh"
+#include "src/driver/runner.hh"
+
+int
+main()
+{
+    using namespace mtv;
+    const double scale = benchScale();
+    benchBanner("Figure 4 - functional unit usage, reference machine",
+                "Espasa & Valero, HPCA-3 1997, Figure 4", scale);
+
+    Runner runner(scale);
+    for (const auto &spec : benchmarkSuite()) {
+        std::printf("%s:\n", spec.name.c_str());
+        std::vector<std::string> headers = {"state"};
+        for (const int lat : figure4Latencies())
+            headers.push_back(format("lat %d", lat));
+        Table t(headers);
+        // Rows in the paper's legend order, cycles in thousands.
+        for (int state = 0; state < numFuStates; ++state) {
+            t.row().add(fuStateName(state));
+            for (const int lat : figure4Latencies()) {
+                MachineParams p = MachineParams::reference();
+                p.memLatency = lat;
+                const SimStats &s = runner.referenceRun(spec.name, p);
+                t.add(static_cast<double>(s.stateHist[state]) / 1e3, 1);
+            }
+        }
+        t.row().add("total cycles (k)");
+        for (const int lat : figure4Latencies()) {
+            MachineParams p = MachineParams::reference();
+            p.memLatency = lat;
+            t.add(static_cast<double>(
+                      runner.referenceRun(spec.name, p).cycles) /
+                      1e3,
+                  1);
+        }
+        t.print();
+        std::printf("\n");
+    }
+    return 0;
+}

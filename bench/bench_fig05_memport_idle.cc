@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Figure 5: percentage of cycles the single memory port is idle on
+ * the reference architecture, for four memory latencies. The paper
+ * reads 30-65% idle at latency 70 — all of it an opportunity for
+ * another thread's memory instructions.
+ */
+
+#include "bench/bench_util.hh"
+#include "src/common/strutil.hh"
+#include "src/common/table.hh"
+#include "src/driver/experiments.hh"
+#include "src/driver/runner.hh"
+
+int
+main()
+{
+    using namespace mtv;
+    const double scale = benchScale();
+    benchBanner("Figure 5 - % cycles with the memory port idle",
+                "Espasa & Valero, HPCA-3 1997, Figure 5", scale);
+
+    Runner runner(scale);
+    std::vector<std::string> headers = {"program"};
+    for (const int lat : figure4Latencies())
+        headers.push_back(format("lat %d", lat));
+    Table t(headers);
+    for (const auto &spec : benchmarkSuite()) {
+        t.row().add(spec.name);
+        for (const int lat : figure4Latencies()) {
+            MachineParams p = MachineParams::reference();
+            p.memLatency = lat;
+            const SimStats &s = runner.referenceRun(spec.name, p);
+            t.add(100.0 * s.memPortIdleFraction(), 1);
+        }
+    }
+    t.print();
+    return 0;
+}

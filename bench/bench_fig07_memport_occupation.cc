@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Figure 7: occupation of the single memory port for 2, 3 and 4
+ * contexts — multithreaded machine ("mth") versus the same program
+ * tuples run sequentially on the reference machine ("ref").
+ */
+
+#include "bench/bench_util.hh"
+#include "src/common/strutil.hh"
+#include "src/common/table.hh"
+#include "src/driver/experiments.hh"
+
+int
+main()
+{
+    using namespace mtv;
+    const double scale = benchScale();
+    benchBanner("Figure 7 - memory port occupation, mth vs ref",
+                "Espasa & Valero, HPCA-3 1997, Figure 7", scale);
+
+    Runner runner(scale);
+    Table t({"program", "mth 2", "ref 2", "mth 3", "ref 3", "mth 4",
+             "ref 4"});
+    for (const auto &spec : benchmarkSuite()) {
+        t.row().add(spec.name);
+        for (const int contexts : {2, 3, 4}) {
+            const ProgramAverages avg =
+                averagesFor(runner, spec.name, contexts,
+                            MachineParams::multithreaded(contexts));
+            t.add(avg.mthOccupation, 3).add(avg.refOccupation, 3);
+        }
+    }
+    t.print();
+    std::printf("\npaper: 2 contexts reach ~80-86%% occupation vs "
+                "~60%% sequential; 3 contexts ~90%%; occupation falls "
+                "towards the less-vectorized programs (scalar loops "
+                "are bounded near 1/3).\n");
+    return 0;
+}

@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Figure 8: vector (arithmetic) operations per cycle for 2, 3 and 4
+ * contexts, multithreaded vs sequential reference. The machine has
+ * two vector pipes, so the metric ranges over [0, 2].
+ */
+
+#include "bench/bench_util.hh"
+#include "src/common/strutil.hh"
+#include "src/common/table.hh"
+#include "src/driver/experiments.hh"
+
+int
+main()
+{
+    using namespace mtv;
+    const double scale = benchScale();
+    benchBanner("Figure 8 - vector operations per cycle (VOPC)",
+                "Espasa & Valero, HPCA-3 1997, Figure 8", scale);
+
+    Runner runner(scale);
+    Table t({"program", "mth 2", "ref 2", "mth 3", "ref 3", "mth 4",
+             "ref 4"});
+    for (const auto &spec : benchmarkSuite()) {
+        t.row().add(spec.name);
+        for (const int contexts : {2, 3, 4}) {
+            const ProgramAverages avg =
+                averagesFor(runner, spec.name, contexts,
+                            MachineParams::multithreaded(contexts));
+            t.add(avg.mthVopc, 3).add(avg.refVopc, 3);
+        }
+    }
+    t.print();
+    std::printf("\npaper: baseline VOPC 0.5-0.85; with 2 contexts the "
+                "top-6 vectorizable programs reach ~1.0; with 3 they "
+                "exceed 1.0 while the memory bus (already ~90%% busy) "
+                "caps further gains.\n");
+    return 0;
+}

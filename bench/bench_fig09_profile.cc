@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Figure 9: example execution profile of the ten benchmarks run
+ * through the job queue on a 2-context machine at latency 50 — which
+ * program occupied which hardware context, and when.
+ */
+
+#include <algorithm>
+
+#include "bench/bench_util.hh"
+#include "src/common/strutil.hh"
+#include "src/common/table.hh"
+#include "src/driver/runner.hh"
+
+int
+main()
+{
+    using namespace mtv;
+    const double scale = benchScale();
+    benchBanner("Figure 9 - job-queue execution profile, 2 contexts",
+                "Espasa & Valero, HPCA-3 1997, Figure 9", scale);
+
+    Runner runner(scale);
+    MachineParams p = MachineParams::multithreaded(2);
+    const SimStats s = runner.runJobQueue(jobQueueOrder(), p);
+
+    Table t({"context", "program", "start (k cycles)", "end (k cycles)",
+             "span (k)"});
+    for (const auto &job : s.jobs) {
+        t.row()
+            .add(format("thread %d", job.context))
+            .add(format("%s (%s)", job.program.c_str(),
+                        findProgram(job.program).abbrev.c_str()))
+            .add(static_cast<double>(job.startCycle) / 1e3, 1)
+            .add(static_cast<double>(job.endCycle) / 1e3, 1)
+            .add(static_cast<double>(job.endCycle - job.startCycle) /
+                     1e3,
+                 1);
+    }
+    t.print();
+
+    // ASCII Gantt chart, one lane per context.
+    std::printf("\n");
+    const int width = 72;
+    for (int c = 0; c < p.contexts; ++c) {
+        std::string lane(width, '.');
+        for (const auto &job : s.jobs) {
+            if (job.context != c)
+                continue;
+            const auto from = static_cast<size_t>(
+                static_cast<double>(job.startCycle) / s.cycles * width);
+            const auto to = static_cast<size_t>(
+                static_cast<double>(job.endCycle) / s.cycles * width);
+            const std::string abbrev = findProgram(job.program).abbrev;
+            for (size_t i = from; i < std::min<size_t>(to, width); ++i)
+                lane[i] = '-';
+            if (from < lane.size()) {
+                lane[from] = '|';
+                lane.replace(from + 1 > lane.size() ? lane.size()
+                                                    : from + 1,
+                             std::min<size_t>(abbrev.size(),
+                                              lane.size() - from - 1),
+                             abbrev);
+            }
+        }
+        std::printf("ctx %d  %s\n", c, lane.c_str());
+    }
+    std::printf("total: %s cycles\n",
+                withCommas(s.cycles).c_str());
+    return 0;
+}

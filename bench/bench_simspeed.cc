@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Simulator-throughput microbenchmark (google-benchmark): simulated
+ * cycles and instructions per wall-clock second for each machine
+ * configuration, on a fixed suite slice. Guards against performance
+ * regressions in the cycle loop.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "src/core/sim.hh"
+#include "src/driver/runner.hh"
+
+namespace
+{
+
+using namespace mtv;
+
+constexpr double speedScale = 2e-5;
+
+void
+runMachine(benchmark::State &state, MachineParams params)
+{
+    Runner runner(speedScale);
+    const std::vector<std::string> jobs = {"flo52", "tomcatv", "trfd",
+                                           "dyfesm"};
+    uint64_t cycles = 0;
+    uint64_t instrs = 0;
+    for (auto _ : state) {
+        const SimStats s = params.contexts == 1
+                               ? [&] {
+                                     auto src =
+                                         runner.instantiate("flo52");
+                                     VectorSim sim(params);
+                                     return sim.runSingle(*src);
+                                 }()
+                               : runner.runJobQueue(jobs, params);
+        benchmark::DoNotOptimize(s.cycles);
+        cycles += s.cycles;
+        instrs += s.dispatches;
+    }
+    state.counters["sim_cycles/s"] = benchmark::Counter(
+        static_cast<double>(cycles), benchmark::Counter::kIsRate);
+    state.counters["sim_instrs/s"] = benchmark::Counter(
+        static_cast<double>(instrs), benchmark::Counter::kIsRate);
+}
+
+void
+BM_Reference(benchmark::State &state)
+{
+    runMachine(state, MachineParams::reference());
+}
+
+void
+BM_Multithreaded(benchmark::State &state)
+{
+    runMachine(state,
+               MachineParams::multithreaded(
+                   static_cast<int>(state.range(0))));
+}
+
+void
+BM_DualScalar(benchmark::State &state)
+{
+    runMachine(state, MachineParams::fujitsuDualScalar());
+}
+
+void
+BM_WorkloadGeneration(benchmark::State &state)
+{
+    const ProgramSpec &spec = findProgram("swm256");
+    uint64_t instrs = 0;
+    for (auto _ : state) {
+        SyntheticProgram p(spec, speedScale);
+        benchmark::DoNotOptimize(p.count());
+        instrs += p.count();
+    }
+    state.counters["gen_instrs/s"] = benchmark::Counter(
+        static_cast<double>(instrs), benchmark::Counter::kIsRate);
+}
+
+BENCHMARK(BM_Reference);
+BENCHMARK(BM_Multithreaded)->Arg(2)->Arg(3)->Arg(4);
+BENCHMARK(BM_DualScalar);
+BENCHMARK(BM_WorkloadGeneration);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Table 1: latency parameters of the reference and multithreaded
+ * architectures (the DESIGN.md reconstruction of the garbled scan).
+ */
+
+#include "bench/bench_util.hh"
+#include "src/common/strutil.hh"
+#include "src/common/table.hh"
+#include "src/isa/machine_params.hh"
+
+int
+main()
+{
+    using namespace mtv;
+    benchBanner("Table 1 - machine latency parameters",
+                "Espasa & Valero, HPCA-3 1997, Table 1", 1.0);
+
+    const MachineParams ref = MachineParams::reference();
+    MachineParams mth = MachineParams::multithreaded(4);
+    // Section 8 charges the multithreaded register file an extra
+    // crossbar cycle; the sweep bench quantifies its (tiny) impact.
+    mth.readXbar = ref.readXbar + 1;
+    mth.writeXbar = ref.writeXbar + 1;
+
+    Table t({"parameter", "ref scalar (int/fp)", "ref vector",
+             "mth scalar (int/fp)", "mth vector"});
+    auto addRow = [&](const char *name, LatClass intCls,
+                      LatClass fpCls) {
+        t.row()
+            .add(name)
+            .add(format("%d/%d", ref.latency(intCls, false),
+                        ref.latency(fpCls, false)))
+            .add(ref.latency(intCls, true))
+            .add(format("%d/%d", mth.latency(intCls, false),
+                        mth.latency(fpCls, false)))
+            .add(mth.latency(intCls, true));
+    };
+    addRow("add/sub", LatClass::IntAdd, LatClass::FpAdd);
+    addRow("logic/shift", LatClass::Logic, LatClass::Logic);
+    addRow("mul", LatClass::IntMul, LatClass::FpMul);
+    addRow("div", LatClass::IntDiv, LatClass::FpDiv);
+    addRow("sqrt", LatClass::Sqrt, LatClass::Sqrt);
+    t.row().add("read x-bar").add("-").add(ref.readXbar).add("-")
+        .add(mth.readXbar);
+    t.row().add("write x-bar").add("-").add(ref.writeXbar).add("-")
+        .add(mth.writeXbar);
+    t.row().add("vector startup").add("-").add(ref.vectorStartup)
+        .add("-").add(mth.vectorStartup);
+    t.print();
+
+    std::printf("\nmemory latency: %d cycles by default, swept 1..100 "
+                "by the Figure 10-12 benches\n",
+                ref.memLatency);
+    return 0;
+}

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Table 3: basic operation counts of the ten benchmark programs,
+ * measured from the synthetic instruction streams and scaled back to
+ * the paper's units (millions), side by side with the paper's values.
+ */
+
+#include "bench/bench_util.hh"
+#include "src/common/strutil.hh"
+#include "src/common/table.hh"
+#include "src/driver/runner.hh"
+
+int
+main()
+{
+    using namespace mtv;
+    const double scale = benchScale();
+    benchBanner("Table 3 - benchmark operation counts",
+                "Espasa & Valero, HPCA-3 1997, Table 3", scale);
+
+    Runner runner(scale);
+    Table t({"program", "suite", "#insns S (M)", "#insns V (M)",
+             "#ops V (M)", "% vect", "avg VL", "paper %vect",
+             "paper VL"});
+    for (const auto &spec : benchmarkSuite()) {
+        const TraceStats &stats = runner.programStats(spec.name);
+        t.row()
+            .add(format("%s (%s)", spec.name.c_str(),
+                        spec.abbrev.c_str()))
+            .add(spec.suite)
+            .add(static_cast<double>(stats.scalarInstructions) / 1e6 /
+                     scale,
+                 1)
+            .add(static_cast<double>(stats.vectorInstructions) / 1e6 /
+                     scale,
+                 1)
+            .add(static_cast<double>(stats.vectorOperations) / 1e6 /
+                     scale,
+                 1)
+            .add(stats.percentVectorization(), 1)
+            .add(stats.averageVectorLength(), 0)
+            .add(spec.percentVect, 1)
+            .add(spec.avgVectorLength, 0);
+    }
+    t.print();
+    return 0;
+}

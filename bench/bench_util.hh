@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Shared helpers for the figure/table reproduction benches.
+ */
+
+#ifndef MTV_BENCH_BENCH_UTIL_HH
+#define MTV_BENCH_BENCH_UTIL_HH
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "src/workload/program.hh"
+
+namespace mtv
+{
+
+/**
+ * Workload scale for a bench: the default, overridable with the
+ * MTV_SCALE environment variable (e.g. MTV_SCALE=1e-5 for a quick
+ * smoke run, MTV_SCALE=1e-3 for a higher-fidelity one).
+ */
+inline double
+benchScale()
+{
+    if (const char *env = std::getenv("MTV_SCALE")) {
+        const double v = std::atof(env);
+        if (v > 0)
+            return v;
+        std::fprintf(stderr, "warn: ignoring invalid MTV_SCALE '%s'\n",
+                     env);
+    }
+    return workloadDefaultScale;
+}
+
+/** Uniform banner so EXPERIMENTS.md can quote outputs verbatim. */
+inline void
+benchBanner(const char *experiment, const char *paperRef,
+            double scale)
+{
+    std::printf("== %s ==\n", experiment);
+    std::printf("reproduces: %s\n", paperRef);
+    std::printf("workload scale: %g of the paper's dynamic "
+                "instruction counts\n\n",
+                scale);
+}
+
+} // namespace mtv
+
+#endif // MTV_BENCH_BENCH_UTIL_HH

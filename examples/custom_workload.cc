@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Example: define a custom vectorized workload with the kernel DSL,
+ * record it to a Dixie-style trace file, replay the trace, and verify
+ * the simulator cannot tell the two apart.
+ *
+ * The workload is a strip-mined 5-point stencil smoother — the kind
+ * of loop the Perfect Club PDE codes are made of.
+ */
+
+#include <cstdio>
+
+#include "src/core/sim.hh"
+#include "src/trace/analyzer.hh"
+#include "src/trace/trace_file.hh"
+#include "src/workload/program.hh"
+
+int
+main()
+{
+    using namespace mtv;
+
+    // --- 1. Describe one loop nest with the body builder.
+    BodyBuilder body;
+    const int north = body.load();
+    const int south = body.load();
+    const int ns = body.arith(Opcode::VAdd, north, south);
+    const int east = body.load();
+    const int west = body.load();
+    const int ew = body.arith(Opcode::VAdd, east, west);
+    const int ring = body.arith(Opcode::VAdd, ns, ew);
+    const int centre = body.load();
+    const int scaled = body.arith(Opcode::VMul, ring, centre);
+    const int result = body.arith(Opcode::VAdd, scaled, centre);
+    body.store(result);
+
+    KernelSpec smoother;
+    smoother.name = "stencil5";
+    smoother.tripCount = 1000;  // 8 strips: 7 x 128 + 104
+    smoother.body = body.take();
+    smoother.scalarPreamble = 3;
+    smoother.scalarPerStrip = 3;
+
+    // --- 2. Wrap it into a program (24 invocations worth of work).
+    ProgramSpec spec;
+    spec.name = "smoother";
+    spec.abbrev = "sm";
+    spec.suite = "example";
+    spec.kernels.push_back(smoother);
+    spec.vectorMillions =
+        24.0 * smoother.vectorInstrsPerInvocation() / 1e6;
+    spec.scalarMillions =
+        30.0 * smoother.scalarInstrsPerInvocation() / 1e6;
+    spec.vectorOpsMillions =
+        24.0 * smoother.vectorOpsPerInvocation() / 1e6;
+    spec.percentVect = 99.0;
+    spec.avgVectorLength = smoother.averageVectorLength();
+
+    SyntheticProgram live(spec, 1.0);
+    const TraceStats stats = analyzeSource(live);
+    std::printf("generated %llu instructions "
+                "(%.1f%% vectorized, avg VL %.1f)\n",
+                static_cast<unsigned long long>(live.count()),
+                stats.percentVectorization(),
+                stats.averageVectorLength());
+
+    // --- 3. Record to a Dixie-style binary trace and replay it.
+    const std::string path = "/tmp/smoother.mtv";
+    writeTrace(live, path);
+    TraceReader replay(path);
+    std::printf("trace written: %s (%llu records)\n", path.c_str(),
+                static_cast<unsigned long long>(replay.count()));
+
+    VectorSim simLive(MachineParams::reference());
+    const SimStats a = simLive.runSingle(live);
+    VectorSim simReplay(MachineParams::reference());
+    const SimStats b = simReplay.runSingle(replay);
+
+    std::printf("live generator: %llu cycles, occupancy %.3f\n",
+                static_cast<unsigned long long>(a.cycles),
+                a.memPortOccupation());
+    std::printf("trace replay:   %llu cycles, occupancy %.3f\n",
+                static_cast<unsigned long long>(b.cycles),
+                b.memPortOccupation());
+    std::printf(a.cycles == b.cycles
+                    ? "identical, as required: the simulator is "
+                      "trace-driven\n"
+                    : "MISMATCH: replay diverged from live run\n");
+    std::remove(path.c_str());
+    return a.cycles == b.cycles ? 0 : 1;
+}

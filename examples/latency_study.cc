@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Example: how memory latency affects a single program on the
+ * reference machine versus multithreaded machines — the paper's
+ * headline latency-tolerance argument in miniature.
+ *
+ * Usage: latency_study [program] [scale]
+ *   program  suite program name or abbreviation (default: tomcatv)
+ *   scale    workload scale (default: 2e-4)
+ */
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "src/common/table.hh"
+#include "src/driver/runner.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace mtv;
+    const std::string program = argc > 1 ? argv[1] : "tomcatv";
+    const double scale =
+        argc > 2 ? std::atof(argv[2]) : workloadDefaultScale;
+
+    Runner runner(scale);
+    const ProgramSpec &spec = findProgram(program);
+    std::printf("latency study: %s (%s, %.1f%% vectorized, "
+                "avg VL %.0f)\n\n",
+                spec.name.c_str(), spec.suite.c_str(), spec.percentVect,
+                spec.avgVectorLength);
+
+    // Pair the program with itself (the paper groups HYDRO2D with
+    // itself too) so the second context has identical behaviour.
+    Table t({"latency", "ref cycles", "ref occ", "mth2 speedup",
+             "mth2 occ", "mth4 speedup", "mth4 occ"});
+    for (const int lat : {1, 10, 25, 50, 75, 100}) {
+        MachineParams ref = MachineParams::reference();
+        ref.memLatency = lat;
+        const SimStats &solo = runner.referenceRun(spec.name, ref);
+
+        MachineParams m2 = MachineParams::multithreaded(2);
+        m2.memLatency = lat;
+        const GroupResult g2 =
+            runner.runGroup({spec.name, spec.name}, m2);
+
+        MachineParams m4 = MachineParams::multithreaded(4);
+        m4.memLatency = lat;
+        const GroupResult g4 = runner.runGroup(
+            {spec.name, spec.name, spec.name, spec.name}, m4);
+
+        t.row()
+            .add(lat)
+            .add(solo.cycles)
+            .add(solo.memPortOccupation(), 3)
+            .add(g2.speedup, 3)
+            .add(g2.mthOccupation, 3)
+            .add(g4.speedup, 3)
+            .add(g4.mthOccupation, 3);
+    }
+    t.print();
+    std::printf("\nthe reference machine degrades almost linearly "
+                "with latency; the multithreaded speedup grows with "
+                "latency because idle memory-port cycles multiply.\n");
+    return 0;
+}

@@ -1,0 +1,158 @@
+/**
+ * @file
+ * Example/tool: full command-line simulator driver. Describes the
+ * machine with a key=value config file (see MachineParams::fromConfig
+ * for the key list) and runs any of the paper's experiment modes on
+ * any mix of suite programs.
+ *
+ * Usage:
+ *   mtv_sim [options] <mode> <program...>
+ *     modes:
+ *       single <prog>            one program, one context
+ *       group  <p0> <p1...>      section 4.1 run (p0 = thread 0),
+ *                                contexts = number of programs
+ *       queue  <p0> <p1...>      section 7 job queue
+ *     options:
+ *       --config <file>   machine description (default: reference)
+ *       --set k=v         override one config key (repeatable)
+ *       --scale <f>       workload scale (default 2e-4)
+ *       --verbose         per-thread statistics
+ *
+ * Example:
+ *   mtv_sim --set contexts=3 --set mem_latency=80 queue tf sw su
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "src/common/config.hh"
+#include "src/common/logging.hh"
+#include "src/common/strutil.hh"
+#include "src/common/table.hh"
+#include "src/driver/runner.hh"
+
+namespace
+{
+
+int
+usage()
+{
+    std::fprintf(stderr,
+                 "usage: mtv_sim [--config file] [--set k=v]... "
+                 "[--scale f] [--verbose] single|group|queue "
+                 "<program...>\n");
+    return 2;
+}
+
+void
+printStats(const mtv::SimStats &s, bool verbose)
+{
+    using namespace mtv;
+    std::printf("cycles:            %s\n", withCommas(s.cycles).c_str());
+    std::printf("instructions:      %s\n",
+                withCommas(s.dispatches).c_str());
+    std::printf("memory requests:   %s\n",
+                withCommas(s.memRequests).c_str());
+    std::printf("mem-port occ:      %.3f (%d port%s)\n",
+                s.memPortOccupation(), s.memPorts,
+                s.memPorts == 1 ? "" : "s");
+    std::printf("VOPC:              %.3f\n", s.vopc());
+    if (s.decoupledSlips)
+        std::printf("decoupled slips:   %s\n",
+                    withCommas(s.decoupledSlips).c_str());
+
+    if (!verbose)
+        return;
+    std::printf("\nfunctional-unit state breakdown:\n");
+    for (int i = 0; i < numFuStates; ++i) {
+        std::printf("  %s  %s\n", fuStateName(i).c_str(),
+                    withCommas(s.stateHist[i]).c_str());
+    }
+    std::printf("\nper-thread:\n");
+    Table t({"ctx", "program", "instrs", "runs", "top block reason"});
+    for (size_t c = 0; c < s.threads.size(); ++c) {
+        const ThreadStats &ts = s.threads[c];
+        size_t top = 1;
+        for (size_t r = 1; r < ts.blocked.size(); ++r) {
+            if (ts.blocked[r] > ts.blocked[top])
+                top = r;
+        }
+        t.row()
+            .add(static_cast<uint64_t>(c))
+            .add(ts.program)
+            .add(ts.instructions)
+            .add(ts.runsCompleted)
+            .add(format("%s (%s)",
+                        blockReasonName(
+                            static_cast<BlockReason>(top)),
+                        withCommas(ts.blocked[top]).c_str()));
+    }
+    t.print();
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace mtv;
+
+    Config config;
+    double scale = workloadDefaultScale;
+    bool verbose = false;
+    int arg = 1;
+    while (arg < argc && startsWith(argv[arg], "--")) {
+        const std::string opt = argv[arg];
+        if (opt == "--config" && arg + 1 < argc) {
+            config = Config::fromFile(argv[++arg]);
+        } else if (opt == "--set" && arg + 1 < argc) {
+            const auto kv = split(argv[++arg], '=');
+            if (kv.size() != 2)
+                return usage();
+            config.set(trim(kv[0]), trim(kv[1]));
+        } else if (opt == "--scale" && arg + 1 < argc) {
+            scale = std::atof(argv[++arg]);
+        } else if (opt == "--verbose") {
+            verbose = true;
+        } else {
+            return usage();
+        }
+        ++arg;
+    }
+    if (arg >= argc)
+        return usage();
+    const std::string mode = argv[arg++];
+    std::vector<std::string> programs;
+    for (; arg < argc; ++arg)
+        programs.push_back(argv[arg]);
+    if (programs.empty())
+        return usage();
+
+    MachineParams params = MachineParams::fromConfig(config);
+    for (const auto &key : config.unusedKeys())
+        warn("unused config key '%s'", key.c_str());
+
+    Runner runner(scale);
+    std::printf("machine: %s\n", params.describe().c_str());
+
+    if (mode == "single") {
+        auto src = runner.instantiate(programs[0]);
+        VectorSim sim(params);
+        printStats(sim.runSingle(*src), verbose);
+        return 0;
+    }
+    if (mode == "group") {
+        params.contexts = static_cast<int>(programs.size());
+        const GroupResult r = runner.runGroup(programs, params);
+        printStats(r.mth, verbose);
+        std::printf("speedup vs reference: %.3f\n", r.speedup);
+        return 0;
+    }
+    if (mode == "queue") {
+        const SimStats s = runner.runJobQueue(programs, params);
+        printStats(s, verbose);
+        return 0;
+    }
+    return usage();
+}

@@ -1,0 +1,131 @@
+#include "src/common/chart.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/logging.hh"
+#include "src/common/strutil.hh"
+
+namespace mtv
+{
+
+BarChart &
+BarChart::add(const std::string &label, double value)
+{
+    MTV_ASSERT(value >= 0);
+    entries_.push_back({label, value});
+    return *this;
+}
+
+BarChart &
+BarChart::fullScale(double value)
+{
+    MTV_ASSERT(value > 0);
+    fullScale_ = value;
+    return *this;
+}
+
+std::string
+BarChart::render() const
+{
+    if (entries_.empty())
+        return "";
+    double scale = fullScale_;
+    if (scale <= 0) {
+        for (const auto &e : entries_)
+            scale = std::max(scale, e.value);
+        if (scale <= 0)
+            scale = 1.0;
+    }
+    size_t labelWidth = 0;
+    for (const auto &e : entries_)
+        labelWidth = std::max(labelWidth, e.label.size());
+
+    std::string out;
+    for (const auto &e : entries_) {
+        const int len = static_cast<int>(std::lround(
+            std::min(1.0, e.value / scale) * width_));
+        out += e.label;
+        out += std::string(labelWidth - e.label.size() + 2, ' ');
+        out += std::string(static_cast<size_t>(len), '#');
+        out += format("  %.3g\n", e.value);
+    }
+    return out;
+}
+
+LineChart &
+LineChart::series(const std::string &name, const std::vector<double> &x,
+                  const std::vector<double> &y)
+{
+    MTV_ASSERT(x.size() == y.size());
+    MTV_ASSERT(!x.empty());
+    static const char glyphs[] = {'*', 'o', '+', 'x', '@', '%'};
+    const char glyph = glyphs[series_.size() % sizeof(glyphs)];
+    series_.push_back({name, x, y, glyph});
+    return *this;
+}
+
+std::string
+LineChart::render() const
+{
+    if (series_.empty())
+        return "";
+    double xMin = series_[0].x[0];
+    double xMax = xMin;
+    double yMin = series_[0].y[0];
+    double yMax = yMin;
+    for (const auto &s : series_) {
+        for (const double v : s.x) {
+            xMin = std::min(xMin, v);
+            xMax = std::max(xMax, v);
+        }
+        for (const double v : s.y) {
+            yMin = std::min(yMin, v);
+            yMax = std::max(yMax, v);
+        }
+    }
+    if (xMax == xMin)
+        xMax = xMin + 1;
+    if (yMax == yMin)
+        yMax = yMin + 1;
+    // A little headroom so curves do not sit on the frame.
+    const double yPad = 0.05 * (yMax - yMin);
+    yMin -= yPad;
+    yMax += yPad;
+
+    std::vector<std::string> grid(
+        static_cast<size_t>(height_),
+        std::string(static_cast<size_t>(width_), ' '));
+    auto plot = [&](double x, double y, char glyph) {
+        const int col = static_cast<int>(std::lround(
+            (x - xMin) / (xMax - xMin) * (width_ - 1)));
+        const int row = static_cast<int>(std::lround(
+            (y - yMin) / (yMax - yMin) * (height_ - 1)));
+        grid[static_cast<size_t>(height_ - 1 - row)]
+            [static_cast<size_t>(col)] = glyph;
+    };
+    for (const auto &s : series_) {
+        // Linear interpolation between samples for a continuous line.
+        for (size_t i = 0; i + 1 < s.x.size(); ++i) {
+            const int steps = width_;
+            for (int k = 0; k <= steps; ++k) {
+                const double t = static_cast<double>(k) / steps;
+                plot(s.x[i] + t * (s.x[i + 1] - s.x[i]),
+                     s.y[i] + t * (s.y[i + 1] - s.y[i]), s.glyph);
+            }
+        }
+        if (s.x.size() == 1)
+            plot(s.x[0], s.y[0], s.glyph);
+    }
+
+    std::string out = format("  %-10.4g\n", yMax);
+    for (const auto &row : grid)
+        out += "  |" + row + "\n";
+    out += format("  %-10.4g%*s\n", yMin, width_ - 8, "");
+    out += format("  x: %.4g .. %.4g\n", xMin, xMax);
+    for (const auto &s : series_)
+        out += format("    %c %s\n", s.glyph, s.name.c_str());
+    return out;
+}
+
+} // namespace mtv

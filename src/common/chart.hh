@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Terminal chart rendering for the figure benches: horizontal bar
+ * charts (Figures 5-8 style) and multi-series line charts (Figures
+ * 10-12 style), so bench output visually mirrors the paper's plots.
+ */
+
+#ifndef MTV_COMMON_CHART_HH
+#define MTV_COMMON_CHART_HH
+
+#include <string>
+#include <vector>
+
+namespace mtv
+{
+
+/**
+ * Horizontal bar chart. Each entry gets one row: a right-padded
+ * label, a bar scaled to the maximum value, and the numeric value.
+ */
+class BarChart
+{
+  public:
+    /** @param width maximum bar length in characters. */
+    explicit BarChart(int width = 50) : width_(width) {}
+
+    /** Append one bar. */
+    BarChart &add(const std::string &label, double value);
+
+    /**
+     * Fix the value that maps to a full-width bar (default: the
+     * maximum of the data; set 1.0 for fractions like occupation).
+     */
+    BarChart &fullScale(double value);
+
+    /** Render all bars. */
+    std::string render() const;
+
+  private:
+    struct Entry
+    {
+        std::string label;
+        double value;
+    };
+    int width_;
+    double fullScale_ = 0;  // 0 = auto
+    std::vector<Entry> entries_;
+};
+
+/**
+ * Multi-series line chart on a character grid; x positions are taken
+ * from the supplied coordinates (not assumed uniform), y is scaled to
+ * the data range. Each series draws with its own glyph.
+ */
+class LineChart
+{
+  public:
+    LineChart(int width = 64, int height = 16)
+        : width_(width), height_(height)
+    {}
+
+    /** Add a named series; x and y must have equal lengths. */
+    LineChart &series(const std::string &name,
+                      const std::vector<double> &x,
+                      const std::vector<double> &y);
+
+    /** Render grid, axes and legend. */
+    std::string render() const;
+
+  private:
+    struct Series
+    {
+        std::string name;
+        std::vector<double> x;
+        std::vector<double> y;
+        char glyph;
+    };
+    int width_;
+    int height_;
+    std::vector<Series> series_;
+};
+
+} // namespace mtv
+
+#endif // MTV_COMMON_CHART_HH

@@ -1,0 +1,137 @@
+#include "src/common/config.hh"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "src/common/logging.hh"
+#include "src/common/strutil.hh"
+
+namespace mtv
+{
+
+Config
+Config::fromString(const std::string &text, const std::string &originName)
+{
+    Config cfg;
+    cfg.origin_ = originName;
+    int lineNo = 0;
+    for (const auto &rawLine : split(text, '\n')) {
+        ++lineNo;
+        std::string line = rawLine;
+        const size_t hash = line.find('#');
+        if (hash != std::string::npos)
+            line = line.substr(0, hash);
+        line = trim(line);
+        if (line.empty())
+            continue;
+        const size_t eq = line.find('=');
+        if (eq == std::string::npos) {
+            fatal("%s:%d: expected 'key = value', got '%s'",
+                  originName.c_str(), lineNo, line.c_str());
+        }
+        const std::string key = trim(line.substr(0, eq));
+        const std::string value = trim(line.substr(eq + 1));
+        if (key.empty()) {
+            fatal("%s:%d: empty key", originName.c_str(), lineNo);
+        }
+        cfg.set(key, value);
+    }
+    return cfg;
+}
+
+Config
+Config::fromFile(const std::string &path)
+{
+    std::FILE *f = std::fopen(path.c_str(), "r");
+    if (!f)
+        fatal("cannot open config file '%s'", path.c_str());
+    std::string text;
+    char buf[4096];
+    size_t n;
+    while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0)
+        text.append(buf, n);
+    std::fclose(f);
+    return fromString(text, path);
+}
+
+bool
+Config::has(const std::string &key) const
+{
+    return values_.count(key) > 0;
+}
+
+std::string
+Config::getString(const std::string &key,
+                  const std::string &fallback) const
+{
+    auto it = values_.find(key);
+    if (it == values_.end())
+        return fallback;
+    touched_[key] = true;
+    return it->second;
+}
+
+int64_t
+Config::getInt(const std::string &key, int64_t fallback) const
+{
+    if (!has(key))
+        return fallback;
+    const std::string raw = getString(key);
+    char *end = nullptr;
+    const long long v = std::strtoll(raw.c_str(), &end, 0);
+    if (end == raw.c_str() || *end != '\0') {
+        fatal("%s: key '%s': '%s' is not an integer", origin_.c_str(),
+              key.c_str(), raw.c_str());
+    }
+    return v;
+}
+
+double
+Config::getDouble(const std::string &key, double fallback) const
+{
+    if (!has(key))
+        return fallback;
+    const std::string raw = getString(key);
+    char *end = nullptr;
+    const double v = std::strtod(raw.c_str(), &end);
+    if (end == raw.c_str() || *end != '\0') {
+        fatal("%s: key '%s': '%s' is not a number", origin_.c_str(),
+              key.c_str(), raw.c_str());
+    }
+    return v;
+}
+
+bool
+Config::getBool(const std::string &key, bool fallback) const
+{
+    if (!has(key))
+        return fallback;
+    const std::string raw = toLower(getString(key));
+    if (raw == "true" || raw == "yes" || raw == "on" || raw == "1")
+        return true;
+    if (raw == "false" || raw == "no" || raw == "off" || raw == "0")
+        return false;
+    fatal("%s: key '%s': '%s' is not a boolean", origin_.c_str(),
+          key.c_str(), raw.c_str());
+}
+
+void
+Config::set(const std::string &key, const std::string &value)
+{
+    if (!values_.count(key))
+        order_.push_back(key);
+    values_[key] = value;
+}
+
+std::vector<std::string>
+Config::unusedKeys() const
+{
+    std::vector<std::string> unused;
+    for (const auto &key : order_) {
+        if (!touched_.count(key))
+            unused.push_back(key);
+    }
+    return unused;
+}
+
+} // namespace mtv

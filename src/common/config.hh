@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Minimal key=value configuration files, so machines and experiments
+ * can be described without recompiling (used by the mtv_sim CLI and
+ * the trace tool).
+ *
+ * Format: one `key = value` per line; `#` starts a comment; blank
+ * lines ignored; keys are case-sensitive. Values are parsed on
+ * access (string / int / double / bool); bools accept
+ * true/false/yes/no/on/off/1/0.
+ */
+
+#ifndef MTV_COMMON_CONFIG_HH
+#define MTV_COMMON_CONFIG_HH
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace mtv
+{
+
+/** A parsed configuration: an ordered key -> value string map. */
+class Config
+{
+  public:
+    Config() = default;
+
+    /** Parse from file contents; fatal() on syntax errors. */
+    static Config fromString(const std::string &text,
+                             const std::string &originName = "<string>");
+
+    /** Load and parse @p path; fatal() on I/O or syntax errors. */
+    static Config fromFile(const std::string &path);
+
+    /** True when @p key was present. */
+    bool has(const std::string &key) const;
+
+    /** String value, or @p fallback when absent. */
+    std::string getString(const std::string &key,
+                          const std::string &fallback = "") const;
+
+    /** Integer value; fatal() when present but unparsable. */
+    int64_t getInt(const std::string &key, int64_t fallback = 0) const;
+
+    /** Double value; fatal() when present but unparsable. */
+    double getDouble(const std::string &key, double fallback = 0) const;
+
+    /** Boolean value; fatal() when present but unparsable. */
+    bool getBool(const std::string &key, bool fallback = false) const;
+
+    /** Set (or overwrite) a key programmatically. */
+    void set(const std::string &key, const std::string &value);
+
+    /** All keys, in insertion order. */
+    const std::vector<std::string> &keys() const { return order_; }
+
+    /**
+     * Keys that were never read through any getter — catches typos in
+     * user config files. Call after all consumers have run.
+     */
+    std::vector<std::string> unusedKeys() const;
+
+  private:
+    std::map<std::string, std::string> values_;
+    std::vector<std::string> order_;
+    mutable std::map<std::string, bool> touched_;
+    std::string origin_ = "<none>";
+};
+
+} // namespace mtv
+
+#endif // MTV_COMMON_CONFIG_HH

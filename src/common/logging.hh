@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Status-message and error-reporting helpers, modelled on the gem5
+ * logging conventions: panic() for internal invariant violations,
+ * fatal() for user errors, warn()/inform() for status messages.
+ */
+
+#ifndef MTV_COMMON_LOGGING_HH
+#define MTV_COMMON_LOGGING_HH
+
+#include <cstdarg>
+#include <string>
+
+namespace mtv
+{
+
+/** Verbosity levels for status messages. */
+enum class LogLevel
+{
+    Quiet,   ///< only panic/fatal output
+    Normal,  ///< warn + inform
+    Verbose  ///< everything, including debug traces
+};
+
+/** Set the global verbosity for warn()/inform()/debugLog(). */
+void setLogLevel(LogLevel level);
+
+/** Current global verbosity. */
+LogLevel logLevel();
+
+/**
+ * Report an internal invariant violation ("this should never happen
+ * regardless of what the user does") and abort.
+ */
+[[noreturn]] void panic(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/**
+ * Report an unrecoverable user error (bad configuration, invalid
+ * arguments) and exit(1).
+ */
+[[noreturn]] void fatal(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Warn about questionable but survivable conditions. */
+void warn(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Informative status message. */
+void inform(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Verbose-only debugging message. */
+void debugLog(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/**
+ * Assertion that is always compiled in. Calls panic() with the failing
+ * expression text when the condition is false.
+ */
+#define MTV_ASSERT(cond, ...)                                              \
+    do {                                                                   \
+        if (!(cond)) {                                                     \
+            ::mtv::panic("assertion '%s' failed at %s:%d", #cond,          \
+                         __FILE__, __LINE__);                              \
+        }                                                                  \
+    } while (0)
+
+} // namespace mtv
+
+#endif // MTV_COMMON_LOGGING_HH

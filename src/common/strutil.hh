@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Small string helpers used by reports, trace files and CLIs.
+ */
+
+#ifndef MTV_COMMON_STRUTIL_HH
+#define MTV_COMMON_STRUTIL_HH
+
+#include <string>
+#include <vector>
+
+namespace mtv
+{
+
+/** printf-style formatting into a std::string. */
+std::string format(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Split @p s on @p sep, keeping empty fields. */
+std::vector<std::string> split(const std::string &s, char sep);
+
+/** Strip ASCII whitespace from both ends. */
+std::string trim(const std::string &s);
+
+/** True when @p s begins with @p prefix. */
+bool startsWith(const std::string &s, const std::string &prefix);
+
+/** Lower-case ASCII copy. */
+std::string toLower(const std::string &s);
+
+/**
+ * Format a count with thousands separators, e.g. 1234567 -> "1,234,567".
+ * Used by the table/figure reports.
+ */
+std::string withCommas(uint64_t value);
+
+} // namespace mtv
+
+#endif // MTV_COMMON_STRUTIL_HH

@@ -1,0 +1,108 @@
+#include "src/common/table.hh"
+
+#include <cstdio>
+
+#include "src/common/logging.hh"
+#include "src/common/strutil.hh"
+
+namespace mtv
+{
+
+Table::Table(std::vector<std::string> headers)
+    : headers_(std::move(headers))
+{
+    MTV_ASSERT(!headers_.empty());
+}
+
+Table &
+Table::row()
+{
+    rows_.emplace_back();
+    return *this;
+}
+
+Table &
+Table::add(const std::string &cell)
+{
+    MTV_ASSERT(!rows_.empty());
+    MTV_ASSERT(rows_.back().size() < headers_.size());
+    rows_.back().push_back(cell);
+    return *this;
+}
+
+Table &
+Table::add(uint64_t v)
+{
+    return add(std::to_string(v));
+}
+
+Table &
+Table::add(int v)
+{
+    return add(std::to_string(v));
+}
+
+Table &
+Table::add(double v, int precision)
+{
+    return add(format("%.*f", precision, v));
+}
+
+std::string
+Table::render() const
+{
+    std::vector<size_t> widths(headers_.size());
+    for (size_t c = 0; c < headers_.size(); ++c)
+        widths[c] = headers_[c].size();
+    for (const auto &r : rows_)
+        for (size_t c = 0; c < r.size(); ++c)
+            widths[c] = std::max(widths[c], r[c].size());
+
+    auto renderRow = [&](const std::vector<std::string> &cells) {
+        std::string line;
+        for (size_t c = 0; c < headers_.size(); ++c) {
+            const std::string &cell = c < cells.size() ? cells[c] : "";
+            line += cell;
+            if (c + 1 < headers_.size())
+                line += std::string(widths[c] - cell.size() + 2, ' ');
+        }
+        line += '\n';
+        return line;
+    };
+
+    std::string out = renderRow(headers_);
+    size_t total = 0;
+    for (size_t c = 0; c < widths.size(); ++c)
+        total += widths[c] + (c + 1 < widths.size() ? 2 : 0);
+    out += std::string(total, '-') + '\n';
+    for (const auto &r : rows_)
+        out += renderRow(r);
+    return out;
+}
+
+std::string
+Table::renderCsv() const
+{
+    auto renderRow = [](const std::vector<std::string> &cells) {
+        std::string line;
+        for (size_t c = 0; c < cells.size(); ++c) {
+            if (c)
+                line += ',';
+            line += cells[c];
+        }
+        line += '\n';
+        return line;
+    };
+    std::string out = renderRow(headers_);
+    for (const auto &r : rows_)
+        out += renderRow(r);
+    return out;
+}
+
+void
+Table::print() const
+{
+    std::fputs(render().c_str(), stdout);
+}
+
+} // namespace mtv

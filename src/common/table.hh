@@ -1,0 +1,59 @@
+/**
+ * @file
+ * ASCII table / CSV report formatting used by all figure and table
+ * reproduction benches. Keeps figure output uniform so EXPERIMENTS.md
+ * can quote bench output verbatim.
+ */
+
+#ifndef MTV_COMMON_TABLE_HH
+#define MTV_COMMON_TABLE_HH
+
+#include <string>
+#include <vector>
+
+namespace mtv
+{
+
+/**
+ * A simple right-padded text table with a header row. Cells are
+ * strings; numeric helpers format with fixed precision.
+ */
+class Table
+{
+  public:
+    /** Create a table with the given column headers. */
+    explicit Table(std::vector<std::string> headers);
+
+    /** Begin a new row; subsequent add* calls fill it left to right. */
+    Table &row();
+
+    /** Append a string cell to the current row. */
+    Table &add(const std::string &cell);
+
+    /** Append an integer cell. */
+    Table &add(uint64_t v);
+    Table &add(int v);
+
+    /** Append a floating-point cell with @p precision decimals. */
+    Table &add(double v, int precision = 3);
+
+    /** Number of data rows so far. */
+    size_t numRows() const { return rows_.size(); }
+
+    /** Render as an aligned ASCII table. */
+    std::string render() const;
+
+    /** Render as CSV (no alignment padding). */
+    std::string renderCsv() const;
+
+    /** Print render() to stdout. */
+    void print() const;
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace mtv
+
+#endif // MTV_COMMON_TABLE_HH

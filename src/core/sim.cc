@@ -1,0 +1,824 @@
+#include "src/core/sim.hh"
+
+#include <algorithm>
+
+#include "src/common/logging.hh"
+
+namespace mtv
+{
+
+namespace
+{
+
+/** Bitmask of vector registers read by @p inst. */
+uint8_t
+vregReadMask(const Instruction &inst)
+{
+    uint8_t mask = 0;
+    if (!isVector(inst.op))
+        return mask;
+    if (isStore(inst.op)) {
+        mask |= 1u << inst.srcA;
+    } else if (isVectorArith(inst.op) || inst.op == Opcode::VReduce) {
+        if (inst.srcA != noReg)
+            mask |= 1u << inst.srcA;
+        if (inst.srcB != noReg)
+            mask |= 1u << inst.srcB;
+    }
+    return mask;
+}
+
+/** Bitmask of vector registers written by @p inst. */
+uint8_t
+vregWriteMask(const Instruction &inst)
+{
+    if (!isVector(inst.op) || isStore(inst.op) ||
+        inst.op == Opcode::VReduce || inst.dst == noReg) {
+        return 0;
+    }
+    return static_cast<uint8_t>(1u << inst.dst);
+}
+
+/**
+ * May @p cand (a vector memory instruction) dispatch ahead of the
+ * not-yet-dispatched @p prior? Memory stays ordered among itself,
+ * nothing passes a branch, and all vector-register dependences
+ * (RAW/WAW/WAR) are respected. Scalar operands are safe to ignore:
+ * the trace records the effective VL/stride/address of every
+ * instruction, which is exactly the address-side state a decoupled
+ * machine's address processor runs ahead to produce.
+ */
+bool
+canSlipPast(const Instruction &cand, const Instruction &prior)
+{
+    if (prior.op == Opcode::SBranch)
+        return false;
+    if (isMemory(cand.op) && isMemory(prior.op))
+        return false;
+    const uint8_t priorWrites = vregWriteMask(prior);
+    const uint8_t priorReads = vregReadMask(prior);
+    const uint8_t candWrites = vregWriteMask(cand);
+    const uint8_t candReads = vregReadMask(cand);
+    if (priorWrites & (candReads | candWrites))
+        return false;  // RAW or WAW
+    if (priorReads & candWrites)
+        return false;  // WAR
+    return true;
+}
+
+} // namespace
+
+VectorSim::VectorSim(const MachineParams &params)
+    : params_(params), memory_(params)
+{
+    params_.validate();
+    contexts_.resize(params_.contexts);
+    memPorts_.resize(params_.loadPorts + params_.storePorts);
+    for (int i = 0; i < params_.loadPorts; ++i)
+        loadPortRefs_.push_back(&memPorts_[i]);
+    for (int i = 0; i < params_.storePorts; ++i)
+        storePortRefs_.push_back(&memPorts_[params_.loadPorts + i]);
+}
+
+const std::vector<VectorSim::MemPort *> &
+VectorSim::portsFor(Opcode op) const
+{
+    if (isStore(op) && !storePortRefs_.empty())
+        return storePortRefs_;
+    return loadPortRefs_;
+}
+
+bool
+VectorSim::memPipeBusyAt(uint64_t now) const
+{
+    for (const auto &port : memPorts_) {
+        if (port.pipe.busyAt(now))
+            return true;
+    }
+    return false;
+}
+
+// ---------------------------------------------------------------------
+// Run entry points
+// ---------------------------------------------------------------------
+
+SimStats
+VectorSim::runSingle(InstructionSource &source, uint64_t maxInstructions)
+{
+    resetMachine(RunMode::UntilThreadZero);
+    maxInstructions_ = maxInstructions;
+    contexts_[0].source = &source;
+    contexts_[0].stats.program = source.name();
+    source.reset();
+    return run(RunMode::UntilThreadZero);
+}
+
+SimStats
+VectorSim::runGroup(const std::vector<InstructionSource *> &programs)
+{
+    if (static_cast<int>(programs.size()) != params_.contexts) {
+        fatal("group run needs exactly %d programs, got %zu",
+              params_.contexts, programs.size());
+    }
+    for (size_t i = 0; i < programs.size(); ++i) {
+        for (size_t j = i + 1; j < programs.size(); ++j) {
+            if (programs[i] == programs[j]) {
+                fatal("group run requires distinct source instances "
+                      "(program '%s' passed twice)",
+                      programs[i]->name().c_str());
+            }
+        }
+    }
+    resetMachine(RunMode::UntilThreadZero);
+    for (size_t i = 0; i < programs.size(); ++i) {
+        Context &ctx = contexts_[i];
+        ctx.source = programs[i];
+        ctx.source->reset();
+        ctx.restartable = i != 0;
+        ctx.stats.program = programs[i]->name();
+    }
+    return run(RunMode::UntilThreadZero);
+}
+
+SimStats
+VectorSim::runJobQueue(const std::vector<InstructionSource *> &jobs)
+{
+    if (jobs.empty())
+        fatal("job-queue run needs at least one job");
+    resetMachine(RunMode::JobQueue);
+    jobs_ = jobs;
+    nextJob_ = 0;
+    for (auto &ctx : contexts_) {
+        if (nextJob_ >= jobs_.size()) {
+            ctx.finished = true;
+            continue;
+        }
+        ctx.source = jobs_[nextJob_];
+        ctx.source->reset();
+        ctx.stats.program = ctx.source->name();
+        ctx.jobIndex = static_cast<int>(jobRecords_.size());
+        jobRecords_.push_back(
+            {ctx.source->name(),
+             static_cast<int>(&ctx - contexts_.data()), 0, 0});
+        ++nextJob_;
+    }
+    return run(RunMode::JobQueue);
+}
+
+// ---------------------------------------------------------------------
+// Run machinery
+// ---------------------------------------------------------------------
+
+void
+VectorSim::resetMachine(RunMode mode)
+{
+    mode_ = mode;
+    for (auto &port : memPorts_) {
+        port.pipe.clear();
+        port.bus.clear();
+    }
+    fu1_.clear();
+    fu2_.clear();
+    for (auto &ctx : contexts_)
+        ctx = Context{};
+    currentThread_ = 0;
+    std::fill(std::begin(lastSelected_), std::end(lastSelected_), 0);
+    jobs_.clear();
+    nextJob_ = 0;
+    maxInstructions_ = 0;
+    lastDispatchCycle_ = 0;
+    vecOpsFu1_ = vecOpsFu2_ = dispatches_ = decodeIdle_ = 0;
+    decoupledSlips_ = 0;
+    stateHist_.fill(0);
+    jobRecords_.clear();
+}
+
+bool
+VectorSim::done(uint64_t now) const
+{
+    if (mode_ == RunMode::UntilThreadZero) {
+        const Context &ctx0 = contexts_[0];
+        return ctx0.finished && ctx0.window.empty() &&
+               now >= ctx0.stats.lastCompletion;
+    }
+    uint64_t maxCompletion = 0;
+    for (const auto &ctx : contexts_) {
+        if (!ctx.finished || !ctx.window.empty())
+            return false;
+        maxCompletion = std::max(maxCompletion, ctx.stats.lastCompletion);
+    }
+    return now >= maxCompletion;
+}
+
+SimStats
+VectorSim::run(RunMode mode)
+{
+    (void)mode;
+    uint64_t now = 0;
+    // Legitimate stalls are bounded by one memory round trip plus a
+    // full vector drain; anything hugely beyond that is a model bug.
+    const uint64_t stallLimit =
+        16 * (static_cast<uint64_t>(params_.memLatency) +
+              maxVectorLength * 8) +
+        1000000;
+    // The fetch stage runs ahead of decode: prime every context's
+    // window before evaluating termination, so end-of-program is
+    // discovered the cycle the last instruction leaves, not one
+    // cycle later.
+    auto primeFetch = [this](uint64_t t) {
+        for (auto &ctx : contexts_) {
+            BlockReason why;
+            ensureWindow(ctx, t, why);
+        }
+    };
+    primeFetch(0);
+    while (!done(now)) {
+        decodeCycle(now);
+        sampleState(now);
+        ++now;
+        primeFetch(now);
+        if (now - lastDispatchCycle_ > stallLimit) {
+            panic("no dispatch for %llu cycles at cycle %llu: "
+                  "simulator deadlock",
+                  static_cast<unsigned long long>(now -
+                                                  lastDispatchCycle_),
+                  static_cast<unsigned long long>(now));
+        }
+    }
+    return takeStats(now);
+}
+
+void
+VectorSim::decodeCycle(uint64_t now)
+{
+    if (params_.dualScalar || params_.decodeWidth > 1)
+        decodeMultiSlot(now);
+    else
+        decodeSingleSlot(now);
+}
+
+void
+VectorSim::decodeSingleSlot(uint64_t now)
+{
+    Context &ctx = contexts_[currentThread_];
+    lastSelected_[currentThread_] = now;
+    BlockReason why = BlockReason::NoWork;
+    bool dispatched = false;
+    if (ensureWindow(ctx, now, why)) {
+        if (auto plan = planAny(ctx, now, why)) {
+            commit(ctx, *plan, now);
+            lastDispatchCycle_ = now;
+            dispatched = true;
+        }
+    }
+    if (!dispatched) {
+        ctx.stats.blocked[static_cast<size_t>(why)]++;
+        ++decodeIdle_;
+        switchThread(now);
+    } else if (params_.sched == SchedPolicy::RoundRobin) {
+        switchThread(now);
+    }
+}
+
+void
+VectorSim::decodeMultiSlot(uint64_t now)
+{
+    const int width =
+        params_.dualScalar ? params_.contexts : params_.decodeWidth;
+    int issued = 0;
+    bool scalarUsed = false;
+    for (int c = 0; c < params_.contexts && issued < width; ++c) {
+        Context &ctx = contexts_[c];
+        BlockReason why = BlockReason::NoWork;
+        if (!ensureWindow(ctx, now, why)) {
+            ctx.stats.blocked[static_cast<size_t>(why)]++;
+            continue;
+        }
+        auto plan = planAny(ctx, now, why);
+        if (!plan) {
+            ctx.stats.blocked[static_cast<size_t>(why)]++;
+            continue;
+        }
+        const bool isScalar = plan->unit == Plan::Unit::Scalar;
+        if (isScalar && scalarUsed && !params_.dualScalar) {
+            // One shared scalar unit: the second scalar instruction of
+            // this cycle loses its slot.
+            ctx.stats.blocked[static_cast<size_t>(
+                BlockReason::ScalarDep)]++;
+            continue;
+        }
+        commit(ctx, *plan, now);
+        lastDispatchCycle_ = now;
+        ++issued;
+        if (isScalar)
+            scalarUsed = true;
+    }
+    if (!issued)
+        ++decodeIdle_;
+}
+
+bool
+VectorSim::contextReady(Context &ctx, uint64_t now)
+{
+    BlockReason why = BlockReason::NoWork;
+    if (!ensureWindow(ctx, now, why))
+        return false;
+    return planAny(ctx, now, why).has_value();
+}
+
+void
+VectorSim::switchThread(uint64_t now)
+{
+    const int n = params_.contexts;
+    if (n == 1)
+        return;
+
+    switch (params_.sched) {
+      case SchedPolicy::UnfairLowest:
+        // Lowest-numbered thread known not to be blocked (the paper's
+        // baseline; biased towards thread 0 by construction).
+        for (int c = 0; c < n; ++c) {
+            if (contextReady(contexts_[c], now)) {
+                currentThread_ = c;
+                return;
+            }
+        }
+        return;  // everyone blocked; retry the same thread next cycle
+
+      case SchedPolicy::FairLru: {
+        int best = -1;
+        for (int c = 0; c < n; ++c) {
+            if (contextReady(contexts_[c], now) &&
+                (best < 0 || lastSelected_[c] < lastSelected_[best])) {
+                best = c;
+            }
+        }
+        if (best >= 0)
+            currentThread_ = best;
+        return;
+      }
+
+      case SchedPolicy::RoundRobin:
+        // Naive policy: advance regardless of readiness.
+        for (int step = 1; step <= n; ++step) {
+            const int c = (currentThread_ + step) % n;
+            if (!contexts_[c].finished || !contexts_[c].window.empty()) {
+                currentThread_ = c;
+                return;
+            }
+        }
+        return;
+    }
+}
+
+void
+VectorSim::sampleState(uint64_t now)
+{
+    const int bits = (fu2_.busyAt(now) ? 4 : 0) |
+                     (fu1_.busyAt(now) ? 2 : 0) |
+                     (memPipeBusyAt(now) ? 1 : 0);
+    ++stateHist_[bits];
+}
+
+// ---------------------------------------------------------------------
+// Fetch
+// ---------------------------------------------------------------------
+
+bool
+VectorSim::ensureWindow(Context &ctx, uint64_t now, BlockReason &why)
+{
+    const size_t depth = windowDepth();
+    bool fetchStalled = false;
+
+    while (!ctx.finished && ctx.source && ctx.window.size() < depth) {
+        if (ctx.fetchReadyAt > now) {
+            fetchStalled = true;
+            break;
+        }
+        // Never fetch past an unresolved branch.
+        if (!ctx.window.empty() &&
+            ctx.window.back().op == Opcode::SBranch) {
+            break;
+        }
+        // Truncated reference runs: stop fetching at the budget.
+        if (maxInstructions_ &&
+            ctx.stats.instructions + ctx.window.size() >=
+                maxInstructions_) {
+            if (ctx.window.empty()) {
+                ctx.finished = true;
+                ctx.stats.runsCompleted = 0;
+            }
+            break;
+        }
+
+        Instruction inst;
+        if (ctx.source->next(inst)) {
+            ctx.window.push_back(inst);
+            continue;
+        }
+
+        // End of the current run: drain the window before restarting
+        // or taking the next job, so runs never interleave.
+        if (!ctx.window.empty())
+            break;
+
+        if (mode_ == RunMode::JobQueue) {
+            if (ctx.jobIndex >= 0) {
+                jobRecords_[ctx.jobIndex].endCycle =
+                    ctx.stats.lastCompletion;
+                ctx.jobIndex = -1;
+            }
+            ++ctx.stats.runsCompleted;
+            if (nextJob_ < jobs_.size()) {
+                ctx.source = jobs_[nextJob_++];
+                ctx.source->reset();
+                ctx.stats.instructionsThisRun = 0;
+                ctx.jobIndex = static_cast<int>(jobRecords_.size());
+                jobRecords_.push_back(
+                    {ctx.source->name(),
+                     static_cast<int>(&ctx - contexts_.data()), now, 0});
+                continue;
+            }
+            ctx.finished = true;
+            break;
+        }
+
+        if (ctx.restartable) {
+            ++ctx.stats.runsCompleted;
+            ctx.stats.instructionsThisRun = 0;
+            ctx.source->reset();
+            continue;
+        }
+
+        // Context 0 of an UntilThreadZero run: one run and done.
+        ctx.finished = true;
+        ctx.stats.runsCompleted = 1;
+        break;
+    }
+
+    if (!ctx.window.empty())
+        return true;
+    why = fetchStalled ? BlockReason::FetchStall : BlockReason::NoWork;
+    return false;
+}
+
+// ---------------------------------------------------------------------
+// Dispatch planning
+// ---------------------------------------------------------------------
+
+std::optional<VectorSim::Plan>
+VectorSim::planAny(const Context &ctx, uint64_t now,
+                   BlockReason &why) const
+{
+    MTV_ASSERT(!ctx.window.empty());
+    auto plan = planDispatch(ctx, ctx.window.front(), now, why);
+    if (plan || params_.decoupleDepth == 0)
+        return plan;
+
+    // Decoupled slip: look for a vector memory instruction behind the
+    // blocked head that conflicts with none of the skipped entries.
+    for (size_t k = 1; k < ctx.window.size(); ++k) {
+        const Instruction &cand = ctx.window[k];
+        if (!isVector(cand.op) || !isMemory(cand.op))
+            continue;
+        bool clear = true;
+        for (size_t j = 0; j < k && clear; ++j)
+            clear = canSlipPast(cand, ctx.window[j]);
+        if (!clear)
+            continue;
+        BlockReason slipWhy = BlockReason::NoWork;
+        if (auto slipped = planDispatch(ctx, cand, now, slipWhy)) {
+            slipped->windowIndex = k;
+            return slipped;
+        }
+    }
+    return std::nullopt;  // `why` keeps the head's block reason
+}
+
+std::optional<VectorSim::Plan>
+VectorSim::planDispatch(const Context &ctx, const Instruction &inst,
+                        uint64_t now, BlockReason &why) const
+{
+    const FuClass fu = fuClass(inst.op);
+    Plan plan{};
+
+    if (fu == FuClass::Scalar) {
+        // --- Scalar instruction ---
+        for (const uint8_t src : {inst.srcA, inst.srcB}) {
+            if (src != noReg && ctx.scalarReady[src] > now) {
+                why = BlockReason::ScalarDep;
+                return std::nullopt;
+            }
+        }
+        if (inst.dst != noReg && ctx.scalarReady[inst.dst] > now) {
+            why = BlockReason::ScalarDep;
+            return std::nullopt;
+        }
+        if (isMemory(inst.op)) {
+            plan.port = nullptr;
+            for (MemPort *port : portsFor(inst.op)) {
+                if (port->bus.freeAt(now)) {
+                    plan.port = port;
+                    break;
+                }
+            }
+            if (!plan.port) {
+                why = BlockReason::MemPortBusy;
+                return std::nullopt;
+            }
+        }
+        plan.unit = Plan::Unit::Scalar;
+        plan.start = now;
+        const int lat = params_.opLatency(inst.op);
+        plan.scalarReady = now + static_cast<uint64_t>(lat);
+        plan.completion =
+            inst.op == Opcode::SStore ? now + 1 : plan.scalarReady;
+        return plan;
+    }
+
+    const uint16_t vl = std::max<uint16_t>(inst.vl, 1);
+
+    if (fu == FuClass::VecAny || fu == FuClass::VecFu2) {
+        // --- Vector arithmetic (including reductions) ---
+        if (fu == FuClass::VecFu2) {
+            if (!fu2_.freeAt(now)) {
+                why = BlockReason::FuBusy;
+                return std::nullopt;
+            }
+            plan.unit = Plan::Unit::Fu2;
+        } else if (fu1_.freeAt(now)) {
+            plan.unit = Plan::Unit::Fu1;
+        } else if (fu2_.freeAt(now)) {
+            plan.unit = Plan::Unit::Fu2;
+        } else {
+            why = BlockReason::FuBusy;
+            return std::nullopt;
+        }
+
+        uint64_t chainStart = 0;
+        int bankReads[numVRegs / 2] = {};
+        for (const uint8_t src : {inst.srcA, inst.srcB}) {
+            if (src == noReg)
+                continue;
+            const VRegTiming &reg = ctx.vregs[src];
+            if (!reg.completeAt(now)) {
+                if (!reg.chainable) {
+                    why = BlockReason::SourceNotReady;
+                    return std::nullopt;
+                }
+                chainStart = std::max(chainStart, reg.prodFirst + 1);
+            }
+            ++bankReads[vregBank(src)];
+        }
+        // Reading the same register through both operand ports still
+        // needs only one physical port.
+        if (inst.srcA != noReg && inst.srcA == inst.srcB)
+            --bankReads[vregBank(inst.srcA)];
+
+        const bool isReduce = inst.op == Opcode::VReduce;
+        if (!isReduce) {
+            const VRegTiming &dst = ctx.vregs[inst.dst];
+            // Renaming allocates a fresh physical register, so WAW
+            // and WAR hazards vanish (section 10 extension).
+            if (!params_.renaming && !dst.idleAt(now)) {
+                why = BlockReason::DestBusy;
+                return std::nullopt;
+            }
+        } else if (inst.dst != noReg &&
+                   ctx.scalarReady[inst.dst] > now) {
+            why = BlockReason::ScalarDep;
+            return std::nullopt;
+        }
+
+        if (params_.modelBankPorts) {
+            for (int b = 0; b < numVRegs / 2; ++b) {
+                if (bankReads[b] > ctx.banks[b].freeReadPorts(now)) {
+                    why = BlockReason::BankPortBusy;
+                    return std::nullopt;
+                }
+            }
+            if (!isReduce && !params_.renaming &&
+                !ctx.banks[vregBank(inst.dst)].writeFreeAt(now)) {
+                why = BlockReason::BankPortBusy;
+                return std::nullopt;
+            }
+        }
+
+        const uint64_t r0 = std::max(
+            now + static_cast<uint64_t>(params_.vectorStartup),
+            chainStart);
+        const int fuLat = params_.opLatency(inst.op);
+        plan.start = r0;
+        plan.prodFirst =
+            r0 + params_.readXbar + fuLat + params_.writeXbar;
+        plan.writeDone = plan.prodFirst + vl;
+        plan.chainableOut = true;
+        if (isReduce) {
+            // The reduction drains the pipe before the scalar result
+            // appears; no vector destination is written.
+            plan.scalarReady = r0 + params_.readXbar + fuLat + vl;
+            plan.completion = plan.scalarReady;
+        } else {
+            plan.completion = plan.writeDone;
+        }
+        return plan;
+    }
+
+    if (fu == FuClass::VecLoad) {
+        // --- Vector load / gather ---
+        plan.port = nullptr;
+        bool anyPipeFree = false;
+        for (MemPort *port : portsFor(inst.op)) {
+            if (!port->pipe.freeAt(now))
+                continue;
+            anyPipeFree = true;
+            if (port->bus.freeAt(now)) {
+                plan.port = port;
+                break;
+            }
+        }
+        if (!plan.port) {
+            why = anyPipeFree ? BlockReason::MemPortBusy
+                              : BlockReason::MemPipeBusy;
+            return std::nullopt;
+        }
+        const VRegTiming &dst = ctx.vregs[inst.dst];
+        if (!params_.renaming && !dst.idleAt(now)) {
+            why = BlockReason::DestBusy;
+            return std::nullopt;
+        }
+        if (params_.modelBankPorts && !params_.renaming &&
+            !ctx.banks[vregBank(inst.dst)].writeFreeAt(now)) {
+            why = BlockReason::BankPortBusy;
+            return std::nullopt;
+        }
+        const bool indexed = inst.op == Opcode::VGather;
+        const int period = memory_.deliveryPeriod(inst.stride, indexed);
+        plan.unit = Plan::Unit::Mem;
+        plan.start = now + static_cast<uint64_t>(params_.vectorStartup);
+        plan.pipeUntil =
+            plan.start + static_cast<uint64_t>(vl) * period;
+        plan.prodFirst =
+            plan.start + params_.memLatency + params_.writeXbar;
+        plan.writeDone =
+            plan.prodFirst + static_cast<uint64_t>(vl) * period;
+        plan.chainableOut = params_.loadChaining;
+        plan.completion = plan.writeDone;
+        return plan;
+    }
+
+    // --- Vector store / scatter ---
+    MTV_ASSERT(fu == FuClass::VecStore);
+    plan.port = nullptr;
+    bool anyPipeFree = false;
+    for (MemPort *port : portsFor(inst.op)) {
+        if (!port->pipe.freeAt(now))
+            continue;
+        anyPipeFree = true;
+        if (port->bus.freeAt(now)) {
+            plan.port = port;
+            break;
+        }
+    }
+    if (!plan.port) {
+        why = anyPipeFree ? BlockReason::MemPortBusy
+                          : BlockReason::MemPipeBusy;
+        return std::nullopt;
+    }
+    const VRegTiming &src = ctx.vregs[inst.srcA];
+    uint64_t chainStart = 0;
+    if (!src.completeAt(now)) {
+        if (!src.chainable) {
+            why = BlockReason::SourceNotReady;
+            return std::nullopt;
+        }
+        chainStart = src.prodFirst + 1;
+    }
+    if (params_.modelBankPorts &&
+        ctx.banks[vregBank(inst.srcA)].freeReadPorts(now) < 1) {
+        why = BlockReason::BankPortBusy;
+        return std::nullopt;
+    }
+    plan.unit = Plan::Unit::Mem;
+    plan.start = std::max(
+        now + static_cast<uint64_t>(params_.vectorStartup), chainStart);
+    plan.pipeUntil = plan.start + vl;
+    // Stores are fire-and-forget: the processor does not wait for the
+    // memory write to complete (paper section 3.1).
+    plan.completion = plan.start + vl;
+    return plan;
+}
+
+// ---------------------------------------------------------------------
+// Commit
+// ---------------------------------------------------------------------
+
+void
+VectorSim::commit(Context &ctx, const Plan &plan, uint64_t now)
+{
+    MTV_ASSERT(plan.windowIndex < ctx.window.size());
+    const Instruction inst = ctx.window[plan.windowIndex];
+    const uint16_t vl = std::max<uint16_t>(inst.vl, 1);
+
+    switch (plan.unit) {
+      case Plan::Unit::Scalar:
+        if (inst.dst != noReg)
+            ctx.scalarReady[inst.dst] = plan.scalarReady;
+        if (isMemory(inst.op))
+            plan.port->bus.reserve(now, 1);
+        if (inst.op == Opcode::SBranch) {
+            ctx.fetchReadyAt =
+                now + 1 + static_cast<uint64_t>(params_.branchStall);
+        }
+        break;
+
+      case Plan::Unit::Fu1:
+      case Plan::Unit::Fu2: {
+        PipeUnit &unit = plan.unit == Plan::Unit::Fu1 ? fu1_ : fu2_;
+        unit.occupy(plan.start, plan.start + vl);
+        if (plan.unit == Plan::Unit::Fu1)
+            vecOpsFu1_ += vl;
+        else
+            vecOpsFu2_ += vl;
+
+        const uint64_t readUntil = plan.start + vl;
+        for (const uint8_t src : {inst.srcA, inst.srcB}) {
+            if (src == noReg)
+                continue;
+            VRegTiming &reg = ctx.vregs[src];
+            reg.readBusy = std::max(reg.readBusy, readUntil);
+            ctx.banks[vregBank(src)].takeReadPort(now, readUntil);
+        }
+        if (inst.op == Opcode::VReduce) {
+            if (inst.dst != noReg)
+                ctx.scalarReady[inst.dst] = plan.scalarReady;
+        } else {
+            VRegTiming &dst = ctx.vregs[inst.dst];
+            dst.prodFirst = plan.prodFirst;
+            dst.writeDone = plan.writeDone;
+            dst.chainable = plan.chainableOut;
+            ctx.banks[vregBank(inst.dst)].writeUntil = plan.writeDone;
+        }
+        break;
+      }
+
+      case Plan::Unit::Mem: {
+        plan.port->pipe.occupy(plan.start, plan.pipeUntil);
+        plan.port->bus.reserve(plan.start, vl);
+        if (isLoad(inst.op)) {
+            VRegTiming &dst = ctx.vregs[inst.dst];
+            dst.prodFirst = plan.prodFirst;
+            dst.writeDone = plan.writeDone;
+            dst.chainable = plan.chainableOut;
+            ctx.banks[vregBank(inst.dst)].writeUntil = plan.writeDone;
+        } else {
+            VRegTiming &src = ctx.vregs[inst.srcA];
+            const uint64_t readUntil = plan.start + vl;
+            src.readBusy = std::max(src.readBusy, readUntil);
+            ctx.banks[vregBank(inst.srcA)].takeReadPort(now, readUntil);
+        }
+        break;
+      }
+    }
+
+    // Common accounting.
+    ++dispatches_;
+    ++ctx.stats.instructions;
+    ++ctx.stats.instructionsThisRun;
+    if (isVector(inst.op))
+        ++ctx.stats.vectorInstructions;
+    else
+        ++ctx.stats.scalarInstructions;
+    ctx.stats.lastCompletion =
+        std::max(ctx.stats.lastCompletion, plan.completion);
+    if (plan.windowIndex > 0)
+        ++decoupledSlips_;
+    ctx.window.erase(ctx.window.begin() +
+                     static_cast<ptrdiff_t>(plan.windowIndex));
+}
+
+SimStats
+VectorSim::takeStats(uint64_t cycles)
+{
+    SimStats stats;
+    stats.cycles = cycles;
+    for (const auto &port : memPorts_) {
+        stats.memRequests += port.bus.requests();
+        stats.ldBusyCycles += port.pipe.busyCycles();
+    }
+    stats.memPorts = static_cast<int>(memPorts_.size());
+    stats.vecOpsFu1 = vecOpsFu1_;
+    stats.vecOpsFu2 = vecOpsFu2_;
+    stats.dispatches = dispatches_;
+    stats.decodeIdle = decodeIdle_;
+    stats.decoupledSlips = decoupledSlips_;
+    stats.fu1BusyCycles = fu1_.busyCycles();
+    stats.fu2BusyCycles = fu2_.busyCycles();
+    stats.stateHist = stateHist_;
+    for (const auto &ctx : contexts_)
+        stats.threads.push_back(ctx.stats);
+    stats.jobs = jobRecords_;
+    return stats;
+}
+
+} // namespace mtv

@@ -1,0 +1,229 @@
+/**
+ * @file
+ * The cycle-level simulator of the (multithreaded) vector machine.
+ *
+ * One class models the whole design space of the paper:
+ *  - contexts == 1 reproduces the reference Convex C3400;
+ *  - contexts in 2..4 is the multithreaded architecture of section 3;
+ *  - dualScalar == true is the Fujitsu VP2000-style machine of
+ *    section 9 (one decoder/scalar unit per context, shared vector
+ *    facility);
+ *  - decodeWidth > 1 is the "simultaneous issue from several threads"
+ *    future-work extension (section 10);
+ *  - loadPorts/storePorts model the Cray-like multi-port memory of
+ *    section 10;
+ *  - renaming removes WAW/WAR dispatch hazards (section 10);
+ *  - decoupleDepth > 0 models the authors' earlier decoupled vector
+ *    architecture (HPCA-2 1996): vector memory instructions may slip
+ *    past a blocked head within a small window.
+ *
+ * Timing model summary (see DESIGN.md section 3.3): dispatch is
+ * in-order per thread (except the decoupled slip), one instruction
+ * per decode slot per cycle, and succeeds only when the instruction
+ * can actually begin (a failed attempt loses the cycle and the switch
+ * logic picks another thread). Vector pipelines process one element
+ * per cycle; chaining is fully flexible between functional units and
+ * into the store unit, and forbidden out of memory loads (matching
+ * the Convex C34/Cray-2/Cray-3).
+ */
+
+#ifndef MTV_CORE_SIM_HH
+#define MTV_CORE_SIM_HH
+
+#include <optional>
+#include <vector>
+
+#include "src/core/metrics.hh"
+#include "src/core/resources.hh"
+#include "src/isa/machine_params.hh"
+#include "src/memsys/address_bus.hh"
+#include "src/memsys/main_memory.hh"
+#include "src/trace/source.hh"
+
+namespace mtv
+{
+
+/** How a simulation run terminates. */
+enum class RunMode : uint8_t
+{
+    /**
+     * Context 0 runs its program exactly once; other contexts (group
+     * runs) restart their programs when they finish. This is the
+     * paper's section 4.1 speedup methodology; ThreadStats records
+     * full runs and the fractional progress of the last run.
+     */
+    UntilThreadZero,
+    /**
+     * A fixed list of jobs is distributed over the contexts; a context
+     * finishing its job takes the next one. The run ends when all jobs
+     * are done (section 7 methodology; SimStats::jobs records the
+     * execution profile of Figure 9).
+     */
+    JobQueue
+};
+
+/** The multithreaded vector machine. */
+class VectorSim
+{
+  public:
+    /** Build a machine; @p params is validated (fatal on user error). */
+    explicit VectorSim(const MachineParams &params);
+
+    /**
+     * Run a single program to completion on context 0 (the reference-
+     * machine experiment; also usable with multithreaded params, the
+     * other contexts simply stay empty).
+     *
+     * @param source          The program.
+     * @param maxInstructions When non-zero, stop fetching after this
+     *                        many instructions (the truncated runs of
+     *                        the speedup accounting).
+     */
+    SimStats runSingle(InstructionSource &source,
+                       uint64_t maxInstructions = 0);
+
+    /**
+     * Group run (paper section 4.1): programs[i] runs on context i;
+     * the run ends when context 0 completes its (single) run, with
+     * other programs restarted as often as needed.
+     * Requires programs.size() == params.contexts.
+     */
+    SimStats runGroup(const std::vector<InstructionSource *> &programs);
+
+    /**
+     * Job-queue run (paper section 7): the job list is served by all
+     * contexts; each context takes the next job when its current one
+     * finishes.
+     */
+    SimStats runJobQueue(const std::vector<InstructionSource *> &jobs);
+
+    /** The machine description this simulator was built with. */
+    const MachineParams &params() const { return params_; }
+
+  private:
+    /** One memory port: an address path and its data pipe. */
+    struct MemPort
+    {
+        PipeUnit pipe;
+        AddressBus bus;
+    };
+
+    /** Everything one hardware context owns. */
+    struct Context
+    {
+        InstructionSource *source = nullptr;
+        /** Fetched-but-not-dispatched instructions, program order.
+         *  Size 1 normally; up to 1+decoupleDepth when decoupled. */
+        std::vector<Instruction> window;
+        bool finished = false;        ///< no more work will be fetched
+        bool restartable = false;     ///< restart source at end-of-run
+        uint64_t fetchReadyAt = 0;    ///< branch-shadow gate
+        uint64_t scalarReady[16] = {};///< S0-7 + A0-7 scoreboard
+        VRegTiming vregs[numVRegs] = {};
+        BankPorts banks[numVRegs / 2] = {};
+        ThreadStats stats;
+        int jobIndex = -1;            ///< job currently assigned
+    };
+
+    /** A validated dispatch decision, ready to commit. */
+    struct Plan
+    {
+        enum class Unit : uint8_t { Scalar, Fu1, Fu2, Mem } unit;
+        size_t windowIndex = 0;   ///< which window entry dispatches
+        MemPort *port = nullptr;  ///< memory port (Unit::Mem)
+        uint64_t start = 0;       ///< first cycle of unit occupation
+        uint64_t pipeUntil = 0;   ///< memory pipe occupation end
+        uint64_t prodFirst = 0;   ///< first-element availability (V dst)
+        uint64_t writeDone = 0;   ///< last-element write (V dst)
+        uint64_t completion = 0;  ///< retire time for run accounting
+        uint64_t scalarReady = 0; ///< scalar dst ready time
+        bool chainableOut = false;
+    };
+
+    // --- run machinery ---
+    void resetMachine(RunMode mode);
+    SimStats run(RunMode mode);
+    bool done(uint64_t now) const;
+    void decodeCycle(uint64_t now);
+    void decodeSingleSlot(uint64_t now);
+    void decodeMultiSlot(uint64_t now);
+    void sampleState(uint64_t now);
+    SimStats takeStats(uint64_t cycles);
+
+    /**
+     * Keep the context's fetch window filled (up to its depth, never
+     * past a branch). Handles end-of-run per mode (restart / next
+     * job / finish) once the window has drained.
+     * @return true when at least one instruction is waiting.
+     */
+    bool ensureWindow(Context &ctx, uint64_t now, BlockReason &why);
+
+    /** Window capacity for this machine. */
+    size_t
+    windowDepth() const
+    {
+        return 1 + static_cast<size_t>(params_.decoupleDepth);
+    }
+
+    /** Pure dispatch feasibility check + timing computation. */
+    std::optional<Plan> planDispatch(const Context &ctx,
+                                     const Instruction &inst,
+                                     uint64_t now,
+                                     BlockReason &why) const;
+
+    /**
+     * Find a dispatchable instruction in the window: the head, or —
+     * when decoupling is on — a vector memory instruction that
+     * conflicts with none of the skipped entries.
+     */
+    std::optional<Plan> planAny(const Context &ctx, uint64_t now,
+                                BlockReason &why) const;
+
+    /** Commit @p plan: reserve resources, update scoreboards, stats. */
+    void commit(Context &ctx, const Plan &plan, uint64_t now);
+
+    /** Pick the next context for the single decode slot. */
+    void switchThread(uint64_t now);
+
+    bool contextReady(Context &ctx, uint64_t now);
+
+    /** Any memory pipe processing an element at @p now? */
+    bool memPipeBusyAt(uint64_t now) const;
+
+    /** Ports that serve @p op (loads vs stores vs scalar memory). */
+    const std::vector<MemPort *> &portsFor(Opcode op) const;
+
+    // --- configuration ---
+    MachineParams params_;
+    MainMemory memory_;
+
+    // --- shared machine state ---
+    std::vector<MemPort> memPorts_;        ///< load ports then store
+    std::vector<MemPort *> loadPortRefs_;  ///< views into memPorts_
+    std::vector<MemPort *> storePortRefs_;
+    PipeUnit fu1_;
+    PipeUnit fu2_;
+    std::vector<Context> contexts_;
+    int currentThread_ = 0;
+    uint64_t lastSelected_[8] = {};   ///< for FairLru
+
+    // --- run bookkeeping ---
+    RunMode mode_ = RunMode::UntilThreadZero;
+    std::vector<InstructionSource *> jobs_;
+    size_t nextJob_ = 0;
+    uint64_t maxInstructions_ = 0;
+    uint64_t lastDispatchCycle_ = 0;
+
+    // --- statistics ---
+    uint64_t vecOpsFu1_ = 0;
+    uint64_t vecOpsFu2_ = 0;
+    uint64_t dispatches_ = 0;
+    uint64_t decodeIdle_ = 0;
+    uint64_t decoupledSlips_ = 0;
+    std::array<uint64_t, numFuStates> stateHist_{};
+    std::vector<JobRecord> jobRecords_;
+};
+
+} // namespace mtv
+
+#endif // MTV_CORE_SIM_HH

@@ -1,0 +1,76 @@
+#include "src/driver/experiments.hh"
+
+#include "src/common/logging.hh"
+
+namespace mtv
+{
+
+std::vector<std::vector<std::string>>
+groupingsFor(const std::string &x, int contexts)
+{
+    const std::string name = findProgram(x).name;  // canonicalize
+    std::vector<std::vector<std::string>> groups;
+    switch (contexts) {
+      case 2:
+        for (const auto &c2 : groupingColumn2())
+            groups.push_back({name, c2});
+        break;
+      case 3:
+        for (const auto &c2 : groupingColumn2())
+            for (const auto &c3 : groupingColumn3())
+                groups.push_back({name, c2, c3});
+        break;
+      case 4:
+        for (const auto &c2 : groupingColumn2())
+            for (const auto &c3 : groupingColumn3())
+                for (const auto &c4 : groupingColumn4())
+                    groups.push_back({name, c2, c3, c4});
+        break;
+      default:
+        fatal("groupings are defined for 2..4 contexts, got %d",
+              contexts);
+    }
+    return groups;
+}
+
+ProgramAverages
+averagesFor(Runner &runner, const std::string &program, int contexts,
+            const MachineParams &params)
+{
+    ProgramAverages avg;
+    avg.program = findProgram(program).name;
+    avg.contexts = contexts;
+    for (const auto &group : groupingsFor(program, contexts)) {
+        const GroupResult r = runner.runGroup(group, params);
+        avg.speedup += r.speedup;
+        avg.mthOccupation += r.mthOccupation;
+        avg.refOccupation += r.refOccupation;
+        avg.mthVopc += r.mthVopc;
+        avg.refVopc += r.refVopc;
+        ++avg.runs;
+    }
+    MTV_ASSERT(avg.runs > 0);
+    const double n = avg.runs;
+    avg.speedup /= n;
+    avg.mthOccupation /= n;
+    avg.refOccupation /= n;
+    avg.mthVopc /= n;
+    avg.refVopc /= n;
+    return avg;
+}
+
+const std::vector<int> &
+figure4Latencies()
+{
+    static const std::vector<int> lats = {1, 20, 70, 100};
+    return lats;
+}
+
+const std::vector<int> &
+sweepLatencies()
+{
+    static const std::vector<int> lats = {1, 20, 40, 50, 60, 80, 100};
+    return lats;
+}
+
+} // namespace mtv

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Experiment runner: instantiates workloads, caches reference-machine
+ * runs, and implements the paper's two benchmarking methodologies —
+ * the restart-based group speedup of section 4.1 and the fixed-work
+ * job queue of section 7 — plus the IDEAL lower bound of Figure 10.
+ */
+
+#ifndef MTV_DRIVER_RUNNER_HH
+#define MTV_DRIVER_RUNNER_HH
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/core/sim.hh"
+#include "src/trace/analyzer.hh"
+#include "src/workload/suite.hh"
+
+namespace mtv
+{
+
+/** Everything a grouped (section 4.1) experiment produces. */
+struct GroupResult
+{
+    SimStats mth;            ///< the multithreaded run itself
+    double speedup = 0;      ///< paper eq. in section 4.1
+    double mthOccupation = 0;///< memory-port occupation, mth machine
+    double refOccupation = 0;///< tuple run sequentially on reference
+    double mthVopc = 0;      ///< vector ops per cycle, mth machine
+    double refVopc = 0;      ///< tuple VOPC on the reference machine
+};
+
+/**
+ * Stateful experiment driver. A Runner is bound to one workload scale;
+ * reference runs are memoized per (program, machine-parameter) pair,
+ * since the grouped methodology re-uses them heavily.
+ */
+class Runner
+{
+  public:
+    explicit Runner(double scale = workloadDefaultScale);
+
+    /** Workload scale this runner generates programs at. */
+    double scale() const { return scale_; }
+
+    /** Fresh, slot-private instance of a suite program's stream. */
+    std::unique_ptr<SyntheticProgram>
+    instantiate(const std::string &program) const;
+
+    /**
+     * Full single run of @p program on a machine with @p params
+     * (forced to one context); memoized.
+     */
+    const SimStats &referenceRun(const std::string &program,
+                                 const MachineParams &params);
+
+    /**
+     * Reference run truncated after @p instructions dispatches —
+     * the F_i terms of the speedup formula. Not memoized.
+     */
+    SimStats truncatedReferenceRun(const std::string &program,
+                                   const MachineParams &params,
+                                   uint64_t instructions);
+
+    /**
+     * Section 4.1 group experiment. programs[0] is the measured
+     * program (thread 0); the multithreaded machine has
+     * programs.size() contexts. Speedup is computed exactly as in the
+     * paper: the reference machine's time for the same amount of work
+     * (full runs C_i plus fractional runs F_i) over the multithreaded
+     * time T. The reference machine derives from @p mthParams by
+     * dropping all multithreading features.
+     */
+    GroupResult runGroup(const std::vector<std::string> &programs,
+                         MachineParams mthParams);
+
+    /** Section 7 job-queue run of @p jobs (in order) on @p params. */
+    SimStats runJobQueue(const std::vector<std::string> &jobs,
+                         const MachineParams &params);
+
+    /** Σ C_i: the job list run sequentially on the reference machine. */
+    uint64_t sequentialReferenceTime(const std::vector<std::string> &jobs,
+                                     const MachineParams &refParams);
+
+    /** Aggregate Table 3-style statistics of a program; memoized. */
+    const TraceStats &programStats(const std::string &program);
+
+    /** Paper's IDEAL bound for the combined work of @p jobs. */
+    IdealBound idealTime(const std::vector<std::string> &jobs,
+                         int decodeWidth = 1);
+
+    /** Reference machine derived from @p params (multithreading off). */
+    static MachineParams referenceOf(MachineParams params);
+
+  private:
+    std::string cacheKey(const std::string &program,
+                         const MachineParams &params) const;
+
+    double scale_;
+    std::map<std::string, SimStats> refCache_;
+    std::map<std::string, TraceStats> statsCache_;
+};
+
+} // namespace mtv
+
+#endif // MTV_DRIVER_RUNNER_HH

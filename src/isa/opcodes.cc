@@ -1,0 +1,131 @@
+#include "src/isa/opcodes.hh"
+
+#include <array>
+
+#include "src/common/logging.hh"
+
+namespace mtv
+{
+
+namespace
+{
+
+struct OpInfo
+{
+    FuClass fu;
+    LatClass lat;
+    std::string_view name;
+};
+
+constexpr size_t numOpcodes = static_cast<size_t>(Opcode::NumOpcodes);
+
+constexpr std::array<OpInfo, numOpcodes> opTable = {{
+    /* SAddInt  */ {FuClass::Scalar, LatClass::IntAdd, "s.add"},
+    /* SAddFp   */ {FuClass::Scalar, LatClass::FpAdd, "s.fadd"},
+    /* SLogic   */ {FuClass::Scalar, LatClass::Logic, "s.logic"},
+    /* SMulInt  */ {FuClass::Scalar, LatClass::IntMul, "s.mul"},
+    /* SMulFp   */ {FuClass::Scalar, LatClass::FpMul, "s.fmul"},
+    /* SDivInt  */ {FuClass::Scalar, LatClass::IntDiv, "s.div"},
+    /* SDivFp   */ {FuClass::Scalar, LatClass::FpDiv, "s.fdiv"},
+    /* SSqrt    */ {FuClass::Scalar, LatClass::Sqrt, "s.sqrt"},
+    /* SMove    */ {FuClass::Scalar, LatClass::Move, "s.mov"},
+    /* SLoad    */ {FuClass::Scalar, LatClass::Memory, "s.ld"},
+    /* SStore   */ {FuClass::Scalar, LatClass::Memory, "s.st"},
+    /* SBranch  */ {FuClass::Scalar, LatClass::Control, "s.br"},
+    /* SetVL    */ {FuClass::Scalar, LatClass::Control, "setvl"},
+    /* SetVS    */ {FuClass::Scalar, LatClass::Control, "setvs"},
+    /* VAdd     */ {FuClass::VecAny, LatClass::FpAdd, "v.add"},
+    /* VLogic   */ {FuClass::VecAny, LatClass::Logic, "v.logic"},
+    /* VMul     */ {FuClass::VecFu2, LatClass::FpMul, "v.mul"},
+    /* VDiv     */ {FuClass::VecFu2, LatClass::FpDiv, "v.div"},
+    /* VSqrt    */ {FuClass::VecFu2, LatClass::Sqrt, "v.sqrt"},
+    /* VReduce  */ {FuClass::VecAny, LatClass::FpAdd, "v.red"},
+    /* VLoad    */ {FuClass::VecLoad, LatClass::Memory, "v.ld"},
+    /* VGather  */ {FuClass::VecLoad, LatClass::Memory, "v.gather"},
+    /* VStore   */ {FuClass::VecStore, LatClass::Memory, "v.st"},
+    /* VScatter */ {FuClass::VecStore, LatClass::Memory, "v.scatter"},
+}};
+
+const OpInfo &
+info(Opcode op)
+{
+    const auto idx = static_cast<size_t>(op);
+    MTV_ASSERT(idx < numOpcodes);
+    return opTable[idx];
+}
+
+} // namespace
+
+FuClass
+fuClass(Opcode op)
+{
+    return info(op).fu;
+}
+
+LatClass
+latClass(Opcode op)
+{
+    return info(op).lat;
+}
+
+bool
+isVector(Opcode op)
+{
+    const FuClass fu = info(op).fu;
+    return fu != FuClass::Scalar;
+}
+
+bool
+isMemory(Opcode op)
+{
+    switch (op) {
+      case Opcode::SLoad:
+      case Opcode::SStore:
+      case Opcode::VLoad:
+      case Opcode::VGather:
+      case Opcode::VStore:
+      case Opcode::VScatter:
+        return true;
+      default:
+        return false;
+    }
+}
+
+bool
+isLoad(Opcode op)
+{
+    return op == Opcode::SLoad || op == Opcode::VLoad ||
+           op == Opcode::VGather;
+}
+
+bool
+isStore(Opcode op)
+{
+    return op == Opcode::SStore || op == Opcode::VStore ||
+           op == Opcode::VScatter;
+}
+
+bool
+isVectorArith(Opcode op)
+{
+    const FuClass fu = info(op).fu;
+    return fu == FuClass::VecAny || fu == FuClass::VecFu2;
+}
+
+std::string_view
+mnemonic(Opcode op)
+{
+    return info(op).name;
+}
+
+Opcode
+opcodeFromMnemonic(std::string_view name)
+{
+    for (size_t i = 0; i < numOpcodes; ++i) {
+        if (opTable[i].name == name)
+            return static_cast<Opcode>(i);
+    }
+    return Opcode::NumOpcodes;
+}
+
+} // namespace mtv

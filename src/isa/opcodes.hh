@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Opcode and functional-unit taxonomy for the Convex C3400-style
+ * vector ISA modelled in this repository.
+ *
+ * The reference architecture (paper section 3) has a scalar part (A and
+ * S registers, one instruction per cycle) and a vector part with two
+ * arithmetic pipes and one memory pipe:
+ *   - FU2: general purpose, executes every vector operation;
+ *   - FU1: restricted, executes everything except mul/div/sqrt;
+ *   - LD:  the single memory pipe (loads, stores, gathers, scatters).
+ */
+
+#ifndef MTV_ISA_OPCODES_HH
+#define MTV_ISA_OPCODES_HH
+
+#include <cstdint>
+#include <string_view>
+
+namespace mtv
+{
+
+/** Every instruction the simulator understands. */
+enum class Opcode : uint8_t
+{
+    // --- Scalar arithmetic (A/S registers) ---
+    SAddInt,      ///< integer add/sub/compare on A or S registers
+    SAddFp,       ///< floating-point scalar add/sub
+    SLogic,       ///< scalar logical ops / shifts
+    SMulInt,      ///< integer scalar multiply
+    SMulFp,       ///< floating-point scalar multiply
+    SDivInt,      ///< integer scalar divide
+    SDivFp,       ///< floating-point scalar divide
+    SSqrt,        ///< scalar square root
+    SMove,        ///< register-to-register move (A<->S)
+
+    // --- Scalar memory and control ---
+    SLoad,        ///< scalar load (pays main-memory latency)
+    SStore,       ///< scalar store (fire-and-forget)
+    SBranch,      ///< conditional/unconditional branch; stalls fetch
+    SetVL,        ///< write the vector-length register
+    SetVS,        ///< write the vector-stride register
+
+    // --- Vector arithmetic (V registers) ---
+    VAdd,         ///< vector add/sub/compare (FU1 or FU2)
+    VLogic,       ///< vector logical ops / shifts (FU1 or FU2)
+    VMul,         ///< vector multiply (FU2 only)
+    VDiv,         ///< vector divide (FU2 only)
+    VSqrt,        ///< vector square root (FU2 only)
+    VReduce,      ///< reduction (sum/max) producing a scalar (FU1/FU2)
+
+    // --- Vector memory ---
+    VLoad,        ///< strided vector load
+    VGather,      ///< indexed vector load
+    VStore,       ///< strided vector store
+    VScatter,     ///< indexed vector store
+
+    NumOpcodes
+};
+
+/** Which execution resource an opcode needs. */
+enum class FuClass : uint8_t
+{
+    Scalar,      ///< the scalar unit
+    VecAny,      ///< FU1 or FU2 (dispatch picks whichever frees first)
+    VecFu2,      ///< FU2 only (mul/div/sqrt)
+    VecLoad,     ///< LD pipe, data flows memory -> register
+    VecStore     ///< LD pipe, data flows register -> memory
+};
+
+/** Latency class used to index MachineParams latency tables. */
+enum class LatClass : uint8_t
+{
+    IntAdd,
+    FpAdd,
+    Logic,
+    IntMul,
+    FpMul,
+    IntDiv,
+    FpDiv,
+    Sqrt,
+    Move,
+    Memory,     ///< memory latency is a separate, swept parameter
+    Control,
+    NumLatClasses
+};
+
+/** Resource class of @p op. */
+FuClass fuClass(Opcode op);
+
+/** Latency class of @p op. */
+LatClass latClass(Opcode op);
+
+/** True for all V-register opcodes (arithmetic and memory). */
+bool isVector(Opcode op);
+
+/** True for VLoad/VGather/VStore/VScatter/SLoad/SStore. */
+bool isMemory(Opcode op);
+
+/** True for VLoad/VGather/SLoad. */
+bool isLoad(Opcode op);
+
+/** True for VStore/VScatter/SStore. */
+bool isStore(Opcode op);
+
+/** True for vector arithmetic (chainable producers). */
+bool isVectorArith(Opcode op);
+
+/** Mnemonic for disassembly and trace text format. */
+std::string_view mnemonic(Opcode op);
+
+/** Inverse of mnemonic(); returns NumOpcodes when unknown. */
+Opcode opcodeFromMnemonic(std::string_view name);
+
+} // namespace mtv
+
+#endif // MTV_ISA_OPCODES_HH

@@ -1,0 +1,26 @@
+#include "src/memsys/address_bus.hh"
+
+#include "src/common/logging.hh"
+
+namespace mtv
+{
+
+void
+AddressBus::reserve(uint64_t from, uint32_t requests)
+{
+    MTV_ASSERT(freeAt(from));
+    MTV_ASSERT(requests > 0);
+    from_ = from;
+    until_ = from + requests;
+    requests_ += requests;
+}
+
+void
+AddressBus::clear()
+{
+    from_ = 0;
+    until_ = 0;
+    requests_ = 0;
+}
+
+} // namespace mtv

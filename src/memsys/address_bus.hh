@@ -1,0 +1,63 @@
+/**
+ * @file
+ * The single shared address bus of the modelled machine.
+ *
+ * The paper's memory system (section 3.1): one address bus shared by
+ * all transaction types (scalar/vector, load/store) with physically
+ * separate data busses for each direction. A vector memory instruction
+ * sends one address per cycle for VL cycles; a scalar memory op sends
+ * one. Memory-port occupation — the paper's headline metric — is the
+ * number of requests sent over this bus divided by total cycles.
+ */
+
+#ifndef MTV_MEMSYS_ADDRESS_BUS_HH
+#define MTV_MEMSYS_ADDRESS_BUS_HH
+
+#include <cstdint>
+
+namespace mtv
+{
+
+/**
+ * Contiguous-interval reservation model. Because a requester may only
+ * reserve when the bus is completely free (the machine has no address
+ * queue), at most one reservation is outstanding at any time, so a
+ * single [from, until) interval fully describes bus state.
+ */
+class AddressBus
+{
+  public:
+    /** True when the bus has no reservation extending past @p cycle. */
+    bool freeAt(uint64_t cycle) const { return until_ <= cycle; }
+
+    /** True when the bus is transferring an address at @p cycle. */
+    bool
+    busyAt(uint64_t cycle) const
+    {
+        return from_ <= cycle && cycle < until_;
+    }
+
+    /**
+     * Reserve the bus for @p requests back-to-back address transfers
+     * starting at @p from. The caller must have checked freeAt(from).
+     */
+    void reserve(uint64_t from, uint32_t requests);
+
+    /** Total address transfers so far (the occupation numerator). */
+    uint64_t requests() const { return requests_; }
+
+    /** Cycle at which the current reservation ends. */
+    uint64_t freeCycle() const { return until_; }
+
+    /** Reset to pristine state. */
+    void clear();
+
+  private:
+    uint64_t from_ = 0;
+    uint64_t until_ = 0;
+    uint64_t requests_ = 0;
+};
+
+} // namespace mtv
+
+#endif // MTV_MEMSYS_ADDRESS_BUS_HH

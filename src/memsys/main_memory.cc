@@ -1,0 +1,42 @@
+#include "src/memsys/main_memory.hh"
+
+#include <numeric>
+
+#include "src/common/logging.hh"
+
+namespace mtv
+{
+
+MainMemory::MainMemory(const MachineParams &params)
+    : latency_(params.memLatency), banked_(params.bankedMemory),
+      banks_(params.memBanks), bankBusy_(params.bankBusyCycles)
+{
+    MTV_ASSERT(latency_ >= 1);
+    if (banked_) {
+        if (banks_ < 1 || bankBusy_ < 1)
+            fatal("banked memory needs >= 1 bank and bank-busy cycle");
+    }
+}
+
+int
+MainMemory::deliveryPeriod(int32_t stride, bool indexed) const
+{
+    if (!banked_)
+        return 1;
+    if (indexed) {
+        // Random bank pattern: expected distinct banks per bank-busy
+        // window is close to the window size for large bank counts;
+        // charge a modest fixed penalty.
+        return std::max(1, (bankBusy_ + banks_ - 1) / banks_ + 1);
+    }
+    const auto s = static_cast<uint64_t>(stride == 0 ? 1
+                       : stride < 0 ? -static_cast<int64_t>(stride)
+                                    : stride);
+    const uint64_t distinct =
+        static_cast<uint64_t>(banks_) /
+        std::gcd(s, static_cast<uint64_t>(banks_));
+    return static_cast<int>(
+        std::max<uint64_t>(1, (bankBusy_ + distinct - 1) / distinct));
+}
+
+} // namespace mtv

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Main-memory timing model.
+ *
+ * Default: the paper's model — a pipelined memory with a fixed access
+ * latency; a vector load pays the latency once and then receives one
+ * element per cycle; stores pay nothing.
+ *
+ * Extension (off by default): an interleaved-bank model in which a
+ * strided stream that touches few distinct banks cannot sustain one
+ * element per cycle. This supports the paper's cost argument that a
+ * multithreaded vector machine could use slower DRAM parts: benches
+ * can turn banking on and watch multithreading absorb the slowdown.
+ */
+
+#ifndef MTV_MEMSYS_MAIN_MEMORY_HH
+#define MTV_MEMSYS_MAIN_MEMORY_HH
+
+#include <cstdint>
+
+#include "src/isa/machine_params.hh"
+
+namespace mtv
+{
+
+/** Timing oracle for memory streams. */
+class MainMemory
+{
+  public:
+    explicit MainMemory(const MachineParams &params);
+
+    /** Access latency in cycles. */
+    int latency() const { return latency_; }
+
+    /**
+     * Cycles between successive data elements of a strided stream.
+     * 1 in the default pipelined model. Under the banked model, a
+     * stream with element stride @p stride touching
+     * d = banks / gcd(|stride|, banks) distinct banks needs
+     * ceil(bankBusy / d) cycles per element.
+     *
+     * @param stride   Element stride (0 and gathers treated as 1 and
+     *                 a pessimistic random pattern respectively).
+     * @param indexed  True for gather/scatter (random bank pattern).
+     */
+    int deliveryPeriod(int32_t stride, bool indexed = false) const;
+
+    /**
+     * Completion helpers: a VL-element load stream issued at
+     * @p start finishes arriving at start + latency + VL * period.
+     */
+    uint64_t
+    loadComplete(uint64_t start, uint32_t vl, int32_t stride,
+                 bool indexed = false) const
+    {
+        return start + static_cast<uint64_t>(latency_) +
+               static_cast<uint64_t>(vl) * deliveryPeriod(stride, indexed);
+    }
+
+  private:
+    int latency_;
+    bool banked_;
+    int banks_;
+    int bankBusy_;
+};
+
+} // namespace mtv
+
+#endif // MTV_MEMSYS_MAIN_MEMORY_HH

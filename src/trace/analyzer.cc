@@ -1,0 +1,103 @@
+#include "src/trace/analyzer.hh"
+
+#include <algorithm>
+
+namespace mtv
+{
+
+double
+TraceStats::percentVectorization() const
+{
+    const double totalOps = static_cast<double>(scalarInstructions) +
+                            static_cast<double>(vectorOperations);
+    if (totalOps == 0)
+        return 0.0;
+    return 100.0 * static_cast<double>(vectorOperations) / totalOps;
+}
+
+double
+TraceStats::averageVectorLength() const
+{
+    if (vectorInstructions == 0)
+        return 0.0;
+    return static_cast<double>(vectorOperations) /
+           static_cast<double>(vectorInstructions);
+}
+
+void
+TraceStats::account(const Instruction &inst)
+{
+    if (isVector(inst.op)) {
+        ++vectorInstructions;
+        vectorOperations += inst.vl;
+        if (isMemory(inst.op)) {
+            ++vectorMemInstructions;
+            memoryRequests += inst.vl;
+        } else {
+            ++vectorArithInstructions;
+            vectorArithOperations += inst.vl;
+            if (fuClass(inst.op) == FuClass::VecFu2)
+                fu2OnlyOperations += inst.vl;
+        }
+    } else {
+        ++scalarInstructions;
+        if (isMemory(inst.op)) {
+            ++scalarMemInstructions;
+            ++memoryRequests;
+        }
+    }
+}
+
+TraceStats &
+TraceStats::operator+=(const TraceStats &other)
+{
+    scalarInstructions += other.scalarInstructions;
+    vectorInstructions += other.vectorInstructions;
+    vectorOperations += other.vectorOperations;
+    vectorArithInstructions += other.vectorArithInstructions;
+    vectorArithOperations += other.vectorArithOperations;
+    fu2OnlyOperations += other.fu2OnlyOperations;
+    vectorMemInstructions += other.vectorMemInstructions;
+    scalarMemInstructions += other.scalarMemInstructions;
+    memoryRequests += other.memoryRequests;
+    return *this;
+}
+
+TraceStats
+analyzeSource(InstructionSource &source)
+{
+    source.reset();
+    TraceStats stats;
+    Instruction inst;
+    while (source.next(inst))
+        stats.account(inst);
+    source.reset();
+    return stats;
+}
+
+const char *
+IdealBound::binding() const
+{
+    if (bound == addressBusCycles)
+        return "address-bus";
+    if (bound == fuCycles)
+        return "arithmetic-fus";
+    return "decode";
+}
+
+IdealBound
+idealBound(const TraceStats &stats, int decodeWidth)
+{
+    IdealBound b;
+    b.addressBusCycles = stats.memoryRequests;
+    b.decodeCycles =
+        (stats.totalInstructions() + decodeWidth - 1) / decodeWidth;
+    // Arithmetic bound: FU2-only work cannot migrate to FU1, so the
+    // best split is max(fu2Only, ceil(total/2)).
+    const uint64_t half = (stats.vectorArithOperations + 1) / 2;
+    b.fuCycles = std::max(stats.fu2OnlyOperations, half);
+    b.bound = std::max({b.addressBusCycles, b.decodeCycles, b.fuCycles});
+    return b;
+}
+
+} // namespace mtv

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Static trace analysis: per-program operation counts (the paper's
+ * Table 3) and per-resource demand lower bounds (the paper's IDEAL
+ * line in Figure 10).
+ */
+
+#ifndef MTV_TRACE_ANALYZER_HH
+#define MTV_TRACE_ANALYZER_HH
+
+#include <cstdint>
+
+#include "src/isa/machine_params.hh"
+#include "src/trace/source.hh"
+
+namespace mtv
+{
+
+/**
+ * Aggregate operation counts for one program run, mirroring the
+ * columns of the paper's Table 3.
+ */
+struct TraceStats
+{
+    uint64_t scalarInstructions = 0;  ///< S-type dynamic instructions
+    uint64_t vectorInstructions = 0;  ///< V-type dynamic instructions
+    uint64_t vectorOperations = 0;    ///< sum of VL over vector instrs
+
+    uint64_t vectorArithInstructions = 0;  ///< subset: FU1/FU2 ops
+    uint64_t vectorArithOperations = 0;    ///< element ops on FU1/FU2
+    uint64_t fu2OnlyOperations = 0;        ///< element ops forced to FU2
+    uint64_t vectorMemInstructions = 0;    ///< loads+stores (V)
+    uint64_t scalarMemInstructions = 0;    ///< loads+stores (S)
+    uint64_t memoryRequests = 0;           ///< address-bus transactions
+
+    /** Total dynamic instructions. */
+    uint64_t
+    totalInstructions() const
+    {
+        return scalarInstructions + vectorInstructions;
+    }
+
+    /**
+     * Degree of vectorization: vector operations over total operations
+     * (paper section 4.2: column 4 / (column 2 + column 4)).
+     */
+    double percentVectorization() const;
+
+    /** Average vector length (vector ops / vector instructions). */
+    double averageVectorLength() const;
+
+    /** Accumulate one instruction. */
+    void account(const Instruction &inst);
+
+    /** Element-wise sum, used for suite-level aggregates. */
+    TraceStats &operator+=(const TraceStats &other);
+};
+
+/** Compute TraceStats over a full run of @p source. */
+TraceStats analyzeSource(InstructionSource &source);
+
+/**
+ * Lower bound on execution cycles for a body of work, computed the way
+ * the paper computes its IDEAL line: remove all data dependencies and
+ * charge only the most saturated resource.
+ *
+ * Resources considered: the single address bus (1 request/cycle), the
+ * decode unit (1 instruction/cycle; `decodeWidth` wide when >1), the
+ * two arithmetic pipes (2 element-ops/cycle, except mul/div/sqrt which
+ * only FU2 may execute).
+ */
+struct IdealBound
+{
+    uint64_t addressBusCycles = 0;  ///< total memory requests
+    uint64_t decodeCycles = 0;      ///< total instructions / width
+    uint64_t fuCycles = 0;          ///< arithmetic element-op bound
+    uint64_t bound = 0;             ///< max of the above
+
+    /** Name of the binding resource (for reports). */
+    const char *binding() const;
+};
+
+/** IDEAL bound for the work described by @p stats. */
+IdealBound idealBound(const TraceStats &stats, int decodeWidth = 1);
+
+} // namespace mtv
+
+#endif // MTV_TRACE_ANALYZER_HH

@@ -1,0 +1,21 @@
+#include "src/trace/source.hh"
+
+namespace mtv
+{
+
+std::vector<Instruction>
+materialize(InstructionSource &source, size_t limit)
+{
+    source.reset();
+    std::vector<Instruction> out;
+    Instruction inst;
+    while (source.next(inst)) {
+        out.push_back(inst);
+        if (limit && out.size() >= limit)
+            break;
+    }
+    source.reset();
+    return out;
+}
+
+} // namespace mtv

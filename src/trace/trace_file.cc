@@ -1,0 +1,229 @@
+#include "src/trace/trace_file.hh"
+
+#include <array>
+#include <cstring>
+
+#include "src/common/logging.hh"
+
+namespace mtv
+{
+
+namespace
+{
+
+constexpr size_t recordBytes = 20;
+
+void
+put16(uint8_t *p, uint16_t v)
+{
+    p[0] = static_cast<uint8_t>(v);
+    p[1] = static_cast<uint8_t>(v >> 8);
+}
+
+void
+put32(uint8_t *p, uint32_t v)
+{
+    for (int i = 0; i < 4; ++i)
+        p[i] = static_cast<uint8_t>(v >> (8 * i));
+}
+
+void
+put64(uint8_t *p, uint64_t v)
+{
+    for (int i = 0; i < 8; ++i)
+        p[i] = static_cast<uint8_t>(v >> (8 * i));
+}
+
+uint16_t
+get16(const uint8_t *p)
+{
+    return static_cast<uint16_t>(p[0] | (p[1] << 8));
+}
+
+uint32_t
+get32(const uint8_t *p)
+{
+    uint32_t v = 0;
+    for (int i = 0; i < 4; ++i)
+        v |= static_cast<uint32_t>(p[i]) << (8 * i);
+    return v;
+}
+
+uint64_t
+get64(const uint8_t *p)
+{
+    uint64_t v = 0;
+    for (int i = 0; i < 8; ++i)
+        v |= static_cast<uint64_t>(p[i]) << (8 * i);
+    return v;
+}
+
+void
+packRecord(const Instruction &inst, uint8_t *buf)
+{
+    buf[0] = static_cast<uint8_t>(inst.op);
+    buf[1] = inst.dst;
+    buf[2] = inst.srcA;
+    buf[3] = inst.srcB;
+    put16(buf + 4, inst.vl);
+    // bytes 6..7 reserved (zero) to keep the record 4-byte aligned
+    buf[6] = 0;
+    buf[7] = 0;
+    put32(buf + 8, static_cast<uint32_t>(inst.stride));
+    put64(buf + 12, inst.addr);
+}
+
+Instruction
+unpackRecord(const uint8_t *buf)
+{
+    Instruction inst;
+    const uint8_t rawOp = buf[0];
+    if (rawOp >= static_cast<uint8_t>(Opcode::NumOpcodes))
+        fatal("trace record has invalid opcode %u", rawOp);
+    inst.op = static_cast<Opcode>(rawOp);
+    inst.dst = buf[1];
+    inst.srcA = buf[2];
+    inst.srcB = buf[3];
+    inst.vl = get16(buf + 4);
+    inst.stride = static_cast<int32_t>(get32(buf + 8));
+    inst.addr = get64(buf + 12);
+    return inst;
+}
+
+} // namespace
+
+TraceWriter::TraceWriter(const std::string &path,
+                         const std::string &programName)
+{
+    file_ = std::fopen(path.c_str(), "wb");
+    if (!file_)
+        fatal("cannot open trace file '%s' for writing", path.c_str());
+
+    uint8_t header[16];
+    put32(header, traceMagic);
+    put32(header + 4, traceVersion);
+    put64(header + 8, 0);  // record count, back-patched by close()
+    if (std::fwrite(header, 1, sizeof(header), file_) != sizeof(header))
+        fatal("short write on trace header");
+
+    // Program name: u16 length + bytes.
+    const auto nameLen = static_cast<uint16_t>(
+        std::min<size_t>(programName.size(), 0xffff));
+    uint8_t lenBuf[2];
+    put16(lenBuf, nameLen);
+    std::fwrite(lenBuf, 1, 2, file_);
+    std::fwrite(programName.data(), 1, nameLen, file_);
+}
+
+TraceWriter::~TraceWriter()
+{
+    if (file_)
+        close();
+}
+
+void
+TraceWriter::append(const Instruction &inst)
+{
+    MTV_ASSERT(file_ != nullptr);
+    uint8_t buf[recordBytes];
+    packRecord(inst, buf);
+    if (std::fwrite(buf, 1, recordBytes, file_) != recordBytes)
+        fatal("short write on trace record");
+    ++count_;
+}
+
+void
+TraceWriter::close()
+{
+    MTV_ASSERT(file_ != nullptr);
+    std::fseek(file_, 8, SEEK_SET);
+    uint8_t countBuf[8];
+    put64(countBuf, count_);
+    std::fwrite(countBuf, 1, 8, file_);
+    std::fclose(file_);
+    file_ = nullptr;
+}
+
+TraceReader::TraceReader(const std::string &path)
+{
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    if (!f)
+        fatal("cannot open trace file '%s'", path.c_str());
+
+    uint8_t header[16];
+    if (std::fread(header, 1, sizeof(header), f) != sizeof(header))
+        fatal("trace file '%s' truncated (no header)", path.c_str());
+    if (get32(header) != traceMagic)
+        fatal("'%s' is not an mtv trace (bad magic)", path.c_str());
+    if (get32(header + 4) != traceVersion) {
+        fatal("'%s': unsupported trace version %u", path.c_str(),
+              get32(header + 4));
+    }
+    const uint64_t count = get64(header + 8);
+
+    uint8_t lenBuf[2];
+    if (std::fread(lenBuf, 1, 2, f) != 2)
+        fatal("trace file '%s' truncated (no name)", path.c_str());
+    const uint16_t nameLen = get16(lenBuf);
+    name_.resize(nameLen);
+    if (nameLen &&
+        std::fread(name_.data(), 1, nameLen, f) != nameLen) {
+        fatal("trace file '%s' truncated (short name)", path.c_str());
+    }
+
+    instructions_.reserve(count);
+    uint8_t buf[recordBytes];
+    for (uint64_t i = 0; i < count; ++i) {
+        if (std::fread(buf, 1, recordBytes, f) != recordBytes) {
+            fatal("trace file '%s' truncated at record %llu of %llu",
+                  path.c_str(), static_cast<unsigned long long>(i),
+                  static_cast<unsigned long long>(count));
+        }
+        instructions_.push_back(unpackRecord(buf));
+    }
+    std::fclose(f);
+}
+
+bool
+TraceReader::next(Instruction &out)
+{
+    if (pos_ >= instructions_.size())
+        return false;
+    out = instructions_[pos_++];
+    return true;
+}
+
+uint64_t
+writeTrace(InstructionSource &source, const std::string &path)
+{
+    source.reset();
+    TraceWriter writer(path, source.name());
+    Instruction inst;
+    while (source.next(inst))
+        writer.append(inst);
+    const uint64_t n = writer.count();
+    writer.close();
+    source.reset();
+    return n;
+}
+
+uint64_t
+writeTextTrace(InstructionSource &source, const std::string &path)
+{
+    source.reset();
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (!f)
+        fatal("cannot open text trace '%s' for writing", path.c_str());
+    std::fprintf(f, "# program: %s\n", source.name().c_str());
+    Instruction inst;
+    uint64_t n = 0;
+    while (source.next(inst)) {
+        std::fprintf(f, "%s\n", inst.disasm().c_str());
+        ++n;
+    }
+    std::fclose(f);
+    source.reset();
+    return n;
+}
+
+} // namespace mtv

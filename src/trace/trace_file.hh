@@ -1,0 +1,89 @@
+/**
+ * @file
+ * On-disk trace format (our Dixie substitute).
+ *
+ * Two encodings are supported:
+ *  - binary (".mtv"): a fixed 24-byte header followed by packed 20-byte
+ *    little-endian records; compact and fast, used for real runs.
+ *  - text (".mtvt"): one disassembled instruction per line with a
+ *    `# program: <name>` header; diffable, used for debugging and docs.
+ *
+ * The binary layout is explicitly packed field by field (no struct
+ * memcpy) so traces are portable across compilers.
+ */
+
+#ifndef MTV_TRACE_TRACE_FILE_HH
+#define MTV_TRACE_TRACE_FILE_HH
+
+#include <cstdio>
+#include <string>
+
+#include "src/trace/source.hh"
+
+namespace mtv
+{
+
+/** Magic bytes at the start of a binary trace. */
+constexpr uint32_t traceMagic = 0x5654564d;  // "MVTV" little-endian
+/** Current binary format version. */
+constexpr uint32_t traceVersion = 1;
+
+/** Streaming writer for the binary trace format. */
+class TraceWriter
+{
+  public:
+    /**
+     * Open @p path for writing and emit the header.
+     * fatal()s on I/O errors (user-visible path problems).
+     */
+    TraceWriter(const std::string &path, const std::string &programName);
+    ~TraceWriter();
+
+    TraceWriter(const TraceWriter &) = delete;
+    TraceWriter &operator=(const TraceWriter &) = delete;
+
+    /** Append one instruction record. */
+    void append(const Instruction &inst);
+
+    /** Number of records written so far. */
+    uint64_t count() const { return count_; }
+
+    /** Flush, back-patch the record count, and close. */
+    void close();
+
+  private:
+    std::FILE *file_ = nullptr;
+    uint64_t count_ = 0;
+};
+
+/**
+ * InstructionSource that replays a binary trace file. The whole trace
+ * is loaded eagerly; traces at the default workload scale are a few MB.
+ */
+class TraceReader : public InstructionSource
+{
+  public:
+    /** Load @p path; fatal()s on malformed files. */
+    explicit TraceReader(const std::string &path);
+
+    bool next(Instruction &out) override;
+    void reset() override { pos_ = 0; }
+    const std::string &name() const override { return name_; }
+
+    uint64_t count() const { return instructions_.size(); }
+
+  private:
+    std::string name_;
+    std::vector<Instruction> instructions_;
+    size_t pos_ = 0;
+};
+
+/** Record an entire program run from @p source into a binary trace. */
+uint64_t writeTrace(InstructionSource &source, const std::string &path);
+
+/** Write the text (".mtvt") form; returns records written. */
+uint64_t writeTextTrace(InstructionSource &source, const std::string &path);
+
+} // namespace mtv
+
+#endif // MTV_TRACE_TRACE_FILE_HH

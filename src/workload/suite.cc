@@ -1,0 +1,547 @@
+#include "src/workload/suite.hh"
+
+#include "src/common/logging.hh"
+#include "src/common/strutil.hh"
+
+namespace mtv
+{
+
+namespace
+{
+
+// ---------------------------------------------------------------------
+// Kernel bodies. Shapes follow the dominant loop nests of each real
+// program (stencils for the PDE codes, gather-heavy interaction loops
+// for the MD code, short multiply-dominated loops for the integral
+// transforms); sizes are chosen so each kernel's built-in scalar
+// overhead stays below the program's Table 3 scalar/vector ratio.
+// ---------------------------------------------------------------------
+
+/**
+ * Wide 9-point-style stencil: 6 loads, 8 flops, 3 stores, interleaved
+ * the way the compiler schedules them (consumers close behind their
+ * producers to minimize register pressure) — which, with no load→FU
+ * chaining, produces the decode stalls the paper studies.
+ */
+std::vector<VecStep>
+bodyWideStencil()
+{
+    BodyBuilder b;
+    const int a = b.load();
+    const int c = b.load();
+    const int t1 = b.arith(Opcode::VAdd, a, c);
+    const int d = b.load();
+    const int e = b.load();
+    const int t2 = b.arith(Opcode::VMul, d, e);
+    const int t3 = b.arith(Opcode::VAdd, t1, t2);
+    const int f = b.load();
+    const int g = b.load();
+    const int t4 = b.arith(Opcode::VMul, f, g);
+    const int t5 = b.arith(Opcode::VAdd, t3, t4);
+    b.store(t5);
+    const int t6 = b.arith(Opcode::VMul, t5, a);
+    const int t7 = b.arith(Opcode::VAdd, t6, c);
+    b.store(t7);
+    const int t8 = b.arith(Opcode::VAdd, t7, d);
+    b.store(t8);
+    return b.take();
+}
+
+/** Medium stencil update: 5 loads, 6 flops, 3 stores (interleaved). */
+std::vector<VecStep>
+bodyMediumStencil()
+{
+    BodyBuilder b;
+    const int a = b.load();
+    const int c = b.load();
+    const int t1 = b.arith(Opcode::VAdd, a, c);
+    const int d = b.load();
+    const int e = b.load();
+    const int t2 = b.arith(Opcode::VMul, d, e);
+    const int t3 = b.arith(Opcode::VAdd, t1, t2);
+    b.store(t3);
+    const int f = b.load();
+    const int t4 = b.arith(Opcode::VMul, t3, f);
+    const int t5 = b.arith(Opcode::VAdd, t4, a);
+    b.store(t5);
+    const int t6 = b.arith(Opcode::VAdd, t5, c);
+    b.store(t6);
+    return b.take();
+}
+
+/** Flux/sweep kernel with a divide: 5 loads, 6 flops, 2 stores. */
+std::vector<VecStep>
+bodySweepDiv()
+{
+    BodyBuilder b;
+    const int a = b.load();
+    const int c = b.load();
+    const int t1 = b.arith(Opcode::VMul, a, c);
+    const int d = b.load();
+    const int t2 = b.arith(Opcode::VAdd, t1, d);
+    const int e = b.load();
+    const int t3 = b.arith(Opcode::VDiv, t2, e);
+    b.store(t3);
+    const int f = b.load();
+    const int t4 = b.arith(Opcode::VMul, t3, f);
+    const int t5 = b.arith(Opcode::VAdd, t4, a);
+    const int t6 = b.arith(Opcode::VAdd, t5, c);
+    b.store(t6);
+    return b.take();
+}
+
+/** Generic flux kernel: 4 loads, 5 flops, 2 stores (interleaved). */
+std::vector<VecStep>
+bodyFlux()
+{
+    BodyBuilder b;
+    const int a = b.load();
+    const int c = b.load();
+    const int t1 = b.arith(Opcode::VMul, a, c);
+    const int d = b.load();
+    const int t2 = b.arith(Opcode::VAdd, t1, d);
+    b.store(t2);
+    const int e = b.load();
+    const int t3 = b.arith(Opcode::VMul, t2, e);
+    const int t4 = b.arith(Opcode::VAdd, t3, a);
+    const int t5 = b.arith(Opcode::VLogic, t4, c);
+    b.store(t5);
+    return b.take();
+}
+
+/** Implicit solver line: 5 loads, 7 flops (with divide), 2 stores. */
+std::vector<VecStep>
+bodyImplicit()
+{
+    BodyBuilder b;
+    const int a = b.load();
+    const int c = b.load();
+    const int t1 = b.arith(Opcode::VMul, a, c);
+    const int d = b.load();
+    const int t2 = b.arith(Opcode::VAdd, t1, d);
+    const int e = b.load();
+    const int t3 = b.arith(Opcode::VMul, t2, e);
+    const int f = b.load();
+    const int t4 = b.arith(Opcode::VAdd, t3, f);
+    const int t5 = b.arith(Opcode::VDiv, t4, a);
+    b.store(t5);
+    const int t6 = b.arith(Opcode::VAdd, t5, c);
+    const int t7 = b.arith(Opcode::VAdd, t6, d);
+    b.store(t7);
+    return b.take();
+}
+
+/** Euler-step kernel: 4 loads, 6 flops, 2 stores (interleaved). */
+std::vector<VecStep>
+bodyEuler()
+{
+    BodyBuilder b;
+    const int a = b.load();
+    const int c = b.load();
+    const int t1 = b.arith(Opcode::VAdd, a, c);
+    const int d = b.load();
+    const int t2 = b.arith(Opcode::VMul, t1, d);
+    const int e = b.load();
+    const int t3 = b.arith(Opcode::VAdd, t2, e);
+    b.store(t3);
+    const int t4 = b.arith(Opcode::VMul, t3, a);
+    const int t5 = b.arith(Opcode::VAdd, t4, c);
+    const int t6 = b.arith(Opcode::VAdd, t5, d);
+    b.store(t6);
+    return b.take();
+}
+
+/** Residual kernel: 3 loads, 4 flops, 1 store. */
+std::vector<VecStep>
+bodyResidual()
+{
+    BodyBuilder b;
+    const int a = b.load();
+    const int c = b.load();
+    const int d = b.load();
+    const int t1 = b.arith(Opcode::VMul, a, c);
+    const int t2 = b.arith(Opcode::VAdd, t1, d);
+    const int t3 = b.arith(Opcode::VMul, t2, a);
+    const int t4 = b.arith(Opcode::VAdd, t3, c);
+    b.store(t4);
+    return b.take();
+}
+
+/** Matrix-multiply inner strip: 2 loads, multiply-accumulate. */
+std::vector<VecStep>
+bodyMxm()
+{
+    BodyBuilder b;
+    const int a = b.load();
+    const int c = b.load();
+    const int t1 = b.arith(Opcode::VMul, a, c);
+    b.arith(Opcode::VAdd, t1, t1);
+    return b.take();
+}
+
+/** FFT butterfly strip: 4 loads, 6 flops, 2 stores (interleaved). */
+std::vector<VecStep>
+bodyButterfly()
+{
+    BodyBuilder b;
+    const int ar = b.load();
+    const int br = b.load();
+    const int t1 = b.arith(Opcode::VMul, br, ar);
+    const int ai = b.load();
+    const int bi = b.load();
+    const int t2 = b.arith(Opcode::VMul, bi, ai);
+    const int t3 = b.arith(Opcode::VAdd, t1, t2);
+    b.store(t3);
+    const int t4 = b.arith(Opcode::VMul, br, ai);
+    const int t5 = b.arith(Opcode::VAdd, t4, t3);
+    const int t6 = b.arith(Opcode::VAdd, t5, ar);
+    b.store(t6);
+    return b.take();
+}
+
+/** Factorization line with divide: 3 loads, 3 flops, 1 store. */
+std::vector<VecStep>
+bodyFactor()
+{
+    BodyBuilder b;
+    const int a = b.load();
+    const int c = b.load();
+    const int d = b.load();
+    const int t1 = b.arith(Opcode::VMul, a, c);
+    const int t2 = b.arith(Opcode::VDiv, t1, d);
+    const int t3 = b.arith(Opcode::VAdd, t2, a);
+    b.store(t3);
+    return b.take();
+}
+
+/** Gauge-update kernel: 3 loads, 4 flops, 1 store. */
+std::vector<VecStep>
+bodyGauge()
+{
+    BodyBuilder b;
+    const int a = b.load();
+    const int c = b.load();
+    const int d = b.load();
+    const int t1 = b.arith(Opcode::VMul, a, c);
+    const int t2 = b.arith(Opcode::VAdd, t1, d);
+    const int t3 = b.arith(Opcode::VMul, t2, a);
+    const int t4 = b.arith(Opcode::VAdd, t3, c);
+    b.store(t4);
+    return b.take();
+}
+
+/** Lattice propagation: 3 loads, 3 flops, 1 store. */
+std::vector<VecStep>
+bodyLattice()
+{
+    BodyBuilder b;
+    const int a = b.load();
+    const int c = b.load();
+    const int d = b.load();
+    const int t1 = b.arith(Opcode::VMul, a, c);
+    const int t2 = b.arith(Opcode::VAdd, t1, d);
+    const int t3 = b.arith(Opcode::VLogic, t2, a);
+    b.store(t3);
+    return b.take();
+}
+
+/** Mesh-generation kernel with divide: 4 loads, 6 flops, 2 stores. */
+std::vector<VecStep>
+bodyMesh()
+{
+    BodyBuilder b;
+    const int a = b.load();
+    const int c = b.load();
+    const int t1 = b.arith(Opcode::VMul, a, c);
+    const int d = b.load();
+    const int t2 = b.arith(Opcode::VAdd, t1, d);
+    const int e = b.load();
+    const int t3 = b.arith(Opcode::VDiv, t2, e);
+    b.store(t3);
+    const int t4 = b.arith(Opcode::VMul, t3, a);
+    const int t5 = b.arith(Opcode::VAdd, t4, c);
+    const int t6 = b.arith(Opcode::VAdd, t5, d);
+    b.store(t6);
+    return b.take();
+}
+
+/** Residual-norm kernel ending in a reduction: 2 loads + reduce. */
+std::vector<VecStep>
+bodyNorm()
+{
+    BodyBuilder b;
+    const int a = b.load();
+    const int c = b.load();
+    const int t1 = b.arith(Opcode::VMul, a, c);
+    const int t2 = b.arith(Opcode::VAdd, t1, a);
+    std::vector<VecStep> steps = b.take();
+    // Reductions deposit into a scalar; the slot records the V source.
+    steps.push_back({Opcode::VReduce, t2, t2, -1});
+    return steps;
+}
+
+/** Pairwise-force kernel with sqrt: 4 loads, 6 flops, 1 store. */
+std::vector<VecStep>
+bodyForces()
+{
+    BodyBuilder b;
+    const int x = b.load();
+    const int y = b.load();
+    const int t1 = b.arith(Opcode::VMul, x, x);
+    const int t2 = b.arith(Opcode::VMul, y, y);
+    const int t3 = b.arith(Opcode::VAdd, t1, t2);
+    const int t4 = b.arith(Opcode::VSqrt, t3, -1);
+    const int z = b.load();
+    const int q = b.load();
+    const int t5 = b.arith(Opcode::VMul, t4, q);
+    const int t6 = b.arith(Opcode::VAdd, t5, z);
+    b.store(t6);
+    return b.take();
+}
+
+/** Neighbour-pair kernel: 3 loads, 4 flops, 1 store. */
+std::vector<VecStep>
+bodyPairs()
+{
+    BodyBuilder b;
+    const int a = b.load();
+    const int c = b.load();
+    const int d = b.load();
+    const int t1 = b.arith(Opcode::VAdd, a, c);
+    const int t2 = b.arith(Opcode::VMul, t1, d);
+    const int t3 = b.arith(Opcode::VAdd, t2, a);
+    const int t4 = b.arith(Opcode::VLogic, t3, c);
+    b.store(t4);
+    return b.take();
+}
+
+/** Integral-transform kernel: 3 loads, multiply-heavy, 1 store. */
+std::vector<VecStep>
+bodyTransform()
+{
+    BodyBuilder b;
+    const int a = b.load();
+    const int c = b.load();
+    const int d = b.load();
+    const int t1 = b.arith(Opcode::VMul, a, c);
+    const int t2 = b.arith(Opcode::VMul, t1, d);
+    const int t3 = b.arith(Opcode::VAdd, t2, a);
+    b.store(t3);
+    return b.take();
+}
+
+/** Short contraction: 2 loads, 3 flops, 1 store. */
+std::vector<VecStep>
+bodyContract()
+{
+    BodyBuilder b;
+    const int a = b.load();
+    const int c = b.load();
+    const int t1 = b.arith(Opcode::VMul, a, c);
+    const int t2 = b.arith(Opcode::VAdd, t1, a);
+    const int t3 = b.arith(Opcode::VMul, t2, c);
+    b.store(t3);
+    return b.take();
+}
+
+/** Element-solve kernel: 3 loads, 4 flops, 2 stores. */
+std::vector<VecStep>
+bodyElementSolve()
+{
+    BodyBuilder b;
+    const int a = b.load();
+    const int c = b.load();
+    const int d = b.load();
+    const int t1 = b.arith(Opcode::VMul, a, c);
+    const int t2 = b.arith(Opcode::VAdd, t1, d);
+    const int t3 = b.arith(Opcode::VMul, t2, a);
+    const int t4 = b.arith(Opcode::VAdd, t3, c);
+    b.store(t2);
+    b.store(t4);
+    return b.take();
+}
+
+/** Stress-recovery kernel: 2 loads, 3 flops, 1 store. */
+std::vector<VecStep>
+bodyStress()
+{
+    BodyBuilder b;
+    const int a = b.load();
+    const int c = b.load();
+    const int t1 = b.arith(Opcode::VAdd, a, c);
+    const int t2 = b.arith(Opcode::VMul, t1, a);
+    const int t3 = b.arith(Opcode::VAdd, t2, c);
+    b.store(t3);
+    return b.take();
+}
+
+KernelSpec
+kernel(const std::string &name, uint32_t trip,
+       std::vector<VecStep> body, int preamble, int perStrip,
+       double indexed = 0.0, int32_t stride = 1)
+{
+    KernelSpec k;
+    k.name = name;
+    k.tripCount = trip;
+    k.body = std::move(body);
+    k.scalarPreamble = preamble;
+    k.scalarPerStrip = perStrip;
+    k.indexedFraction = indexed;
+    k.stride = stride;
+    return k;
+}
+
+ProgramSpec
+program(const std::string &name, const std::string &abbrev,
+        const std::string &suite, double sM, double vM, double opsM,
+        double pctVect, double avgVl, std::vector<KernelSpec> kernels)
+{
+    ProgramSpec p;
+    p.name = name;
+    p.abbrev = abbrev;
+    p.suite = suite;
+    p.scalarMillions = sM;
+    p.vectorMillions = vM;
+    p.vectorOpsMillions = opsM;
+    p.percentVect = pctVect;
+    p.avgVectorLength = avgVl;
+    p.kernels = std::move(kernels);
+    return p;
+}
+
+std::vector<ProgramSpec>
+buildSuite()
+{
+    std::vector<ProgramSpec> suite;
+
+    // Table 3 rows (columns 2-4 in millions of dynamic instructions /
+    // operations). Kernel trip counts are chosen so that
+    // tripCount / ceil(tripCount/128) equals the program's average
+    // vector length.
+    suite.push_back(program(
+        "swm256", "sw", "Spec", 6.2, 74.5, 9534.3, 99.9, 128.0,
+        {kernel("sw-stencil", 1280, bodyWideStencil(), 2, 1),
+         kernel("sw-update", 2560, bodyMediumStencil(), 2, 1)}));
+
+    // hy-flux sweeps the other grid dimension: a long odd stride
+    // (the row length), which an interleaved memory still serves at
+    // full rate but which is not unit-stride.
+    suite.push_back(program(
+        "hydro2d", "hy", "Spec", 41.5, 39.2, 3973.8, 99.0, 101.4,
+        {kernel("hy-sweep", 404, bodySweepDiv(), 3, 3),
+         kernel("hy-flux", 404, bodyFlux(), 3, 3, 0.0, 405)}));
+
+    // arc2d's implicit sweeps walk columns of a power-of-two-padded
+    // array (stride 192 = 3*64): the classic bank-conflict pattern
+    // the banked-DRAM ablation exercises.
+    suite.push_back(program(
+        "arc2d", "sr", "Perf.", 63.3, 42.9, 4086.5, 98.5, 95.3,
+        {kernel("sr-implicit", 190, bodyImplicit(), 3, 3, 0.0, 192),
+         kernel("sr-smooth", 190, bodyFlux(), 3, 3)}));
+
+    suite.push_back(program(
+        "flo52", "tf", "Perf.", 37.7, 22.8, 1242.0, 97.1, 54.5,
+        {kernel("tf-euler", 54, bodyEuler(), 2, 3),
+         kernel("tf-residual", 55, bodyResidual(), 2, 3)}));
+
+    suite.push_back(program(
+        "nasa7", "a7", "Spec", 152.4, 67.3, 3911.9, 96.2, 58.1,
+        {kernel("a7-mxm", 58, bodyMxm(), 3, 3),
+         kernel("a7-fft", 58, bodyButterfly(), 3, 3),
+         kernel("a7-chol", 58, bodyFactor(), 3, 3)}));
+
+    suite.push_back(program(
+        "su2cor", "su", "Spec", 152.6, 26.8, 3356.8, 95.7, 125.3,
+        {kernel("su-gauge", 500, bodyGauge(), 4, 4),
+         kernel("su-lattice", 500, bodyLattice(), 4, 4, 0.2)}));
+
+    suite.push_back(program(
+        "tomcatv", "to", "Spec", 125.8, 7.2, 916.8, 87.9, 127.3,
+        {kernel("to-mesh", 1016, bodyMesh(), 2, 1),
+         kernel("to-norm", 1016, bodyNorm(), 2, 1)}));
+
+    // Note: the scanned Table 3 prints bdna's scalar count as 23.9M,
+    // which contradicts its own %vect column (1589.9/(23.9+1589.9) =
+    // 98.5%, not 86.9%). Solving 1589.9/(S+1589.9) = 0.869 gives
+    // S = 239.6M; the scan evidently dropped a digit.
+    suite.push_back(program(
+        "bdna", "na", "Perf.", 239.6, 19.6, 1589.9, 86.9, 81.1,
+        {kernel("na-forces", 162, bodyForces(), 3, 3, 0.5),
+         kernel("na-pairs", 162, bodyPairs(), 3, 3, 0.5)}));
+
+    suite.push_back(program(
+        "trfd", "ti", "Perf.", 352.2, 49.5, 1095.3, 75.7, 22.1,
+        {kernel("ti-int1", 22, bodyTransform(), 2, 2),
+         kernel("ti-int2", 22, bodyContract(), 2, 2)}));
+
+    suite.push_back(program(
+        "dyfesm", "sd", "Perf.", 236.1, 33.0, 696.2, 74.7, 21.1,
+        {kernel("sd-solve", 21, bodyElementSolve(), 2, 2, 0.3),
+         kernel("sd-stress", 21, bodyStress(), 2, 2, 0.3)}));
+
+    for (const auto &p : suite)
+        p.validate();
+    return suite;
+}
+
+} // namespace
+
+const std::vector<ProgramSpec> &
+benchmarkSuite()
+{
+    static const std::vector<ProgramSpec> suite = buildSuite();
+    return suite;
+}
+
+const ProgramSpec &
+findProgram(const std::string &nameOrAbbrev)
+{
+    const std::string key = toLower(nameOrAbbrev);
+    for (const auto &p : benchmarkSuite()) {
+        if (p.name == key || p.abbrev == key)
+            return p;
+    }
+    fatal("unknown benchmark program '%s'", nameOrAbbrev.c_str());
+}
+
+std::unique_ptr<SyntheticProgram>
+makeProgram(const std::string &nameOrAbbrev, double scale)
+{
+    return std::make_unique<SyntheticProgram>(findProgram(nameOrAbbrev),
+                                              scale);
+}
+
+const std::vector<std::string> &
+groupingColumn2()
+{
+    static const std::vector<std::string> col = {
+        "swm256", "hydro2d", "su2cor", "tomcatv", "bdna"};
+    return col;
+}
+
+const std::vector<std::string> &
+groupingColumn3()
+{
+    static const std::vector<std::string> col = {"flo52", "arc2d"};
+    return col;
+}
+
+const std::vector<std::string> &
+groupingColumn4()
+{
+    static const std::vector<std::string> col = {"nasa7"};
+    return col;
+}
+
+const std::vector<std::string> &
+jobQueueOrder()
+{
+    // Section 7: "the order chosen is TF, SW, SU, TI, TO, A7, HY, NA,
+    // SR, SD".
+    static const std::vector<std::string> order = {
+        "flo52", "swm256", "su2cor", "trfd", "tomcatv",
+        "nasa7", "hydro2d", "bdna", "arc2d", "dyfesm"};
+    return order;
+}
+
+} // namespace mtv

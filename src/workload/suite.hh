@@ -1,0 +1,57 @@
+/**
+ * @file
+ * The 10-program benchmark suite: synthetic stand-ins for the Perfect
+ * Club and Specfp92 programs the paper traces (Table 3), plus the
+ * grouping tables of the speedup methodology (Table 2) and the fixed
+ * job-queue order of section 7.
+ */
+
+#ifndef MTV_WORKLOAD_SUITE_HH
+#define MTV_WORKLOAD_SUITE_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/workload/program.hh"
+
+namespace mtv
+{
+
+/**
+ * The benchmark suite in the paper's Table 3 order (most to least
+ * vectorized): swm256, hydro2d, arc2d, flo52, nasa7, su2cor, tomcatv,
+ * bdna, trfd, dyfesm.
+ */
+const std::vector<ProgramSpec> &benchmarkSuite();
+
+/**
+ * Find a program by full name ("swm256") or paper abbreviation ("sw").
+ * fatal()s when unknown (user-facing lookup).
+ */
+const ProgramSpec &findProgram(const std::string &nameOrAbbrev);
+
+/** Instantiate a program's instruction stream at @p scale. */
+std::unique_ptr<SyntheticProgram>
+makeProgram(const std::string &nameOrAbbrev,
+            double scale = workloadDefaultScale);
+
+/**
+ * Table 2 reconstruction (see DESIGN.md): the companion programs used
+ * to form 2-, 3- and 4-thread groupings. Column "2" companions come
+ * from the Figure 7 caption; columns "3" and "4" are the remaining
+ * high-vectorization programs.
+ */
+const std::vector<std::string> &groupingColumn2();  ///< 5 programs
+const std::vector<std::string> &groupingColumn3();  ///< 2 programs
+const std::vector<std::string> &groupingColumn4();  ///< 1 program
+
+/**
+ * Section 7's fixed random order for the job-queue benchmark:
+ * TF SW SU TI TO A7 HY NA SR SD.
+ */
+const std::vector<std::string> &jobQueueOrder();
+
+} // namespace mtv
+
+#endif // MTV_WORKLOAD_SUITE_HH

@@ -1,0 +1,161 @@
+/**
+ * @file
+ * Unit tests for src/common: string helpers, table rendering, PRNG
+ * determinism and distribution sanity.
+ */
+
+#include <gtest/gtest.h>
+
+#include "src/common/random.hh"
+#include "src/common/strutil.hh"
+#include "src/common/table.hh"
+
+namespace mtv
+{
+namespace
+{
+
+TEST(StrUtil, FormatBasic)
+{
+    EXPECT_EQ(format("x=%d", 42), "x=42");
+    EXPECT_EQ(format("%s-%s", "a", "b"), "a-b");
+    EXPECT_EQ(format("%.2f", 1.005), "1.00");
+}
+
+TEST(StrUtil, SplitKeepsEmptyFields)
+{
+    const auto parts = split("a,,b", ',');
+    ASSERT_EQ(parts.size(), 3u);
+    EXPECT_EQ(parts[0], "a");
+    EXPECT_EQ(parts[1], "");
+    EXPECT_EQ(parts[2], "b");
+}
+
+TEST(StrUtil, SplitSingleField)
+{
+    const auto parts = split("abc", ',');
+    ASSERT_EQ(parts.size(), 1u);
+    EXPECT_EQ(parts[0], "abc");
+}
+
+TEST(StrUtil, Trim)
+{
+    EXPECT_EQ(trim("  x  "), "x");
+    EXPECT_EQ(trim("x"), "x");
+    EXPECT_EQ(trim("   "), "");
+    EXPECT_EQ(trim(""), "");
+    EXPECT_EQ(trim("\ta b\n"), "a b");
+}
+
+TEST(StrUtil, StartsWith)
+{
+    EXPECT_TRUE(startsWith("swm256", "sw"));
+    EXPECT_FALSE(startsWith("sw", "swm256"));
+    EXPECT_TRUE(startsWith("x", ""));
+}
+
+TEST(StrUtil, ToLower)
+{
+    EXPECT_EQ(toLower("SWM256"), "swm256");
+    EXPECT_EQ(toLower("MiXeD"), "mixed");
+}
+
+TEST(StrUtil, WithCommas)
+{
+    EXPECT_EQ(withCommas(0), "0");
+    EXPECT_EQ(withCommas(999), "999");
+    EXPECT_EQ(withCommas(1000), "1,000");
+    EXPECT_EQ(withCommas(1234567), "1,234,567");
+    EXPECT_EQ(withCommas(1000000000ull), "1,000,000,000");
+}
+
+TEST(Rng, DeterministicForSameSeed)
+{
+    Rng a(123);
+    Rng b(123);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Rng a(1);
+    Rng b(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        same += a.next() == b.next();
+    EXPECT_LT(same, 5);
+}
+
+TEST(Rng, BelowIsInRange)
+{
+    Rng rng(7);
+    for (int i = 0; i < 10000; ++i)
+        EXPECT_LT(rng.below(13), 13u);
+}
+
+TEST(Rng, RangeInclusive)
+{
+    Rng rng(7);
+    bool sawLo = false;
+    bool sawHi = false;
+    for (int i = 0; i < 20000; ++i) {
+        const int64_t v = rng.range(-2, 2);
+        EXPECT_GE(v, -2);
+        EXPECT_LE(v, 2);
+        sawLo |= v == -2;
+        sawHi |= v == 2;
+    }
+    EXPECT_TRUE(sawLo);
+    EXPECT_TRUE(sawHi);
+}
+
+TEST(Rng, UniformMeanCloseToHalf)
+{
+    Rng rng(99);
+    double sum = 0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        sum += rng.uniform();
+    EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, ChanceExtremes)
+{
+    Rng rng(5);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_FALSE(rng.chance(0.0));
+        EXPECT_TRUE(rng.chance(1.0));
+    }
+}
+
+TEST(Table, RendersHeaderAndRows)
+{
+    Table t({"name", "value"});
+    t.row().add("alpha").add(uint64_t{10});
+    t.row().add("b").add(3.14159, 2);
+    const std::string out = t.render();
+    EXPECT_NE(out.find("name"), std::string::npos);
+    EXPECT_NE(out.find("alpha"), std::string::npos);
+    EXPECT_NE(out.find("3.14"), std::string::npos);
+    EXPECT_EQ(t.numRows(), 2u);
+}
+
+TEST(Table, CsvHasNoPadding)
+{
+    Table t({"a", "b"});
+    t.row().add("x").add(uint64_t{1});
+    EXPECT_EQ(t.renderCsv(), "a,b\nx,1\n");
+}
+
+TEST(Table, AlignmentPadsColumns)
+{
+    Table t({"col", "x"});
+    t.row().add("longvalue").add("y");
+    const std::string out = t.render();
+    // header "col" must be padded to at least "longvalue" width + 2.
+    EXPECT_NE(out.find("col        "), std::string::npos);
+}
+
+} // namespace
+} // namespace mtv

@@ -1,0 +1,214 @@
+/**
+ * @file
+ * Unit tests for the key=value config substrate and
+ * MachineParams::fromConfig.
+ */
+
+#include <gtest/gtest.h>
+
+#include "src/common/chart.hh"
+#include "src/common/config.hh"
+#include "src/isa/machine_params.hh"
+
+namespace mtv
+{
+namespace
+{
+
+TEST(Config, ParsesKeysValuesAndComments)
+{
+    const Config cfg = Config::fromString(
+        "# machine description\n"
+        "contexts = 3\n"
+        "mem_latency=80   # inline comment\n"
+        "\n"
+        "  sched =  round-robin  \n");
+    EXPECT_TRUE(cfg.has("contexts"));
+    EXPECT_EQ(cfg.getInt("contexts"), 3);
+    EXPECT_EQ(cfg.getInt("mem_latency"), 80);
+    EXPECT_EQ(cfg.getString("sched"), "round-robin");
+    EXPECT_EQ(cfg.keys().size(), 3u);
+}
+
+TEST(Config, FallbacksWhenAbsent)
+{
+    const Config cfg = Config::fromString("");
+    EXPECT_EQ(cfg.getInt("nope", 7), 7);
+    EXPECT_EQ(cfg.getString("nope", "x"), "x");
+    EXPECT_DOUBLE_EQ(cfg.getDouble("nope", 1.5), 1.5);
+    EXPECT_TRUE(cfg.getBool("nope", true));
+}
+
+TEST(Config, BoolSpellings)
+{
+    const Config cfg = Config::fromString(
+        "a = true\nb = YES\nc = on\nd = 1\n"
+        "e = false\nf = No\ng = off\nh = 0\n");
+    for (const char *k : {"a", "b", "c", "d"})
+        EXPECT_TRUE(cfg.getBool(k)) << k;
+    for (const char *k : {"e", "f", "g", "h"})
+        EXPECT_FALSE(cfg.getBool(k)) << k;
+}
+
+TEST(Config, SetOverwrites)
+{
+    Config cfg = Config::fromString("a = 1\n");
+    cfg.set("a", "2");
+    cfg.set("b", "3");
+    EXPECT_EQ(cfg.getInt("a"), 2);
+    EXPECT_EQ(cfg.getInt("b"), 3);
+    EXPECT_EQ(cfg.keys().size(), 2u);  // no duplicate key entries
+}
+
+TEST(Config, UnusedKeyTracking)
+{
+    const Config cfg = Config::fromString("used = 1\ntypo_key = 2\n");
+    cfg.getInt("used");
+    const auto unused = cfg.unusedKeys();
+    ASSERT_EQ(unused.size(), 1u);
+    EXPECT_EQ(unused[0], "typo_key");
+}
+
+TEST(ConfigDeath, SyntaxErrorIsFatal)
+{
+    EXPECT_EXIT({ Config::fromString("this has no equals sign\n"); },
+                testing::ExitedWithCode(1), "expected 'key = value'");
+}
+
+TEST(ConfigDeath, BadIntIsFatal)
+{
+    const Config cfg = Config::fromString("n = twelve\n");
+    EXPECT_EXIT({ cfg.getInt("n"); }, testing::ExitedWithCode(1),
+                "not an integer");
+}
+
+TEST(ConfigDeath, BadBoolIsFatal)
+{
+    const Config cfg = Config::fromString("b = maybe\n");
+    EXPECT_EXIT({ cfg.getBool("b"); }, testing::ExitedWithCode(1),
+                "not a boolean");
+}
+
+TEST(ConfigDeath, MissingFileIsFatal)
+{
+    EXPECT_EXIT({ Config::fromFile("/nonexistent/cfg"); },
+                testing::ExitedWithCode(1), "cannot open");
+}
+
+TEST(ParamsFromConfig, DefaultsAreReferenceMachine)
+{
+    const MachineParams p =
+        MachineParams::fromConfig(Config::fromString(""));
+    const MachineParams ref = MachineParams::reference();
+    EXPECT_EQ(p.contexts, ref.contexts);
+    EXPECT_EQ(p.memLatency, ref.memLatency);
+    EXPECT_EQ(p.readXbar, ref.readXbar);
+    EXPECT_EQ(p.loadPorts, ref.loadPorts);
+}
+
+TEST(ParamsFromConfig, AllKeysApply)
+{
+    const MachineParams p = MachineParams::fromConfig(Config::fromString(
+        "contexts = 4\n"
+        "sched = fair-lru\n"
+        "decode_width = 2\n"
+        "read_xbar = 3\n"
+        "write_xbar = 3\n"
+        "vector_startup = 2\n"
+        "bank_ports = off\n"
+        "mem_latency = 75\n"
+        "banked_memory = on\n"
+        "mem_banks = 32\n"
+        "bank_busy = 4\n"
+        "load_chaining = yes\n"
+        "load_ports = 2\n"
+        "store_ports = 1\n"
+        "renaming = true\n"
+        "decouple_depth = 4\n"
+        "branch_stall = 3\n"));
+    EXPECT_EQ(p.contexts, 4);
+    EXPECT_EQ(p.sched, SchedPolicy::FairLru);
+    EXPECT_EQ(p.decodeWidth, 2);
+    EXPECT_EQ(p.readXbar, 3);
+    EXPECT_EQ(p.writeXbar, 3);
+    EXPECT_EQ(p.vectorStartup, 2);
+    EXPECT_FALSE(p.modelBankPorts);
+    EXPECT_EQ(p.memLatency, 75);
+    EXPECT_TRUE(p.bankedMemory);
+    EXPECT_EQ(p.memBanks, 32);
+    EXPECT_EQ(p.bankBusyCycles, 4);
+    EXPECT_TRUE(p.loadChaining);
+    EXPECT_EQ(p.loadPorts, 2);
+    EXPECT_EQ(p.storePorts, 1);
+    EXPECT_TRUE(p.renaming);
+    EXPECT_EQ(p.decoupleDepth, 4);
+    EXPECT_EQ(p.branchStall, 3);
+}
+
+TEST(ParamsFromConfigDeath, BadPolicyIsFatal)
+{
+    EXPECT_EXIT(
+        {
+            MachineParams::fromConfig(
+                Config::fromString("sched = random\n"));
+        },
+        testing::ExitedWithCode(1), "unknown scheduling policy");
+}
+
+TEST(ParamsFromConfigDeath, ValidationApplies)
+{
+    EXPECT_EXIT(
+        {
+            MachineParams::fromConfig(
+                Config::fromString("contexts = 99\n"));
+        },
+        testing::ExitedWithCode(1), "contexts");
+}
+
+TEST(BarChart, ScalesToMaximum)
+{
+    BarChart chart(10);
+    chart.add("a", 5.0).add("bb", 10.0).add("c", 0.0);
+    const std::string out = chart.render();
+    // Max value gets a full-width bar; half value gets half.
+    EXPECT_NE(out.find("bb  ##########"), std::string::npos);
+    EXPECT_NE(out.find("a   #####"), std::string::npos);
+    EXPECT_NE(out.find("c   "), std::string::npos);
+}
+
+TEST(BarChart, FixedFullScale)
+{
+    BarChart chart(10);
+    chart.fullScale(1.0);
+    chart.add("occ", 0.5);
+    EXPECT_NE(chart.render().find("occ  #####  0.5"),
+              std::string::npos);
+}
+
+TEST(BarChart, EmptyRendersEmpty)
+{
+    EXPECT_EQ(BarChart().render(), "");
+}
+
+TEST(LineChart, RendersSeriesAndLegend)
+{
+    LineChart chart(20, 8);
+    chart.series("up", {0, 1, 2}, {0, 1, 2});
+    chart.series("down", {0, 1, 2}, {2, 1, 0});
+    const std::string out = chart.render();
+    EXPECT_NE(out.find('*'), std::string::npos);
+    EXPECT_NE(out.find('o'), std::string::npos);
+    EXPECT_NE(out.find("up"), std::string::npos);
+    EXPECT_NE(out.find("down"), std::string::npos);
+    EXPECT_NE(out.find("x: 0 .. 2"), std::string::npos);
+}
+
+TEST(LineChart, FlatSeriesDoesNotDivideByZero)
+{
+    LineChart chart(20, 8);
+    chart.series("flat", {1, 2}, {5, 5});
+    EXPECT_FALSE(chart.render().empty());
+}
+
+} // namespace
+} // namespace mtv

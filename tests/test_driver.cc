@@ -1,0 +1,214 @@
+/**
+ * @file
+ * Tests for src/driver: grouping enumeration, the speedup accounting,
+ * reference-run memoization, the IDEAL bound, and per-program
+ * averaging.
+ */
+
+#include <gtest/gtest.h>
+
+#include "src/driver/experiments.hh"
+#include "src/driver/runner.hh"
+
+namespace mtv
+{
+namespace
+{
+
+constexpr double testScale = 2e-5;
+
+TEST(Groupings, TwoThreadShape)
+{
+    const auto groups = groupingsFor("trfd", 2);
+    ASSERT_EQ(groups.size(), 5u);
+    for (const auto &g : groups) {
+        ASSERT_EQ(g.size(), 2u);
+        EXPECT_EQ(g[0], "trfd");
+    }
+}
+
+TEST(Groupings, ThreeThreadShape)
+{
+    const auto groups = groupingsFor("tf", 3);  // abbrev canonicalizes
+    ASSERT_EQ(groups.size(), 10u);
+    for (const auto &g : groups) {
+        ASSERT_EQ(g.size(), 3u);
+        EXPECT_EQ(g[0], "flo52");
+    }
+}
+
+TEST(Groupings, FourThreadShape)
+{
+    const auto groups = groupingsFor("swm256", 4);
+    ASSERT_EQ(groups.size(), 10u);
+    for (const auto &g : groups) {
+        ASSERT_EQ(g.size(), 4u);
+        EXPECT_EQ(g[0], "swm256");
+        EXPECT_EQ(g[3], "nasa7");  // column 4 has one entry
+    }
+}
+
+TEST(GroupingsDeath, InvalidContextCount)
+{
+    EXPECT_EXIT({ groupingsFor("swm256", 5); },
+                testing::ExitedWithCode(1), "2..4");
+}
+
+TEST(Runner, ReferenceOfStripsMultithreading)
+{
+    MachineParams p = MachineParams::fujitsuDualScalar();
+    p.memLatency = 70;
+    p.readXbar = 3;
+    const MachineParams ref = Runner::referenceOf(p);
+    EXPECT_EQ(ref.contexts, 1);
+    EXPECT_FALSE(ref.dualScalar);
+    EXPECT_EQ(ref.decodeWidth, 1);
+    EXPECT_EQ(ref.memLatency, 70);  // non-MT knobs preserved
+    EXPECT_EQ(ref.readXbar, 3);
+}
+
+TEST(Runner, ReferenceRunIsMemoized)
+{
+    Runner runner(testScale);
+    const MachineParams p = MachineParams::reference();
+    const SimStats &a = runner.referenceRun("dyfesm", p);
+    const SimStats &b = runner.referenceRun("dyfesm", p);
+    EXPECT_EQ(&a, &b);  // same cached object
+    EXPECT_GT(a.cycles, 0u);
+}
+
+TEST(Runner, ReferenceRunKeyedByParams)
+{
+    Runner runner(testScale);
+    MachineParams p = MachineParams::reference();
+    const SimStats &lat50 = runner.referenceRun("dyfesm", p);
+    p.memLatency = 1;
+    const SimStats &lat1 = runner.referenceRun("dyfesm", p);
+    EXPECT_NE(&lat50, &lat1);
+    EXPECT_LT(lat1.cycles, lat50.cycles);
+}
+
+TEST(Runner, TruncatedRunShorterThanFull)
+{
+    Runner runner(testScale);
+    const MachineParams p = MachineParams::reference();
+    const SimStats &full = runner.referenceRun("trfd", p);
+    const SimStats half = runner.truncatedReferenceRun(
+        "trfd", p, full.dispatches / 2);
+    EXPECT_LT(half.cycles, full.cycles);
+    EXPECT_EQ(half.dispatches, full.dispatches / 2);
+    const SimStats zero = runner.truncatedReferenceRun("trfd", p, 0);
+    EXPECT_EQ(zero.cycles, 0u);
+}
+
+TEST(Runner, GroupSpeedupIsPositiveAndSane)
+{
+    Runner runner(testScale);
+    const GroupResult r = runner.runGroup(
+        {"swm256", "hydro2d"}, MachineParams::multithreaded(2));
+    EXPECT_GT(r.speedup, 0.9);
+    EXPECT_LT(r.speedup, 2.0);  // 2 threads cannot exceed 2x
+    EXPECT_GE(r.mthOccupation, r.refOccupation);
+    EXPECT_GT(r.mthVopc, 0.0);
+}
+
+TEST(Runner, GroupAllowsDuplicatePrograms)
+{
+    // The paper groups HYDRO2D with itself; the runner must create
+    // distinct instances.
+    Runner runner(testScale);
+    const GroupResult r = runner.runGroup(
+        {"hydro2d", "hydro2d"}, MachineParams::multithreaded(2));
+    EXPECT_GT(r.speedup, 0.9);
+}
+
+TEST(Runner, SpeedupAccountsFractionalRuns)
+{
+    // With a long thread-0 program and a short companion, the
+    // companion restarts; the speedup must include those extra runs,
+    // pushing it meaningfully above 1.
+    Runner runner(testScale);
+    const GroupResult r = runner.runGroup(
+        {"trfd", "flo52"}, MachineParams::multithreaded(2));
+    EXPECT_GT(r.mth.threads[1].runsCompleted +
+                  (r.mth.threads[1].instructionsThisRun > 0 ? 1 : 0),
+              0u);
+    EXPECT_GT(r.speedup, 1.0);
+}
+
+TEST(Runner, JobQueueMatchesSuiteOrder)
+{
+    Runner runner(testScale);
+    MachineParams p = MachineParams::multithreaded(2);
+    const SimStats s =
+        runner.runJobQueue({"flo52", "trfd", "dyfesm"}, p);
+    ASSERT_EQ(s.jobs.size(), 3u);
+    EXPECT_EQ(s.jobs[0].program, "flo52");
+    EXPECT_EQ(s.jobs[1].program, "trfd");
+    EXPECT_EQ(s.jobs[2].program, "dyfesm");
+}
+
+TEST(Runner, SequentialReferenceTimeIsSumOfRuns)
+{
+    Runner runner(testScale);
+    const MachineParams p = MachineParams::reference();
+    const uint64_t sum =
+        runner.sequentialReferenceTime({"flo52", "trfd"}, p);
+    EXPECT_EQ(sum, runner.referenceRun("flo52", p).cycles +
+                       runner.referenceRun("trfd", p).cycles);
+}
+
+TEST(Runner, ProgramStatsMemoized)
+{
+    Runner runner(testScale);
+    const TraceStats &a = runner.programStats("bdna");
+    const TraceStats &b = runner.programStats("bdna");
+    EXPECT_EQ(&a, &b);
+    EXPECT_GT(a.vectorInstructions, 0u);
+}
+
+TEST(Runner, IdealBoundBelowAnyRealRun)
+{
+    Runner runner(testScale);
+    const std::vector<std::string> jobs = {"flo52", "trfd", "dyfesm"};
+    const IdealBound ideal = runner.idealTime(jobs);
+    MachineParams p = MachineParams::multithreaded(4);
+    const SimStats s = runner.runJobQueue(jobs, p);
+    EXPECT_LE(ideal.bound, s.cycles);
+    EXPECT_GT(ideal.bound, 0u);
+}
+
+TEST(Runner, IdealIsLatencyIndependent)
+{
+    Runner runner(testScale);
+    const IdealBound b = runner.idealTime(jobQueueOrder());
+    EXPECT_GT(b.addressBusCycles, 0u);
+    // For this memory-bound suite the address bus binds.
+    EXPECT_STREQ(b.binding(), "address-bus");
+}
+
+TEST(Experiments, AveragesForRunsAllGroupings)
+{
+    Runner runner(testScale);
+    const ProgramAverages avg = averagesFor(
+        runner, "dyfesm", 2, MachineParams::multithreaded(2));
+    EXPECT_EQ(avg.runs, 5);
+    EXPECT_EQ(avg.program, "dyfesm");
+    EXPECT_GT(avg.speedup, 0.9);
+    EXPECT_GT(avg.mthOccupation, 0.0);
+    EXPECT_LE(avg.mthOccupation, 1.0);
+}
+
+TEST(Experiments, LatencyListsAreSorted)
+{
+    const auto &f4 = figure4Latencies();
+    EXPECT_EQ(f4.size(), 4u);
+    EXPECT_TRUE(std::is_sorted(f4.begin(), f4.end()));
+    const auto &sweep = sweepLatencies();
+    EXPECT_TRUE(std::is_sorted(sweep.begin(), sweep.end()));
+    EXPECT_EQ(sweep.front(), 1);
+    EXPECT_EQ(sweep.back(), 100);
+}
+
+} // namespace
+} // namespace mtv

@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Unit tests for src/memsys: address-bus reservations and the
+ * main-memory timing model (pipelined default + banked extension).
+ */
+
+#include <gtest/gtest.h>
+
+#include "src/memsys/address_bus.hh"
+#include "src/memsys/main_memory.hh"
+
+namespace mtv
+{
+namespace
+{
+
+TEST(AddressBus, StartsFree)
+{
+    AddressBus bus;
+    EXPECT_TRUE(bus.freeAt(0));
+    EXPECT_FALSE(bus.busyAt(0));
+    EXPECT_EQ(bus.requests(), 0u);
+}
+
+TEST(AddressBus, ReserveOccupiesInterval)
+{
+    AddressBus bus;
+    bus.reserve(10, 5);
+    EXPECT_EQ(bus.requests(), 5u);
+    EXPECT_EQ(bus.freeCycle(), 15u);
+    EXPECT_TRUE(bus.freeAt(15));
+    EXPECT_FALSE(bus.freeAt(14));
+    EXPECT_FALSE(bus.busyAt(9));
+    EXPECT_TRUE(bus.busyAt(10));
+    EXPECT_TRUE(bus.busyAt(14));
+    EXPECT_FALSE(bus.busyAt(15));
+}
+
+TEST(AddressBus, BackToBackReservations)
+{
+    AddressBus bus;
+    bus.reserve(0, 128);
+    bus.reserve(128, 128);
+    EXPECT_EQ(bus.requests(), 256u);
+    EXPECT_TRUE(bus.busyAt(200));
+    EXPECT_TRUE(bus.freeAt(256));
+}
+
+TEST(AddressBus, ClearResets)
+{
+    AddressBus bus;
+    bus.reserve(0, 10);
+    bus.clear();
+    EXPECT_EQ(bus.requests(), 0u);
+    EXPECT_TRUE(bus.freeAt(0));
+}
+
+TEST(MainMemory, DefaultModelIsPipelined)
+{
+    MachineParams p = MachineParams::reference();
+    p.memLatency = 42;
+    MainMemory mem(p);
+    EXPECT_EQ(mem.latency(), 42);
+    EXPECT_EQ(mem.deliveryPeriod(1), 1);
+    EXPECT_EQ(mem.deliveryPeriod(64), 1);       // stride is free
+    EXPECT_EQ(mem.deliveryPeriod(1, true), 1);  // gathers too
+    EXPECT_EQ(mem.loadComplete(10, 128, 1), 10u + 42 + 128);
+}
+
+TEST(MainMemory, BankedUnitStrideStillFullRate)
+{
+    MachineParams p = MachineParams::reference();
+    p.bankedMemory = true;
+    p.memBanks = 64;
+    p.bankBusyCycles = 8;
+    MainMemory mem(p);
+    // Unit stride touches all 64 banks; 8-cycle bank busy is hidden.
+    EXPECT_EQ(mem.deliveryPeriod(1), 1);
+    EXPECT_EQ(mem.deliveryPeriod(3), 1);  // odd strides hit all banks
+}
+
+TEST(MainMemory, BankedPowerOfTwoStrideThrottles)
+{
+    MachineParams p = MachineParams::reference();
+    p.bankedMemory = true;
+    p.memBanks = 64;
+    p.bankBusyCycles = 8;
+    MainMemory mem(p);
+    // Stride 64 hits a single bank: one element per bank-busy time.
+    EXPECT_EQ(mem.deliveryPeriod(64), 8);
+    // Stride 32 hits 2 banks: 4 cycles/element.
+    EXPECT_EQ(mem.deliveryPeriod(32), 4);
+    // Stride 16 hits 4 banks: 2 cycles/element.
+    EXPECT_EQ(mem.deliveryPeriod(16), 2);
+    // Stride 8 hits 8 banks: full rate.
+    EXPECT_EQ(mem.deliveryPeriod(8), 1);
+}
+
+TEST(MainMemory, BankedNegativeAndZeroStride)
+{
+    MachineParams p = MachineParams::reference();
+    p.bankedMemory = true;
+    p.memBanks = 64;
+    p.bankBusyCycles = 8;
+    MainMemory mem(p);
+    EXPECT_EQ(mem.deliveryPeriod(-64), 8);  // |stride| matters
+    EXPECT_EQ(mem.deliveryPeriod(0), 1);    // treated as unit stride
+}
+
+TEST(MainMemory, BankedCompletionIncludesPeriod)
+{
+    MachineParams p = MachineParams::reference();
+    p.memLatency = 50;
+    p.bankedMemory = true;
+    p.memBanks = 64;
+    p.bankBusyCycles = 8;
+    MainMemory mem(p);
+    EXPECT_EQ(mem.loadComplete(0, 100, 64), 0u + 50 + 100 * 8);
+}
+
+} // namespace
+} // namespace mtv

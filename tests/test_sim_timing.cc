@@ -1,0 +1,373 @@
+/**
+ * @file
+ * Cycle-exact unit tests of the simulator timing model on handcrafted
+ * instruction streams. Every expected value below is derived by hand
+ * from the model in DESIGN.md section 3.3 with the default parameters:
+ * startup 1, read/write crossbar 2, vector add latency 4, mul 7,
+ * memory latency 50 (unless overridden).
+ */
+
+#include <gtest/gtest.h>
+
+#include "src/core/sim.hh"
+#include "src/trace/source.hh"
+
+namespace mtv
+{
+namespace
+{
+
+SimStats
+runStream(const std::vector<Instruction> &instrs,
+          MachineParams params = MachineParams::reference())
+{
+    VectorSource src("handcrafted", instrs);
+    VectorSim sim(params);
+    return sim.runSingle(src);
+}
+
+TEST(SimTiming, EmptyProgram)
+{
+    const SimStats s = runStream({});
+    EXPECT_EQ(s.cycles, 0u);
+    EXPECT_EQ(s.dispatches, 0u);
+}
+
+TEST(SimTiming, SingleVectorLoad)
+{
+    // dispatch t=0: start 1 (startup), abus [1,129), prodFirst =
+    // 1 + 50 + 2 (write xbar) = 53, writeDone = 53 + 128 = 181.
+    const SimStats s =
+        runStream({makeVectorMem(Opcode::VLoad, 0, 128, 0x0, 1)});
+    EXPECT_EQ(s.cycles, 181u);
+    EXPECT_EQ(s.memRequests, 128u);
+    EXPECT_EQ(s.ldBusyCycles, 128u);
+    // Joint-state histogram: LD alone busy for 128 cycles.
+    EXPECT_EQ(s.stateHist[1], 128u);
+    EXPECT_EQ(s.stateHist[0], 181u - 128);
+}
+
+TEST(SimTiming, LoadLatencyScalesCompletion)
+{
+    MachineParams p = MachineParams::reference();
+    p.memLatency = 100;
+    const SimStats s =
+        runStream({makeVectorMem(Opcode::VLoad, 0, 128, 0x0, 1)}, p);
+    EXPECT_EQ(s.cycles, 1u + 100 + 2 + 128);
+}
+
+TEST(SimTiming, NoLoadChainingBlocksConsumer)
+{
+    // add must wait for the load's writeDone (181), dispatches at 181:
+    // r0 = 182, prodFirst = 182+2+4+2 = 190, writeDone = 318.
+    const SimStats s = runStream({
+        makeVectorMem(Opcode::VLoad, 0, 128, 0x0, 1),
+        makeVectorArith(Opcode::VAdd, 2, 0, 0, 128),
+    });
+    EXPECT_EQ(s.cycles, 318u);
+}
+
+TEST(SimTiming, LoadChainingAblationOverlaps)
+{
+    // With the ablation knob on, the add chains off the load:
+    // r0 = max(1+1, prodFirst+1 = 54) = 54, writeDone = 54+8+128 = 190.
+    MachineParams p = MachineParams::reference();
+    p.loadChaining = true;
+    const SimStats s = runStream(
+        {
+            makeVectorMem(Opcode::VLoad, 0, 128, 0x0, 1),
+            makeVectorArith(Opcode::VAdd, 2, 0, 0, 128),
+        },
+        p);
+    EXPECT_EQ(s.cycles, 190u);
+}
+
+TEST(SimTiming, FuToFuChaining)
+{
+    // i1: add v2 <- v0 (complete at t=0): r0=1, FU1 [1,129),
+    //     prodFirst = 9, writeDone = 137.
+    // i2: add v4 <- v2 at t=1: FU1 busy -> FU2; chainStart = 10;
+    //     r0 = max(2, 10) = 10, prodFirst = 18, writeDone = 146.
+    const SimStats s = runStream({
+        makeVectorArith(Opcode::VAdd, 2, 0, 0, 128),
+        makeVectorArith(Opcode::VAdd, 4, 2, 2, 128),
+    });
+    EXPECT_EQ(s.cycles, 146u);
+    EXPECT_EQ(s.vecOpsFu1 + s.vecOpsFu2, 256u);
+    EXPECT_EQ(s.vecOpsFu1, 128u);
+    EXPECT_EQ(s.vecOpsFu2, 128u);
+}
+
+TEST(SimTiming, ChainIsFullyFlexible)
+{
+    // A consumer issued long after the producer still chains: put a
+    // slow scalar op between producer and consumer.
+    const SimStats s = runStream({
+        makeVectorArith(Opcode::VAdd, 2, 0, 0, 128),
+        makeScalar(Opcode::SDivInt, 1, 0),  // 34 cycles, dispatch t=1
+        makeVectorArith(Opcode::VAdd, 4, 2, 2, 128),
+    });
+    // i3 dispatches at t=2 (decode in-order, div does not block the
+    // next dispatch): chainStart = 10, FU2: r0 = 10, done 146.
+    EXPECT_EQ(s.cycles, 146u);
+}
+
+TEST(SimTiming, MulRequiresFu2)
+{
+    // Two muls cannot overlap: the second waits for FU2.
+    const SimStats one =
+        runStream({makeVectorArith(Opcode::VMul, 2, 0, 0, 128)});
+    // r0 = 1, FU2 [1,129), prodFirst = 1+2+7+2 = 12, done 140.
+    EXPECT_EQ(one.cycles, 140u);
+
+    const SimStats two = runStream({
+        makeVectorArith(Opcode::VMul, 2, 0, 0, 128),
+        makeVectorArith(Opcode::VMul, 4, 6, 6, 128),
+    });
+    // Second mul independent but FU2 busy until 129: dispatch at 129,
+    // r0 = 130, prodFirst = 141, done 269.
+    EXPECT_EQ(two.cycles, 269u);
+    EXPECT_EQ(two.vecOpsFu1, 0u);
+}
+
+TEST(SimTiming, IndependentAddsUseBothFus)
+{
+    const SimStats s = runStream({
+        makeVectorArith(Opcode::VAdd, 2, 0, 0, 128),   // FU1 [1,129)
+        makeVectorArith(Opcode::VAdd, 4, 6, 6, 128),   // FU2 [2,130)
+    });
+    // i2 dispatches at t=1 on FU2: r0=2, prodFirst=10, done 138.
+    EXPECT_EQ(s.cycles, 138u);
+    EXPECT_EQ(s.vecOpsFu1, 128u);
+    EXPECT_EQ(s.vecOpsFu2, 128u);
+    // Both FUs busy simultaneously for cycles [2,129).
+    EXPECT_EQ(s.stateHist[4 | 2], 127u);
+}
+
+TEST(SimTiming, WawBlocksUntilWriteDone)
+{
+    const SimStats s = runStream({
+        makeVectorArith(Opcode::VAdd, 2, 0, 0, 128),  // done 137
+        makeVectorArith(Opcode::VAdd, 2, 4, 4, 128),  // WAW on v2
+    });
+    // Second add waits until v2 fully written (137): r0 = 138,
+    // prodFirst = 146, done 274.
+    EXPECT_EQ(s.cycles, 274u);
+}
+
+TEST(SimTiming, WarBlocksLoadUntilReadersFinish)
+{
+    const SimStats s = runStream({
+        makeVectorArith(Opcode::VAdd, 2, 0, 0, 128),  // reads v0 [1,129)
+        makeVectorMem(Opcode::VLoad, 0, 128, 0x0, 1), // WAR on v0
+    });
+    // Load waits for v0.readBusy = 129: dispatch 129, start 130,
+    // writeDone = 130 + 50 + 2 + 128 = 310.
+    EXPECT_EQ(s.cycles, 310u);
+}
+
+TEST(SimTiming, StoreChainsFromProducer)
+{
+    const SimStats s = runStream({
+        makeVectorArith(Opcode::VAdd, 2, 0, 0, 128),  // prodFirst 9
+        makeVectorMem(Opcode::VStore, 2, 128, 0x0, 1),
+    });
+    // Store at t=1: chainStart = 10, start = max(2, 10) = 10,
+    // fire-and-forget completion = 10 + 128 = 138.
+    EXPECT_EQ(s.cycles, 138u);
+    EXPECT_EQ(s.memRequests, 128u);
+}
+
+TEST(SimTiming, StoreAloneIsLatencyFree)
+{
+    const SimStats s =
+        runStream({makeVectorMem(Opcode::VStore, 0, 128, 0x0, 1)});
+    // start 1, completion 129 regardless of memory latency.
+    EXPECT_EQ(s.cycles, 129u);
+
+    MachineParams p = MachineParams::reference();
+    p.memLatency = 100;
+    const SimStats s2 =
+        runStream({makeVectorMem(Opcode::VStore, 0, 128, 0x0, 1)}, p);
+    EXPECT_EQ(s2.cycles, 129u);
+}
+
+TEST(SimTiming, AddressBusSerializesMemoryOps)
+{
+    const SimStats s = runStream({
+        makeVectorMem(Opcode::VLoad, 0, 128, 0x0, 1),   // abus [1,129)
+        makeVectorMem(Opcode::VLoad, 2, 128, 0x1000, 1),
+    });
+    // Second load blocked on address bus until 129: start 130,
+    // writeDone = 130 + 52 + 128 = 310.
+    EXPECT_EQ(s.cycles, 310u);
+    EXPECT_EQ(s.memRequests, 256u);
+}
+
+TEST(SimTiming, BankPortConflictDelaysThirdReader)
+{
+    // i1 reads v0 and v1 (both ports of bank 0) until 129; i2 wants a
+    // bank-0 read port and must wait.
+    const SimStats s = runStream({
+        makeVectorArith(Opcode::VAdd, 2, 0, 1, 128),  // FU1
+        makeVectorArith(Opcode::VAdd, 4, 0, 0, 128),  // FU2, bank 0 full
+    });
+    // i2 dispatches at 129: r0 = 130, prodFirst = 138, done 266.
+    EXPECT_EQ(s.cycles, 266u);
+}
+
+TEST(SimTiming, BankPortModelCanBeDisabled)
+{
+    MachineParams p = MachineParams::reference();
+    p.modelBankPorts = false;
+    const SimStats s = runStream(
+        {
+            makeVectorArith(Opcode::VAdd, 2, 0, 1, 128),
+            makeVectorArith(Opcode::VAdd, 4, 0, 0, 128),
+        },
+        p);
+    // Without port modelling i2 dispatches at t=1 on FU2: done 138.
+    EXPECT_EQ(s.cycles, 138u);
+}
+
+TEST(SimTiming, CrossbarLatencyAddsToPipeline)
+{
+    MachineParams p = MachineParams::reference();
+    p.readXbar = 3;
+    p.writeXbar = 3;
+    const SimStats s =
+        runStream({makeVectorArith(Opcode::VAdd, 2, 0, 0, 128)}, p);
+    // r0 = 1, prodFirst = 1+3+4+3 = 11, done 139 (was 137 at 2/2).
+    EXPECT_EQ(s.cycles, 139u);
+}
+
+TEST(SimTiming, ReduceDepositsScalar)
+{
+    const SimStats s = runStream({
+        makeVectorArith(Opcode::VReduce, 3, 0, noReg, 128),
+        makeScalar(Opcode::SAddFp, 4, 3),  // consumes the reduction
+    });
+    // reduce: r0 = 1, scalarReady = 1 + 2 + 4 + 128 = 135;
+    // fadd blocked until 135, ready at 137.
+    EXPECT_EQ(s.cycles, 137u);
+}
+
+TEST(SimTiming, ScalarAluLatency)
+{
+    const SimStats s = runStream({makeScalar(Opcode::SAddInt, 1, 0)});
+    EXPECT_EQ(s.cycles, 1u);
+    const SimStats s2 = runStream({makeScalar(Opcode::SDivInt, 1, 0)});
+    EXPECT_EQ(s2.cycles, 34u);
+}
+
+TEST(SimTiming, ScalarDependencyStalls)
+{
+    const SimStats s = runStream({
+        makeScalar(Opcode::SMulFp, 1, 0),  // ready at 2
+        makeScalar(Opcode::SAddFp, 2, 1),  // dispatch 2, ready 4
+    });
+    EXPECT_EQ(s.cycles, 4u);
+}
+
+TEST(SimTiming, ScalarLoadPaysMemoryLatency)
+{
+    const SimStats s = runStream({
+        makeScalarMem(Opcode::SLoad, 1, 0x10),
+        makeScalar(Opcode::SAddFp, 2, 1),
+    });
+    // load ready at 50; add dispatches at 50, ready 52.
+    EXPECT_EQ(s.cycles, 52u);
+    EXPECT_EQ(s.memRequests, 1u);
+}
+
+TEST(SimTiming, BranchStallsFetch)
+{
+    const SimStats s = runStream({
+        makeScalar(Opcode::SBranch, noReg, 0),
+        makeScalar(Opcode::SAddInt, 1, 0),
+    });
+    // branch at 0; fetch blocked until 0+1+2 = 3; add ready at 4.
+    EXPECT_EQ(s.cycles, 4u);
+}
+
+TEST(SimTiming, StateHistogramSumsToCycles)
+{
+    const SimStats s = runStream({
+        makeVectorMem(Opcode::VLoad, 0, 128, 0x0, 1),
+        makeVectorArith(Opcode::VMul, 2, 0, 0, 128),
+        makeVectorMem(Opcode::VStore, 2, 128, 0x1000, 1),
+    });
+    uint64_t sum = 0;
+    for (const auto v : s.stateHist)
+        sum += v;
+    EXPECT_EQ(sum, s.cycles);
+}
+
+TEST(SimTiming, VectorStartupDelaysPipeline)
+{
+    MachineParams p = MachineParams::reference();
+    p.vectorStartup = 5;
+    const SimStats s =
+        runStream({makeVectorArith(Opcode::VAdd, 2, 0, 0, 128)}, p);
+    // r0 = 5, prodFirst = 13, done 141.
+    EXPECT_EQ(s.cycles, 141u);
+}
+
+TEST(SimTiming, TruncatedRunStopsAtBudget)
+{
+    std::vector<Instruction> instrs;
+    for (int i = 0; i < 10; ++i)
+        instrs.push_back(makeScalar(Opcode::SAddInt, 1, 0));
+    VectorSource src("trunc", instrs);
+    VectorSim sim(MachineParams::reference());
+    const SimStats s = sim.runSingle(src, 4);
+    EXPECT_EQ(s.dispatches, 4u);
+    EXPECT_EQ(s.cycles, 4u);
+}
+
+TEST(SimTiming, ShortVectorLengths)
+{
+    const SimStats s =
+        runStream({makeVectorMem(Opcode::VLoad, 0, 21, 0x0, 1)});
+    EXPECT_EQ(s.cycles, 1u + 50 + 2 + 21);
+    EXPECT_EQ(s.memRequests, 21u);
+}
+
+TEST(SimTiming, GatherTimingMatchesLoadByDefault)
+{
+    const SimStats plain =
+        runStream({makeVectorMem(Opcode::VLoad, 0, 64, 0x0, 1)});
+    const SimStats gather =
+        runStream({makeVectorMem(Opcode::VGather, 0, 64, 0x0, 1)});
+    EXPECT_EQ(plain.cycles, gather.cycles);
+}
+
+TEST(SimTiming, BankedMemorySlowsConflictedStride)
+{
+    MachineParams p = MachineParams::reference();
+    p.bankedMemory = true;
+    p.memBanks = 64;
+    p.bankBusyCycles = 8;
+    const SimStats s = runStream(
+        {makeVectorMem(Opcode::VLoad, 0, 64, 0x0, 64)}, p);
+    // Single-bank stream: writeDone = 1 + 50 + 2 + 64*8 = 565.
+    EXPECT_EQ(s.cycles, 565u);
+}
+
+TEST(SimTiming, DispatchCountsBookkeeping)
+{
+    const SimStats s = runStream({
+        makeScalar(Opcode::SAddInt, 1, 0),
+        makeVectorArith(Opcode::VAdd, 2, 0, 0, 16),
+        makeVectorMem(Opcode::VStore, 2, 16, 0x0, 1),
+    });
+    EXPECT_EQ(s.dispatches, 3u);
+    ASSERT_EQ(s.threads.size(), 1u);
+    EXPECT_EQ(s.threads[0].instructions, 3u);
+    EXPECT_EQ(s.threads[0].scalarInstructions, 1u);
+    EXPECT_EQ(s.threads[0].vectorInstructions, 2u);
+    EXPECT_EQ(s.threads[0].runsCompleted, 1u);
+}
+
+} // namespace
+} // namespace mtv
