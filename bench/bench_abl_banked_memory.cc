@@ -11,7 +11,7 @@
 #include "bench/bench_util.hh"
 #include "src/common/strutil.hh"
 #include "src/common/table.hh"
-#include "src/driver/experiments.hh"
+#include "src/workload/suite.hh"
 
 int
 main()
@@ -21,10 +21,8 @@ main()
     benchBanner("Ablation - SRAM vs banked-DRAM memory system",
                 "paper sections 7/10 cost argument", scale);
 
-    Runner runner(scale);
     const auto &jobs = jobQueueOrder();
-
-    auto timeOf = [&](int c, bool dram) {
+    auto machineOf = [](int c, bool dram) {
         MachineParams p = MachineParams::multithreaded(c);
         if (dram) {
             p.memLatency = 90;        // slow DRAM parts
@@ -34,22 +32,43 @@ main()
         } else {
             p.memLatency = 30;        // fast SRAM parts
         }
-        if (c == 1)
-            return static_cast<double>(
-                runner.sequentialReferenceTime(jobs, p));
-        return static_cast<double>(runner.runJobQueue(jobs, p).cycles);
+        return p;
     };
+
+    // Multithreaded rows are one job-queue spec each; the c == 1
+    // baseline is the job list run sequentially on the reference
+    // machine, served by the engine's cache-backed helper.
+    const std::vector<int> mthContexts = {2, 3, 4};
+    SweepBuilder sweep(scale);
+    for (const int c : mthContexts)
+        for (const bool dram : {false, true})
+            sweep.addJobQueue(jobs, machineOf(c, dram));
+
+    ExperimentEngine engine = benchEngine();
+    const std::vector<RunResult> results = engine.runAll(sweep.specs());
 
     Table t({"machine", "SRAM lat=30 (k)", "DRAM lat=90 banked (k)",
              "DRAM penalty"});
-    for (const int c : {1, 2, 3, 4}) {
-        const double sram = timeOf(c, false);
-        const double dram = timeOf(c, true);
+    auto addRow = [&t](const std::string &name, double sram,
+                       double dram) {
         t.row()
-            .add(c == 1 ? std::string("baseline") : format("mth%d", c))
+            .add(name)
             .add(sram / 1e3, 1)
             .add(dram / 1e3, 1)
             .add(dram / sram, 3);
+    };
+    addRow("baseline",
+           static_cast<double>(engine.sequentialReferenceCycles(
+               jobs, machineOf(1, false), scale)),
+           static_cast<double>(engine.sequentialReferenceCycles(
+               jobs, machineOf(1, true), scale)));
+    size_t next = 0;
+    for (const int c : mthContexts) {
+        const double sram =
+            static_cast<double>(results[next++].stats.cycles);
+        const double dram =
+            static_cast<double>(results[next++].stats.cycles);
+        addRow(format("mth%d", c), sram, dram);
     }
     t.print();
     std::printf("\nexpectation: the DRAM penalty shrinks as contexts "

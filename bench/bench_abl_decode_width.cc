@@ -8,9 +8,8 @@
  */
 
 #include "bench/bench_util.hh"
-#include "src/common/strutil.hh"
 #include "src/common/table.hh"
-#include "src/driver/experiments.hh"
+#include "src/workload/suite.hh"
 
 int
 main()
@@ -21,16 +20,26 @@ main()
                 "dispatch)",
                 "paper section 10 future work", scale);
 
-    Runner runner(scale);
     const auto &jobs = jobQueueOrder();
-    Table t({"contexts", "width 1 (k)", "width 2 (k)", "speedup",
-             "occ w1", "occ w2"});
-    for (const int c : {2, 3, 4}) {
+    const std::vector<int> contexts = {2, 3, 4};
+    SweepBuilder sweep(scale);
+    for (const int c : contexts) {
         MachineParams w1 = MachineParams::multithreaded(c);
         MachineParams w2 = w1;
         w2.decodeWidth = 2;
-        const SimStats s1 = runner.runJobQueue(jobs, w1);
-        const SimStats s2 = runner.runJobQueue(jobs, w2);
+        sweep.addJobQueue(jobs, w1).addJobQueue(jobs, w2);
+    }
+
+    ExperimentEngine engine = benchEngine();
+    const std::vector<RunResult> results = engine.runAll(sweep.specs());
+
+    Table t({"contexts", "width 1 (k)", "width 2 (k)", "speedup",
+             "occ w1", "occ w2"});
+    size_t next = 0;
+    for (const int c : contexts) {
+        const SimStats &s1 = results[next].stats;
+        const SimStats &s2 = results[next + 1].stats;
+        next += 2;
         t.row()
             .add(c)
             .add(static_cast<double>(s1.cycles) / 1e3, 1)

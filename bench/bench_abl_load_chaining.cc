@@ -10,7 +10,7 @@
 #include "bench/bench_util.hh"
 #include "src/common/strutil.hh"
 #include "src/common/table.hh"
-#include "src/driver/experiments.hh"
+#include "src/workload/suite.hh"
 
 int
 main()
@@ -21,29 +21,44 @@ main()
                 "paper section 3 design choice (no load chaining)",
                 scale);
 
-    Runner runner(scale);
     const auto &jobs = jobQueueOrder();
+    auto machineOf = [](int c, bool chain) {
+        MachineParams p = MachineParams::multithreaded(c);
+        p.loadChaining = chain;
+        return p;
+    };
+
+    const std::vector<int> mthContexts = {2, 3, 4};
+    SweepBuilder sweep(scale);
+    for (const int c : mthContexts)
+        for (const bool chain : {false, true})
+            sweep.addJobQueue(jobs, machineOf(c, chain));
+
+    ExperimentEngine engine = benchEngine();
+    const std::vector<RunResult> results = engine.runAll(sweep.specs());
+
     Table t({"machine", "no chain (k)", "with chain (k)",
              "gain from chaining"});
-    for (const int c : {1, 2, 3, 4}) {
-        MachineParams p = MachineParams::multithreaded(c);
-        auto timeOf = [&](bool chain) {
-            MachineParams q = p;
-            q.loadChaining = chain;
-            if (c == 1)
-                return static_cast<double>(
-                    runner.sequentialReferenceTime(jobs, q));
-            return static_cast<double>(
-                runner.runJobQueue(jobs, q).cycles);
-        };
-        const double off = timeOf(false);
-        const double on = timeOf(true);
+    auto addRow = [&t](const std::string &name, double off,
+                       double on) {
         t.row()
-            .add(c == 1 ? std::string("baseline")
-                        : format("mth%d", c))
+            .add(name)
             .add(off / 1e3, 1)
             .add(on / 1e3, 1)
             .add(off / on, 3);
+    };
+    addRow("baseline",
+           static_cast<double>(engine.sequentialReferenceCycles(
+               jobs, machineOf(1, false), scale)),
+           static_cast<double>(engine.sequentialReferenceCycles(
+               jobs, machineOf(1, true), scale)));
+    size_t next = 0;
+    for (const int c : mthContexts) {
+        const double off =
+            static_cast<double>(results[next++].stats.cycles);
+        const double on =
+            static_cast<double>(results[next++].stats.cycles);
+        addRow(format("mth%d", c), off, on);
     }
     t.print();
     std::printf("\nexpectation: chaining helps the baseline most; "

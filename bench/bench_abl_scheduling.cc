@@ -8,9 +8,8 @@
  */
 
 #include "bench/bench_util.hh"
-#include "src/common/strutil.hh"
 #include "src/common/table.hh"
-#include "src/driver/experiments.hh"
+#include "src/workload/suite.hh"
 
 int
 main()
@@ -22,16 +21,29 @@ main()
                 "(future work)",
                 scale);
 
-    Runner runner(scale);
     const auto &jobs = jobQueueOrder();
-    Table t({"contexts", "policy", "cycles (k)", "mem-port", "VOPC"});
-    for (const int c : {2, 3, 4}) {
-        for (const auto policy :
-             {SchedPolicy::UnfairLowest, SchedPolicy::RoundRobin,
-              SchedPolicy::FairLru}) {
+    const std::vector<int> contexts = {2, 3, 4};
+    const std::vector<SchedPolicy> policies = {
+        SchedPolicy::UnfairLowest, SchedPolicy::RoundRobin,
+        SchedPolicy::FairLru};
+
+    SweepBuilder sweep(scale);
+    for (const int c : contexts) {
+        for (const auto policy : policies) {
             MachineParams p = MachineParams::multithreaded(c);
             p.sched = policy;
-            const SimStats s = runner.runJobQueue(jobs, p);
+            sweep.addJobQueue(jobs, p);
+        }
+    }
+
+    ExperimentEngine engine = benchEngine();
+    const std::vector<RunResult> results = engine.runAll(sweep.specs());
+
+    Table t({"contexts", "policy", "cycles (k)", "mem-port", "VOPC"});
+    size_t next = 0;
+    for (const int c : contexts) {
+        for (const auto policy : policies) {
+            const SimStats &s = results[next++].stats;
             t.row()
                 .add(c)
                 .add(schedPolicyName(policy))

@@ -12,7 +12,7 @@
 #include "bench/bench_util.hh"
 #include "src/common/strutil.hh"
 #include "src/common/table.hh"
-#include "src/driver/runner.hh"
+#include "src/workload/suite.hh"
 
 int
 main()
@@ -22,7 +22,18 @@ main()
     benchBanner("Diagnostic - decode-cycle loss by block reason",
                 "paper section 5 bottleneck analysis", scale);
 
-    Runner runner(scale);
+    // Per program: one reference run, one 3-context run of the
+    // program paired with itself.
+    SweepBuilder sweep(scale);
+    for (const auto &spec : benchmarkSuite()) {
+        sweep.addReference(spec.name, MachineParams::reference());
+        sweep.addJobQueue({spec.name, spec.name, spec.name},
+                          MachineParams::multithreaded(3));
+    }
+
+    ExperimentEngine engine = benchEngine();
+    const std::vector<RunResult> results = engine.runAll(sweep.specs());
+
     std::vector<std::string> headers = {"program", "machine",
                                         "dispatch %"};
     // Report the interesting reasons; tiny ones fold into "other".
@@ -55,14 +66,10 @@ main()
         }
     };
 
+    size_t next = 0;
     for (const auto &spec : benchmarkSuite()) {
-        const SimStats &ref =
-            runner.referenceRun(spec.name, MachineParams::reference());
-        addRow(spec.name, "ref", ref);
-        const SimStats mth = runner.runJobQueue(
-            {spec.name, spec.name, spec.name},
-            MachineParams::multithreaded(3));
-        addRow(spec.name, "mth3", mth);
+        addRow(spec.name, "ref", results[next++].stats);
+        addRow(spec.name, "mth3", results[next++].stats);
     }
     t.print();
     std::printf("\ncolumns are %% of total cycles; 'dispatch' is the "

@@ -11,7 +11,7 @@
 
 #include "bench/bench_util.hh"
 #include "src/common/table.hh"
-#include "src/driver/experiments.hh"
+#include "src/workload/suite.hh"
 
 int
 main()
@@ -21,22 +21,37 @@ main()
     benchBanner("Extension - decoupled vector architecture comparison",
                 "paper section 1/2 (HPCA-2'96 predecessor)", scale);
 
-    Runner runner(scale);
     const auto &jobs = jobQueueOrder();
+    const std::vector<int> lats = {1, 20, 50, 100};
+
+    MachineParams bothP = MachineParams::multithreaded(2);
+    bothP.decoupleDepth = 4;
+    const std::vector<MachineParams> machines = {
+        MachineParams::reference(),
+        MachineParams::decoupledVector(4),
+        MachineParams::multithreaded(2),
+        bothP,
+    };
+    SweepBuilder sweep(scale);
+    for (const int lat : lats) {
+        for (MachineParams p : machines) {
+            p.memLatency = lat;
+            sweep.addJobQueue(jobs, p);
+        }
+    }
+
+    ExperimentEngine engine = benchEngine();
+    const std::vector<RunResult> results = engine.runAll(sweep.specs());
 
     Table t({"latency", "baseline (k)", "dva (k)", "mth2 (k)",
              "dva+mth2 (k)", "occ base", "occ dva", "occ mth2"});
-    for (const int lat : {1, 20, 50, 100}) {
-        auto statsOf = [&](MachineParams p) {
-            p.memLatency = lat;
-            return runner.runJobQueue(jobs, p);
-        };
-        const SimStats base = statsOf(MachineParams::reference());
-        const SimStats dva = statsOf(MachineParams::decoupledVector(4));
-        const SimStats mth = statsOf(MachineParams::multithreaded(2));
-        MachineParams bothP = MachineParams::multithreaded(2);
-        bothP.decoupleDepth = 4;
-        const SimStats both = statsOf(bothP);
+    size_t next = 0;
+    for (const int lat : lats) {
+        const SimStats &base = results[next].stats;
+        const SimStats &dva = results[next + 1].stats;
+        const SimStats &mth = results[next + 2].stats;
+        const SimStats &both = results[next + 3].stats;
+        next += 4;
         t.row()
             .add(lat)
             .add(static_cast<double>(base.cycles) / 1e3, 1)

@@ -12,7 +12,7 @@
 #include "bench/bench_util.hh"
 #include "src/common/strutil.hh"
 #include "src/common/table.hh"
-#include "src/driver/experiments.hh"
+#include "src/workload/suite.hh"
 
 int
 main()
@@ -22,11 +22,15 @@ main()
     benchBanner("Extension - Cray-style 3-port memory system",
                 "paper section 10 future work", scale);
 
-    Runner runner(scale);
     const auto &jobs = jobQueueOrder();
 
-    Table t({"machine", "ports", "width", "cycles (k)",
-             "per-port occ", "VOPC"});
+    // The cross product, in the table's row order.
+    struct Machine
+    {
+        std::string label;
+        MachineParams params;
+    };
+    std::vector<Machine> machines;
     for (const bool cray : {false, true}) {
         for (const int c : {1, 2, 3, 4}) {
             for (const int width : {1, 2}) {
@@ -36,18 +40,31 @@ main()
                                       ? MachineParams::crayStyle(c)
                                       : MachineParams::multithreaded(c);
                 p.decodeWidth = width;
-                const SimStats s = runner.runJobQueue(jobs, p);
-                t.row()
-                    .add(format("%s-%dctx",
-                                cray ? "cray" : "convex", c))
-                    .add(format("%dld/%dst", p.loadPorts,
-                                p.storePorts))
-                    .add(width)
-                    .add(static_cast<double>(s.cycles) / 1e3, 1)
-                    .add(s.memPortOccupation(), 3)
-                    .add(s.vopc(), 3);
+                machines.push_back(
+                    {format("%s-%dctx", cray ? "cray" : "convex", c),
+                     p});
             }
         }
+    }
+    SweepBuilder sweep(scale);
+    for (const auto &m : machines)
+        sweep.addJobQueue(jobs, m.params);
+
+    ExperimentEngine engine = benchEngine();
+    const std::vector<RunResult> results = engine.runAll(sweep.specs());
+
+    Table t({"machine", "ports", "width", "cycles (k)",
+             "per-port occ", "VOPC"});
+    for (size_t i = 0; i < machines.size(); ++i) {
+        const MachineParams &p = machines[i].params;
+        const SimStats &s = results[i].stats;
+        t.row()
+            .add(machines[i].label)
+            .add(format("%dld/%dst", p.loadPorts, p.storePorts))
+            .add(p.decodeWidth)
+            .add(static_cast<double>(s.cycles) / 1e3, 1)
+            .add(s.memPortOccupation(), 3)
+            .add(s.vopc(), 3);
     }
     t.print();
     std::printf("\nreading: on the 1-port Convex, more threads "

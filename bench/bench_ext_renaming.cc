@@ -8,10 +8,12 @@
  * and combined with multithreading.
  */
 
+#include <algorithm>
+
 #include "bench/bench_util.hh"
 #include "src/common/strutil.hh"
 #include "src/common/table.hh"
-#include "src/driver/experiments.hh"
+#include "src/workload/suite.hh"
 
 int
 main()
@@ -21,29 +23,46 @@ main()
     benchBanner("Extension - vector register renaming",
                 "paper section 10 future work", scale);
 
-    Runner runner(scale);
     const auto &jobs = jobQueueOrder();
 
-    Table t({"machine", "no renaming (k)", "renaming (k)", "speedup",
-             "occ w/o", "occ w/"});
+    struct Machine
+    {
+        std::string label;
+        MachineParams params;
+    };
+    std::vector<Machine> machines;
     for (const bool cray : {false, true}) {
         for (const int c : {1, 2, 4}) {
             MachineParams p = cray ? MachineParams::crayStyle(c)
                                    : MachineParams::multithreaded(c);
             if (cray)
                 p.decodeWidth = std::min(2, c);
-            MachineParams r = p;
-            r.renaming = true;
-            const SimStats off = runner.runJobQueue(jobs, p);
-            const SimStats on = runner.runJobQueue(jobs, r);
-            t.row()
-                .add(format("%s-%dctx", cray ? "cray" : "convex", c))
-                .add(static_cast<double>(off.cycles) / 1e3, 1)
-                .add(static_cast<double>(on.cycles) / 1e3, 1)
-                .add(static_cast<double>(off.cycles) / on.cycles, 3)
-                .add(off.memPortOccupation(), 3)
-                .add(on.memPortOccupation(), 3);
+            machines.push_back(
+                {format("%s-%dctx", cray ? "cray" : "convex", c), p});
         }
+    }
+    SweepBuilder sweep(scale);
+    for (const auto &m : machines) {
+        MachineParams r = m.params;
+        r.renaming = true;
+        sweep.addJobQueue(jobs, m.params).addJobQueue(jobs, r);
+    }
+
+    ExperimentEngine engine = benchEngine();
+    const std::vector<RunResult> results = engine.runAll(sweep.specs());
+
+    Table t({"machine", "no renaming (k)", "renaming (k)", "speedup",
+             "occ w/o", "occ w/"});
+    for (size_t i = 0; i < machines.size(); ++i) {
+        const SimStats &off = results[2 * i].stats;
+        const SimStats &on = results[2 * i + 1].stats;
+        t.row()
+            .add(machines[i].label)
+            .add(static_cast<double>(off.cycles) / 1e3, 1)
+            .add(static_cast<double>(on.cycles) / 1e3, 1)
+            .add(static_cast<double>(off.cycles) / on.cycles, 3)
+            .add(off.memPortOccupation(), 3)
+            .add(on.memPortOccupation(), 3);
     }
     t.print();
     std::printf("\nreading: renaming and multithreading both mine the "

@@ -10,7 +10,6 @@
 #include "src/common/strutil.hh"
 #include "src/common/table.hh"
 #include "src/driver/experiments.hh"
-#include "src/driver/runner.hh"
 
 int
 main()
@@ -20,19 +19,29 @@ main()
     benchBanner("Figure 5 - % cycles with the memory port idle",
                 "Espasa & Valero, HPCA-3 1997, Figure 5", scale);
 
-    Runner runner(scale);
-    std::vector<std::string> headers = {"program"};
-    for (const int lat : figure4Latencies())
-        headers.push_back(format("lat %d", lat));
-    Table t(headers);
+    const auto &lats = figure4Latencies();
+    SweepBuilder sweep(scale);
     for (const auto &spec : benchmarkSuite()) {
-        t.row().add(spec.name);
-        for (const int lat : figure4Latencies()) {
+        for (const int lat : lats) {
             MachineParams p = MachineParams::reference();
             p.memLatency = lat;
-            const SimStats &s = runner.referenceRun(spec.name, p);
-            t.add(100.0 * s.memPortIdleFraction(), 1);
+            sweep.addReference(spec.name, p);
         }
+    }
+
+    ExperimentEngine engine = benchEngine();
+    const std::vector<RunResult> results = engine.runAll(sweep.specs());
+
+    std::vector<std::string> headers = {"program"};
+    for (const int lat : lats)
+        headers.push_back(format("lat %d", lat));
+    Table t(headers);
+    size_t next = 0;
+    for (const auto &spec : benchmarkSuite()) {
+        t.row().add(spec.name);
+        for (size_t l = 0; l < lats.size(); ++l)
+            t.add(100.0 * results[next++].stats.memPortIdleFraction(),
+                  1);
     }
     t.print();
     return 0;

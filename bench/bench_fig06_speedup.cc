@@ -3,14 +3,17 @@
  * Figure 6: speedup of the multithreaded architecture over the
  * reference for each benchmark at 2, 3 and 4 hardware contexts
  * (memory latency 50), averaged over the Table 2 groupings using the
- * paper's restart-and-fraction accounting.
+ * paper's restart-and-fraction accounting. All 250 group runs are
+ * declared up front and executed across the engine's worker pool.
  */
+
+#include <chrono>
 
 #include "bench/bench_util.hh"
 #include "src/common/chart.hh"
 #include "src/common/strutil.hh"
 #include "src/common/table.hh"
-#include "src/driver/experiments.hh"
+#include "src/workload/suite.hh"
 
 int
 main()
@@ -20,25 +23,43 @@ main()
     benchBanner("Figure 6 - multithreaded speedup per program",
                 "Espasa & Valero, HPCA-3 1997, Figure 6", scale);
 
-    Runner runner(scale);
+    // Declare the whole figure: every grouping of every program at
+    // 2, 3 and 4 contexts.
+    SweepBuilder sweep = suiteGroupingSweep(scale);
+
+    ExperimentEngine engine = benchEngine();
+    const auto start = std::chrono::steady_clock::now();
+    const std::vector<RunResult> results = engine.runAll(sweep.specs());
+    const double seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start)
+            .count();
+
+    // Render from the slice metadata (program + contexts travel with
+    // each slice, so rows never depend on batch position).
     Table t({"program", "2 threads", "3 threads", "4 threads",
              "runs averaged"});
     BarChart bars(46);
     bars.fullScale(1.6);
-    for (const auto &spec : benchmarkSuite()) {
-        t.row().add(spec.name);
-        int runs = 0;
-        for (const int contexts : {2, 3, 4}) {
-            const ProgramAverages avg =
-                averagesFor(runner, spec.name, contexts,
-                            MachineParams::multithreaded(contexts));
-            t.add(avg.speedup, 3);
-            runs += avg.runs;
-            bars.add(format("%s/%d", spec.abbrev.c_str(), contexts),
-                     avg.speedup);
+    std::string current;
+    int runs = 0;
+    for (const auto &slice : sweep.slices()) {
+        const GroupAverages avg = averageOf(slice, results);
+        if (avg.program != current) {
+            if (!current.empty())
+                t.add(runs);
+            t.row().add(avg.program);
+            current = avg.program;
+            runs = 0;
         }
-        t.add(runs);
+        t.add(avg.speedup, 3);
+        runs += avg.runs;
+        bars.add(format("%s/%d",
+                        findProgram(avg.program).abbrev.c_str(),
+                        avg.contexts),
+                 avg.speedup);
     }
+    t.add(runs);
     t.print();
     std::printf("\nspeedup bars (full scale = 1.6):\n%s",
                 bars.render().c_str());
@@ -46,5 +67,6 @@ main()
                 "3 threads sustain ~1.3 up to 1.51; 4 threads add "
                 "little more. Highest speedups belong to trfd/dyfesm "
                 "(low solo utilization leaves holes to fill).\n");
+    benchEngineSummary(engine, seconds);
     return 0;
 }

@@ -6,9 +6,8 @@
  */
 
 #include "bench/bench_util.hh"
-#include "src/common/strutil.hh"
 #include "src/common/table.hh"
-#include "src/driver/experiments.hh"
+#include "src/workload/suite.hh"
 
 int
 main()
@@ -18,17 +17,20 @@ main()
     benchBanner("Figure 7 - memory port occupation, mth vs ref",
                 "Espasa & Valero, HPCA-3 1997, Figure 7", scale);
 
-    Runner runner(scale);
+    SweepBuilder sweep = suiteGroupingSweep(scale);
+    ExperimentEngine engine = benchEngine();
+    const std::vector<RunResult> results = engine.runAll(sweep.specs());
+
     Table t({"program", "mth 2", "ref 2", "mth 3", "ref 3", "mth 4",
              "ref 4"});
-    for (const auto &spec : benchmarkSuite()) {
-        t.row().add(spec.name);
-        for (const int contexts : {2, 3, 4}) {
-            const ProgramAverages avg =
-                averagesFor(runner, spec.name, contexts,
-                            MachineParams::multithreaded(contexts));
-            t.add(avg.mthOccupation, 3).add(avg.refOccupation, 3);
+    std::string current;
+    for (const auto &slice : sweep.slices()) {
+        const GroupAverages avg = averageOf(slice, results);
+        if (avg.program != current) {
+            t.row().add(avg.program);
+            current = avg.program;
         }
+        t.add(avg.mthOccupation, 3).add(avg.refOccupation, 3);
     }
     t.print();
     std::printf("\npaper: 2 contexts reach ~80-86%% occupation vs "

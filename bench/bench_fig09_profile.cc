@@ -10,7 +10,7 @@
 #include "bench/bench_util.hh"
 #include "src/common/strutil.hh"
 #include "src/common/table.hh"
-#include "src/driver/runner.hh"
+#include "src/workload/suite.hh"
 
 int
 main()
@@ -20,9 +20,12 @@ main()
     benchBanner("Figure 9 - job-queue execution profile, 2 contexts",
                 "Espasa & Valero, HPCA-3 1997, Figure 9", scale);
 
-    Runner runner(scale);
-    MachineParams p = MachineParams::multithreaded(2);
-    const SimStats s = runner.runJobQueue(jobQueueOrder(), p);
+    // Single-run bench: no batch to fan out, so one worker suffices.
+    ExperimentEngine engine(EngineOptions{1});
+    const MachineParams p = MachineParams::multithreaded(2);
+    const RunResult run =
+        engine.run(RunSpec::jobQueue(jobQueueOrder(), p, scale));
+    const SimStats &s = run.stats;
 
     Table t({"context", "program", "start (k cycles)", "end (k cycles)",
              "span (k)"});

@@ -6,8 +6,9 @@
  * latencies. The paper finds it under 1.009 everywhere.
  */
 
+#include <algorithm>
+
 #include "bench/bench_util.hh"
-#include "src/common/strutil.hh"
 #include "src/common/table.hh"
 #include "src/driver/experiments.hh"
 
@@ -19,23 +20,38 @@ main()
     benchBanner("Figure 11 - register-crossbar latency slowdown",
                 "Espasa & Valero, HPCA-3 1997, Figure 11", scale);
 
-    Runner runner(scale);
     const auto &jobs = jobQueueOrder();
-    Table t({"latency", "2 threads", "3 threads", "4 threads"});
-    double worst = 0;
-    for (const int lat : sweepLatencies()) {
-        t.row().add(lat);
-        for (const int c : {2, 3, 4}) {
+    const auto &lats = sweepLatencies();
+    const std::vector<int> contexts = {2, 3, 4};
+
+    // Fast (xbar 2/2) and slow (xbar 3/3) machine per point.
+    SweepBuilder sweep(scale);
+    for (const int lat : lats) {
+        for (const int c : contexts) {
             MachineParams fast = MachineParams::multithreaded(c);
             fast.memLatency = lat;
             MachineParams slow = fast;
             slow.readXbar = 3;
             slow.writeXbar = 3;
-            const double slowdown =
-                static_cast<double>(
-                    runner.runJobQueue(jobs, slow).cycles) /
-                static_cast<double>(
-                    runner.runJobQueue(jobs, fast).cycles);
+            sweep.addJobQueue(jobs, fast).addJobQueue(jobs, slow);
+        }
+    }
+
+    ExperimentEngine engine = benchEngine();
+    const std::vector<RunResult> results = engine.runAll(sweep.specs());
+
+    Table t({"latency", "2 threads", "3 threads", "4 threads"});
+    double worst = 0;
+    size_t next = 0;
+    for (const int lat : lats) {
+        t.row().add(lat);
+        for (size_t c = 0; c < contexts.size(); ++c) {
+            const double fast =
+                static_cast<double>(results[next].stats.cycles);
+            const double slow =
+                static_cast<double>(results[next + 1].stats.cycles);
+            next += 2;
+            const double slowdown = slow / fast;
             t.add(slowdown, 4);
             worst = std::max(worst, slowdown);
         }

@@ -7,7 +7,6 @@
  */
 
 #include "bench/bench_util.hh"
-#include "src/common/strutil.hh"
 #include "src/common/table.hh"
 #include "src/driver/experiments.hh"
 
@@ -19,22 +18,41 @@ main()
     benchBanner("Figure 12 - dual scalar units vs multithreading",
                 "Espasa & Valero, HPCA-3 1997, Figure 12", scale);
 
-    Runner runner(scale);
     const auto &jobs = jobQueueOrder();
+    const auto &lats = sweepLatencies();
+
+    // Four machines per latency: mth2, fujitsu, mth3, mth4.
+    const std::vector<MachineParams> machines = {
+        MachineParams::multithreaded(2),
+        MachineParams::fujitsuDualScalar(),
+        MachineParams::multithreaded(3),
+        MachineParams::multithreaded(4),
+    };
+    SweepBuilder sweep(scale);
+    for (const int lat : lats) {
+        for (MachineParams p : machines) {
+            p.memLatency = lat;
+            sweep.addJobQueue(jobs, p);
+        }
+    }
+
+    ExperimentEngine engine = benchEngine();
+    const std::vector<RunResult> results = engine.runAll(sweep.specs());
+
     Table t({"latency", "mth2 (k)", "fujitsu (k)", "mth3 (k)",
              "mth4 (k)", "fuj advantage %"});
     double advAt1 = 0;
     double advAt100 = 0;
-    for (const int lat : sweepLatencies()) {
-        auto timeOf = [&](MachineParams p) {
-            p.memLatency = lat;
-            return static_cast<double>(
-                runner.runJobQueue(jobs, p).cycles);
-        };
-        const double mth2 = timeOf(MachineParams::multithreaded(2));
-        const double fuj = timeOf(MachineParams::fujitsuDualScalar());
-        const double mth3 = timeOf(MachineParams::multithreaded(3));
-        const double mth4 = timeOf(MachineParams::multithreaded(4));
+    size_t next = 0;
+    for (const int lat : lats) {
+        const double mth2 =
+            static_cast<double>(results[next++].stats.cycles);
+        const double fuj =
+            static_cast<double>(results[next++].stats.cycles);
+        const double mth3 =
+            static_cast<double>(results[next++].stats.cycles);
+        const double mth4 =
+            static_cast<double>(results[next++].stats.cycles);
         const double adv = 100.0 * (mth2 / fuj - 1.0);
         t.row()
             .add(lat)

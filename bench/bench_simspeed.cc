@@ -3,13 +3,15 @@
  * Simulator-throughput microbenchmark (google-benchmark): simulated
  * cycles and instructions per wall-clock second for each machine
  * configuration, on a fixed suite slice. Guards against performance
- * regressions in the cycle loop.
+ * regressions in the cycle loop. Runs through an *uncached*
+ * ExperimentEngine (memoize off) so every iteration pays for a real
+ * simulation instead of a cache lookup.
  */
 
 #include <benchmark/benchmark.h>
 
-#include "src/core/sim.hh"
-#include "src/driver/runner.hh"
+#include "src/api/engine.hh"
+#include "src/workload/suite.hh"
 
 namespace
 {
@@ -18,23 +20,29 @@ using namespace mtv;
 
 constexpr double speedScale = 2e-5;
 
-void
-runMachine(benchmark::State &state, MachineParams params)
+mtv::EngineOptions
+uncached()
 {
-    Runner runner(speedScale);
+    EngineOptions options;
+    options.workers = 1;    // the benchmark loop provides the timing
+    options.memoize = false;
+    return options;
+}
+
+void
+runMachine(benchmark::State &state, const MachineParams &params)
+{
+    ExperimentEngine engine(uncached());
     const std::vector<std::string> jobs = {"flo52", "tomcatv", "trfd",
                                            "dyfesm"};
+    const RunSpec spec =
+        params.contexts == 1
+            ? RunSpec::single("flo52", params, speedScale)
+            : RunSpec::jobQueue(jobs, params, speedScale);
     uint64_t cycles = 0;
     uint64_t instrs = 0;
     for (auto _ : state) {
-        const SimStats s = params.contexts == 1
-                               ? [&] {
-                                     auto src =
-                                         runner.instantiate("flo52");
-                                     VectorSim sim(params);
-                                     return sim.runSingle(*src);
-                                 }()
-                               : runner.runJobQueue(jobs, params);
+        const SimStats s = engine.run(spec).stats;
         benchmark::DoNotOptimize(s.cycles);
         cycles += s.cycles;
         instrs += s.dispatches;
@@ -79,10 +87,32 @@ BM_WorkloadGeneration(benchmark::State &state)
         static_cast<double>(instrs), benchmark::Counter::kIsRate);
 }
 
+/** Batch-dispatch overhead: a 16-spec sweep through runAll(). */
+void
+BM_EngineBatch(benchmark::State &state)
+{
+    ExperimentEngine engine(uncached());
+    std::vector<RunSpec> specs;
+    for (int i = 0; i < 16; ++i) {
+        MachineParams p = MachineParams::reference();
+        p.memLatency = 1 + i;
+        specs.push_back(RunSpec::single("dyfesm", p, speedScale));
+    }
+    uint64_t cycles = 0;
+    for (auto _ : state) {
+        for (const auto &r : engine.runAll(specs))
+            cycles += r.stats.cycles;
+        benchmark::DoNotOptimize(cycles);
+    }
+    state.counters["sim_cycles/s"] = benchmark::Counter(
+        static_cast<double>(cycles), benchmark::Counter::kIsRate);
+}
+
 BENCHMARK(BM_Reference);
 BENCHMARK(BM_Multithreaded)->Arg(2)->Arg(3)->Arg(4);
 BENCHMARK(BM_DualScalar);
 BENCHMARK(BM_WorkloadGeneration);
+BENCHMARK(BM_EngineBatch);
 
 } // namespace
 

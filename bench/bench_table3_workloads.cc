@@ -8,7 +8,8 @@
 #include "bench/bench_util.hh"
 #include "src/common/strutil.hh"
 #include "src/common/table.hh"
-#include "src/driver/runner.hh"
+#include "src/trace/analyzer.hh"
+#include "src/workload/suite.hh"
 
 int
 main()
@@ -18,12 +19,13 @@ main()
     benchBanner("Table 3 - benchmark operation counts",
                 "Espasa & Valero, HPCA-3 1997, Table 3", scale);
 
-    Runner runner(scale);
+    // Trace analysis only (no simulation batch): one worker suffices.
+    ExperimentEngine engine(EngineOptions{1});
     Table t({"program", "suite", "#insns S (M)", "#insns V (M)",
              "#ops V (M)", "% vect", "avg VL", "paper %vect",
              "paper VL"});
     for (const auto &spec : benchmarkSuite()) {
-        const TraceStats &stats = runner.programStats(spec.name);
+        const TraceStats &stats = engine.programStats(spec.name, scale);
         t.row()
             .add(format("%s (%s)", spec.name.c_str(),
                         spec.abbrev.c_str()))

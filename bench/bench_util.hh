@@ -8,9 +8,11 @@
 
 #include <cstdio>
 #include <cstdlib>
-#include <string>
 
+#include "src/api/engine.hh"
+#include "src/api/sweep.hh"
 #include "src/workload/program.hh"
+#include "src/workload/suite.hh"
 
 namespace mtv
 {
@@ -33,6 +35,50 @@ benchScale()
     return workloadDefaultScale;
 }
 
+/**
+ * Engine worker threads for a bench: every hardware thread by
+ * default, overridable with MTV_WORKERS (e.g. MTV_WORKERS=1 to
+ * measure the serial baseline of a sweep).
+ */
+inline int
+benchWorkers()
+{
+    if (const char *env = std::getenv("MTV_WORKERS")) {
+        const int v = std::atoi(env);
+        if (v > 0)
+            return v;
+        std::fprintf(stderr,
+                     "warn: ignoring invalid MTV_WORKERS '%s'\n", env);
+    }
+    return 0;  // engine default: one per hardware thread
+}
+
+/** Engine configured from the environment (MTV_WORKERS). */
+inline ExperimentEngine
+benchEngine()
+{
+    EngineOptions options;
+    options.workers = benchWorkers();
+    return ExperimentEngine(options);
+}
+
+/**
+ * The grouping sweep behind Figures 6, 7 and 8: every Table 2
+ * grouping of every suite program at 2, 3 and 4 contexts. Consume
+ * the results through the builder's slices — each slice carries its
+ * program and context count, so rendering never depends on position.
+ */
+inline SweepBuilder
+suiteGroupingSweep(double scale)
+{
+    SweepBuilder sweep(scale);
+    for (const auto &spec : benchmarkSuite())
+        for (const int contexts : {2, 3, 4})
+            sweep.addGroupings(spec.name, contexts,
+                               MachineParams::multithreaded(contexts));
+    return sweep;
+}
+
 /** Uniform banner so EXPERIMENTS.md can quote outputs verbatim. */
 inline void
 benchBanner(const char *experiment, const char *paperRef,
@@ -43,6 +89,22 @@ benchBanner(const char *experiment, const char *paperRef,
     std::printf("workload scale: %g of the paper's dynamic "
                 "instruction counts\n\n",
                 scale);
+}
+
+/** One-line engine utilization summary for a finished sweep. */
+inline void
+benchEngineSummary(const ExperimentEngine &engine, double seconds)
+{
+    std::printf("\n[engine: %d worker%s, %zu cached runs, "
+                "%llu hits / %llu misses / %llu uncacheable, "
+                "%.2fs wall]\n",
+                engine.workers(), engine.workers() == 1 ? "" : "s",
+                engine.cacheSize(),
+                static_cast<unsigned long long>(engine.cacheHits()),
+                static_cast<unsigned long long>(engine.cacheMisses()),
+                static_cast<unsigned long long>(
+                    engine.uncachedRuns()),
+                seconds);
 }
 
 } // namespace mtv

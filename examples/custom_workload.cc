@@ -1,8 +1,9 @@
 /**
  * @file
  * Example: define a custom vectorized workload with the kernel DSL,
- * record it to a Dixie-style trace file, replay the trace, and verify
- * the simulator cannot tell the two apart.
+ * register it with the experiment API, record it to a Dixie-style
+ * trace file, replay the trace, and verify the simulator cannot tell
+ * the two apart.
  *
  * The workload is a strip-mined 5-point stencil smoother — the kind
  * of loop the Perfect Club PDE codes are made of.
@@ -10,10 +11,12 @@
 
 #include <cstdio>
 
+#include "src/api/engine.hh"
 #include "src/core/sim.hh"
 #include "src/trace/analyzer.hh"
 #include "src/trace/trace_file.hh"
 #include "src/workload/program.hh"
+#include "src/workload/suite.hh"
 
 int
 main()
@@ -64,15 +67,25 @@ main()
                 stats.percentVectorization(),
                 stats.averageVectorLength());
 
-    // --- 3. Record to a Dixie-style binary trace and replay it.
+    // --- 3. Registered programs are first-class experiment subjects:
+    // the engine instantiates them by name like suite programs.
+    registerProgram(spec);
+    ExperimentEngine engine;
+    const SimStats a = engine
+                           .run(RunSpec::single(
+                               "smoother",
+                               MachineParams::reference(), 1.0))
+                           .stats;
+
+    // --- 4. Record to a Dixie-style binary trace and replay it.
+    // Trace replay feeds the simulator directly (a trace file has no
+    // suite name, so it stays below the RunSpec layer).
     const std::string path = "/tmp/smoother.mtv";
     writeTrace(live, path);
     TraceReader replay(path);
     std::printf("trace written: %s (%llu records)\n", path.c_str(),
                 static_cast<unsigned long long>(replay.count()));
 
-    VectorSim simLive(MachineParams::reference());
-    const SimStats a = simLive.runSingle(live);
     VectorSim simReplay(MachineParams::reference());
     const SimStats b = simReplay.runSingle(replay);
 

@@ -2,7 +2,9 @@
  * @file
  * Example: how memory latency affects a single program on the
  * reference machine versus multithreaded machines — the paper's
- * headline latency-tolerance argument in miniature.
+ * headline latency-tolerance argument in miniature. The whole study
+ * (6 latencies x 3 machines) is declared as one spec batch and
+ * executed across the engine's workers.
  *
  * Usage: latency_study [program] [scale]
  *   program  suite program name or abbreviation (default: tomcatv)
@@ -12,8 +14,10 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "src/api/engine.hh"
+#include "src/api/sweep.hh"
 #include "src/common/table.hh"
-#include "src/driver/runner.hh"
+#include "src/workload/suite.hh"
 
 int
 main(int argc, char **argv)
@@ -23,7 +27,6 @@ main(int argc, char **argv)
     const double scale =
         argc > 2 ? std::atof(argv[2]) : workloadDefaultScale;
 
-    Runner runner(scale);
     const ProgramSpec &spec = findProgram(program);
     std::printf("latency study: %s (%s, %.1f%% vectorized, "
                 "avg VL %.0f)\n\n",
@@ -32,27 +35,37 @@ main(int argc, char **argv)
 
     // Pair the program with itself (the paper groups HYDRO2D with
     // itself too) so the second context has identical behaviour.
-    Table t({"latency", "ref cycles", "ref occ", "mth2 speedup",
-             "mth2 occ", "mth4 speedup", "mth4 occ"});
-    for (const int lat : {1, 10, 25, 50, 75, 100}) {
+    const std::vector<int> lats = {1, 10, 25, 50, 75, 100};
+    SweepBuilder sweep(scale);
+    for (const int lat : lats) {
         MachineParams ref = MachineParams::reference();
         ref.memLatency = lat;
-        const SimStats &solo = runner.referenceRun(spec.name, ref);
+        sweep.addReference(spec.name, ref);
 
         MachineParams m2 = MachineParams::multithreaded(2);
         m2.memLatency = lat;
-        const GroupResult g2 =
-            runner.runGroup({spec.name, spec.name}, m2);
+        sweep.addGroup({spec.name, spec.name}, m2);
 
         MachineParams m4 = MachineParams::multithreaded(4);
         m4.memLatency = lat;
-        const GroupResult g4 = runner.runGroup(
+        sweep.addGroup(
             {spec.name, spec.name, spec.name, spec.name}, m4);
+    }
 
+    ExperimentEngine engine;
+    const std::vector<RunResult> results = engine.runAll(sweep.specs());
+
+    Table t({"latency", "ref cycles", "ref occ", "mth2 speedup",
+             "mth2 occ", "mth4 speedup", "mth4 occ"});
+    size_t next = 0;
+    for (const int lat : lats) {
+        const RunResult &solo = results[next++];
+        const RunResult &g2 = results[next++];
+        const RunResult &g4 = results[next++];
         t.row()
             .add(lat)
-            .add(solo.cycles)
-            .add(solo.memPortOccupation(), 3)
+            .add(solo.stats.cycles)
+            .add(solo.stats.memPortOccupation(), 3)
             .add(g2.speedup, 3)
             .add(g2.mthOccupation, 3)
             .add(g4.speedup, 3)

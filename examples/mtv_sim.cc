@@ -2,8 +2,8 @@
  * @file
  * Example/tool: full command-line simulator driver. Describes the
  * machine with a key=value config file (see MachineParams::fromConfig
- * for the key list) and runs any of the paper's experiment modes on
- * any mix of suite programs.
+ * for the key list), builds a declarative RunSpec for any of the
+ * paper's experiment modes, and executes it with ExperimentEngine.
  *
  * Usage:
  *   mtv_sim [options] <mode> <program...>
@@ -16,6 +16,7 @@
  *       --config <file>   machine description (default: reference)
  *       --set k=v         override one config key (repeatable)
  *       --scale <f>       workload scale (default 2e-4)
+ *       --spec <text>     run a serialized RunSpec (overrides mode)
  *       --verbose         per-thread statistics
  *
  * Example:
@@ -26,11 +27,12 @@
 #include <cstdlib>
 #include <cstring>
 
+#include "src/api/engine.hh"
 #include "src/common/config.hh"
 #include "src/common/logging.hh"
 #include "src/common/strutil.hh"
 #include "src/common/table.hh"
-#include "src/driver/runner.hh"
+#include "src/workload/suite.hh"
 
 namespace
 {
@@ -40,8 +42,8 @@ usage()
 {
     std::fprintf(stderr,
                  "usage: mtv_sim [--config file] [--set k=v]... "
-                 "[--scale f] [--verbose] single|group|queue "
-                 "<program...>\n");
+                 "[--scale f] [--spec text] [--verbose] "
+                 "single|group|queue <program...>\n");
     return 2;
 }
 
@@ -97,22 +99,29 @@ int
 main(int argc, char **argv)
 {
     using namespace mtv;
-
     Config config;
     double scale = workloadDefaultScale;
     bool verbose = false;
+    bool machineOptionsGiven = false;
+    bool scaleGiven = false;
+    std::string specText;
     int arg = 1;
     while (arg < argc && startsWith(argv[arg], "--")) {
         const std::string opt = argv[arg];
         if (opt == "--config" && arg + 1 < argc) {
             config = Config::fromFile(argv[++arg]);
+            machineOptionsGiven = true;
         } else if (opt == "--set" && arg + 1 < argc) {
             const auto kv = split(argv[++arg], '=');
             if (kv.size() != 2)
                 return usage();
             config.set(trim(kv[0]), trim(kv[1]));
+            machineOptionsGiven = true;
         } else if (opt == "--scale" && arg + 1 < argc) {
             scale = std::atof(argv[++arg]);
+            scaleGiven = true;
+        } else if (opt == "--spec" && arg + 1 < argc) {
+            specText = argv[++arg];
         } else if (opt == "--verbose") {
             verbose = true;
         } else {
@@ -120,6 +129,33 @@ main(int argc, char **argv)
         }
         ++arg;
     }
+
+    // One worker suffices: this tool only ever runs a single spec
+    // (run() executes on the calling thread; the pool serves batches).
+    ExperimentEngine engine(EngineOptions{1});
+
+    if (!specText.empty()) {
+        // Serialized-spec mode: the canonical string is the whole
+        // experiment description.
+        if (arg < argc)
+            fatal("--spec cannot be combined with a mode/program "
+                  "list (got '%s')",
+                  argv[arg]);
+        if (machineOptionsGiven)
+            warn("--config/--set are ignored with --spec (the spec "
+                 "carries its own machine description)");
+        if (scaleGiven)
+            warn("--scale is ignored with --spec (the spec carries "
+                 "its own scale)");
+        const RunSpec spec = RunSpec::parse(specText);
+        std::printf("machine: %s\n", spec.params.describe().c_str());
+        const RunResult r = engine.run(spec);
+        printStats(r.stats, verbose);
+        if (spec.mode == SpecMode::Group)
+            std::printf("speedup vs reference: %.3f\n", r.speedup);
+        return 0;
+    }
+
     if (arg >= argc)
         return usage();
     const std::string mode = argv[arg++];
@@ -133,26 +169,21 @@ main(int argc, char **argv)
     for (const auto &key : config.unusedKeys())
         warn("unused config key '%s'", key.c_str());
 
-    Runner runner(scale);
-    std::printf("machine: %s\n", params.describe().c_str());
+    RunSpec spec;
+    if (mode == "single")
+        spec = RunSpec::single(programs[0], params, scale);
+    else if (mode == "group")
+        spec = RunSpec::group(programs, params, scale);
+    else if (mode == "queue")
+        spec = RunSpec::jobQueue(programs, params, scale);
+    else
+        return usage();
 
-    if (mode == "single") {
-        auto src = runner.instantiate(programs[0]);
-        VectorSim sim(params);
-        printStats(sim.runSingle(*src), verbose);
-        return 0;
-    }
-    if (mode == "group") {
-        params.contexts = static_cast<int>(programs.size());
-        const GroupResult r = runner.runGroup(programs, params);
-        printStats(r.mth, verbose);
+    std::printf("machine: %s\n", spec.params.describe().c_str());
+    std::printf("spec:    %s\n", spec.canonical().c_str());
+    const RunResult r = engine.run(spec);
+    printStats(r.stats, verbose);
+    if (spec.mode == SpecMode::Group)
         std::printf("speedup vs reference: %.3f\n", r.speedup);
-        return 0;
-    }
-    if (mode == "queue") {
-        const SimStats s = runner.runJobQueue(programs, params);
-        printStats(s, verbose);
-        return 0;
-    }
-    return usage();
+    return 0;
 }

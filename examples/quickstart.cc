@@ -1,16 +1,23 @@
 /**
  * @file
- * Quickstart: build a DAXPY workload, run it on the reference machine
- * and on 2-context multithreaded machines, and print the headline
- * metrics (speedup needs two programs, so we pair DAXPY with the
- * swm256 suite program — the 30-second version of the paper's story).
+ * Quickstart: the declarative experiment API in 40 lines.
+ *
+ * 1. Describe experiment points as RunSpec values (machine + programs
+ *    + run methodology + scale).
+ * 2. Hand a batch to ExperimentEngine::runAll — it fans the specs out
+ *    over a worker pool (one simulator per in-flight spec) and
+ *    memoizes every finished run in a shared cache.
+ * 3. Read the results in submission order.
+ *
+ * Also shows registerProgram(): a custom DAXPY workload becomes
+ * addressable by name like a suite program.
  */
 
 #include <cstdio>
 
+#include "src/api/engine.hh"
+#include "src/api/sweep.hh"
 #include "src/common/table.hh"
-#include "src/core/sim.hh"
-#include "src/driver/runner.hh"
 #include "src/workload/suite.hh"
 
 int
@@ -18,34 +25,56 @@ main()
 {
     using namespace mtv;
 
-    // 1. A custom workload via the public kernel DSL.
-    const ProgramSpec daxpy = makeDaxpySpec(512 * 1024);
-    SyntheticProgram program(daxpy, 1.0);
-    std::printf("daxpy: %llu instructions\n",
-                static_cast<unsigned long long>(program.count()));
+    // 1. A custom workload via the public kernel DSL, registered so
+    //    RunSpecs can reference it by name.
+    ProgramSpec daxpy = makeDaxpySpec(512 * 1024);
+    registerProgram(daxpy);
 
-    // 2. Run it alone on the reference (single-context) machine.
-    VectorSim reference(MachineParams::reference());
-    const SimStats ref = reference.runSingle(program);
+    ExperimentEngine engine;  // one worker per hardware thread
 
-    // 3. Run it together with swm256 on a 2-context machine.
-    Runner runner(workloadDefaultScale);
-    GroupResult pair = runner.runGroup({"swm256", "hydro2d"},
-                                       MachineParams::multithreaded(2));
+    // 2. Run DAXPY alone on the reference (single-context) machine.
+    const RunResult solo = engine.run(
+        RunSpec::single(daxpy.name, MachineParams::reference(), 1.0));
+    std::printf("daxpy: %llu instructions, %llu cycles\n",
+                static_cast<unsigned long long>(solo.stats.dispatches),
+                static_cast<unsigned long long>(solo.stats.cycles));
+
+    // 3. A section 4.1 group run: swm256 measured against hydro2d on
+    //    a 2-context machine. The engine computes the paper's speedup
+    //    accounting (reference runs come from the shared cache).
+    const RunResult pair = engine.run(RunSpec::group(
+        {"swm256", "hydro2d"}, MachineParams::multithreaded(2)));
 
     Table t({"machine", "cycles", "mem-port", "VOPC", "speedup"});
     t.row()
         .add("reference/daxpy")
-        .add(ref.cycles)
-        .add(ref.memPortOccupation(), 3)
-        .add(ref.vopc(), 3)
+        .add(solo.stats.cycles)
+        .add(solo.stats.memPortOccupation(), 3)
+        .add(solo.stats.vopc(), 3)
         .add("1.00");
     t.row()
         .add("mth-2/sw+hy")
-        .add(pair.mth.cycles)
+        .add(pair.stats.cycles)
         .add(pair.mthOccupation, 3)
         .add(pair.mthVopc, 3)
         .add(pair.speedup, 3);
     t.print();
+
+    // 4. A miniature Figure 6: every Table 2 grouping of tomcatv at
+    //    2 and 3 contexts, declared up front and run in parallel.
+    SweepBuilder sweep;
+    for (const int contexts : {2, 3})
+        sweep.addGroupings("tomcatv", contexts,
+                           MachineParams::multithreaded(contexts));
+    const std::vector<RunResult> results = engine.runAll(sweep.specs());
+    for (const auto &slice : sweep.slices()) {
+        const GroupAverages avg = averageOf(slice, results);
+        std::printf("tomcatv @ %d contexts: speedup %.3f "
+                    "(%d groupings averaged)\n",
+                    avg.contexts, avg.speedup, avg.runs);
+    }
+    std::printf("[%zu runs cached, %llu cache hits]\n",
+                engine.cacheSize(),
+                static_cast<unsigned long long>(engine.cacheHits()));
     return 0;
 }

@@ -8,9 +8,11 @@
  */
 
 #include <cstdio>
+#include <cstdlib>
 
+#include "src/api/engine.hh"
 #include "src/common/table.hh"
-#include "src/driver/runner.hh"
+#include "src/workload/suite.hh"
 
 int
 main(int argc, char **argv)
@@ -18,29 +20,39 @@ main(int argc, char **argv)
     using namespace mtv;
     const double scale =
         argc > 1 ? std::atof(argv[1]) : workloadDefaultScale;
-    Runner runner(scale);
+    ExperimentEngine engine;
 
     // Thread 0 runs arc2d; three latency-hungry companions compete.
     const std::vector<std::string> group = {"arc2d", "tomcatv", "trfd",
                                             "dyfesm"};
-    MachineParams ref = MachineParams::reference();
-    const uint64_t solo = runner.referenceRun("arc2d", ref).cycles;
+    const std::vector<SchedPolicy> policies = {
+        SchedPolicy::UnfairLowest, SchedPolicy::FairLru,
+        SchedPolicy::RoundRobin};
 
+    std::vector<RunSpec> specs;
+    for (const auto policy : policies) {
+        MachineParams p = MachineParams::multithreaded(4);
+        p.sched = policy;
+        specs.push_back(RunSpec::group(group, p, scale));
+    }
+    const std::vector<RunResult> results = engine.runAll(specs);
+
+    const uint64_t solo =
+        engine
+            .statsFor(RunSpec::reference(
+                "arc2d", MachineParams::reference(), scale))
+            .cycles;
     std::printf("thread 0 = arc2d (solo: %llu cycles); companions: "
                 "tomcatv, trfd, dyfesm\n\n",
                 static_cast<unsigned long long>(solo));
 
     Table t({"policy", "thread-0 slowdown", "speedup (all work)",
              "mem-port"});
-    for (const auto policy :
-         {SchedPolicy::UnfairLowest, SchedPolicy::FairLru,
-          SchedPolicy::RoundRobin}) {
-        MachineParams p = MachineParams::multithreaded(4);
-        p.sched = policy;
-        const GroupResult r = runner.runGroup(group, p);
+    for (size_t i = 0; i < policies.size(); ++i) {
+        const RunResult &r = results[i];
         t.row()
-            .add(schedPolicyName(policy))
-            .add(static_cast<double>(r.mth.cycles) / solo, 3)
+            .add(schedPolicyName(policies[i]))
+            .add(static_cast<double>(r.stats.cycles) / solo, 3)
             .add(r.speedup, 3)
             .add(r.mthOccupation, 3);
     }

@@ -16,9 +16,9 @@
 #include <cstring>
 
 #include "src/core/sim.hh"
-#include "src/driver/runner.hh"
 #include "src/trace/analyzer.hh"
 #include "src/trace/trace_file.hh"
+#include "src/workload/suite.hh"
 
 namespace
 {

@@ -1,0 +1,354 @@
+#include "src/api/engine.hh"
+
+#include <algorithm>
+
+#include "src/common/logging.hh"
+#include "src/common/strutil.hh"
+#include "src/workload/suite.hh"
+
+namespace mtv
+{
+
+namespace
+{
+
+/**
+ * True on engine worker threads. runAll() from inside a worker task
+ * would deadlock the pool (the task waits on tasks behind it in the
+ * queue), so nested batches degrade to inline execution instead.
+ */
+thread_local bool insideWorker = false;
+
+} // namespace
+
+ExperimentEngine::ExperimentEngine(EngineOptions options)
+{
+    if (options.workers < 0)
+        fatal("engine worker count must be >= 0, got %d",
+              options.workers);
+    memoize_ = options.memoize;
+    workers_ = options.workers;
+    if (workers_ == 0) {
+        workers_ = static_cast<int>(
+            std::max(1u, std::thread::hardware_concurrency()));
+    }
+    pool_.reserve(workers_);
+    for (int i = 0; i < workers_; ++i)
+        pool_.emplace_back([this] { workerLoop(); });
+}
+
+ExperimentEngine::~ExperimentEngine()
+{
+    {
+        std::lock_guard<std::mutex> lock(queueMutex_);
+        stopping_ = true;
+    }
+    queueCv_.notify_all();
+    for (auto &worker : pool_)
+        worker.join();
+}
+
+void
+ExperimentEngine::workerLoop()
+{
+    insideWorker = true;
+    for (;;) {
+        std::function<void()> task;
+        {
+            std::unique_lock<std::mutex> lock(queueMutex_);
+            queueCv_.wait(lock, [this] {
+                return stopping_ || !queue_.empty();
+            });
+            if (queue_.empty())
+                return;  // stopping, queue drained
+            task = std::move(queue_.front());
+            queue_.pop_front();
+        }
+        task();
+    }
+}
+
+RunResult
+ExperimentEngine::run(const RunSpec &spec)
+{
+    return execute(spec);
+}
+
+std::vector<RunResult>
+ExperimentEngine::runAll(const std::vector<RunSpec> &specs)
+{
+    std::vector<RunResult> results(specs.size());
+    if (specs.empty())
+        return results;
+
+    if (insideWorker) {
+        for (size_t i = 0; i < specs.size(); ++i)
+            results[i] = execute(specs[i]);
+        return results;
+    }
+
+    // Submission order is preserved by construction: task i writes
+    // results[i], and each result is independent of scheduling (the
+    // cache changes whether a run recomputes, never its value).
+    // `remaining` is read and written only under doneMutex so the
+    // waiter cannot observe 0 (and unwind the stack these locals
+    // live on) while a worker still holds or is about to take the
+    // lock.
+    size_t remaining = specs.size();
+    std::mutex doneMutex;
+    std::condition_variable doneCv;
+    {
+        std::lock_guard<std::mutex> lock(queueMutex_);
+        for (size_t i = 0; i < specs.size(); ++i) {
+            queue_.emplace_back([this, &specs, &results, &remaining,
+                                 &doneMutex, &doneCv, i] {
+                results[i] = execute(specs[i]);
+                std::lock_guard<std::mutex> doneLock(doneMutex);
+                if (--remaining == 0)
+                    doneCv.notify_all();
+            });
+        }
+    }
+    queueCv_.notify_all();
+
+    std::unique_lock<std::mutex> lock(doneMutex);
+    doneCv.wait(lock, [&remaining] { return remaining == 0; });
+    return results;
+}
+
+SimStats
+ExperimentEngine::simulate(const RunSpec &spec) const
+{
+    std::vector<std::unique_ptr<SyntheticProgram>> sources;
+    std::vector<InstructionSource *> raw;
+    sources.reserve(spec.programs.size());
+    for (const auto &name : spec.programs) {
+        sources.push_back(makeProgram(name, spec.scale));
+        raw.push_back(sources.back().get());
+    }
+
+    VectorSim sim(spec.params);
+    switch (spec.mode) {
+      case SpecMode::Single:
+        return sim.runSingle(*raw[0], spec.maxInstructions);
+      case SpecMode::Group:
+        return sim.runGroup(raw);
+      case SpecMode::JobQueue:
+        return sim.runJobQueue(raw);
+    }
+    panic("bad SpecMode %d", static_cast<int>(spec.mode));
+}
+
+ExperimentEngine::CachedStats
+ExperimentEngine::cachedStats(const RunSpec &spec, bool *hit)
+{
+    // Truncated runs (the F_i terms of the speedup accounting) are
+    // keyed by an exact dispatch count that is essentially unique per
+    // group run — memoizing them would grow the never-evicting cache
+    // without ever paying off, so they simulate fresh, as do all
+    // runs on a memoize=false engine.
+    if (!memoize_ || spec.maxInstructions != 0) {
+        uncachedRuns_.fetch_add(1);
+        if (hit)
+            *hit = false;
+        return std::make_shared<SimStats>(simulate(spec));
+    }
+
+    const std::string key = spec.canonical();
+    std::promise<CachedStats> promise;
+    std::shared_future<CachedStats> future;
+    bool owner = false;
+    {
+        std::lock_guard<std::mutex> lock(cacheMutex_);
+        auto it = cache_.find(key);
+        if (it == cache_.end()) {
+            future = promise.get_future().share();
+            cache_.emplace(key, future);
+            owner = true;
+            cacheMisses_.fetch_add(1);
+        } else {
+            future = it->second;
+            cacheHits_.fetch_add(1);
+        }
+    }
+    if (owner)
+        promise.set_value(std::make_shared<SimStats>(simulate(spec)));
+    if (hit)
+        *hit = !owner;
+    return future.get();
+}
+
+const SimStats &
+ExperimentEngine::statsFor(const RunSpec &spec)
+{
+    if (!memoize_)
+        fatal("statsFor needs a memoizing engine (its reference "
+              "points into the cache); use run() instead");
+    if (spec.maxInstructions != 0)
+        fatal("truncated runs are not cached (their dispatch-count "
+              "keys never repeat); use run() instead");
+    // The cache never evicts, so the referenced object lives as long
+    // as the engine.
+    return *cachedStats(spec, nullptr);
+}
+
+RunResult
+ExperimentEngine::execute(const RunSpec &spec)
+{
+    RunResult result;
+    result.spec = spec;
+    bool hit = false;
+    result.stats = *cachedStats(spec, &hit);
+    result.cached = hit;
+    if (spec.mode == SpecMode::Group) {
+        const GroupMetrics m = groupMetrics(spec, result.stats);
+        result.speedup = m.speedup;
+        result.mthOccupation = m.mthOccupation;
+        result.refOccupation = m.refOccupation;
+        result.mthVopc = m.mthVopc;
+        result.refVopc = m.refVopc;
+    }
+    return result;
+}
+
+ExperimentEngine::GroupMetrics
+ExperimentEngine::groupMetrics(const RunSpec &spec,
+                               const SimStats &mth)
+{
+    if (!memoize_)
+        return computeGroupMetrics(spec, mth);
+
+    const std::string key = spec.canonical();
+    std::promise<GroupMetrics> promise;
+    std::shared_future<GroupMetrics> future;
+    bool owner = false;
+    {
+        std::lock_guard<std::mutex> lock(groupMutex_);
+        auto it = groupCache_.find(key);
+        if (it == groupCache_.end()) {
+            future = promise.get_future().share();
+            groupCache_.emplace(key, future);
+            owner = true;
+        } else {
+            future = it->second;
+        }
+    }
+    if (owner)
+        promise.set_value(computeGroupMetrics(spec, mth));
+    return future.get();
+}
+
+ExperimentEngine::GroupMetrics
+ExperimentEngine::computeGroupMetrics(const RunSpec &spec,
+                                      const SimStats &mth)
+{
+    const uint64_t t = mth.cycles;
+    MTV_ASSERT(mth.threads.size() == spec.programs.size());
+
+    // Section 4.1: the reference machine's time for the same amount
+    // of work — thread 0's single run C_0, plus each companion's full
+    // runs r_i * C_i and fractional run F_i (measured in dispatched
+    // instructions, re-simulated truncated on the reference machine).
+    double refWork = 0;
+    uint64_t refCycles = 0;
+    uint64_t refRequests = 0;
+    uint64_t refOps = 0;
+    for (size_t i = 0; i < spec.programs.size(); ++i) {
+        const CachedStats full = cachedStats(
+            RunSpec::reference(spec.programs[i], spec.params,
+                               spec.scale),
+            nullptr);
+        if (i == 0) {
+            refWork += static_cast<double>(full->cycles);
+        } else {
+            const ThreadStats &ts = mth.threads[i];
+            refWork += static_cast<double>(ts.runsCompleted) *
+                       static_cast<double>(full->cycles);
+            if (ts.instructionsThisRun > 0) {
+                const CachedStats frac = cachedStats(
+                    RunSpec::reference(spec.programs[i], spec.params,
+                                       spec.scale,
+                                       ts.instructionsThisRun),
+                    nullptr);
+                refWork += static_cast<double>(frac->cycles);
+            }
+        }
+        refCycles += full->cycles;
+        refRequests += full->memRequests;
+        refOps += full->vecOpsFu1 + full->vecOpsFu2;
+    }
+
+    GroupMetrics m;
+    m.speedup = t ? refWork / static_cast<double>(t) : 0.0;
+
+    // Occupation / VOPC comparison: the tuple run sequentially (once
+    // each) on the reference machine.
+    m.mthOccupation = mth.memPortOccupation();
+    m.mthVopc = mth.vopc();
+    m.refOccupation =
+        refCycles ? static_cast<double>(refRequests) / refCycles : 0.0;
+    m.refVopc =
+        refCycles ? static_cast<double>(refOps) / refCycles : 0.0;
+    return m;
+}
+
+uint64_t
+ExperimentEngine::sequentialReferenceCycles(
+    const std::vector<std::string> &jobs, const MachineParams &params,
+    double scale)
+{
+    std::vector<RunSpec> specs;
+    specs.reserve(jobs.size());
+    for (const auto &job : jobs)
+        specs.push_back(RunSpec::reference(job, params, scale));
+    uint64_t total = 0;
+    for (const auto &result : runAll(specs))
+        total += result.stats.cycles;
+    return total;
+}
+
+const TraceStats &
+ExperimentEngine::programStats(const std::string &program, double scale)
+{
+    const std::string key =
+        format("%s|%.17g", findProgram(program).name.c_str(), scale);
+    std::promise<std::shared_ptr<const TraceStats>> promise;
+    std::shared_future<std::shared_ptr<const TraceStats>> future;
+    bool owner = false;
+    {
+        std::lock_guard<std::mutex> lock(traceMutex_);
+        auto it = traceCache_.find(key);
+        if (it == traceCache_.end()) {
+            future = promise.get_future().share();
+            traceCache_.emplace(key, future);
+            owner = true;
+        } else {
+            future = it->second;
+        }
+    }
+    if (owner) {
+        auto source = makeProgram(program, scale);
+        promise.set_value(
+            std::make_shared<TraceStats>(analyzeSource(*source)));
+    }
+    return *future.get();
+}
+
+IdealBound
+ExperimentEngine::idealTime(const std::vector<std::string> &jobs,
+                            double scale, int decodeWidth)
+{
+    TraceStats total;
+    for (const auto &job : jobs)
+        total += programStats(job, scale);
+    return idealBound(total, decodeWidth);
+}
+
+size_t
+ExperimentEngine::cacheSize() const
+{
+    std::lock_guard<std::mutex> lock(cacheMutex_);
+    return cache_.size();
+}
+
+} // namespace mtv

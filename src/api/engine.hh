@@ -1,0 +1,212 @@
+/**
+ * @file
+ * ExperimentEngine: executes RunSpecs across a pool of worker
+ * threads, one VectorSim per in-flight spec, with a thread-safe
+ * memoized result cache shared by every batch.
+ *
+ * Design notes:
+ *  - Results come back in submission order, and every result is
+ *    bit-identical regardless of worker count: each spec's simulation
+ *    is self-contained (the simulator and workload generator are
+ *    deterministic), and the cache only changes *whether* a run is
+ *    recomputed, never its outcome.
+ *  - The cache maps RunSpec::canonical() to the finished SimStats via
+ *    a shared_future, so two workers needing the same run (typically
+ *    a memoized reference run of the section 4.1 accounting) never
+ *    compute it twice — the second waits on the first.
+ *  - Group-mode specs embed the paper's full speedup methodology:
+ *    the multithreaded run plus the C_i / F_i reference terms, all
+ *    served through the cache.
+ *  - Cache entries are never evicted; references returned by
+ *    statsFor()/programStats() stay valid for the engine's lifetime.
+ */
+
+#ifndef MTV_API_ENGINE_HH
+#define MTV_API_ENGINE_HH
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "src/api/run_spec.hh"
+#include "src/core/sim.hh"
+#include "src/trace/analyzer.hh"
+
+namespace mtv
+{
+
+/** Tuning knobs for an ExperimentEngine. */
+struct EngineOptions
+{
+    /** Worker threads; 0 = one per hardware thread (min 1). */
+    int workers = 0;
+    /**
+     * Memoize finished runs in the shared cache (the default).
+     * Disable for throughput benchmarking, where a cache hit would
+     * measure a lookup instead of a simulation.
+     */
+    bool memoize = true;
+};
+
+/** One executed RunSpec. */
+struct RunResult
+{
+    RunSpec spec;
+    /** The run itself (the multithreaded run for group mode). */
+    SimStats stats;
+    /** True when the spec's own run was served from the cache. */
+    bool cached = false;
+
+    // ----- group-mode extras (zeros for single/job-queue specs) -----
+    double speedup = 0;       ///< section 4.1 reference-work formula
+    double mthOccupation = 0; ///< memory-port occupation, mth machine
+    double refOccupation = 0; ///< tuple run sequentially on reference
+    double mthVopc = 0;       ///< vector ops/cycle, mth machine
+    double refVopc = 0;       ///< tuple VOPC on the reference machine
+};
+
+/** Parallel experiment executor with a shared memoized result cache. */
+class ExperimentEngine
+{
+  public:
+    explicit ExperimentEngine(EngineOptions options = {});
+    ~ExperimentEngine();
+
+    ExperimentEngine(const ExperimentEngine &) = delete;
+    ExperimentEngine &operator=(const ExperimentEngine &) = delete;
+
+    /** Execute one spec on the calling thread (cache-served). */
+    RunResult run(const RunSpec &spec);
+
+    /**
+     * Execute a batch across the worker pool. Results are returned in
+     * submission order and are identical to running each spec alone.
+     */
+    std::vector<RunResult> runAll(const std::vector<RunSpec> &specs);
+
+    /**
+     * Cached SimStats of @p spec's own run (no group accounting),
+     * computed on the calling thread on a miss. The reference points
+     * into the never-evicting cache and stays valid for the engine's
+     * lifetime. fatal()s on a memoize=false engine or a truncated
+     * spec (neither is cached; there is nothing stable to point
+     * into) — use run() there.
+     */
+    const SimStats &statsFor(const RunSpec &spec);
+
+    /**
+     * Σ C_i of the speedup/job-queue methodology: the job list run
+     * sequentially (once each) on the reference machine derived from
+     * @p params. Parallelized over the pool and cached per program.
+     */
+    uint64_t sequentialReferenceCycles(
+        const std::vector<std::string> &jobs,
+        const MachineParams &params,
+        double scale = workloadDefaultScale);
+
+    /** Aggregate Table 3-style statistics of a program; memoized. */
+    const TraceStats &programStats(const std::string &program,
+                                   double scale = workloadDefaultScale);
+
+    /** Paper's IDEAL bound for the combined work of @p jobs. */
+    IdealBound idealTime(const std::vector<std::string> &jobs,
+                         double scale = workloadDefaultScale,
+                         int decodeWidth = 1);
+
+    /** Worker threads serving runAll(). */
+    int workers() const { return workers_; }
+
+    /** Completed runs held by the shared cache. */
+    size_t cacheSize() const;
+
+    /** Cache lookups served without a simulation. */
+    uint64_t cacheHits() const { return cacheHits_.load(); }
+
+    /** Cacheable lookups that had to simulate. */
+    uint64_t cacheMisses() const { return cacheMisses_.load(); }
+
+    /**
+     * Runs that are uncacheable by design (truncated F_i specs, or
+     * everything on a memoize=false engine) — counted apart so the
+     * hit/miss ratio reflects only cacheable lookups.
+     */
+    uint64_t uncachedRuns() const { return uncachedRuns_.load(); }
+
+  private:
+    using CachedStats = std::shared_ptr<const SimStats>;
+
+    /** The section 4.1 accounting of one group run. */
+    struct GroupMetrics
+    {
+        double speedup = 0;
+        double mthOccupation = 0;
+        double refOccupation = 0;
+        double mthVopc = 0;
+        double refVopc = 0;
+    };
+
+    /** Run @p spec's simulation (no cache, no group accounting). */
+    SimStats simulate(const RunSpec &spec) const;
+
+    /**
+     * Cache-served stats for @p spec; sets @p hit when non-null.
+     * The returned pointer keeps the result alive even on a
+     * memoize=false engine (where nothing else owns it).
+     */
+    CachedStats cachedStats(const RunSpec &spec, bool *hit);
+
+    /** Full execution incl. group accounting, on the calling thread. */
+    RunResult execute(const RunSpec &spec);
+
+    /**
+     * Section 4.1 metrics of a group-mode run, memoized per spec so
+     * a cache hit on the group stats does not re-pay the (uncached)
+     * truncated F_i reference simulations.
+     */
+    GroupMetrics groupMetrics(const RunSpec &spec,
+                              const SimStats &mth);
+
+    /** Compute the metrics (reference runs via the stats cache). */
+    GroupMetrics computeGroupMetrics(const RunSpec &spec,
+                                     const SimStats &mth);
+
+    void workerLoop();
+
+    int workers_ = 1;
+    bool memoize_ = true;
+    std::vector<std::thread> pool_;
+    std::deque<std::function<void()>> queue_;
+    std::mutex queueMutex_;
+    std::condition_variable queueCv_;
+    bool stopping_ = false;
+
+    mutable std::mutex cacheMutex_;
+    std::unordered_map<std::string, std::shared_future<CachedStats>>
+        cache_;
+    std::atomic<uint64_t> cacheHits_{0};
+    std::atomic<uint64_t> cacheMisses_{0};
+    std::atomic<uint64_t> uncachedRuns_{0};
+
+    std::mutex groupMutex_;
+    std::unordered_map<std::string, std::shared_future<GroupMetrics>>
+        groupCache_;
+
+    std::mutex traceMutex_;
+    std::unordered_map<std::string,
+                       std::shared_future<std::shared_ptr<
+                           const TraceStats>>>
+        traceCache_;
+};
+
+} // namespace mtv
+
+#endif // MTV_API_ENGINE_HH

@@ -1,0 +1,130 @@
+/**
+ * @file
+ * RunSpec: a declarative, value-type description of one experiment
+ * point — which machine, which programs, which of the paper's run
+ * methodologies, at what workload scale. A RunSpec fully determines a
+ * simulation's outcome (the simulator and workload generator are
+ * deterministic), so its canonical string doubles as the cache key of
+ * the shared result cache in ExperimentEngine.
+ *
+ * Specs are built with the factory functions (single/group/jobQueue/
+ * reference); every factory canonicalizes program names through
+ * findProgram() and validates the machine description, so an invalid
+ * spec fails loudly at construction, not mid-batch.
+ */
+
+#ifndef MTV_API_RUN_SPEC_HH
+#define MTV_API_RUN_SPEC_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/isa/machine_params.hh"
+#include "src/workload/program.hh"
+
+namespace mtv
+{
+
+/** Which of the paper's run methodologies a spec describes. */
+enum class SpecMode : uint8_t
+{
+    /**
+     * One program to completion on context 0 (the reference-machine
+     * experiment). maxInstructions optionally truncates the run —
+     * the F_i terms of the section 4.1 speedup accounting.
+     */
+    Single,
+    /**
+     * Section 4.1 group run: programs[0] is the measured program on
+     * thread 0; companions restart until it completes. The machine
+     * has exactly programs.size() contexts.
+     */
+    Group,
+    /** Section 7 job queue: the job list served by all contexts. */
+    JobQueue
+};
+
+/** Short name for canonical serialization and reports. */
+const char *specModeName(SpecMode mode);
+
+/** One declarative experiment point. */
+struct RunSpec
+{
+    SpecMode mode = SpecMode::Single;
+    MachineParams params;
+    /** Canonical (full) suite program names; programs[0] = thread 0. */
+    std::vector<std::string> programs;
+    /** Workload scale the programs are instantiated at. */
+    double scale = workloadDefaultScale;
+    /** Single mode only: stop after this many dispatches (0 = none). */
+    uint64_t maxInstructions = 0;
+
+    // ----- factories (canonicalize + validate) -----
+
+    /** Single run of @p program on @p params. */
+    static RunSpec single(const std::string &program,
+                          const MachineParams &params,
+                          double scale = workloadDefaultScale,
+                          uint64_t maxInstructions = 0);
+
+    /**
+     * Single run of @p program on the *reference machine derived
+     * from* @p params (multithreading features stripped) — the C_i /
+     * F_i terms of the speedup methodology.
+     */
+    static RunSpec reference(const std::string &program,
+                             const MachineParams &params,
+                             double scale = workloadDefaultScale,
+                             uint64_t maxInstructions = 0);
+
+    /**
+     * Section 4.1 group run. @p params.contexts is overwritten with
+     * programs.size().
+     */
+    static RunSpec group(const std::vector<std::string> &programs,
+                         MachineParams params,
+                         double scale = workloadDefaultScale);
+
+    /** Section 7 job-queue run of @p jobs (in order) on @p params. */
+    static RunSpec jobQueue(const std::vector<std::string> &jobs,
+                            const MachineParams &params,
+                            double scale = workloadDefaultScale);
+
+    // ----- serialization -----
+
+    /**
+     * Canonical, lossless serialization:
+     *   `mode=<m>;scale=<g>;max=<n>;programs=<a,b>;machine=<params>`
+     * Two specs with equal canonical strings describe the same
+     * experiment; the engine's result cache keys on this string.
+     */
+    std::string canonical() const;
+
+    /** Inverse of canonical(); fatal()s on malformed input. */
+    static RunSpec parse(const std::string &text);
+
+    /** Stable 64-bit key: FNV-1a over canonical(). */
+    uint64_t key() const;
+
+    /** Re-check invariants; fatal()s on user error. */
+    void validate() const;
+
+    bool operator==(const RunSpec &other) const;
+    bool operator!=(const RunSpec &other) const
+    {
+        return !(*this == other);
+    }
+};
+
+/**
+ * The reference (baseline) machine derived from @p params: one
+ * context, single-width decode, no dual-scalar, baseline scheduling.
+ * Everything else (latencies, ports, extensions) is preserved, so a
+ * sweep's reference point tracks its multithreaded point.
+ */
+MachineParams referenceMachineOf(MachineParams params);
+
+} // namespace mtv
+
+#endif // MTV_API_RUN_SPEC_HH

@@ -1,0 +1,148 @@
+#include "src/api/sweep.hh"
+
+#include "src/common/logging.hh"
+#include "src/workload/suite.hh"
+
+namespace mtv
+{
+
+std::vector<std::vector<std::string>>
+groupingsFor(const std::string &x, int contexts)
+{
+    const std::string name = findProgram(x).name;  // canonicalize
+    std::vector<std::vector<std::string>> groups;
+    switch (contexts) {
+      case 2:
+        for (const auto &c2 : groupingColumn2())
+            groups.push_back({name, c2});
+        break;
+      case 3:
+        for (const auto &c2 : groupingColumn2())
+            for (const auto &c3 : groupingColumn3())
+                groups.push_back({name, c2, c3});
+        break;
+      case 4:
+        for (const auto &c2 : groupingColumn2())
+            for (const auto &c3 : groupingColumn3())
+                for (const auto &c4 : groupingColumn4())
+                    groups.push_back({name, c2, c3, c4});
+        break;
+      default:
+        fatal("groupings are defined for 2..4 contexts, got %d",
+              contexts);
+    }
+    return groups;
+}
+
+GroupAverages
+averageOf(const SweepSlice &slice, const std::vector<RunResult> &results)
+{
+    MTV_ASSERT(slice.count > 0);
+    MTV_ASSERT(slice.first + slice.count <= results.size());
+    GroupAverages avg;
+    avg.program = slice.label;
+    avg.contexts = slice.contexts;
+    for (size_t i = slice.first; i < slice.first + slice.count; ++i) {
+        const RunResult &r = results[i];
+        MTV_ASSERT(r.spec.mode == SpecMode::Group);
+        avg.speedup += r.speedup;
+        avg.mthOccupation += r.mthOccupation;
+        avg.refOccupation += r.refOccupation;
+        avg.mthVopc += r.mthVopc;
+        avg.refVopc += r.refVopc;
+        ++avg.runs;
+    }
+    const double n = avg.runs;
+    avg.speedup /= n;
+    avg.mthOccupation /= n;
+    avg.refOccupation /= n;
+    avg.mthVopc /= n;
+    avg.refVopc /= n;
+    return avg;
+}
+
+SweepBuilder::SweepBuilder(double scale)
+    : scale_(scale)
+{
+    if (scale <= 0)
+        fatal("sweep scale must be positive, got %g", scale);
+}
+
+SweepBuilder &
+SweepBuilder::addSingle(const std::string &program,
+                        const MachineParams &params,
+                        uint64_t maxInstructions)
+{
+    specs_.push_back(
+        RunSpec::single(program, params, scale_, maxInstructions));
+    return *this;
+}
+
+SweepBuilder &
+SweepBuilder::addReference(const std::string &program,
+                           const MachineParams &params)
+{
+    specs_.push_back(RunSpec::reference(program, params, scale_));
+    return *this;
+}
+
+SweepBuilder &
+SweepBuilder::addGroup(const std::vector<std::string> &programs,
+                       const MachineParams &params)
+{
+    specs_.push_back(RunSpec::group(programs, params, scale_));
+    return *this;
+}
+
+SweepBuilder &
+SweepBuilder::addJobQueue(const std::vector<std::string> &jobs,
+                          const MachineParams &params)
+{
+    specs_.push_back(RunSpec::jobQueue(jobs, params, scale_));
+    return *this;
+}
+
+SweepBuilder &
+SweepBuilder::add(const RunSpec &spec)
+{
+    spec.validate();
+    specs_.push_back(spec);
+    return *this;
+}
+
+SweepBuilder &
+SweepBuilder::addGroupings(const std::string &program, int contexts,
+                           const MachineParams &params)
+{
+    SweepSlice slice;
+    slice.label = findProgram(program).name;
+    slice.contexts = contexts;
+    slice.first = specs_.size();
+    for (const auto &group : groupingsFor(program, contexts))
+        specs_.push_back(RunSpec::group(group, params, scale_));
+    slice.count = specs_.size() - slice.first;
+    slices_.push_back(std::move(slice));
+    return *this;
+}
+
+SweepBuilder &
+SweepBuilder::addLatencySweep(const std::vector<std::string> &jobs,
+                              const MachineParams &params,
+                              const std::vector<int> &latencies,
+                              const std::string &label)
+{
+    SweepSlice slice;
+    slice.label = label;
+    slice.contexts = params.contexts;
+    slice.first = specs_.size();
+    for (const int lat : latencies) {
+        MachineParams p = params;
+        p.memLatency = lat;
+        specs_.push_back(RunSpec::jobQueue(jobs, p, scale_));
+    }
+    slice.count = specs_.size() - slice.first;
+    slices_.push_back(std::move(slice));
+    return *this;
+}
+
+} // namespace mtv

@@ -1,0 +1,132 @@
+/**
+ * @file
+ * SweepBuilder: expands the paper's parameter sweeps — latency lists,
+ * context counts, the Table 2 grouping methodology — into RunSpec
+ * batches, so a figure bench is "build sweep → engine.runAll →
+ * render". The builder records where each logical slice (e.g. "all
+ * groupings of tomcatv at 3 contexts") landed in the batch, so
+ * results can be averaged back into figure data points.
+ */
+
+#ifndef MTV_API_SWEEP_HH
+#define MTV_API_SWEEP_HH
+
+#include <string>
+#include <vector>
+
+#include "src/api/engine.hh"
+#include "src/api/run_spec.hh"
+
+namespace mtv
+{
+
+/**
+ * All groupings for program @p x at @p contexts threads, following
+ * the paper's methodology: 5 pairs (x + column-2 entries), 10 triples
+ * (x + column-2 + column-3) or 10 quadruples (x + column-2 +
+ * column-3 + column-4). Each grouping's first element is x
+ * (= thread 0).
+ */
+std::vector<std::vector<std::string>>
+groupingsFor(const std::string &x, int contexts);
+
+/** A contiguous range of batch entries forming one figure point. */
+struct SweepSlice
+{
+    std::string label;    ///< e.g. the measured program
+    int contexts = 0;     ///< context count of this slice (0 = n/a)
+    size_t first = 0;     ///< index of the slice's first spec
+    size_t count = 0;     ///< number of specs in the slice
+};
+
+/** Per-program figure data point: the average over its groupings. */
+struct GroupAverages
+{
+    std::string program;
+    int contexts = 0;
+    int runs = 0;
+    double speedup = 0;
+    double mthOccupation = 0;
+    double refOccupation = 0;
+    double mthVopc = 0;
+    double refVopc = 0;
+};
+
+/**
+ * Average the group-mode results of @p slice — one bar of Figures 6,
+ * 7 or 8. All slice entries must be group-mode results.
+ */
+GroupAverages averageOf(const SweepSlice &slice,
+                        const std::vector<RunResult> &results);
+
+/** Builds a RunSpec batch plus the slice map over it. */
+class SweepBuilder
+{
+  public:
+    explicit SweepBuilder(double scale = workloadDefaultScale);
+
+    /** Workload scale every appended spec uses. */
+    double scale() const { return scale_; }
+
+    // ----- single points -----
+
+    SweepBuilder &addSingle(const std::string &program,
+                            const MachineParams &params,
+                            uint64_t maxInstructions = 0);
+
+    /** Single run on the reference machine derived from @p params. */
+    SweepBuilder &addReference(const std::string &program,
+                               const MachineParams &params);
+
+    SweepBuilder &addGroup(const std::vector<std::string> &programs,
+                           const MachineParams &params);
+
+    SweepBuilder &addJobQueue(const std::vector<std::string> &jobs,
+                              const MachineParams &params);
+
+    /** Append an already-built spec verbatim. */
+    SweepBuilder &add(const RunSpec &spec);
+
+    // ----- methodology expansions -----
+
+    /**
+     * One slice per call: every Table 2 grouping of @p program at
+     * @p contexts threads on @p params (contexts is forced per
+     * grouping size). averageOf() the slice to get the figure bar.
+     */
+    SweepBuilder &addGroupings(const std::string &program, int contexts,
+                               const MachineParams &params);
+
+    /**
+     * Cross @p latencies with a job-queue run of @p jobs: one spec
+     * per latency, params otherwise unchanged. Records one slice
+     * labelled @p label spanning the swept specs in latency order.
+     */
+    SweepBuilder &addLatencySweep(const std::vector<std::string> &jobs,
+                                  const MachineParams &params,
+                                  const std::vector<int> &latencies,
+                                  const std::string &label = "");
+
+    // ----- results -----
+
+    /** Number of specs appended so far (= index of the next spec). */
+    size_t size() const { return specs_.size(); }
+
+    /** The accumulated batch (builder keeps its slice map). */
+    const std::vector<RunSpec> &specs() const { return specs_; }
+
+    /** Move the batch out; the slice map survives for averaging. */
+    std::vector<RunSpec> take() { return std::move(specs_); }
+
+    /** Slices recorded by the expansion helpers, insertion order. */
+    const std::vector<SweepSlice> &slices() const { return slices_; }
+
+  private:
+    double scale_;
+    std::vector<RunSpec> specs_;
+    std::vector<SweepSlice> slices_;
+};
+
+} // namespace mtv
+
+#endif // MTV_API_SWEEP_HH

@@ -73,6 +73,7 @@ VectorSim::VectorSim(const MachineParams &params)
 {
     params_.validate();
     contexts_.resize(params_.contexts);
+    lastSelected_.resize(params_.contexts, 0);
     memPorts_.resize(params_.loadPorts + params_.storePorts);
     for (int i = 0; i < params_.loadPorts; ++i)
         loadPortRefs_.push_back(&memPorts_[i]);
@@ -182,7 +183,7 @@ VectorSim::resetMachine(RunMode mode)
     for (auto &ctx : contexts_)
         ctx = Context{};
     currentThread_ = 0;
-    std::fill(std::begin(lastSelected_), std::end(lastSelected_), 0);
+    std::fill(lastSelected_.begin(), lastSelected_.end(), 0);
     jobs_.clear();
     nextJob_ = 0;
     maxInstructions_ = 0;
@@ -384,6 +385,28 @@ VectorSim::sampleState(uint64_t now)
 // Fetch
 // ---------------------------------------------------------------------
 
+void
+VectorSim::checkOperands(const Instruction &inst) const
+{
+    const auto checkReg = [&inst](uint8_t reg, RegSpace space) {
+        if (reg == noReg || space == RegSpace::None)
+            return;
+        const int limit = space == RegSpace::V ? numVRegs
+                                               : numSRegs + numARegs;
+        if (reg >= limit) {
+            fatal("instruction '%s' references out-of-range register "
+                  "%u (space holds %d)",
+                  inst.disasm().c_str(), reg, limit);
+        }
+    };
+    checkReg(inst.dst, inst.dstSpace());
+    checkReg(inst.srcA, inst.srcSpace());
+    checkReg(inst.srcB, inst.srcSpace());
+    if (isVector(inst.op) && inst.vl > maxVectorLength)
+        fatal("instruction '%s' exceeds the maximum vector length %d",
+              inst.disasm().c_str(), maxVectorLength);
+}
+
 bool
 VectorSim::ensureWindow(Context &ctx, uint64_t now, BlockReason &why)
 {
@@ -413,6 +436,7 @@ VectorSim::ensureWindow(Context &ctx, uint64_t now, BlockReason &why)
 
         Instruction inst;
         if (ctx.source->next(inst)) {
+            checkOperands(inst);
             ctx.window.push_back(inst);
             continue;
         }

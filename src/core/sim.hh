@@ -118,7 +118,10 @@ class VectorSim
         bool finished = false;        ///< no more work will be fetched
         bool restartable = false;     ///< restart source at end-of-run
         uint64_t fetchReadyAt = 0;    ///< branch-shadow gate
-        uint64_t scalarReady[16] = {};///< S0-7 + A0-7 scoreboard
+        /** Unified S0-7 + A0-7 scoreboard, sized from the ISA widths
+         *  (indices are checked against it at fetch; see
+         *  checkOperands). */
+        uint64_t scalarReady[numSRegs + numARegs] = {};
         VRegTiming vregs[numVRegs] = {};
         BankPorts banks[numVRegs / 2] = {};
         ThreadStats stats;
@@ -157,6 +160,13 @@ class VectorSim
      * @return true when at least one instruction is waiting.
      */
     bool ensureWindow(Context &ctx, uint64_t now, BlockReason &why);
+
+    /**
+     * Validate a fetched instruction's register indices against the
+     * scoreboard/register-file sizes, so a corrupt trace or a buggy
+     * generator fails loudly instead of indexing out of bounds.
+     */
+    void checkOperands(const Instruction &inst) const;
 
     /** Window capacity for this machine. */
     size_t
@@ -205,7 +215,7 @@ class VectorSim
     PipeUnit fu2_;
     std::vector<Context> contexts_;
     int currentThread_ = 0;
-    uint64_t lastSelected_[8] = {};   ///< for FairLru
+    std::vector<uint64_t> lastSelected_;  ///< per context, for FairLru
 
     // --- run bookkeeping ---
     RunMode mode_ = RunMode::UntilThreadZero;

@@ -1,62 +1,17 @@
 #include "src/driver/experiments.hh"
 
-#include "src/common/logging.hh"
-
 namespace mtv
 {
-
-std::vector<std::vector<std::string>>
-groupingsFor(const std::string &x, int contexts)
-{
-    const std::string name = findProgram(x).name;  // canonicalize
-    std::vector<std::vector<std::string>> groups;
-    switch (contexts) {
-      case 2:
-        for (const auto &c2 : groupingColumn2())
-            groups.push_back({name, c2});
-        break;
-      case 3:
-        for (const auto &c2 : groupingColumn2())
-            for (const auto &c3 : groupingColumn3())
-                groups.push_back({name, c2, c3});
-        break;
-      case 4:
-        for (const auto &c2 : groupingColumn2())
-            for (const auto &c3 : groupingColumn3())
-                for (const auto &c4 : groupingColumn4())
-                    groups.push_back({name, c2, c3, c4});
-        break;
-      default:
-        fatal("groupings are defined for 2..4 contexts, got %d",
-              contexts);
-    }
-    return groups;
-}
 
 ProgramAverages
 averagesFor(Runner &runner, const std::string &program, int contexts,
             const MachineParams &params)
 {
-    ProgramAverages avg;
-    avg.program = findProgram(program).name;
-    avg.contexts = contexts;
-    for (const auto &group : groupingsFor(program, contexts)) {
-        const GroupResult r = runner.runGroup(group, params);
-        avg.speedup += r.speedup;
-        avg.mthOccupation += r.mthOccupation;
-        avg.refOccupation += r.refOccupation;
-        avg.mthVopc += r.mthVopc;
-        avg.refVopc += r.refVopc;
-        ++avg.runs;
-    }
-    MTV_ASSERT(avg.runs > 0);
-    const double n = avg.runs;
-    avg.speedup /= n;
-    avg.mthOccupation /= n;
-    avg.refOccupation /= n;
-    avg.mthVopc /= n;
-    avg.refVopc /= n;
-    return avg;
+    SweepBuilder sweep(runner.scale());
+    sweep.addGroupings(program, contexts, params);
+    const std::vector<RunResult> results =
+        runner.engine().runAll(sweep.specs());
+    return averageOf(sweep.slices().front(), results);
 }
 
 const std::vector<int> &

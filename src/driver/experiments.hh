@@ -1,8 +1,10 @@
 /**
  * @file
- * Experiment definitions shared by the figure benches: the Table 2
- * grouping enumeration and per-program averaging (section 4.1), and
- * the latency sweep values used across Figures 4-12.
+ * Experiment definitions shared by the figure benches, now thin
+ * wrappers over the src/api sweep helpers: the Table 2 grouping
+ * enumeration (re-exported from src/api/sweep.hh), per-program
+ * averaging (section 4.1), and the latency sweep values used across
+ * Figures 4-12.
  */
 
 #ifndef MTV_DRIVER_EXPERIMENTS_HH
@@ -11,36 +13,19 @@
 #include <string>
 #include <vector>
 
+#include "src/api/sweep.hh"
 #include "src/driver/runner.hh"
 
 namespace mtv
 {
 
-/**
- * All groupings for program @p x at @p contexts threads, following the
- * paper's methodology: 5 pairs (x + column-2 entries), 10 triples
- * (x + column-2 + column-3) or 10 quadruples (x + column-2 + column-3
- * + column-4). Each grouping's first element is x (= thread 0).
- */
-std::vector<std::vector<std::string>>
-groupingsFor(const std::string &x, int contexts);
-
 /** Per-program figure data point: the average over its groupings. */
-struct ProgramAverages
-{
-    std::string program;
-    int contexts = 0;
-    int runs = 0;
-    double speedup = 0;
-    double mthOccupation = 0;
-    double refOccupation = 0;
-    double mthVopc = 0;
-    double refVopc = 0;
-};
+using ProgramAverages = GroupAverages;
 
 /**
  * Run every grouping of @p program at @p contexts on @p params and
- * average the metrics — one bar of Figures 6, 7 or 8.
+ * average the metrics — one bar of Figures 6, 7 or 8. Groupings run
+ * in parallel across the runner's engine workers.
  */
 ProgramAverages averagesFor(Runner &runner, const std::string &program,
                             int contexts, const MachineParams &params);

@@ -5,8 +5,8 @@
 namespace mtv
 {
 
-Runner::Runner(double scale)
-    : scale_(scale)
+Runner::Runner(double scale, int workers)
+    : scale_(scale), engine_(EngineOptions{workers})
 {
     if (scale <= 0)
         fatal("runner scale must be positive");
@@ -19,27 +19,11 @@ Runner::instantiate(const std::string &program) const
                                               scale_);
 }
 
-std::string
-Runner::cacheKey(const std::string &program,
-                 const MachineParams &params) const
-{
-    return program + "|" + params.describe();
-}
-
 const SimStats &
 Runner::referenceRun(const std::string &program,
                      const MachineParams &params)
 {
-    MachineParams ref = referenceOf(params);
-    const std::string key = cacheKey(program, ref);
-    auto it = refCache_.find(key);
-    if (it != refCache_.end())
-        return it->second;
-
-    auto source = instantiate(program);
-    VectorSim sim(ref);
-    SimStats stats = sim.runSingle(*source);
-    return refCache_.emplace(key, std::move(stats)).first->second;
+    return engine_.statsFor(RunSpec::reference(program, params, scale_));
 }
 
 SimStats
@@ -49,19 +33,15 @@ Runner::truncatedReferenceRun(const std::string &program,
 {
     if (instructions == 0)
         return SimStats{};
-    auto source = instantiate(program);
-    VectorSim sim(referenceOf(params));
-    return sim.runSingle(*source, instructions);
+    return engine_
+        .run(RunSpec::reference(program, params, scale_, instructions))
+        .stats;
 }
 
 MachineParams
 Runner::referenceOf(MachineParams params)
 {
-    params.contexts = 1;
-    params.decodeWidth = 1;
-    params.dualScalar = false;
-    params.sched = SchedPolicy::UnfairLowest;
-    return params;
+    return referenceMachineOf(params);
 }
 
 GroupResult
@@ -69,59 +49,15 @@ Runner::runGroup(const std::vector<std::string> &programs,
                  MachineParams mthParams)
 {
     MTV_ASSERT(!programs.empty());
-    mthParams.contexts = static_cast<int>(programs.size());
-
-    // Slot-private program instances (a program may appear twice).
-    std::vector<std::unique_ptr<SyntheticProgram>> sources;
-    std::vector<InstructionSource *> raw;
-    for (const auto &name : programs) {
-        sources.push_back(instantiate(name));
-        raw.push_back(sources.back().get());
-    }
-
-    VectorSim sim(mthParams);
+    const RunResult r =
+        engine_.run(RunSpec::group(programs, mthParams, scale_));
     GroupResult result;
-    result.mth = sim.runGroup(raw);
-
-    // --- Speedup: reference time for the same amount of work.
-    // Thread 0 ran exactly once (C_0); thread i>0 ran r_i full times
-    // plus a fraction measured in dispatched instructions (F_i).
-    const uint64_t t = result.mth.cycles;
-    double refWork = 0;
-    for (size_t i = 0; i < programs.size(); ++i) {
-        const ThreadStats &ts = result.mth.threads[i];
-        const SimStats &full = referenceRun(programs[i], mthParams);
-        if (i == 0) {
-            refWork += static_cast<double>(full.cycles);
-        } else {
-            refWork += static_cast<double>(ts.runsCompleted) *
-                       static_cast<double>(full.cycles);
-            if (ts.instructionsThisRun > 0) {
-                const SimStats frac = truncatedReferenceRun(
-                    programs[i], mthParams, ts.instructionsThisRun);
-                refWork += static_cast<double>(frac.cycles);
-            }
-        }
-    }
-    result.speedup = t ? refWork / static_cast<double>(t) : 0.0;
-
-    // --- Occupation / VOPC comparison: the tuple run sequentially
-    // (once each) on the reference machine.
-    uint64_t refCycles = 0;
-    uint64_t refRequests = 0;
-    uint64_t refOps = 0;
-    for (const auto &name : programs) {
-        const SimStats &full = referenceRun(name, mthParams);
-        refCycles += full.cycles;
-        refRequests += full.memRequests;
-        refOps += full.vecOpsFu1 + full.vecOpsFu2;
-    }
-    result.mthOccupation = result.mth.memPortOccupation();
-    result.mthVopc = result.mth.vopc();
-    result.refOccupation =
-        refCycles ? static_cast<double>(refRequests) / refCycles : 0.0;
-    result.refVopc =
-        refCycles ? static_cast<double>(refOps) / refCycles : 0.0;
+    result.mth = r.stats;
+    result.speedup = r.speedup;
+    result.mthOccupation = r.mthOccupation;
+    result.refOccupation = r.refOccupation;
+    result.mthVopc = r.mthVopc;
+    result.refVopc = r.refVopc;
     return result;
 }
 
@@ -129,44 +65,26 @@ SimStats
 Runner::runJobQueue(const std::vector<std::string> &jobs,
                     const MachineParams &params)
 {
-    std::vector<std::unique_ptr<SyntheticProgram>> sources;
-    std::vector<InstructionSource *> raw;
-    for (const auto &name : jobs) {
-        sources.push_back(instantiate(name));
-        raw.push_back(sources.back().get());
-    }
-    VectorSim sim(params);
-    return sim.runJobQueue(raw);
+    return engine_.statsFor(RunSpec::jobQueue(jobs, params, scale_));
 }
 
 uint64_t
 Runner::sequentialReferenceTime(const std::vector<std::string> &jobs,
                                 const MachineParams &refParams)
 {
-    uint64_t total = 0;
-    for (const auto &name : jobs)
-        total += referenceRun(name, refParams).cycles;
-    return total;
+    return engine_.sequentialReferenceCycles(jobs, refParams, scale_);
 }
 
 const TraceStats &
 Runner::programStats(const std::string &program)
 {
-    auto it = statsCache_.find(program);
-    if (it != statsCache_.end())
-        return it->second;
-    auto source = instantiate(program);
-    TraceStats stats = analyzeSource(*source);
-    return statsCache_.emplace(program, stats).first->second;
+    return engine_.programStats(program, scale_);
 }
 
 IdealBound
 Runner::idealTime(const std::vector<std::string> &jobs, int decodeWidth)
 {
-    TraceStats total;
-    for (const auto &name : jobs)
-        total += programStats(name);
-    return idealBound(total, decodeWidth);
+    return engine_.idealTime(jobs, scale_, decodeWidth);
 }
 
 } // namespace mtv

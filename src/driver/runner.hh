@@ -1,19 +1,20 @@
 /**
  * @file
- * Experiment runner: instantiates workloads, caches reference-machine
- * runs, and implements the paper's two benchmarking methodologies —
- * the restart-based group speedup of section 4.1 and the fixed-work
- * job queue of section 7 — plus the IDEAL lower bound of Figure 10.
+ * Experiment runner: the original single-threaded driver API, kept as
+ * a thin adapter over ExperimentEngine (src/api). The engine owns the
+ * memoized reference-run cache and the worker pool; Runner adds
+ * nothing but the familiar method names and a fixed workload scale.
+ * New code should use RunSpec/ExperimentEngine/SweepBuilder directly.
  */
 
 #ifndef MTV_DRIVER_RUNNER_HH
 #define MTV_DRIVER_RUNNER_HH
 
-#include <map>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "src/api/engine.hh"
 #include "src/core/sim.hh"
 #include "src/trace/analyzer.hh"
 #include "src/workload/suite.hh"
@@ -33,17 +34,29 @@ struct GroupResult
 };
 
 /**
- * Stateful experiment driver. A Runner is bound to one workload scale;
- * reference runs are memoized per (program, machine-parameter) pair,
- * since the grouped methodology re-uses them heavily.
+ * Adapter binding an ExperimentEngine to one workload scale.
+ * Reference runs are memoized in the engine's shared cache, exactly
+ * as the grouped methodology needs.
  */
 class Runner
 {
   public:
-    explicit Runner(double scale = workloadDefaultScale);
+    /**
+     * @param scale   Workload scale all programs instantiate at.
+     * @param workers Engine worker threads (0 = hardware threads).
+     *                Defaults to 1: most Runner methods execute on
+     *                the calling thread; only sequentialReferenceTime
+     *                and averagesFor() dispatch batches to the pool,
+     *                so pass a larger count when those dominate.
+     */
+    explicit Runner(double scale = workloadDefaultScale,
+                    int workers = 1);
 
     /** Workload scale this runner generates programs at. */
     double scale() const { return scale_; }
+
+    /** The engine (and shared cache) backing this runner. */
+    ExperimentEngine &engine() { return engine_; }
 
     /** Fresh, slot-private instance of a suite program's stream. */
     std::unique_ptr<SyntheticProgram>
@@ -58,7 +71,8 @@ class Runner
 
     /**
      * Reference run truncated after @p instructions dispatches —
-     * the F_i terms of the speedup formula. Not memoized.
+     * the F_i terms of the speedup formula. Not memoized (the
+     * dispatch-count keys essentially never repeat).
      */
     SimStats truncatedReferenceRun(const std::string &program,
                                    const MachineParams &params,
@@ -95,12 +109,8 @@ class Runner
     static MachineParams referenceOf(MachineParams params);
 
   private:
-    std::string cacheKey(const std::string &program,
-                         const MachineParams &params) const;
-
     double scale_;
-    std::map<std::string, SimStats> refCache_;
-    std::map<std::string, TraceStats> statsCache_;
+    ExperimentEngine engine_;
 };
 
 } // namespace mtv

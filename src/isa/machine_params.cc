@@ -124,6 +124,31 @@ MachineParams::decoupledVector(int depth)
     return p;
 }
 
+namespace
+{
+
+/** The Table 1 latency pairs, with their config key stems. */
+struct LatField
+{
+    const char *key;
+    LatPair MachineParams::*member;
+};
+
+const LatField latFields[] = {
+    {"lat_int_add", &MachineParams::latIntAdd},
+    {"lat_fp_add", &MachineParams::latFpAdd},
+    {"lat_logic", &MachineParams::latLogic},
+    {"lat_int_mul", &MachineParams::latIntMul},
+    {"lat_fp_mul", &MachineParams::latFpMul},
+    {"lat_int_div", &MachineParams::latIntDiv},
+    {"lat_fp_div", &MachineParams::latFpDiv},
+    {"lat_sqrt", &MachineParams::latSqrt},
+    {"lat_move", &MachineParams::latMove},
+    {"lat_control", &MachineParams::latControl},
+};
+
+} // namespace
+
 MachineParams
 MachineParams::fromConfig(const Config &config)
 {
@@ -166,7 +191,60 @@ MachineParams::fromConfig(const Config &config)
         config.getInt("decouple_depth", p.decoupleDepth));
     p.branchStall =
         static_cast<int>(config.getInt("branch_stall", p.branchStall));
+    for (const auto &field : latFields) {
+        LatPair &pair = p.*(field.member);
+        pair.scalar = static_cast<int>(config.getInt(
+            std::string(field.key) + "_s", pair.scalar));
+        pair.vector = static_cast<int>(config.getInt(
+            std::string(field.key) + "_v", pair.vector));
+    }
     p.validate();
+    return p;
+}
+
+std::string
+MachineParams::canonical() const
+{
+    // Keep key names identical to fromConfig() so the two formats
+    // stay mutually parseable, and keep the order fixed: canonical
+    // strings are compared byte-for-byte by the experiment cache, so
+    // every public field (including the Table 1 latency pairs) must
+    // appear — two machines differing anywhere must never alias.
+    std::string out = format(
+        "contexts=%d sched=%s decode_width=%d dual_scalar=%d "
+        "read_xbar=%d write_xbar=%d vector_startup=%d bank_ports=%d "
+        "mem_latency=%d banked_memory=%d mem_banks=%d bank_busy=%d "
+        "load_chaining=%d load_ports=%d store_ports=%d renaming=%d "
+        "decouple_depth=%d branch_stall=%d",
+        contexts, schedPolicyName(sched).c_str(), decodeWidth,
+        dualScalar ? 1 : 0, readXbar, writeXbar, vectorStartup,
+        modelBankPorts ? 1 : 0, memLatency, bankedMemory ? 1 : 0,
+        memBanks, bankBusyCycles, loadChaining ? 1 : 0, loadPorts,
+        storePorts, renaming ? 1 : 0, decoupleDepth, branchStall);
+    for (const auto &field : latFields) {
+        const LatPair &pair = this->*(field.member);
+        out += format(" %s_s=%d %s_v=%d", field.key, pair.scalar,
+                      field.key, pair.vector);
+    }
+    return out;
+}
+
+MachineParams
+MachineParams::fromCanonical(const std::string &text)
+{
+    Config config;
+    for (const auto &pair : split(text, ' ')) {
+        if (pair.empty())
+            continue;
+        const auto kv = split(pair, '=');
+        if (kv.size() != 2)
+            fatal("malformed machine description token '%s'",
+                  pair.c_str());
+        config.set(kv[0], kv[1]);
+    }
+    MachineParams p = fromConfig(config);
+    for (const auto &key : config.unusedKeys())
+        fatal("unknown machine parameter '%s'", key.c_str());
     return p;
 }
 

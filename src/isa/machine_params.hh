@@ -177,10 +177,26 @@ struct MachineParams
      * (unfair-lowest|round-robin|fair-lru), decode_width, dual_scalar,
      * read_xbar, write_xbar, vector_startup, bank_ports, mem_latency,
      * banked_memory, mem_banks, bank_busy, load_chaining, load_ports,
-     * store_ports, renaming, decouple_depth, branch_stall.
-     * fatal()s on invalid values (validate() is applied).
+     * store_ports, renaming, decouple_depth, branch_stall, and the
+     * Table 1 latency pairs as lat_<class>_s / lat_<class>_v
+     * (int_add, fp_add, logic, int_mul, fp_mul, int_div, fp_div,
+     * sqrt, move, control). fatal()s on invalid values (validate()
+     * is applied).
      */
     static MachineParams fromConfig(const Config &config);
+
+    /**
+     * Canonical, lossless serialization of every public parameter —
+     * the fromConfig() key set, latency table included — in a fixed
+     * order, as `key=value` pairs joined by spaces. Two
+     * MachineParams with the same canonical form describe the same
+     * machine; RunSpec cache keys are built from it, so no two
+     * differing machines may alias.
+     */
+    std::string canonical() const;
+
+    /** Inverse of canonical(); fatal()s on malformed input. */
+    static MachineParams fromCanonical(const std::string &text);
 
     /** One-line description for reports. */
     std::string describe() const;

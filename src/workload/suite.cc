@@ -1,5 +1,8 @@
 #include "src/workload/suite.hh"
 
+#include <map>
+#include <mutex>
+
 #include "src/common/logging.hh"
 #include "src/common/strutil.hh"
 
@@ -8,6 +11,21 @@ namespace mtv
 
 namespace
 {
+
+/** Custom programs added via registerProgram(), keyed by name. */
+std::map<std::string, ProgramSpec> &
+customPrograms()
+{
+    static std::map<std::string, ProgramSpec> programs;
+    return programs;
+}
+
+std::mutex &
+customProgramsMutex()
+{
+    static std::mutex mutex;
+    return mutex;
+}
 
 // ---------------------------------------------------------------------
 // Kernel bodies. Shapes follow the dominant loop nests of each real
@@ -501,7 +519,83 @@ findProgram(const std::string &nameOrAbbrev)
         if (p.name == key || p.abbrev == key)
             return p;
     }
+    {
+        std::lock_guard<std::mutex> lock(customProgramsMutex());
+        for (const auto &entry : customPrograms()) {
+            const ProgramSpec &p = entry.second;
+            if (toLower(p.name) == key || toLower(p.abbrev) == key)
+                return p;
+        }
+    }
     fatal("unknown benchmark program '%s'", nameOrAbbrev.c_str());
+}
+
+namespace
+{
+
+/**
+ * Program identifiers flow into RunSpec canonical strings, which use
+ * ',' (program separator), ';' (field separator) and '=' (key/value)
+ * as structure — an identifier containing them would serialize
+ * ambiguously and poison byte-compared cache keys.
+ */
+void
+checkIdentifier(const std::string &id, const char *what)
+{
+    if (id.empty())
+        fatal("custom program %s must not be empty", what);
+    for (const char c : id) {
+        const bool ok = (c >= 'a' && c <= 'z') ||
+                        (c >= 'A' && c <= 'Z') ||
+                        (c >= '0' && c <= '9') || c == '_' || c == '-' ||
+                        c == '.';
+        if (!ok)
+            fatal("custom program %s '%s' contains invalid character "
+                  "'%c' (allowed: alphanumerics, '_', '-', '.')",
+                  what, id.c_str(), c);
+    }
+}
+
+} // namespace
+
+void
+registerProgram(const ProgramSpec &spec)
+{
+    spec.validate();
+    checkIdentifier(spec.name, "name");
+    checkIdentifier(spec.abbrev, "abbreviation");
+    const std::string name = toLower(spec.name);
+    const std::string abbrev = toLower(spec.abbrev);
+    // Either identifier colliding with either suite identifier would
+    // make lookups ambiguous (the suite is searched first, silently
+    // shadowing the custom program).
+    for (const auto &p : benchmarkSuite()) {
+        if (p.name == name || p.name == abbrev || p.abbrev == name ||
+            p.abbrev == abbrev) {
+            fatal("custom program '%s' (%s) collides with suite "
+                  "program '%s' (%s)",
+                  spec.name.c_str(), spec.abbrev.c_str(),
+                  p.name.c_str(), p.abbrev.c_str());
+        }
+    }
+    std::lock_guard<std::mutex> lock(customProgramsMutex());
+    // Registrations are permanent for the process lifetime:
+    // findProgram hands out references into this map, and cached
+    // experiment results are keyed by program name — redefining a
+    // name would invalidate both.
+    for (const auto &entry : customPrograms()) {
+        const ProgramSpec &p = entry.second;
+        const std::string pName = toLower(p.name);
+        const std::string pAbbrev = toLower(p.abbrev);
+        if (pName == name || pName == abbrev || pAbbrev == name ||
+            pAbbrev == abbrev) {
+            fatal("custom program '%s' (%s) collides with already-"
+                  "registered program '%s' (%s)",
+                  spec.name.c_str(), spec.abbrev.c_str(),
+                  p.name.c_str(), p.abbrev.c_str());
+        }
+    }
+    customPrograms().emplace(name, spec);
 }
 
 std::unique_ptr<SyntheticProgram>

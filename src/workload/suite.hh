@@ -27,9 +27,22 @@ const std::vector<ProgramSpec> &benchmarkSuite();
 
 /**
  * Find a program by full name ("swm256") or paper abbreviation ("sw").
- * fatal()s when unknown (user-facing lookup).
+ * Looks through the built-in suite and then the custom-program
+ * registry; fatal()s when unknown (user-facing lookup).
  */
 const ProgramSpec &findProgram(const std::string &nameOrAbbrev);
+
+/**
+ * Register a custom program so experiment RunSpecs can reference it
+ * by name like a suite program. The spec is validated; its name and
+ * abbreviation must not collide with any suite or already-registered
+ * identifier (fatal() otherwise). Registrations are permanent for
+ * the process lifetime — findProgram hands out references into the
+ * registry and cached experiment results are keyed by program name.
+ * Lookups are thread-safe; registration must happen before
+ * experiment batches that use the name start running.
+ */
+void registerProgram(const ProgramSpec &spec);
 
 /** Instantiate a program's instruction stream at @p scale. */
 std::unique_ptr<SyntheticProgram>

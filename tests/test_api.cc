@@ -1,0 +1,440 @@
+/**
+ * @file
+ * Tests for src/api: RunSpec serialization/hash round-trips, the
+ * ExperimentEngine's shared result cache, worker-count-independent
+ * determinism, SweepBuilder expansion, and the custom-program
+ * registry.
+ */
+
+#include <gtest/gtest.h>
+
+#include "src/api/engine.hh"
+#include "src/api/sweep.hh"
+#include "src/driver/experiments.hh"
+#include "src/workload/suite.hh"
+
+namespace mtv
+{
+namespace
+{
+
+constexpr double testScale = 2e-5;
+
+/** Field-by-field SimStats equality (bit-identical runs). */
+void
+expectSameStats(const SimStats &a, const SimStats &b)
+{
+    EXPECT_EQ(a.cycles, b.cycles);
+    EXPECT_EQ(a.memRequests, b.memRequests);
+    EXPECT_EQ(a.vecOpsFu1, b.vecOpsFu1);
+    EXPECT_EQ(a.vecOpsFu2, b.vecOpsFu2);
+    EXPECT_EQ(a.dispatches, b.dispatches);
+    EXPECT_EQ(a.decodeIdle, b.decodeIdle);
+    EXPECT_EQ(a.stateHist, b.stateHist);
+    ASSERT_EQ(a.threads.size(), b.threads.size());
+    for (size_t i = 0; i < a.threads.size(); ++i) {
+        EXPECT_EQ(a.threads[i].instructions, b.threads[i].instructions);
+        EXPECT_EQ(a.threads[i].runsCompleted,
+                  b.threads[i].runsCompleted);
+        EXPECT_EQ(a.threads[i].instructionsThisRun,
+                  b.threads[i].instructionsThisRun);
+    }
+}
+
+// ---------------------------------------------------------------------
+// RunSpec
+// ---------------------------------------------------------------------
+
+TEST(RunSpec, CanonicalRoundTripSingle)
+{
+    MachineParams p = MachineParams::reference();
+    p.memLatency = 73;
+    const RunSpec spec = RunSpec::single("tomcatv", p, 1e-4, 123);
+    const RunSpec back = RunSpec::parse(spec.canonical());
+    EXPECT_EQ(spec, back);
+    EXPECT_EQ(spec.canonical(), back.canonical());
+    EXPECT_EQ(spec.key(), back.key());
+}
+
+TEST(RunSpec, CanonicalRoundTripGroup)
+{
+    MachineParams p = MachineParams::multithreaded(3);
+    p.sched = SchedPolicy::FairLru;
+    p.renaming = true;
+    const RunSpec spec =
+        RunSpec::group({"swm256", "hydro2d", "trfd"}, p, testScale);
+    const RunSpec back = RunSpec::parse(spec.canonical());
+    EXPECT_EQ(spec, back);
+    EXPECT_EQ(back.mode, SpecMode::Group);
+    EXPECT_EQ(back.params.contexts, 3);
+    EXPECT_EQ(back.params.sched, SchedPolicy::FairLru);
+    EXPECT_TRUE(back.params.renaming);
+}
+
+TEST(RunSpec, CanonicalRoundTripJobQueue)
+{
+    MachineParams p = MachineParams::crayStyle(4);
+    p.decodeWidth = 2;
+    p.bankedMemory = true;
+    const RunSpec spec = RunSpec::jobQueue(jobQueueOrder(), p, 3e-5);
+    const RunSpec back = RunSpec::parse(spec.canonical());
+    EXPECT_EQ(spec, back);
+    EXPECT_EQ(back.programs.size(), jobQueueOrder().size());
+    EXPECT_EQ(back.params.loadPorts, 2);
+    EXPECT_EQ(back.params.storePorts, 1);
+}
+
+TEST(RunSpec, AbbreviationsCanonicalize)
+{
+    const RunSpec a =
+        RunSpec::single("sw", MachineParams::reference(), testScale);
+    const RunSpec b = RunSpec::single("swm256",
+                                      MachineParams::reference(),
+                                      testScale);
+    EXPECT_EQ(a, b);
+    EXPECT_EQ(a.key(), b.key());
+    EXPECT_EQ(a.programs[0], "swm256");
+}
+
+TEST(RunSpec, KeyDiscriminates)
+{
+    const RunSpec a =
+        RunSpec::single("swm256", MachineParams::reference(),
+                        testScale);
+    MachineParams p = MachineParams::reference();
+    p.memLatency = 51;
+    const RunSpec b = RunSpec::single("swm256", p, testScale);
+    const RunSpec c =
+        RunSpec::single("hydro2d", MachineParams::reference(),
+                        testScale);
+    EXPECT_NE(a.key(), b.key());
+    EXPECT_NE(a.key(), c.key());
+    EXPECT_NE(a.canonical(), b.canonical());
+}
+
+TEST(RunSpec, MachineParamsCanonicalRoundTrip)
+{
+    MachineParams p = MachineParams::multithreaded(4);
+    p.sched = SchedPolicy::RoundRobin;
+    p.decodeWidth = 2;
+    p.readXbar = 3;
+    p.memLatency = 87;
+    p.bankedMemory = true;
+    p.memBanks = 128;
+    p.decoupleDepth = 6;
+    const MachineParams q = MachineParams::fromCanonical(p.canonical());
+    EXPECT_EQ(p.canonical(), q.canonical());
+    EXPECT_EQ(q.sched, SchedPolicy::RoundRobin);
+    EXPECT_EQ(q.memBanks, 128);
+    EXPECT_EQ(q.decoupleDepth, 6);
+}
+
+TEST(RunSpecDeath, UnknownProgram)
+{
+    EXPECT_EXIT(
+        {
+            RunSpec::single("nonesuch", MachineParams::reference(),
+                            testScale);
+        },
+        testing::ExitedWithCode(1), "unknown");
+}
+
+TEST(RunSpecDeath, MalformedParse)
+{
+    EXPECT_EXIT({ RunSpec::parse("mode=single;oops"); },
+                testing::ExitedWithCode(1), "malformed");
+}
+
+TEST(RunSpecDeath, GarbageNumericFieldsRejected)
+{
+    const RunSpec good = RunSpec::single(
+        "tomcatv", MachineParams::reference(), testScale);
+    std::string withBadMax = good.canonical();
+    withBadMax.replace(withBadMax.find(";max=0;"), 7, ";max=10k;");
+    EXPECT_EXIT({ RunSpec::parse(withBadMax); },
+                testing::ExitedWithCode(1), "not an unsigned");
+
+    std::string withBadScale = good.canonical();
+    const size_t at = withBadScale.find(";max=");
+    withBadScale =
+        "mode=single;scale=fast" + withBadScale.substr(at);
+    EXPECT_EXIT({ RunSpec::parse(withBadScale); },
+                testing::ExitedWithCode(1), "not a number");
+}
+
+TEST(RunSpec, ReferenceStripsMultithreading)
+{
+    MachineParams p = MachineParams::fujitsuDualScalar();
+    p.memLatency = 70;
+    const MachineParams ref = referenceMachineOf(p);
+    EXPECT_EQ(ref.contexts, 1);
+    EXPECT_EQ(ref.decodeWidth, 1);
+    EXPECT_FALSE(ref.dualScalar);
+    EXPECT_EQ(ref.memLatency, 70);  // non-MT knobs preserved
+}
+
+// ---------------------------------------------------------------------
+// ExperimentEngine: cache behaviour
+// ---------------------------------------------------------------------
+
+TEST(Engine, CacheHitReturnsIdenticalStats)
+{
+    ExperimentEngine engine(EngineOptions{1});
+    const RunSpec spec =
+        RunSpec::single("flo52", MachineParams::reference(), testScale);
+
+    const RunResult first = engine.run(spec);
+    EXPECT_FALSE(first.cached);
+    const RunResult second = engine.run(spec);
+    EXPECT_TRUE(second.cached);
+    expectSameStats(first.stats, second.stats);
+    EXPECT_GE(engine.cacheHits(), 1u);
+
+    // statsFor returns the same cached object both times.
+    const SimStats &a = engine.statsFor(spec);
+    const SimStats &b = engine.statsFor(spec);
+    EXPECT_EQ(&a, &b);
+}
+
+TEST(Engine, CacheKeyedByMachine)
+{
+    ExperimentEngine engine(EngineOptions{1});
+    MachineParams p70 = MachineParams::reference();
+    p70.memLatency = 70;
+    const SimStats &fast = engine.statsFor(
+        RunSpec::single("trfd", MachineParams::reference(), testScale));
+    const SimStats &slow =
+        engine.statsFor(RunSpec::single("trfd", p70, testScale));
+    EXPECT_LT(fast.cycles, slow.cycles);
+    EXPECT_EQ(engine.cacheSize(), 2u);
+}
+
+TEST(Engine, GroupReferenceRunsAreShared)
+{
+    // The 5 two-thread groupings of one program share reference runs;
+    // the cache should hold far fewer entries than naive re-running.
+    ExperimentEngine engine(EngineOptions{2});
+    SweepBuilder sweep(testScale);
+    sweep.addGroupings("trfd", 2, MachineParams::multithreaded(2));
+    const auto results = engine.runAll(sweep.specs());
+    ASSERT_EQ(results.size(), 5u);
+    for (const auto &r : results)
+        EXPECT_GT(r.speedup, 0.0);
+    EXPECT_GE(engine.cacheHits(), 1u);
+
+    // Re-running the identical batch is served entirely from the
+    // caches (group metrics included) with identical values.
+    const uint64_t missesBefore = engine.cacheMisses();
+    const auto again = engine.runAll(sweep.specs());
+    EXPECT_EQ(engine.cacheMisses(), missesBefore);
+    for (size_t i = 0; i < results.size(); ++i) {
+        EXPECT_TRUE(again[i].cached);
+        EXPECT_DOUBLE_EQ(again[i].speedup, results[i].speedup);
+        EXPECT_DOUBLE_EQ(again[i].refVopc, results[i].refVopc);
+    }
+}
+
+TEST(Engine, UncachedModeNeverHits)
+{
+    EngineOptions options;
+    options.workers = 1;
+    options.memoize = false;
+    ExperimentEngine engine(options);
+    const RunSpec spec =
+        RunSpec::single("dyfesm", MachineParams::reference(),
+                        testScale);
+    const RunResult a = engine.run(spec);
+    const RunResult b = engine.run(spec);
+    EXPECT_FALSE(a.cached);
+    EXPECT_FALSE(b.cached);
+    EXPECT_EQ(engine.cacheSize(), 0u);
+    expectSameStats(a.stats, b.stats);
+}
+
+// ---------------------------------------------------------------------
+// ExperimentEngine: determinism across worker counts
+// ---------------------------------------------------------------------
+
+TEST(Engine, BatchDeterministicAcrossWorkerCounts)
+{
+    // A mixed 4-spec batch: single, group, job queue, truncated
+    // single. 1 worker and 4 workers must produce bit-identical
+    // results in the same (submission) order.
+    MachineParams mth2 = MachineParams::multithreaded(2);
+    MachineParams ref = MachineParams::reference();
+    const std::vector<RunSpec> specs = {
+        RunSpec::single("tomcatv", ref, testScale),
+        RunSpec::group({"trfd", "swm256"}, mth2, testScale),
+        RunSpec::jobQueue({"flo52", "dyfesm", "trfd"}, mth2,
+                          testScale),
+        RunSpec::single("dyfesm", ref, testScale, 500),
+    };
+
+    ExperimentEngine serial(EngineOptions{1});
+    ExperimentEngine parallel4(EngineOptions{4});
+    const auto a = serial.runAll(specs);
+    const auto b = parallel4.runAll(specs);
+    ASSERT_EQ(a.size(), specs.size());
+    ASSERT_EQ(b.size(), specs.size());
+    for (size_t i = 0; i < specs.size(); ++i) {
+        EXPECT_EQ(a[i].spec, b[i].spec);
+        expectSameStats(a[i].stats, b[i].stats);
+        EXPECT_DOUBLE_EQ(a[i].speedup, b[i].speedup);
+        EXPECT_DOUBLE_EQ(a[i].refOccupation, b[i].refOccupation);
+        EXPECT_DOUBLE_EQ(a[i].refVopc, b[i].refVopc);
+    }
+}
+
+TEST(Engine, MatchesDriverAdapter)
+{
+    // The Runner adapter and the engine must agree exactly.
+    Runner runner(testScale, 1);
+    ExperimentEngine engine(EngineOptions{1});
+
+    MachineParams mth2 = MachineParams::multithreaded(2);
+    const GroupResult viaRunner =
+        runner.runGroup({"tomcatv", "swm256"}, mth2);
+    const RunResult viaEngine = engine.run(
+        RunSpec::group({"tomcatv", "swm256"}, mth2, testScale));
+    expectSameStats(viaRunner.mth, viaEngine.stats);
+    EXPECT_DOUBLE_EQ(viaRunner.speedup, viaEngine.speedup);
+    EXPECT_DOUBLE_EQ(viaRunner.mthOccupation, viaEngine.mthOccupation);
+    EXPECT_DOUBLE_EQ(viaRunner.refVopc, viaEngine.refVopc);
+}
+
+TEST(Engine, SequentialReferenceCyclesIsSumOfRuns)
+{
+    ExperimentEngine engine(EngineOptions{2});
+    const std::vector<std::string> jobs = {"flo52", "trfd", "dyfesm"};
+    const MachineParams ref = MachineParams::reference();
+    uint64_t expected = 0;
+    for (const auto &job : jobs)
+        expected +=
+            engine.statsFor(RunSpec::reference(job, ref, testScale))
+                .cycles;
+    EXPECT_EQ(engine.sequentialReferenceCycles(jobs, ref, testScale),
+              expected);
+}
+
+// ---------------------------------------------------------------------
+// SweepBuilder
+// ---------------------------------------------------------------------
+
+TEST(Sweep, GroupingSliceShapes)
+{
+    SweepBuilder sweep(testScale);
+    sweep.addGroupings("swm256", 2, MachineParams::multithreaded(2));
+    sweep.addGroupings("swm256", 3, MachineParams::multithreaded(3));
+    sweep.addGroupings("swm256", 4, MachineParams::multithreaded(4));
+    ASSERT_EQ(sweep.slices().size(), 3u);
+    EXPECT_EQ(sweep.slices()[0].count, 5u);
+    EXPECT_EQ(sweep.slices()[1].count, 10u);
+    EXPECT_EQ(sweep.slices()[2].count, 10u);
+    EXPECT_EQ(sweep.size(), 25u);
+    // Every spec's thread 0 is the measured program.
+    for (const auto &spec : sweep.specs())
+        EXPECT_EQ(spec.programs[0], "swm256");
+}
+
+TEST(Sweep, AverageOfMatchesAveragesFor)
+{
+    Runner runner(testScale, 2);
+    const MachineParams p = MachineParams::multithreaded(2);
+    const ProgramAverages viaDriver =
+        averagesFor(runner, "trfd", 2, p);
+
+    SweepBuilder sweep(testScale);
+    sweep.addGroupings("trfd", 2, p);
+    const auto results = runner.engine().runAll(sweep.specs());
+    const GroupAverages viaSweep =
+        averageOf(sweep.slices().front(), results);
+
+    EXPECT_EQ(viaDriver.runs, viaSweep.runs);
+    EXPECT_DOUBLE_EQ(viaDriver.speedup, viaSweep.speedup);
+    EXPECT_DOUBLE_EQ(viaDriver.mthVopc, viaSweep.mthVopc);
+}
+
+TEST(Sweep, LatencySweepExpansion)
+{
+    SweepBuilder sweep(testScale);
+    sweep.addLatencySweep({"flo52", "trfd"},
+                          MachineParams::multithreaded(2),
+                          {1, 50, 100}, "mth2");
+    ASSERT_EQ(sweep.size(), 3u);
+    EXPECT_EQ(sweep.specs()[0].params.memLatency, 1);
+    EXPECT_EQ(sweep.specs()[2].params.memLatency, 100);
+    EXPECT_EQ(sweep.slices().front().label, "mth2");
+    EXPECT_EQ(sweep.slices().front().count, 3u);
+}
+
+// ---------------------------------------------------------------------
+// Custom-program registry
+// ---------------------------------------------------------------------
+
+TEST(Registry, CustomProgramRunsByName)
+{
+    ProgramSpec daxpy = makeDaxpySpec(64 * 1024);
+    daxpy.name = "testdaxpy";
+    daxpy.abbrev = "td";
+    registerProgram(daxpy);
+
+    ExperimentEngine engine(EngineOptions{1});
+    const RunResult r = engine.run(
+        RunSpec::single("testdaxpy", MachineParams::reference(), 1.0));
+    EXPECT_GT(r.stats.cycles, 0u);
+    EXPECT_GT(r.stats.dispatches, 0u);
+
+    // Round-trips like a suite program.
+    const RunSpec spec = RunSpec::single(
+        "td", MachineParams::reference(), 1.0);
+    EXPECT_EQ(spec.programs[0], "testdaxpy");
+    EXPECT_EQ(RunSpec::parse(spec.canonical()), spec);
+}
+
+TEST(RegistryDeath, SuiteCollisionRejected)
+{
+    ProgramSpec clash = makeDaxpySpec(1024);
+    clash.name = "swm256";
+    EXPECT_EXIT({ registerProgram(clash); },
+                testing::ExitedWithCode(1), "collides");
+}
+
+TEST(RegistryDeath, NameVsAbbreviationCollisionRejected)
+{
+    // A custom *name* equal to a suite *abbreviation* would be
+    // silently shadowed by the suite lookup; it must be rejected.
+    ProgramSpec clash = makeDaxpySpec(1024);
+    clash.name = "sw";
+    clash.abbrev = "zz";
+    EXPECT_EXIT({ registerProgram(clash); },
+                testing::ExitedWithCode(1), "collides");
+}
+
+TEST(RegistryDeath, DelimiterInNameRejected)
+{
+    // ',' / ';' / '=' are RunSpec canonical-form structure; an
+    // identifier containing them would serialize ambiguously.
+    ProgramSpec bad = makeDaxpySpec(1024);
+    bad.name = "my,prog";
+    bad.abbrev = "mp";
+    EXPECT_EXIT({ registerProgram(bad); },
+                testing::ExitedWithCode(1), "invalid character");
+}
+
+TEST(RegistryDeath, ReRegistrationRejected)
+{
+    // Registrations are permanent: findProgram hands out references
+    // into the registry and cached results are keyed by name.
+    ProgramSpec spec = makeDaxpySpec(1024);
+    spec.name = "permanent";
+    spec.abbrev = "pm";
+    EXPECT_EXIT(
+        {
+            registerProgram(spec);
+            registerProgram(spec);
+        },
+        testing::ExitedWithCode(1), "already-registered");
+}
+
+} // namespace
+} // namespace mtv
