@@ -8,9 +8,11 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <memory>
 
 #include "src/api/engine.hh"
 #include "src/api/sweep.hh"
+#include "src/store/result_store.hh"
 #include "src/workload/program.hh"
 #include "src/workload/suite.hh"
 
@@ -53,30 +55,23 @@ benchWorkers()
     return 0;  // engine default: one per hardware thread
 }
 
-/** Engine configured from the environment (MTV_WORKERS). */
+/**
+ * Engine configured from the environment: MTV_WORKERS caps the pool,
+ * and MTV_STORE=<dir> attaches the persistent result store — point
+ * consecutive bench invocations at the same directory and every
+ * already-simulated point is served from disk (the warm-store fast
+ * path; the engine summary line shows the store hits).
+ */
 inline ExperimentEngine
 benchEngine()
 {
     EngineOptions options;
     options.workers = benchWorkers();
+    if (const char *dir = std::getenv("MTV_STORE")) {
+        if (*dir)
+            options.backend = std::make_shared<ResultStore>(dir);
+    }
     return ExperimentEngine(options);
-}
-
-/**
- * The grouping sweep behind Figures 6, 7 and 8: every Table 2
- * grouping of every suite program at 2, 3 and 4 contexts. Consume
- * the results through the builder's slices — each slice carries its
- * program and context count, so rendering never depends on position.
- */
-inline SweepBuilder
-suiteGroupingSweep(double scale)
-{
-    SweepBuilder sweep(scale);
-    for (const auto &spec : benchmarkSuite())
-        for (const int contexts : {2, 3, 4})
-            sweep.addGroupings(spec.name, contexts,
-                               MachineParams::multithreaded(contexts));
-    return sweep;
 }
 
 /** Uniform banner so EXPERIMENTS.md can quote outputs verbatim. */
@@ -97,13 +92,14 @@ benchEngineSummary(const ExperimentEngine &engine, double seconds)
 {
     std::printf("\n[engine: %d worker%s, %zu cached runs, "
                 "%llu hits / %llu misses / %llu uncacheable, "
-                "%.2fs wall]\n",
+                "%llu store-served, %.2fs wall]\n",
                 engine.workers(), engine.workers() == 1 ? "" : "s",
                 engine.cacheSize(),
                 static_cast<unsigned long long>(engine.cacheHits()),
                 static_cast<unsigned long long>(engine.cacheMisses()),
                 static_cast<unsigned long long>(
                     engine.uncachedRuns()),
+                static_cast<unsigned long long>(engine.storeHits()),
                 seconds);
 }
 

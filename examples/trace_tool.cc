@@ -7,8 +7,12 @@
  * Usage:
  *   trace_tool gen  <program> <out.mtv> [scale]   record a suite trace
  *   trace_tool dump <in.mtv> <out.mtvt>           binary -> text
+ *   trace_tool load <in.mtvt> <out.mtv>           text -> binary
  *   trace_tool stat <in.mtv>                      operation counts
  *   trace_tool run  <in.mtv> [latency] [contexts] simulate a trace
+ *
+ * Binary traces are read in streaming mode (bounded memory), so
+ * multi-GB traces dump/stat/run fine.
  */
 
 #include <cstdio>
@@ -30,6 +34,7 @@ usage()
                  "usage:\n"
                  "  trace_tool gen  <program> <out.mtv> [scale]\n"
                  "  trace_tool dump <in.mtv> <out.mtvt>\n"
+                 "  trace_tool load <in.mtvt> <out.mtv>\n"
                  "  trace_tool stat <in.mtv>\n"
                  "  trace_tool run  <in.mtv> [latency] [contexts]\n");
     return 2;
@@ -60,15 +65,27 @@ main(int argc, char **argv)
     if (cmd == "dump") {
         if (argc < 4)
             return usage();
-        TraceReader reader(argv[2]);
+        // Streamed: dumping never needs the whole trace in memory.
+        TraceReader reader(argv[2], TraceReadMode::Streaming);
         const uint64_t n = writeTextTrace(reader, argv[3]);
         std::printf("dumped %llu records to %s\n",
                     static_cast<unsigned long long>(n), argv[3]);
         return 0;
     }
 
+    if (cmd == "load") {
+        if (argc < 4)
+            return usage();
+        TextTraceReader reader(argv[2]);
+        const uint64_t n = writeTrace(reader, argv[3]);
+        std::printf("assembled %llu records from %s into %s\n",
+                    static_cast<unsigned long long>(n), argv[2],
+                    argv[3]);
+        return 0;
+    }
+
     if (cmd == "stat") {
-        TraceReader reader(argv[2]);
+        TraceReader reader(argv[2], TraceReadMode::Streaming);
         const TraceStats stats = analyzeSource(reader);
         std::printf("program:              %s\n", reader.name().c_str());
         std::printf("scalar instructions:  %llu\n",
@@ -95,7 +112,7 @@ main(int argc, char **argv)
     }
 
     if (cmd == "run") {
-        TraceReader reader(argv[2]);
+        TraceReader reader(argv[2], TraceReadMode::Streaming);
         MachineParams p = MachineParams::reference();
         if (argc > 3)
             p.memLatency = std::atoi(argv[3]);

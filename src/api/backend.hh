@@ -1,0 +1,59 @@
+/**
+ * @file
+ * ResultBackend: the pluggable persistence interface behind the
+ * ExperimentEngine's in-memory cache. A backend maps a RunSpec's
+ * canonical string to the finished SimStats of that (deterministic)
+ * simulation; the engine consults it on every memory-cache miss and
+ * writes every freshly simulated result through, so results survive
+ * the process and are shared by later engines pointing at the same
+ * backend.
+ *
+ * The interface lives in src/api (below src/store) so the engine
+ * never depends on a concrete storage implementation; the disk-backed
+ * ResultStore in src/store/result_store.hh is the production backend.
+ *
+ * Implementations must be thread-safe: engine workers call load() and
+ * store() concurrently.
+ */
+
+#ifndef MTV_API_BACKEND_HH
+#define MTV_API_BACKEND_HH
+
+#include <memory>
+#include <string>
+
+#include "src/core/metrics.hh"
+
+namespace mtv
+{
+
+/** Persistent spec-keyed result storage behind an engine cache. */
+class ResultBackend
+{
+  public:
+    virtual ~ResultBackend() = default;
+
+    /**
+     * Result previously stored under @p key (a RunSpec::canonical()
+     * string), or nullptr when unknown. The returned object is
+     * immutable and shared; it stays valid independent of the
+     * backend's lifetime.
+     */
+    virtual std::shared_ptr<const SimStats>
+    load(const std::string &key) = 0;
+
+    /**
+     * Persist @p stats under @p key. Storing an already-present key
+     * is a no-op (results are deterministic, so the values are
+     * necessarily identical).
+     */
+    virtual void store(const std::string &key,
+                       const SimStats &stats) = 0;
+
+    /** Number of distinct keys held. */
+    virtual size_t size() const = 0;
+};
+
+} // namespace mtv
+
+#endif // MTV_API_BACKEND_HH

@@ -27,6 +27,8 @@ ExperimentEngine::ExperimentEngine(EngineOptions options)
         fatal("engine worker count must be >= 0, got %d",
               options.workers);
     memoize_ = options.memoize;
+    backend_ = std::move(options.backend);
+    maxCacheEntries_ = options.maxCacheEntries;
     workers_ = options.workers;
     if (workers_ == 0) {
         workers_ = static_cast<int>(
@@ -116,6 +118,37 @@ ExperimentEngine::runAll(const std::vector<RunSpec> &specs)
     return results;
 }
 
+std::future<RunResult>
+ExperimentEngine::submit(const RunSpec &spec)
+{
+    auto task = std::make_shared<std::packaged_task<RunResult()>>(
+        [this, spec] { return execute(spec); });
+    std::future<RunResult> future = task->get_future();
+    if (insideWorker) {
+        (*task)();
+        return future;
+    }
+    {
+        std::lock_guard<std::mutex> lock(queueMutex_);
+        queue_.emplace_back([task] { (*task)(); });
+    }
+    queueCv_.notify_one();
+    return future;
+}
+
+size_t
+ExperimentEngine::discardQueued()
+{
+    std::deque<std::function<void()>> dropped;
+    {
+        std::lock_guard<std::mutex> lock(queueMutex_);
+        dropped.swap(queue_);
+    }
+    // Destroying the packaged tasks outside the lock breaks their
+    // promises, failing the corresponding futures.
+    return dropped.size();
+}
+
 SimStats
 ExperimentEngine::simulate(const RunSpec &spec) const
 {
@@ -140,18 +173,51 @@ ExperimentEngine::simulate(const RunSpec &spec) const
 }
 
 ExperimentEngine::CachedStats
-ExperimentEngine::cachedStats(const RunSpec &spec, bool *hit)
+ExperimentEngine::loadOrSimulate(const std::string &key,
+                                 const RunSpec &spec, Origin *origin)
+{
+    if (backend_) {
+        if (CachedStats stored = backend_->load(key)) {
+            storeHits_.fetch_add(1);
+            if (origin)
+                *origin = Origin::Store;
+            return stored;
+        }
+    }
+    auto fresh = std::make_shared<SimStats>(simulate(spec));
+    if (backend_)
+        backend_->store(key, *fresh);
+    if (origin)
+        *origin = Origin::Simulated;
+    return fresh;
+}
+
+void
+ExperimentEngine::insertCompleted(const std::string &key,
+                                  const CachedStats &stats)
+{
+    lru_.push_front(key);
+    cache_[key] = CacheEntry{stats, lru_.begin()};
+    while (maxCacheEntries_ != 0 && cache_.size() > maxCacheEntries_) {
+        cache_.erase(lru_.back());
+        lru_.pop_back();
+        cacheEvictions_.fetch_add(1);
+    }
+}
+
+ExperimentEngine::CachedStats
+ExperimentEngine::cachedStats(const RunSpec &spec, Origin *origin)
 {
     // Truncated runs (the F_i terms of the speedup accounting) are
     // keyed by an exact dispatch count that is essentially unique per
-    // group run — memoizing them would grow the never-evicting cache
-    // without ever paying off, so they simulate fresh, as do all
-    // runs on a memoize=false engine.
+    // group run — memoizing them would grow the memory cache without
+    // paying off within one process, so they bypass it, as does
+    // everything on a memoize=false engine. The backend still serves
+    // and persists them: across daemon restarts the same F_i keys
+    // *do* repeat, and they dominate a warm group sweep's cost.
     if (!memoize_ || spec.maxInstructions != 0) {
         uncachedRuns_.fetch_add(1);
-        if (hit)
-            *hit = false;
-        return std::make_shared<SimStats>(simulate(spec));
+        return loadOrSimulate(spec.canonical(), spec, origin);
     }
 
     const std::string key = spec.canonical();
@@ -161,21 +227,55 @@ ExperimentEngine::cachedStats(const RunSpec &spec, bool *hit)
     {
         std::lock_guard<std::mutex> lock(cacheMutex_);
         auto it = cache_.find(key);
-        if (it == cache_.end()) {
+        if (it != cache_.end()) {
+            // Completed entry: touch its LRU slot and serve it.
+            lru_.splice(lru_.begin(), lru_, it->second.lruPos);
+            it->second.lruPos = lru_.begin();
+            cacheHits_.fetch_add(1);
+            if (origin)
+                *origin = Origin::Cache;
+            return it->second.stats;
+        }
+        auto pending = inflight_.find(key);
+        if (pending != inflight_.end()) {
+            // Coalesce onto the identical in-flight run.
+            future = pending->second;
+            cacheHits_.fetch_add(1);
+        } else {
             future = promise.get_future().share();
-            cache_.emplace(key, future);
+            inflight_.emplace(key, future);
             owner = true;
             cacheMisses_.fetch_add(1);
-        } else {
-            future = it->second;
-            cacheHits_.fetch_add(1);
         }
     }
-    if (owner)
-        promise.set_value(std::make_shared<SimStats>(simulate(spec)));
-    if (hit)
-        *hit = !owner;
-    return future.get();
+    if (!owner) {
+        if (origin)
+            *origin = Origin::Cache;
+        return future.get();
+    }
+
+    CachedStats stats;
+    try {
+        stats = loadOrSimulate(key, spec, origin);
+    } catch (...) {
+        // fatal() may throw (ScopedFatalAsException) from backend or
+        // simulation code. Un-poison the key and hand the error to
+        // every coalesced waiter, or this spec would hang the engine
+        // for its lifetime.
+        {
+            std::lock_guard<std::mutex> lock(cacheMutex_);
+            inflight_.erase(key);
+        }
+        promise.set_exception(std::current_exception());
+        throw;
+    }
+    {
+        std::lock_guard<std::mutex> lock(cacheMutex_);
+        insertCompleted(key, stats);
+        inflight_.erase(key);
+    }
+    promise.set_value(stats);
+    return stats;
 }
 
 const SimStats &
@@ -184,12 +284,36 @@ ExperimentEngine::statsFor(const RunSpec &spec)
     if (!memoize_)
         fatal("statsFor needs a memoizing engine (its reference "
               "points into the cache); use run() instead");
+    if (maxCacheEntries_ != 0)
+        fatal("statsFor needs an unbounded cache (entries evict "
+              "under maxCacheEntries=%zu); use run() instead",
+              maxCacheEntries_);
     if (spec.maxInstructions != 0)
         fatal("truncated runs are not cached (their dispatch-count "
               "keys never repeat); use run() instead");
-    // The cache never evicts, so the referenced object lives as long
-    // as the engine.
+    // The cache never evicts on this engine, so the referenced object
+    // lives until clear() or destruction.
     return *cachedStats(spec, nullptr);
+}
+
+void
+ExperimentEngine::clear()
+{
+    {
+        std::lock_guard<std::mutex> lock(cacheMutex_);
+        cache_.clear();
+        lru_.clear();
+        // In-flight runs stay: their owners will re-insert on
+        // completion, and coalesced waiters keep their futures.
+    }
+    {
+        std::lock_guard<std::mutex> lock(groupMutex_);
+        groupCache_.clear();
+    }
+    {
+        std::lock_guard<std::mutex> lock(traceMutex_);
+        traceCache_.clear();
+    }
 }
 
 RunResult
@@ -197,9 +321,10 @@ ExperimentEngine::execute(const RunSpec &spec)
 {
     RunResult result;
     result.spec = spec;
-    bool hit = false;
-    result.stats = *cachedStats(spec, &hit);
-    result.cached = hit;
+    Origin origin = Origin::Simulated;
+    result.stats = *cachedStats(spec, &origin);
+    result.cached = origin == Origin::Cache;
+    result.fromStore = origin == Origin::Store;
     if (spec.mode == SpecMode::Group) {
         const GroupMetrics m = groupMetrics(spec, result.stats);
         result.speedup = m.speedup;
@@ -227,14 +352,31 @@ ExperimentEngine::groupMetrics(const RunSpec &spec,
         auto it = groupCache_.find(key);
         if (it == groupCache_.end()) {
             future = promise.get_future().share();
+            // Capped engines bound this cache too (coarse flush:
+            // entries are tiny and recomputing is safe/deterministic,
+            // so LRU bookkeeping isn't worth it here).
+            if (maxCacheEntries_ != 0 &&
+                groupCache_.size() >= maxCacheEntries_) {
+                groupCache_.clear();
+            }
             groupCache_.emplace(key, future);
             owner = true;
         } else {
             future = it->second;
         }
     }
-    if (owner)
-        promise.set_value(computeGroupMetrics(spec, mth));
+    if (owner) {
+        try {
+            promise.set_value(computeGroupMetrics(spec, mth));
+        } catch (...) {
+            {
+                std::lock_guard<std::mutex> lock(groupMutex_);
+                groupCache_.erase(key);
+            }
+            promise.set_exception(std::current_exception());
+            throw;
+        }
+    }
     return future.get();
 }
 
@@ -310,6 +452,9 @@ ExperimentEngine::sequentialReferenceCycles(
 const TraceStats &
 ExperimentEngine::programStats(const std::string &program, double scale)
 {
+    if (maxCacheEntries_ != 0)
+        fatal("programStats needs an unbounded cache (its reference "
+              "points into the flushed-on-overflow trace cache)");
     const std::string key =
         format("%s|%.17g", findProgram(program).name.c_str(), scale);
     std::promise<std::shared_ptr<const TraceStats>> promise;
@@ -319,6 +464,8 @@ ExperimentEngine::programStats(const std::string &program, double scale)
         std::lock_guard<std::mutex> lock(traceMutex_);
         auto it = traceCache_.find(key);
         if (it == traceCache_.end()) {
+            // No size bound needed: the entry guard above rejects
+            // capped engines (returned references point in here).
             future = promise.get_future().share();
             traceCache_.emplace(key, future);
             owner = true;
@@ -327,9 +474,18 @@ ExperimentEngine::programStats(const std::string &program, double scale)
         }
     }
     if (owner) {
-        auto source = makeProgram(program, scale);
-        promise.set_value(
-            std::make_shared<TraceStats>(analyzeSource(*source)));
+        try {
+            auto source = makeProgram(program, scale);
+            promise.set_value(
+                std::make_shared<TraceStats>(analyzeSource(*source)));
+        } catch (...) {
+            {
+                std::lock_guard<std::mutex> lock(traceMutex_);
+                traceCache_.erase(key);
+            }
+            promise.set_exception(std::current_exception());
+            throw;
+        }
     }
     return *future.get();
 }

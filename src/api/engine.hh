@@ -2,23 +2,33 @@
  * @file
  * ExperimentEngine: executes RunSpecs across a pool of worker
  * threads, one VectorSim per in-flight spec, with a thread-safe
- * memoized result cache shared by every batch.
+ * memoized result cache shared by every batch and an optional
+ * persistent ResultBackend behind it.
  *
  * Design notes:
  *  - Results come back in submission order, and every result is
  *    bit-identical regardless of worker count: each spec's simulation
  *    is self-contained (the simulator and workload generator are
- *    deterministic), and the cache only changes *whether* a run is
- *    recomputed, never its outcome.
- *  - The cache maps RunSpec::canonical() to the finished SimStats via
- *    a shared_future, so two workers needing the same run (typically
- *    a memoized reference run of the section 4.1 accounting) never
- *    compute it twice — the second waits on the first.
+ *    deterministic), and the cache/backend only change *whether* a
+ *    run is recomputed, never its outcome.
+ *  - Lookups go memory cache -> in-flight map -> backend -> simulate.
+ *    The in-flight map keys pending runs by RunSpec::canonical()
+ *    through a shared_future, so N concurrent requests for the same
+ *    spec (N daemon clients, or the memoized reference runs of the
+ *    section 4.1 accounting) cost one simulation — the rest wait on
+ *    the first.
+ *  - A backend (EngineOptions::backend, e.g. the disk-backed
+ *    ResultStore) is consulted on every memory miss and written
+ *    through on every completed simulation, so results persist
+ *    across processes and warm-start later engines.
  *  - Group-mode specs embed the paper's full speedup methodology:
  *    the multithreaded run plus the C_i / F_i reference terms, all
  *    served through the cache.
- *  - Cache entries are never evicted; references returned by
- *    statsFor()/programStats() stay valid for the engine's lifetime.
+ *  - By default cache entries are never evicted and references
+ *    returned by statsFor()/programStats() stay valid for the
+ *    engine's lifetime. Long-lived daemons bound the cache with
+ *    EngineOptions::maxCacheEntries (LRU eviction; statsFor() is
+ *    unavailable there) and/or clear() it wholesale.
  */
 
 #ifndef MTV_API_ENGINE_HH
@@ -30,6 +40,7 @@
 #include <deque>
 #include <functional>
 #include <future>
+#include <list>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -37,6 +48,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "src/api/backend.hh"
 #include "src/api/run_spec.hh"
 #include "src/core/sim.hh"
 #include "src/trace/analyzer.hh"
@@ -47,6 +59,10 @@ namespace mtv
 /** Tuning knobs for an ExperimentEngine. */
 struct EngineOptions
 {
+    EngineOptions() = default;
+    /** Shorthand for "just set the worker count". */
+    EngineOptions(int workers) : workers(workers) {}
+
     /** Worker threads; 0 = one per hardware thread (min 1). */
     int workers = 0;
     /**
@@ -55,6 +71,23 @@ struct EngineOptions
      * measure a lookup instead of a simulation.
      */
     bool memoize = true;
+    /**
+     * Optional persistent result store consulted on memory-cache
+     * misses and written through on every simulation (including the
+     * truncated F_i reference runs the memory cache skips). Shared:
+     * several engines may point at the same backend object.
+     */
+    std::shared_ptr<ResultBackend> backend;
+    /**
+     * Upper bound on completed entries in the memory cache
+     * (0 = unbounded, the default). When set, the least recently
+     * used result entry is evicted on overflow — pair with a backend
+     * so evicted results stay a disk read away — the group-metric
+     * and trace-stat side caches are flushed wholesale at the same
+     * bound, and statsFor()/programStats() are unavailable (their
+     * references could dangle).
+     */
+    size_t maxCacheEntries = 0;
 };
 
 /** One executed RunSpec. */
@@ -63,8 +96,11 @@ struct RunResult
     RunSpec spec;
     /** The run itself (the multithreaded run for group mode). */
     SimStats stats;
-    /** True when the spec's own run was served from the cache. */
+    /** True when the spec's own run was served from the memory cache
+     *  (or coalesced onto an identical in-flight run). */
     bool cached = false;
+    /** True when the spec's own run was served from the backend. */
+    bool fromStore = false;
 
     // ----- group-mode extras (zeros for single/job-queue specs) -----
     double speedup = 0;       ///< section 4.1 reference-work formula
@@ -94,12 +130,32 @@ class ExperimentEngine
     std::vector<RunResult> runAll(const std::vector<RunSpec> &specs);
 
     /**
+     * Enqueue one spec on the worker pool and return a future for its
+     * result — the streaming form of runAll(): submit a batch spec by
+     * spec, then get() the futures in submission order to consume
+     * results as they finish. Safe from any thread; on a worker
+     * thread the spec executes inline (a queued task waiting on
+     * queued tasks would deadlock the pool).
+     */
+    std::future<RunResult> submit(const RunSpec &spec);
+
+    /**
+     * Drop every task still waiting in the queue; tasks already
+     * executing finish normally. Futures of dropped submit() calls
+     * fail with std::future_error (broken_promise). For bounding
+     * daemon shutdown: never call with a runAll() batch in flight —
+     * its queued tasks reference the batch caller's stack and must
+     * all run. Returns the number of tasks dropped.
+     */
+    size_t discardQueued();
+
+    /**
      * Cached SimStats of @p spec's own run (no group accounting),
      * computed on the calling thread on a miss. The reference points
-     * into the never-evicting cache and stays valid for the engine's
-     * lifetime. fatal()s on a memoize=false engine or a truncated
-     * spec (neither is cached; there is nothing stable to point
-     * into) — use run() there.
+     * into the never-evicting cache and stays valid until clear() or
+     * the engine's destruction. fatal()s on a memoize=false engine, a
+     * cache-capped engine (entries evict, so there is nothing stable
+     * to point into) or a truncated spec — use run() there.
      */
     const SimStats &statsFor(const RunSpec &spec);
 
@@ -122,27 +178,67 @@ class ExperimentEngine
                          double scale = workloadDefaultScale,
                          int decodeWidth = 1);
 
+    /**
+     * Drop every completed memory-cache entry (result, group-metric
+     * and trace-stat caches alike); in-flight runs are unaffected and
+     * the backend keeps its copies. References previously returned by
+     * statsFor()/programStats() are invalidated. For long-lived
+     * daemons between batches.
+     */
+    void clear();
+
     /** Worker threads serving runAll(). */
     int workers() const { return workers_; }
 
-    /** Completed runs held by the shared cache. */
+    /** Completed runs held by the memory cache. */
     size_t cacheSize() const;
 
-    /** Cache lookups served without a simulation. */
+    /** Entry cap of the memory cache (0 = unbounded). */
+    size_t maxCacheEntries() const { return maxCacheEntries_; }
+
+    /** The persistent backend, when one is attached. */
+    const std::shared_ptr<ResultBackend> &backend() const
+    {
+        return backend_;
+    }
+
+    /** Lookups served by the memory cache or an in-flight run. */
     uint64_t cacheHits() const { return cacheHits_.load(); }
 
-    /** Cacheable lookups that had to simulate. */
+    /** Cacheable lookups that missed the memory cache. */
     uint64_t cacheMisses() const { return cacheMisses_.load(); }
 
+    /** Lookups (of any kind) served by the backend. */
+    uint64_t storeHits() const { return storeHits_.load(); }
+
+    /** Completed entries evicted to honor maxCacheEntries. */
+    uint64_t cacheEvictions() const { return cacheEvictions_.load(); }
+
     /**
-     * Runs that are uncacheable by design (truncated F_i specs, or
-     * everything on a memoize=false engine) — counted apart so the
-     * hit/miss ratio reflects only cacheable lookups.
+     * Runs that bypass the memory cache by design (truncated F_i
+     * specs, or everything on a memoize=false engine) — counted
+     * apart so the hit/miss ratio reflects only cacheable lookups.
+     * The backend still serves/persists them.
      */
     uint64_t uncachedRuns() const { return uncachedRuns_.load(); }
 
   private:
     using CachedStats = std::shared_ptr<const SimStats>;
+
+    /** Where a lookup was ultimately served from. */
+    enum class Origin : uint8_t
+    {
+        Simulated,  ///< freshly simulated
+        Cache,      ///< memory cache or coalesced in-flight run
+        Store       ///< persistent backend
+    };
+
+    /** A completed cache entry and its LRU position. */
+    struct CacheEntry
+    {
+        CachedStats stats;
+        std::list<std::string>::iterator lruPos;
+    };
 
     /** The section 4.1 accounting of one group run. */
     struct GroupMetrics
@@ -158,19 +254,29 @@ class ExperimentEngine
     SimStats simulate(const RunSpec &spec) const;
 
     /**
-     * Cache-served stats for @p spec; sets @p hit when non-null.
-     * The returned pointer keeps the result alive even on a
-     * memoize=false engine (where nothing else owns it).
+     * Cache/backend-served stats for @p spec; sets @p origin when
+     * non-null. The returned pointer keeps the result alive
+     * independent of cache eviction or clear().
      */
-    CachedStats cachedStats(const RunSpec &spec, bool *hit);
+    CachedStats cachedStats(const RunSpec &spec, Origin *origin);
+
+    /** Backend lookup (when attached) falling back to simulation +
+     *  write-through; no memory-cache involvement. */
+    CachedStats loadOrSimulate(const std::string &key,
+                               const RunSpec &spec, Origin *origin);
+
+    /** Insert a completed run, evicting LRU entries over the cap.
+     *  Caller holds cacheMutex_. */
+    void insertCompleted(const std::string &key,
+                         const CachedStats &stats);
 
     /** Full execution incl. group accounting, on the calling thread. */
     RunResult execute(const RunSpec &spec);
 
     /**
      * Section 4.1 metrics of a group-mode run, memoized per spec so
-     * a cache hit on the group stats does not re-pay the (uncached)
-     * truncated F_i reference simulations.
+     * a cache hit on the group stats does not re-pay the truncated
+     * F_i reference simulations.
      */
     GroupMetrics groupMetrics(const RunSpec &spec,
                               const SimStats &mth);
@@ -183,6 +289,8 @@ class ExperimentEngine
 
     int workers_ = 1;
     bool memoize_ = true;
+    std::shared_ptr<ResultBackend> backend_;
+    size_t maxCacheEntries_ = 0;
     std::vector<std::thread> pool_;
     std::deque<std::function<void()>> queue_;
     std::mutex queueMutex_;
@@ -190,10 +298,17 @@ class ExperimentEngine
     bool stopping_ = false;
 
     mutable std::mutex cacheMutex_;
+    /** Completed runs; bounded by maxCacheEntries_ when set. */
+    std::unordered_map<std::string, CacheEntry> cache_;
+    /** LRU order of cache_ keys; front = most recently used. */
+    std::list<std::string> lru_;
+    /** Pending runs, for coalescing concurrent identical requests. */
     std::unordered_map<std::string, std::shared_future<CachedStats>>
-        cache_;
+        inflight_;
     std::atomic<uint64_t> cacheHits_{0};
     std::atomic<uint64_t> cacheMisses_{0};
+    std::atomic<uint64_t> storeHits_{0};
+    std::atomic<uint64_t> cacheEvictions_{0};
     std::atomic<uint64_t> uncachedRuns_{0};
 
     std::mutex groupMutex_;

@@ -125,6 +125,17 @@ SweepBuilder::addGroupings(const std::string &program, int contexts,
     return *this;
 }
 
+SweepBuilder
+suiteGroupingSweep(double scale)
+{
+    SweepBuilder sweep(scale);
+    for (const auto &spec : benchmarkSuite())
+        for (const int contexts : {2, 3, 4})
+            sweep.addGroupings(spec.name, contexts,
+                               MachineParams::multithreaded(contexts));
+    return sweep;
+}
+
 SweepBuilder &
 SweepBuilder::addLatencySweep(const std::vector<std::string> &jobs,
                               const MachineParams &params,

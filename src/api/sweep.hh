@@ -59,6 +59,17 @@ struct GroupAverages
 GroupAverages averageOf(const SweepSlice &slice,
                         const std::vector<RunResult> &results);
 
+class SweepBuilder;
+
+/**
+ * The grouping sweep behind Figures 6, 7 and 8 (and the service
+ * acceptance check): every Table 2 grouping of every suite program at
+ * 2, 3 and 4 contexts — 250 group runs. Consume the results through
+ * the builder's slices; each slice carries its program and context
+ * count, so rendering never depends on batch position.
+ */
+SweepBuilder suiteGroupingSweep(double scale = workloadDefaultScale);
+
 /** Builds a RunSpec batch plus the slice map over it. */
 class SweepBuilder
 {

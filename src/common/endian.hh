@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Little-endian byte packing shared by every on-disk format (binary
+ * traces, result-store segments, stats blobs). Explicit byte
+ * shuffling — never struct memcpy — so the formats are portable
+ * across compilers and host byte orders.
+ */
+
+#ifndef MTV_COMMON_ENDIAN_HH
+#define MTV_COMMON_ENDIAN_HH
+
+#include <cstdint>
+
+namespace mtv
+{
+
+inline void
+writeLe16(uint8_t *p, uint16_t v)
+{
+    p[0] = static_cast<uint8_t>(v);
+    p[1] = static_cast<uint8_t>(v >> 8);
+}
+
+inline void
+writeLe32(uint8_t *p, uint32_t v)
+{
+    for (int i = 0; i < 4; ++i)
+        p[i] = static_cast<uint8_t>(v >> (8 * i));
+}
+
+inline void
+writeLe64(uint8_t *p, uint64_t v)
+{
+    for (int i = 0; i < 8; ++i)
+        p[i] = static_cast<uint8_t>(v >> (8 * i));
+}
+
+inline uint16_t
+readLe16(const uint8_t *p)
+{
+    return static_cast<uint16_t>(p[0] | (p[1] << 8));
+}
+
+inline uint32_t
+readLe32(const uint8_t *p)
+{
+    uint32_t v = 0;
+    for (int i = 0; i < 4; ++i)
+        v |= static_cast<uint32_t>(p[i]) << (8 * i);
+    return v;
+}
+
+inline uint64_t
+readLe64(const uint8_t *p)
+{
+    uint64_t v = 0;
+    for (int i = 0; i < 8; ++i)
+        v |= static_cast<uint64_t>(p[i]) << (8 * i);
+    return v;
+}
+
+} // namespace mtv
+
+#endif // MTV_COMMON_ENDIAN_HH

@@ -10,6 +10,9 @@ namespace
 {
 LogLevel globalLevel = LogLevel::Normal;
 
+/** Depth of nested ScopedFatalAsException regions on this thread. */
+thread_local int fatalThrowDepth = 0;
+
 void
 vreport(const char *tag, const char *fmt, va_list ap)
 {
@@ -17,7 +20,30 @@ vreport(const char *tag, const char *fmt, va_list ap)
     std::vfprintf(stderr, fmt, ap);
     std::fprintf(stderr, "\n");
 }
+
+std::string
+vformatMessage(const char *fmt, va_list ap)
+{
+    va_list copy;
+    va_copy(copy, ap);
+    const int n = std::vsnprintf(nullptr, 0, fmt, copy);
+    va_end(copy);
+    std::string out(n > 0 ? n : 0, '\0');
+    if (n > 0)
+        std::vsnprintf(out.data(), out.size() + 1, fmt, ap);
+    return out;
+}
 } // namespace
+
+ScopedFatalAsException::ScopedFatalAsException()
+{
+    ++fatalThrowDepth;
+}
+
+ScopedFatalAsException::~ScopedFatalAsException()
+{
+    --fatalThrowDepth;
+}
 
 void
 setLogLevel(LogLevel level)
@@ -46,6 +72,11 @@ fatal(const char *fmt, ...)
 {
     va_list ap;
     va_start(ap, fmt);
+    if (fatalThrowDepth > 0) {
+        std::string message = vformatMessage(fmt, ap);
+        va_end(ap);
+        throw FatalError(message);
+    }
     vreport("fatal", fmt, ap);
     va_end(ap);
     std::exit(1);

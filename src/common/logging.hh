@@ -9,10 +9,40 @@
 #define MTV_COMMON_LOGGING_HH
 
 #include <cstdarg>
+#include <stdexcept>
 #include <string>
 
 namespace mtv
 {
+
+/**
+ * What fatal() raises inside a ScopedFatalAsException region instead
+ * of exiting the process. what() carries the formatted message.
+ */
+class FatalError : public std::runtime_error
+{
+  public:
+    using std::runtime_error::runtime_error;
+};
+
+/**
+ * While an instance is alive on this thread, fatal() throws
+ * FatalError instead of calling exit(1). For servers that validate
+ * untrusted input through fatal()-reporting code paths (e.g. the mtvd
+ * daemon parsing client RunSpecs) and must outlive user errors.
+ * Scopes nest; panic() is unaffected (invariant violations still
+ * abort).
+ */
+class ScopedFatalAsException
+{
+  public:
+    ScopedFatalAsException();
+    ~ScopedFatalAsException();
+
+    ScopedFatalAsException(const ScopedFatalAsException &) = delete;
+    ScopedFatalAsException &
+    operator=(const ScopedFatalAsException &) = delete;
+};
 
 /** Verbosity levels for status messages. */
 enum class LogLevel

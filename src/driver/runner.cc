@@ -6,10 +6,22 @@ namespace mtv
 {
 
 Runner::Runner(double scale, int workers)
-    : scale_(scale), engine_(EngineOptions{workers})
+    : Runner(scale, EngineOptions(workers))
+{
+}
+
+Runner::Runner(double scale, EngineOptions options)
+    : scale_(scale), engine_(std::move(options))
 {
     if (scale <= 0)
         fatal("runner scale must be positive");
+    if (engine_.maxCacheEntries() != 0) {
+        // referenceRun()/programStats() hand out references into the
+        // cache, which eviction would dangle (statsFor fatal()s).
+        fatal("Runner needs an unbounded engine cache; drop "
+              "maxCacheEntries (use ExperimentEngine directly for "
+              "capped caches)");
+    }
 }
 
 std::unique_ptr<SyntheticProgram>

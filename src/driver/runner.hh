@@ -52,6 +52,15 @@ class Runner
     explicit Runner(double scale = workloadDefaultScale,
                     int workers = 1);
 
+    /**
+     * Full-control variant: bind the runner to an engine built from
+     * @p options — e.g. attach a persistent ResultStore backend so
+     * Runner experiments warm-start from disk. The cache must stay
+     * unbounded (fatal otherwise): referenceRun()/programStats()
+     * return references into it.
+     */
+    Runner(double scale, EngineOptions options);
+
     /** Workload scale this runner generates programs at. */
     double scale() const { return scale_; }
 

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Minimal JSON value type for the mtvd service protocol — enough of
+ * RFC 8259 for newline-delimited protocol messages, with no external
+ * dependency. Numbers are doubles (the protocol carries exact 64-bit
+ * simulation results as hex blobs, never as JSON numbers); strings
+ * are std::string with \uXXXX escapes decoded to UTF-8 on parse and
+ * control characters escaped on write.
+ */
+
+#ifndef MTV_SERVICE_JSON_HH
+#define MTV_SERVICE_JSON_HH
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace mtv
+{
+
+/** One JSON value (null, bool, number, string, array or object). */
+class Json
+{
+  public:
+    enum class Type : uint8_t
+    {
+        Null,
+        Bool,
+        Number,
+        String,
+        Array,
+        Object
+    };
+
+    Json() = default;
+    Json(bool b) : type_(Type::Bool), bool_(b) {}
+    Json(double n) : type_(Type::Number), number_(n) {}
+    Json(int n) : type_(Type::Number), number_(n) {}
+    Json(uint64_t n)
+        : type_(Type::Number), number_(static_cast<double>(n))
+    {
+    }
+    Json(const char *s) : type_(Type::String), string_(s) {}
+    Json(std::string s) : type_(Type::String), string_(std::move(s)) {}
+
+    /** An empty array/object to be filled with push()/set(). */
+    static Json array();
+    static Json object();
+
+    Type type() const { return type_; }
+    bool isNull() const { return type_ == Type::Null; }
+
+    // ----- accessors (fatal() on type mismatch: protocol errors) -----
+
+    bool asBool() const;
+    double asNumber() const;
+    /** asNumber() checked to be a non-negative integer. */
+    uint64_t asU64() const;
+    const std::string &asString() const;
+    const std::vector<Json> &asArray() const;
+
+    /** Object member, or a shared null when absent. */
+    const Json &get(const std::string &key) const;
+    /** Object member of string/number/bool type with a fallback. */
+    std::string getString(const std::string &key,
+                          const std::string &fallback = "") const;
+    double getNumber(const std::string &key, double fallback = 0) const;
+    bool getBool(const std::string &key, bool fallback = false) const;
+    bool has(const std::string &key) const;
+
+    // ----- builders -----
+
+    /** Append to an array (value must be an array). */
+    Json &push(Json value);
+    /** Set an object member (value must be an object). */
+    Json &set(const std::string &key, Json value);
+
+    /** Compact single-line serialization (no newlines — the protocol
+     *  is newline-delimited). */
+    std::string dump() const;
+
+    /**
+     * Parse one JSON document; trailing garbage is an error. Returns
+     * false (with @p error set) on malformed input — the server must
+     * survive bad client bytes.
+     */
+    static bool parse(const std::string &text, Json *out,
+                      std::string *error);
+
+  private:
+    void dumpTo(std::string &out) const;
+
+    Type type_ = Type::Null;
+    bool bool_ = false;
+    double number_ = 0;
+    std::string string_;
+    std::vector<Json> array_;
+    /** Insertion-ordered members (keys) + values keyed alongside. */
+    std::vector<std::pair<std::string, Json>> members_;
+};
+
+} // namespace mtv
+
+#endif // MTV_SERVICE_JSON_HH

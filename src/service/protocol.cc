@@ -1,0 +1,177 @@
+#include "src/service/protocol.hh"
+
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "src/common/logging.hh"
+#include "src/store/stats_codec.hh"
+
+namespace mtv
+{
+
+namespace
+{
+
+/** A line longer than this is not a protocol message. */
+constexpr size_t maxLineBytes = 64u * 1024 * 1024;
+
+} // namespace
+
+const char *
+defaultSocketPath()
+{
+    if (const char *env = std::getenv("MTV_SOCKET"))
+        return env;
+    return "/tmp/mtvd.sock";
+}
+
+Json
+resultToJson(const RunResult &result, size_t seq, bool includeBlob)
+{
+    Json line = Json::object();
+    line.set("seq", static_cast<uint64_t>(seq));
+    line.set("spec", result.spec.canonical());
+    line.set("cached", result.cached);
+    line.set("store", result.fromStore);
+    // Headline numbers for human consumption; the blob is the source
+    // of truth (JSON doubles cannot carry full 64-bit counters).
+    line.set("cycles", result.stats.cycles);
+    line.set("dispatches", result.stats.dispatches);
+    if (result.spec.mode == SpecMode::Group) {
+        line.set("speedup", result.speedup);
+        line.set("mthOccupation", result.mthOccupation);
+        line.set("refOccupation", result.refOccupation);
+        line.set("mthVopc", result.mthVopc);
+        line.set("refVopc", result.refVopc);
+    }
+    if (includeBlob)
+        line.set("blob", hexEncode(serializeSimStats(result.stats)));
+    return line;
+}
+
+Json
+engineStatsToJson(const ExperimentEngine &engine)
+{
+    Json j = Json::object();
+    j.set("size", static_cast<uint64_t>(engine.cacheSize()));
+    j.set("capacity", static_cast<uint64_t>(engine.maxCacheEntries()));
+    j.set("hits", engine.cacheHits());
+    j.set("misses", engine.cacheMisses());
+    j.set("storeHits", engine.storeHits());
+    j.set("evictions", engine.cacheEvictions());
+    j.set("uncached", engine.uncachedRuns());
+    return j;
+}
+
+Json
+storeStatsToJson(const ResultStore &store)
+{
+    const ResultStore::Stats s = store.stats();
+    Json j = Json::object();
+    j.set("directory", store.directory());
+    j.set("records", static_cast<uint64_t>(store.size()));
+    j.set("segments", static_cast<uint64_t>(s.segments));
+    j.set("staleSegments", static_cast<uint64_t>(s.staleSegments));
+    j.set("badSegments", static_cast<uint64_t>(s.badSegments));
+    j.set("loadedRecords", s.loadedRecords);
+    j.set("droppedRecords", s.droppedRecords);
+    j.set("appends", s.appends);
+    j.set("hits", s.hits);
+    j.set("misses", s.misses);
+    return j;
+}
+
+LineChannel::LineChannel(int fd) : fd_(fd) {}
+
+LineChannel::~LineChannel()
+{
+    if (fd_ >= 0)
+        ::close(fd_);
+}
+
+bool
+LineChannel::readLine(std::string *line)
+{
+    for (;;) {
+        // Scan only bytes not examined on previous iterations, so a
+        // line arriving in many chunks costs linear, not quadratic,
+        // work.
+        const size_t newline = buffer_.find('\n', searchPos_);
+        if (newline != std::string::npos) {
+            *line = buffer_.substr(0, newline);
+            buffer_.erase(0, newline + 1);
+            searchPos_ = 0;
+            return true;
+        }
+        searchPos_ = buffer_.size();
+        if (buffer_.size() > maxLineBytes) {
+            warn("service: dropping connection with a %zu-byte "
+                 "unterminated line",
+                 buffer_.size());
+            return false;
+        }
+        char chunk[65536];
+        const ssize_t got = ::recv(fd_, chunk, sizeof(chunk), 0);
+        if (got < 0 && errno == EINTR)
+            continue;
+        if (got <= 0)
+            return false;  // EOF or error
+        buffer_.append(chunk, static_cast<size_t>(got));
+    }
+}
+
+bool
+LineChannel::writeLine(const std::string &line)
+{
+    std::string framed = line;
+    framed.push_back('\n');
+    size_t sent = 0;
+    while (sent < framed.size()) {
+        const ssize_t n = ::send(fd_, framed.data() + sent,
+                                 framed.size() - sent, MSG_NOSIGNAL);
+        if (n < 0 && errno == EINTR)
+            continue;
+        if (n <= 0)
+            return false;
+        sent += static_cast<size_t>(n);
+    }
+    return true;
+}
+
+int
+connectToDaemon(const std::string &socketPath, std::string *error)
+{
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (socketPath.size() >= sizeof(addr.sun_path)) {
+        if (error)
+            *error = "socket path too long: " + socketPath;
+        return -1;
+    }
+    std::strncpy(addr.sun_path, socketPath.c_str(),
+                 sizeof(addr.sun_path) - 1);
+
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0) {
+        if (error)
+            *error = std::strerror(errno);
+        return -1;
+    }
+    if (::connect(fd, reinterpret_cast<const sockaddr *>(&addr),
+                  sizeof(addr)) != 0) {
+        if (error) {
+            *error = socketPath + ": " + std::strerror(errno) +
+                     " (is mtvd running?)";
+        }
+        ::close(fd);
+        return -1;
+    }
+    return fd;
+}
+
+} // namespace mtv

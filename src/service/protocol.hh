@@ -1,0 +1,106 @@
+/**
+ * @file
+ * The mtvd wire protocol: newline-delimited JSON objects over a
+ * stream socket, one request or response per line.
+ *
+ * Requests (client -> server):
+ *   {"op":"ping"}
+ *   {"op":"run","specs":["<RunSpec::canonical()>",...],"quiet":b}
+ *   {"op":"stats"}
+ *   {"op":"clear"}
+ *   {"op":"shutdown"}
+ *
+ * Responses (server -> client):
+ *   run: one line per spec, streamed in submission order as results
+ *     finish —
+ *       {"seq":i,"spec":"...","cached":b,"store":b,"cycles":n,
+ *        "dispatches":n,"speedup":x,...,"blob":"<hex>"}
+ *     ("blob" is the full hex-encoded serializeSimStats() record and
+ *     is omitted for quiet requests) — then a terminator
+ *       {"done":true,"count":n,"simulated":a,"cacheServed":b,
+ *        "storeServed":c}
+ *   ping / stats / clear / shutdown: one {"ok":true,...} object.
+ *   any error: {"error":"message"} (the connection stays open).
+ *
+ * Identical specs submitted concurrently — by one client or many —
+ * coalesce onto a single simulation inside the engine; the protocol
+ * needs no request ids because each connection's requests are
+ * answered strictly in order.
+ */
+
+#ifndef MTV_SERVICE_PROTOCOL_HH
+#define MTV_SERVICE_PROTOCOL_HH
+
+#include <string>
+
+#include "src/api/engine.hh"
+#include "src/service/json.hh"
+#include "src/store/result_store.hh"
+
+namespace mtv
+{
+
+/** Protocol revision spoken by this build (bump on changes). */
+constexpr int serviceProtocolVersion = 1;
+
+/** Default daemon socket path (overridden by --socket / MTV_SOCKET). */
+const char *defaultSocketPath();
+
+/**
+ * One result line of a "run" response. @p includeBlob attaches the
+ * hex serializeSimStats() blob (lossless; JSON numbers alone could
+ * not round-trip 64-bit counters).
+ */
+Json resultToJson(const RunResult &result, size_t seq,
+                  bool includeBlob);
+
+/** Engine counters as the "cache" member of a stats response. */
+Json engineStatsToJson(const ExperimentEngine &engine);
+
+/** Store counters as the "store" member of a stats response. */
+Json storeStatsToJson(const ResultStore &store);
+
+/**
+ * Buffered line IO over a connected stream socket — the framing layer
+ * both ends of the protocol share. Not thread-safe; one channel per
+ * connection per thread.
+ */
+class LineChannel
+{
+  public:
+    /** Takes ownership of connected socket @p fd. */
+    explicit LineChannel(int fd);
+    ~LineChannel();
+
+    LineChannel(const LineChannel &) = delete;
+    LineChannel &operator=(const LineChannel &) = delete;
+
+    /**
+     * Read one newline-terminated line (the newline is stripped).
+     * Returns false on EOF or error. Lines over 64 MiB abort the
+     * connection (a stream that long is not a protocol message).
+     */
+    bool readLine(std::string *line);
+
+    /** Write @p line plus a newline; false on error (peer gone). */
+    bool writeLine(const std::string &line);
+
+    /** The underlying file descriptor (for poll/shutdown). */
+    int fd() const { return fd_; }
+
+  private:
+    int fd_ = -1;
+    std::string buffer_;
+    /** First buffer_ position not yet scanned for '\n'. */
+    size_t searchPos_ = 0;
+};
+
+/**
+ * Connect to the daemon at @p socketPath. Returns the connected fd or
+ * -1 (with @p error set) when the daemon is not reachable.
+ */
+int connectToDaemon(const std::string &socketPath, std::string *error);
+
+} // namespace mtv
+
+#endif // MTV_SERVICE_PROTOCOL_HH

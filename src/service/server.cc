@@ -1,0 +1,313 @@
+#include "src/service/server.hh"
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <thread>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "src/common/logging.hh"
+
+namespace mtv
+{
+
+namespace
+{
+
+Json
+errorJson(const std::string &message)
+{
+    Json j = Json::object();
+    j.set("error", message);
+    return j;
+}
+
+sockaddr_un
+socketAddress(const std::string &path)
+{
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (path.size() >= sizeof(addr.sun_path))
+        fatal("socket path too long (%zu bytes): %s", path.size(),
+              path.c_str());
+    std::strncpy(addr.sun_path, path.c_str(),
+                 sizeof(addr.sun_path) - 1);
+    return addr;
+}
+
+} // namespace
+
+MtvService::MtvService(ServiceOptions options)
+{
+    socketPath_ = options.socketPath.empty() ? defaultSocketPath()
+                                             : options.socketPath;
+
+    if (!options.storeDir.empty())
+        store_ = std::make_shared<ResultStore>(options.storeDir);
+
+    EngineOptions engineOptions;
+    engineOptions.workers = options.workers;
+    engineOptions.backend = store_;
+    engineOptions.maxCacheEntries = options.maxCacheEntries;
+    engine_ = std::make_unique<ExperimentEngine>(engineOptions);
+
+    // A leftover socket file from a killed daemon would block bind();
+    // only a *connectable* socket means a live daemon.
+    std::string connectError;
+    const int probe = connectToDaemon(socketPath_, &connectError);
+    if (probe >= 0) {
+        ::close(probe);
+        fatal("another mtvd is already serving '%s'",
+              socketPath_.c_str());
+    }
+    ::unlink(socketPath_.c_str());
+
+    const sockaddr_un addr = socketAddress(socketPath_);
+    listenFd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (listenFd_ < 0)
+        fatal("cannot create server socket: %s", std::strerror(errno));
+    if (::bind(listenFd_, reinterpret_cast<const sockaddr *>(&addr),
+               sizeof(addr)) != 0) {
+        fatal("cannot bind '%s': %s", socketPath_.c_str(),
+              std::strerror(errno));
+    }
+    if (::listen(listenFd_, 64) != 0)
+        fatal("cannot listen on '%s': %s", socketPath_.c_str(),
+              std::strerror(errno));
+}
+
+MtvService::~MtvService()
+{
+    stop();
+    // serve() may never have run; make teardown idempotent here.
+    teardownClients();
+    if (listenFd_ >= 0)
+        ::close(listenFd_);
+    ::unlink(socketPath_.c_str());
+}
+
+void
+MtvService::reapFinishedLocked()
+{
+    for (auto &thread : finishedClients_)
+        thread.join();
+    finishedClients_.clear();
+}
+
+void
+MtvService::teardownClients()
+{
+    // Bound shutdown latency: queued-but-unstarted engine work is
+    // dropped (its futures break, which handleRun treats as "client
+    // abandoned"); only the simulations already running finish.
+    const size_t dropped = engine_->discardQueued();
+    if (dropped > 0) {
+        inform("mtvd: dropped %zu queued runs at shutdown",
+               dropped);
+    }
+    std::vector<std::thread> threads;
+    {
+        std::lock_guard<std::mutex> lock(clientsMutex_);
+        for (auto &client : activeClients_) {
+            ::shutdown(client.first, SHUT_RDWR);
+            threads.push_back(std::move(client.second));
+        }
+        activeClients_.clear();
+        for (auto &thread : finishedClients_)
+            threads.push_back(std::move(thread));
+        finishedClients_.clear();
+    }
+    for (auto &thread : threads)
+        thread.join();
+}
+
+void
+MtvService::serve()
+{
+    inform("mtvd: listening on %s (%d workers%s)",
+           socketPath_.c_str(), engine_->workers(),
+           store_ ? ", persistent store" : "");
+    while (!stopping_.load()) {
+        const int fd = ::accept(listenFd_, nullptr, nullptr);
+        if (fd < 0) {
+            if (stopping_.load())
+                break;
+            if (errno == EINTR)
+                continue;
+            if (errno == EMFILE || errno == ENFILE ||
+                errno == ECONNABORTED || errno == EAGAIN ||
+                errno == EWOULDBLOCK || errno == EPROTO) {
+                // Transient pressure (fd exhaustion, aborted
+                // handshake) must not take the shared daemon down;
+                // back off and keep serving.
+                warn("mtvd: accept failed: %s — retrying",
+                     std::strerror(errno));
+                std::this_thread::sleep_for(
+                    std::chrono::milliseconds(100));
+                continue;
+            }
+            break;  // listen socket is genuinely broken
+        }
+        std::lock_guard<std::mutex> lock(clientsMutex_);
+        reapFinishedLocked();  // keep dead threads from accumulating
+        activeClients_.emplace(
+            fd, std::thread([this, fd] { handleConnection(fd); }));
+    }
+
+    // Teardown on the serve thread: kick every open connection, then
+    // wait for its thread to finish cleanly.
+    teardownClients();
+}
+
+void
+MtvService::stop()
+{
+    // Kept async-signal-safe (mtvd calls this from SIGTERM/SIGINT):
+    // flag + shutdown only; joining happens on the serve() thread.
+    stopping_.store(true);
+    if (listenFd_ >= 0)
+        ::shutdown(listenFd_, SHUT_RDWR);
+}
+
+void
+MtvService::handleConnection(int fd)
+{
+    LineChannel channel(fd);
+    std::string line;
+    while (!stopping_.load() && channel.readLine(&line)) {
+        if (line.empty())
+            continue;
+        Json request;
+        std::string parseError;
+        if (!Json::parse(line, &request, &parseError)) {
+            if (!channel.writeLine(errorJson(parseError).dump()))
+                break;
+            continue;
+        }
+        if (!handleRequest(request, channel))
+            break;
+    }
+    // Move our own thread handle to the finished list (joined by the
+    // accept loop or teardown) while the descriptor is still open, so
+    // teardown can never shutdown() a recycled fd; the channel closes
+    // it after. During teardown the entry may already be gone — the
+    // teardown thread owns the handle then.
+    std::lock_guard<std::mutex> lock(clientsMutex_);
+    auto self = activeClients_.find(fd);
+    if (self != activeClients_.end()) {
+        finishedClients_.push_back(std::move(self->second));
+        activeClients_.erase(self);
+    }
+}
+
+bool
+MtvService::handleRequest(const Json &request, LineChannel &channel)
+{
+    try {
+        // Client input flows through fatal()-reporting validation
+        // (JSON shape, RunSpec::parse, findProgram); a user error
+        // must answer this client, not kill the daemon.
+        ScopedFatalAsException fatalScope;
+
+        const std::string op = request.getString("op");
+        if (op == "run")
+            return handleRun(request, channel);
+        if (op == "ping") {
+            Json ok = Json::object();
+            ok.set("ok", true);
+            ok.set("pong", true);
+            ok.set("protocol", serviceProtocolVersion);
+            ok.set("workers", engine_->workers());
+            return channel.writeLine(ok.dump());
+        }
+        if (op == "stats") {
+            Json ok = Json::object();
+            ok.set("ok", true);
+            ok.set("workers", engine_->workers());
+            ok.set("cache", engineStatsToJson(*engine_));
+            ok.set("store",
+                   store_ ? storeStatsToJson(*store_) : Json());
+            return channel.writeLine(ok.dump());
+        }
+        if (op == "clear") {
+            engine_->clear();
+            Json ok = Json::object();
+            ok.set("ok", true);
+            ok.set("cleared", true);
+            return channel.writeLine(ok.dump());
+        }
+        if (op == "shutdown") {
+            Json ok = Json::object();
+            ok.set("ok", true);
+            ok.set("stopping", true);
+            channel.writeLine(ok.dump());
+            inform("mtvd: shutdown requested by client");
+            stop();
+            return false;
+        }
+        channel.writeLine(
+            errorJson("unknown op '" + op + "'").dump());
+        return true;
+    } catch (const FatalError &e) {
+        return channel.writeLine(errorJson(e.what()).dump());
+    }
+}
+
+bool
+MtvService::handleRun(const Json &request, LineChannel &channel)
+{
+    const std::vector<Json> &specLines = request.get("specs").asArray();
+    const bool quiet = request.getBool("quiet", false);
+
+    // Validate the whole batch before running any of it: a malformed
+    // spec answers with one error and no partial results.
+    std::vector<RunSpec> specs;
+    specs.reserve(specLines.size());
+    for (const Json &text : specLines)
+        specs.push_back(RunSpec::parse(text.asString()));
+
+    // Stream in submission order: specs fan out across the shared
+    // worker pool; identical in-flight specs (same batch or another
+    // client's) coalesce inside the engine.
+    std::vector<std::future<RunResult>> futures;
+    futures.reserve(specs.size());
+    for (const RunSpec &spec : specs)
+        futures.push_back(engine_->submit(spec));
+
+    uint64_t simulated = 0;
+    uint64_t cacheServed = 0;
+    uint64_t storeServed = 0;
+    for (size_t i = 0; i < futures.size(); ++i) {
+        RunResult result;
+        try {
+            result = futures[i].get();
+        } catch (const std::future_error &) {
+            // Shutdown dropped this queued run (discardQueued); the
+            // client's connection is being torn down anyway.
+            return false;
+        }
+        if (result.cached)
+            ++cacheServed;
+        else if (result.fromStore)
+            ++storeServed;
+        else
+            ++simulated;
+        if (!channel.writeLine(
+                resultToJson(result, i, !quiet).dump())) {
+            return false;  // client gone; remaining work completes
+        }
+    }
+
+    Json done = Json::object();
+    done.set("done", true);
+    done.set("count", static_cast<uint64_t>(futures.size()));
+    done.set("simulated", simulated);
+    done.set("cacheServed", cacheServed);
+    done.set("storeServed", storeServed);
+    return channel.writeLine(done.dump());
+}
+
+} // namespace mtv

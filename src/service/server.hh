@@ -1,0 +1,121 @@
+/**
+ * @file
+ * MtvService: the engine room of the `mtvd` daemon. Owns one
+ * ExperimentEngine (optionally backed by a persistent ResultStore),
+ * listens on a unix stream socket, and serves the newline-delimited
+ * JSON protocol of src/service/protocol.hh to any number of
+ * concurrent clients.
+ *
+ * Concurrency model: one thread per connection parses and validates
+ * requests, submits specs to the shared engine pool, and streams each
+ * batch's results back in submission order as they finish. All
+ * clients share the engine's memory cache, in-flight coalescing map
+ * and store — N clients requesting the same spec cost one
+ * simulation. Client errors (bad JSON, unknown programs, malformed
+ * specs) are answered with {"error":...} and never take the daemon
+ * down; validation runs under ScopedFatalAsException.
+ */
+
+#ifndef MTV_SERVICE_SERVER_HH
+#define MTV_SERVICE_SERVER_HH
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "src/api/engine.hh"
+#include "src/service/protocol.hh"
+#include "src/store/result_store.hh"
+
+namespace mtv
+{
+
+/** Configuration of one MtvService instance. */
+struct ServiceOptions
+{
+    /** Unix socket path to listen on. Empty = defaultSocketPath(). */
+    std::string socketPath;
+    /**
+     * Result-store directory backing the engine; empty = in-memory
+     * only (results die with the daemon).
+     */
+    std::string storeDir;
+    /** Engine worker threads; 0 = one per hardware thread. */
+    int workers = 0;
+    /** Engine memory-cache entry cap; 0 = unbounded. */
+    size_t maxCacheEntries = 0;
+};
+
+/** The mtvd daemon core (socket server around an engine + store). */
+class MtvService
+{
+  public:
+    /**
+     * Open the store (when configured), build the engine, bind and
+     * listen. fatal()s on an unusable socket path or store, or when
+     * another live daemon already serves the socket.
+     */
+    explicit MtvService(ServiceOptions options);
+    ~MtvService();
+
+    MtvService(const MtvService &) = delete;
+    MtvService &operator=(const MtvService &) = delete;
+
+    /**
+     * Accept and serve clients until stop() (or a client's shutdown
+     * request). Blocks; run it on the main thread (mtvd) or a
+     * dedicated one (tests).
+     */
+    void serve();
+
+    /**
+     * Ask serve() to return: stops accepting, shuts down client
+     * connections, joins their threads. Safe from any thread and
+     * from signal context (the heavy lifting happens on the serve()
+     * thread).
+     */
+    void stop();
+
+    /** The engine all connections share. */
+    ExperimentEngine &engine() { return *engine_; }
+
+    /** The store backing the engine (null when storeDir was empty). */
+    const std::shared_ptr<ResultStore> &store() const { return store_; }
+
+    /** Path the daemon is listening on. */
+    const std::string &socketPath() const { return socketPath_; }
+
+  private:
+    void handleConnection(int fd);
+    /** Serve one request; returns false when the connection should
+     *  close (shutdown request or write failure). */
+    bool handleRequest(const Json &request, LineChannel &channel);
+    bool handleRun(const Json &request, LineChannel &channel);
+    /** Join threads whose connections have ended. Caller holds
+     *  clientsMutex_. */
+    void reapFinishedLocked();
+    /** Shut down remaining connections, drop queued engine work, and
+     *  join every client thread (serve() teardown and destructor). */
+    void teardownClients();
+
+    std::string socketPath_;
+    std::shared_ptr<ResultStore> store_;
+    std::unique_ptr<ExperimentEngine> engine_;
+    int listenFd_ = -1;
+    std::atomic<bool> stopping_{false};
+
+    std::mutex clientsMutex_;
+    /** Live connections: fd -> serving thread. */
+    std::unordered_map<int, std::thread> activeClients_;
+    /** Threads whose connection ended, awaiting a cheap join (reaped
+     *  on every accept so the daemon never accumulates dead ones). */
+    std::vector<std::thread> finishedClients_;
+};
+
+} // namespace mtv
+
+#endif // MTV_SERVICE_SERVER_HH

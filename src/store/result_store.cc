@@ -1,0 +1,326 @@
+#include "src/store/result_store.hh"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <vector>
+
+#include <dirent.h>
+#include <fcntl.h>
+#include <sys/file.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include "src/common/endian.hh"
+#include "src/common/logging.hh"
+#include "src/store/stats_codec.hh"
+
+namespace mtv
+{
+
+namespace
+{
+
+/** Sanity bounds on record fields (a corrupt length must not drive a
+ *  multi-GB allocation). Canonical spec keys are well under 64 KiB;
+ *  blobs of job-queue runs are comfortably under 64 MiB. */
+constexpr uint32_t maxKeyLen = 64u * 1024;
+constexpr uint32_t maxBlobLen = 64u * 1024 * 1024;
+
+constexpr size_t segmentHeaderBytes = 16;
+constexpr size_t recordHeaderBytes = 16;
+
+/** Checksum of one record's key + blob. */
+uint64_t
+recordChecksum(const std::string &key, const std::string &blob)
+{
+    return fnv1a64(blob.data(), blob.size(),
+                   fnv1a64(key.data(), key.size()));
+}
+
+bool
+isSegmentName(const std::string &name)
+{
+    return name.size() == std::strlen("seg-000000.mtvs") &&
+           name.compare(0, 4, "seg-") == 0 &&
+           name.compare(name.size() - 5, 5, ".mtvs") == 0;
+}
+
+} // namespace
+
+ResultStore::ResultStore(const std::string &dir) : dir_(dir)
+{
+    if (::mkdir(dir_.c_str(), 0755) != 0 && errno != EEXIST)
+        fatal("cannot create store directory '%s': %s", dir_.c_str(),
+              std::strerror(errno));
+
+    const std::string lockPath = dir_ + "/LOCK";
+    lockFd_ = ::open(lockPath.c_str(), O_CREAT | O_RDWR, 0644);
+    if (lockFd_ < 0)
+        fatal("cannot open store lock '%s': %s", lockPath.c_str(),
+              std::strerror(errno));
+    if (::flock(lockFd_, LOCK_EX | LOCK_NB) != 0)
+        fatal("store '%s' is locked by another process", dir_.c_str());
+
+    schemaHash_ = storeSchemaHash();
+
+    // Load existing segments in name (= creation) order, so a key
+    // written in two sessions resolves to the latest copy (the values
+    // are identical anyway — runs are deterministic).
+    std::vector<std::string> names;
+    DIR *d = ::opendir(dir_.c_str());
+    if (!d)
+        fatal("cannot read store directory '%s': %s", dir_.c_str(),
+              std::strerror(errno));
+    while (const dirent *entry = ::readdir(d)) {
+        if (isSegmentName(entry->d_name))
+            names.push_back(entry->d_name);
+    }
+    ::closedir(d);
+    std::sort(names.begin(), names.end());
+    for (const auto &name : names)
+        loadSegment(dir_ + "/" + name);
+
+    openSessionSegment();
+}
+
+ResultStore::~ResultStore()
+{
+    bool removeEmpty = false;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        for (std::FILE *handle : readHandles_) {
+            if (handle)
+                std::fclose(handle);
+        }
+        if (segment_) {
+            std::fclose(segment_);
+            segment_ = nullptr;
+            removeEmpty = stats_.appends == 0;
+        }
+    }
+    // A session that stored nothing leaves no header-only litter.
+    if (removeEmpty)
+        ::unlink(segmentPath_.c_str());
+    if (lockFd_ >= 0)
+        ::close(lockFd_);
+}
+
+void
+ResultStore::loadSegment(const std::string &path)
+{
+    // Verify every record's checksum once, here, and keep only its
+    // disk location: load() reads blobs back on demand, so resident
+    // memory is the index, not the payloads.
+    ++stats_.segments;
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    if (!f) {
+        warn("store: cannot open segment '%s': %s — skipping",
+             path.c_str(), std::strerror(errno));
+        ++stats_.badSegments;
+        return;
+    }
+
+    uint8_t header[segmentHeaderBytes];
+    if (std::fread(header, 1, sizeof(header), f) != sizeof(header) ||
+        readLe32(header) != storeMagic ||
+        readLe32(header + 4) != storeVersion) {
+        warn("store: '%s' is not a v%u segment — skipping",
+             path.c_str(), storeVersion);
+        ++stats_.badSegments;
+        std::fclose(f);
+        return;
+    }
+    if (readLe64(header + 8) != schemaHash_) {
+        warn("store: '%s' was written under schema %016llx, this "
+             "build is %016llx — rejecting its results",
+             path.c_str(),
+             static_cast<unsigned long long>(readLe64(header + 8)),
+             static_cast<unsigned long long>(schemaHash_));
+        ++stats_.staleSegments;
+        std::fclose(f);
+        return;
+    }
+
+    for (;;) {
+        uint8_t rec[recordHeaderBytes];
+        const size_t got = std::fread(rec, 1, sizeof(rec), f);
+        if (got == 0)
+            break;  // clean end of segment
+        if (got != sizeof(rec)) {
+            warn("store: '%s' ends in a partial record header — "
+                 "dropping the tail (crash recovery)",
+                 path.c_str());
+            ++stats_.droppedRecords;
+            break;
+        }
+        const uint32_t keyLen = readLe32(rec);
+        const uint32_t blobLen = readLe32(rec + 4);
+        const uint64_t checksum = readLe64(rec + 8);
+        if (keyLen == 0 || keyLen > maxKeyLen || blobLen > maxBlobLen) {
+            warn("store: '%s' has a record with implausible lengths "
+                 "(%u/%u) — dropping the tail",
+                 path.c_str(), keyLen, blobLen);
+            ++stats_.droppedRecords;
+            break;
+        }
+        std::string key(keyLen, '\0');
+        std::string blob(blobLen, '\0');
+        if (std::fread(key.data(), 1, keyLen, f) != keyLen ||
+            std::fread(blob.data(), 1, blobLen, f) != blobLen) {
+            warn("store: '%s' ends in a truncated record — dropping "
+                 "the tail (crash recovery)",
+                 path.c_str());
+            ++stats_.droppedRecords;
+            break;
+        }
+        if (recordChecksum(key, blob) != checksum) {
+            warn("store: '%s' has a checksum-failing record — "
+                 "dropping the tail",
+                 path.c_str());
+            ++stats_.droppedRecords;
+            break;
+        }
+        const long end = std::ftell(f);
+        if (end < 0)
+            fatal("cannot tell position in '%s'", path.c_str());
+        RecordLocation location;
+        location.segment =
+            static_cast<uint32_t>(segmentPaths_.size());
+        location.offset = end - static_cast<long>(blobLen);
+        location.length = blobLen;
+        index_[key] = location;  // later segments override earlier
+        ++stats_.loadedRecords;
+    }
+    std::fclose(f);
+    segmentPaths_.push_back(path);
+    readHandles_.push_back(nullptr);
+}
+
+void
+ResultStore::openSessionSegment()
+{
+    // Fresh segment per session: recovery never rewrites old files,
+    // and two sessions' appends cannot interleave.
+    for (unsigned n = 0; ; ++n) {
+        char name[32];
+        std::snprintf(name, sizeof(name), "seg-%06u.mtvs", n);
+        const std::string path = dir_ + "/" + name;
+        struct stat st;
+        if (::stat(path.c_str(), &st) == 0)
+            continue;  // exists (possibly stale/corrupt); keep looking
+        segmentPath_ = path;
+        break;
+    }
+    segment_ = std::fopen(segmentPath_.c_str(), "wb");
+    if (!segment_)
+        fatal("cannot create store segment '%s': %s",
+              segmentPath_.c_str(), std::strerror(errno));
+    uint8_t header[segmentHeaderBytes];
+    writeLe32(header, storeMagic);
+    writeLe32(header + 4, storeVersion);
+    writeLe64(header + 8, schemaHash_);
+    if (std::fwrite(header, 1, sizeof(header), segment_) !=
+        sizeof(header)) {
+        fatal("short write on store segment header '%s'",
+              segmentPath_.c_str());
+    }
+    std::fflush(segment_);
+    segmentPaths_.push_back(segmentPath_);
+    readHandles_.push_back(nullptr);
+}
+
+std::FILE *
+ResultStore::readHandle(uint32_t segment)
+{
+    MTV_ASSERT(segment < readHandles_.size());
+    if (!readHandles_[segment]) {
+        readHandles_[segment] =
+            std::fopen(segmentPaths_[segment].c_str(), "rb");
+        if (!readHandles_[segment]) {
+            fatal("store segment '%s' disappeared: %s",
+                  segmentPaths_[segment].c_str(),
+                  std::strerror(errno));
+        }
+    }
+    return readHandles_[segment];
+}
+
+std::shared_ptr<const SimStats>
+ResultStore::load(const std::string &key)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = index_.find(key);
+    if (it == index_.end()) {
+        ++stats_.misses;
+        return nullptr;
+    }
+    const RecordLocation &location = it->second;
+    std::FILE *f = readHandle(location.segment);
+    std::string blob(location.length, '\0');
+    if (std::fseek(f, location.offset, SEEK_SET) != 0 ||
+        std::fread(blob.data(), 1, blob.size(), f) != blob.size()) {
+        fatal("store segment '%s' shrank underneath us (offset %ld)",
+              segmentPaths_[location.segment].c_str(),
+              location.offset);
+    }
+    ++stats_.hits;
+    return std::make_shared<const SimStats>(deserializeSimStats(blob));
+}
+
+void
+ResultStore::store(const std::string &key, const SimStats &stats)
+{
+    if (key.empty() || key.size() > maxKeyLen)
+        panic("store key has invalid length %zu", key.size());
+    const std::string blob = serializeSimStats(stats);
+
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (index_.count(key))
+        return;  // deterministic runs: the existing copy is identical
+
+    const long recordStart = std::ftell(segment_);
+    if (recordStart < 0)
+        fatal("cannot tell position in '%s'", segmentPath_.c_str());
+    uint8_t rec[recordHeaderBytes];
+    writeLe32(rec, static_cast<uint32_t>(key.size()));
+    writeLe32(rec + 4, static_cast<uint32_t>(blob.size()));
+    writeLe64(rec + 8, recordChecksum(key, blob));
+    if (std::fwrite(rec, 1, sizeof(rec), segment_) != sizeof(rec) ||
+        std::fwrite(key.data(), 1, key.size(), segment_) !=
+            key.size() ||
+        std::fwrite(blob.data(), 1, blob.size(), segment_) !=
+            blob.size()) {
+        fatal("short write on store segment '%s' (disk full?)",
+              segmentPath_.c_str());
+    }
+    // Flushed before store() returns: the write-ahead guarantee, and
+    // what makes the blob readable through the segment's read handle.
+    std::fflush(segment_);
+
+    RecordLocation location;
+    location.segment =
+        static_cast<uint32_t>(segmentPaths_.size() - 1);
+    location.offset = recordStart +
+                      static_cast<long>(recordHeaderBytes) +
+                      static_cast<long>(key.size());
+    location.length = static_cast<uint32_t>(blob.size());
+    index_[key] = location;
+    ++stats_.appends;
+}
+
+size_t
+ResultStore::size() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return index_.size();
+}
+
+ResultStore::Stats
+ResultStore::stats() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return stats_;
+}
+
+} // namespace mtv

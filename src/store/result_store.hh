@@ -1,0 +1,132 @@
+/**
+ * @file
+ * ResultStore: the disk-backed, versioned ResultBackend that makes
+ * experiment results persistent across processes — the moral
+ * equivalent of the paper's amortization of Dixie traces across
+ * experiments, applied to finished simulations.
+ *
+ * Layout: a store is a directory of append-only segment files
+ * (`seg-NNNNNN.mtvs`). Every segment starts with a 16-byte header
+ * (magic, format version, schema hash) followed by checksummed
+ * records, each mapping a RunSpec::canonical() key to a
+ * serializeSimStats() blob:
+ *
+ *   u32 keyLen | u32 blobLen | u64 fnv1a64(key+blob) | key | blob
+ *
+ * Crash safety is write-ahead-append: a record is flushed before
+ * store() returns, a crash mid-record leaves a short or checksum-
+ * failing tail, and opening the store skips such tails (warning and
+ * counting them) while keeping every intact record. Each process
+ * session appends to a fresh segment, so recovery never rewrites
+ * existing data. Segments whose schema hash differs from this
+ * build's storeSchemaHash() are rejected wholesale — their results
+ * were produced under a different machine-parameter vocabulary or
+ * workload registry and must not be served.
+ *
+ * Memory: only an index (key → segment/offset/length) is resident;
+ * load() reads and decodes the blob from disk on demand, so a
+ * cache-capped daemon's footprint stays bounded by the index, not by
+ * the result payloads (records were checksum-verified when the index
+ * was built).
+ *
+ * A store directory has a single writer at a time, enforced with
+ * flock() on `<dir>/LOCK`; all methods are thread-safe within that
+ * process (engine workers write through concurrently).
+ */
+
+#ifndef MTV_STORE_RESULT_STORE_HH
+#define MTV_STORE_RESULT_STORE_HH
+
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "src/api/backend.hh"
+
+namespace mtv
+{
+
+/** Magic bytes at the start of a store segment ("MTVS" LE). */
+constexpr uint32_t storeMagic = 0x5356544d;
+/** Current segment format version. */
+constexpr uint32_t storeVersion = 1;
+
+/** Disk-backed persistent result store (see file comment). */
+class ResultStore : public ResultBackend
+{
+  public:
+    /** Load/recovery counters, fixed at open; session counters. */
+    struct Stats
+    {
+        size_t segments = 0;       ///< segment files seen at open
+        size_t staleSegments = 0;  ///< rejected: schema-hash mismatch
+        size_t badSegments = 0;    ///< rejected: bad magic/version
+        uint64_t loadedRecords = 0;///< intact records read at open
+        uint64_t droppedRecords = 0;///< corrupt/truncated tails skipped
+        uint64_t appends = 0;      ///< records appended this session
+        uint64_t hits = 0;         ///< load() calls served
+        uint64_t misses = 0;       ///< load() calls not present
+    };
+
+    /**
+     * Open (creating if needed) the store at @p dir, take the writer
+     * lock, load every intact record of every schema-compatible
+     * segment, and start a fresh segment for this session's appends.
+     * fatal()s when the directory is unusable or another process
+     * holds the writer lock.
+     */
+    explicit ResultStore(const std::string &dir);
+    ~ResultStore() override;
+
+    ResultStore(const ResultStore &) = delete;
+    ResultStore &operator=(const ResultStore &) = delete;
+
+    std::shared_ptr<const SimStats>
+    load(const std::string &key) override;
+
+    void store(const std::string &key, const SimStats &stats) override;
+
+    size_t size() const override;
+
+    /** Counter snapshot. */
+    Stats stats() const;
+
+    /** The store directory. */
+    const std::string &directory() const { return dir_; }
+
+  private:
+    /** Where one record's blob lives on disk. */
+    struct RecordLocation
+    {
+        uint32_t segment = 0;  ///< index into segmentPaths_
+        long offset = 0;       ///< byte offset of the blob
+        uint32_t length = 0;   ///< blob bytes
+    };
+
+    void loadSegment(const std::string &path);
+    void openSessionSegment();
+    /** Read handle for @p segment, opened lazily. Caller holds
+     *  mutex_; fatal()s when the file vanished underneath us. */
+    std::FILE *readHandle(uint32_t segment);
+
+    std::string dir_;
+    int lockFd_ = -1;
+    std::FILE *segment_ = nullptr;
+    std::string segmentPath_;
+    uint64_t schemaHash_ = 0;
+
+    mutable std::mutex mutex_;
+    /** All segments in load order; the session segment is last. */
+    std::vector<std::string> segmentPaths_;
+    /** Lazily opened read handles, parallel to segmentPaths_. */
+    std::vector<std::FILE *> readHandles_;
+    std::unordered_map<std::string, RecordLocation> index_;
+    Stats stats_;
+};
+
+} // namespace mtv
+
+#endif // MTV_STORE_RESULT_STORE_HH

@@ -1,0 +1,321 @@
+#include "src/store/stats_codec.hh"
+
+#include <cstring>
+
+#include "src/common/endian.hh"
+#include "src/common/logging.hh"
+#include "src/isa/machine_params.hh"
+#include "src/workload/suite.hh"
+
+namespace mtv
+{
+
+namespace
+{
+
+// ----- little-endian append helpers -----
+
+void
+appendU32(std::string &out, uint32_t v)
+{
+    uint8_t buf[4];
+    writeLe32(buf, v);
+    out.append(reinterpret_cast<const char *>(buf), sizeof(buf));
+}
+
+void
+appendU64(std::string &out, uint64_t v)
+{
+    uint8_t buf[8];
+    writeLe64(buf, v);
+    out.append(reinterpret_cast<const char *>(buf), sizeof(buf));
+}
+
+void
+appendI32(std::string &out, int32_t v)
+{
+    appendU32(out, static_cast<uint32_t>(v));
+}
+
+void
+appendString(std::string &out, const std::string &s)
+{
+    if (s.size() > 0xffffffffu)
+        panic("stats string too long to serialize (%zu bytes)",
+              s.size());
+    appendU32(out, static_cast<uint32_t>(s.size()));
+    out.append(s);
+}
+
+/** Sequential reader over a blob; fatal()s on truncation. */
+class BlobReader
+{
+  public:
+    explicit BlobReader(const std::string &blob) : blob_(blob) {}
+
+    uint32_t
+    u32()
+    {
+        need(4);
+        const uint32_t v = readLe32(bytes() + pos_);
+        pos_ += 4;
+        return v;
+    }
+
+    uint64_t
+    u64()
+    {
+        need(8);
+        const uint64_t v = readLe64(bytes() + pos_);
+        pos_ += 8;
+        return v;
+    }
+
+    int32_t i32() { return static_cast<int32_t>(u32()); }
+
+    std::string
+    str()
+    {
+        const uint32_t n = u32();
+        need(n);
+        std::string s = blob_.substr(pos_, n);
+        pos_ += n;
+        return s;
+    }
+
+    bool atEnd() const { return pos_ == blob_.size(); }
+
+  private:
+    const uint8_t *
+    bytes() const
+    {
+        return reinterpret_cast<const uint8_t *>(blob_.data());
+    }
+
+    void
+    need(size_t n) const
+    {
+        if (blob_.size() - pos_ < n)
+            fatal("SimStats blob truncated (need %zu bytes at offset "
+                  "%zu of %zu)",
+                  n, pos_, blob_.size());
+    }
+
+    const std::string &blob_;
+    size_t pos_ = 0;
+};
+
+void
+appendThreadStats(std::string &out, const ThreadStats &ts)
+{
+    appendString(out, ts.program);
+    appendU64(out, ts.instructions);
+    appendU64(out, ts.scalarInstructions);
+    appendU64(out, ts.vectorInstructions);
+    appendU64(out, ts.runsCompleted);
+    appendU64(out, ts.instructionsThisRun);
+    appendU64(out, ts.lastCompletion);
+    appendU32(out, static_cast<uint32_t>(ts.blocked.size()));
+    for (const uint64_t b : ts.blocked)
+        appendU64(out, b);
+}
+
+ThreadStats
+readThreadStats(BlobReader &in)
+{
+    ThreadStats ts;
+    ts.program = in.str();
+    ts.instructions = in.u64();
+    ts.scalarInstructions = in.u64();
+    ts.vectorInstructions = in.u64();
+    ts.runsCompleted = in.u64();
+    ts.instructionsThisRun = in.u64();
+    ts.lastCompletion = in.u64();
+    const uint32_t reasons = in.u32();
+    if (reasons != ts.blocked.size())
+        fatal("SimStats blob has %u block reasons, this build has %zu",
+              reasons, ts.blocked.size());
+    for (auto &b : ts.blocked)
+        b = in.u64();
+    return ts;
+}
+
+} // namespace
+
+uint64_t
+fnv1a64(const void *data, size_t size, uint64_t seed)
+{
+    const auto *bytes = static_cast<const uint8_t *>(data);
+    uint64_t hash = seed;
+    for (size_t i = 0; i < size; ++i) {
+        hash ^= bytes[i];
+        hash *= 0x100000001b3ull;
+    }
+    return hash;
+}
+
+std::string
+serializeSimStats(const SimStats &stats)
+{
+    std::string out;
+    out.reserve(256);
+    appendU32(out, statsCodecVersion);
+    appendU64(out, stats.cycles);
+    appendU64(out, stats.memRequests);
+    appendU64(out, stats.vecOpsFu1);
+    appendU64(out, stats.vecOpsFu2);
+    appendU64(out, stats.dispatches);
+    appendU64(out, stats.decodeIdle);
+    appendU64(out, stats.decoupledSlips);
+    appendI32(out, stats.memPorts);
+    appendU64(out, stats.fu1BusyCycles);
+    appendU64(out, stats.fu2BusyCycles);
+    appendU64(out, stats.ldBusyCycles);
+    appendU32(out, static_cast<uint32_t>(stats.stateHist.size()));
+    for (const uint64_t s : stats.stateHist)
+        appendU64(out, s);
+    appendU32(out, static_cast<uint32_t>(stats.threads.size()));
+    for (const ThreadStats &ts : stats.threads)
+        appendThreadStats(out, ts);
+    appendU32(out, static_cast<uint32_t>(stats.jobs.size()));
+    for (const JobRecord &job : stats.jobs) {
+        appendString(out, job.program);
+        appendI32(out, job.context);
+        appendU64(out, job.startCycle);
+        appendU64(out, job.endCycle);
+    }
+    return out;
+}
+
+SimStats
+deserializeSimStats(const std::string &blob)
+{
+    BlobReader in(blob);
+    const uint32_t version = in.u32();
+    if (version != statsCodecVersion)
+        fatal("SimStats blob has codec version %u, this build speaks "
+              "%u",
+              version, statsCodecVersion);
+    SimStats stats;
+    stats.cycles = in.u64();
+    stats.memRequests = in.u64();
+    stats.vecOpsFu1 = in.u64();
+    stats.vecOpsFu2 = in.u64();
+    stats.dispatches = in.u64();
+    stats.decodeIdle = in.u64();
+    stats.decoupledSlips = in.u64();
+    stats.memPorts = in.i32();
+    stats.fu1BusyCycles = in.u64();
+    stats.fu2BusyCycles = in.u64();
+    stats.ldBusyCycles = in.u64();
+    const uint32_t states = in.u32();
+    if (states != stats.stateHist.size())
+        fatal("SimStats blob has %u FU states, this build has %zu",
+              states, stats.stateHist.size());
+    for (auto &s : stats.stateHist)
+        s = in.u64();
+    const uint32_t threads = in.u32();
+    stats.threads.reserve(threads);
+    for (uint32_t i = 0; i < threads; ++i)
+        stats.threads.push_back(readThreadStats(in));
+    const uint32_t jobs = in.u32();
+    stats.jobs.reserve(jobs);
+    for (uint32_t i = 0; i < jobs; ++i) {
+        JobRecord job;
+        job.program = in.str();
+        job.context = in.i32();
+        job.startCycle = in.u64();
+        job.endCycle = in.u64();
+        stats.jobs.push_back(job);
+    }
+    if (!in.atEnd())
+        fatal("SimStats blob has trailing bytes");
+    return stats;
+}
+
+uint64_t
+storeSchemaHash()
+{
+    // Everything that gives a stored blob its meaning: the blob
+    // layout itself, the machine parameter set (canonical key names
+    // and defaults — RunSpec keys embed the full parameter string, so
+    // renaming/adding a parameter changes every key's vocabulary),
+    // and the built-in workload registry the program names resolve
+    // through. Generator changes must be reflected in the kernel
+    // shapes or Table 3 targets below to invalidate stale stores.
+    std::string schema;
+    schema += "codec=" + std::to_string(statsCodecVersion);
+    schema += ";reasons=" +
+              std::to_string(
+                  static_cast<int>(BlockReason::NumReasons));
+    schema += ";fustates=" + std::to_string(numFuStates);
+    schema += ";machine={" + MachineParams::reference().canonical() +
+              "}";
+    for (const ProgramSpec &spec : benchmarkSuite()) {
+        schema += ";prog=" + spec.name + "," + spec.abbrev;
+        char targets[128];
+        std::snprintf(targets, sizeof(targets),
+                      ",%.17g,%.17g,%.17g,%.17g,%.17g",
+                      spec.scalarMillions, spec.vectorMillions,
+                      spec.vectorOpsMillions, spec.percentVect,
+                      spec.avgVectorLength);
+        schema += targets;
+        for (const KernelSpec &kernel : spec.kernels) {
+            schema += ";k=" + kernel.name;
+            char shape[128];
+            std::snprintf(shape, sizeof(shape),
+                          ",%u,%zu,%d,%d,%d,%.17g", kernel.tripCount,
+                          kernel.body.size(), kernel.scalarPreamble,
+                          kernel.scalarPerStrip, kernel.stride,
+                          kernel.indexedFraction);
+            schema += shape;
+            for (const VecStep &step : kernel.body) {
+                char stepDesc[64];
+                std::snprintf(stepDesc, sizeof(stepDesc), ",%d:%d:%d:%d",
+                              static_cast<int>(step.op), step.dst,
+                              step.srcA, step.srcB);
+                schema += stepDesc;
+            }
+        }
+    }
+    return fnv1a64(schema.data(), schema.size());
+}
+
+std::string
+hexEncode(const std::string &data)
+{
+    static const char digits[] = "0123456789abcdef";
+    std::string out;
+    out.reserve(data.size() * 2);
+    for (const char c : data) {
+        const auto b = static_cast<uint8_t>(c);
+        out.push_back(digits[b >> 4]);
+        out.push_back(digits[b & 0xf]);
+    }
+    return out;
+}
+
+std::string
+hexDecode(const std::string &hex)
+{
+    auto nibble = [&hex](char c) -> int {
+        if (c >= '0' && c <= '9')
+            return c - '0';
+        if (c >= 'a' && c <= 'f')
+            return c - 'a' + 10;
+        if (c >= 'A' && c <= 'F')
+            return c - 'A' + 10;
+        fatal("invalid hex digit '%c' in '%.32s...'", c, hex.c_str());
+    };
+    if (hex.size() % 2 != 0)
+        fatal("odd-length hex string (%zu digits)", hex.size());
+    std::string out;
+    out.reserve(hex.size() / 2);
+    for (size_t i = 0; i < hex.size(); i += 2) {
+        out.push_back(static_cast<char>((nibble(hex[i]) << 4) |
+                                        nibble(hex[i + 1])));
+    }
+    return out;
+}
+
+} // namespace mtv

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Binary serialization of SimStats for the persistent result store
+ * and the service protocol.
+ *
+ * The encoding is versioned, little-endian, and packed field by field
+ * (no struct memcpy), like the trace file format, so blobs are
+ * portable across compilers and platforms. Encoding is canonical:
+ * equal SimStats always produce byte-identical blobs, so blob
+ * equality doubles as the bit-identity check of the determinism
+ * guarantees (tests and the service smoke test compare digests of
+ * these blobs).
+ */
+
+#ifndef MTV_STORE_STATS_CODEC_HH
+#define MTV_STORE_STATS_CODEC_HH
+
+#include <cstdint>
+#include <string>
+
+#include "src/core/metrics.hh"
+
+namespace mtv
+{
+
+/** Version of the SimStats blob layout. Bump on any field change. */
+constexpr uint32_t statsCodecVersion = 1;
+
+/** Canonical binary encoding of @p stats. */
+std::string serializeSimStats(const SimStats &stats);
+
+/**
+ * Inverse of serializeSimStats(). fatal()s on truncated or
+ * version-mismatched input (a corrupt store record that slipped past
+ * its checksum, or a blob from a different build).
+ */
+SimStats deserializeSimStats(const std::string &blob);
+
+/**
+ * FNV-1a 64-bit over @p size bytes (seeded with the standard offset
+ * basis, foldable by passing a previous hash as @p seed). Used for
+ * store record checksums and result digests.
+ */
+uint64_t fnv1a64(const void *data, size_t size,
+                 uint64_t seed = 0xcbf29ce484222325ull);
+
+/**
+ * Hash of everything that determines what a stored result *means*:
+ * the blob layout version, the MachineParams parameter set (canonical
+ * key set and defaults), and the built-in workload registry (Table 3
+ * targets and kernel shapes). Two builds with equal schema hashes
+ * interpret each other's store segments; a segment with a different
+ * hash is rejected at load. Custom programs registered with
+ * registerProgram() are process-local and deliberately excluded —
+ * see DESIGN.md.
+ */
+uint64_t storeSchemaHash();
+
+/** Lower-case hex encoding of @p data (for the JSON protocol). */
+std::string hexEncode(const std::string &data);
+
+/** Inverse of hexEncode(); fatal()s on malformed input. */
+std::string hexDecode(const std::string &hex);
+
+} // namespace mtv
+
+#endif // MTV_STORE_STATS_CODEC_HH

@@ -1,8 +1,11 @@
 #include "src/trace/trace_file.hh"
 
+#include <algorithm>
 #include <array>
 #include <cstring>
+#include <vector>
 
+#include "src/common/endian.hh"
 #include "src/common/logging.hh"
 
 namespace mtv
@@ -14,63 +17,18 @@ namespace
 constexpr size_t recordBytes = 20;
 
 void
-put16(uint8_t *p, uint16_t v)
-{
-    p[0] = static_cast<uint8_t>(v);
-    p[1] = static_cast<uint8_t>(v >> 8);
-}
-
-void
-put32(uint8_t *p, uint32_t v)
-{
-    for (int i = 0; i < 4; ++i)
-        p[i] = static_cast<uint8_t>(v >> (8 * i));
-}
-
-void
-put64(uint8_t *p, uint64_t v)
-{
-    for (int i = 0; i < 8; ++i)
-        p[i] = static_cast<uint8_t>(v >> (8 * i));
-}
-
-uint16_t
-get16(const uint8_t *p)
-{
-    return static_cast<uint16_t>(p[0] | (p[1] << 8));
-}
-
-uint32_t
-get32(const uint8_t *p)
-{
-    uint32_t v = 0;
-    for (int i = 0; i < 4; ++i)
-        v |= static_cast<uint32_t>(p[i]) << (8 * i);
-    return v;
-}
-
-uint64_t
-get64(const uint8_t *p)
-{
-    uint64_t v = 0;
-    for (int i = 0; i < 8; ++i)
-        v |= static_cast<uint64_t>(p[i]) << (8 * i);
-    return v;
-}
-
-void
 packRecord(const Instruction &inst, uint8_t *buf)
 {
     buf[0] = static_cast<uint8_t>(inst.op);
     buf[1] = inst.dst;
     buf[2] = inst.srcA;
     buf[3] = inst.srcB;
-    put16(buf + 4, inst.vl);
+    writeLe16(buf + 4, inst.vl);
     // bytes 6..7 reserved (zero) to keep the record 4-byte aligned
     buf[6] = 0;
     buf[7] = 0;
-    put32(buf + 8, static_cast<uint32_t>(inst.stride));
-    put64(buf + 12, inst.addr);
+    writeLe32(buf + 8, static_cast<uint32_t>(inst.stride));
+    writeLe64(buf + 12, inst.addr);
 }
 
 Instruction
@@ -84,9 +42,9 @@ unpackRecord(const uint8_t *buf)
     inst.dst = buf[1];
     inst.srcA = buf[2];
     inst.srcB = buf[3];
-    inst.vl = get16(buf + 4);
-    inst.stride = static_cast<int32_t>(get32(buf + 8));
-    inst.addr = get64(buf + 12);
+    inst.vl = readLe16(buf + 4);
+    inst.stride = static_cast<int32_t>(readLe32(buf + 8));
+    inst.addr = readLe64(buf + 12);
     return inst;
 }
 
@@ -100,9 +58,9 @@ TraceWriter::TraceWriter(const std::string &path,
         fatal("cannot open trace file '%s' for writing", path.c_str());
 
     uint8_t header[16];
-    put32(header, traceMagic);
-    put32(header + 4, traceVersion);
-    put64(header + 8, 0);  // record count, back-patched by close()
+    writeLe32(header, traceMagic);
+    writeLe32(header + 4, traceVersion);
+    writeLe64(header + 8, 0);  // record count, back-patched by close()
     if (std::fwrite(header, 1, sizeof(header), file_) != sizeof(header))
         fatal("short write on trace header");
 
@@ -110,7 +68,7 @@ TraceWriter::TraceWriter(const std::string &path,
     const auto nameLen = static_cast<uint16_t>(
         std::min<size_t>(programName.size(), 0xffff));
     uint8_t lenBuf[2];
-    put16(lenBuf, nameLen);
+    writeLe16(lenBuf, nameLen);
     std::fwrite(lenBuf, 1, 2, file_);
     std::fwrite(programName.data(), 1, nameLen, file_);
 }
@@ -138,13 +96,14 @@ TraceWriter::close()
     MTV_ASSERT(file_ != nullptr);
     std::fseek(file_, 8, SEEK_SET);
     uint8_t countBuf[8];
-    put64(countBuf, count_);
+    writeLe64(countBuf, count_);
     std::fwrite(countBuf, 1, 8, file_);
     std::fclose(file_);
     file_ = nullptr;
 }
 
-TraceReader::TraceReader(const std::string &path)
+TraceReader::TraceReader(const std::string &path, TraceReadMode mode)
+    : path_(path), mode_(mode)
 {
     std::FILE *f = std::fopen(path.c_str(), "rb");
     if (!f)
@@ -153,39 +112,263 @@ TraceReader::TraceReader(const std::string &path)
     uint8_t header[16];
     if (std::fread(header, 1, sizeof(header), f) != sizeof(header))
         fatal("trace file '%s' truncated (no header)", path.c_str());
-    if (get32(header) != traceMagic)
+    if (readLe32(header) != traceMagic)
         fatal("'%s' is not an mtv trace (bad magic)", path.c_str());
-    if (get32(header + 4) != traceVersion) {
+    if (readLe32(header + 4) != traceVersion) {
         fatal("'%s': unsupported trace version %u", path.c_str(),
-              get32(header + 4));
+              readLe32(header + 4));
     }
-    const uint64_t count = get64(header + 8);
+    total_ = readLe64(header + 8);
 
     uint8_t lenBuf[2];
     if (std::fread(lenBuf, 1, 2, f) != 2)
         fatal("trace file '%s' truncated (no name)", path.c_str());
-    const uint16_t nameLen = get16(lenBuf);
+    const uint16_t nameLen = readLe16(lenBuf);
     name_.resize(nameLen);
     if (nameLen &&
         std::fread(name_.data(), 1, nameLen, f) != nameLen) {
         fatal("trace file '%s' truncated (short name)", path.c_str());
     }
 
-    instructions_.reserve(count);
+    if (mode_ == TraceReadMode::Streaming) {
+        // Keep the file open and pull records through the chunk
+        // buffer on demand; memory stays O(chunk) however large the
+        // trace. A truncated file surfaces at the failing record.
+        dataStart_ = std::ftell(f);
+        if (dataStart_ < 0)
+            fatal("cannot seek in trace file '%s'", path.c_str());
+        file_ = f;
+        return;
+    }
+
+    instructions_.reserve(total_);
     uint8_t buf[recordBytes];
-    for (uint64_t i = 0; i < count; ++i) {
+    for (uint64_t i = 0; i < total_; ++i) {
         if (std::fread(buf, 1, recordBytes, f) != recordBytes) {
             fatal("trace file '%s' truncated at record %llu of %llu",
                   path.c_str(), static_cast<unsigned long long>(i),
-                  static_cast<unsigned long long>(count));
+                  static_cast<unsigned long long>(total_));
         }
         instructions_.push_back(unpackRecord(buf));
     }
     std::fclose(f);
 }
 
+TraceReader::~TraceReader()
+{
+    if (file_)
+        std::fclose(file_);
+}
+
+bool
+TraceReader::fillChunk()
+{
+    // The chunk is always fully drained before a refill, so the
+    // records loaded so far equal the records handed out.
+    constexpr size_t chunkRecords = 4096;
+    const uint64_t remaining = total_ - consumed_;
+    if (remaining == 0)
+        return false;
+    const size_t n = static_cast<size_t>(
+        std::min<uint64_t>(chunkRecords, remaining));
+    raw_.resize(n * recordBytes);  // reused across refills
+    const size_t want = raw_.size();
+    const size_t got = std::fread(raw_.data(), 1, want, file_);
+    if (got != want) {
+        fatal("trace file '%s' truncated at record %llu of %llu",
+              path_.c_str(),
+              static_cast<unsigned long long>(consumed_ +
+                                              got / recordBytes),
+              static_cast<unsigned long long>(total_));
+    }
+    chunk_.resize(n);
+    for (size_t i = 0; i < n; ++i)
+        chunk_[i] = unpackRecord(raw_.data() + i * recordBytes);
+    chunkPos_ = 0;
+    return true;
+}
+
 bool
 TraceReader::next(Instruction &out)
+{
+    if (mode_ == TraceReadMode::Eager) {
+        if (pos_ >= instructions_.size())
+            return false;
+        out = instructions_[pos_++];
+        return true;
+    }
+    if (chunkPos_ >= chunk_.size() && !fillChunk())
+        return false;
+    out = chunk_[chunkPos_++];
+    ++consumed_;
+    return true;
+}
+
+void
+TraceReader::reset()
+{
+    if (mode_ == TraceReadMode::Eager) {
+        pos_ = 0;
+        return;
+    }
+    if (std::fseek(file_, dataStart_, SEEK_SET) != 0)
+        fatal("cannot rewind trace file '%s'", path_.c_str());
+    consumed_ = 0;
+    chunk_.clear();
+    chunkPos_ = 0;
+}
+
+namespace
+{
+
+/**
+ * Parse one disasm() line back into an Instruction — the exact
+ * inverse of the forms Instruction::disasm() emits (see there).
+ * fatal()s with file/line context on anything else.
+ */
+Instruction
+parseTextRecord(const std::string &line, const std::string &path,
+                uint64_t lineNo)
+{
+    auto bad = [&](const char *why) {
+        fatal("text trace '%s' line %llu: %s: '%s'", path.c_str(),
+              static_cast<unsigned long long>(lineNo), why,
+              line.c_str());
+    };
+
+    const size_t mnemonicEnd = line.find_first_of(" ,");
+    const std::string mnemonicText = line.substr(0, mnemonicEnd);
+    const Opcode op = opcodeFromMnemonic(mnemonicText);
+    if (op == Opcode::NumOpcodes)
+        bad("unknown mnemonic");
+    Instruction inst;
+    inst.op = op;
+    const char *rest = mnemonicEnd == std::string::npos
+                           ? line.c_str() + line.size()
+                           : line.c_str() + mnemonicEnd;
+
+    if (isVector(op) && isMemory(op)) {
+        unsigned reg = 0, vl = 0;
+        unsigned long long addr = 0;
+        int stride = 0, used = 0;
+        if (std::sscanf(rest, " v%u, [0x%llx](vl=%u, vs=%d)%n", &reg,
+                        &addr, &vl, &stride, &used) != 4 ||
+            rest[used] != '\0') {
+            bad("malformed vector memory operands");
+        }
+        if (isStore(op))
+            inst.srcA = static_cast<uint8_t>(reg);
+        else
+            inst.dst = static_cast<uint8_t>(reg);
+        inst.addr = addr;
+        inst.vl = static_cast<uint16_t>(vl);
+        inst.stride = stride;
+        return inst;
+    }
+    if (isVector(op)) {
+        unsigned d = 0, a = 0, b = 0, vl = 0;
+        int used = 0;
+        if (std::sscanf(rest, " v%u, v%u, v%u (vl=%u)%n", &d, &a, &b,
+                        &vl, &used) == 4 &&
+            rest[used] == '\0') {
+            inst.dst = static_cast<uint8_t>(d);
+            inst.srcA = static_cast<uint8_t>(a);
+            inst.srcB = static_cast<uint8_t>(b);
+        } else if (std::sscanf(rest, " v%u, v%u (vl=%u)%n", &d, &a,
+                               &vl, &used) == 3 &&
+                   rest[used] == '\0') {
+            inst.dst = static_cast<uint8_t>(d);
+            inst.srcA = static_cast<uint8_t>(a);
+        } else if (std::sscanf(rest, " v%u (vl=%u)%n", &d, &vl,
+                               &used) == 2 &&
+                   rest[used] == '\0') {
+            inst.dst = static_cast<uint8_t>(d);
+        } else {
+            bad("malformed vector operands");
+        }
+        inst.vl = static_cast<uint16_t>(vl);
+        return inst;
+    }
+    if (isMemory(op)) {
+        unsigned reg = 0;
+        unsigned long long addr = 0;
+        int used = 0;
+        if (std::sscanf(rest, " s%u, [0x%llx]%n", &reg, &addr,
+                        &used) != 2 ||
+            rest[used] != '\0') {
+            bad("malformed scalar memory operands");
+        }
+        if (isStore(op))
+            inst.srcA = static_cast<uint8_t>(reg);
+        else
+            inst.dst = static_cast<uint8_t>(reg);
+        inst.addr = addr;
+        return inst;
+    }
+
+    // Scalar ALU/control: " s<dst>"?, then ", s<src>" per source. A
+    // line like "s.br, s7" has no destination (disasm omits absent
+    // operands but keeps each source's comma).
+    uint8_t *slots[3] = {&inst.dst, &inst.srcA, &inst.srcB};
+    int slot = 0;
+    if (*rest == ',')
+        slot = 1;  // no destination; rest starts at srcA's comma
+    bool first = true;
+    while (*rest != '\0') {
+        if (!first || slot == 1) {
+            if (*rest != ',')
+                bad("expected ',' between scalar operands");
+            ++rest;
+        }
+        unsigned reg = 0;
+        int used = 0;
+        if (slot >= 3 ||
+            std::sscanf(rest, " s%u%n", &reg, &used) != 1) {
+            bad("malformed scalar operands");
+        }
+        *slots[slot++] = static_cast<uint8_t>(reg);
+        rest += used;
+        first = false;
+    }
+    return inst;
+}
+
+} // namespace
+
+TextTraceReader::TextTraceReader(const std::string &path)
+{
+    std::FILE *f = std::fopen(path.c_str(), "r");
+    if (!f)
+        fatal("cannot open text trace '%s'", path.c_str());
+
+    char lineBuf[512];
+    uint64_t lineNo = 0;
+    while (std::fgets(lineBuf, sizeof(lineBuf), f)) {
+        ++lineNo;
+        std::string line(lineBuf);
+        while (!line.empty() &&
+               (line.back() == '\n' || line.back() == '\r')) {
+            line.pop_back();
+        }
+        if (line.empty())
+            continue;
+        if (line[0] == '#') {
+            // Header comment; "# program: <name>" names the trace.
+            const std::string prefix = "# program: ";
+            if (line.compare(0, prefix.size(), prefix) == 0)
+                name_ = line.substr(prefix.size());
+            continue;
+        }
+        instructions_.push_back(parseTextRecord(line, path, lineNo));
+    }
+    std::fclose(f);
+    if (name_.empty())
+        fatal("text trace '%s' has no '# program:' header",
+              path.c_str());
+}
+
+bool
+TextTraceReader::next(Instruction &out)
 {
     if (pos_ >= instructions_.size())
         return false;

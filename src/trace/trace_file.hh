@@ -7,6 +7,8 @@
  *    little-endian records; compact and fast, used for real runs.
  *  - text (".mtvt"): one disassembled instruction per line with a
  *    `# program: <name>` header; diffable, used for debugging and docs.
+ *    Round-trippable: TextTraceReader parses exactly what
+ *    writeTextTrace() emits.
  *
  * The binary layout is explicitly packed field by field (no struct
  * memcpy) so traces are portable across compilers.
@@ -56,15 +58,74 @@ class TraceWriter
     uint64_t count_ = 0;
 };
 
-/**
- * InstructionSource that replays a binary trace file. The whole trace
- * is loaded eagerly; traces at the default workload scale are a few MB.
- */
+/** How TraceReader holds the trace. */
+enum class TraceReadMode : uint8_t
+{
+    /**
+     * Materialize the whole trace at construction. Malformed files
+     * fail loudly up front and reset()/replay cost nothing — right
+     * for tests and multi-context replay of modest traces.
+     */
+    Eager,
+    /**
+     * Stream records from a read buffer, keeping O(buffer) memory
+     * regardless of trace size — right for multi-GB traces. A
+     * truncated file fails at the record where the data runs out;
+     * reset() seeks back to the first record.
+     */
+    Streaming
+};
+
+/** InstructionSource that replays a binary trace file. */
 class TraceReader : public InstructionSource
 {
   public:
-    /** Load @p path; fatal()s on malformed files. */
-    explicit TraceReader(const std::string &path);
+    /** Open @p path; fatal()s on malformed files. */
+    explicit TraceReader(const std::string &path,
+                         TraceReadMode mode = TraceReadMode::Eager);
+    ~TraceReader();
+
+    TraceReader(const TraceReader &) = delete;
+    TraceReader &operator=(const TraceReader &) = delete;
+
+    bool next(Instruction &out) override;
+    void reset() override;
+    const std::string &name() const override { return name_; }
+
+    /** Records in the trace (per the header). */
+    uint64_t count() const { return total_; }
+
+  private:
+    /** Refill the streaming chunk buffer; false at end of trace. */
+    bool fillChunk();
+
+    std::string path_;
+    std::string name_;
+    TraceReadMode mode_ = TraceReadMode::Eager;
+    uint64_t total_ = 0;
+
+    // --- eager state ---
+    std::vector<Instruction> instructions_;
+    size_t pos_ = 0;
+
+    // --- streaming state ---
+    std::FILE *file_ = nullptr;
+    long dataStart_ = 0;        ///< file offset of the first record
+    uint64_t consumed_ = 0;     ///< records handed out so far
+    std::vector<Instruction> chunk_;
+    std::vector<uint8_t> raw_;  ///< staging bytes, reused per refill
+    size_t chunkPos_ = 0;
+};
+
+/**
+ * InstructionSource that replays a text (".mtvt") trace — the inverse
+ * of writeTextTrace(), loaded eagerly. fatal()s on unparsable lines
+ * (text traces are small, hand-editable debugging artifacts).
+ */
+class TextTraceReader : public InstructionSource
+{
+  public:
+    explicit TextTraceReader(const std::string &path);
 
     bool next(Instruction &out) override;
     void reset() override { pos_ = 0; }

@@ -436,5 +436,94 @@ TEST(RegistryDeath, ReRegistrationRejected)
         testing::ExitedWithCode(1), "already-registered");
 }
 
+// ---------------------------------------------------------------------
+// Cache bounding (for long-lived daemons) and streaming submission
+// ---------------------------------------------------------------------
+
+/** Distinct single-mode specs (memory latency varied). */
+std::vector<RunSpec>
+distinctSpecs(int n)
+{
+    std::vector<RunSpec> specs;
+    for (int i = 0; i < n; ++i) {
+        MachineParams p = MachineParams::reference();
+        p.memLatency = 10 + i;
+        specs.push_back(RunSpec::single("trfd", p, testScale));
+    }
+    return specs;
+}
+
+TEST(Engine, CacheCapEvictsLeastRecentlyUsed)
+{
+    EngineOptions options;
+    options.workers = 1;
+    options.maxCacheEntries = 2;
+    ExperimentEngine engine(options);
+    const auto specs = distinctSpecs(3);
+
+    const RunResult r0 = engine.run(specs[0]);
+    engine.run(specs[1]);
+    EXPECT_EQ(engine.cacheSize(), 2u);
+    EXPECT_EQ(engine.cacheEvictions(), 0u);
+
+    // Touch spec 0 so spec 1 is the LRU victim of the overflow.
+    EXPECT_TRUE(engine.run(specs[0]).cached);
+    engine.run(specs[2]);
+    EXPECT_EQ(engine.cacheSize(), 2u);
+    EXPECT_EQ(engine.cacheEvictions(), 1u);
+
+    EXPECT_TRUE(engine.run(specs[0]).cached);   // survived
+    const RunResult r1Again = engine.run(specs[1]);
+    EXPECT_FALSE(r1Again.cached);               // evicted, re-simulated
+    // Eviction changes cost, never results.
+    const RunResult r0Again = engine.run(specs[0]);
+    expectSameStats(r0Again.stats, r0.stats);
+}
+
+TEST(Engine, ClearDropsEntriesButNotDeterminism)
+{
+    ExperimentEngine engine;
+    const auto specs = distinctSpecs(2);
+    const RunResult before = engine.run(specs[0]);
+    engine.run(specs[1]);
+    EXPECT_EQ(engine.cacheSize(), 2u);
+
+    engine.clear();
+    EXPECT_EQ(engine.cacheSize(), 0u);
+    const RunResult after = engine.run(specs[0]);
+    EXPECT_FALSE(after.cached);
+    expectSameStats(after.stats, before.stats);
+}
+
+TEST(EngineDeath, StatsForRejectsCappedEngine)
+{
+    EngineOptions options;
+    options.maxCacheEntries = 8;
+    EXPECT_EXIT(
+        {
+            ExperimentEngine engine(options);
+            engine.statsFor(RunSpec::single(
+                "trfd", MachineParams::reference(), testScale));
+        },
+        testing::ExitedWithCode(1), "unbounded");
+}
+
+TEST(Engine, SubmitStreamsResultsInSubmissionOrder)
+{
+    ExperimentEngine engine;
+    const auto specs = distinctSpecs(4);
+    const auto expected = engine.runAll(specs);
+
+    ExperimentEngine fresh;
+    std::vector<std::future<RunResult>> futures;
+    for (const auto &spec : specs)
+        futures.push_back(fresh.submit(spec));
+    for (size_t i = 0; i < specs.size(); ++i) {
+        const RunResult streamed = futures[i].get();
+        EXPECT_EQ(streamed.spec, specs[i]);
+        expectSameStats(streamed.stats, expected[i].stats);
+    }
+}
+
 } // namespace
 } // namespace mtv

@@ -1,0 +1,368 @@
+/**
+ * @file
+ * Tests for src/service: the JSON codec, the protocol encoding, the
+ * ScopedFatalAsException guard, and a live in-process mtvd loopback —
+ * daemon results must be bit-identical to in-process runs, malformed
+ * client input must be answered (not crash the daemon), and request
+ * batches must stream back in submission order.
+ */
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <thread>
+
+#include <unistd.h>
+
+#include "src/api/engine.hh"
+#include "src/common/logging.hh"
+#include "src/service/json.hh"
+#include "src/service/server.hh"
+#include "src/store/stats_codec.hh"
+#include "src/workload/suite.hh"
+
+namespace mtv
+{
+namespace
+{
+
+constexpr double testScale = 2e-5;
+
+// ---------------------------------------------------------------------
+// Json
+// ---------------------------------------------------------------------
+
+TEST(Json, DumpParseRoundTrip)
+{
+    Json obj = Json::object();
+    obj.set("op", "run");
+    obj.set("quiet", true);
+    obj.set("n", 42);
+    obj.set("x", 1.5);
+    obj.set("nothing", Json());
+    Json arr = Json::array();
+    arr.push("a").push(Json(7)).push(false);
+    obj.set("list", std::move(arr));
+
+    Json back;
+    std::string error;
+    ASSERT_TRUE(Json::parse(obj.dump(), &back, &error)) << error;
+    EXPECT_EQ(back.getString("op"), "run");
+    EXPECT_TRUE(back.getBool("quiet"));
+    EXPECT_EQ(back.get("n").asU64(), 42u);
+    EXPECT_DOUBLE_EQ(back.get("x").asNumber(), 1.5);
+    EXPECT_TRUE(back.get("nothing").isNull());
+    ASSERT_EQ(back.get("list").asArray().size(), 3u);
+    EXPECT_EQ(back.get("list").asArray()[0].asString(), "a");
+    EXPECT_FALSE(back.get("list").asArray()[2].asBool());
+    // Canonical re-dump.
+    EXPECT_EQ(back.dump(), obj.dump());
+}
+
+TEST(Json, StringEscapes)
+{
+    Json s(std::string("line\n\"quoted\"\ttab\\slash"));
+    const std::string dumped = s.dump();
+    EXPECT_EQ(dumped.find('\n'), std::string::npos);
+    Json back;
+    std::string error;
+    ASSERT_TRUE(Json::parse(dumped, &back, &error)) << error;
+    EXPECT_EQ(back.asString(), s.asString());
+}
+
+TEST(Json, ParseRejectsMalformedInput)
+{
+    Json out;
+    std::string error;
+    EXPECT_FALSE(Json::parse("{\"a\":", &out, &error));
+    EXPECT_FALSE(Json::parse("[1,2,]", &out, &error));
+    EXPECT_FALSE(Json::parse("{\"a\":1} trailing", &out, &error));
+    EXPECT_FALSE(Json::parse("nope", &out, &error));
+    EXPECT_FALSE(Json::parse("", &out, &error));
+    EXPECT_NE(error.find("JSON parse error"), std::string::npos);
+}
+
+TEST(Json, ParsesNestedStructures)
+{
+    Json out;
+    std::string error;
+    ASSERT_TRUE(Json::parse(
+        "  {\"a\": [1, {\"b\": \"\\u0041x\"}], \"c\": -2.5e3} ", &out,
+        &error))
+        << error;
+    EXPECT_EQ(out.get("a").asArray()[1].getString("b"), "Ax");
+    EXPECT_DOUBLE_EQ(out.getNumber("c"), -2500.0);
+}
+
+// ---------------------------------------------------------------------
+// ScopedFatalAsException
+// ---------------------------------------------------------------------
+
+TEST(FatalScope, FatalThrowsInsideScope)
+{
+    ScopedFatalAsException scope;
+    EXPECT_THROW(fatal("boom %d", 7), FatalError);
+    try {
+        fatal("boom %d", 7);
+    } catch (const FatalError &e) {
+        EXPECT_STREQ(e.what(), "boom 7");
+    }
+}
+
+TEST(FatalScopeDeath, FatalStillExitsOutsideScope)
+{
+    EXPECT_EXIT(fatal("bye"), testing::ExitedWithCode(1), "bye");
+}
+
+// ---------------------------------------------------------------------
+// Protocol encoding
+// ---------------------------------------------------------------------
+
+TEST(Protocol, ResultLineCarriesLosslessBlob)
+{
+    ExperimentEngine engine;
+    const RunSpec spec = RunSpec::single(
+        "trfd", MachineParams::reference(), testScale);
+    const RunResult result = engine.run(spec);
+    const Json line = resultToJson(result, 3, /*includeBlob=*/true);
+    EXPECT_EQ(line.get("seq").asU64(), 3u);
+    EXPECT_EQ(line.getString("spec"), spec.canonical());
+    const SimStats decoded =
+        deserializeSimStats(hexDecode(line.getString("blob")));
+    EXPECT_EQ(serializeSimStats(decoded),
+              serializeSimStats(result.stats));
+
+    const Json quiet = resultToJson(result, 0, /*includeBlob=*/false);
+    EXPECT_FALSE(quiet.has("blob"));
+}
+
+// ---------------------------------------------------------------------
+// Live daemon loopback
+// ---------------------------------------------------------------------
+
+/** An MtvService on a temp socket, served from a background thread. */
+class ServiceFixture : public testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        socketPath_ =
+            (std::filesystem::temp_directory_path() /
+             ("mtv_test_service_" + std::to_string(::getpid()) +
+              ".sock"))
+                .string();
+        ServiceOptions options;
+        options.socketPath = socketPath_;
+        options.workers = 2;
+        service_ = std::make_unique<MtvService>(options);
+        serveThread_ =
+            std::thread([this] { service_->serve(); });
+    }
+
+    void
+    TearDown() override
+    {
+        service_->stop();
+        serveThread_.join();
+        service_.reset();
+    }
+
+    LineChannel
+    connect()
+    {
+        std::string error;
+        const int fd = connectToDaemon(socketPath_, &error);
+        EXPECT_GE(fd, 0) << error;
+        return LineChannel(fd);
+    }
+
+    Json
+    roundTrip(LineChannel &channel, const Json &request)
+    {
+        EXPECT_TRUE(channel.writeLine(request.dump()));
+        std::string line;
+        EXPECT_TRUE(channel.readLine(&line));
+        Json response;
+        std::string error;
+        EXPECT_TRUE(Json::parse(line, &response, &error)) << error;
+        return response;
+    }
+
+    std::string socketPath_;
+    std::unique_ptr<MtvService> service_;
+    std::thread serveThread_;
+};
+
+TEST_F(ServiceFixture, PingPongs)
+{
+    LineChannel channel = connect();
+    Json ping = Json::object();
+    ping.set("op", "ping");
+    const Json response = roundTrip(channel, ping);
+    EXPECT_TRUE(response.getBool("ok"));
+    EXPECT_TRUE(response.getBool("pong"));
+    EXPECT_EQ(response.get("protocol").asU64(),
+              static_cast<uint64_t>(serviceProtocolVersion));
+}
+
+TEST_F(ServiceFixture, RunBatchStreamsInOrderAndBitIdentical)
+{
+    // The daemon's answers must match a plain in-process engine.
+    std::vector<RunSpec> specs;
+    specs.push_back(RunSpec::group({"trfd", "swm256"},
+                                   MachineParams::multithreaded(2),
+                                   testScale));
+    specs.push_back(RunSpec::single(
+        "dyfesm", MachineParams::reference(), testScale));
+    specs.push_back(specs[1]);  // duplicate: served by the cache
+    ExperimentEngine local;
+    const auto expected = local.runAll(specs);
+
+    LineChannel channel = connect();
+    Json request = Json::object();
+    request.set("op", "run");
+    Json specArray = Json::array();
+    for (const RunSpec &spec : specs)
+        specArray.push(spec.canonical());
+    request.set("specs", std::move(specArray));
+    ASSERT_TRUE(channel.writeLine(request.dump()));
+
+    for (size_t i = 0; i < specs.size(); ++i) {
+        std::string line;
+        ASSERT_TRUE(channel.readLine(&line));
+        Json result;
+        std::string error;
+        ASSERT_TRUE(Json::parse(line, &result, &error)) << error;
+        ASSERT_FALSE(result.has("error"))
+            << result.getString("error");
+        EXPECT_EQ(result.get("seq").asU64(), i);
+        EXPECT_EQ(result.getString("spec"), specs[i].canonical());
+        const SimStats stats =
+            deserializeSimStats(hexDecode(result.getString("blob")));
+        EXPECT_EQ(serializeSimStats(stats),
+                  serializeSimStats(expected[i].stats));
+        if (specs[i].mode == SpecMode::Group) {
+            EXPECT_DOUBLE_EQ(result.getNumber("speedup"),
+                             expected[i].speedup);
+        }
+    }
+    std::string line;
+    ASSERT_TRUE(channel.readLine(&line));
+    Json done;
+    std::string error;
+    ASSERT_TRUE(Json::parse(line, &done, &error)) << error;
+    EXPECT_TRUE(done.getBool("done"));
+    EXPECT_EQ(done.get("count").asU64(), specs.size());
+    // The duplicate third spec was coalesced/served by the cache.
+    EXPECT_GE(done.get("cacheServed").asU64(), 1u);
+}
+
+TEST_F(ServiceFixture, MalformedInputAnswersWithoutDying)
+{
+    LineChannel channel = connect();
+
+    // Broken JSON.
+    ASSERT_TRUE(channel.writeLine("{not json"));
+    std::string line;
+    ASSERT_TRUE(channel.readLine(&line));
+    EXPECT_NE(line.find("error"), std::string::npos);
+
+    // Valid JSON, unknown op.
+    Json bad = Json::object();
+    bad.set("op", "explode");
+    Json response = roundTrip(channel, bad);
+    EXPECT_TRUE(response.has("error"));
+
+    // Valid op, malformed spec (unknown program) — validation runs
+    // through fatal() and must come back as an error line.
+    Json run = Json::object();
+    run.set("op", "run");
+    Json specArray = Json::array();
+    specArray.push("mode=single;scale=0.001;max=0;"
+                   "programs=doesnotexist;machine=contexts=1");
+    run.set("specs", std::move(specArray));
+    response = roundTrip(channel, run);
+    EXPECT_TRUE(response.has("error"));
+
+    // The daemon survived all of it.
+    Json ping = Json::object();
+    ping.set("op", "ping");
+    EXPECT_TRUE(roundTrip(channel, ping).getBool("pong"));
+}
+
+TEST_F(ServiceFixture, StatsAndClear)
+{
+    LineChannel channel = connect();
+    Json run = Json::object();
+    run.set("op", "run");
+    Json specArray = Json::array();
+    specArray.push(RunSpec::single("trfd", MachineParams::reference(),
+                                   testScale)
+                       .canonical());
+    run.set("specs", std::move(specArray));
+    run.set("quiet", true);
+    ASSERT_TRUE(channel.writeLine(run.dump()));
+    std::string line;
+    ASSERT_TRUE(channel.readLine(&line));  // the result line
+    ASSERT_TRUE(channel.readLine(&line));  // the done line
+
+    Json statsRequest = Json::object();
+    statsRequest.set("op", "stats");
+    Json stats = roundTrip(channel, statsRequest);
+    EXPECT_TRUE(stats.getBool("ok"));
+    EXPECT_EQ(stats.get("cache").get("size").asU64(), 1u);
+    EXPECT_TRUE(stats.get("store").isNull());  // no --store configured
+
+    Json clearRequest = Json::object();
+    clearRequest.set("op", "clear");
+    EXPECT_TRUE(roundTrip(channel, clearRequest).getBool("ok"));
+    stats = roundTrip(channel, statsRequest);
+    EXPECT_EQ(stats.get("cache").get("size").asU64(), 0u);
+}
+
+TEST_F(ServiceFixture, ConcurrentClientsShareOneEngine)
+{
+    const RunSpec spec = RunSpec::single(
+        "swm256", MachineParams::reference(), testScale);
+    auto clientRun = [this, &spec]() {
+        LineChannel channel = connect();
+        Json request = Json::object();
+        request.set("op", "run");
+        Json specArray = Json::array();
+        specArray.push(spec.canonical());
+        request.set("specs", std::move(specArray));
+        ASSERT_TRUE(channel.writeLine(request.dump()));
+        std::string line;
+        ASSERT_TRUE(channel.readLine(&line));
+        Json result;
+        std::string error;
+        ASSERT_TRUE(Json::parse(line, &result, &error)) << error;
+        EXPECT_EQ(
+            deserializeSimStats(hexDecode(result.getString("blob")))
+                .cycles,
+            ExperimentEngine().run(spec).stats.cycles);
+    };
+    std::thread a(clientRun), b(clientRun), c(clientRun);
+    a.join();
+    b.join();
+    c.join();
+    // Three identical requests; the engine simulated exactly once
+    // (the rest were coalesced or cache-served).
+    EXPECT_EQ(service_->engine().cacheMisses(), 1u);
+    EXPECT_GE(service_->engine().cacheHits(), 2u);
+}
+
+TEST_F(ServiceFixture, ShutdownOpStopsServe)
+{
+    LineChannel channel = connect();
+    Json request = Json::object();
+    request.set("op", "shutdown");
+    const Json response = roundTrip(channel, request);
+    EXPECT_TRUE(response.getBool("stopping"));
+    serveThread_.join();       // serve() returns on its own
+    serveThread_ = std::thread([] {});  // keep TearDown joinable
+}
+
+} // namespace
+} // namespace mtv

@@ -1,0 +1,421 @@
+/**
+ * @file
+ * Tests for src/store: SimStats codec round-trips, segment
+ * persistence, crash-tail recovery, schema-hash rejection, and the
+ * engine's warm-start-from-store bit-identity.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "src/api/engine.hh"
+#include "src/store/result_store.hh"
+#include "src/store/stats_codec.hh"
+#include "src/workload/suite.hh"
+
+namespace mtv
+{
+namespace
+{
+
+constexpr double testScale = 2e-5;
+
+std::string
+tempDir(const char *name)
+{
+    const auto path = std::filesystem::temp_directory_path() / name;
+    std::filesystem::remove_all(path);
+    return path.string();
+}
+
+/** A SimStats exercising every serialized field. */
+SimStats
+sampleStats()
+{
+    SimStats s;
+    s.cycles = 0x1234567890abcdefull;
+    s.memRequests = 42;
+    s.vecOpsFu1 = 7;
+    s.vecOpsFu2 = 9;
+    s.dispatches = 1000;
+    s.decodeIdle = 77;
+    s.decoupledSlips = 3;
+    s.memPorts = 3;
+    s.fu1BusyCycles = 11;
+    s.fu2BusyCycles = 12;
+    s.ldBusyCycles = 13;
+    for (int i = 0; i < numFuStates; ++i)
+        s.stateHist[i] = 100 + i;
+    ThreadStats t0;
+    t0.program = "swm256";
+    t0.instructions = 500;
+    t0.scalarInstructions = 100;
+    t0.vectorInstructions = 400;
+    t0.runsCompleted = 2;
+    t0.instructionsThisRun = 33;
+    t0.lastCompletion = 999;
+    for (size_t i = 0; i < t0.blocked.size(); ++i)
+        t0.blocked[i] = i * 11;
+    s.threads.push_back(t0);
+    ThreadStats t1;
+    t1.program = "hydro2d";
+    s.threads.push_back(t1);
+    JobRecord job;
+    job.program = "tomcatv";
+    job.context = 2;
+    job.startCycle = 10;
+    job.endCycle = 20;
+    s.jobs.push_back(job);
+    return s;
+}
+
+// ---------------------------------------------------------------------
+// Codec
+// ---------------------------------------------------------------------
+
+TEST(StatsCodec, RoundTripPreservesEveryField)
+{
+    const SimStats original = sampleStats();
+    const std::string blob = serializeSimStats(original);
+    const SimStats back = deserializeSimStats(blob);
+    // Canonical encoding: equality of blobs is equality of stats.
+    EXPECT_EQ(serializeSimStats(back), blob);
+    EXPECT_EQ(back.cycles, original.cycles);
+    EXPECT_EQ(back.memPorts, original.memPorts);
+    ASSERT_EQ(back.threads.size(), 2u);
+    EXPECT_EQ(back.threads[0].program, "swm256");
+    EXPECT_EQ(back.threads[0].blocked, original.threads[0].blocked);
+    ASSERT_EQ(back.jobs.size(), 1u);
+    EXPECT_EQ(back.jobs[0].program, "tomcatv");
+    EXPECT_EQ(back.jobs[0].endCycle, 20u);
+}
+
+TEST(StatsCodec, EncodingIsDeterministic)
+{
+    EXPECT_EQ(serializeSimStats(sampleStats()),
+              serializeSimStats(sampleStats()));
+}
+
+TEST(StatsCodecDeath, TruncatedBlobRejected)
+{
+    const std::string blob = serializeSimStats(sampleStats());
+    EXPECT_EXIT(
+        deserializeSimStats(blob.substr(0, blob.size() / 2)),
+        testing::ExitedWithCode(1), "truncated");
+}
+
+TEST(StatsCodecDeath, VersionMismatchRejected)
+{
+    std::string blob = serializeSimStats(sampleStats());
+    blob[0] = static_cast<char>(statsCodecVersion + 1);
+    EXPECT_EXIT(deserializeSimStats(blob),
+                testing::ExitedWithCode(1), "codec version");
+}
+
+TEST(StatsCodecDeath, TrailingBytesRejected)
+{
+    std::string blob = serializeSimStats(sampleStats());
+    blob += "xx";
+    EXPECT_EXIT(deserializeSimStats(blob),
+                testing::ExitedWithCode(1), "trailing");
+}
+
+TEST(StatsCodec, HexRoundTrip)
+{
+    const std::string data("\x00\x01\xfe\xff hi", 7);
+    EXPECT_EQ(hexDecode(hexEncode(data)), data);
+    EXPECT_EQ(hexEncode(std::string("\xab", 1)), "ab");
+}
+
+TEST(StatsCodecDeath, HexRejectsBadInput)
+{
+    EXPECT_EXIT(hexDecode("abc"), testing::ExitedWithCode(1),
+                "odd-length");
+    EXPECT_EXIT(hexDecode("zz"), testing::ExitedWithCode(1),
+                "invalid hex");
+}
+
+TEST(StatsCodec, SchemaHashIsStableWithinProcess)
+{
+    EXPECT_EQ(storeSchemaHash(), storeSchemaHash());
+    EXPECT_NE(storeSchemaHash(), 0u);
+}
+
+// ---------------------------------------------------------------------
+// ResultStore persistence
+// ---------------------------------------------------------------------
+
+TEST(ResultStore, PersistsAcrossSessions)
+{
+    const std::string dir = tempDir("mtv_store_persist");
+    const SimStats stats = sampleStats();
+    {
+        ResultStore store(dir);
+        EXPECT_EQ(store.size(), 0u);
+        EXPECT_EQ(store.load("key-a"), nullptr);
+        store.store("key-a", stats);
+        store.store("key-b", stats);
+        store.store("key-a", stats);  // duplicate: no-op
+        EXPECT_EQ(store.size(), 2u);
+        EXPECT_EQ(store.stats().appends, 2u);
+    }
+    {
+        ResultStore store(dir);
+        EXPECT_EQ(store.size(), 2u);
+        EXPECT_EQ(store.stats().loadedRecords, 2u);
+        EXPECT_EQ(store.stats().droppedRecords, 0u);
+        auto loaded = store.load("key-a");
+        ASSERT_NE(loaded, nullptr);
+        EXPECT_EQ(serializeSimStats(*loaded),
+                  serializeSimStats(stats));
+        EXPECT_EQ(store.stats().hits, 1u);
+    }
+    std::filesystem::remove_all(dir);
+}
+
+TEST(ResultStore, EmptySessionLeavesNoSegmentBehind)
+{
+    const std::string dir = tempDir("mtv_store_empty");
+    { ResultStore store(dir); }
+    size_t segments = 0;
+    for (const auto &entry :
+         std::filesystem::directory_iterator(dir)) {
+        if (entry.path().extension() == ".mtvs")
+            ++segments;
+    }
+    EXPECT_EQ(segments, 0u);
+    std::filesystem::remove_all(dir);
+}
+
+TEST(ResultStoreDeath, SecondWriterRejected)
+{
+    const std::string dir = tempDir("mtv_store_lock");
+    ResultStore store(dir);
+    EXPECT_EXIT(ResultStore second(dir), testing::ExitedWithCode(1),
+                "locked by another");
+    std::filesystem::remove_all(dir);
+}
+
+// ---------------------------------------------------------------------
+// Crash recovery and rejection
+// ---------------------------------------------------------------------
+
+/** Path of the single segment in @p dir (fails the test if != 1). */
+std::string
+onlySegment(const std::string &dir)
+{
+    std::string found;
+    int count = 0;
+    for (const auto &entry :
+         std::filesystem::directory_iterator(dir)) {
+        if (entry.path().extension() == ".mtvs") {
+            found = entry.path().string();
+            ++count;
+        }
+    }
+    EXPECT_EQ(count, 1);
+    return found;
+}
+
+TEST(ResultStore, TruncatedTailRecovered)
+{
+    const std::string dir = tempDir("mtv_store_trunc");
+    {
+        ResultStore store(dir);
+        store.store("key-a", sampleStats());
+        store.store("key-b", sampleStats());
+    }
+    // Chop into the middle of the last record — a crash mid-append.
+    const std::string segment = onlySegment(dir);
+    const auto size = std::filesystem::file_size(segment);
+    std::filesystem::resize_file(segment, size - 7);
+    {
+        ResultStore store(dir);
+        EXPECT_EQ(store.size(), 1u);
+        EXPECT_NE(store.load("key-a"), nullptr);
+        EXPECT_EQ(store.load("key-b"), nullptr);
+        EXPECT_EQ(store.stats().droppedRecords, 1u);
+        // The recovered store accepts the re-run result again.
+        store.store("key-b", sampleStats());
+    }
+    {
+        ResultStore store(dir);
+        EXPECT_EQ(store.size(), 2u);
+    }
+    std::filesystem::remove_all(dir);
+}
+
+TEST(ResultStore, ChecksumFailureDropsTail)
+{
+    const std::string dir = tempDir("mtv_store_corrupt");
+    {
+        ResultStore store(dir);
+        store.store("key-a", sampleStats());
+    }
+    const std::string segment = onlySegment(dir);
+    // Flip one payload byte (the file tail) behind the checksum.
+    std::fstream f(segment,
+                   std::ios::in | std::ios::out | std::ios::binary);
+    f.seekp(-3, std::ios::end);
+    f.put('\x5a');
+    f.close();
+    {
+        ResultStore store(dir);
+        EXPECT_EQ(store.size(), 0u);
+        EXPECT_EQ(store.stats().droppedRecords, 1u);
+    }
+    std::filesystem::remove_all(dir);
+}
+
+TEST(ResultStore, SchemaMismatchRejectsSegment)
+{
+    const std::string dir = tempDir("mtv_store_schema");
+    {
+        ResultStore store(dir);
+        store.store("key-a", sampleStats());
+    }
+    const std::string segment = onlySegment(dir);
+    // Rewrite the header's schema hash (bytes 8..15).
+    std::fstream f(segment,
+                   std::ios::in | std::ios::out | std::ios::binary);
+    f.seekp(8, std::ios::beg);
+    for (int i = 0; i < 8; ++i)
+        f.put('\x77');
+    f.close();
+    {
+        ResultStore store(dir);
+        EXPECT_EQ(store.size(), 0u);
+        EXPECT_EQ(store.stats().staleSegments, 1u);
+        EXPECT_EQ(store.stats().droppedRecords, 0u);
+    }
+    std::filesystem::remove_all(dir);
+}
+
+TEST(ResultStore, ForeignFileRejectedAsBadSegment)
+{
+    const std::string dir = tempDir("mtv_store_badmagic");
+    { ResultStore store(dir); }
+    std::ofstream junk(dir + "/seg-000099.mtvs", std::ios::binary);
+    junk << "this is not a segment";
+    junk.close();
+    {
+        ResultStore store(dir);
+        EXPECT_EQ(store.stats().badSegments, 1u);
+        EXPECT_EQ(store.size(), 0u);
+    }
+    std::filesystem::remove_all(dir);
+}
+
+// ---------------------------------------------------------------------
+// Engine warm start through the store
+// ---------------------------------------------------------------------
+
+/** The sweep both engine sessions run: group (with its truncated F_i
+ *  reference terms), single and job-queue modes. */
+std::vector<RunSpec>
+warmStartSpecs()
+{
+    std::vector<RunSpec> specs;
+    specs.push_back(RunSpec::group({"trfd", "swm256"},
+                                   MachineParams::multithreaded(2),
+                                   testScale));
+    specs.push_back(RunSpec::single(
+        "dyfesm", MachineParams::reference(), testScale));
+    specs.push_back(RunSpec::jobQueue(
+        {"trfd", "dyfesm"}, MachineParams::multithreaded(2),
+        testScale));
+    return specs;
+}
+
+TEST(StoreBackedEngine, WarmStartIsBitIdentical)
+{
+    const std::string dir = tempDir("mtv_store_warm");
+    const std::vector<RunSpec> specs = warmStartSpecs();
+
+    // Cold baseline without any store.
+    std::vector<RunResult> cold;
+    {
+        ExperimentEngine plain;
+        cold = plain.runAll(specs);
+    }
+
+    // Session 1: simulate and write through.
+    {
+        EngineOptions options;
+        options.backend = std::make_shared<ResultStore>(dir);
+        ExperimentEngine engine(options);
+        const auto results = engine.runAll(specs);
+        EXPECT_EQ(engine.storeHits(), 0u);
+        for (size_t i = 0; i < specs.size(); ++i) {
+            EXPECT_FALSE(results[i].fromStore);
+            EXPECT_EQ(serializeSimStats(results[i].stats),
+                      serializeSimStats(cold[i].stats));
+        }
+    }
+
+    // Session 2 (fresh process state): everything — including the
+    // truncated F_i reference runs of the group accounting — must be
+    // served from disk, bit-identical.
+    {
+        auto store = std::make_shared<ResultStore>(dir);
+        EngineOptions options;
+        options.backend = store;
+        ExperimentEngine engine(options);
+        const auto warm = engine.runAll(specs);
+        for (size_t i = 0; i < specs.size(); ++i) {
+            EXPECT_TRUE(warm[i].fromStore)
+                << specs[i].canonical();
+            EXPECT_EQ(serializeSimStats(warm[i].stats),
+                      serializeSimStats(cold[i].stats));
+            EXPECT_EQ(warm[i].speedup, cold[i].speedup);
+            EXPECT_EQ(warm[i].mthOccupation, cold[i].mthOccupation);
+            EXPECT_EQ(warm[i].refVopc, cold[i].refVopc);
+        }
+        // No simulation happened: every backend miss would have
+        // appended a fresh record.
+        EXPECT_EQ(store->stats().appends, 0u);
+        EXPECT_GT(engine.storeHits(), 0u);
+    }
+    std::filesystem::remove_all(dir);
+}
+
+TEST(StoreBackedEngine, RecoveredStoreResimulatesOnlyTheLostTail)
+{
+    const std::string dir = tempDir("mtv_store_warmtrunc");
+    const std::vector<RunSpec> specs = warmStartSpecs();
+    {
+        EngineOptions options;
+        options.backend = std::make_shared<ResultStore>(dir);
+        ExperimentEngine engine(options);
+        engine.runAll(specs);
+    }
+    // Kill-between-sweeps: the segment loses its mid-append tail.
+    const std::string segment = onlySegment(dir);
+    std::filesystem::resize_file(
+        segment, std::filesystem::file_size(segment) - 11);
+    {
+        auto store = std::make_shared<ResultStore>(dir);
+        const uint64_t recovered = store->stats().loadedRecords;
+        EXPECT_GT(recovered, 0u);
+        EXPECT_EQ(store->stats().droppedRecords, 1u);
+        EngineOptions options;
+        options.backend = store;
+        ExperimentEngine engine(options);
+        const auto warm = engine.runAll(specs);
+        // Only the one lost record was re-simulated and re-appended.
+        EXPECT_EQ(store->stats().appends, 1u);
+        ExperimentEngine plain;
+        const auto cold = plain.runAll(specs);
+        for (size_t i = 0; i < specs.size(); ++i) {
+            EXPECT_EQ(serializeSimStats(warm[i].stats),
+                      serializeSimStats(cold[i].stats));
+        }
+    }
+    std::filesystem::remove_all(dir);
+}
+
+} // namespace
+} // namespace mtv

@@ -1,0 +1,341 @@
+/**
+ * @file
+ * mtvctl — client CLI of the mtvd experiment daemon.
+ *
+ * Usage (global flag first: --socket PATH, default $MTV_SOCKET or
+ * /tmp/mtvd.sock):
+ *   mtvctl ping                         is the daemon up?
+ *   mtvctl run <program> [--contexts N] [--scale S]
+ *                                       one single-mode point
+ *   mtvctl sweep [--scale S] [--local]  the Figure 6 grouping sweep
+ *                                       (250 group points); prints
+ *                                       per-program speedups, served-
+ *                                       from counts and a bit-exact
+ *                                       result digest. --local runs
+ *                                       the identical sweep in-process
+ *                                       (no daemon) for comparison.
+ *   mtvctl warm [--scale S]             run the sweep quietly, just to
+ *                                       populate the daemon's store
+ *   mtvctl stats                        cache/store counters
+ *   mtvctl clear                        drop the daemon's memory cache
+ *   mtvctl shutdown                     stop the daemon
+ *
+ * The digest is FNV-1a over the canonical binary SimStats blobs in
+ * submission order: two invocations printing the same digest produced
+ * bit-identical results, which is how the service smoke test checks
+ * determinism across daemon restarts and against --local.
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "src/api/engine.hh"
+#include "src/api/sweep.hh"
+#include "src/common/logging.hh"
+#include "src/common/table.hh"
+#include "src/service/protocol.hh"
+#include "src/store/stats_codec.hh"
+#include "src/workload/suite.hh"
+
+namespace
+{
+
+using namespace mtv;
+
+int
+usage()
+{
+    std::fprintf(
+        stderr,
+        "usage: mtvctl [--socket PATH] <command> [options]\n"
+        "  ping | stats | clear | shutdown\n"
+        "  run <program> [--contexts N] [--scale S]\n"
+        "  sweep [--scale S] [--local]\n"
+        "  warm [--scale S]\n");
+    return 2;
+}
+
+/** Outcome of one batch ("run" op) against the daemon. */
+struct BatchOutcome
+{
+    std::vector<RunResult> results;  ///< submission order
+    uint64_t simulated = 0;
+    uint64_t cacheServed = 0;
+    uint64_t storeServed = 0;
+    uint64_t digest = 0;  ///< folded over blobs; 0 for quiet batches
+};
+
+Json
+readResponse(LineChannel &channel)
+{
+    std::string line;
+    if (!channel.readLine(&line))
+        fatal("daemon closed the connection");
+    Json response;
+    std::string error;
+    if (!Json::parse(line, &response, &error))
+        fatal("malformed response: %s", error.c_str());
+    if (response.has("error"))
+        fatal("daemon error: %s",
+              response.getString("error").c_str());
+    return response;
+}
+
+LineChannel
+connectChannel(const std::string &socketPath)
+{
+    std::string error;
+    const int fd = connectToDaemon(socketPath, &error);
+    if (fd < 0)
+        fatal("cannot connect: %s", error.c_str());
+    return LineChannel(fd);
+}
+
+/**
+ * Run @p specs through the daemon, consuming the result stream in
+ * submission order. Quiet batches skip blobs (and so the digest).
+ */
+BatchOutcome
+runBatch(LineChannel &channel, const std::vector<RunSpec> &specs,
+         bool quiet)
+{
+    Json request = Json::object();
+    request.set("op", "run");
+    Json specArray = Json::array();
+    for (const RunSpec &spec : specs)
+        specArray.push(spec.canonical());
+    request.set("specs", std::move(specArray));
+    request.set("quiet", quiet);
+    if (!channel.writeLine(request.dump()))
+        fatal("cannot send request (daemon gone?)");
+
+    BatchOutcome outcome;
+    outcome.digest = 0xcbf29ce484222325ull;
+    outcome.results.reserve(specs.size());
+    for (;;) {
+        const Json line = readResponse(channel);
+        if (line.getBool("done", false)) {
+            outcome.simulated = line.get("simulated").asU64();
+            outcome.cacheServed = line.get("cacheServed").asU64();
+            outcome.storeServed = line.get("storeServed").asU64();
+            break;
+        }
+        const size_t seq = line.get("seq").asU64();
+        if (seq != outcome.results.size() || seq >= specs.size())
+            fatal("result stream out of order (seq %zu)", seq);
+        RunResult result;
+        result.spec = specs[seq];
+        result.cached = line.getBool("cached");
+        result.fromStore = line.getBool("store");
+        result.speedup = line.getNumber("speedup");
+        result.mthOccupation = line.getNumber("mthOccupation");
+        result.refOccupation = line.getNumber("refOccupation");
+        result.mthVopc = line.getNumber("mthVopc");
+        result.refVopc = line.getNumber("refVopc");
+        if (line.has("blob")) {
+            const std::string blob =
+                hexDecode(line.getString("blob"));
+            result.stats = deserializeSimStats(blob);
+            outcome.digest =
+                fnv1a64(blob.data(), blob.size(), outcome.digest);
+        }
+        outcome.results.push_back(std::move(result));
+    }
+    if (outcome.results.size() != specs.size())
+        fatal("daemon returned %zu of %zu results",
+              outcome.results.size(), specs.size());
+    if (quiet)
+        outcome.digest = 0;
+    return outcome;
+}
+
+double
+scaleArg(const char *text)
+{
+    const double v = std::atof(text);
+    if (v <= 0)
+        fatal("invalid scale '%s'", text);
+    return v;
+}
+
+void
+printSweepReport(const SweepBuilder &sweep,
+                 const std::vector<RunResult> &results)
+{
+    Table t({"program", "contexts", "speedup", "runs"});
+    for (const SweepSlice &slice : sweep.slices()) {
+        const GroupAverages avg = averageOf(slice, results);
+        t.row()
+            .add(avg.program)
+            .add(avg.contexts)
+            .add(avg.speedup, 3)
+            .add(avg.runs);
+    }
+    t.print();
+}
+
+int
+cmdSweepLocal(double scale)
+{
+    SweepBuilder sweep = suiteGroupingSweep(scale);
+    ExperimentEngine engine;
+    const auto start = std::chrono::steady_clock::now();
+    const std::vector<RunResult> results =
+        engine.runAll(sweep.specs());
+    const double seconds =
+        std::chrono::duration<double>(
+            std::chrono::steady_clock::now() - start)
+            .count();
+
+    uint64_t digest = 0xcbf29ce484222325ull;
+    uint64_t simulated = 0;
+    uint64_t cacheServed = 0;
+    for (const RunResult &r : results) {
+        const std::string blob = serializeSimStats(r.stats);
+        digest = fnv1a64(blob.data(), blob.size(), digest);
+        if (r.cached)
+            ++cacheServed;
+        else
+            ++simulated;
+    }
+    printSweepReport(sweep, results);
+    std::printf("sweep: %zu points in %.2fs (local, no daemon)\n",
+                results.size(), seconds);
+    std::printf("served: simulated=%llu cache=%llu store=0\n",
+                static_cast<unsigned long long>(simulated),
+                static_cast<unsigned long long>(cacheServed));
+    std::printf("digest: %016llx\n",
+                static_cast<unsigned long long>(digest));
+    return 0;
+}
+
+int
+cmdSweep(const std::string &socketPath, double scale, bool quiet)
+{
+    SweepBuilder sweep = suiteGroupingSweep(scale);
+    LineChannel channel = connectChannel(socketPath);
+    const auto start = std::chrono::steady_clock::now();
+    const BatchOutcome outcome =
+        runBatch(channel, sweep.specs(), quiet);
+    const double seconds =
+        std::chrono::duration<double>(
+            std::chrono::steady_clock::now() - start)
+            .count();
+
+    if (!quiet)
+        printSweepReport(sweep, outcome.results);
+    std::printf("sweep: %zu points in %.2fs\n",
+                outcome.results.size(), seconds);
+    std::printf("served: simulated=%llu cache=%llu store=%llu\n",
+                static_cast<unsigned long long>(outcome.simulated),
+                static_cast<unsigned long long>(outcome.cacheServed),
+                static_cast<unsigned long long>(outcome.storeServed));
+    if (!quiet) {
+        std::printf("digest: %016llx\n",
+                    static_cast<unsigned long long>(outcome.digest));
+    }
+    return 0;
+}
+
+int
+cmdRun(const std::string &socketPath, const std::string &program,
+       int contexts, double scale)
+{
+    const MachineParams params =
+        contexts <= 1 ? MachineParams::reference()
+                      : MachineParams::multithreaded(contexts);
+    const RunSpec spec = RunSpec::single(program, params, scale);
+    LineChannel channel = connectChannel(socketPath);
+    const BatchOutcome outcome =
+        runBatch(channel, {spec}, /*quiet=*/false);
+    const RunResult &r = outcome.results.at(0);
+    std::printf("%s @ %d context%s: %llu cycles, %llu dispatches "
+                "(%s)\n",
+                program.c_str(), contexts, contexts == 1 ? "" : "s",
+                static_cast<unsigned long long>(r.stats.cycles),
+                static_cast<unsigned long long>(r.stats.dispatches),
+                r.cached ? "cache"
+                         : (r.fromStore ? "store" : "simulated"));
+    std::printf("digest: %016llx\n",
+                static_cast<unsigned long long>(outcome.digest));
+    return 0;
+}
+
+int
+cmdSimple(const std::string &socketPath, const std::string &op)
+{
+    LineChannel channel = connectChannel(socketPath);
+    Json request = Json::object();
+    request.set("op", op);
+    if (!channel.writeLine(request.dump()))
+        fatal("cannot send request (daemon gone?)");
+    const Json response = readResponse(channel);
+    std::printf("%s\n", response.dump().c_str());
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace mtv;
+
+    std::string socketPath = defaultSocketPath();
+    int i = 1;
+    if (i + 1 < argc && std::strcmp(argv[i], "--socket") == 0) {
+        socketPath = argv[i + 1];
+        i += 2;
+    }
+    if (i >= argc)
+        return usage();
+    const std::string command = argv[i++];
+
+    double scale = workloadDefaultScale;
+    bool local = false;
+    int contexts = 1;
+    std::string program;
+    for (; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto value = [&]() -> const char * {
+            if (i + 1 >= argc)
+                fatal("missing value for %s", arg.c_str());
+            return argv[++i];
+        };
+        if (arg == "--scale")
+            scale = scaleArg(value());
+        else if (arg == "--local")
+            local = true;
+        else if (arg == "--contexts")
+            contexts = std::atoi(value());
+        else if (arg.rfind("--", 0) == 0) {
+            std::fprintf(stderr, "mtvctl: unknown option '%s'\n",
+                         arg.c_str());
+            return usage();
+        } else if (program.empty())
+            program = arg;
+        else
+            return usage();
+    }
+
+    if (command == "ping" || command == "stats" ||
+        command == "clear" || command == "shutdown") {
+        return cmdSimple(socketPath, command);
+    }
+    if (command == "run") {
+        if (program.empty())
+            return usage();
+        return cmdRun(socketPath, program, contexts, scale);
+    }
+    if (command == "sweep") {
+        return local ? cmdSweepLocal(scale)
+                     : cmdSweep(socketPath, scale, /*quiet=*/false);
+    }
+    if (command == "warm")
+        return cmdSweep(socketPath, scale, /*quiet=*/true);
+    return usage();
+}

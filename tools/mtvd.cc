@@ -1,0 +1,105 @@
+/**
+ * @file
+ * mtvd — the experiment daemon: an ExperimentEngine behind a unix
+ * socket, optionally warm-started from (and writing through to) a
+ * persistent on-disk result store, shared by any number of mtvctl /
+ * protocol clients.
+ *
+ * Usage:
+ *   mtvd [--socket PATH] [--store DIR] [--workers N]
+ *        [--cache-cap N] [--quiet]
+ *
+ * Defaults: socket $MTV_SOCKET or /tmp/mtvd.sock; no store (results
+ * die with the daemon — pass --store to persist); one worker per
+ * hardware thread; unbounded memory cache. Runs in the foreground
+ * (use your service manager or `&` to daemonize); SIGINT/SIGTERM
+ * shut it down cleanly.
+ */
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "src/common/logging.hh"
+#include "src/service/server.hh"
+
+namespace
+{
+
+mtv::MtvService *gService = nullptr;
+
+void
+onSignal(int)
+{
+    if (gService)
+        gService->stop();
+}
+
+int
+usage()
+{
+    std::fprintf(stderr,
+                 "usage: mtvd [--socket PATH] [--store DIR] "
+                 "[--workers N] [--cache-cap N] [--quiet]\n");
+    return 2;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace mtv;
+
+    ServiceOptions options;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto value = [&]() -> const char * {
+            if (i + 1 >= argc)
+                fatal("missing value for %s", arg.c_str());
+            return argv[++i];
+        };
+        if (arg == "--socket") {
+            options.socketPath = value();
+        } else if (arg == "--store") {
+            options.storeDir = value();
+        } else if (arg == "--workers") {
+            options.workers = std::atoi(value());
+        } else if (arg == "--cache-cap") {
+            options.maxCacheEntries =
+                static_cast<size_t>(std::atoll(value()));
+        } else if (arg == "--quiet") {
+            setLogLevel(LogLevel::Quiet);
+        } else if (arg == "--help" || arg == "-h") {
+            usage();
+            return 0;
+        } else {
+            std::fprintf(stderr, "mtvd: unknown argument '%s'\n",
+                         arg.c_str());
+            return usage();
+        }
+    }
+
+    MtvService service(options);
+    gService = &service;
+    std::signal(SIGINT, onSignal);
+    std::signal(SIGTERM, onSignal);
+    std::signal(SIGPIPE, SIG_IGN);
+
+    if (service.store()) {
+        const ResultStore::Stats s = service.store()->stats();
+        inform("mtvd: store '%s' warm with %llu results "
+               "(%zu segments, %zu stale, %llu dropped)",
+               service.store()->directory().c_str(),
+               static_cast<unsigned long long>(
+                   service.store()->size()),
+               s.segments, s.staleSegments,
+               static_cast<unsigned long long>(s.droppedRecords));
+    }
+
+    service.serve();
+    inform("mtvd: stopped");
+    gService = nullptr;
+    return 0;
+}

@@ -1,0 +1,100 @@
+#!/usr/bin/env bash
+# Service smoke test: the ISSUE-2 acceptance scenario, end to end.
+#
+#   1. start mtvd with a fresh store, run the Figure 6 grouping sweep
+#      (cold: everything simulated);
+#   2. SIGKILL the daemon (no graceful close), restart it on the same
+#      store, run the identical sweep again;
+#   3. assert the second run is >= 95% store-served and its result
+#      digest is bit-identical to the first;
+#   4. assert a cold in-process run (mtvctl sweep --local, no daemon)
+#      produces the same digest.
+#
+# Usage: tools/service_smoke.sh <build-dir> [scale]
+set -euo pipefail
+
+BUILD_DIR=${1:?usage: service_smoke.sh <build-dir> [scale]}
+SCALE=${2:-1e-5}
+WORK=$(mktemp -d /tmp/mtv_smoke.XXXXXX)
+SOCKET="$WORK/mtvd.sock"
+STORE="$WORK/store"
+DAEMON_PID=""
+
+cleanup() {
+    [ -n "$DAEMON_PID" ] && kill -9 "$DAEMON_PID" 2>/dev/null || true
+    rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+start_daemon() {
+    "$BUILD_DIR/mtvd" --socket "$SOCKET" --store "$STORE" \
+        >> "$WORK/daemon.log" 2>&1 &
+    DAEMON_PID=$!
+    for _ in $(seq 1 50); do
+        if "$BUILD_DIR/mtvctl" --socket "$SOCKET" ping \
+            > /dev/null 2>&1; then
+            return
+        fi
+        sleep 0.1
+    done
+    echo "FAIL: daemon did not come up"; cat "$WORK/daemon.log"
+    exit 1
+}
+
+sweep() {
+    "$BUILD_DIR/mtvctl" --socket "$SOCKET" sweep --scale "$SCALE"
+}
+
+field() {  # field <name> <<< "served: simulated=N cache=N store=N"
+    grep -o "$1=[0-9]*" | cut -d= -f2
+}
+
+echo "== cold run (fresh store) =="
+start_daemon
+COLD_OUT=$(sweep)
+COLD_DIGEST=$(echo "$COLD_OUT" | grep '^digest:' | awk '{print $2}')
+COLD_SIM=$(echo "$COLD_OUT" | grep '^served:' | field simulated)
+echo "cold: simulated=$COLD_SIM digest=$COLD_DIGEST"
+[ "$COLD_SIM" -gt 0 ] || { echo "FAIL: cold run simulated nothing"; exit 1; }
+
+echo "== SIGKILL the daemon, restart on the same store =="
+kill -9 "$DAEMON_PID"
+wait "$DAEMON_PID" 2>/dev/null || true
+DAEMON_PID=""
+start_daemon
+
+WARM_OUT=$(sweep)
+WARM_DIGEST=$(echo "$WARM_OUT" | grep '^digest:' | awk '{print $2}')
+SERVED=$(echo "$WARM_OUT" | grep '^served:')
+WARM_STORE=$(echo "$SERVED" | field store)
+WARM_TOTAL=$(echo "$WARM_OUT" | grep '^sweep:' | grep -o '[0-9]* points' | awk '{print $1}')
+echo "warm: $SERVED (of $WARM_TOTAL points) digest=$WARM_DIGEST"
+
+# >= 95% of the points must come from the persistent store.
+THRESHOLD=$(( WARM_TOTAL * 95 / 100 ))
+if [ "$WARM_STORE" -lt "$THRESHOLD" ]; then
+    echo "FAIL: only $WARM_STORE/$WARM_TOTAL points store-served (need >= $THRESHOLD)"
+    exit 1
+fi
+
+# Bit-identical across the SIGKILL restart.
+if [ "$WARM_DIGEST" != "$COLD_DIGEST" ]; then
+    echo "FAIL: warm digest $WARM_DIGEST != cold digest $COLD_DIGEST"
+    exit 1
+fi
+
+echo "== cold in-process run (no daemon) =="
+LOCAL_DIGEST=$("$BUILD_DIR/mtvctl" sweep --local --scale "$SCALE" \
+    | grep '^digest:' | awk '{print $2}')
+echo "local: digest=$LOCAL_DIGEST"
+if [ "$LOCAL_DIGEST" != "$COLD_DIGEST" ]; then
+    echo "FAIL: local digest $LOCAL_DIGEST != daemon digest $COLD_DIGEST"
+    exit 1
+fi
+
+"$BUILD_DIR/mtvctl" --socket "$SOCKET" stats
+"$BUILD_DIR/mtvctl" --socket "$SOCKET" shutdown > /dev/null
+wait "$DAEMON_PID" 2>/dev/null || true
+DAEMON_PID=""
+
+echo "PASS: $WARM_STORE/$WARM_TOTAL store-served after SIGKILL restart, digests bit-identical"
