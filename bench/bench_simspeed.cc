@@ -6,6 +6,15 @@
  * regressions in the cycle loop. Runs through an *uncached*
  * ExperimentEngine (memoize off) so every iteration pays for a real
  * simulation instead of a cache lookup.
+ *
+ * The BM_Kernel* pairs run the same configuration under the
+ * cycle-stepped and the event-driven kernel; the ratio of their
+ * sim_cycles/s counters is the event kernel's speedup (the CI
+ * kernel-parity job records both into BENCH_simspeed.json). The
+ * headline pair is the Figure 10 latency sweep's worst point —
+ * memory latency 100 on the reference machine — where the stepped
+ * kernel spends almost every cycle discovering that nothing can
+ * dispatch.
  */
 
 #include <benchmark/benchmark.h>
@@ -21,24 +30,27 @@ using namespace mtv;
 constexpr double speedScale = 2e-5;
 
 mtv::EngineOptions
-uncached()
+uncached(SimKernel kernel = SimKernel::Event)
 {
     EngineOptions options;
     options.workers = 1;    // the benchmark loop provides the timing
     options.memoize = false;
+    options.kernel = kernel;
     return options;
 }
 
 void
-runMachine(benchmark::State &state, const MachineParams &params)
+runMachine(benchmark::State &state, const MachineParams &params,
+           SimKernel kernel = SimKernel::Event,
+           double scale = speedScale)
 {
-    ExperimentEngine engine(uncached());
+    ExperimentEngine engine(uncached(kernel));
     const std::vector<std::string> jobs = {"flo52", "tomcatv", "trfd",
                                            "dyfesm"};
     const RunSpec spec =
         params.contexts == 1
-            ? RunSpec::single("flo52", params, speedScale)
-            : RunSpec::jobQueue(jobs, params, speedScale);
+            ? RunSpec::single("flo52", params, scale)
+            : RunSpec::jobQueue(jobs, params, scale);
     uint64_t cycles = 0;
     uint64_t instrs = 0;
     for (auto _ : state) {
@@ -52,6 +64,22 @@ runMachine(benchmark::State &state, const MachineParams &params)
     state.counters["sim_instrs/s"] = benchmark::Counter(
         static_cast<double>(instrs), benchmark::Counter::kIsRate);
 }
+
+/** Figure 10's latency-100 reference point (the stepped worst case). */
+MachineParams
+fig10Latency100()
+{
+    MachineParams p = MachineParams::reference();
+    p.memLatency = 100;
+    return p;
+}
+
+/**
+ * Scale for the kernel A/B pairs: long enough runs that the
+ * engine's fixed per-run cost (program generation, spec handling —
+ * identical for both kernels) does not dilute the kernel ratio.
+ */
+constexpr double kernelScale = 1e-4;
 
 void
 BM_Reference(benchmark::State &state)
@@ -108,11 +136,48 @@ BM_EngineBatch(benchmark::State &state)
         static_cast<double>(cycles), benchmark::Counter::kIsRate);
 }
 
+// ----- stepped vs event kernel (bit-identical results; see
+// tests/test_golden.cc) -----
+
+void
+BM_KernelStepped_Fig10Lat100(benchmark::State &state)
+{
+    runMachine(state, fig10Latency100(), SimKernel::Stepped,
+               kernelScale);
+}
+
+void
+BM_KernelEvent_Fig10Lat100(benchmark::State &state)
+{
+    runMachine(state, fig10Latency100(), SimKernel::Event,
+               kernelScale);
+}
+
+void
+BM_KernelStepped_Mth4Lat100(benchmark::State &state)
+{
+    MachineParams p = MachineParams::multithreaded(4);
+    p.memLatency = 100;
+    runMachine(state, p, SimKernel::Stepped, kernelScale);
+}
+
+void
+BM_KernelEvent_Mth4Lat100(benchmark::State &state)
+{
+    MachineParams p = MachineParams::multithreaded(4);
+    p.memLatency = 100;
+    runMachine(state, p, SimKernel::Event, kernelScale);
+}
+
 BENCHMARK(BM_Reference);
 BENCHMARK(BM_Multithreaded)->Arg(2)->Arg(3)->Arg(4);
 BENCHMARK(BM_DualScalar);
 BENCHMARK(BM_WorkloadGeneration);
 BENCHMARK(BM_EngineBatch);
+BENCHMARK(BM_KernelStepped_Fig10Lat100);
+BENCHMARK(BM_KernelEvent_Fig10Lat100);
+BENCHMARK(BM_KernelStepped_Mth4Lat100);
+BENCHMARK(BM_KernelEvent_Mth4Lat100);
 
 } // namespace
 

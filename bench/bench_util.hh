@@ -56,17 +56,45 @@ benchWorkers()
 }
 
 /**
+ * Simulation kernel for a bench: the event-driven kernel by default,
+ * overridable with MTV_KERNEL=stepped|event. Both kernels produce
+ * bit-identical figures (the CI kernel-parity job diffs a bench's
+ * output under both), so this knob exists for A/B validation and
+ * speedup measurement only.
+ */
+inline SimKernel
+benchKernel()
+{
+    if (const char *env = std::getenv("MTV_KERNEL")) {
+        const std::string v = env;
+        if (v == "stepped")
+            return SimKernel::Stepped;
+        if (v == "event")
+            return SimKernel::Event;
+        if (!v.empty()) {
+            std::fprintf(stderr,
+                         "warn: ignoring invalid MTV_KERNEL '%s' "
+                         "(want stepped|event)\n",
+                         env);
+        }
+    }
+    return SimKernel::Event;
+}
+
+/**
  * Engine configured from the environment: MTV_WORKERS caps the pool,
- * and MTV_STORE=<dir> attaches the persistent result store — point
- * consecutive bench invocations at the same directory and every
- * already-simulated point is served from disk (the warm-store fast
- * path; the engine summary line shows the store hits).
+ * MTV_KERNEL selects the simulation kernel, and MTV_STORE=<dir>
+ * attaches the persistent result store — point consecutive bench
+ * invocations at the same directory and every already-simulated
+ * point is served from disk (the warm-store fast path; the engine
+ * summary line shows the store hits).
  */
 inline ExperimentEngine
 benchEngine()
 {
     EngineOptions options;
     options.workers = benchWorkers();
+    options.kernel = benchKernel();
     if (const char *dir = std::getenv("MTV_STORE")) {
         if (*dir)
             options.backend = std::make_shared<ResultStore>(dir);

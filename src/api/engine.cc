@@ -27,6 +27,7 @@ ExperimentEngine::ExperimentEngine(EngineOptions options)
         fatal("engine worker count must be >= 0, got %d",
               options.workers);
     memoize_ = options.memoize;
+    kernel_ = options.kernel;
     backend_ = std::move(options.backend);
     maxCacheEntries_ = options.maxCacheEntries;
     workers_ = options.workers;
@@ -99,13 +100,26 @@ ExperimentEngine::runAll(const std::vector<RunSpec> &specs)
     size_t remaining = specs.size();
     std::mutex doneMutex;
     std::condition_variable doneCv;
+    std::exception_ptr firstError;
     {
         std::lock_guard<std::mutex> lock(queueMutex_);
         for (size_t i = 0; i < specs.size(); ++i) {
             queue_.emplace_back([this, &specs, &results, &remaining,
-                                 &doneMutex, &doneCv, i] {
-                results[i] = execute(specs[i]);
+                                 &doneMutex, &doneCv, &firstError, i] {
+                // An exception (SimError from a wedged run, or a
+                // thrown fatal()) must reach the batch caller, not
+                // unwind the worker loop into std::terminate. Every
+                // task still completes, so the batch locals stay
+                // alive until the last one reports in.
+                std::exception_ptr error;
+                try {
+                    results[i] = execute(specs[i]);
+                } catch (...) {
+                    error = std::current_exception();
+                }
                 std::lock_guard<std::mutex> doneLock(doneMutex);
+                if (error && !firstError)
+                    firstError = error;
                 if (--remaining == 0)
                     doneCv.notify_all();
             });
@@ -115,6 +129,8 @@ ExperimentEngine::runAll(const std::vector<RunSpec> &specs)
 
     std::unique_lock<std::mutex> lock(doneMutex);
     doneCv.wait(lock, [&remaining] { return remaining == 0; });
+    if (firstError)
+        std::rethrow_exception(firstError);
     return results;
 }
 
@@ -160,7 +176,7 @@ ExperimentEngine::simulate(const RunSpec &spec) const
         raw.push_back(sources.back().get());
     }
 
-    VectorSim sim(spec.params);
+    VectorSim sim(spec.params, kernel_);
     switch (spec.mode) {
       case SpecMode::Single:
         return sim.runSingle(*raw[0], spec.maxInstructions);

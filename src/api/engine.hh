@@ -66,6 +66,16 @@ struct EngineOptions
     /** Worker threads; 0 = one per hardware thread (min 1). */
     int workers = 0;
     /**
+     * Which simulation kernel executes the specs. The event-driven
+     * kernel (the default) and the cycle-stepped reference produce
+     * bit-identical SimStats (guarded by tests/test_golden.cc and
+     * the CI kernel-parity job), so this knob exists purely for A/B
+     * validation and for measuring the event kernel's speedup; it is
+     * deliberately *not* part of RunSpec keys — results from either
+     * kernel are interchangeable in the cache and the result store.
+     */
+    SimKernel kernel = SimKernel::Event;
+    /**
      * Memoize finished runs in the shared cache (the default).
      * Disable for throughput benchmarking, where a cache hit would
      * measure a lookup instead of a simulation.
@@ -196,6 +206,9 @@ class ExperimentEngine
     /** Entry cap of the memory cache (0 = unbounded). */
     size_t maxCacheEntries() const { return maxCacheEntries_; }
 
+    /** Simulation kernel executing this engine's specs. */
+    SimKernel kernel() const { return kernel_; }
+
     /** The persistent backend, when one is attached. */
     const std::shared_ptr<ResultBackend> &backend() const
     {
@@ -289,6 +302,7 @@ class ExperimentEngine
 
     int workers_ = 1;
     bool memoize_ = true;
+    SimKernel kernel_ = SimKernel::Event;
     std::shared_ptr<ResultBackend> backend_;
     size_t maxCacheEntries_ = 0;
     std::vector<std::thread> pool_;

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * The architectural state one hardware context owns: its instruction
+ * source and fetch window, its scalar/vector scoreboards and register
+ * bank ports, and its per-thread statistics. Shared by the dispatch
+ * unit (which plans and commits against this state), the scheduler
+ * (which reads the pending ready-times out of it) and the run
+ * machinery in VectorSim.
+ */
+
+#ifndef MTV_CORE_CONTEXT_HH
+#define MTV_CORE_CONTEXT_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "src/core/metrics.hh"
+#include "src/core/resources.hh"
+#include "src/isa/instruction.hh"
+#include "src/trace/source.hh"
+
+namespace mtv
+{
+
+/** Everything one hardware context owns. */
+struct Context
+{
+    InstructionSource *source = nullptr;
+    /** Fetched-but-not-dispatched instructions, program order.
+     *  Size 1 normally; up to 1+decoupleDepth when decoupled. */
+    std::vector<Instruction> window;
+    bool finished = false;        ///< no more work will be fetched
+    bool restartable = false;     ///< restart source at end-of-run
+    uint64_t fetchReadyAt = 0;    ///< branch-shadow gate
+    /** Unified S0-7 + A0-7 scoreboard, sized from the ISA widths
+     *  (indices are checked against it at fetch). */
+    uint64_t scalarReady[numSRegs + numARegs] = {};
+    VRegTiming vregs[numVRegs] = {};
+    BankPorts banks[numVRegs / 2] = {};
+    ThreadStats stats;
+    int jobIndex = -1;            ///< job currently assigned
+
+    /** Still holds or will fetch work (round-robin eligibility). */
+    bool hasWork() const { return !finished || !window.empty(); }
+};
+
+} // namespace mtv
+
+#endif // MTV_CORE_CONTEXT_HH

@@ -1,0 +1,28 @@
+#include "src/core/pipelines.hh"
+
+#include "src/common/logging.hh"
+
+namespace mtv
+{
+
+void
+PipelineSet::integrateInto(std::array<uint64_t, numFuStates> &hist,
+                           uint64_t from, uint64_t to,
+                           const MemSystem &mem) const
+{
+    UnitSpan units[16];
+    size_t count = 0;
+    const auto add = [&units, &count](int bit, const PipeUnit &pipe) {
+        if (pipe.freeCycle() > pipe.busyFrom()) {
+            MTV_ASSERT(count < 16);
+            units[count++] = {bit, pipe.busyFrom(), pipe.freeCycle()};
+        }
+    };
+    add(2, fu2_);
+    add(1, fu1_);
+    for (const auto &port : mem.ports())
+        add(0, port.pipe);
+    accumulateJointStates(hist, from, to, units, count);
+}
+
+} // namespace mtv

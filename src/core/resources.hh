@@ -12,6 +12,27 @@ namespace mtv
 {
 
 /**
+ * Running minimum of pending ready-times strictly after a reference
+ * cycle — the accumulator the event-driven kernel's wakeup
+ * computation folds resource report times into.
+ */
+struct EventMin
+{
+    explicit EventMin(uint64_t now) : now(now) {}
+
+    /** Fold in @p t; times at or before `now` are not pending. */
+    void
+    consider(uint64_t t)
+    {
+        if (t > now && (next == 0 || t < next))
+            next = t;
+    }
+
+    uint64_t now;
+    uint64_t next = 0;  ///< earliest considered time > now; 0 = none
+};
+
+/**
  * Occupancy state of one fully-pipelined unit (FU1, FU2 or the LD
  * pipe). A unit accepts a new instruction only when the previous one
  * has completely finished occupying it, so a single [from, until)
@@ -41,6 +62,9 @@ class PipeUnit
 
     /** Cycle at which the unit becomes free. */
     uint64_t freeCycle() const { return until_; }
+
+    /** First cycle of the current/last occupation ([from, until)). */
+    uint64_t busyFrom() const { return from_; }
 
     /** Total cycles this unit has been occupied. */
     uint64_t busyCycles() const { return busyCycles_; }
@@ -79,6 +103,21 @@ struct VRegTiming
     {
         return writeDone <= cycle && readBusy <= cycle;
     }
+
+    /**
+     * Earliest cycle strictly after @p now at which a dispatch
+     * predicate over this register (completeAt/idleAt) can change,
+     * or 0 when none is pending. prodFirst is deliberately excluded:
+     * it shifts a chained plan's timing but never gates feasibility.
+     */
+    uint64_t
+    nextEventAfter(uint64_t now) const
+    {
+        EventMin em(now);
+        em.consider(writeDone);
+        em.consider(readBusy);
+        return em.next;
+    }
 };
 
 /**
@@ -111,6 +150,20 @@ struct BankPorts
     }
 
     bool writeFreeAt(uint64_t cycle) const { return writeUntil <= cycle; }
+
+    /**
+     * Earliest cycle strictly after @p now at which a port of this
+     * bank frees, or 0 when none is pending.
+     */
+    uint64_t
+    nextEventAfter(uint64_t now) const
+    {
+        EventMin em(now);
+        em.consider(readUntil[0]);
+        em.consider(readUntil[1]);
+        em.consider(writeUntil);
+        return em.next;
+    }
 };
 
 /** Bank index of a vector register (registers are paired). */

@@ -1,0 +1,20 @@
+#include "src/core/scheduler.hh"
+
+namespace mtv
+{
+
+uint64_t
+Scheduler::nextWakeup(uint64_t now, const DispatchUnit &dispatch,
+                      const std::vector<Context> &contexts) const
+{
+    ++wakeups_;
+    EventMin em(now);
+    for (const auto &ctx : contexts) {
+        em.consider(ctx.fetchReadyAt);
+        em.consider(ctx.stats.lastCompletion);
+        dispatch.considerWakeups(ctx, em);
+    }
+    return em.next;
+}
+
+} // namespace mtv

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Scheduler: the next-event extraction at the heart of the
+ * event-driven kernel.
+ *
+ * The machine keeps no explicit event queue — every future state
+ * change is already stored somewhere as a ready-time: pipe and bus
+ * free-cycles, vector-register write/read horizons, the scalar
+ * scoreboard, bank-port reservations, branch-shadow fetch gates and
+ * per-context completion times. This "time wheel" is therefore
+ * implicit: each component reports the earliest of its own pending
+ * times (nextEventAfter), and the scheduler folds them into the one
+ * cycle at which *anything* about decode feasibility can change.
+ *
+ * Soundness: while every context is blocked, no new reservation is
+ * made (only a commit writes ready-times), so the set of pending
+ * times is frozen; every dispatch predicate compares one of these
+ * times against `now`; hence no predicate — and no decode outcome —
+ * can change strictly before the minimum pending time. Jumping there
+ * is exact, not approximate. The scheduler may return a wakeup at
+ * which the machine is *still* blocked (a freed resource was not the
+ * binding one); the kernel then simply charges that cycle and asks
+ * again, which preserves bit-identity at a small cost in wakeups.
+ */
+
+#ifndef MTV_CORE_SCHEDULER_HH
+#define MTV_CORE_SCHEDULER_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "src/core/context.hh"
+#include "src/core/dispatch.hh"
+
+namespace mtv
+{
+
+/** Earliest-pending-event extraction over the machine's ready-times. */
+class Scheduler
+{
+  public:
+    /**
+     * Earliest cycle strictly after @p now at which any pending
+     * ready-time that could change a decode outcome expires, or 0
+     * when nothing at all is pending (a machine that is blocked
+     * *and* eventless is wedged — the kernel fast-forwards straight
+     * to the watchdog). The set is the per-context fetch gate and
+     * completion horizon plus the dispatch unit's per-instruction
+     * resource report (DispatchUnit::considerWakeups) — deliberately
+     * *not* every ready-time in the machine, so a long memory stall
+     * costs one or two wakeups, not one per unrelated pipe drain.
+     */
+    uint64_t nextWakeup(uint64_t now, const DispatchUnit &dispatch,
+                        const std::vector<Context> &contexts) const;
+
+    /** Wakeups computed so far (kernel diagnostics). */
+    uint64_t wakeups() const { return wakeups_; }
+
+    /** Reset the diagnostics counter. */
+    void clear() { wakeups_ = 0; }
+
+  private:
+    mutable uint64_t wakeups_ = 0;
+};
+
+} // namespace mtv
+
+#endif // MTV_CORE_SCHEDULER_HH

@@ -3,100 +3,41 @@
 #include <algorithm>
 
 #include "src/common/logging.hh"
+#include "src/core/sim_error.hh"
 
 namespace mtv
 {
 
+const char *
+simKernelName(SimKernel kernel)
+{
+    switch (kernel) {
+      case SimKernel::Event: return "event";
+      case SimKernel::Stepped: return "stepped";
+    }
+    return "unknown";
+}
+
 namespace
 {
 
-/** Bitmask of vector registers read by @p inst. */
-uint8_t
-vregReadMask(const Instruction &inst)
+/** Validate before any component sizes itself from the values. */
+MachineParams
+validated(MachineParams params)
 {
-    uint8_t mask = 0;
-    if (!isVector(inst.op))
-        return mask;
-    if (isStore(inst.op)) {
-        mask |= 1u << inst.srcA;
-    } else if (isVectorArith(inst.op) || inst.op == Opcode::VReduce) {
-        if (inst.srcA != noReg)
-            mask |= 1u << inst.srcA;
-        if (inst.srcB != noReg)
-            mask |= 1u << inst.srcB;
-    }
-    return mask;
-}
-
-/** Bitmask of vector registers written by @p inst. */
-uint8_t
-vregWriteMask(const Instruction &inst)
-{
-    if (!isVector(inst.op) || isStore(inst.op) ||
-        inst.op == Opcode::VReduce || inst.dst == noReg) {
-        return 0;
-    }
-    return static_cast<uint8_t>(1u << inst.dst);
-}
-
-/**
- * May @p cand (a vector memory instruction) dispatch ahead of the
- * not-yet-dispatched @p prior? Memory stays ordered among itself,
- * nothing passes a branch, and all vector-register dependences
- * (RAW/WAW/WAR) are respected. Scalar operands are safe to ignore:
- * the trace records the effective VL/stride/address of every
- * instruction, which is exactly the address-side state a decoupled
- * machine's address processor runs ahead to produce.
- */
-bool
-canSlipPast(const Instruction &cand, const Instruction &prior)
-{
-    if (prior.op == Opcode::SBranch)
-        return false;
-    if (isMemory(cand.op) && isMemory(prior.op))
-        return false;
-    const uint8_t priorWrites = vregWriteMask(prior);
-    const uint8_t priorReads = vregReadMask(prior);
-    const uint8_t candWrites = vregWriteMask(cand);
-    const uint8_t candReads = vregReadMask(cand);
-    if (priorWrites & (candReads | candWrites))
-        return false;  // RAW or WAW
-    if (priorReads & candWrites)
-        return false;  // WAR
-    return true;
+    params.validate();
+    return params;
 }
 
 } // namespace
 
-VectorSim::VectorSim(const MachineParams &params)
-    : params_(params), memory_(params)
+VectorSim::VectorSim(const MachineParams &params, SimKernel kernel)
+    : params_(validated(params)), kernel_(kernel), mem_(params_),
+      dispatch_(params_, pipes_, mem_)
 {
-    params_.validate();
     contexts_.resize(params_.contexts);
     lastSelected_.resize(params_.contexts, 0);
-    memPorts_.resize(params_.loadPorts + params_.storePorts);
-    for (int i = 0; i < params_.loadPorts; ++i)
-        loadPortRefs_.push_back(&memPorts_[i]);
-    for (int i = 0; i < params_.storePorts; ++i)
-        storePortRefs_.push_back(&memPorts_[params_.loadPorts + i]);
-}
-
-const std::vector<VectorSim::MemPort *> &
-VectorSim::portsFor(Opcode op) const
-{
-    if (isStore(op) && !storePortRefs_.empty())
-        return storePortRefs_;
-    return loadPortRefs_;
-}
-
-bool
-VectorSim::memPipeBusyAt(uint64_t now) const
-{
-    for (const auto &port : memPorts_) {
-        if (port.pipe.busyAt(now))
-            return true;
-    }
-    return false;
+    scanWhy_.resize(params_.contexts, BlockReason::NoWork);
 }
 
 // ---------------------------------------------------------------------
@@ -111,7 +52,7 @@ VectorSim::runSingle(InstructionSource &source, uint64_t maxInstructions)
     contexts_[0].source = &source;
     contexts_[0].stats.program = source.name();
     source.reset();
-    return run(RunMode::UntilThreadZero);
+    return run();
 }
 
 SimStats
@@ -138,7 +79,7 @@ VectorSim::runGroup(const std::vector<InstructionSource *> &programs)
         ctx.restartable = i != 0;
         ctx.stats.program = programs[i]->name();
     }
-    return run(RunMode::UntilThreadZero);
+    return run();
 }
 
 SimStats
@@ -163,7 +104,7 @@ VectorSim::runJobQueue(const std::vector<InstructionSource *> &jobs)
              static_cast<int>(&ctx - contexts_.data()), 0, 0});
         ++nextJob_;
     }
-    return run(RunMode::JobQueue);
+    return run();
 }
 
 // ---------------------------------------------------------------------
@@ -174,24 +115,27 @@ void
 VectorSim::resetMachine(RunMode mode)
 {
     mode_ = mode;
-    for (auto &port : memPorts_) {
-        port.pipe.clear();
-        port.bus.clear();
-    }
-    fu1_.clear();
-    fu2_.clear();
+    mem_.clear();
+    pipes_.clear();
+    dispatch_.clear();
+    scheduler_.clear();
     for (auto &ctx : contexts_)
         ctx = Context{};
     currentThread_ = 0;
     std::fill(lastSelected_.begin(), lastSelected_.end(), 0);
+    std::fill(scanWhy_.begin(), scanWhy_.end(), BlockReason::NoWork);
     jobs_.clear();
     nextJob_ = 0;
     maxInstructions_ = 0;
     lastDispatchCycle_ = 0;
-    vecOpsFu1_ = vecOpsFu2_ = dispatches_ = decodeIdle_ = 0;
-    decoupledSlips_ = 0;
+    decodeIdle_ = 0;
     stateHist_.fill(0);
     jobRecords_.clear();
+    // Legitimate stalls are bounded by one memory round trip plus a
+    // full vector drain; anything hugely beyond that is a model bug.
+    stallLimit_ = 16 * (static_cast<uint64_t>(params_.memLatency) +
+                        maxVectorLength * 8) +
+                  1000000;
 }
 
 bool
@@ -212,76 +156,125 @@ VectorSim::done(uint64_t now) const
 }
 
 SimStats
-VectorSim::run(RunMode mode)
+VectorSim::run()
 {
-    (void)mode;
+    return kernel_ == SimKernel::Stepped ? runStepped() : runEvent();
+}
+
+/**
+ * The reference kernel: evaluate decode every cycle. Kept as the
+ * executable specification the event kernel is validated against.
+ */
+SimStats
+VectorSim::runStepped()
+{
     uint64_t now = 0;
-    // Legitimate stalls are bounded by one memory round trip plus a
-    // full vector drain; anything hugely beyond that is a model bug.
-    const uint64_t stallLimit =
-        16 * (static_cast<uint64_t>(params_.memLatency) +
-              maxVectorLength * 8) +
-        1000000;
     // The fetch stage runs ahead of decode: prime every context's
     // window before evaluating termination, so end-of-program is
     // discovered the cycle the last instruction leaves, not one
     // cycle later.
-    auto primeFetch = [this](uint64_t t) {
-        for (auto &ctx : contexts_) {
-            BlockReason why;
-            ensureWindow(ctx, t, why);
-        }
-    };
     primeFetch(0);
     while (!done(now)) {
         decodeCycle(now);
-        sampleState(now);
+        pipes_.sampleInto(stateHist_, now, mem_);
         ++now;
         primeFetch(now);
-        if (now - lastDispatchCycle_ > stallLimit) {
-            panic("no dispatch for %llu cycles at cycle %llu: "
-                  "simulator deadlock",
-                  static_cast<unsigned long long>(now -
-                                                  lastDispatchCycle_),
-                  static_cast<unsigned long long>(now));
-        }
+        checkWatchdog(now);
     }
     return takeStats(now);
 }
 
-void
-VectorSim::decodeCycle(uint64_t now)
+/**
+ * The event-driven kernel. While anything can dispatch it runs the
+ * exact per-cycle code of the stepped kernel; once every context is
+ * blocked it asks the scheduler for the earliest pending ready-time
+ * and jumps there, bulk-accounting the skipped span. Soundness: all
+ * wakeups are computed from state that is immutable while blocked
+ * (only a commit writes ready-times), so no decode outcome — and no
+ * per-cycle statistic — can differ from stepping (see the proof
+ * sketch in DESIGN.md section 1.2).
+ */
+SimStats
+VectorSim::runEvent()
 {
-    if (params_.dualScalar || params_.decodeWidth > 1)
-        decodeMultiSlot(now);
-    else
-        decodeSingleSlot(now);
+    uint64_t now = 0;
+    primeFetch(0);
+    while (!done(now)) {
+        const bool dispatched = decodeCycle(now);
+        bool anyReady = false;
+        if (!dispatched) {
+            for (const BlockReason why : scanWhy_)
+                anyReady |= why == BlockReason::None;
+        }
+        if (dispatched || anyReady) {
+            // Progress this cycle or next: step like the reference.
+            pipes_.sampleInto(stateHist_, now, mem_);
+            ++now;
+            primeFetch(now);
+            checkWatchdog(now);
+            continue;
+        }
+        // Every context blocked (cycle `now` already charged by
+        // decodeCycle). Jump to the earliest cycle anything can
+        // change; an eventless machine is wedged, so fast-forward
+        // straight to the watchdog.
+        const uint64_t watchdogAt =
+            lastDispatchCycle_ + stallLimit_ + 1;
+        uint64_t wake =
+            scheduler_.nextWakeup(now, dispatch_, contexts_);
+        if (wake == 0 || wake > watchdogAt)
+            wake = watchdogAt;
+        accountIdleSpan(now, wake);
+        now = wake;
+        primeFetch(now);
+        checkWatchdog(now);
+    }
+    return takeStats(now);
 }
 
-void
+bool
+VectorSim::decodeCycle(uint64_t now)
+{
+    return multiSlot() ? decodeMultiSlot(now) : decodeSingleSlot(now);
+}
+
+bool
 VectorSim::decodeSingleSlot(uint64_t now)
 {
-    Context &ctx = contexts_[currentThread_];
+    Context &held = contexts_[currentThread_];
     lastSelected_[currentThread_] = now;
-    BlockReason why = BlockReason::NoWork;
+    BlockReason heldWhy = BlockReason::NoWork;
     bool dispatched = false;
-    if (ensureWindow(ctx, now, why)) {
-        if (auto plan = planAny(ctx, now, why)) {
-            commit(ctx, *plan, now);
+    if (ensureWindow(held, now, heldWhy)) {
+        if (auto plan = dispatch_.planAny(held, now, heldWhy)) {
+            dispatch_.commit(held, *plan, now);
             lastDispatchCycle_ = now;
             dispatched = true;
         }
     }
     if (!dispatched) {
-        ctx.stats.blocked[static_cast<size_t>(why)]++;
+        // The decode slot is lost. Charge every context its own
+        // blocking resource (not just the slot holder): a thread
+        // waiting on the memory port is losing this cycle to the
+        // memory port whether or not it holds the slot, which is
+        // what Figure 5's idle breakdown wants to count.
+        scanWhy_[currentThread_] = heldWhy;
+        scanContexts(now);
+        for (int c = 0; c < params_.contexts; ++c) {
+            if (scanWhy_[c] != BlockReason::None) {
+                contexts_[c].stats.blocked[static_cast<size_t>(
+                    scanWhy_[c])]++;
+            }
+        }
         ++decodeIdle_;
-        switchThread(now);
+        switchThread();
     } else if (params_.sched == SchedPolicy::RoundRobin) {
-        switchThread(now);
+        switchThread();
     }
+    return dispatched;
 }
 
-void
+bool
 VectorSim::decodeMultiSlot(uint64_t now)
 {
     const int width =
@@ -293,42 +286,101 @@ VectorSim::decodeMultiSlot(uint64_t now)
         BlockReason why = BlockReason::NoWork;
         if (!ensureWindow(ctx, now, why)) {
             ctx.stats.blocked[static_cast<size_t>(why)]++;
+            scanWhy_[c] = why;
             continue;
         }
-        auto plan = planAny(ctx, now, why);
+        auto plan = dispatch_.planAny(ctx, now, why);
         if (!plan) {
             ctx.stats.blocked[static_cast<size_t>(why)]++;
+            scanWhy_[c] = why;
             continue;
         }
-        const bool isScalar = plan->unit == Plan::Unit::Scalar;
+        const bool isScalar = plan->unit == DispatchPlan::Unit::Scalar;
         if (isScalar && scalarUsed && !params_.dualScalar) {
             // One shared scalar unit: the second scalar instruction of
             // this cycle loses its slot.
             ctx.stats.blocked[static_cast<size_t>(
                 BlockReason::ScalarDep)]++;
+            scanWhy_[c] = BlockReason::ScalarDep;
             continue;
         }
-        commit(ctx, *plan, now);
+        dispatch_.commit(ctx, *plan, now);
         lastDispatchCycle_ = now;
         ++issued;
+        scanWhy_[c] = BlockReason::None;
         if (isScalar)
             scalarUsed = true;
     }
     if (!issued)
         ++decodeIdle_;
-}
-
-bool
-VectorSim::contextReady(Context &ctx, uint64_t now)
-{
-    BlockReason why = BlockReason::NoWork;
-    if (!ensureWindow(ctx, now, why))
-        return false;
-    return planAny(ctx, now, why).has_value();
+    return issued > 0;
 }
 
 void
-VectorSim::switchThread(uint64_t now)
+VectorSim::scanContexts(uint64_t now)
+{
+    for (int c = 0; c < params_.contexts; ++c) {
+        if (c == currentThread_ && !multiSlot())
+            continue;  // the dispatch attempt already recorded it
+        Context &ctx = contexts_[c];
+        BlockReason why = BlockReason::NoWork;
+        if (ensureWindow(ctx, now, why) &&
+            dispatch_.planAny(ctx, now, why)) {
+            why = BlockReason::None;
+        }
+        scanWhy_[c] = why;
+    }
+}
+
+void
+VectorSim::accountIdleSpan(uint64_t from, uint64_t to)
+{
+    // Joint-state histogram over [from, to): cycle `from` was decoded
+    // but not yet sampled; later cycles are skipped entirely.
+    pipes_.integrateInto(stateHist_, from, to, mem_);
+    const uint64_t skipped = to - from - 1;
+    if (skipped == 0)
+        return;
+    decodeIdle_ += skipped;
+    // Block reasons are frozen over the span: every predicate behind
+    // them compares a pending ready-time against `now`, and the jump
+    // target is no later than the earliest such time.
+    for (int c = 0; c < params_.contexts; ++c) {
+        MTV_ASSERT(scanWhy_[c] != BlockReason::None);
+        contexts_[c].stats.blocked[static_cast<size_t>(scanWhy_[c])] +=
+            skipped;
+    }
+    if (!multiSlot() && params_.sched == SchedPolicy::RoundRobin)
+        advanceRoundRobin(skipped);
+}
+
+void
+VectorSim::advanceRoundRobin(uint64_t steps)
+{
+    // Replicate `steps` single-cycle switchThread() advances: the
+    // holder walks the has-work contexts in cyclic index order.
+    int active[8];
+    int m = 0;
+    MTV_ASSERT(params_.contexts <= 8);
+    for (int c = 0; c < params_.contexts; ++c) {
+        if (contexts_[c].hasWork())
+            active[m++] = c;
+    }
+    if (m == 0)
+        return;
+    // Position of the first active index strictly after the holder
+    // (cyclic), i.e. where one step lands.
+    int p0 = 0;
+    while (p0 < m && active[p0] <= currentThread_)
+        ++p0;
+    if (p0 == m)
+        p0 = 0;
+    currentThread_ =
+        active[(p0 + (steps - 1)) % static_cast<uint64_t>(m)];
+}
+
+void
+VectorSim::switchThread()
 {
     const int n = params_.contexts;
     if (n == 1)
@@ -339,7 +391,7 @@ VectorSim::switchThread(uint64_t now)
         // Lowest-numbered thread known not to be blocked (the paper's
         // baseline; biased towards thread 0 by construction).
         for (int c = 0; c < n; ++c) {
-            if (contextReady(contexts_[c], now)) {
+            if (scanWhy_[c] == BlockReason::None) {
                 currentThread_ = c;
                 return;
             }
@@ -349,7 +401,7 @@ VectorSim::switchThread(uint64_t now)
       case SchedPolicy::FairLru: {
         int best = -1;
         for (int c = 0; c < n; ++c) {
-            if (contextReady(contexts_[c], now) &&
+            if (scanWhy_[c] == BlockReason::None &&
                 (best < 0 || lastSelected_[c] < lastSelected_[best])) {
                 best = c;
             }
@@ -363,7 +415,7 @@ VectorSim::switchThread(uint64_t now)
         // Naive policy: advance regardless of readiness.
         for (int step = 1; step <= n; ++step) {
             const int c = (currentThread_ + step) % n;
-            if (!contexts_[c].finished || !contexts_[c].window.empty()) {
+            if (contexts_[c].hasWork()) {
                 currentThread_ = c;
                 return;
             }
@@ -373,17 +425,58 @@ VectorSim::switchThread(uint64_t now)
 }
 
 void
-VectorSim::sampleState(uint64_t now)
+VectorSim::checkWatchdog(uint64_t now)
 {
-    const int bits = (fu2_.busyAt(now) ? 4 : 0) |
-                     (fu1_.busyAt(now) ? 2 : 0) |
-                     (memPipeBusyAt(now) ? 1 : 0);
-    ++stateHist_[bits];
+    if (now - lastDispatchCycle_ > stallLimit_)
+        throwWedged(now);
+}
+
+void
+VectorSim::throwWedged(uint64_t now)
+{
+    // Snapshot every context's blocked state for the error. The
+    // round-robin rotation means the slot holder is arbitrary, so
+    // record them all.
+    scanContexts(now);
+    if (!multiSlot()) {
+        // scanContexts leaves the holder's entry to the decode
+        // attempt; compute it here where no attempt ran.
+        Context &held = contexts_[currentThread_];
+        BlockReason why = BlockReason::NoWork;
+        if (ensureWindow(held, now, why) &&
+            dispatch_.planAny(held, now, why)) {
+            why = BlockReason::None;
+        }
+        scanWhy_[currentThread_] = why;
+    }
+    std::vector<BlockedContext> blocked;
+    blocked.reserve(contexts_.size());
+    for (int c = 0; c < params_.contexts; ++c) {
+        const Context &ctx = contexts_[c];
+        BlockedContext b;
+        b.context = c;
+        b.program = ctx.stats.program;
+        b.reason = scanWhy_[c];
+        b.windowDepth = ctx.window.size();
+        if (!ctx.window.empty())
+            b.windowHead = ctx.window.front().disasm();
+        blocked.push_back(std::move(b));
+    }
+    throw SimError(now, now - lastDispatchCycle_, std::move(blocked));
 }
 
 // ---------------------------------------------------------------------
 // Fetch
 // ---------------------------------------------------------------------
+
+void
+VectorSim::primeFetch(uint64_t t)
+{
+    for (auto &ctx : contexts_) {
+        BlockReason why;
+        ensureWindow(ctx, t, why);
+    }
+}
 
 void
 VectorSim::checkOperands(const Instruction &inst) const
@@ -487,357 +580,26 @@ VectorSim::ensureWindow(Context &ctx, uint64_t now, BlockReason &why)
 }
 
 // ---------------------------------------------------------------------
-// Dispatch planning
+// Stats assembly
 // ---------------------------------------------------------------------
-
-std::optional<VectorSim::Plan>
-VectorSim::planAny(const Context &ctx, uint64_t now,
-                   BlockReason &why) const
-{
-    MTV_ASSERT(!ctx.window.empty());
-    auto plan = planDispatch(ctx, ctx.window.front(), now, why);
-    if (plan || params_.decoupleDepth == 0)
-        return plan;
-
-    // Decoupled slip: look for a vector memory instruction behind the
-    // blocked head that conflicts with none of the skipped entries.
-    for (size_t k = 1; k < ctx.window.size(); ++k) {
-        const Instruction &cand = ctx.window[k];
-        if (!isVector(cand.op) || !isMemory(cand.op))
-            continue;
-        bool clear = true;
-        for (size_t j = 0; j < k && clear; ++j)
-            clear = canSlipPast(cand, ctx.window[j]);
-        if (!clear)
-            continue;
-        BlockReason slipWhy = BlockReason::NoWork;
-        if (auto slipped = planDispatch(ctx, cand, now, slipWhy)) {
-            slipped->windowIndex = k;
-            return slipped;
-        }
-    }
-    return std::nullopt;  // `why` keeps the head's block reason
-}
-
-std::optional<VectorSim::Plan>
-VectorSim::planDispatch(const Context &ctx, const Instruction &inst,
-                        uint64_t now, BlockReason &why) const
-{
-    const FuClass fu = fuClass(inst.op);
-    Plan plan{};
-
-    if (fu == FuClass::Scalar) {
-        // --- Scalar instruction ---
-        for (const uint8_t src : {inst.srcA, inst.srcB}) {
-            if (src != noReg && ctx.scalarReady[src] > now) {
-                why = BlockReason::ScalarDep;
-                return std::nullopt;
-            }
-        }
-        if (inst.dst != noReg && ctx.scalarReady[inst.dst] > now) {
-            why = BlockReason::ScalarDep;
-            return std::nullopt;
-        }
-        if (isMemory(inst.op)) {
-            plan.port = nullptr;
-            for (MemPort *port : portsFor(inst.op)) {
-                if (port->bus.freeAt(now)) {
-                    plan.port = port;
-                    break;
-                }
-            }
-            if (!plan.port) {
-                why = BlockReason::MemPortBusy;
-                return std::nullopt;
-            }
-        }
-        plan.unit = Plan::Unit::Scalar;
-        plan.start = now;
-        const int lat = params_.opLatency(inst.op);
-        plan.scalarReady = now + static_cast<uint64_t>(lat);
-        plan.completion =
-            inst.op == Opcode::SStore ? now + 1 : plan.scalarReady;
-        return plan;
-    }
-
-    const uint16_t vl = std::max<uint16_t>(inst.vl, 1);
-
-    if (fu == FuClass::VecAny || fu == FuClass::VecFu2) {
-        // --- Vector arithmetic (including reductions) ---
-        if (fu == FuClass::VecFu2) {
-            if (!fu2_.freeAt(now)) {
-                why = BlockReason::FuBusy;
-                return std::nullopt;
-            }
-            plan.unit = Plan::Unit::Fu2;
-        } else if (fu1_.freeAt(now)) {
-            plan.unit = Plan::Unit::Fu1;
-        } else if (fu2_.freeAt(now)) {
-            plan.unit = Plan::Unit::Fu2;
-        } else {
-            why = BlockReason::FuBusy;
-            return std::nullopt;
-        }
-
-        uint64_t chainStart = 0;
-        int bankReads[numVRegs / 2] = {};
-        for (const uint8_t src : {inst.srcA, inst.srcB}) {
-            if (src == noReg)
-                continue;
-            const VRegTiming &reg = ctx.vregs[src];
-            if (!reg.completeAt(now)) {
-                if (!reg.chainable) {
-                    why = BlockReason::SourceNotReady;
-                    return std::nullopt;
-                }
-                chainStart = std::max(chainStart, reg.prodFirst + 1);
-            }
-            ++bankReads[vregBank(src)];
-        }
-        // Reading the same register through both operand ports still
-        // needs only one physical port.
-        if (inst.srcA != noReg && inst.srcA == inst.srcB)
-            --bankReads[vregBank(inst.srcA)];
-
-        const bool isReduce = inst.op == Opcode::VReduce;
-        if (!isReduce) {
-            const VRegTiming &dst = ctx.vregs[inst.dst];
-            // Renaming allocates a fresh physical register, so WAW
-            // and WAR hazards vanish (section 10 extension).
-            if (!params_.renaming && !dst.idleAt(now)) {
-                why = BlockReason::DestBusy;
-                return std::nullopt;
-            }
-        } else if (inst.dst != noReg &&
-                   ctx.scalarReady[inst.dst] > now) {
-            why = BlockReason::ScalarDep;
-            return std::nullopt;
-        }
-
-        if (params_.modelBankPorts) {
-            for (int b = 0; b < numVRegs / 2; ++b) {
-                if (bankReads[b] > ctx.banks[b].freeReadPorts(now)) {
-                    why = BlockReason::BankPortBusy;
-                    return std::nullopt;
-                }
-            }
-            if (!isReduce && !params_.renaming &&
-                !ctx.banks[vregBank(inst.dst)].writeFreeAt(now)) {
-                why = BlockReason::BankPortBusy;
-                return std::nullopt;
-            }
-        }
-
-        const uint64_t r0 = std::max(
-            now + static_cast<uint64_t>(params_.vectorStartup),
-            chainStart);
-        const int fuLat = params_.opLatency(inst.op);
-        plan.start = r0;
-        plan.prodFirst =
-            r0 + params_.readXbar + fuLat + params_.writeXbar;
-        plan.writeDone = plan.prodFirst + vl;
-        plan.chainableOut = true;
-        if (isReduce) {
-            // The reduction drains the pipe before the scalar result
-            // appears; no vector destination is written.
-            plan.scalarReady = r0 + params_.readXbar + fuLat + vl;
-            plan.completion = plan.scalarReady;
-        } else {
-            plan.completion = plan.writeDone;
-        }
-        return plan;
-    }
-
-    if (fu == FuClass::VecLoad) {
-        // --- Vector load / gather ---
-        plan.port = nullptr;
-        bool anyPipeFree = false;
-        for (MemPort *port : portsFor(inst.op)) {
-            if (!port->pipe.freeAt(now))
-                continue;
-            anyPipeFree = true;
-            if (port->bus.freeAt(now)) {
-                plan.port = port;
-                break;
-            }
-        }
-        if (!plan.port) {
-            why = anyPipeFree ? BlockReason::MemPortBusy
-                              : BlockReason::MemPipeBusy;
-            return std::nullopt;
-        }
-        const VRegTiming &dst = ctx.vregs[inst.dst];
-        if (!params_.renaming && !dst.idleAt(now)) {
-            why = BlockReason::DestBusy;
-            return std::nullopt;
-        }
-        if (params_.modelBankPorts && !params_.renaming &&
-            !ctx.banks[vregBank(inst.dst)].writeFreeAt(now)) {
-            why = BlockReason::BankPortBusy;
-            return std::nullopt;
-        }
-        const bool indexed = inst.op == Opcode::VGather;
-        const int period = memory_.deliveryPeriod(inst.stride, indexed);
-        plan.unit = Plan::Unit::Mem;
-        plan.start = now + static_cast<uint64_t>(params_.vectorStartup);
-        plan.pipeUntil =
-            plan.start + static_cast<uint64_t>(vl) * period;
-        plan.prodFirst =
-            plan.start + params_.memLatency + params_.writeXbar;
-        plan.writeDone =
-            plan.prodFirst + static_cast<uint64_t>(vl) * period;
-        plan.chainableOut = params_.loadChaining;
-        plan.completion = plan.writeDone;
-        return plan;
-    }
-
-    // --- Vector store / scatter ---
-    MTV_ASSERT(fu == FuClass::VecStore);
-    plan.port = nullptr;
-    bool anyPipeFree = false;
-    for (MemPort *port : portsFor(inst.op)) {
-        if (!port->pipe.freeAt(now))
-            continue;
-        anyPipeFree = true;
-        if (port->bus.freeAt(now)) {
-            plan.port = port;
-            break;
-        }
-    }
-    if (!plan.port) {
-        why = anyPipeFree ? BlockReason::MemPortBusy
-                          : BlockReason::MemPipeBusy;
-        return std::nullopt;
-    }
-    const VRegTiming &src = ctx.vregs[inst.srcA];
-    uint64_t chainStart = 0;
-    if (!src.completeAt(now)) {
-        if (!src.chainable) {
-            why = BlockReason::SourceNotReady;
-            return std::nullopt;
-        }
-        chainStart = src.prodFirst + 1;
-    }
-    if (params_.modelBankPorts &&
-        ctx.banks[vregBank(inst.srcA)].freeReadPorts(now) < 1) {
-        why = BlockReason::BankPortBusy;
-        return std::nullopt;
-    }
-    plan.unit = Plan::Unit::Mem;
-    plan.start = std::max(
-        now + static_cast<uint64_t>(params_.vectorStartup), chainStart);
-    plan.pipeUntil = plan.start + vl;
-    // Stores are fire-and-forget: the processor does not wait for the
-    // memory write to complete (paper section 3.1).
-    plan.completion = plan.start + vl;
-    return plan;
-}
-
-// ---------------------------------------------------------------------
-// Commit
-// ---------------------------------------------------------------------
-
-void
-VectorSim::commit(Context &ctx, const Plan &plan, uint64_t now)
-{
-    MTV_ASSERT(plan.windowIndex < ctx.window.size());
-    const Instruction inst = ctx.window[plan.windowIndex];
-    const uint16_t vl = std::max<uint16_t>(inst.vl, 1);
-
-    switch (plan.unit) {
-      case Plan::Unit::Scalar:
-        if (inst.dst != noReg)
-            ctx.scalarReady[inst.dst] = plan.scalarReady;
-        if (isMemory(inst.op))
-            plan.port->bus.reserve(now, 1);
-        if (inst.op == Opcode::SBranch) {
-            ctx.fetchReadyAt =
-                now + 1 + static_cast<uint64_t>(params_.branchStall);
-        }
-        break;
-
-      case Plan::Unit::Fu1:
-      case Plan::Unit::Fu2: {
-        PipeUnit &unit = plan.unit == Plan::Unit::Fu1 ? fu1_ : fu2_;
-        unit.occupy(plan.start, plan.start + vl);
-        if (plan.unit == Plan::Unit::Fu1)
-            vecOpsFu1_ += vl;
-        else
-            vecOpsFu2_ += vl;
-
-        const uint64_t readUntil = plan.start + vl;
-        for (const uint8_t src : {inst.srcA, inst.srcB}) {
-            if (src == noReg)
-                continue;
-            VRegTiming &reg = ctx.vregs[src];
-            reg.readBusy = std::max(reg.readBusy, readUntil);
-            ctx.banks[vregBank(src)].takeReadPort(now, readUntil);
-        }
-        if (inst.op == Opcode::VReduce) {
-            if (inst.dst != noReg)
-                ctx.scalarReady[inst.dst] = plan.scalarReady;
-        } else {
-            VRegTiming &dst = ctx.vregs[inst.dst];
-            dst.prodFirst = plan.prodFirst;
-            dst.writeDone = plan.writeDone;
-            dst.chainable = plan.chainableOut;
-            ctx.banks[vregBank(inst.dst)].writeUntil = plan.writeDone;
-        }
-        break;
-      }
-
-      case Plan::Unit::Mem: {
-        plan.port->pipe.occupy(plan.start, plan.pipeUntil);
-        plan.port->bus.reserve(plan.start, vl);
-        if (isLoad(inst.op)) {
-            VRegTiming &dst = ctx.vregs[inst.dst];
-            dst.prodFirst = plan.prodFirst;
-            dst.writeDone = plan.writeDone;
-            dst.chainable = plan.chainableOut;
-            ctx.banks[vregBank(inst.dst)].writeUntil = plan.writeDone;
-        } else {
-            VRegTiming &src = ctx.vregs[inst.srcA];
-            const uint64_t readUntil = plan.start + vl;
-            src.readBusy = std::max(src.readBusy, readUntil);
-            ctx.banks[vregBank(inst.srcA)].takeReadPort(now, readUntil);
-        }
-        break;
-      }
-    }
-
-    // Common accounting.
-    ++dispatches_;
-    ++ctx.stats.instructions;
-    ++ctx.stats.instructionsThisRun;
-    if (isVector(inst.op))
-        ++ctx.stats.vectorInstructions;
-    else
-        ++ctx.stats.scalarInstructions;
-    ctx.stats.lastCompletion =
-        std::max(ctx.stats.lastCompletion, plan.completion);
-    if (plan.windowIndex > 0)
-        ++decoupledSlips_;
-    ctx.window.erase(ctx.window.begin() +
-                     static_cast<ptrdiff_t>(plan.windowIndex));
-}
 
 SimStats
 VectorSim::takeStats(uint64_t cycles)
 {
     SimStats stats;
     stats.cycles = cycles;
-    for (const auto &port : memPorts_) {
+    for (const auto &port : mem_.ports()) {
         stats.memRequests += port.bus.requests();
         stats.ldBusyCycles += port.pipe.busyCycles();
     }
-    stats.memPorts = static_cast<int>(memPorts_.size());
-    stats.vecOpsFu1 = vecOpsFu1_;
-    stats.vecOpsFu2 = vecOpsFu2_;
-    stats.dispatches = dispatches_;
+    stats.memPorts = static_cast<int>(mem_.ports().size());
+    stats.vecOpsFu1 = dispatch_.vecOpsFu1();
+    stats.vecOpsFu2 = dispatch_.vecOpsFu2();
+    stats.dispatches = dispatch_.dispatches();
     stats.decodeIdle = decodeIdle_;
-    stats.decoupledSlips = decoupledSlips_;
-    stats.fu1BusyCycles = fu1_.busyCycles();
-    stats.fu2BusyCycles = fu2_.busyCycles();
+    stats.decoupledSlips = dispatch_.decoupledSlips();
+    stats.fu1BusyCycles = pipes_.fu1().busyCycles();
+    stats.fu2BusyCycles = pipes_.fu2().busyCycles();
     stats.stateHist = stateHist_;
     for (const auto &ctx : contexts_)
         stats.threads.push_back(ctx.stats);

@@ -2,7 +2,7 @@
  * @file
  * The cycle-level simulator of the (multithreaded) vector machine.
  *
- * One class models the whole design space of the paper:
+ * One facade models the whole design space of the paper:
  *  - contexts == 1 reproduces the reference Convex C3400;
  *  - contexts in 2..4 is the multithreaded architecture of section 3;
  *  - dualScalar == true is the Fujitsu VP2000-style machine of
@@ -17,6 +17,24 @@
  *    architecture (HPCA-2 1996): vector memory instructions may slip
  *    past a blocked head within a small window.
  *
+ * The machine is decomposed into components (DESIGN.md section 1):
+ * MemSystem (ports + main memory), PipelineSet (the two arithmetic
+ * pipes + joint-state accounting), DispatchUnit (pure planning +
+ * commit) and Scheduler (next-event extraction). VectorSim owns the
+ * run machinery — fetch, thread selection, termination — and drives
+ * the components through one of two kernels:
+ *
+ *  - SimKernel::Stepped evaluates decode every cycle (the historical
+ *    loop, kept as the executable specification);
+ *  - SimKernel::Event (the default) runs the same per-cycle code
+ *    while anything can dispatch, but when every context is blocked
+ *    it jumps `now` straight to the earliest pending ready-time and
+ *    integrates the per-cycle accounting over the skipped span.
+ *
+ * Both kernels produce bit-identical SimStats (guarded by
+ * tests/test_golden.cc and the CI kernel-parity job); the event
+ * kernel is simply faster the longer the memory latency.
+ *
  * Timing model summary (see DESIGN.md section 3.3): dispatch is
  * in-order per thread (except the decoupled slip), one instruction
  * per decode slot per cycle, and succeeds only when the instruction
@@ -30,14 +48,15 @@
 #ifndef MTV_CORE_SIM_HH
 #define MTV_CORE_SIM_HH
 
-#include <optional>
 #include <vector>
 
+#include "src/core/context.hh"
+#include "src/core/dispatch.hh"
 #include "src/core/metrics.hh"
-#include "src/core/resources.hh"
+#include "src/core/pipelines.hh"
+#include "src/core/scheduler.hh"
 #include "src/isa/machine_params.hh"
-#include "src/memsys/address_bus.hh"
-#include "src/memsys/main_memory.hh"
+#include "src/memsys/mem_system.hh"
 #include "src/trace/source.hh"
 
 namespace mtv
@@ -62,12 +81,28 @@ enum class RunMode : uint8_t
     JobQueue
 };
 
+/** Which advancement strategy the simulator runs. */
+enum class SimKernel : uint8_t
+{
+    /** Event-driven: skip spans where no context can dispatch. */
+    Event,
+    /** Cycle-stepped: evaluate decode every cycle (the reference). */
+    Stepped
+};
+
+/** Short name for reports and the MTV_KERNEL environment knob. */
+const char *simKernelName(SimKernel kernel);
+
 /** The multithreaded vector machine. */
 class VectorSim
 {
   public:
     /** Build a machine; @p params is validated (fatal on user error). */
-    explicit VectorSim(const MachineParams &params);
+    explicit VectorSim(const MachineParams &params,
+                       SimKernel kernel = SimKernel::Event);
+
+    VectorSim(const VectorSim &) = delete;
+    VectorSim &operator=(const VectorSim &) = delete;
 
     /**
      * Run a single program to completion on context 0 (the reference-
@@ -100,58 +135,50 @@ class VectorSim
     /** The machine description this simulator was built with. */
     const MachineParams &params() const { return params_; }
 
+    /** The advancement strategy this simulator runs. */
+    SimKernel kernel() const { return kernel_; }
+
   private:
-    /** One memory port: an address path and its data pipe. */
-    struct MemPort
-    {
-        PipeUnit pipe;
-        AddressBus bus;
-    };
-
-    /** Everything one hardware context owns. */
-    struct Context
-    {
-        InstructionSource *source = nullptr;
-        /** Fetched-but-not-dispatched instructions, program order.
-         *  Size 1 normally; up to 1+decoupleDepth when decoupled. */
-        std::vector<Instruction> window;
-        bool finished = false;        ///< no more work will be fetched
-        bool restartable = false;     ///< restart source at end-of-run
-        uint64_t fetchReadyAt = 0;    ///< branch-shadow gate
-        /** Unified S0-7 + A0-7 scoreboard, sized from the ISA widths
-         *  (indices are checked against it at fetch; see
-         *  checkOperands). */
-        uint64_t scalarReady[numSRegs + numARegs] = {};
-        VRegTiming vregs[numVRegs] = {};
-        BankPorts banks[numVRegs / 2] = {};
-        ThreadStats stats;
-        int jobIndex = -1;            ///< job currently assigned
-    };
-
-    /** A validated dispatch decision, ready to commit. */
-    struct Plan
-    {
-        enum class Unit : uint8_t { Scalar, Fu1, Fu2, Mem } unit;
-        size_t windowIndex = 0;   ///< which window entry dispatches
-        MemPort *port = nullptr;  ///< memory port (Unit::Mem)
-        uint64_t start = 0;       ///< first cycle of unit occupation
-        uint64_t pipeUntil = 0;   ///< memory pipe occupation end
-        uint64_t prodFirst = 0;   ///< first-element availability (V dst)
-        uint64_t writeDone = 0;   ///< last-element write (V dst)
-        uint64_t completion = 0;  ///< retire time for run accounting
-        uint64_t scalarReady = 0; ///< scalar dst ready time
-        bool chainableOut = false;
-    };
-
     // --- run machinery ---
     void resetMachine(RunMode mode);
-    SimStats run(RunMode mode);
+    SimStats run();
+    SimStats runStepped();
+    SimStats runEvent();
     bool done(uint64_t now) const;
-    void decodeCycle(uint64_t now);
-    void decodeSingleSlot(uint64_t now);
-    void decodeMultiSlot(uint64_t now);
-    void sampleState(uint64_t now);
+
+    /**
+     * One decode cycle: attempt dispatch on the current slot(s).
+     * Returns true when at least one instruction dispatched; on an
+     * idle cycle, scanWhy_ holds every context's block reason
+     * (BlockReason::None = ready but not holding the slot).
+     */
+    bool decodeCycle(uint64_t now);
+    bool decodeSingleSlot(uint64_t now);
+    bool decodeMultiSlot(uint64_t now);
+
+    /** Fill scanWhy_: each context's block reason at @p now. */
+    void scanContexts(uint64_t now);
+
+    /**
+     * Bulk-account the fully-blocked cycles (from, to) — the decode
+     * side of each skipped cycle, using the scanWhy_ reasons frozen
+     * over the span — plus the joint-state histogram over [from, to).
+     */
+    void accountIdleSpan(uint64_t from, uint64_t to);
+
+    /** Replicate @p steps round-robin holder advances in one go. */
+    void advanceRoundRobin(uint64_t steps);
+
+    /** Throw SimError when @p now is past the no-dispatch watchdog. */
+    void checkWatchdog(uint64_t now);
+
+    /** Build and throw the structured wedged-machine error. */
+    [[noreturn]] void throwWedged(uint64_t now);
+
     SimStats takeStats(uint64_t cycles);
+
+    /** Keep every context's fetch window primed at @p t. */
+    void primeFetch(uint64_t t);
 
     /**
      * Keep the context's fetch window filled (up to its depth, never
@@ -175,47 +202,32 @@ class VectorSim
         return 1 + static_cast<size_t>(params_.decoupleDepth);
     }
 
-    /** Pure dispatch feasibility check + timing computation. */
-    std::optional<Plan> planDispatch(const Context &ctx,
-                                     const Instruction &inst,
-                                     uint64_t now,
-                                     BlockReason &why) const;
+    /** Pick the next context for the single decode slot, using the
+     *  readiness recorded in scanWhy_ (round-robin ignores it). */
+    void switchThread();
 
-    /**
-     * Find a dispatchable instruction in the window: the head, or —
-     * when decoupling is on — a vector memory instruction that
-     * conflicts with none of the skipped entries.
-     */
-    std::optional<Plan> planAny(const Context &ctx, uint64_t now,
-                                BlockReason &why) const;
-
-    /** Commit @p plan: reserve resources, update scoreboards, stats. */
-    void commit(Context &ctx, const Plan &plan, uint64_t now);
-
-    /** Pick the next context for the single decode slot. */
-    void switchThread(uint64_t now);
-
-    bool contextReady(Context &ctx, uint64_t now);
-
-    /** Any memory pipe processing an element at @p now? */
-    bool memPipeBusyAt(uint64_t now) const;
-
-    /** Ports that serve @p op (loads vs stores vs scalar memory). */
-    const std::vector<MemPort *> &portsFor(Opcode op) const;
+    /** More than one dispatch slot per cycle on this machine? */
+    bool
+    multiSlot() const
+    {
+        return params_.dualScalar || params_.decodeWidth > 1;
+    }
 
     // --- configuration ---
     MachineParams params_;
-    MainMemory memory_;
+    SimKernel kernel_;
+
+    // --- components ---
+    MemSystem mem_;
+    PipelineSet pipes_;
+    DispatchUnit dispatch_;
+    Scheduler scheduler_;
 
     // --- shared machine state ---
-    std::vector<MemPort> memPorts_;        ///< load ports then store
-    std::vector<MemPort *> loadPortRefs_;  ///< views into memPorts_
-    std::vector<MemPort *> storePortRefs_;
-    PipeUnit fu1_;
-    PipeUnit fu2_;
     std::vector<Context> contexts_;
     int currentThread_ = 0;
     std::vector<uint64_t> lastSelected_;  ///< per context, for FairLru
+    std::vector<BlockReason> scanWhy_;    ///< per context, per cycle
 
     // --- run bookkeeping ---
     RunMode mode_ = RunMode::UntilThreadZero;
@@ -223,13 +235,10 @@ class VectorSim
     size_t nextJob_ = 0;
     uint64_t maxInstructions_ = 0;
     uint64_t lastDispatchCycle_ = 0;
+    uint64_t stallLimit_ = 0;
 
     // --- statistics ---
-    uint64_t vecOpsFu1_ = 0;
-    uint64_t vecOpsFu2_ = 0;
-    uint64_t dispatches_ = 0;
     uint64_t decodeIdle_ = 0;
-    uint64_t decoupledSlips_ = 0;
     std::array<uint64_t, numFuStates> stateHist_{};
     std::vector<JobRecord> jobRecords_;
 };

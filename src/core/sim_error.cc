@@ -1,0 +1,35 @@
+#include "src/core/sim_error.hh"
+
+#include "src/common/strutil.hh"
+
+namespace mtv
+{
+
+SimError::SimError(uint64_t cycle, uint64_t stalledCycles,
+                   std::vector<BlockedContext> contexts)
+    : std::runtime_error(buildMessage(cycle, stalledCycles, contexts)),
+      cycle_(cycle), stalledCycles_(stalledCycles),
+      contexts_(std::move(contexts))
+{
+}
+
+std::string
+SimError::buildMessage(uint64_t cycle, uint64_t stalledCycles,
+                       const std::vector<BlockedContext> &contexts)
+{
+    std::string msg = format(
+        "simulator deadlock: no dispatch for %llu cycles at cycle "
+        "%llu",
+        static_cast<unsigned long long>(stalledCycles),
+        static_cast<unsigned long long>(cycle));
+    for (const auto &ctx : contexts) {
+        msg += format("; ctx%d(%s) %s", ctx.context,
+                      ctx.program.empty() ? "-" : ctx.program.c_str(),
+                      blockReasonName(ctx.reason));
+        if (!ctx.windowHead.empty())
+            msg += format(" at '%s'", ctx.windowHead.c_str());
+    }
+    return msg;
+}
+
+} // namespace mtv

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * SimError: the structured exception a wedged simulation raises.
+ *
+ * When no context has dispatched for far longer than any legitimate
+ * stall (one memory round trip plus a full vector drain), the kernel
+ * used to panic() with a formatted string — killing the process, or
+ * in the daemon relying on string-typed error plumbing. Instead it
+ * now throws this exception, which carries the machine state a user
+ * (or the daemon's JSON error response) needs to see *why* the run
+ * wedged: per-context blocked reasons and window heads at the cycle
+ * the watchdog fired.
+ */
+
+#ifndef MTV_CORE_SIM_ERROR_HH
+#define MTV_CORE_SIM_ERROR_HH
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "src/core/metrics.hh"
+
+namespace mtv
+{
+
+/** One context's view of a wedged machine. */
+struct BlockedContext
+{
+    int context = 0;            ///< hardware context index
+    std::string program;        ///< program the context is running
+    BlockReason reason = BlockReason::NoWork;  ///< why it cannot dispatch
+    std::string windowHead;     ///< disassembly of the stuck head, if any
+    uint64_t windowDepth = 0;   ///< fetched-but-undispatched instructions
+};
+
+/** A simulation watchdog failure with per-context diagnosis. */
+class SimError : public std::runtime_error
+{
+  public:
+    SimError(uint64_t cycle, uint64_t stalledCycles,
+             std::vector<BlockedContext> contexts);
+
+    /** Cycle at which the watchdog fired. */
+    uint64_t cycle() const { return cycle_; }
+
+    /** Cycles since the last successful dispatch. */
+    uint64_t stalledCycles() const { return stalledCycles_; }
+
+    /** Per-context blocked state at the firing cycle. */
+    const std::vector<BlockedContext> &contexts() const
+    {
+        return contexts_;
+    }
+
+  private:
+    static std::string buildMessage(
+        uint64_t cycle, uint64_t stalledCycles,
+        const std::vector<BlockedContext> &contexts);
+
+    uint64_t cycle_;
+    uint64_t stalledCycles_;
+    std::vector<BlockedContext> contexts_;
+};
+
+} // namespace mtv
+
+#endif // MTV_CORE_SIM_ERROR_HH

@@ -1,0 +1,43 @@
+#include "src/memsys/mem_system.hh"
+
+namespace mtv
+{
+
+MemSystem::MemSystem(const MachineParams &params) : memory_(params)
+{
+    ports_.resize(static_cast<size_t>(params.loadPorts) +
+                  static_cast<size_t>(params.storePorts));
+    for (int i = 0; i < params.loadPorts; ++i)
+        loadPortRefs_.push_back(&ports_[i]);
+    for (int i = 0; i < params.storePorts; ++i)
+        storePortRefs_.push_back(&ports_[params.loadPorts + i]);
+}
+
+const std::vector<MemPort *> &
+MemSystem::portsFor(Opcode op) const
+{
+    if (isStore(op) && !storePortRefs_.empty())
+        return storePortRefs_;
+    return loadPortRefs_;
+}
+
+bool
+MemSystem::pipeBusyAt(uint64_t now) const
+{
+    for (const auto &port : ports_) {
+        if (port.pipe.busyAt(now))
+            return true;
+    }
+    return false;
+}
+
+void
+MemSystem::clear()
+{
+    for (auto &port : ports_) {
+        port.pipe.clear();
+        port.bus.clear();
+    }
+}
+
+} // namespace mtv

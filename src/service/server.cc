@@ -10,6 +10,7 @@
 #include <unistd.h>
 
 #include "src/common/logging.hh"
+#include "src/core/sim_error.hh"
 
 namespace mtv
 {
@@ -22,6 +23,33 @@ errorJson(const std::string &message)
 {
     Json j = Json::object();
     j.set("error", message);
+    return j;
+}
+
+/**
+ * A wedged simulation as a structured error response: the message
+ * plus machine-readable per-context blocked state, so a client can
+ * see *which* resource each context starved on without parsing the
+ * human text.
+ */
+Json
+simErrorJson(const SimError &e)
+{
+    Json j = errorJson(e.what());
+    j.set("wedged", true);
+    j.set("cycle", e.cycle());
+    j.set("stalledCycles", e.stalledCycles());
+    Json blocked = Json::array();
+    for (const BlockedContext &ctx : e.contexts()) {
+        Json b = Json::object();
+        b.set("context", static_cast<uint64_t>(ctx.context));
+        b.set("program", ctx.program);
+        b.set("reason", std::string(blockReasonName(ctx.reason)));
+        b.set("windowHead", ctx.windowHead);
+        b.set("windowDepth", ctx.windowDepth);
+        blocked.push(b);
+    }
+    j.set("blocked", blocked);
     return j;
 }
 
@@ -251,6 +279,11 @@ MtvService::handleRequest(const Json &request, LineChannel &channel)
         channel.writeLine(
             errorJson("unknown op '" + op + "'").dump());
         return true;
+    } catch (const SimError &e) {
+        // A wedged simulation is a model bug worth reporting in
+        // full, but never worth the daemon's life.
+        warn("mtvd: %s", e.what());
+        return channel.writeLine(simErrorJson(e).dump());
     } catch (const FatalError &e) {
         return channel.writeLine(errorJson(e.what()).dump());
     }

@@ -72,14 +72,16 @@ SyntheticProgram::SyntheticProgram(const ProgramSpec &spec, double scale,
     uint64_t scalarIter = 0;
     size_t kIdx = 0;
 
+    // Built locally, then published as the immutable shared stream.
+    std::vector<Instruction> instructions;
     // Reserve an estimate to avoid repeated growth.
-    instructions_.reserve(vTarget + sTarget + 1024);
+    instructions.reserve(vTarget + sTarget + 1024);
 
     while (vEmitted < vTarget || vEmitted == 0) {
         const KernelSpec &kernel = spec.kernels[kIdx];
         kIdx = (kIdx + 1) % spec.kernels.size();
 
-        emitKernel(kernel, addrCursor, rng, instructions_);
+        emitKernel(kernel, addrCursor, rng, instructions);
         vEmitted += kernel.vectorInstrsPerInvocation();
         sEmitted += kernel.scalarInstrsPerInvocation();
 
@@ -93,22 +95,25 @@ SyntheticProgram::SyntheticProgram(const ProgramSpec &spec, double scale,
             static_cast<uint64_t>(frac * static_cast<double>(sTarget));
         while (sEmitted + scalarIterationLength <= sWanted) {
             sEmitted += emitScalarIteration(scalarIter++, addrCursor,
-                                            instructions_);
+                                            instructions);
         }
     }
 
     while (sEmitted + scalarIterationLength <= sTarget) {
         sEmitted += emitScalarIteration(scalarIter++, addrCursor,
-                                        instructions_);
+                                        instructions);
     }
+
+    stream_ = std::make_shared<const std::vector<Instruction>>(
+        std::move(instructions));
 }
 
 bool
 SyntheticProgram::next(Instruction &out)
 {
-    if (pos_ >= instructions_.size())
+    if (pos_ >= stream_->size())
         return false;
-    out = instructions_[pos_++];
+    out = (*stream_)[pos_++];
     return true;
 }
 

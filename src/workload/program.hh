@@ -48,6 +48,12 @@ struct ProgramSpec
  * program name), then served like a recorded trace; reset() replays
  * the identical stream, which the restart-based speedup methodology
  * of the paper (section 4.1) relies on.
+ *
+ * The materialized stream is immutable and held by shared_ptr, so
+ * copying a SyntheticProgram is cheap: copies share the stream and
+ * carry their own cursor. makeProgram() exploits this with a
+ * process-wide stream cache — a sweep's thousandth uncached run of
+ * "flo52" costs a pointer copy, not a re-generation.
  */
 class SyntheticProgram : public InstructionSource
 {
@@ -69,17 +75,18 @@ class SyntheticProgram : public InstructionSource
     const std::string &name() const override { return name_; }
 
     /** Total instructions in one run of this program. */
-    uint64_t count() const { return instructions_.size(); }
+    uint64_t count() const { return stream_->size(); }
 
     /** Direct access for analysis without re-streaming. */
     const std::vector<Instruction> &instructions() const
     {
-        return instructions_;
+        return *stream_;
     }
 
   private:
     std::string name_;
-    std::vector<Instruction> instructions_;
+    /** Immutable generated stream, shared between copies. */
+    std::shared_ptr<const std::vector<Instruction>> stream_;
     size_t pos_ = 0;
 };
 

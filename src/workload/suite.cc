@@ -601,8 +601,38 @@ registerProgram(const ProgramSpec &spec)
 std::unique_ptr<SyntheticProgram>
 makeProgram(const std::string &nameOrAbbrev, double scale)
 {
-    return std::make_unique<SyntheticProgram>(findProgram(nameOrAbbrev),
-                                              scale);
+    const ProgramSpec &spec = findProgram(nameOrAbbrev);
+
+    // Streams are deterministic per (program, scale) and immutable
+    // once generated, and program registrations are permanent — so
+    // one generation can serve every source for the process
+    // lifetime. This is what keeps uncached sweeps cheap: the engine
+    // asks for a fresh source per run, and all but the first are a
+    // shared-pointer copy instead of a re-materialization.
+    static std::mutex cacheMutex;
+    static std::map<std::string, std::shared_ptr<const SyntheticProgram>>
+        &cache = *new std::map<std::string,
+                               std::shared_ptr<const SyntheticProgram>>;
+    // Bound pathological scale churn (e.g. a long-lived daemon fed a
+    // different scale per request); sources already handed out keep
+    // their streams alive through the shared_ptr.
+    constexpr size_t maxCachedStreams = 64;
+
+    const std::string key = format("%s|%.17g", spec.name.c_str(), scale);
+    {
+        std::lock_guard<std::mutex> lock(cacheMutex);
+        auto it = cache.find(key);
+        if (it != cache.end())
+            return std::make_unique<SyntheticProgram>(*it->second);
+    }
+    // Generate outside the lock; a concurrent duplicate generation is
+    // wasted work, not an error (first insert wins).
+    auto built = std::make_shared<const SyntheticProgram>(spec, scale);
+    std::lock_guard<std::mutex> lock(cacheMutex);
+    if (cache.size() >= maxCachedStreams)
+        cache.clear();
+    auto inserted = cache.emplace(key, built);
+    return std::make_unique<SyntheticProgram>(*inserted.first->second);
 }
 
 const std::vector<std::string> &

@@ -251,6 +251,35 @@ TEST(Engine, UncachedModeNeverHits)
     expectSameStats(a.stats, b.stats);
 }
 
+TEST(Engine, KernelSelectionIsBitIdentical)
+{
+    // The A/B knob behind the event-driven kernel: an engine pinned
+    // to the stepped reference must reproduce the default engine's
+    // stats field for field, on every run methodology.
+    const std::vector<RunSpec> specs = {
+        RunSpec::single("flo52", MachineParams::reference(),
+                        testScale),
+        RunSpec::group({"swm256", "tomcatv"},
+                       MachineParams::multithreaded(2), testScale),
+        RunSpec::jobQueue({"trfd", "dyfesm", "flo52"},
+                          MachineParams::multithreaded(3), testScale),
+    };
+    EngineOptions stepped;
+    stepped.workers = 1;
+    stepped.kernel = SimKernel::Stepped;
+    EngineOptions event;
+    event.workers = 1;
+    event.kernel = SimKernel::Event;
+    ExperimentEngine a(stepped);
+    ExperimentEngine b(event);
+    EXPECT_EQ(a.kernel(), SimKernel::Stepped);
+    EXPECT_EQ(b.kernel(), SimKernel::Event);
+    for (const RunSpec &spec : specs) {
+        SCOPED_TRACE(spec.canonical());
+        expectSameStats(a.run(spec).stats, b.run(spec).stats);
+    }
+}
+
 // ---------------------------------------------------------------------
 // ExperimentEngine: determinism across worker counts
 // ---------------------------------------------------------------------

@@ -10,6 +10,7 @@
 
 #include "src/core/metrics.hh"
 #include "src/core/resources.hh"
+#include "src/core/sim_error.hh"
 
 namespace mtv
 {
@@ -64,6 +65,96 @@ TEST(Metrics, IdleFractionCountsLdClearStates)
     s.stateHist[1] = 25;   // LD only
     s.stateHist[7] = 25;   // all busy
     EXPECT_DOUBLE_EQ(s.memPortIdleFraction(), 0.5);
+}
+
+/**
+ * Span integration must agree exactly with per-cycle sampling for
+ * arbitrary overlapping unit occupations — this is what lets the
+ * event kernel account the (FU2, FU1, LD) histogram over skipped
+ * idle spans.
+ */
+TEST(Metrics, JointStateIntegrationMatchesSampling)
+{
+    // FU2 busy [3, 9), FU1 busy [5, 7), two LD pipes [0, 4) and
+    // [2, 11) (the LD bit is their OR).
+    const UnitSpan units[] = {
+        {2, 3, 9}, {1, 5, 7}, {0, 0, 4}, {0, 2, 11}};
+    const size_t count = sizeof(units) / sizeof(units[0]);
+
+    std::array<uint64_t, numFuStates> sampled{};
+    for (uint64_t cycle = 1; cycle < 14; ++cycle) {
+        int bits = 0;
+        for (const auto &u : units) {
+            if (u.from <= cycle && cycle < u.until)
+                bits |= 1 << u.bit;
+        }
+        ++sampled[static_cast<size_t>(bits)];
+    }
+
+    std::array<uint64_t, numFuStates> integrated{};
+    accumulateJointStates(integrated, 1, 14, units, count);
+    EXPECT_EQ(integrated, sampled);
+
+    // Splitting the span anywhere must not change the totals.
+    std::array<uint64_t, numFuStates> split{};
+    accumulateJointStates(split, 1, 6, units, count);
+    accumulateJointStates(split, 6, 14, units, count);
+    EXPECT_EQ(split, sampled);
+
+    // Empty and inverted spans are no-ops.
+    std::array<uint64_t, numFuStates> empty{};
+    accumulateJointStates(empty, 5, 5, units, count);
+    accumulateJointStates(empty, 7, 3, units, count);
+    for (const uint64_t v : empty)
+        EXPECT_EQ(v, 0u);
+}
+
+TEST(Metrics, SimErrorCarriesBlockedContexts)
+{
+    std::vector<BlockedContext> blocked;
+    blocked.push_back({0, "flo52", BlockReason::MemPortBusy,
+                       "vload v1, 0x100", 1});
+    blocked.push_back({1, "tomcatv", BlockReason::SourceNotReady,
+                       "", 0});
+    const SimError err(123456, 2000, blocked);
+    EXPECT_EQ(err.cycle(), 123456u);
+    EXPECT_EQ(err.stalledCycles(), 2000u);
+    ASSERT_EQ(err.contexts().size(), 2u);
+    EXPECT_EQ(err.contexts()[0].reason, BlockReason::MemPortBusy);
+    EXPECT_EQ(err.contexts()[1].program, "tomcatv");
+    const std::string what = err.what();
+    EXPECT_NE(what.find("deadlock"), std::string::npos);
+    EXPECT_NE(what.find("mem-port-busy"), std::string::npos);
+    EXPECT_NE(what.find("flo52"), std::string::npos);
+    EXPECT_NE(what.find("2000"), std::string::npos);
+}
+
+TEST(Resources, ReportedNextEvents)
+{
+    VRegTiming reg;
+    reg.writeDone = 40;
+    reg.readBusy = 25;
+    EXPECT_EQ(reg.nextEventAfter(10), 25u);
+    EXPECT_EQ(reg.nextEventAfter(25), 40u);
+    EXPECT_EQ(reg.nextEventAfter(40), 0u);
+
+    BankPorts bank;
+    bank.readUntil[0] = 8;
+    bank.readUntil[1] = 12;
+    bank.writeUntil = 10;
+    EXPECT_EQ(bank.nextEventAfter(0), 8u);
+    EXPECT_EQ(bank.nextEventAfter(8), 10u);
+    EXPECT_EQ(bank.nextEventAfter(11), 12u);
+    EXPECT_EQ(bank.nextEventAfter(12), 0u);
+
+    EventMin em(10);
+    em.consider(9);   // not pending
+    em.consider(10);  // not strictly after
+    EXPECT_EQ(em.next, 0u);
+    em.consider(40);
+    em.consider(15);
+    em.consider(20);
+    EXPECT_EQ(em.next, 15u);
 }
 
 TEST(Resources, PipeUnitOccupancy)
