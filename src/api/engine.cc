@@ -135,10 +135,15 @@ ExperimentEngine::runAll(const std::vector<RunSpec> &specs)
 }
 
 std::future<RunResult>
-ExperimentEngine::submit(const RunSpec &spec)
+ExperimentEngine::submit(const RunSpec &spec, SubmitHook hook)
 {
     auto task = std::make_shared<std::packaged_task<RunResult()>>(
-        [this, spec] { return execute(spec); });
+        [this, spec, hook = std::move(hook)] {
+            RunResult result = execute(spec);
+            if (hook)
+                hook(result);
+            return result;
+        });
     std::future<RunResult> future = task->get_future();
     if (insideWorker) {
         (*task)();

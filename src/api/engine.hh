@@ -140,14 +140,28 @@ class ExperimentEngine
     std::vector<RunResult> runAll(const std::vector<RunSpec> &specs);
 
     /**
+     * Progress hook of the streaming submit(): invoked once per
+     * submitted spec, on the worker thread that completed it, right
+     * before the future becomes ready. Hooks must be cheap and must
+     * not throw (an error would unwind the worker loop) — they exist
+     * so a caller juggling many in-flight batches (the mtvd sweep
+     * protocol) can count completions without blocking on futures.
+     * When the spec itself fails, the hook is skipped and the error
+     * surfaces through the future.
+     */
+    using SubmitHook = std::function<void(const RunResult &)>;
+
+    /**
      * Enqueue one spec on the worker pool and return a future for its
      * result — the streaming form of runAll(): submit a batch spec by
      * spec, then get() the futures in submission order to consume
      * results as they finish. Safe from any thread; on a worker
      * thread the spec executes inline (a queued task waiting on
-     * queued tasks would deadlock the pool).
+     * queued tasks would deadlock the pool). An optional @p hook is
+     * called on completion (see SubmitHook).
      */
-    std::future<RunResult> submit(const RunSpec &spec);
+    std::future<RunResult> submit(const RunSpec &spec,
+                                  SubmitHook hook = nullptr);
 
     /**
      * Drop every task still waiting in the queue; tasks already

@@ -136,6 +136,72 @@ suiteGroupingSweep(double scale)
     return sweep;
 }
 
+const std::vector<int> &
+sweepLatencies()
+{
+    static const std::vector<int> lats = {1, 20, 40, 50, 60, 80, 100};
+    return lats;
+}
+
+const std::vector<SweepFamilyInfo> &
+sweepFamilies()
+{
+    static const std::vector<SweepFamilyInfo> families = {
+        {"suite-grouping",
+         "every Table 2 grouping of every suite program at 2/3/4 "
+         "contexts (Figures 6-8; 250 group runs)"},
+        {"groupings",
+         "every Table 2 grouping of one program at a given context "
+         "count (one figure bar)"},
+        {"latency",
+         "a job-queue run per memory latency (Figure 10)"},
+    };
+    return families;
+}
+
+SweepBuilder
+expandSweep(const SweepRequest &request)
+{
+    if (request.scale <= 0)
+        fatal("sweep scale must be positive, got %g", request.scale);
+
+    if (request.family == "suite-grouping")
+        return suiteGroupingSweep(request.scale);
+
+    if (request.family == "groupings") {
+        if (request.program.empty())
+            fatal("sweep family 'groupings' needs a program");
+        if (request.contexts == 0)
+            fatal("sweep family 'groupings' needs contexts (2..4)");
+        SweepBuilder sweep(request.scale);
+        sweep.addGroupings(
+            request.program, request.contexts,
+            MachineParams::multithreaded(request.contexts));
+        return sweep;
+    }
+
+    if (request.family == "latency") {
+        const std::vector<std::string> &jobs =
+            request.jobs.empty() ? jobQueueOrder() : request.jobs;
+        const std::vector<int> &latencies =
+            request.latencies.empty() ? sweepLatencies()
+                                      : request.latencies;
+        const int contexts =
+            request.contexts == 0 ? 4 : request.contexts;
+        for (const int lat : latencies) {
+            if (lat <= 0)
+                fatal("sweep latency must be positive, got %d", lat);
+        }
+        SweepBuilder sweep(request.scale);
+        sweep.addLatencySweep(jobs,
+                              MachineParams::multithreaded(contexts),
+                              latencies, "latency");
+        return sweep;
+    }
+
+    fatal("unknown sweep family '%s'", request.family.c_str());
+}
+
 SweepBuilder &
 SweepBuilder::addLatencySweep(const std::vector<std::string> &jobs,
                               const MachineParams &params,

@@ -70,6 +70,63 @@ class SweepBuilder;
  */
 SweepBuilder suiteGroupingSweep(double scale = workloadDefaultScale);
 
+/** Memory latencies swept in Figures 10-12. */
+const std::vector<int> &sweepLatencies();
+
+// ---------------------------------------------------------------------
+// Named sweep families — the server-side expansion registry.
+// ---------------------------------------------------------------------
+
+/**
+ * Parameters of one named sweep: what a protocol client sends
+ * (~100 bytes) instead of a fully expanded RunSpec batch. The daemon
+ * expands it through expandSweep(); which fields matter depends on
+ * the family (unused ones are ignored). Deliberately JSON-free so the
+ * registry lives in the api layer, below the service.
+ */
+struct SweepRequest
+{
+    /** Registered family name (see sweepFamilies()). */
+    std::string family;
+    /** Workload scale of every expanded spec. */
+    double scale = workloadDefaultScale;
+    /** "groupings": the measured program (thread 0). */
+    std::string program;
+    /** "groupings": 2..4, required (every slice is one program at
+     *  one context count); "latency": context count of the
+     *  multithreaded machine (0 = 4, the paper's largest). */
+    int contexts = 0;
+    /** "latency": the job list (empty = the paper's ten-benchmark
+     *  job-queue order). */
+    std::vector<std::string> jobs;
+    /** "latency": memory latencies (empty = sweepLatencies()). */
+    std::vector<int> latencies;
+};
+
+/** One registered family: its name and what it expands to. */
+struct SweepFamilyInfo
+{
+    std::string name;
+    std::string description;
+};
+
+/**
+ * The registered families:
+ *   suite-grouping  every Table 2 grouping of every suite program at
+ *                   2/3/4 contexts (Figures 6-8; 250 group runs)
+ *   groupings       every Table 2 grouping of one program at a given
+ *                   context count (one figure bar)
+ *   latency         a job-queue run per memory latency (Figure 10)
+ */
+const std::vector<SweepFamilyInfo> &sweepFamilies();
+
+/**
+ * Expand @p request through its family into specs + slices.
+ * fatal()s on an unknown family or missing/invalid parameters — the
+ * daemon turns that into a protocol error for the offending client.
+ */
+SweepBuilder expandSweep(const SweepRequest &request);
+
 /** Builds a RunSpec batch plus the slice map over it. */
 class SweepBuilder
 {

@@ -21,11 +21,4 @@ figure4Latencies()
     return lats;
 }
 
-const std::vector<int> &
-sweepLatencies()
-{
-    static const std::vector<int> lats = {1, 20, 40, 50, 60, 80, 100};
-    return lats;
-}
-
 } // namespace mtv

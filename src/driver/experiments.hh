@@ -33,8 +33,9 @@ ProgramAverages averagesFor(Runner &runner, const std::string &program,
 /** Memory latencies used in Figures 4 and 5: 1, 20, 70, 100. */
 const std::vector<int> &figure4Latencies();
 
-/** Memory latencies swept in Figures 10-12. */
-const std::vector<int> &sweepLatencies();
+// sweepLatencies() (Figures 10-12) moved to src/api/sweep.hh so the
+// service's named "latency" sweep family can default to it; it is
+// re-exported here through that include.
 
 } // namespace mtv
 

@@ -31,9 +31,11 @@ defaultSocketPath()
 }
 
 Json
-resultToJson(const RunResult &result, size_t seq, bool includeBlob)
+resultToJson(const RunResult &result, uint64_t id, size_t seq,
+             bool includeBlob, const std::string *serialized)
 {
     Json line = Json::object();
+    line.set("id", id);
     line.set("seq", static_cast<uint64_t>(seq));
     line.set("spec", result.spec.canonical());
     line.set("cached", result.cached);
@@ -49,9 +51,83 @@ resultToJson(const RunResult &result, size_t seq, bool includeBlob)
         line.set("mthVopc", result.mthVopc);
         line.set("refVopc", result.refVopc);
     }
-    if (includeBlob)
-        line.set("blob", hexEncode(serializeSimStats(result.stats)));
+    if (includeBlob) {
+        line.set("blob",
+                 hexEncode(serialized
+                               ? *serialized
+                               : serializeSimStats(result.stats)));
+    }
     return line;
+}
+
+Json
+sweepRequestToJson(const SweepRequest &request)
+{
+    Json j = Json::object();
+    j.set("family", request.family);
+    j.set("scale", request.scale);
+    if (!request.program.empty())
+        j.set("program", request.program);
+    if (request.contexts != 0)
+        j.set("contexts", request.contexts);
+    if (!request.jobs.empty()) {
+        Json jobs = Json::array();
+        for (const auto &job : request.jobs)
+            jobs.push(job);
+        j.set("jobs", std::move(jobs));
+    }
+    if (!request.latencies.empty()) {
+        Json lats = Json::array();
+        for (const int lat : request.latencies)
+            lats.push(lat);
+        j.set("latencies", std::move(lats));
+    }
+    return j;
+}
+
+SweepRequest
+sweepRequestFromJson(const Json &request)
+{
+    SweepRequest out;
+    out.family = request.getString("family");
+    if (out.family.empty())
+        fatal("sweep request names no family");
+    out.scale = request.getNumber("scale", workloadDefaultScale);
+    out.program = request.getString("program");
+    out.contexts =
+        static_cast<int>(request.getNumber("contexts", 0));
+    if (request.has("jobs")) {
+        for (const Json &job : request.get("jobs").asArray())
+            out.jobs.push_back(job.asString());
+    }
+    if (request.has("latencies")) {
+        for (const Json &lat : request.get("latencies").asArray())
+            out.latencies.push_back(
+                static_cast<int>(lat.asNumber()));
+    }
+    return out;
+}
+
+Json
+sliceToJson(const SweepSlice &slice)
+{
+    Json j = Json::object();
+    j.set("label", slice.label);
+    j.set("contexts", slice.contexts);
+    j.set("first", static_cast<uint64_t>(slice.first));
+    j.set("count", static_cast<uint64_t>(slice.count));
+    return j;
+}
+
+SweepSlice
+sliceFromJson(const Json &json)
+{
+    SweepSlice slice;
+    slice.label = json.getString("label");
+    slice.contexts = static_cast<int>(json.getNumber("contexts"));
+    slice.first = json.get("first").asU64();
+    slice.count = json.get("count").asU64();
+    return slice;
 }
 
 Json
@@ -75,11 +151,13 @@ storeStatsToJson(const ResultStore &store)
     Json j = Json::object();
     j.set("directory", store.directory());
     j.set("records", static_cast<uint64_t>(store.size()));
+    j.set("shards", static_cast<uint64_t>(s.shards));
     j.set("segments", static_cast<uint64_t>(s.segments));
     j.set("staleSegments", static_cast<uint64_t>(s.staleSegments));
     j.set("badSegments", static_cast<uint64_t>(s.badSegments));
     j.set("loadedRecords", s.loadedRecords);
     j.set("droppedRecords", s.droppedRecords);
+    j.set("migratedRecords", s.migratedRecords);
     j.set("appends", s.appends);
     j.set("hits", s.hits);
     j.set("misses", s.misses);

@@ -1,31 +1,57 @@
 /**
  * @file
  * The mtvd wire protocol: newline-delimited JSON objects over a
- * stream socket, one request or response per line.
+ * stream socket. Since v2 the protocol is *multiplexed and
+ * streaming*: a client tags each batch request with an `id`, may keep
+ * several requests in flight on one connection, and receives each
+ * point's result as a separate id-tagged line as it completes.
  *
  * Requests (client -> server):
  *   {"op":"ping"}
- *   {"op":"run","specs":["<RunSpec::canonical()>",...],"quiet":b}
+ *   {"op":"run","id":n,"specs":["<RunSpec::canonical()>",...],
+ *    "quiet":b}
+ *   {"op":"sweep","id":n,"family":"<name>","scale":g,"quiet":b,
+ *    "program":"...","contexts":n,"jobs":[...],"latencies":[...]}
+ *     — a named sweep family (see sweepFamilies()), expanded
+ *     *server-side*: the client sends ~100 bytes naming the sweep
+ *     instead of megabytes of expanded specs. Family-specific fields
+ *     beyond "family" and "scale" are optional.
  *   {"op":"stats"}
  *   {"op":"clear"}
  *   {"op":"shutdown"}
  *
- * Responses (server -> client):
- *   run: one line per spec, streamed in submission order as results
- *     finish —
- *       {"seq":i,"spec":"...","cached":b,"store":b,"cycles":n,
- *        "dispatches":n,"speedup":x,...,"blob":"<hex>"}
+ * Responses (server -> client). Lines for *different* request ids
+ * interleave arbitrarily; lines for one id arrive in submission
+ * order, numbered by "seq":
+ *   sweep ack (first line of a sweep response — the expansion's
+ *     shape, so the client can track progress and map results back
+ *     to figure bars):
+ *       {"id":n,"ack":true,"count":c,
+ *        "slices":[{"label":s,"contexts":k,"first":i,"count":m},...]}
+ *   run / sweep result, one line per spec as results finish:
+ *       {"id":n,"seq":i,"spec":"...","cached":b,"store":b,
+ *        "cycles":x,"dispatches":x,"speedup":x,...,"blob":"<hex>"}
  *     ("blob" is the full hex-encoded serializeSimStats() record and
  *     is omitted for quiet requests) — then a terminator
- *       {"done":true,"count":n,"simulated":a,"cacheServed":b,
- *        "storeServed":c}
+ *       {"id":n,"done":true,"count":c,"simulated":a,"cacheServed":b,
+ *        "storeServed":c2,"digest":"<16 hex>"}
+ *     where "digest" is FNV-1a folded over the canonical stats blobs
+ *     in submission order — computed server-side, so even quiet
+ *     requests get the bit-identity check.
  *   ping / stats / clear / shutdown: one {"ok":true,...} object.
- *   any error: {"error":"message"} (the connection stays open).
+ *   any error: {"error":"message","id":n?} (the connection stays
+ *     open; "id" is present when the error belongs to one request).
  *
- * Identical specs submitted concurrently — by one client or many —
- * coalesce onto a single simulation inside the engine; the protocol
- * needs no request ids because each connection's requests are
- * answered strictly in order.
+ * Backpressure: a connection may have at most
+ * maxInflightRequestsPerConnection batch requests streaming; the
+ * server stops reading further requests until a slot frees, which
+ * pushes back through the socket's receive buffer. Result lines are
+ * written as futures complete, so a slow reader throttles its own
+ * sweeps without buffering results in daemon memory.
+ *
+ * Identical specs submitted concurrently — by one request, several
+ * in-flight sweeps, or many clients — coalesce onto a single
+ * simulation inside the engine.
  */
 
 #ifndef MTV_SERVICE_PROTOCOL_HH
@@ -34,6 +60,7 @@
 #include <string>
 
 #include "src/api/engine.hh"
+#include "src/api/sweep.hh"
 #include "src/service/json.hh"
 #include "src/store/result_store.hh"
 
@@ -41,18 +68,38 @@ namespace mtv
 {
 
 /** Protocol revision spoken by this build (bump on changes). */
-constexpr int serviceProtocolVersion = 1;
+constexpr int serviceProtocolVersion = 2;
+
+/** Batch requests one connection may keep streaming concurrently;
+ *  further requests are not read until a slot frees (backpressure). */
+constexpr int maxInflightRequestsPerConnection = 8;
 
 /** Default daemon socket path (overridden by --socket / MTV_SOCKET). */
 const char *defaultSocketPath();
 
 /**
- * One result line of a "run" response. @p includeBlob attaches the
+ * One result line of a streamed response. @p includeBlob attaches the
  * hex serializeSimStats() blob (lossless; JSON numbers alone could
- * not round-trip 64-bit counters).
+ * not round-trip 64-bit counters); a caller that already serialized
+ * the stats (the daemon folds the digest over the same bytes) passes
+ * them as @p serialized to skip re-encoding.
  */
-Json resultToJson(const RunResult &result, size_t seq,
-                  bool includeBlob);
+Json resultToJson(const RunResult &result, uint64_t id, size_t seq,
+                  bool includeBlob,
+                  const std::string *serialized = nullptr);
+
+/** Encode a named-sweep request ("op","id","quiet" added by caller). */
+Json sweepRequestToJson(const SweepRequest &request);
+
+/** Decode the family fields of a sweep request line. fatal()s on
+ *  malformed fields (the daemon answers that as a protocol error). */
+SweepRequest sweepRequestFromJson(const Json &request);
+
+/** One slice of a sweep ack line. */
+Json sliceToJson(const SweepSlice &slice);
+
+/** Inverse of sliceToJson(). */
+SweepSlice sliceFromJson(const Json &json);
 
 /** Engine counters as the "cache" member of a stats response. */
 Json engineStatsToJson(const ExperimentEngine &engine);
@@ -62,8 +109,9 @@ Json storeStatsToJson(const ResultStore &store);
 
 /**
  * Buffered line IO over a connected stream socket — the framing layer
- * both ends of the protocol share. Not thread-safe; one channel per
- * connection per thread.
+ * both ends of the protocol share. Not thread-safe; writers on
+ * several threads must serialize (the server wraps writes in a
+ * per-connection mutex).
  */
 class LineChannel
 {

@@ -2,6 +2,8 @@
 
 #include <cerrno>
 #include <chrono>
+#include <cmath>
+#include <condition_variable>
 #include <cstring>
 #include <thread>
 
@@ -10,7 +12,9 @@
 #include <unistd.h>
 
 #include "src/common/logging.hh"
+#include "src/common/strutil.hh"
 #include "src/core/sim_error.hh"
+#include "src/store/stats_codec.hh"
 
 namespace mtv
 {
@@ -26,6 +30,15 @@ errorJson(const std::string &message)
     return j;
 }
 
+/** An error that belongs to one multiplexed request. */
+Json
+requestErrorJson(uint64_t id, const std::string &message)
+{
+    Json j = errorJson(message);
+    j.set("id", id);
+    return j;
+}
+
 /**
  * A wedged simulation as a structured error response: the message
  * plus machine-readable per-context blocked state, so a client can
@@ -33,9 +46,9 @@ errorJson(const std::string &message)
  * human text.
  */
 Json
-simErrorJson(const SimError &e)
+simErrorJson(uint64_t id, const SimError &e)
 {
-    Json j = errorJson(e.what());
+    Json j = requestErrorJson(id, e.what());
     j.set("wedged", true);
     j.set("cycle", e.cycle());
     j.set("stalledCycles", e.stalledCycles());
@@ -53,6 +66,23 @@ simErrorJson(const SimError &e)
     return j;
 }
 
+/**
+ * The request id, tolerating absent or malformed ids (0): the id
+ * must be extractable even on the error path, where fatal() no
+ * longer throws.
+ */
+uint64_t
+safeRequestId(const Json &request)
+{
+    const Json &id = request.get("id");
+    if (id.type() != Json::Type::Number)
+        return 0;
+    const double v = id.asNumber();
+    if (v < 0 || v != std::floor(v) || v > 9.007199254740992e15)
+        return 0;
+    return static_cast<uint64_t>(v);
+}
+
 sockaddr_un
 socketAddress(const std::string &path)
 {
@@ -68,13 +98,79 @@ socketAddress(const std::string &path)
 
 } // namespace
 
+/**
+ * Everything one connection's read loop shares with its streaming
+ * threads: the channel (writes serialized by writeMutex), the batch
+ * slot accounting, and the streaming threads themselves (joined by
+ * the read loop before the connection closes).
+ */
+struct MtvService::ClientState
+{
+    explicit ClientState(int fd) : channel(fd) {}
+
+    /** Thread-safe line write; false when the peer is gone. */
+    bool
+    write(const std::string &line)
+    {
+        std::lock_guard<std::mutex> lock(writeMutex);
+        if (writeFailed.load())
+            return false;
+        if (!channel.writeLine(line)) {
+            // Sticky: once the peer is gone, the read loop must stop
+            // admitting its pipelined requests (simulating batches
+            // nobody can receive) and close the connection.
+            writeFailed.store(true);
+            return false;
+        }
+        return true;
+    }
+
+    LineChannel channel;
+    std::mutex writeMutex;
+    std::atomic<bool> writeFailed{false};
+
+    std::mutex slotMutex;
+    std::condition_variable slotCv;
+    /** Batch requests currently streaming on this connection. */
+    int inflight = 0;
+    /** Ids of streams that finished and await a cheap join (guarded
+     *  by slotMutex; reaped whenever a new batch is admitted, so a
+     *  long-lived connection never accumulates dead threads). */
+    std::vector<uint64_t> retired;
+
+    /** One thread per admitted batch request, keyed by stream id
+     *  (touched only by the read thread). */
+    std::unordered_map<uint64_t, std::thread> streams;
+    uint64_t nextStreamId = 0;
+
+    /** Join streams listed in retired. Read thread only. */
+    void
+    reapRetired()
+    {
+        std::vector<uint64_t> done;
+        {
+            std::lock_guard<std::mutex> lock(slotMutex);
+            done.swap(retired);
+        }
+        for (const uint64_t id : done) {
+            auto it = streams.find(id);
+            if (it != streams.end()) {
+                it->second.join();
+                streams.erase(it);
+            }
+        }
+    }
+};
+
 MtvService::MtvService(ServiceOptions options)
 {
     socketPath_ = options.socketPath.empty() ? defaultSocketPath()
                                              : options.socketPath;
 
-    if (!options.storeDir.empty())
-        store_ = std::make_shared<ResultStore>(options.storeDir);
+    if (!options.storeDir.empty()) {
+        store_ = std::make_shared<ResultStore>(options.storeDir,
+                                               options.storeShards);
+    }
 
     EngineOptions engineOptions;
     engineOptions.workers = options.workers;
@@ -129,8 +225,9 @@ void
 MtvService::teardownClients()
 {
     // Bound shutdown latency: queued-but-unstarted engine work is
-    // dropped (its futures break, which handleRun treats as "client
-    // abandoned"); only the simulations already running finish.
+    // dropped (its futures break, which the streaming threads treat
+    // as "shutting down"); only the simulations already running
+    // finish.
     const size_t dropped = engine_->discardQueued();
     if (dropped > 0) {
         inform("mtvd: dropped %zu queued runs at shutdown",
@@ -203,20 +300,28 @@ MtvService::stop()
 void
 MtvService::handleConnection(int fd)
 {
-    LineChannel channel(fd);
+    ClientState client(fd);
     std::string line;
-    while (!stopping_.load() && channel.readLine(&line)) {
+    while (!stopping_.load() && !client.writeFailed.load() &&
+           client.channel.readLine(&line)) {
         if (line.empty())
             continue;
         Json request;
         std::string parseError;
         if (!Json::parse(line, &request, &parseError)) {
-            if (!channel.writeLine(errorJson(parseError).dump()))
+            if (!client.write(errorJson(parseError).dump()))
                 break;
             continue;
         }
-        if (!handleRequest(request, channel))
+        if (!handleRequest(request, client))
             break;
+    }
+    // In-flight batches drain before the channel closes: their
+    // threads hold pointers into this stack frame. A gone peer makes
+    // their writes fail fast; daemon shutdown breaks their futures.
+    for (auto &stream : client.streams) {
+        if (stream.second.joinable())
+            stream.second.join();
     }
     // Move our own thread handle to the finished list (joined by the
     // accept loop or teardown) while the descriptor is still open, so
@@ -232,95 +337,202 @@ MtvService::handleConnection(int fd)
 }
 
 bool
-MtvService::handleRequest(const Json &request, LineChannel &channel)
+MtvService::handleRequest(const Json &request, ClientState &client)
 {
     try {
         // Client input flows through fatal()-reporting validation
-        // (JSON shape, RunSpec::parse, findProgram); a user error
-        // must answer this client, not kill the daemon.
+        // (JSON shape, RunSpec::parse, findProgram, expandSweep); a
+        // user error must answer this client, not kill the daemon.
         ScopedFatalAsException fatalScope;
 
         const std::string op = request.getString("op");
         if (op == "run")
-            return handleRun(request, channel);
+            return handleRun(request, client);
+        if (op == "sweep")
+            return handleSweep(request, client);
         if (op == "ping") {
             Json ok = Json::object();
             ok.set("ok", true);
             ok.set("pong", true);
             ok.set("protocol", serviceProtocolVersion);
             ok.set("workers", engine_->workers());
-            return channel.writeLine(ok.dump());
+            Json families = Json::array();
+            for (const SweepFamilyInfo &family : sweepFamilies())
+                families.push(family.name);
+            ok.set("sweepFamilies", std::move(families));
+            return client.write(ok.dump());
         }
         if (op == "stats") {
             Json ok = Json::object();
             ok.set("ok", true);
             ok.set("workers", engine_->workers());
+            Json service = Json::object();
+            service.set("activeRequests", activeRequests_.load());
+            service.set("completedPoints", completedPoints_.load());
+            ok.set("service", std::move(service));
             ok.set("cache", engineStatsToJson(*engine_));
             ok.set("store",
                    store_ ? storeStatsToJson(*store_) : Json());
-            return channel.writeLine(ok.dump());
+            return client.write(ok.dump());
         }
         if (op == "clear") {
             engine_->clear();
             Json ok = Json::object();
             ok.set("ok", true);
             ok.set("cleared", true);
-            return channel.writeLine(ok.dump());
+            return client.write(ok.dump());
         }
         if (op == "shutdown") {
             Json ok = Json::object();
             ok.set("ok", true);
             ok.set("stopping", true);
-            channel.writeLine(ok.dump());
+            client.write(ok.dump());
             inform("mtvd: shutdown requested by client");
             stop();
             return false;
         }
-        channel.writeLine(
-            errorJson("unknown op '" + op + "'").dump());
+        client.write(errorJson("unknown op '" + op + "'").dump());
         return true;
-    } catch (const SimError &e) {
-        // A wedged simulation is a model bug worth reporting in
-        // full, but never worth the daemon's life.
-        warn("mtvd: %s", e.what());
-        return channel.writeLine(simErrorJson(e).dump());
     } catch (const FatalError &e) {
-        return channel.writeLine(errorJson(e.what()).dump());
+        // Validation failed before a batch was admitted; a request
+        // id, when present, routes the error to its sender.
+        Json j = errorJson(e.what());
+        if (request.has("id"))
+            j.set("id", safeRequestId(request));
+        return client.write(j.dump());
     }
 }
 
 bool
-MtvService::handleRun(const Json &request, LineChannel &channel)
+MtvService::acquireSlot(ClientState &client)
 {
-    const std::vector<Json> &specLines = request.get("specs").asArray();
+    // The protocol's backpressure: with every slot streaming, the
+    // read loop parks here, stops draining the socket, and the
+    // client's sends eventually block.
+    std::unique_lock<std::mutex> lock(client.slotMutex);
+    client.slotCv.wait(lock, [this, &client] {
+        return stopping_.load() || client.writeFailed.load() ||
+               client.inflight < maxInflightRequestsPerConnection;
+    });
+    if (stopping_.load() || client.writeFailed.load())
+        return false;
+    ++client.inflight;
+    return true;
+}
+
+bool
+MtvService::handleRun(const Json &request, ClientState &client)
+{
+    const uint64_t id = safeRequestId(request);
+    const std::vector<Json> &specLines =
+        request.get("specs").asArray();
     const bool quiet = request.getBool("quiet", false);
 
     // Validate the whole batch before running any of it: a malformed
-    // spec answers with one error and no partial results.
+    // spec answers with one error and no results.
     std::vector<RunSpec> specs;
     specs.reserve(specLines.size());
     for (const Json &text : specLines)
         specs.push_back(RunSpec::parse(text.asString()));
 
-    // Stream in submission order: specs fan out across the shared
-    // worker pool; identical in-flight specs (same batch or another
-    // client's) coalesce inside the engine.
+    if (!acquireSlot(client))
+        return false;
+    client.reapRetired();
+    const uint64_t streamId = client.nextStreamId++;
+    client.streams.emplace(
+        streamId,
+        std::thread([this, &client, streamId, id,
+                     specs = std::move(specs), quiet]() mutable {
+            streamBatch(client, streamId, id, std::move(specs),
+                        quiet);
+        }));
+    return true;
+}
+
+bool
+MtvService::handleSweep(const Json &request, ClientState &client)
+{
+    const uint64_t id = safeRequestId(request);
+    const bool quiet = request.getBool("quiet", false);
+
+    // Server-side expansion: the ~100-byte family request becomes the
+    // full spec batch here, next to the engine, instead of being
+    // serialized by every client.
+    SweepBuilder sweep = expandSweep(sweepRequestFromJson(request));
+
+    Json ack = Json::object();
+    ack.set("id", id);
+    ack.set("ack", true);
+    ack.set("count", static_cast<uint64_t>(sweep.size()));
+    Json slices = Json::array();
+    for (const SweepSlice &slice : sweep.slices())
+        slices.push(sliceToJson(slice));
+    ack.set("slices", std::move(slices));
+    if (!client.write(ack.dump()))
+        return false;
+
+    if (!acquireSlot(client))
+        return false;
+    client.reapRetired();
+    const uint64_t streamId = client.nextStreamId++;
+    client.streams.emplace(
+        streamId,
+        std::thread([this, &client, streamId, id,
+                     specs = sweep.take(), quiet]() mutable {
+            streamBatch(client, streamId, id, std::move(specs),
+                        quiet);
+        }));
+    return true;
+}
+
+void
+MtvService::streamBatch(ClientState &client, uint64_t streamId,
+                        uint64_t id, std::vector<RunSpec> specs,
+                        bool quiet)
+{
+    activeRequests_.fetch_add(1);
+
+    // Fan the whole batch out up front — identical points of other
+    // in-flight requests coalesce inside the engine — then consume
+    // the futures in submission order, writing each line as its
+    // result lands. The progress hook feeds the daemon-wide
+    // completion counter the moment a point finishes, seq order or
+    // not.
     std::vector<std::future<RunResult>> futures;
     futures.reserve(specs.size());
-    for (const RunSpec &spec : specs)
-        futures.push_back(engine_->submit(spec));
+    for (const RunSpec &spec : specs) {
+        futures.push_back(engine_->submit(
+            spec,
+            [this](const RunResult &) {
+                completedPoints_.fetch_add(1);
+            }));
+    }
 
     uint64_t simulated = 0;
     uint64_t cacheServed = 0;
     uint64_t storeServed = 0;
-    for (size_t i = 0; i < futures.size(); ++i) {
+    uint64_t digest = 0xcbf29ce484222325ull;
+    bool aborted = false;
+    for (size_t i = 0; i < futures.size() && !aborted; ++i) {
         RunResult result;
         try {
             result = futures[i].get();
         } catch (const std::future_error &) {
             // Shutdown dropped this queued run (discardQueued); the
             // client's connection is being torn down anyway.
-            return false;
+            aborted = true;
+            break;
+        } catch (const SimError &e) {
+            // A wedged simulation is a model bug worth reporting in
+            // full, but never worth the daemon's life.
+            warn("mtvd: %s", e.what());
+            client.write(simErrorJson(id, e).dump());
+            aborted = true;
+            break;
+        } catch (const FatalError &e) {
+            client.write(requestErrorJson(id, e.what()).dump());
+            aborted = true;
+            break;
         }
         if (result.cached)
             ++cacheServed;
@@ -328,19 +540,42 @@ MtvService::handleRun(const Json &request, LineChannel &channel)
             ++storeServed;
         else
             ++simulated;
-        if (!channel.writeLine(
-                resultToJson(result, i, !quiet).dump())) {
-            return false;  // client gone; remaining work completes
+        // Folded server-side so even quiet requests get the
+        // bit-identity digest; the same bytes feed the result line's
+        // blob, serialized once.
+        const std::string blob = serializeSimStats(result.stats);
+        digest = fnv1a64(blob.data(), blob.size(), digest);
+        if (!client.write(
+                resultToJson(result, id, i, !quiet, &blob).dump())) {
+            aborted = true;  // client gone; remaining work completes
+            break;
         }
     }
 
-    Json done = Json::object();
-    done.set("done", true);
-    done.set("count", static_cast<uint64_t>(futures.size()));
-    done.set("simulated", simulated);
-    done.set("cacheServed", cacheServed);
-    done.set("storeServed", storeServed);
-    return channel.writeLine(done.dump());
+    // Retired before the done line goes out: a client that has read
+    // "done" must not observe its own request as still active.
+    activeRequests_.fetch_sub(1);
+
+    if (!aborted) {
+        Json done = Json::object();
+        done.set("id", id);
+        done.set("done", true);
+        done.set("count", static_cast<uint64_t>(futures.size()));
+        done.set("simulated", simulated);
+        done.set("cacheServed", cacheServed);
+        done.set("storeServed", storeServed);
+        done.set("digest", format("%016llx",
+                                  static_cast<unsigned long long>(
+                                      digest)));
+        client.write(done.dump());
+    }
+
+    {
+        std::lock_guard<std::mutex> lock(client.slotMutex);
+        --client.inflight;
+        client.retired.push_back(streamId);
+    }
+    client.slotCv.notify_all();
 }
 
 } // namespace mtv

@@ -1,19 +1,24 @@
 /**
  * @file
  * MtvService: the engine room of the `mtvd` daemon. Owns one
- * ExperimentEngine (optionally backed by a persistent ResultStore),
- * listens on a unix stream socket, and serves the newline-delimited
- * JSON protocol of src/service/protocol.hh to any number of
- * concurrent clients.
+ * ExperimentEngine (optionally backed by a persistent, sharded
+ * ResultStore), listens on a unix stream socket, and serves the
+ * multiplexed streaming JSON protocol of src/service/protocol.hh to
+ * any number of concurrent clients.
  *
- * Concurrency model: one thread per connection parses and validates
- * requests, submits specs to the shared engine pool, and streams each
- * batch's results back in submission order as they finish. All
- * clients share the engine's memory cache, in-flight coalescing map
- * and store — N clients requesting the same spec cost one
- * simulation. Client errors (bad JSON, unknown programs, malformed
- * specs) are answered with {"error":...} and never take the daemon
- * down; validation runs under ScopedFatalAsException.
+ * Concurrency model: one thread per connection reads and validates
+ * requests; each batch request ("run" or server-side-expanded
+ * "sweep") then streams from its own thread, so one connection can
+ * keep several sweeps in flight. All response lines of a connection
+ * funnel through one write mutex; a connection admits at most
+ * maxInflightRequestsPerConnection concurrent batches — the read
+ * loop stops consuming requests until a slot frees, which is the
+ * protocol's backpressure. All clients share the engine's memory
+ * cache, in-flight coalescing map and store — N clients requesting
+ * the same spec cost one simulation. Client errors (bad JSON,
+ * unknown programs, malformed specs, unknown sweep families) are
+ * answered with {"error":...} and never take the daemon down;
+ * validation runs under ScopedFatalAsException.
  */
 
 #ifndef MTV_SERVICE_SERVER_HH
@@ -44,6 +49,9 @@ struct ServiceOptions
      * only (results die with the daemon).
      */
     std::string storeDir;
+    /** Shard count for a *fresh* store (0 = defaultStoreShards);
+     *  an existing store keeps its own count. */
+    int storeShards = 0;
     /** Engine worker threads; 0 = one per hardware thread. */
     int workers = 0;
     /** Engine memory-cache entry cap; 0 = unbounded. */
@@ -89,12 +97,39 @@ class MtvService
     /** Path the daemon is listening on. */
     const std::string &socketPath() const { return socketPath_; }
 
+    /** Batch requests currently streaming, across all connections. */
+    uint64_t activeRequests() const { return activeRequests_.load(); }
+
+    /** Points completed by batch requests over the daemon's life
+     *  (fed by the engine's submit() progress hooks). */
+    uint64_t completedPoints() const
+    {
+        return completedPoints_.load();
+    }
+
   private:
+    /** Per-connection state shared by the read loop and the
+     *  request-streaming threads (defined in server.cc). */
+    struct ClientState;
+
     void handleConnection(int fd);
     /** Serve one request; returns false when the connection should
      *  close (shutdown request or write failure). */
-    bool handleRequest(const Json &request, LineChannel &channel);
-    bool handleRun(const Json &request, LineChannel &channel);
+    bool handleRequest(const Json &request, ClientState &client);
+    /** Validate a "run" batch and start its streaming thread. */
+    bool handleRun(const Json &request, ClientState &client);
+    /** Expand a "sweep" request server-side, ack it, and start its
+     *  streaming thread. */
+    bool handleSweep(const Json &request, ClientState &client);
+    /** Block until the connection has a free batch slot (the
+     *  protocol's backpressure); false when shutting down. */
+    bool acquireSlot(ClientState &client);
+    /** Submit @p specs and stream id-tagged results in submission
+     *  order; runs on the dedicated connection-stream thread keyed
+     *  by @p streamId (retired for reaping when done). */
+    void streamBatch(ClientState &client, uint64_t streamId,
+                     uint64_t id, std::vector<RunSpec> specs,
+                     bool quiet);
     /** Join threads whose connections have ended. Caller holds
      *  clientsMutex_. */
     void reapFinishedLocked();
@@ -107,6 +142,8 @@ class MtvService
     std::unique_ptr<ExperimentEngine> engine_;
     int listenFd_ = -1;
     std::atomic<bool> stopping_{false};
+    std::atomic<uint64_t> activeRequests_{0};
+    std::atomic<uint64_t> completedPoints_{0};
 
     std::mutex clientsMutex_;
     /** Live connections: fd -> serving thread. */

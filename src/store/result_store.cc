@@ -1,8 +1,11 @@
 #include "src/store/result_store.hh"
 
 #include <algorithm>
+#include <atomic>
+#include <cctype>
 #include <cerrno>
 #include <cstring>
+#include <thread>
 #include <vector>
 
 #include <dirent.h>
@@ -46,10 +49,49 @@ isSegmentName(const std::string &name)
            name.compare(name.size() - 5, 5, ".mtvs") == 0;
 }
 
+bool
+isShardDirName(const std::string &name)
+{
+    return name.size() == std::strlen("shard-00") &&
+           name.compare(0, 6, "shard-") == 0 &&
+           std::isdigit(static_cast<unsigned char>(name[6])) &&
+           std::isdigit(static_cast<unsigned char>(name[7]));
+}
+
+std::string
+shardDirName(int shard)
+{
+    char name[16];
+    std::snprintf(name, sizeof(name), "shard-%02d", shard);
+    return name;
+}
+
+/** Names in @p dir matching @p keep, sorted. */
+std::vector<std::string>
+listDir(const std::string &dir, bool (*keep)(const std::string &))
+{
+    std::vector<std::string> names;
+    DIR *d = ::opendir(dir.c_str());
+    if (!d)
+        fatal("cannot read store directory '%s': %s", dir.c_str(),
+              std::strerror(errno));
+    while (const dirent *entry = ::readdir(d)) {
+        if (keep(entry->d_name))
+            names.push_back(entry->d_name);
+    }
+    ::closedir(d);
+    std::sort(names.begin(), names.end());
+    return names;
+}
+
 } // namespace
 
-ResultStore::ResultStore(const std::string &dir) : dir_(dir)
+ResultStore::ResultStore(const std::string &dir, int shards)
+    : dir_(dir)
 {
+    if (shards < 0 || shards > maxStoreShards)
+        fatal("store shard count must be 0..%d, got %d",
+              maxStoreShards, shards);
     if (::mkdir(dir_.c_str(), 0755) != 0 && errno != EEXIST)
         fatal("cannot create store directory '%s': %s", dir_.c_str(),
               std::strerror(errno));
@@ -64,61 +106,116 @@ ResultStore::ResultStore(const std::string &dir) : dir_(dir)
 
     schemaHash_ = storeSchemaHash();
 
-    // Load existing segments in name (= creation) order, so a key
-    // written in two sessions resolves to the latest copy (the values
-    // are identical anyway — runs are deterministic).
-    std::vector<std::string> names;
-    DIR *d = ::opendir(dir_.c_str());
-    if (!d)
-        fatal("cannot read store directory '%s': %s", dir_.c_str(),
-              std::strerror(errno));
-    while (const dirent *entry = ::readdir(d)) {
-        if (isSegmentName(entry->d_name))
-            names.push_back(entry->d_name);
+    // An existing store keeps the partition count it was created
+    // with: records were routed by key % count, so reading under a
+    // different count would lose them.
+    const std::vector<std::string> existing =
+        listDir(dir_, isShardDirName);
+    int count = shards == 0 ? defaultStoreShards : shards;
+    if (!existing.empty()) {
+        count = static_cast<int>(existing.size());
+        // The directories must be exactly shard-00..shard-(N-1): a
+        // missing one (torn copy of the store) would silently
+        // re-route every key and orphan that shard's records.
+        for (int i = 0; i < count; ++i) {
+            if (existing[i] != shardDirName(i)) {
+                fatal("store '%s' is missing %s (found %s): torn "
+                      "copy? refusing to re-route its keys",
+                      dir_.c_str(), shardDirName(i).c_str(),
+                      existing[i].c_str());
+            }
+        }
+        if (shards != 0 && shards != count) {
+            warn("store '%s' was created with %d shards; ignoring "
+                 "the requested %d",
+                 dir_.c_str(), count, shards);
+        }
     }
-    ::closedir(d);
-    std::sort(names.begin(), names.end());
-    for (const auto &name : names)
-        loadSegment(dir_ + "/" + name);
 
-    openSessionSegment();
+    shards_.reserve(count);
+    for (int i = 0; i < count; ++i) {
+        auto shard = std::make_unique<Shard>();
+        shard->dir = dir_ + "/" + shardDirName(i);
+        if (::mkdir(shard->dir.c_str(), 0755) != 0 && errno != EEXIST)
+            fatal("cannot create store shard '%s': %s",
+                  shard->dir.c_str(), std::strerror(errno));
+        shards_.push_back(std::move(shard));
+    }
+
+    // Warm-load the shards in parallel: they are disjoint on disk and
+    // in memory, so a loader thread per shard (capped by the hardware
+    // thread count) needs no locking at all.
+    const size_t loaders = std::min<size_t>(
+        shards_.size(),
+        std::max(1u, std::thread::hardware_concurrency()));
+    if (loaders <= 1) {
+        for (auto &shard : shards_)
+            loadShard(*shard);
+    } else {
+        std::vector<std::thread> threads;
+        std::atomic<size_t> next{0};
+        threads.reserve(loaders);
+        for (size_t t = 0; t < loaders; ++t) {
+            threads.emplace_back([this, &next] {
+                for (size_t i = next.fetch_add(1);
+                     i < shards_.size(); i = next.fetch_add(1)) {
+                    loadShard(*shards_[i]);
+                }
+            });
+        }
+        for (auto &thread : threads)
+            thread.join();
+    }
+
+    migrateLegacySegments();
 }
 
 ResultStore::~ResultStore()
 {
-    bool removeEmpty = false;
-    {
-        std::lock_guard<std::mutex> lock(mutex_);
-        for (std::FILE *handle : readHandles_) {
-            if (handle)
-                std::fclose(handle);
+    for (auto &shardPtr : shards_) {
+        Shard &shard = *shardPtr;
+        bool removeEmpty = false;
+        {
+            std::lock_guard<std::mutex> lock(shard.mutex);
+            for (std::FILE *handle : shard.readHandles) {
+                if (handle)
+                    std::fclose(handle);
+            }
+            if (shard.segment) {
+                std::fclose(shard.segment);
+                shard.segment = nullptr;
+                removeEmpty = shard.appends == 0;
+            }
         }
-        if (segment_) {
-            std::fclose(segment_);
-            segment_ = nullptr;
-            removeEmpty = stats_.appends == 0;
-        }
+        // A session that stored nothing in this shard leaves no
+        // header-only litter.
+        if (removeEmpty)
+            ::unlink(shard.segmentPath.c_str());
     }
-    // A session that stored nothing leaves no header-only litter.
-    if (removeEmpty)
-        ::unlink(segmentPath_.c_str());
     if (lockFd_ >= 0)
         ::close(lockFd_);
 }
 
-void
-ResultStore::loadSegment(const std::string &path)
+ResultStore::Shard &
+ResultStore::shardFor(const std::string &key)
 {
-    // Verify every record's checksum once, here, and keep only its
-    // disk location: load() reads blobs back on demand, so resident
-    // memory is the index, not the payloads.
-    ++stats_.segments;
+    const uint64_t hash = fnv1a64(key.data(), key.size());
+    return *shards_[hash % shards_.size()];
+}
+
+ResultStore::SegmentVerdict
+ResultStore::scanSegment(
+    const std::string &path, uint64_t *dropped,
+    const std::function<void(std::string &&, std::string &&, long)>
+        &record) const
+{
+    // Verify every record's checksum once, here; callers decide what
+    // to retain (an index location on load, the blob on migration).
     std::FILE *f = std::fopen(path.c_str(), "rb");
     if (!f) {
         warn("store: cannot open segment '%s': %s — skipping",
              path.c_str(), std::strerror(errno));
-        ++stats_.badSegments;
-        return;
+        return SegmentVerdict::Bad;
     }
 
     uint8_t header[segmentHeaderBytes];
@@ -127,9 +224,8 @@ ResultStore::loadSegment(const std::string &path)
         readLe32(header + 4) != storeVersion) {
         warn("store: '%s' is not a v%u segment — skipping",
              path.c_str(), storeVersion);
-        ++stats_.badSegments;
         std::fclose(f);
-        return;
+        return SegmentVerdict::Bad;
     }
     if (readLe64(header + 8) != schemaHash_) {
         warn("store: '%s' was written under schema %016llx, this "
@@ -137,9 +233,8 @@ ResultStore::loadSegment(const std::string &path)
              path.c_str(),
              static_cast<unsigned long long>(readLe64(header + 8)),
              static_cast<unsigned long long>(schemaHash_));
-        ++stats_.staleSegments;
         std::fclose(f);
-        return;
+        return SegmentVerdict::Stale;
     }
 
     for (;;) {
@@ -151,7 +246,7 @@ ResultStore::loadSegment(const std::string &path)
             warn("store: '%s' ends in a partial record header — "
                  "dropping the tail (crash recovery)",
                  path.c_str());
-            ++stats_.droppedRecords;
+            ++*dropped;
             break;
         }
         const uint32_t keyLen = readLe32(rec);
@@ -161,7 +256,7 @@ ResultStore::loadSegment(const std::string &path)
             warn("store: '%s' has a record with implausible lengths "
                  "(%u/%u) — dropping the tail",
                  path.c_str(), keyLen, blobLen);
-            ++stats_.droppedRecords;
+            ++*dropped;
             break;
         }
         std::string key(keyLen, '\0');
@@ -171,100 +266,213 @@ ResultStore::loadSegment(const std::string &path)
             warn("store: '%s' ends in a truncated record — dropping "
                  "the tail (crash recovery)",
                  path.c_str());
-            ++stats_.droppedRecords;
+            ++*dropped;
             break;
         }
         if (recordChecksum(key, blob) != checksum) {
             warn("store: '%s' has a checksum-failing record — "
                  "dropping the tail",
                  path.c_str());
-            ++stats_.droppedRecords;
+            ++*dropped;
             break;
         }
         const long end = std::ftell(f);
         if (end < 0)
             fatal("cannot tell position in '%s'", path.c_str());
-        RecordLocation location;
-        location.segment =
-            static_cast<uint32_t>(segmentPaths_.size());
-        location.offset = end - static_cast<long>(blobLen);
-        location.length = blobLen;
-        index_[key] = location;  // later segments override earlier
-        ++stats_.loadedRecords;
+        record(std::move(key), std::move(blob),
+               end - static_cast<long>(blobLen));
     }
     std::fclose(f);
-    segmentPaths_.push_back(path);
-    readHandles_.push_back(nullptr);
+    return SegmentVerdict::Scanned;
 }
 
 void
-ResultStore::openSessionSegment()
+ResultStore::loadShard(Shard &shard)
+{
+    // Segments load in name (= creation) order, so a key written in
+    // two sessions resolves to the latest copy (the values are
+    // identical anyway — runs are deterministic).
+    for (const auto &name : listDir(shard.dir, isSegmentName)) {
+        const std::string path = shard.dir + "/" + name;
+        ++shard.segments;
+        const SegmentVerdict verdict = scanSegment(
+            path, &shard.droppedRecords,
+            [&shard](std::string &&key, std::string &&blob,
+                     long blobOffset) {
+                RecordLocation location;
+                location.segment =
+                    static_cast<uint32_t>(shard.segmentPaths.size());
+                location.offset = blobOffset;
+                location.length = static_cast<uint32_t>(blob.size());
+                // Later segments override earlier ones.
+                shard.index[std::move(key)] = location;
+                ++shard.loadedRecords;
+            });
+        switch (verdict) {
+          case SegmentVerdict::Scanned:
+            shard.segmentPaths.push_back(path);
+            shard.readHandles.push_back(nullptr);
+            break;
+          case SegmentVerdict::Stale:
+            ++shard.staleSegments;
+            break;
+          case SegmentVerdict::Bad:
+            ++shard.badSegments;
+            break;
+        }
+    }
+    openSessionSegment(shard);
+}
+
+void
+ResultStore::openSessionSegment(Shard &shard)
 {
     // Fresh segment per session: recovery never rewrites old files,
     // and two sessions' appends cannot interleave.
     for (unsigned n = 0; ; ++n) {
         char name[32];
         std::snprintf(name, sizeof(name), "seg-%06u.mtvs", n);
-        const std::string path = dir_ + "/" + name;
+        const std::string path = shard.dir + "/" + name;
         struct stat st;
         if (::stat(path.c_str(), &st) == 0)
             continue;  // exists (possibly stale/corrupt); keep looking
-        segmentPath_ = path;
+        shard.segmentPath = path;
         break;
     }
-    segment_ = std::fopen(segmentPath_.c_str(), "wb");
-    if (!segment_)
+    shard.segment = std::fopen(shard.segmentPath.c_str(), "wb");
+    if (!shard.segment)
         fatal("cannot create store segment '%s': %s",
-              segmentPath_.c_str(), std::strerror(errno));
+              shard.segmentPath.c_str(), std::strerror(errno));
     uint8_t header[segmentHeaderBytes];
     writeLe32(header, storeMagic);
     writeLe32(header + 4, storeVersion);
     writeLe64(header + 8, schemaHash_);
-    if (std::fwrite(header, 1, sizeof(header), segment_) !=
+    if (std::fwrite(header, 1, sizeof(header), shard.segment) !=
         sizeof(header)) {
         fatal("short write on store segment header '%s'",
-              segmentPath_.c_str());
+              shard.segmentPath.c_str());
     }
-    std::fflush(segment_);
-    segmentPaths_.push_back(segmentPath_);
-    readHandles_.push_back(nullptr);
+    std::fflush(shard.segment);
+    shard.segmentPaths.push_back(shard.segmentPath);
+    shard.readHandles.push_back(nullptr);
+}
+
+void
+ResultStore::appendLocked(Shard &shard, const std::string &key,
+                          const std::string &blob)
+{
+    const long recordStart = std::ftell(shard.segment);
+    if (recordStart < 0)
+        fatal("cannot tell position in '%s'",
+              shard.segmentPath.c_str());
+    uint8_t rec[recordHeaderBytes];
+    writeLe32(rec, static_cast<uint32_t>(key.size()));
+    writeLe32(rec + 4, static_cast<uint32_t>(blob.size()));
+    writeLe64(rec + 8, recordChecksum(key, blob));
+    if (std::fwrite(rec, 1, sizeof(rec), shard.segment) !=
+            sizeof(rec) ||
+        std::fwrite(key.data(), 1, key.size(), shard.segment) !=
+            key.size() ||
+        std::fwrite(blob.data(), 1, blob.size(), shard.segment) !=
+            blob.size()) {
+        fatal("short write on store segment '%s' (disk full?)",
+              shard.segmentPath.c_str());
+    }
+    // Flushed before the append returns: the write-ahead guarantee,
+    // and what makes the blob readable through the read handle.
+    std::fflush(shard.segment);
+
+    RecordLocation location;
+    location.segment =
+        static_cast<uint32_t>(shard.segmentPaths.size() - 1);
+    location.offset = recordStart +
+                      static_cast<long>(recordHeaderBytes) +
+                      static_cast<long>(key.size());
+    location.length = static_cast<uint32_t>(blob.size());
+    shard.index[key] = location;
+    ++shard.appends;
+}
+
+void
+ResultStore::migrateLegacySegments()
+{
+    // Pre-shard stores kept their segments at the directory root.
+    // Re-home every intact record into its shard, then delete the
+    // legacy file — only after its records are flushed, so a crash
+    // mid-migration re-migrates (and the key dedup makes that a
+    // no-op for records already re-homed).
+    const std::vector<std::string> names =
+        listDir(dir_, isSegmentName);
+    for (const auto &name : names) {
+        const std::string path = dir_ + "/" + name;
+        ++legacySegments_;
+        const SegmentVerdict verdict = scanSegment(
+            path, &legacyDropped_,
+            [this](std::string &&key, std::string &&blob, long) {
+                Shard &shard = shardFor(key);
+                if (shard.index.count(key))
+                    return;  // already re-homed (or re-written since)
+                appendLocked(shard, key, blob);
+                ++migratedRecords_;
+            });
+        switch (verdict) {
+          case SegmentVerdict::Scanned:
+            ::unlink(path.c_str());
+            break;
+          case SegmentVerdict::Stale:
+            // Left in place (their data is not ours to destroy), and
+            // rejected again on every open.
+            ++legacyStale_;
+            break;
+          case SegmentVerdict::Bad:
+            ++legacyBad_;
+            break;
+        }
+    }
+    if (migratedRecords_ > 0) {
+        inform("store: migrated %llu records from %zu legacy "
+               "segments into %zu shards",
+               static_cast<unsigned long long>(migratedRecords_),
+               legacySegments_, shards_.size());
+    }
 }
 
 std::FILE *
-ResultStore::readHandle(uint32_t segment)
+ResultStore::readHandle(Shard &shard, uint32_t segment)
 {
-    MTV_ASSERT(segment < readHandles_.size());
-    if (!readHandles_[segment]) {
-        readHandles_[segment] =
-            std::fopen(segmentPaths_[segment].c_str(), "rb");
-        if (!readHandles_[segment]) {
+    MTV_ASSERT(segment < shard.readHandles.size());
+    if (!shard.readHandles[segment]) {
+        shard.readHandles[segment] =
+            std::fopen(shard.segmentPaths[segment].c_str(), "rb");
+        if (!shard.readHandles[segment]) {
             fatal("store segment '%s' disappeared: %s",
-                  segmentPaths_[segment].c_str(),
+                  shard.segmentPaths[segment].c_str(),
                   std::strerror(errno));
         }
     }
-    return readHandles_[segment];
+    return shard.readHandles[segment];
 }
 
 std::shared_ptr<const SimStats>
 ResultStore::load(const std::string &key)
 {
-    std::lock_guard<std::mutex> lock(mutex_);
-    auto it = index_.find(key);
-    if (it == index_.end()) {
-        ++stats_.misses;
+    Shard &shard = shardFor(key);
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    auto it = shard.index.find(key);
+    if (it == shard.index.end()) {
+        ++shard.misses;
         return nullptr;
     }
     const RecordLocation &location = it->second;
-    std::FILE *f = readHandle(location.segment);
+    std::FILE *f = readHandle(shard, location.segment);
     std::string blob(location.length, '\0');
     if (std::fseek(f, location.offset, SEEK_SET) != 0 ||
         std::fread(blob.data(), 1, blob.size(), f) != blob.size()) {
         fatal("store segment '%s' shrank underneath us (offset %ld)",
-              segmentPaths_[location.segment].c_str(),
+              shard.segmentPaths[location.segment].c_str(),
               location.offset);
     }
-    ++stats_.hits;
+    ++shard.hits;
     return std::make_shared<const SimStats>(deserializeSimStats(blob));
 }
 
@@ -273,54 +481,50 @@ ResultStore::store(const std::string &key, const SimStats &stats)
 {
     if (key.empty() || key.size() > maxKeyLen)
         panic("store key has invalid length %zu", key.size());
+    // Serialize outside the shard lock: appends to different shards
+    // only ever contend on the filesystem, not on each other.
     const std::string blob = serializeSimStats(stats);
 
-    std::lock_guard<std::mutex> lock(mutex_);
-    if (index_.count(key))
+    Shard &shard = shardFor(key);
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    if (shard.index.count(key))
         return;  // deterministic runs: the existing copy is identical
-
-    const long recordStart = std::ftell(segment_);
-    if (recordStart < 0)
-        fatal("cannot tell position in '%s'", segmentPath_.c_str());
-    uint8_t rec[recordHeaderBytes];
-    writeLe32(rec, static_cast<uint32_t>(key.size()));
-    writeLe32(rec + 4, static_cast<uint32_t>(blob.size()));
-    writeLe64(rec + 8, recordChecksum(key, blob));
-    if (std::fwrite(rec, 1, sizeof(rec), segment_) != sizeof(rec) ||
-        std::fwrite(key.data(), 1, key.size(), segment_) !=
-            key.size() ||
-        std::fwrite(blob.data(), 1, blob.size(), segment_) !=
-            blob.size()) {
-        fatal("short write on store segment '%s' (disk full?)",
-              segmentPath_.c_str());
-    }
-    // Flushed before store() returns: the write-ahead guarantee, and
-    // what makes the blob readable through the segment's read handle.
-    std::fflush(segment_);
-
-    RecordLocation location;
-    location.segment =
-        static_cast<uint32_t>(segmentPaths_.size() - 1);
-    location.offset = recordStart +
-                      static_cast<long>(recordHeaderBytes) +
-                      static_cast<long>(key.size());
-    location.length = static_cast<uint32_t>(blob.size());
-    index_[key] = location;
-    ++stats_.appends;
+    appendLocked(shard, key, blob);
 }
 
 size_t
 ResultStore::size() const
 {
-    std::lock_guard<std::mutex> lock(mutex_);
-    return index_.size();
+    size_t total = 0;
+    for (const auto &shard : shards_) {
+        std::lock_guard<std::mutex> lock(shard->mutex);
+        total += shard->index.size();
+    }
+    return total;
 }
 
 ResultStore::Stats
 ResultStore::stats() const
 {
-    std::lock_guard<std::mutex> lock(mutex_);
-    return stats_;
+    Stats total;
+    total.shards = shards_.size();
+    total.segments = legacySegments_;
+    total.staleSegments = legacyStale_;
+    total.badSegments = legacyBad_;
+    total.droppedRecords = legacyDropped_;
+    total.migratedRecords = migratedRecords_;
+    for (const auto &shard : shards_) {
+        std::lock_guard<std::mutex> lock(shard->mutex);
+        total.segments += shard->segments;
+        total.staleSegments += shard->staleSegments;
+        total.badSegments += shard->badSegments;
+        total.loadedRecords += shard->loadedRecords;
+        total.droppedRecords += shard->droppedRecords;
+        total.appends += shard->appends;
+        total.hits += shard->hits;
+        total.misses += shard->misses;
+    }
+    return total;
 }
 
 } // namespace mtv

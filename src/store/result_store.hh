@@ -5,23 +5,40 @@
  * equivalent of the paper's amortization of Dixie traces across
  * experiments, applied to finished simulations.
  *
- * Layout: a store is a directory of append-only segment files
- * (`seg-NNNNNN.mtvs`). Every segment starts with a 16-byte header
- * (magic, format version, schema hash) followed by checksummed
- * records, each mapping a RunSpec::canonical() key to a
- * serializeSimStats() blob:
+ * Layout: a store is a directory of hash-partitioned *shards*
+ * (`shard-SS/`), each holding append-only segment files
+ * (`seg-NNNNNN.mtvs`). A record lives in the shard selected by
+ * `fnv1a64(key) % shards`, so every shard owns a disjoint slice of
+ * the key space and the shards never coordinate: each has its own
+ * mutex, its own index, and its own session segment. Concurrent
+ * engine workers appending different keys contend only when their
+ * keys land on the same shard, which removed the single append lock
+ * as the daemon's multi-worker bottleneck.
+ *
+ * Every segment starts with a 16-byte header (magic, format version,
+ * schema hash) followed by checksummed records, each mapping a
+ * RunSpec::canonical() key to a serializeSimStats() blob:
  *
  *   u32 keyLen | u32 blobLen | u64 fnv1a64(key+blob) | key | blob
  *
- * Crash safety is write-ahead-append: a record is flushed before
- * store() returns, a crash mid-record leaves a short or checksum-
- * failing tail, and opening the store skips such tails (warning and
- * counting them) while keeping every intact record. Each process
- * session appends to a fresh segment, so recovery never rewrites
- * existing data. Segments whose schema hash differs from this
- * build's storeSchemaHash() are rejected wholesale — their results
- * were produced under a different machine-parameter vocabulary or
- * workload registry and must not be served.
+ * Crash safety is write-ahead-append per shard: a record is flushed
+ * before store() returns, a crash mid-record leaves a short or
+ * checksum-failing tail in at most one segment per shard, and opening
+ * the store skips such tails (warning and counting them) while
+ * keeping every intact record. Each process session appends to a
+ * fresh segment per shard, so recovery never rewrites existing data.
+ * Segments whose schema hash differs from this build's
+ * storeSchemaHash() are rejected wholesale — their results were
+ * produced under a different machine-parameter vocabulary or workload
+ * registry and must not be served.
+ *
+ * Opening warm-loads all shards in parallel (one thread per shard, up
+ * to the hardware thread count), and transparently migrates stores
+ * written by the pre-shard layout: root-level `seg-*.mtvs` files are
+ * scanned record by record, each intact record is re-appended into
+ * its shard, and the legacy file is deleted only after its records
+ * are flushed — a crash mid-migration merely re-migrates (appends
+ * dedup on key).
  *
  * Memory: only an index (key → segment/offset/length) is resident;
  * load() reads and decodes the blob from disk on demand, so a
@@ -39,10 +56,12 @@
 
 #include <cstdint>
 #include <cstdio>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <string>
 #include <unordered_map>
+#include <vector>
 
 #include "src/api/backend.hh"
 
@@ -51,8 +70,13 @@ namespace mtv
 
 /** Magic bytes at the start of a store segment ("MTVS" LE). */
 constexpr uint32_t storeMagic = 0x5356544d;
-/** Current segment format version. */
+/** Current segment format version (record layout; sharding is a
+ *  directory-layout property, not a record-format change). */
 constexpr uint32_t storeVersion = 1;
+/** Shard count of a freshly created store. */
+constexpr int defaultStoreShards = 8;
+/** Upper bound on configurable shard counts. */
+constexpr int maxStoreShards = 64;
 
 /** Disk-backed persistent result store (see file comment). */
 class ResultStore : public ResultBackend
@@ -61,11 +85,13 @@ class ResultStore : public ResultBackend
     /** Load/recovery counters, fixed at open; session counters. */
     struct Stats
     {
+        size_t shards = 0;         ///< hash partitions of the store
         size_t segments = 0;       ///< segment files seen at open
         size_t staleSegments = 0;  ///< rejected: schema-hash mismatch
         size_t badSegments = 0;    ///< rejected: bad magic/version
         uint64_t loadedRecords = 0;///< intact records read at open
         uint64_t droppedRecords = 0;///< corrupt/truncated tails skipped
+        uint64_t migratedRecords = 0;///< re-homed from the legacy layout
         uint64_t appends = 0;      ///< records appended this session
         uint64_t hits = 0;         ///< load() calls served
         uint64_t misses = 0;       ///< load() calls not present
@@ -73,12 +99,15 @@ class ResultStore : public ResultBackend
 
     /**
      * Open (creating if needed) the store at @p dir, take the writer
-     * lock, load every intact record of every schema-compatible
-     * segment, and start a fresh segment for this session's appends.
-     * fatal()s when the directory is unusable or another process
-     * holds the writer lock.
+     * lock, warm-load every shard in parallel, migrate any legacy
+     * single-directory segments, and start a fresh segment per shard
+     * for this session's appends. @p shards picks the partition count
+     * of a *new* store (0 = defaultStoreShards); an existing store
+     * keeps the count it was created with (with a warning when a
+     * different count was requested). fatal()s when the directory is
+     * unusable or another process holds the writer lock.
      */
-    explicit ResultStore(const std::string &dir);
+    explicit ResultStore(const std::string &dir, int shards = 0);
     ~ResultStore() override;
 
     ResultStore(const ResultStore &) = delete;
@@ -91,40 +120,96 @@ class ResultStore : public ResultBackend
 
     size_t size() const override;
 
-    /** Counter snapshot. */
+    /** Counter snapshot, aggregated over the shards. */
     Stats stats() const;
 
     /** The store directory. */
     const std::string &directory() const { return dir_; }
 
+    /** Hash partitions this store is split into. */
+    int shardCount() const { return static_cast<int>(shards_.size()); }
+
   private:
     /** Where one record's blob lives on disk. */
     struct RecordLocation
     {
-        uint32_t segment = 0;  ///< index into segmentPaths_
+        uint32_t segment = 0;  ///< index into Shard::segmentPaths
         long offset = 0;       ///< byte offset of the blob
         uint32_t length = 0;   ///< blob bytes
     };
 
-    void loadSegment(const std::string &path);
-    void openSessionSegment();
-    /** Read handle for @p segment, opened lazily. Caller holds
-     *  mutex_; fatal()s when the file vanished underneath us. */
-    std::FILE *readHandle(uint32_t segment);
+    /**
+     * One hash partition: its own lock, index, read handles and
+     * session segment. Counters are per-shard and summed by stats().
+     */
+    struct Shard
+    {
+        std::mutex mutex;
+        std::string dir;
+        std::FILE *segment = nullptr;  ///< session segment (append)
+        std::string segmentPath;
+        /** Scanned segments in load order; the session one is last. */
+        std::vector<std::string> segmentPaths;
+        /** Lazily opened read handles, parallel to segmentPaths. */
+        std::vector<std::FILE *> readHandles;
+        std::unordered_map<std::string, RecordLocation> index;
+        size_t segments = 0;
+        size_t staleSegments = 0;
+        size_t badSegments = 0;
+        uint64_t loadedRecords = 0;
+        uint64_t droppedRecords = 0;
+        uint64_t appends = 0;
+        uint64_t hits = 0;
+        uint64_t misses = 0;
+    };
+
+    /** How one segment scan ended. */
+    enum class SegmentVerdict
+    {
+        Scanned,  ///< header ok; intact records were delivered
+        Stale,    ///< rejected wholesale: schema-hash mismatch
+        Bad       ///< rejected wholesale: bad magic/version/unreadable
+    };
+
+    Shard &shardFor(const std::string &key);
+
+    /**
+     * Scan @p path, invoking @p record for every intact record with
+     * the record's key, blob, and the blob's byte offset in the file.
+     * Truncated/corrupt tails bump @p dropped and stop the scan.
+     */
+    SegmentVerdict scanSegment(
+        const std::string &path, uint64_t *dropped,
+        const std::function<void(std::string &&key, std::string &&blob,
+                                 long blobOffset)> &record) const;
+
+    /** Load every segment of @p shard and open its session segment. */
+    void loadShard(Shard &shard);
+
+    void openSessionSegment(Shard &shard);
+
+    /** Append one pre-serialized record. Caller holds shard.mutex. */
+    void appendLocked(Shard &shard, const std::string &key,
+                      const std::string &blob);
+
+    /** Re-home records of pre-shard root-level segments, then delete
+     *  them. Runs single-threaded at open (before concurrency). */
+    void migrateLegacySegments();
+
+    /** Read handle for @p segment of @p shard, opened lazily. Caller
+     *  holds shard.mutex; fatal()s when the file vanished. */
+    std::FILE *readHandle(Shard &shard, uint32_t segment);
 
     std::string dir_;
     int lockFd_ = -1;
-    std::FILE *segment_ = nullptr;
-    std::string segmentPath_;
     uint64_t schemaHash_ = 0;
-
-    mutable std::mutex mutex_;
-    /** All segments in load order; the session segment is last. */
-    std::vector<std::string> segmentPaths_;
-    /** Lazily opened read handles, parallel to segmentPaths_. */
-    std::vector<std::FILE *> readHandles_;
-    std::unordered_map<std::string, RecordLocation> index_;
-    Stats stats_;
+    std::vector<std::unique_ptr<Shard>> shards_;
+    /** Legacy-layout counters, fixed at open. */
+    size_t legacySegments_ = 0;
+    size_t legacyStale_ = 0;
+    size_t legacyBad_ = 0;
+    uint64_t legacyDropped_ = 0;
+    uint64_t migratedRecords_ = 0;
 };
 
 } // namespace mtv

@@ -554,5 +554,112 @@ TEST(Engine, SubmitStreamsResultsInSubmissionOrder)
     }
 }
 
+TEST(Engine, SubmitHookFiresOncePerSpecBeforeFutureReady)
+{
+    ExperimentEngine engine;
+    const auto specs = distinctSpecs(4);
+    std::atomic<int> completed{0};
+    std::mutex seenMutex;
+    std::vector<std::string> seen;
+    std::vector<std::future<RunResult>> futures;
+    for (const auto &spec : specs) {
+        futures.push_back(engine.submit(
+            spec, [&completed, &seenMutex, &seen](const RunResult &r) {
+                ++completed;
+                std::lock_guard<std::mutex> lock(seenMutex);
+                seen.push_back(r.spec.canonical());
+            }));
+    }
+    for (auto &future : futures)
+        future.get();
+    // Each future became ready only after its hook ran, so by now
+    // every hook has fired exactly once.
+    EXPECT_EQ(completed.load(), 4);
+    std::sort(seen.begin(), seen.end());
+    std::vector<std::string> want;
+    for (const auto &spec : specs)
+        want.push_back(spec.canonical());
+    std::sort(want.begin(), want.end());
+    EXPECT_EQ(seen, want);
+}
+
+// ---------------------------------------------------------------------
+// Named sweep families
+// ---------------------------------------------------------------------
+
+TEST(SweepRegistry, FamiliesAreRegistered)
+{
+    std::vector<std::string> names;
+    for (const auto &family : sweepFamilies())
+        names.push_back(family.name);
+    EXPECT_NE(std::find(names.begin(), names.end(), "suite-grouping"),
+              names.end());
+    EXPECT_NE(std::find(names.begin(), names.end(), "groupings"),
+              names.end());
+    EXPECT_NE(std::find(names.begin(), names.end(), "latency"),
+              names.end());
+}
+
+TEST(SweepRegistry, SuiteGroupingExpandsIdentically)
+{
+    SweepRequest request;
+    request.family = "suite-grouping";
+    request.scale = testScale;
+    const SweepBuilder expanded = expandSweep(request);
+    const SweepBuilder direct = suiteGroupingSweep(testScale);
+    ASSERT_EQ(expanded.size(), direct.size());
+    for (size_t i = 0; i < expanded.size(); ++i)
+        EXPECT_EQ(expanded.specs()[i], direct.specs()[i]);
+    EXPECT_EQ(expanded.slices().size(), direct.slices().size());
+}
+
+TEST(SweepRegistry, GroupingsAndLatencyFamilies)
+{
+    SweepRequest groupings;
+    groupings.family = "groupings";
+    groupings.scale = testScale;
+    groupings.program = "swm256";
+    groupings.contexts = 3;
+    const SweepBuilder bar = expandSweep(groupings);
+    EXPECT_EQ(bar.size(), 10u);
+    ASSERT_EQ(bar.slices().size(), 1u);
+    EXPECT_EQ(bar.slices().front().label, "swm256");
+
+    SweepRequest latency;
+    latency.family = "latency";
+    latency.scale = testScale;
+    latency.jobs = {"flo52", "trfd"};
+    latency.latencies = {1, 100};
+    latency.contexts = 2;
+    const SweepBuilder lats = expandSweep(latency);
+    ASSERT_EQ(lats.size(), 2u);
+    EXPECT_EQ(lats.specs()[0].params.memLatency, 1);
+    EXPECT_EQ(lats.specs()[1].params.memLatency, 100);
+    EXPECT_EQ(lats.specs()[0].mode, SpecMode::JobQueue);
+
+    // Defaults: the paper's job-queue order and latency list.
+    SweepRequest defaults;
+    defaults.family = "latency";
+    defaults.scale = testScale;
+    const SweepBuilder fig10 = expandSweep(defaults);
+    EXPECT_EQ(fig10.size(), sweepLatencies().size());
+    EXPECT_EQ(fig10.specs()[0].params.contexts, 4);
+}
+
+TEST(SweepRegistryDeath, UnknownFamilyAndMissingParamsRejected)
+{
+    SweepRequest bogus;
+    bogus.family = "no-such-family";
+    EXPECT_EXIT(expandSweep(bogus), testing::ExitedWithCode(1),
+                "unknown sweep family");
+    SweepRequest incomplete;
+    incomplete.family = "groupings";
+    EXPECT_EXIT(expandSweep(incomplete), testing::ExitedWithCode(1),
+                "needs a program");
+    incomplete.program = "trfd";
+    EXPECT_EXIT(expandSweep(incomplete), testing::ExitedWithCode(1),
+                "needs contexts");
+}
+
 } // namespace
 } // namespace mtv

@@ -124,7 +124,8 @@ TEST(Protocol, ResultLineCarriesLosslessBlob)
     const RunSpec spec = RunSpec::single(
         "trfd", MachineParams::reference(), testScale);
     const RunResult result = engine.run(spec);
-    const Json line = resultToJson(result, 3, /*includeBlob=*/true);
+    const Json line = resultToJson(result, 7, 3, /*includeBlob=*/true);
+    EXPECT_EQ(line.get("id").asU64(), 7u);
     EXPECT_EQ(line.get("seq").asU64(), 3u);
     EXPECT_EQ(line.getString("spec"), spec.canonical());
     const SimStats decoded =
@@ -132,7 +133,8 @@ TEST(Protocol, ResultLineCarriesLosslessBlob)
     EXPECT_EQ(serializeSimStats(decoded),
               serializeSimStats(result.stats));
 
-    const Json quiet = resultToJson(result, 0, /*includeBlob=*/false);
+    const Json quiet =
+        resultToJson(result, 0, 0, /*includeBlob=*/false);
     EXPECT_FALSE(quiet.has("blob"));
 }
 
@@ -351,6 +353,265 @@ TEST_F(ServiceFixture, ConcurrentClientsShareOneEngine)
     // (the rest were coalesced or cache-served).
     EXPECT_EQ(service_->engine().cacheMisses(), 1u);
     EXPECT_GE(service_->engine().cacheHits(), 2u);
+}
+
+// ---------------------------------------------------------------------
+// Sweep op: server-side expansion, streaming, multiplexing
+// ---------------------------------------------------------------------
+
+TEST(Protocol, SweepRequestRoundTrip)
+{
+    SweepRequest request;
+    request.family = "latency";
+    request.scale = testScale;
+    request.program = "swm256";
+    request.contexts = 3;
+    request.jobs = {"flo52", "trfd"};
+    request.latencies = {1, 50, 100};
+    const Json encoded = sweepRequestToJson(request);
+    const SweepRequest back = sweepRequestFromJson(encoded);
+    EXPECT_EQ(back.family, request.family);
+    EXPECT_DOUBLE_EQ(back.scale, request.scale);
+    EXPECT_EQ(back.program, request.program);
+    EXPECT_EQ(back.contexts, request.contexts);
+    EXPECT_EQ(back.jobs, request.jobs);
+    EXPECT_EQ(back.latencies, request.latencies);
+
+    SweepSlice slice;
+    slice.label = "swm256";
+    slice.contexts = 3;
+    slice.first = 10;
+    slice.count = 5;
+    const SweepSlice sliceBack = sliceFromJson(sliceToJson(slice));
+    EXPECT_EQ(sliceBack.label, "swm256");
+    EXPECT_EQ(sliceBack.contexts, 3);
+    EXPECT_EQ(sliceBack.first, 10u);
+    EXPECT_EQ(sliceBack.count, 5u);
+}
+
+namespace
+{
+
+/** What one demultiplexed response stream accumulated. */
+struct StreamTally
+{
+    size_t results = 0;
+    size_t expected = 0;     ///< count from the ack
+    size_t slices = 0;
+    bool done = false;
+    uint64_t clientDigest = 0xcbf29ce484222325ull;
+    std::string serverDigest;
+    std::vector<std::string> blobs;  ///< submission order
+};
+
+/** Send one sweep request with @p id on @p channel. */
+void
+sendSweep(LineChannel &channel, uint64_t id,
+          const SweepRequest &request)
+{
+    Json line = sweepRequestToJson(request);
+    line.set("op", "sweep");
+    line.set("id", id);
+    ASSERT_TRUE(channel.writeLine(line.dump()));
+}
+
+/**
+ * Read response lines, demultiplexing by id, until every stream in
+ * @p tallies is done. Verifies per-id seq ordering as it goes.
+ */
+void
+demux(LineChannel &channel,
+      std::unordered_map<uint64_t, StreamTally> &tallies)
+{
+    auto allDone = [&tallies] {
+        for (const auto &[id, tally] : tallies) {
+            if (!tally.done)
+                return false;
+        }
+        return true;
+    };
+    while (!allDone()) {
+        std::string text;
+        ASSERT_TRUE(channel.readLine(&text));
+        Json line;
+        std::string error;
+        ASSERT_TRUE(Json::parse(text, &line, &error)) << error;
+        ASSERT_FALSE(line.has("error")) << line.getString("error");
+        const uint64_t id = line.get("id").asU64();
+        ASSERT_TRUE(tallies.count(id)) << "unknown stream " << id;
+        StreamTally &tally = tallies[id];
+        if (line.getBool("ack", false)) {
+            tally.expected = line.get("count").asU64();
+            tally.slices = line.get("slices").asArray().size();
+            continue;
+        }
+        if (line.getBool("done", false)) {
+            EXPECT_EQ(line.get("count").asU64(), tally.expected);
+            tally.serverDigest = line.getString("digest");
+            tally.done = true;
+            continue;
+        }
+        // A result line: in submission order within its stream.
+        EXPECT_EQ(line.get("seq").asU64(), tally.results);
+        const std::string blob = hexDecode(line.getString("blob"));
+        tally.clientDigest =
+            fnv1a64(blob.data(), blob.size(), tally.clientDigest);
+        tally.blobs.push_back(blob);
+        ++tally.results;
+    }
+}
+
+/** Hex form of a folded digest, as the done line carries it. */
+std::string
+digestHex(uint64_t digest)
+{
+    char text[17];
+    std::snprintf(text, sizeof(text), "%016llx",
+                  static_cast<unsigned long long>(digest));
+    return text;
+}
+
+} // namespace
+
+TEST_F(ServiceFixture, SweepOpExpandsServerSideAndStreams)
+{
+    SweepRequest request;
+    request.family = "groupings";
+    request.program = "trfd";
+    request.contexts = 2;
+    request.scale = testScale;
+
+    // The reference expansion, computed locally.
+    SweepBuilder local = expandSweep(request);
+    ExperimentEngine localEngine;
+    const auto expected = localEngine.runAll(local.specs());
+
+    LineChannel channel = connect();
+    sendSweep(channel, 42, request);
+    std::unordered_map<uint64_t, StreamTally> tallies;
+    tallies[42] = StreamTally();
+    demux(channel, tallies);
+
+    const StreamTally &tally = tallies[42];
+    EXPECT_EQ(tally.expected, local.size());
+    EXPECT_EQ(tally.results, expected.size());
+    EXPECT_EQ(tally.slices, local.slices().size());
+    // Bit-identical to the in-process run, point by point.
+    for (size_t i = 0; i < expected.size(); ++i) {
+        EXPECT_EQ(tally.blobs[i],
+                  serializeSimStats(expected[i].stats))
+            << "point " << i;
+    }
+    EXPECT_EQ(tally.serverDigest, digestHex(tally.clientDigest));
+}
+
+TEST_F(ServiceFixture, MultiplexedSweepsInterleaveOneConnection)
+{
+    // Two sweeps in flight on ONE connection: both must stream to
+    // completion, each demultiplexed by id with its own seq order.
+    SweepRequest first;
+    first.family = "groupings";
+    first.program = "trfd";
+    first.contexts = 2;
+    first.scale = testScale;
+    SweepRequest second;
+    second.family = "groupings";
+    second.program = "swm256";
+    second.contexts = 2;
+    second.scale = testScale;
+
+    LineChannel channel = connect();
+    sendSweep(channel, 1, first);
+    sendSweep(channel, 2, second);
+    std::unordered_map<uint64_t, StreamTally> tallies;
+    tallies[1] = StreamTally();
+    tallies[2] = StreamTally();
+    demux(channel, tallies);
+
+    EXPECT_EQ(tallies[1].results, 5u);
+    EXPECT_EQ(tallies[2].results, 5u);
+    // Each stream's digest matches its own in-process run.
+    for (const auto &[id, request] :
+         std::vector<std::pair<uint64_t, SweepRequest>>{
+             {1, first}, {2, second}}) {
+        ExperimentEngine localEngine;
+        uint64_t digest = 0xcbf29ce484222325ull;
+        for (const RunResult &r :
+             localEngine.runAll(expandSweep(request).specs())) {
+            const std::string blob = serializeSimStats(r.stats);
+            digest = fnv1a64(blob.data(), blob.size(), digest);
+        }
+        EXPECT_EQ(tallies[id].serverDigest, digestHex(digest))
+            << "stream " << id;
+    }
+}
+
+TEST_F(ServiceFixture, ConcurrentClientsOverlapSweepsAndCoalesce)
+{
+    // N clients race the same sweep: digests must be bit-identical,
+    // and the duplicate points must cost ONE simulation (in-flight
+    // coalescing), which the engine's counters expose.
+    SweepRequest request;
+    request.family = "groupings";
+    request.program = "dyfesm";
+    request.contexts = 2;
+    request.scale = testScale;
+
+    // The unique cacheable work of this sweep, measured locally.
+    ExperimentEngine localEngine;
+    localEngine.runAll(expandSweep(request).specs());
+    const uint64_t uniqueMisses = localEngine.cacheMisses();
+
+    constexpr int clients = 4;
+    std::vector<std::string> digests(clients);
+    std::vector<std::thread> pool;
+    pool.reserve(clients);
+    for (int c = 0; c < clients; ++c) {
+        pool.emplace_back([this, &request, &digests, c] {
+            LineChannel channel = connect();
+            sendSweep(channel, 7, request);
+            std::unordered_map<uint64_t, StreamTally> tallies;
+            tallies[7] = StreamTally();
+            demux(channel, tallies);
+            digests[c] = tallies[7].serverDigest;
+        });
+    }
+    for (auto &thread : pool)
+        thread.join();
+
+    for (int c = 1; c < clients; ++c)
+        EXPECT_EQ(digests[c], digests[0]) << "client " << c;
+    // Four overlapping copies of the sweep, one simulation each:
+    // every duplicate lookup coalesced onto the first or hit the
+    // completed cache.
+    EXPECT_EQ(service_->engine().cacheMisses(), uniqueMisses);
+    EXPECT_GE(service_->engine().cacheHits(),
+              static_cast<uint64_t>(clients - 1) * 5);
+    EXPECT_EQ(service_->completedPoints(),
+              static_cast<uint64_t>(clients) * 5);
+    EXPECT_EQ(service_->activeRequests(), 0u);
+}
+
+TEST_F(ServiceFixture, SweepErrorsAnswerWithoutKillingDaemon)
+{
+    LineChannel channel = connect();
+    Json bad = Json::object();
+    bad.set("op", "sweep");
+    bad.set("id", 9);
+    bad.set("family", "no-such-family");
+    ASSERT_TRUE(channel.writeLine(bad.dump()));
+    std::string text;
+    ASSERT_TRUE(channel.readLine(&text));
+    Json response;
+    std::string error;
+    ASSERT_TRUE(Json::parse(text, &response, &error)) << error;
+    EXPECT_TRUE(response.has("error"));
+    EXPECT_EQ(response.get("id").asU64(), 9u);
+
+    // The daemon survived and still serves this connection.
+    Json ping = Json::object();
+    ping.set("op", "ping");
+    EXPECT_TRUE(roundTrip(channel, ping).getBool("pong"));
 }
 
 TEST_F(ServiceFixture, ShutdownOpStopsServe)

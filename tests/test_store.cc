@@ -1,8 +1,9 @@
 /**
  * @file
  * Tests for src/store: SimStats codec round-trips, segment
- * persistence, crash-tail recovery, schema-hash rejection, and the
- * engine's warm-start-from-store bit-identity.
+ * persistence across the sharded layout, crash-tail recovery,
+ * schema-hash rejection, legacy-layout migration, concurrent
+ * appends, and the engine's warm-start-from-store bit-identity.
  */
 
 #include <gtest/gtest.h>
@@ -10,6 +11,9 @@
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
+#include <thread>
+
+#include "src/common/endian.hh"
 
 #include "src/api/engine.hh"
 #include "src/store/result_store.hh"
@@ -155,6 +159,7 @@ TEST(ResultStore, PersistsAcrossSessions)
     {
         ResultStore store(dir);
         EXPECT_EQ(store.size(), 0u);
+        EXPECT_EQ(store.shardCount(), defaultStoreShards);
         EXPECT_EQ(store.load("key-a"), nullptr);
         store.store("key-a", stats);
         store.store("key-b", stats);
@@ -182,11 +187,98 @@ TEST(ResultStore, EmptySessionLeavesNoSegmentBehind)
     { ResultStore store(dir); }
     size_t segments = 0;
     for (const auto &entry :
-         std::filesystem::directory_iterator(dir)) {
+         std::filesystem::recursive_directory_iterator(dir)) {
         if (entry.path().extension() == ".mtvs")
             ++segments;
     }
     EXPECT_EQ(segments, 0u);
+    std::filesystem::remove_all(dir);
+}
+
+TEST(ResultStore, KeysPartitionAcrossShardsAndCountSticks)
+{
+    const std::string dir = tempDir("mtv_store_shards");
+    const SimStats stats = sampleStats();
+    constexpr int keys = 64;
+    {
+        ResultStore store(dir, 4);
+        EXPECT_EQ(store.shardCount(), 4);
+        for (int i = 0; i < keys; ++i)
+            store.store("key-" + std::to_string(i), stats);
+        EXPECT_EQ(store.size(), static_cast<size_t>(keys));
+    }
+    // 64 hashed keys across 4 shards: every shard got some.
+    int shardsWithData = 0;
+    for (int s = 0; s < 4; ++s) {
+        const auto shardDir =
+            std::filesystem::path(dir) /
+            ("shard-0" + std::to_string(s));
+        ASSERT_TRUE(std::filesystem::is_directory(shardDir));
+        for (const auto &entry :
+             std::filesystem::directory_iterator(shardDir)) {
+            if (entry.path().extension() == ".mtvs" &&
+                entry.file_size() > 16) {
+                ++shardsWithData;
+                break;
+            }
+        }
+    }
+    EXPECT_EQ(shardsWithData, 4);
+    {
+        // A different requested count must not re-route lookups: the
+        // store keeps the count it was created with.
+        ResultStore store(dir, 16);
+        EXPECT_EQ(store.shardCount(), 4);
+        EXPECT_EQ(store.size(), static_cast<size_t>(keys));
+        for (int i = 0; i < keys; ++i) {
+            EXPECT_NE(store.load("key-" + std::to_string(i)), nullptr)
+                << "key-" << i;
+        }
+    }
+    std::filesystem::remove_all(dir);
+}
+
+TEST(ResultStore, ConcurrentAppendsAndLoadsAreSafe)
+{
+    // Many threads hammering disjoint and overlapping keys: the
+    // per-shard locks must keep every record intact (run under TSan
+    // in CI).
+    const std::string dir = tempDir("mtv_store_mt");
+    const SimStats stats = sampleStats();
+    constexpr int threads = 8;
+    constexpr int perThread = 24;
+    {
+        ResultStore store(dir);
+        std::vector<std::thread> pool;
+        pool.reserve(threads);
+        for (int t = 0; t < threads; ++t) {
+            pool.emplace_back([&store, &stats, t] {
+                for (int i = 0; i < perThread; ++i) {
+                    // Half the keys are shared across threads
+                    // (duplicate appends dedup), half are private.
+                    const std::string key =
+                        i % 2 == 0
+                            ? "shared-" + std::to_string(i)
+                            : "t" + std::to_string(t) + "-" +
+                                  std::to_string(i);
+                    store.store(key, stats);
+                    store.load(key);
+                }
+            });
+        }
+        for (auto &thread : pool)
+            thread.join();
+        const size_t expect =
+            perThread / 2 + threads * (perThread / 2);
+        EXPECT_EQ(store.size(), expect);
+    }
+    {
+        ResultStore store(dir);
+        EXPECT_EQ(store.stats().droppedRecords, 0u);
+        ASSERT_NE(store.load("shared-0"), nullptr);
+        EXPECT_EQ(serializeSimStats(*store.load("t3-5")),
+                  serializeSimStats(stats));
+    }
     std::filesystem::remove_all(dir);
 }
 
@@ -199,18 +291,35 @@ TEST(ResultStoreDeath, SecondWriterRejected)
     std::filesystem::remove_all(dir);
 }
 
+TEST(ResultStoreDeath, MissingShardDirectoryRejected)
+{
+    // A torn copy of a store (one shard directory lost) must refuse
+    // to open: inferring a smaller count would re-route every key.
+    const std::string dir = tempDir("mtv_store_torn");
+    {
+        ResultStore store(dir, 4);
+        store.store("key-a", sampleStats());
+    }
+    std::filesystem::remove_all(dir + "/shard-01");
+    EXPECT_EXIT(ResultStore store(dir), testing::ExitedWithCode(1),
+                "missing shard-01");
+    std::filesystem::remove_all(dir);
+}
+
 // ---------------------------------------------------------------------
 // Crash recovery and rejection
 // ---------------------------------------------------------------------
 
-/** Path of the single segment in @p dir (fails the test if != 1). */
+/** Path of the single segment under @p dir (fails the test if != 1).
+ *  Searches shard subdirectories; recovery tests pin shards = 1 so
+ *  every record lands in one segment. */
 std::string
 onlySegment(const std::string &dir)
 {
     std::string found;
     int count = 0;
     for (const auto &entry :
-         std::filesystem::directory_iterator(dir)) {
+         std::filesystem::recursive_directory_iterator(dir)) {
         if (entry.path().extension() == ".mtvs") {
             found = entry.path().string();
             ++count;
@@ -224,7 +333,7 @@ TEST(ResultStore, TruncatedTailRecovered)
 {
     const std::string dir = tempDir("mtv_store_trunc");
     {
-        ResultStore store(dir);
+        ResultStore store(dir, 1);
         store.store("key-a", sampleStats());
         store.store("key-b", sampleStats());
     }
@@ -252,7 +361,7 @@ TEST(ResultStore, ChecksumFailureDropsTail)
 {
     const std::string dir = tempDir("mtv_store_corrupt");
     {
-        ResultStore store(dir);
+        ResultStore store(dir, 1);
         store.store("key-a", sampleStats());
     }
     const std::string segment = onlySegment(dir);
@@ -274,7 +383,7 @@ TEST(ResultStore, SchemaMismatchRejectsSegment)
 {
     const std::string dir = tempDir("mtv_store_schema");
     {
-        ResultStore store(dir);
+        ResultStore store(dir, 1);
         store.store("key-a", sampleStats());
     }
     const std::string segment = onlySegment(dir);
@@ -305,6 +414,93 @@ TEST(ResultStore, ForeignFileRejectedAsBadSegment)
         ResultStore store(dir);
         EXPECT_EQ(store.stats().badSegments, 1u);
         EXPECT_EQ(store.size(), 0u);
+    }
+    std::filesystem::remove_all(dir);
+}
+
+// ---------------------------------------------------------------------
+// Legacy-layout migration
+// ---------------------------------------------------------------------
+
+/** Write a pre-shard (root-level) segment holding @p entries. */
+void
+writeLegacySegment(const std::string &path,
+                   const std::vector<std::pair<std::string, SimStats>>
+                       &entries)
+{
+    std::ofstream f(path, std::ios::binary);
+    uint8_t header[16];
+    writeLe32(header, storeMagic);
+    writeLe32(header + 4, storeVersion);
+    writeLe64(header + 8, storeSchemaHash());
+    f.write(reinterpret_cast<const char *>(header), sizeof(header));
+    for (const auto &[key, stats] : entries) {
+        const std::string blob = serializeSimStats(stats);
+        uint8_t rec[16];
+        writeLe32(rec, static_cast<uint32_t>(key.size()));
+        writeLe32(rec + 4, static_cast<uint32_t>(blob.size()));
+        writeLe64(rec + 8,
+                  fnv1a64(blob.data(), blob.size(),
+                          fnv1a64(key.data(), key.size())));
+        f.write(reinterpret_cast<const char *>(rec), sizeof(rec));
+        f.write(key.data(), static_cast<std::streamsize>(key.size()));
+        f.write(blob.data(),
+                static_cast<std::streamsize>(blob.size()));
+    }
+}
+
+TEST(ResultStore, LegacyStoreMigratesIntoShards)
+{
+    const std::string dir = tempDir("mtv_store_migrate");
+    std::filesystem::create_directory(dir);
+    const SimStats stats = sampleStats();
+    std::vector<std::pair<std::string, SimStats>> entries;
+    for (int i = 0; i < 12; ++i)
+        entries.emplace_back("legacy-" + std::to_string(i), stats);
+    writeLegacySegment(dir + "/seg-000000.mtvs", entries);
+    {
+        ResultStore store(dir);
+        EXPECT_EQ(store.stats().migratedRecords, 12u);
+        EXPECT_EQ(store.size(), 12u);
+        // The legacy file is gone; its records now live in shards.
+        EXPECT_FALSE(
+            std::filesystem::exists(dir + "/seg-000000.mtvs"));
+        auto loaded = store.load("legacy-7");
+        ASSERT_NE(loaded, nullptr);
+        EXPECT_EQ(serializeSimStats(*loaded),
+                  serializeSimStats(stats));
+    }
+    {
+        // Second open: nothing left to migrate, records persist.
+        ResultStore store(dir);
+        EXPECT_EQ(store.stats().migratedRecords, 0u);
+        EXPECT_EQ(store.stats().loadedRecords, 12u);
+        EXPECT_EQ(store.size(), 12u);
+    }
+    std::filesystem::remove_all(dir);
+}
+
+TEST(ResultStore, MigrationRecoversLegacyCrashTail)
+{
+    // A store that crashed mid-append under the old layout migrates
+    // its intact prefix and drops the torn tail.
+    const std::string dir = tempDir("mtv_store_migrate_tail");
+    std::filesystem::create_directory(dir);
+    const SimStats stats = sampleStats();
+    writeLegacySegment(dir + "/seg-000000.mtvs",
+                       {{"whole", stats}, {"torn", stats}});
+    const std::string legacy = dir + "/seg-000000.mtvs";
+    std::filesystem::resize_file(
+        legacy, std::filesystem::file_size(legacy) - 5);
+    {
+        ResultStore store(dir);
+        EXPECT_EQ(store.stats().migratedRecords, 1u);
+        EXPECT_EQ(store.stats().droppedRecords, 1u);
+        EXPECT_NE(store.load("whole"), nullptr);
+        EXPECT_EQ(store.load("torn"), nullptr);
+        // The scanned legacy file is deleted: its intact prefix was
+        // re-homed and the torn tail is unrecoverable either way.
+        EXPECT_FALSE(std::filesystem::exists(legacy));
     }
     std::filesystem::remove_all(dir);
 }
@@ -388,7 +584,9 @@ TEST(StoreBackedEngine, RecoveredStoreResimulatesOnlyTheLostTail)
     const std::vector<RunSpec> specs = warmStartSpecs();
     {
         EngineOptions options;
-        options.backend = std::make_shared<ResultStore>(dir);
+        // One shard so the kill-torn tail lands in the one segment
+        // onlySegment() finds.
+        options.backend = std::make_shared<ResultStore>(dir, 1);
         ExperimentEngine engine(options);
         engine.runAll(specs);
     }

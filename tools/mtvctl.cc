@@ -7,14 +7,21 @@
  *   mtvctl ping                         is the daemon up?
  *   mtvctl run <program> [--contexts N] [--scale S]
  *                                       one single-mode point
- *   mtvctl sweep [--scale S] [--local]  the Figure 6 grouping sweep
- *                                       (250 group points); prints
- *                                       per-program speedups, served-
- *                                       from counts and a bit-exact
- *                                       result digest. --local runs
- *                                       the identical sweep in-process
+ *   mtvctl sweep [--scale S] [--family F] [--program P]
+ *                [--contexts N] [--follow] [--local]
+ *                                       a named sweep, expanded
+ *                                       *server-side*: the client
+ *                                       sends one ~100-byte request
+ *                                       naming the family (default
+ *                                       suite-grouping, the Figure 6
+ *                                       sweep) and consumes the
+ *                                       result stream. --follow
+ *                                       prints each point as it
+ *                                       arrives; --local runs the
+ *                                       identical sweep in-process
  *                                       (no daemon) for comparison.
- *   mtvctl warm [--scale S]             run the sweep quietly, just to
+ *   mtvctl warm [--scale S] [--family F]
+ *                                       run the sweep quietly, just to
  *                                       populate the daemon's store
  *   mtvctl stats                        cache/store counters
  *   mtvctl clear                        drop the daemon's memory cache
@@ -23,7 +30,10 @@
  * The digest is FNV-1a over the canonical binary SimStats blobs in
  * submission order: two invocations printing the same digest produced
  * bit-identical results, which is how the service smoke test checks
- * determinism across daemon restarts and against --local.
+ * determinism across daemon restarts and against --local. The daemon
+ * folds the same digest server-side and reports it on the done line,
+ * so quiet (warm) requests get it too; when both sides computed one,
+ * mtvctl verifies they agree.
  */
 
 #include <chrono>
@@ -36,6 +46,7 @@
 #include "src/api/engine.hh"
 #include "src/api/sweep.hh"
 #include "src/common/logging.hh"
+#include "src/common/strutil.hh"
 #include "src/common/table.hh"
 #include "src/service/protocol.hh"
 #include "src/store/stats_codec.hh"
@@ -54,19 +65,22 @@ usage()
         "usage: mtvctl [--socket PATH] <command> [options]\n"
         "  ping | stats | clear | shutdown\n"
         "  run <program> [--contexts N] [--scale S]\n"
-        "  sweep [--scale S] [--local]\n"
-        "  warm [--scale S]\n");
+        "  sweep [--scale S] [--family F] [--program P] "
+        "[--contexts N] [--follow] [--local]\n"
+        "  warm [--scale S] [--family F]\n");
     return 2;
 }
 
-/** Outcome of one batch ("run" op) against the daemon. */
+/** Outcome of one streamed batch (run or sweep) from the daemon. */
 struct BatchOutcome
 {
     std::vector<RunResult> results;  ///< submission order
     uint64_t simulated = 0;
     uint64_t cacheServed = 0;
     uint64_t storeServed = 0;
-    uint64_t digest = 0;  ///< folded over blobs; 0 for quiet batches
+    /** Folded over blobs client-side; for quiet batches the daemon's
+     *  server-folded digest (reported on the done line) instead. */
+    uint64_t digest = 0;
 };
 
 Json
@@ -90,47 +104,72 @@ connectChannel(const std::string &socketPath)
 {
     std::string error;
     const int fd = connectToDaemon(socketPath, &error);
-    if (fd < 0)
-        fatal("cannot connect: %s", error.c_str());
+    if (fd < 0) {
+        // One actionable line, not a raw connect errno: the common
+        // case is simply that no daemon is up (or its socket file is
+        // stale).
+        std::fprintf(stderr,
+                     "mtvctl: daemon not running at %s (start it "
+                     "with: mtvd --socket %s)\n",
+                     socketPath.c_str(), socketPath.c_str());
+        std::exit(1);
+    }
     return LineChannel(fd);
 }
 
+/** Called per result line, in submission order. */
+using PointHook =
+    std::function<void(const RunResult &result, size_t seq)>;
+
 /**
- * Run @p specs through the daemon, consuming the result stream in
- * submission order. Quiet batches skip blobs (and so the digest).
+ * Consume the streamed response of request @p id until its done
+ * line: result lines are decoded (blob and all), the digest folded,
+ * and @p hook invoked per point. @p expected is the point count from
+ * the request (run) or the ack (sweep).
  */
 BatchOutcome
-runBatch(LineChannel &channel, const std::vector<RunSpec> &specs,
-         bool quiet)
+consumeStream(LineChannel &channel, uint64_t id, size_t expected,
+              const PointHook &hook)
 {
-    Json request = Json::object();
-    request.set("op", "run");
-    Json specArray = Json::array();
-    for (const RunSpec &spec : specs)
-        specArray.push(spec.canonical());
-    request.set("specs", std::move(specArray));
-    request.set("quiet", quiet);
-    if (!channel.writeLine(request.dump()))
-        fatal("cannot send request (daemon gone?)");
-
     BatchOutcome outcome;
     outcome.digest = 0xcbf29ce484222325ull;
-    outcome.results.reserve(specs.size());
+    outcome.results.reserve(expected);
+    bool sawBlobs = false;
     for (;;) {
         const Json line = readResponse(channel);
+        if (line.get("id").asU64() != id)
+            fatal("response for unknown request id %llu",
+                  static_cast<unsigned long long>(
+                      line.get("id").asU64()));
         if (line.getBool("done", false)) {
             outcome.simulated = line.get("simulated").asU64();
             outcome.cacheServed = line.get("cacheServed").asU64();
             outcome.storeServed = line.get("storeServed").asU64();
+            const std::string server = line.getString("digest");
+            if (!sawBlobs) {
+                // Quiet batch: adopt the server-folded digest.
+                outcome.digest =
+                    std::strtoull(server.c_str(), nullptr, 16);
+            } else if (server !=
+                       format("%016llx",
+                              static_cast<unsigned long long>(
+                                  outcome.digest))) {
+                fatal("server digest %s != client digest %016llx",
+                      server.c_str(),
+                      static_cast<unsigned long long>(
+                          outcome.digest));
+            }
             break;
         }
         const size_t seq = line.get("seq").asU64();
-        if (seq != outcome.results.size() || seq >= specs.size())
+        if (seq != outcome.results.size() || seq >= expected)
             fatal("result stream out of order (seq %zu)", seq);
         RunResult result;
-        result.spec = specs[seq];
+        result.spec = RunSpec::parse(line.getString("spec"));
         result.cached = line.getBool("cached");
         result.fromStore = line.getBool("store");
+        result.stats.cycles = line.get("cycles").asU64();
+        result.stats.dispatches = line.get("dispatches").asU64();
         result.speedup = line.getNumber("speedup");
         result.mthOccupation = line.getNumber("mthOccupation");
         result.refOccupation = line.getNumber("refOccupation");
@@ -142,14 +181,15 @@ runBatch(LineChannel &channel, const std::vector<RunSpec> &specs,
             result.stats = deserializeSimStats(blob);
             outcome.digest =
                 fnv1a64(blob.data(), blob.size(), outcome.digest);
+            sawBlobs = true;
         }
+        if (hook)
+            hook(result, seq);
         outcome.results.push_back(std::move(result));
     }
-    if (outcome.results.size() != specs.size())
+    if (outcome.results.size() != expected)
         fatal("daemon returned %zu of %zu results",
-              outcome.results.size(), specs.size());
-    if (quiet)
-        outcome.digest = 0;
+              outcome.results.size(), expected);
     return outcome;
 }
 
@@ -163,11 +203,20 @@ scaleArg(const char *text)
 }
 
 void
-printSweepReport(const SweepBuilder &sweep,
+printSliceReport(const std::vector<SweepSlice> &slices,
                  const std::vector<RunResult> &results)
 {
-    Table t({"program", "contexts", "speedup", "runs"});
-    for (const SweepSlice &slice : sweep.slices()) {
+    if (slices.empty())
+        return;
+    Table t({"label", "contexts", "speedup", "runs"});
+    for (const SweepSlice &slice : slices) {
+        if (slice.count == 0 ||
+            results[slice.first].spec.mode != SpecMode::Group) {
+            // Non-group slices (e.g. the latency family) have no
+            // speedup average; print cycles of each point instead
+            // via --follow.
+            continue;
+        }
         const GroupAverages avg = averageOf(slice, results);
         t.row()
             .add(avg.program)
@@ -178,10 +227,40 @@ printSweepReport(const SweepBuilder &sweep,
     t.print();
 }
 
-int
-cmdSweepLocal(double scale)
+void
+printServed(uint64_t simulated, uint64_t cache, uint64_t store)
 {
-    SweepBuilder sweep = suiteGroupingSweep(scale);
+    std::printf("served: simulated=%llu cache=%llu store=%llu\n",
+                static_cast<unsigned long long>(simulated),
+                static_cast<unsigned long long>(cache),
+                static_cast<unsigned long long>(store));
+}
+
+void
+printDigest(uint64_t digest)
+{
+    std::printf("digest: %016llx\n",
+                static_cast<unsigned long long>(digest));
+}
+
+/** The --follow per-point line. */
+void
+printPoint(const RunResult &r, size_t seq, size_t total)
+{
+    std::printf("point %zu/%zu %s: %llu cycles%s%s\n", seq + 1,
+                total, r.spec.programs[0].c_str(),
+                static_cast<unsigned long long>(r.stats.cycles),
+                r.spec.mode == SpecMode::Group
+                    ? format(", speedup %.3f", r.speedup).c_str()
+                    : "",
+                r.cached ? " (cache)"
+                         : (r.fromStore ? " (store)" : ""));
+}
+
+int
+cmdSweepLocal(const SweepRequest &request)
+{
+    SweepBuilder sweep = expandSweep(request);
     ExperimentEngine engine;
     const auto start = std::chrono::steady_clock::now();
     const std::vector<RunResult> results =
@@ -202,42 +281,57 @@ cmdSweepLocal(double scale)
         else
             ++simulated;
     }
-    printSweepReport(sweep, results);
+    printSliceReport(sweep.slices(), results);
     std::printf("sweep: %zu points in %.2fs (local, no daemon)\n",
                 results.size(), seconds);
-    std::printf("served: simulated=%llu cache=%llu store=0\n",
-                static_cast<unsigned long long>(simulated),
-                static_cast<unsigned long long>(cacheServed));
-    std::printf("digest: %016llx\n",
-                static_cast<unsigned long long>(digest));
+    printServed(simulated, cacheServed, 0);
+    printDigest(digest);
     return 0;
 }
 
 int
-cmdSweep(const std::string &socketPath, double scale, bool quiet)
+cmdSweep(const std::string &socketPath, const SweepRequest &request,
+         bool quiet, bool follow)
 {
-    SweepBuilder sweep = suiteGroupingSweep(scale);
     LineChannel channel = connectChannel(socketPath);
+    constexpr uint64_t id = 1;
+    Json line = sweepRequestToJson(request);
+    line.set("op", "sweep");
+    line.set("id", id);
+    line.set("quiet", quiet);
+    if (!channel.writeLine(line.dump()))
+        fatal("cannot send request (daemon gone?)");
+
+    // The ack carries the server-side expansion's shape: how many
+    // points are coming and which slices they average into.
+    const Json ack = readResponse(channel);
+    if (!ack.getBool("ack", false) || ack.get("id").asU64() != id)
+        fatal("expected sweep ack, got: %s", ack.dump().c_str());
+    const size_t count = ack.get("count").asU64();
+    std::vector<SweepSlice> slices;
+    for (const Json &slice : ack.get("slices").asArray())
+        slices.push_back(sliceFromJson(slice));
+
     const auto start = std::chrono::steady_clock::now();
-    const BatchOutcome outcome =
-        runBatch(channel, sweep.specs(), quiet);
+    const BatchOutcome outcome = consumeStream(
+        channel, id, count,
+        [follow, count](const RunResult &r, size_t seq) {
+            if (follow)
+                printPoint(r, seq, count);
+        });
     const double seconds =
         std::chrono::duration<double>(
             std::chrono::steady_clock::now() - start)
             .count();
 
     if (!quiet)
-        printSweepReport(sweep, outcome.results);
-    std::printf("sweep: %zu points in %.2fs\n",
-                outcome.results.size(), seconds);
-    std::printf("served: simulated=%llu cache=%llu store=%llu\n",
-                static_cast<unsigned long long>(outcome.simulated),
-                static_cast<unsigned long long>(outcome.cacheServed),
-                static_cast<unsigned long long>(outcome.storeServed));
-    if (!quiet) {
-        std::printf("digest: %016llx\n",
-                    static_cast<unsigned long long>(outcome.digest));
-    }
+        printSliceReport(slices, outcome.results);
+    std::printf("sweep: %zu points in %.2fs (family %s)\n",
+                outcome.results.size(), seconds,
+                request.family.c_str());
+    printServed(outcome.simulated, outcome.cacheServed,
+                outcome.storeServed);
+    printDigest(outcome.digest);
     return 0;
 }
 
@@ -250,8 +344,16 @@ cmdRun(const std::string &socketPath, const std::string &program,
                       : MachineParams::multithreaded(contexts);
     const RunSpec spec = RunSpec::single(program, params, scale);
     LineChannel channel = connectChannel(socketPath);
+    Json request = Json::object();
+    request.set("op", "run");
+    request.set("id", 1);
+    Json specArray = Json::array();
+    specArray.push(spec.canonical());
+    request.set("specs", std::move(specArray));
+    if (!channel.writeLine(request.dump()))
+        fatal("cannot send request (daemon gone?)");
     const BatchOutcome outcome =
-        runBatch(channel, {spec}, /*quiet=*/false);
+        consumeStream(channel, 1, 1, nullptr);
     const RunResult &r = outcome.results.at(0);
     std::printf("%s @ %d context%s: %llu cycles, %llu dispatches "
                 "(%s)\n",
@@ -260,8 +362,7 @@ cmdRun(const std::string &socketPath, const std::string &program,
                 static_cast<unsigned long long>(r.stats.dispatches),
                 r.cached ? "cache"
                          : (r.fromStore ? "store" : "simulated"));
-    std::printf("digest: %016llx\n",
-                static_cast<unsigned long long>(outcome.digest));
+    printDigest(outcome.digest);
     return 0;
 }
 
@@ -295,9 +396,11 @@ main(int argc, char **argv)
         return usage();
     const std::string command = argv[i++];
 
-    double scale = workloadDefaultScale;
+    SweepRequest sweepRequest;
+    sweepRequest.family = "suite-grouping";
     bool local = false;
-    int contexts = 1;
+    bool follow = false;
+    int contexts = 0;  // 0 = not specified (family/run defaults)
     std::string program;
     for (; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -307,9 +410,15 @@ main(int argc, char **argv)
             return argv[++i];
         };
         if (arg == "--scale")
-            scale = scaleArg(value());
+            sweepRequest.scale = scaleArg(value());
+        else if (arg == "--family")
+            sweepRequest.family = value();
+        else if (arg == "--program")
+            program = value();
         else if (arg == "--local")
             local = true;
+        else if (arg == "--follow")
+            follow = true;
         else if (arg == "--contexts")
             contexts = std::atoi(value());
         else if (arg.rfind("--", 0) == 0) {
@@ -321,6 +430,10 @@ main(int argc, char **argv)
         else
             return usage();
     }
+    sweepRequest.program = program;
+    // An explicit --contexts is forwarded verbatim (1 = the
+    // reference machine's count); 0 keeps the family defaults.
+    sweepRequest.contexts = contexts;
 
     if (command == "ping" || command == "stats" ||
         command == "clear" || command == "shutdown") {
@@ -329,13 +442,18 @@ main(int argc, char **argv)
     if (command == "run") {
         if (program.empty())
             return usage();
-        return cmdRun(socketPath, program, contexts, scale);
+        return cmdRun(socketPath, program,
+                      contexts == 0 ? 1 : contexts,
+                      sweepRequest.scale);
     }
     if (command == "sweep") {
-        return local ? cmdSweepLocal(scale)
-                     : cmdSweep(socketPath, scale, /*quiet=*/false);
+        return local ? cmdSweepLocal(sweepRequest)
+                     : cmdSweep(socketPath, sweepRequest,
+                                /*quiet=*/false, follow);
     }
-    if (command == "warm")
-        return cmdSweep(socketPath, scale, /*quiet=*/true);
+    if (command == "warm") {
+        return cmdSweep(socketPath, sweepRequest, /*quiet=*/true,
+                        /*follow=*/false);
+    }
     return usage();
 }

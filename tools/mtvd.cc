@@ -6,14 +6,15 @@
  * protocol clients.
  *
  * Usage:
- *   mtvd [--socket PATH] [--store DIR] [--workers N]
+ *   mtvd [--socket PATH] [--store DIR] [--shards N] [--workers N]
  *        [--cache-cap N] [--quiet]
  *
  * Defaults: socket $MTV_SOCKET or /tmp/mtvd.sock; no store (results
- * die with the daemon — pass --store to persist); one worker per
- * hardware thread; unbounded memory cache. Runs in the foreground
- * (use your service manager or `&` to daemonize); SIGINT/SIGTERM
- * shut it down cleanly.
+ * die with the daemon — pass --store to persist; --shards sets the
+ * hash-partition count of a *fresh* store, existing stores keep
+ * theirs); one worker per hardware thread; unbounded memory cache.
+ * Runs in the foreground (use your service manager or `&` to
+ * daemonize); SIGINT/SIGTERM shut it down cleanly.
  */
 
 #include <csignal>
@@ -41,7 +42,8 @@ usage()
 {
     std::fprintf(stderr,
                  "usage: mtvd [--socket PATH] [--store DIR] "
-                 "[--workers N] [--cache-cap N] [--quiet]\n");
+                 "[--shards N] [--workers N] [--cache-cap N] "
+                 "[--quiet]\n");
     return 2;
 }
 
@@ -64,6 +66,8 @@ main(int argc, char **argv)
             options.socketPath = value();
         } else if (arg == "--store") {
             options.storeDir = value();
+        } else if (arg == "--shards") {
+            options.storeShards = std::atoi(value());
         } else if (arg == "--workers") {
             options.workers = std::atoi(value());
         } else if (arg == "--cache-cap") {
@@ -90,12 +94,14 @@ main(int argc, char **argv)
     if (service.store()) {
         const ResultStore::Stats s = service.store()->stats();
         inform("mtvd: store '%s' warm with %llu results "
-               "(%zu segments, %zu stale, %llu dropped)",
+               "(%zu shards, %zu segments, %zu stale, %llu dropped, "
+               "%llu migrated)",
                service.store()->directory().c_str(),
                static_cast<unsigned long long>(
                    service.store()->size()),
-               s.segments, s.staleSegments,
-               static_cast<unsigned long long>(s.droppedRecords));
+               s.shards, s.segments, s.staleSegments,
+               static_cast<unsigned long long>(s.droppedRecords),
+               static_cast<unsigned long long>(s.migratedRecords));
     }
 
     service.serve();

@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""CI perf gate: compare a fresh bench_simspeed JSON against the
+committed baseline and fail on a sim-cycles/s regression.
+
+Usage: perf_gate.py BASELINE FRESH [--threshold 0.25]
+
+Every benchmark present in the baseline must be present in the fresh
+run (a silently vanished benchmark would rot the gate) and must run at
+>= (1 - threshold) x its baseline sim_cycles/s. Benchmarks new in the
+fresh run pass through (they become gated once the baseline is
+refreshed). The fresh JSON is uploaded by CI as the next baseline
+artifact, so the committed file only needs refreshing when the
+hardware class or the benchmark set changes.
+"""
+
+import argparse
+import json
+import sys
+
+
+def rates(path):
+    with open(path) as f:
+        data = json.load(f)
+    return {
+        b["name"]: b["sim_cycles/s"]
+        for b in data.get("benchmarks", [])
+        if "sim_cycles/s" in b
+    }
+
+
+def main():
+    parser = argparse.ArgumentParser()
+    parser.add_argument("baseline")
+    parser.add_argument("fresh")
+    parser.add_argument("--threshold", type=float, default=0.25,
+                        help="maximum tolerated fractional regression")
+    args = parser.parse_args()
+
+    baseline = rates(args.baseline)
+    fresh = rates(args.fresh)
+    if not baseline:
+        print(f"perf gate: no sim_cycles/s rates in {args.baseline}")
+        return 1
+
+    failures = []
+    width = max(len(name) for name in baseline)
+    print(f"{'benchmark':<{width}} {'baseline':>12} {'fresh':>12} "
+          f"{'ratio':>7}")
+    for name in sorted(baseline):
+        base = baseline[name]
+        if name not in fresh:
+            print(f"{name:<{width}} {base:>12.3e} {'MISSING':>12}")
+            failures.append(f"{name}: missing from the fresh run")
+            continue
+        ratio = fresh[name] / base
+        print(f"{name:<{width}} {base:>12.3e} {fresh[name]:>12.3e} "
+              f"{ratio:>6.2f}x")
+        if ratio < 1.0 - args.threshold:
+            failures.append(
+                f"{name}: {fresh[name]:.3e} sim_cycles/s is "
+                f"{(1.0 - ratio) * 100:.0f}% below the baseline "
+                f"{base:.3e} (tolerance {args.threshold * 100:.0f}%)")
+    for name in sorted(set(fresh) - set(baseline)):
+        print(f"{name:<{width}} {'(new)':>12} {fresh[name]:>12.3e}")
+
+    if failures:
+        print("\nperf gate FAILED:")
+        for failure in failures:
+            print(f"  {failure}")
+        return 1
+    print(f"\nperf gate passed: {len(baseline)} benchmarks within "
+          f"{args.threshold * 100:.0f}% of baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

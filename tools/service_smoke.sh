@@ -1,12 +1,15 @@
 #!/usr/bin/env bash
-# Service smoke test: the ISSUE-2 acceptance scenario, end to end.
+# Service smoke test: the ISSUE-4 acceptance scenario, end to end.
 #
-#   1. start mtvd with a fresh store, run the Figure 6 grouping sweep
-#      (cold: everything simulated);
-#   2. SIGKILL the daemon (no graceful close), restart it on the same
-#      store, run the identical sweep again;
-#   3. assert the second run is >= 95% store-served and its result
-#      digest is bit-identical to the first;
+#   1. start mtvd with a fresh sharded store and SIGKILL it MID-SWEEP
+#      (no graceful close, appends in flight across the shards);
+#   2. restart on the same store: every shard recovers its intact
+#      records (crash tails dropped), and a full sweep — sent as ONE
+#      ~100-byte server-side-expanded request — completes, reusing
+#      whatever the killed run persisted;
+#   3. SIGKILL the idle daemon, restart, sweep again: now >= 95% of
+#      the points must be store-served and the digest bit-identical
+#      to the pre-kill run;
 #   4. assert a cold in-process run (mtvctl sweep --local, no daemon)
 #      produces the same digest.
 #
@@ -49,19 +52,34 @@ field() {  # field <name> <<< "served: simulated=N cache=N store=N"
     grep -o "$1=[0-9]*" | cut -d= -f2
 }
 
-echo "== cold run (fresh store) =="
+echo "== start a sweep on a fresh store, SIGKILL the daemon mid-flight =="
+start_daemon
+sweep > "$WORK/killed_sweep.out" 2>&1 &
+SWEEP_PID=$!
+sleep 0.4
+kill -9 "$DAEMON_PID"
+wait "$DAEMON_PID" 2>/dev/null || true
+DAEMON_PID=""
+# The client loses its daemon mid-stream; any exit is acceptable.
+wait "$SWEEP_PID" 2>/dev/null || true
+PARTIAL=$(ls "$STORE"/shard-*/seg-*.mtvs 2>/dev/null | wc -l)
+echo "killed mid-sweep; $PARTIAL shard segments left behind"
+
+echo "== restart on the killed store, run the full sweep =="
 start_daemon
 COLD_OUT=$(sweep)
 COLD_DIGEST=$(echo "$COLD_OUT" | grep '^digest:' | awk '{print $2}')
 COLD_SIM=$(echo "$COLD_OUT" | grep '^served:' | field simulated)
-echo "cold: simulated=$COLD_SIM digest=$COLD_DIGEST"
-[ "$COLD_SIM" -gt 0 ] || { echo "FAIL: cold run simulated nothing"; exit 1; }
+COLD_STORE=$(echo "$COLD_OUT" | grep '^served:' | field store)
+echo "recovered run: simulated=$COLD_SIM store=$COLD_STORE digest=$COLD_DIGEST"
 
-echo "== SIGKILL the daemon, restart on the same store =="
+echo "== SIGKILL the idle daemon, restart, sweep must be store-served =="
 kill -9 "$DAEMON_PID"
 wait "$DAEMON_PID" 2>/dev/null || true
 DAEMON_PID=""
 start_daemon
+grep -q 'shards' "$WORK/daemon.log" \
+    || { echo "FAIL: daemon did not report a sharded store"; exit 1; }
 
 WARM_OUT=$(sweep)
 WARM_DIGEST=$(echo "$WARM_OUT" | grep '^digest:' | awk '{print $2}')
@@ -77,7 +95,7 @@ if [ "$WARM_STORE" -lt "$THRESHOLD" ]; then
     exit 1
 fi
 
-# Bit-identical across the SIGKILL restart.
+# Bit-identical across both SIGKILL restarts.
 if [ "$WARM_DIGEST" != "$COLD_DIGEST" ]; then
     echo "FAIL: warm digest $WARM_DIGEST != cold digest $COLD_DIGEST"
     exit 1
@@ -97,4 +115,4 @@ fi
 wait "$DAEMON_PID" 2>/dev/null || true
 DAEMON_PID=""
 
-echo "PASS: $WARM_STORE/$WARM_TOTAL store-served after SIGKILL restart, digests bit-identical"
+echo "PASS: mid-sweep SIGKILL recovered; $WARM_STORE/$WARM_TOTAL store-served; digests bit-identical (daemon == restart == --local)"
