@@ -35,6 +35,8 @@ ExperimentEngine::ExperimentEngine(EngineOptions options)
         workers_ = static_cast<int>(
             std::max(1u, std::thread::hardware_concurrency()));
     }
+    lanes_.emplace(defaultLane, Lane());
+    laneOrder_.push_back(defaultLane);
     pool_.reserve(workers_);
     for (int i = 0; i < workers_; ++i)
         pool_.emplace_back([this] { workerLoop(); });
@@ -52,6 +54,33 @@ ExperimentEngine::~ExperimentEngine()
 }
 
 void
+ExperimentEngine::advanceLaneLocked()
+{
+    laneCursor_ = (laneCursor_ + 1) % laneOrder_.size();
+    laneBudget_ = lanes_[laneOrder_[laneCursor_]].weight;
+}
+
+std::function<void()>
+ExperimentEngine::popTaskLocked()
+{
+    // Weighted round-robin: drain up to `weight` tasks from the
+    // cursor lane, then move on. Empty lanes cost one skip each;
+    // queuedTasks_ > 0 guarantees the scan terminates.
+    for (;;) {
+        Lane &lane = lanes_[laneOrder_[laneCursor_]];
+        if (lane.tasks.empty() || laneBudget_ <= 0) {
+            advanceLaneLocked();
+            continue;
+        }
+        std::function<void()> task = std::move(lane.tasks.front());
+        lane.tasks.pop_front();
+        --queuedTasks_;
+        --laneBudget_;
+        return task;
+    }
+}
+
+void
 ExperimentEngine::workerLoop()
 {
     insideWorker = true;
@@ -60,15 +89,57 @@ ExperimentEngine::workerLoop()
         {
             std::unique_lock<std::mutex> lock(queueMutex_);
             queueCv_.wait(lock, [this] {
-                return stopping_ || !queue_.empty();
+                return stopping_ || queuedTasks_ > 0;
             });
-            if (queue_.empty())
-                return;  // stopping, queue drained
-            task = std::move(queue_.front());
-            queue_.pop_front();
+            if (queuedTasks_ == 0)
+                return;  // stopping, queues drained
+            task = popTaskLocked();
         }
         task();
     }
+}
+
+LaneId
+ExperimentEngine::openLane(int weight)
+{
+    if (weight < 1)
+        fatal("lane weight must be >= 1, got %d", weight);
+    std::lock_guard<std::mutex> lock(queueMutex_);
+    const LaneId id = nextLaneId_++;
+    Lane lane;
+    lane.weight = weight;
+    lanes_.emplace(id, std::move(lane));
+    laneOrder_.push_back(id);
+    return id;
+}
+
+size_t
+ExperimentEngine::closeLane(LaneId lane)
+{
+    if (lane == defaultLane)
+        fatal("the default engine lane cannot be closed");
+    std::deque<std::function<void()>> dropped;
+    {
+        std::lock_guard<std::mutex> lock(queueMutex_);
+        auto it = lanes_.find(lane);
+        if (it == lanes_.end())
+            return 0;
+        dropped.swap(it->second.tasks);
+        queuedTasks_ -= dropped.size();
+        lanes_.erase(it);
+        const auto pos =
+            std::find(laneOrder_.begin(), laneOrder_.end(), lane);
+        const size_t index = pos - laneOrder_.begin();
+        laneOrder_.erase(pos);
+        if (index < laneCursor_)
+            --laneCursor_;
+        laneCursor_ %= laneOrder_.size();  // never empty: lane 0 stays
+        laneBudget_ = lanes_[laneOrder_[laneCursor_]].weight;
+    }
+    // Destroying the tasks outside the lock breaks their promises,
+    // failing the corresponding futures.
+    discardedTasks_.fetch_add(dropped.size());
+    return dropped.size();
 }
 
 RunResult
@@ -103,9 +174,12 @@ ExperimentEngine::runAll(const std::vector<RunSpec> &specs)
     std::exception_ptr firstError;
     {
         std::lock_guard<std::mutex> lock(queueMutex_);
+        Lane &lane = lanes_[defaultLane];
+        queuedTasks_ += specs.size();
         for (size_t i = 0; i < specs.size(); ++i) {
-            queue_.emplace_back([this, &specs, &results, &remaining,
-                                 &doneMutex, &doneCv, &firstError, i] {
+            lane.tasks.emplace_back([this, &specs, &results,
+                                     &remaining, &doneMutex, &doneCv,
+                                     &firstError, i] {
                 // An exception (SimError from a wedged run, or a
                 // thrown fatal()) must reach the batch caller, not
                 // unwind the worker loop into std::terminate. Every
@@ -135,11 +209,23 @@ ExperimentEngine::runAll(const std::vector<RunSpec> &specs)
 }
 
 std::future<RunResult>
-ExperimentEngine::submit(const RunSpec &spec, SubmitHook hook)
+ExperimentEngine::submit(const RunSpec &spec, SubmitHook hook,
+                         std::shared_ptr<CancelToken> token,
+                         LaneId laneId)
 {
     auto task = std::make_shared<std::packaged_task<RunResult()>>(
-        [this, spec, hook = std::move(hook)] {
-            RunResult result = execute(spec);
+        [this, spec, hook = std::move(hook),
+         token = std::move(token)] {
+            // The cooperative cancellation point: a task dequeued
+            // after its batch was cancelled never simulates and never
+            // writes through to the backend. A live batch wanting the
+            // same spec runs it through its own (uncancelled) task.
+            if (token && token->cancelled()) {
+                cancelledRuns_.fetch_add(1);
+                throw CancelledError("batch cancelled before '" +
+                                     spec.canonical() + "' ran");
+            }
+            RunResult result = execute(spec, token.get());
             if (hook)
                 hook(result);
             return result;
@@ -151,7 +237,16 @@ ExperimentEngine::submit(const RunSpec &spec, SubmitHook hook)
     }
     {
         std::lock_guard<std::mutex> lock(queueMutex_);
-        queue_.emplace_back([task] { (*task)(); });
+        auto it = lanes_.find(laneId);
+        if (it == lanes_.end()) {
+            // The lane was closed (its tenant is gone): abandon the
+            // task without queueing it. Dropping the only reference
+            // breaks the promise, failing the future.
+            discardedTasks_.fetch_add(1);
+            return future;
+        }
+        it->second.tasks.emplace_back([task] { (*task)(); });
+        ++queuedTasks_;
     }
     queueCv_.notify_one();
     return future;
@@ -160,14 +255,23 @@ ExperimentEngine::submit(const RunSpec &spec, SubmitHook hook)
 size_t
 ExperimentEngine::discardQueued()
 {
-    std::deque<std::function<void()>> dropped;
+    std::vector<std::deque<std::function<void()>>> dropped;
+    size_t count = 0;
     {
         std::lock_guard<std::mutex> lock(queueMutex_);
-        dropped.swap(queue_);
+        for (auto &lane : lanes_) {
+            if (lane.second.tasks.empty())
+                continue;
+            count += lane.second.tasks.size();
+            dropped.emplace_back(std::move(lane.second.tasks));
+            lane.second.tasks.clear();
+        }
+        queuedTasks_ = 0;
     }
     // Destroying the packaged tasks outside the lock breaks their
     // promises, failing the corresponding futures.
-    return dropped.size();
+    discardedTasks_.fetch_add(count);
+    return count;
 }
 
 SimStats
@@ -338,7 +442,8 @@ ExperimentEngine::clear()
 }
 
 RunResult
-ExperimentEngine::execute(const RunSpec &spec)
+ExperimentEngine::execute(const RunSpec &spec,
+                          const CancelToken *token)
 {
     RunResult result;
     result.spec = spec;
@@ -347,7 +452,8 @@ ExperimentEngine::execute(const RunSpec &spec)
     result.cached = origin == Origin::Cache;
     result.fromStore = origin == Origin::Store;
     if (spec.mode == SpecMode::Group) {
-        const GroupMetrics m = groupMetrics(spec, result.stats);
+        const GroupMetrics m =
+            groupMetrics(spec, result.stats, token);
         result.speedup = m.speedup;
         result.mthOccupation = m.mthOccupation;
         result.refOccupation = m.refOccupation;
@@ -359,51 +465,68 @@ ExperimentEngine::execute(const RunSpec &spec)
 
 ExperimentEngine::GroupMetrics
 ExperimentEngine::groupMetrics(const RunSpec &spec,
-                               const SimStats &mth)
+                               const SimStats &mth,
+                               const CancelToken *token)
 {
     if (!memoize_)
-        return computeGroupMetrics(spec, mth);
+        return computeGroupMetrics(spec, mth, token);
 
     const std::string key = spec.canonical();
-    std::promise<GroupMetrics> promise;
-    std::shared_future<GroupMetrics> future;
-    bool owner = false;
-    {
-        std::lock_guard<std::mutex> lock(groupMutex_);
-        auto it = groupCache_.find(key);
-        if (it == groupCache_.end()) {
-            future = promise.get_future().share();
-            // Capped engines bound this cache too (coarse flush:
-            // entries are tiny and recomputing is safe/deterministic,
-            // so LRU bookkeeping isn't worth it here).
-            if (maxCacheEntries_ != 0 &&
-                groupCache_.size() >= maxCacheEntries_) {
-                groupCache_.clear();
+    for (;;) {
+        std::promise<GroupMetrics> promise;
+        std::shared_future<GroupMetrics> future;
+        bool owner = false;
+        {
+            std::lock_guard<std::mutex> lock(groupMutex_);
+            auto it = groupCache_.find(key);
+            if (it == groupCache_.end()) {
+                future = promise.get_future().share();
+                // Capped engines bound this cache too (coarse flush:
+                // entries are tiny and recomputing is
+                // safe/deterministic, so LRU bookkeeping isn't worth
+                // it here).
+                if (maxCacheEntries_ != 0 &&
+                    groupCache_.size() >= maxCacheEntries_) {
+                    groupCache_.clear();
+                }
+                groupCache_.emplace(key, future);
+                owner = true;
+            } else {
+                future = it->second;
             }
-            groupCache_.emplace(key, future);
-            owner = true;
-        } else {
-            future = it->second;
         }
-    }
-    if (owner) {
+        if (owner) {
+            try {
+                promise.set_value(
+                    computeGroupMetrics(spec, mth, token));
+            } catch (...) {
+                {
+                    std::lock_guard<std::mutex> lock(groupMutex_);
+                    groupCache_.erase(key);
+                }
+                promise.set_exception(std::current_exception());
+                throw;
+            }
+            return future.get();
+        }
         try {
-            promise.set_value(computeGroupMetrics(spec, mth));
-        } catch (...) {
-            {
-                std::lock_guard<std::mutex> lock(groupMutex_);
-                groupCache_.erase(key);
-            }
-            promise.set_exception(std::current_exception());
-            throw;
+            return future.get();
+        } catch (const CancelledError &) {
+            // The owner's batch was cancelled mid-accounting, but
+            // OURS was not: the in-flight entry was erased above, so
+            // retry — this waiter becomes the new owner and finishes
+            // the work (the spec stays alive while any live batch
+            // wants it).
+            if (token && token->cancelled())
+                throw;
         }
     }
-    return future.get();
 }
 
 ExperimentEngine::GroupMetrics
 ExperimentEngine::computeGroupMetrics(const RunSpec &spec,
-                                      const SimStats &mth)
+                                      const SimStats &mth,
+                                      const CancelToken *token)
 {
     const uint64_t t = mth.cycles;
     MTV_ASSERT(mth.threads.size() == spec.programs.size());
@@ -417,6 +540,12 @@ ExperimentEngine::computeGroupMetrics(const RunSpec &spec,
     uint64_t refRequests = 0;
     uint64_t refOps = 0;
     for (size_t i = 0; i < spec.programs.size(); ++i) {
+        // The second cooperative cancellation point: a cancelled
+        // group run stops paying for further reference terms.
+        if (token && token->cancelled())
+            throw CancelledError(
+                "batch cancelled between reference runs of '" +
+                spec.canonical() + "'");
         const CachedStats full = cachedStats(
             RunSpec::reference(spec.programs[i], spec.params,
                                spec.scale),
@@ -526,6 +655,13 @@ ExperimentEngine::cacheSize() const
 {
     std::lock_guard<std::mutex> lock(cacheMutex_);
     return cache_.size();
+}
+
+size_t
+ExperimentEngine::queueDepth() const
+{
+    std::lock_guard<std::mutex> lock(queueMutex_);
+    return queuedTasks_;
 }
 
 } // namespace mtv

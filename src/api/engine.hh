@@ -29,6 +29,19 @@
  *    engine's lifetime. Long-lived daemons bound the cache with
  *    EngineOptions::maxCacheEntries (LRU eviction; statsFor() is
  *    unavailable there) and/or clear() it wholesale.
+ *  - Multi-tenant scheduling: the queue is not one global FIFO but a
+ *    set of lanes (openLane()/closeLane(), one per daemon connection;
+ *    lane 0 serves runAll() and plain submit()) drained by weighted
+ *    round-robin, so one tenant's 10k-point sweep cannot
+ *    head-of-line-block another's interactive run.
+ *  - Request lifecycle: submit() takes an optional CancelToken.
+ *    Cancellation is cooperative — checked when a worker dequeues the
+ *    task and between the reference-term runs of the group
+ *    accounting; a task already simulating finishes normally (and its
+ *    result is cached/persisted: in-flight dedup keeps a spec alive
+ *    while any non-cancelled batch wants it). A cancelled task never
+ *    simulates and never writes through to the backend; its future
+ *    fails with CancelledError.
  */
 
 #ifndef MTV_API_ENGINE_HH
@@ -48,6 +61,8 @@
 #include <unordered_map>
 #include <vector>
 
+#include <stdexcept>
+
 #include "src/api/backend.hh"
 #include "src/api/run_spec.hh"
 #include "src/core/sim.hh"
@@ -55,6 +70,40 @@
 
 namespace mtv
 {
+
+/**
+ * Cooperative cancellation flag shared by one batch's submit() calls.
+ * cancel() is sticky, thread-safe and callable from any thread (the
+ * daemon cancels from another client's connection, or from the write
+ * path the moment a peer vanishes); workers observe it before
+ * simulating and between the group accounting's reference runs.
+ */
+class CancelToken
+{
+  public:
+    /** Request cancellation; idempotent. */
+    void cancel() noexcept { cancelled_.store(true); }
+
+    /** True once cancel() was called. */
+    bool cancelled() const noexcept { return cancelled_.load(); }
+
+  private:
+    std::atomic<bool> cancelled_{false};
+};
+
+/** What the future of a cancelled submit() fails with. */
+class CancelledError : public std::runtime_error
+{
+  public:
+    using std::runtime_error::runtime_error;
+};
+
+/**
+ * Identifies one scheduling lane (sub-queue) of the engine. Lane 0
+ * always exists and serves runAll() and lane-less submit() calls;
+ * further lanes come from openLane().
+ */
+using LaneId = uint64_t;
 
 /** Tuning knobs for an ExperimentEngine. */
 struct EngineOptions
@@ -151,6 +200,9 @@ class ExperimentEngine
      */
     using SubmitHook = std::function<void(const RunResult &)>;
 
+    /** The always-present lane runAll() and plain submit() use. */
+    static constexpr LaneId defaultLane = 0;
+
     /**
      * Enqueue one spec on the worker pool and return a future for its
      * result — the streaming form of runAll(): submit a batch spec by
@@ -159,12 +211,39 @@ class ExperimentEngine
      * thread the spec executes inline (a queued task waiting on
      * queued tasks would deadlock the pool). An optional @p hook is
      * called on completion (see SubmitHook).
+     *
+     * @p token, when given, makes the task cancellable: a worker that
+     * dequeues it after cancel() skips the simulation (and the
+     * backend write-through) entirely and fails the future with
+     * CancelledError; group-mode tasks also poll the token between
+     * reference-term runs. @p lane routes the task to a scheduling
+     * lane from openLane(); submitting to a lane that was already
+     * closed abandons the task (broken_promise), since a closed lane
+     * means its tenant is gone.
      */
-    std::future<RunResult> submit(const RunSpec &spec,
-                                  SubmitHook hook = nullptr);
+    std::future<RunResult> submit(
+        const RunSpec &spec, SubmitHook hook = nullptr,
+        std::shared_ptr<CancelToken> token = nullptr,
+        LaneId lane = defaultLane);
 
     /**
-     * Drop every task still waiting in the queue; tasks already
+     * Add a scheduling lane with round-robin weight @p weight (>= 1:
+     * tasks the lane may dequeue per rotation). One per tenant —
+     * the daemon opens one per client connection.
+     */
+    LaneId openLane(int weight = 1);
+
+    /**
+     * Remove @p lane, dropping its queued tasks (their futures fail
+     * with broken_promise; tasks already executing finish normally)
+     * and counting them as discarded. Later submits to the id are
+     * abandoned. Returns the number of tasks dropped. The default
+     * lane cannot be closed.
+     */
+    size_t closeLane(LaneId lane);
+
+    /**
+     * Drop every task still waiting in any lane; tasks already
      * executing finish normally. Futures of dropped submit() calls
      * fail with std::future_error (broken_promise). For bounding
      * daemon shutdown: never call with a runAll() batch in flight —
@@ -216,6 +295,18 @@ class ExperimentEngine
 
     /** Completed runs held by the memory cache. */
     size_t cacheSize() const;
+
+    /** Tasks waiting in the lanes right now (none executing yet). */
+    size_t queueDepth() const;
+
+    /** Tasks whose batch was cancelled before they ran: dequeued (or
+     *  submitted) with a cancelled token and skipped without
+     *  simulating or touching the backend. */
+    uint64_t cancelledRuns() const { return cancelledRuns_.load(); }
+
+    /** Queued tasks dropped by closeLane()/discardQueued() — work
+     *  abandoned before a worker ever saw it. */
+    uint64_t discardedTasks() const { return discardedTasks_.load(); }
 
     /** Entry cap of the memory cache (0 = unbounded). */
     size_t maxCacheEntries() const { return maxCacheEntries_; }
@@ -277,6 +368,13 @@ class ExperimentEngine
         double refVopc = 0;
     };
 
+    /** One scheduling lane: a FIFO of tasks plus its WRR weight. */
+    struct Lane
+    {
+        std::deque<std::function<void()>> tasks;
+        int weight = 1;
+    };
+
     /** Run @p spec's simulation (no cache, no group accounting). */
     SimStats simulate(const RunSpec &spec) const;
 
@@ -297,22 +395,33 @@ class ExperimentEngine
     void insertCompleted(const std::string &key,
                          const CachedStats &stats);
 
-    /** Full execution incl. group accounting, on the calling thread. */
-    RunResult execute(const RunSpec &spec);
+    /** Full execution incl. group accounting, on the calling thread.
+     *  @p token (may be null) is polled between reference runs. */
+    RunResult execute(const RunSpec &spec,
+                      const CancelToken *token = nullptr);
 
     /**
      * Section 4.1 metrics of a group-mode run, memoized per spec so
      * a cache hit on the group stats does not re-pay the truncated
      * F_i reference simulations.
      */
-    GroupMetrics groupMetrics(const RunSpec &spec,
-                              const SimStats &mth);
+    GroupMetrics groupMetrics(const RunSpec &spec, const SimStats &mth,
+                              const CancelToken *token);
 
     /** Compute the metrics (reference runs via the stats cache). */
     GroupMetrics computeGroupMetrics(const RunSpec &spec,
-                                     const SimStats &mth);
+                                     const SimStats &mth,
+                                     const CancelToken *token);
 
     void workerLoop();
+
+    /** Pop the next task in weighted round-robin lane order. Caller
+     *  holds queueMutex_ and has checked queuedTasks_ > 0. */
+    std::function<void()> popTaskLocked();
+
+    /** Move the WRR cursor to the next lane and refill its budget.
+     *  Caller holds queueMutex_. */
+    void advanceLaneLocked();
 
     int workers_ = 1;
     bool memoize_ = true;
@@ -320,10 +429,22 @@ class ExperimentEngine
     std::shared_ptr<ResultBackend> backend_;
     size_t maxCacheEntries_ = 0;
     std::vector<std::thread> pool_;
-    std::deque<std::function<void()>> queue_;
-    std::mutex queueMutex_;
+    /** Scheduling lanes by id; lanes_[defaultLane] always exists. */
+    std::unordered_map<LaneId, Lane> lanes_;
+    /** Lane rotation order for the WRR scan. */
+    std::vector<LaneId> laneOrder_;
+    /** Index into laneOrder_ of the lane currently being drained. */
+    size_t laneCursor_ = 0;
+    /** Tasks the cursor lane may still dequeue this rotation. */
+    int laneBudget_ = 1;
+    /** Tasks waiting across all lanes (workers wait on this). */
+    size_t queuedTasks_ = 0;
+    LaneId nextLaneId_ = 1;
+    mutable std::mutex queueMutex_;
     std::condition_variable queueCv_;
     bool stopping_ = false;
+    std::atomic<uint64_t> cancelledRuns_{0};
+    std::atomic<uint64_t> discardedTasks_{0};
 
     mutable std::mutex cacheMutex_;
     /** Completed runs; bounded by maxCacheEntries_ when set. */

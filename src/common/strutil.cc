@@ -1,8 +1,13 @@
 #include "src/common/strutil.hh"
 
 #include <cctype>
+#include <cerrno>
+#include <cmath>
 #include <cstdarg>
 #include <cstdio>
+#include <cstdlib>
+
+#include "src/common/logging.hh"
 
 namespace mtv
 {
@@ -79,6 +84,34 @@ withCommas(uint64_t value)
         ++count;
     }
     return {out.rbegin(), out.rend()};
+}
+
+long long
+parseIntFlag(const char *text, const char *flag, long long min,
+             long long max)
+{
+    errno = 0;
+    char *end = nullptr;
+    const long long value = std::strtoll(text, &end, 10);
+    if (end == text || *end != '\0')
+        fatal("%s expects an integer, got '%s'", flag, text);
+    if (errno == ERANGE || value < min || value > max)
+        fatal("%s must be in [%lld, %lld], got '%s'", flag, min, max,
+              text);
+    return value;
+}
+
+double
+parsePositiveFlag(const char *text, const char *flag)
+{
+    errno = 0;
+    char *end = nullptr;
+    const double value = std::strtod(text, &end);
+    if (end == text || *end != '\0')
+        fatal("%s expects a number, got '%s'", flag, text);
+    if (errno == ERANGE || !std::isfinite(value) || value <= 0)
+        fatal("%s must be a finite number > 0, got '%s'", flag, text);
+    return value;
 }
 
 } // namespace mtv

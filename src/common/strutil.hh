@@ -34,6 +34,23 @@ std::string toLower(const std::string &s);
  */
 std::string withCommas(uint64_t value);
 
+/**
+ * Strict decimal-integer parse for CLI flag values: the whole of
+ * @p text must be a base-10 integer in [@p min, @p max], otherwise
+ * fatal() names @p flag and the offending text. Unlike atoi/atoll,
+ * non-numeric input ("abc" -> 0) and silent wraparound (-1 ->
+ * SIZE_MAX) cannot slip through.
+ */
+long long parseIntFlag(const char *text, const char *flag,
+                       long long min, long long max);
+
+/**
+ * Strict strtod counterpart of parseIntFlag: the whole of @p text
+ * must be a finite number > 0 (flag values like scales), otherwise
+ * fatal() names @p flag.
+ */
+double parsePositiveFlag(const char *text, const char *flag);
+
 } // namespace mtv
 
 #endif // MTV_COMMON_STRUTIL_HH

@@ -141,6 +141,9 @@ engineStatsToJson(const ExperimentEngine &engine)
     j.set("storeHits", engine.storeHits());
     j.set("evictions", engine.cacheEvictions());
     j.set("uncached", engine.uncachedRuns());
+    j.set("queueDepth", static_cast<uint64_t>(engine.queueDepth()));
+    j.set("cancelled", engine.cancelledRuns());
+    j.set("discarded", engine.discardedTasks());
     return j;
 }
 

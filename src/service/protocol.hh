@@ -17,6 +17,13 @@
  *     instead of megabytes of expanded specs. Family-specific fields
  *     beyond "family" and "scale" are optional.
  *   {"op":"stats"}
+ *   {"op":"status"}
+ *     — request-lifecycle snapshot: engine queue depth, per-
+ *     connection in-flight batch counts, cancelled/reaped counters.
+ *   {"op":"cancel","id":n}
+ *     — cancel every in-flight batch tagged with request id n, on
+ *     ANY connection (cancellation is cooperative: queued points are
+ *     skipped, points already simulating finish and stay cached).
  *   {"op":"clear"}
  *   {"op":"shutdown"}
  *
@@ -37,10 +44,31 @@
  *        "storeServed":c2,"digest":"<16 hex>"}
  *     where "digest" is FNV-1a folded over the canonical stats blobs
  *     in submission order — computed server-side, so even quiet
- *     requests get the bit-identity check.
- *   ping / stats / clear / shutdown: one {"ok":true,...} object.
+ *     requests get the bit-identity check. A batch ended by a
+ *     "cancel" op terminates with a cancelled done line instead:
+ *       {"id":n,"done":true,"cancelled":true,"count":c,
+ *        "completed":k} (k results were delivered before the cancel
+ *     took effect; no digest — the stream is deliberately partial).
+ *   ping / stats / status / cancel / clear / shutdown: one
+ *     {"ok":true,...} object. "cancel" reports how many batches it
+ *     hit: {"ok":true,"cancelled":k}. "status" reports
+ *     {"ok":true,"queueDepth":q,"activeRequests":a,
+ *      "completedPoints":p,"counters":{"cancelledBatches":...,
+ *      "reapedBatches":...,"cancelledPoints":...,
+ *      "discardedPoints":...},
+ *      "connections":[{"client":c,"inflight":k,"requests":[n,...]}]}
+ *     (connections lists only clients with batches in flight).
  *   any error: {"error":"message","id":n?} (the connection stays
  *     open; "id" is present when the error belongs to one request).
+ *
+ * Request lifecycle: every admitted batch carries a CancelToken. The
+ * daemon reaps a connection's tokens the moment its peer vanishes —
+ * a write fails (sticky writeFailed) or the socket closes — and
+ * drops the connection's queued engine work, so abandoned sweeps
+ * free their worker slots instead of simulating for nobody. Each
+ * connection schedules on its own engine lane, drained weighted
+ * round-robin, so a huge sweep cannot head-of-line-block another
+ * client's interactive run.
  *
  * Backpressure: a connection may have at most
  * maxInflightRequestsPerConnection batch requests streaming; the
@@ -68,7 +96,7 @@ namespace mtv
 {
 
 /** Protocol revision spoken by this build (bump on changes). */
-constexpr int serviceProtocolVersion = 2;
+constexpr int serviceProtocolVersion = 3;
 
 /** Batch requests one connection may keep streaming concurrently;
  *  further requests are not read until a slot frees (backpressure). */

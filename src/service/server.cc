@@ -1,11 +1,14 @@
 #include "src/service/server.hh"
 
+#include <algorithm>
 #include <cerrno>
 #include <chrono>
 #include <cmath>
 #include <condition_variable>
 #include <cstring>
+#include <map>
 #include <thread>
+#include <vector>
 
 #include <sys/socket.h>
 #include <sys/un.h>
@@ -106,7 +109,10 @@ socketAddress(const std::string &path)
  */
 struct MtvService::ClientState
 {
-    explicit ClientState(int fd) : channel(fd) {}
+    ClientState(MtvService *service, int fd)
+        : service(service), channel(fd)
+    {
+    }
 
     /** Thread-safe line write; false when the peer is gone. */
     bool
@@ -118,16 +124,32 @@ struct MtvService::ClientState
         if (!channel.writeLine(line)) {
             // Sticky: once the peer is gone, the read loop must stop
             // admitting its pipelined requests (simulating batches
-            // nobody can receive) and close the connection.
+            // nobody can receive) and close the connection. Reap
+            // immediately — every in-flight batch of this connection
+            // is now simulating for nobody.
             writeFailed.store(true);
+            service->reapClient(*this);
             return false;
         }
         return true;
     }
 
+    MtvService *service;
     LineChannel channel;
     std::mutex writeMutex;
     std::atomic<bool> writeFailed{false};
+
+    /** This connection's engine scheduling lane. */
+    LaneId lane = ExperimentEngine::defaultLane;
+    /** Daemon-unique connection id (status reporting). */
+    uint64_t clientId = 0;
+
+    /** Cancel tokens of the connection's admitted batches, keyed by
+     *  stream id. reaped goes sticky once the peer is known gone, so
+     *  a batch admitted concurrently is cancelled at birth. */
+    std::mutex tokenMutex;
+    std::unordered_map<uint64_t, std::shared_ptr<CancelToken>> tokens;
+    bool reaped = false;
 
     std::mutex slotMutex;
     std::condition_variable slotCv;
@@ -300,7 +322,9 @@ MtvService::stop()
 void
 MtvService::handleConnection(int fd)
 {
-    ClientState client(fd);
+    ClientState client(this, fd);
+    client.clientId = nextClientId_.fetch_add(1);
+    client.lane = engine_->openLane();
     std::string line;
     while (!stopping_.load() && !client.writeFailed.load() &&
            client.channel.readLine(&line)) {
@@ -316,6 +340,12 @@ MtvService::handleConnection(int fd)
         if (!handleRequest(request, client))
             break;
     }
+    // The peer is gone (or the daemon is stopping): cancel the
+    // connection's batches and drop its queued engine work so
+    // abandoned points free their worker slots instead of simulating
+    // for nobody — and so the joins below are quick.
+    reapClient(client);
+    engine_->closeLane(client.lane);
     // In-flight batches drain before the channel closes: their
     // threads hold pointers into this stack frame. A gone peer makes
     // their writes fail fast; daemon shutdown breaks their futures.
@@ -334,6 +364,100 @@ MtvService::handleConnection(int fd)
         finishedClients_.push_back(std::move(self->second));
         activeClients_.erase(self);
     }
+}
+
+void
+MtvService::reapClient(ClientState &client)
+{
+    std::vector<std::shared_ptr<CancelToken>> tokens;
+    {
+        std::lock_guard<std::mutex> lock(client.tokenMutex);
+        if (client.reaped)
+            return;
+        client.reaped = true;
+        tokens.reserve(client.tokens.size());
+        for (const auto &entry : client.tokens)
+            tokens.push_back(entry.second);
+    }
+    uint64_t reaped = 0;
+    for (const auto &token : tokens) {
+        if (!token->cancelled()) {
+            token->cancel();
+            ++reaped;
+        }
+    }
+    reapedBatches_.fetch_add(reaped);
+    if (reaped > 0) {
+        inform("mtvd: client %llu vanished, reaped %llu in-flight "
+               "batch%s",
+               static_cast<unsigned long long>(client.clientId),
+               static_cast<unsigned long long>(reaped),
+               reaped == 1 ? "" : "es");
+    }
+    // Streaming threads may be parked on the slot cv; the read loop
+    // is done admitting, so wake them to observe writeFailed/reaped.
+    client.slotCv.notify_all();
+}
+
+uint64_t
+MtvService::cancelBatches(uint64_t requestId)
+{
+    uint64_t cancelled = 0;
+    {
+        std::lock_guard<std::mutex> lock(batchesMutex_);
+        for (auto &entry : batches_) {
+            if (entry.second.requestId != requestId ||
+                entry.second.token->cancelled()) {
+                continue;
+            }
+            entry.second.token->cancel();
+            ++cancelled;
+        }
+    }
+    cancelledBatches_.fetch_add(cancelled);
+    return cancelled;
+}
+
+Json
+MtvService::statusJson()
+{
+    Json ok = Json::object();
+    ok.set("ok", true);
+    ok.set("queueDepth",
+           static_cast<uint64_t>(engine_->queueDepth()));
+    ok.set("activeRequests", activeRequests_.load());
+    ok.set("completedPoints", completedPoints_.load());
+    Json counters = Json::object();
+    counters.set("cancelledBatches", cancelledBatches_.load());
+    counters.set("reapedBatches", reapedBatches_.load());
+    counters.set("cancelledPoints", engine_->cancelledRuns());
+    counters.set("discardedPoints", engine_->discardedTasks());
+    ok.set("counters", std::move(counters));
+    // Per-connection in-flight accounting, from the batch registry
+    // (connections with nothing in flight have nothing to report).
+    std::map<uint64_t, std::vector<uint64_t>> perClient;
+    {
+        std::lock_guard<std::mutex> lock(batchesMutex_);
+        for (const auto &entry : batches_) {
+            perClient[entry.second.clientId].push_back(
+                entry.second.requestId);
+        }
+    }
+    Json connections = Json::array();
+    for (auto &entry : perClient) {
+        Json conn = Json::object();
+        conn.set("client", entry.first);
+        conn.set("inflight",
+                 static_cast<uint64_t>(entry.second.size()));
+        std::sort(entry.second.begin(), entry.second.end());
+        Json ids = Json::array();
+        for (const uint64_t id : entry.second)
+            ids.push(id);
+        conn.set("requests", std::move(ids));
+        connections.push(std::move(conn));
+    }
+    ok.set("connections", std::move(connections));
+    return ok;
 }
 
 bool
@@ -373,6 +497,21 @@ MtvService::handleRequest(const Json &request, ClientState &client)
             ok.set("cache", engineStatsToJson(*engine_));
             ok.set("store",
                    store_ ? storeStatsToJson(*store_) : Json());
+            return client.write(ok.dump());
+        }
+        if (op == "status")
+            return client.write(statusJson().dump());
+        if (op == "cancel") {
+            const uint64_t target = safeRequestId(request);
+            if (target == 0) {
+                return client.write(
+                    errorJson("cancel needs the request id of the "
+                              "batch to cancel")
+                        .dump());
+            }
+            Json ok = Json::object();
+            ok.set("ok", true);
+            ok.set("cancelled", cancelBatches(target));
             return client.write(ok.dump());
         }
         if (op == "clear") {
@@ -437,15 +576,7 @@ MtvService::handleRun(const Json &request, ClientState &client)
 
     if (!acquireSlot(client))
         return false;
-    client.reapRetired();
-    const uint64_t streamId = client.nextStreamId++;
-    client.streams.emplace(
-        streamId,
-        std::thread([this, &client, streamId, id,
-                     specs = std::move(specs), quiet]() mutable {
-            streamBatch(client, streamId, id, std::move(specs),
-                        quiet);
-        }));
+    admitBatch(client, id, std::move(specs), quiet);
     return true;
 }
 
@@ -473,31 +604,59 @@ MtvService::handleSweep(const Json &request, ClientState &client)
 
     if (!acquireSlot(client))
         return false;
+    admitBatch(client, id, sweep.take(), quiet);
+    return true;
+}
+
+void
+MtvService::admitBatch(ClientState &client, uint64_t id,
+                       std::vector<RunSpec> specs, bool quiet)
+{
     client.reapRetired();
     const uint64_t streamId = client.nextStreamId++;
+    auto token = std::make_shared<CancelToken>();
+    const uint64_t batchKey = nextBatchKey_.fetch_add(1);
+    {
+        std::lock_guard<std::mutex> lock(batchesMutex_);
+        batches_.emplace(batchKey,
+                         BatchInfo{client.clientId, id, token});
+    }
+    {
+        std::lock_guard<std::mutex> lock(client.tokenMutex);
+        // The peer may have vanished between the read and here (a
+        // streaming thread's write failed): a batch admitted into a
+        // reaped connection is cancelled at birth.
+        if (client.reaped)
+            token->cancel();
+        client.tokens.emplace(streamId, token);
+    }
     client.streams.emplace(
         streamId,
         std::thread([this, &client, streamId, id,
-                     specs = sweep.take(), quiet]() mutable {
+                     specs = std::move(specs), quiet, token,
+                     batchKey]() mutable {
             streamBatch(client, streamId, id, std::move(specs),
-                        quiet);
+                        quiet, std::move(token), batchKey);
         }));
-    return true;
 }
 
 void
 MtvService::streamBatch(ClientState &client, uint64_t streamId,
                         uint64_t id, std::vector<RunSpec> specs,
-                        bool quiet)
+                        bool quiet,
+                        std::shared_ptr<CancelToken> token,
+                        uint64_t batchKey)
 {
     activeRequests_.fetch_add(1);
 
     // Fan the whole batch out up front — identical points of other
     // in-flight requests coalesce inside the engine — then consume
     // the futures in submission order, writing each line as its
-    // result lands. The progress hook feeds the daemon-wide
-    // completion counter the moment a point finishes, seq order or
-    // not.
+    // result lands. Every task carries the batch's cancel token and
+    // rides this connection's lane, so a cancel/reap frees the
+    // queued points and other connections are never head-of-line
+    // blocked. The progress hook feeds the daemon-wide completion
+    // counter the moment a point finishes, seq order or not.
     std::vector<std::future<RunResult>> futures;
     futures.reserve(specs.size());
     for (const RunSpec &spec : specs) {
@@ -505,7 +664,8 @@ MtvService::streamBatch(ClientState &client, uint64_t streamId,
             spec,
             [this](const RunResult &) {
                 completedPoints_.fetch_add(1);
-            }));
+            },
+            token, client.lane));
     }
 
     uint64_t simulated = 0;
@@ -513,14 +673,23 @@ MtvService::streamBatch(ClientState &client, uint64_t streamId,
     uint64_t storeServed = 0;
     uint64_t digest = 0xcbf29ce484222325ull;
     bool aborted = false;
+    bool cancelled = false;
+    size_t completed = 0;
     for (size_t i = 0; i < futures.size() && !aborted; ++i) {
         RunResult result;
         try {
             result = futures[i].get();
         } catch (const std::future_error &) {
-            // Shutdown dropped this queued run (discardQueued); the
-            // client's connection is being torn down anyway.
+            // Shutdown (discardQueued) or a lane close dropped this
+            // queued run; the connection is being torn down anyway.
             aborted = true;
+            break;
+        } catch (const CancelledError &) {
+            // The batch's token fired (a client's cancel op, or the
+            // reap of a vanished peer): queued points are being
+            // skipped, so stop consuming and answer with a
+            // cancelled terminator.
+            cancelled = true;
             break;
         } catch (const SimError &e) {
             // A wedged simulation is a model bug worth reporting in
@@ -540,6 +709,7 @@ MtvService::streamBatch(ClientState &client, uint64_t streamId,
             ++storeServed;
         else
             ++simulated;
+        ++completed;
         // Folded server-side so even quiet requests get the
         // bit-identity digest; the same bytes feed the result line's
         // blob, serialized once.
@@ -547,16 +717,36 @@ MtvService::streamBatch(ClientState &client, uint64_t streamId,
         digest = fnv1a64(blob.data(), blob.size(), digest);
         if (!client.write(
                 resultToJson(result, id, i, !quiet, &blob).dump())) {
-            aborted = true;  // client gone; remaining work completes
+            aborted = true;  // client gone; queued work was reaped
             break;
         }
     }
 
-    // Retired before the done line goes out: a client that has read
-    // "done" must not observe its own request as still active.
+    // Unregistered before the terminator goes out: a client that has
+    // read "done" must not observe its own request as still active
+    // or cancellable.
+    {
+        std::lock_guard<std::mutex> lock(batchesMutex_);
+        batches_.erase(batchKey);
+    }
+    {
+        std::lock_guard<std::mutex> lock(client.tokenMutex);
+        client.tokens.erase(streamId);
+    }
     activeRequests_.fetch_sub(1);
 
-    if (!aborted) {
+    if (cancelled) {
+        // Deliberately partial: report how far the stream got and no
+        // digest. The remaining queued points resolve as cancelled
+        // inside the engine without simulating.
+        Json done = Json::object();
+        done.set("id", id);
+        done.set("done", true);
+        done.set("cancelled", true);
+        done.set("count", static_cast<uint64_t>(futures.size()));
+        done.set("completed", static_cast<uint64_t>(completed));
+        client.write(done.dump());
+    } else if (!aborted) {
         Json done = Json::object();
         done.set("id", id);
         done.set("done", true);

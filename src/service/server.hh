@@ -19,6 +19,17 @@
  * unknown programs, malformed specs, unknown sweep families) are
  * answered with {"error":...} and never take the daemon down;
  * validation runs under ScopedFatalAsException.
+ *
+ * Request lifecycle: each connection gets its own engine scheduling
+ * lane (weighted round-robin across lanes — no client can
+ * head-of-line-block another) and every admitted batch carries a
+ * CancelToken, registered service-wide so a "cancel" op from any
+ * connection can hit it by request id. The moment a connection's
+ * peer vanishes — a write fails (sticky writeFailed) or its socket
+ * closes — the service reaps the connection: all its tokens are
+ * cancelled and its lane's queued engine work is dropped, so
+ * abandoned sweeps free their worker slots instead of simulating
+ * for nobody.
  */
 
 #ifndef MTV_SERVICE_SERVER_HH
@@ -107,10 +118,28 @@ class MtvService
         return completedPoints_.load();
     }
 
+    /** Batches cancelled by a client's "cancel" op. */
+    uint64_t cancelledBatches() const
+    {
+        return cancelledBatches_.load();
+    }
+
+    /** Batches reaped because their connection's peer vanished. */
+    uint64_t reapedBatches() const { return reapedBatches_.load(); }
+
   private:
     /** Per-connection state shared by the read loop and the
      *  request-streaming threads (defined in server.cc). */
     struct ClientState;
+
+    /** One in-flight batch in the service-wide registry ("cancel"
+     *  targets and "status" per-connection accounting). */
+    struct BatchInfo
+    {
+        uint64_t clientId = 0;
+        uint64_t requestId = 0;
+        std::shared_ptr<CancelToken> token;
+    };
 
     void handleConnection(int fd);
     /** Serve one request; returns false when the connection should
@@ -121,6 +150,20 @@ class MtvService
     /** Expand a "sweep" request server-side, ack it, and start its
      *  streaming thread. */
     bool handleSweep(const Json &request, ClientState &client);
+    /** Admit the validated batch @p specs: take a slot, register its
+     *  cancel token, and start its streaming thread. */
+    void admitBatch(ClientState &client, uint64_t id,
+                    std::vector<RunSpec> specs, bool quiet);
+    /** Cancel every in-flight batch tagged @p requestId, on any
+     *  connection; returns how many were hit. */
+    uint64_t cancelBatches(uint64_t requestId);
+    /** The "status" response: queue depth, per-connection in-flight
+     *  counts, cancelled/reaped counters. */
+    Json statusJson();
+    /** Cancel all of @p client's batch tokens and drop its queued
+     *  engine work — the peer is gone (EOF or sticky write failure).
+     *  Idempotent; safe from the read and streaming threads. */
+    void reapClient(ClientState &client);
     /** Block until the connection has a free batch slot (the
      *  protocol's backpressure); false when shutting down. */
     bool acquireSlot(ClientState &client);
@@ -129,7 +172,8 @@ class MtvService
      *  by @p streamId (retired for reaping when done). */
     void streamBatch(ClientState &client, uint64_t streamId,
                      uint64_t id, std::vector<RunSpec> specs,
-                     bool quiet);
+                     bool quiet, std::shared_ptr<CancelToken> token,
+                     uint64_t batchKey);
     /** Join threads whose connections have ended. Caller holds
      *  clientsMutex_. */
     void reapFinishedLocked();
@@ -144,6 +188,15 @@ class MtvService
     std::atomic<bool> stopping_{false};
     std::atomic<uint64_t> activeRequests_{0};
     std::atomic<uint64_t> completedPoints_{0};
+    std::atomic<uint64_t> cancelledBatches_{0};
+    std::atomic<uint64_t> reapedBatches_{0};
+    std::atomic<uint64_t> nextClientId_{1};
+    std::atomic<uint64_t> nextBatchKey_{1};
+
+    /** Every batch currently admitted, keyed by a daemon-unique
+     *  handle (request ids are only client-unique). */
+    std::mutex batchesMutex_;
+    std::unordered_map<uint64_t, BatchInfo> batches_;
 
     std::mutex clientsMutex_;
     /** Live connections: fd -> serving thread. */

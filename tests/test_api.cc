@@ -8,6 +8,11 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <future>
+#include <mutex>
+#include <unordered_map>
+
 #include "src/api/engine.hh"
 #include "src/api/sweep.hh"
 #include "src/driver/experiments.hh"
@@ -581,6 +586,185 @@ TEST(Engine, SubmitHookFiresOncePerSpecBeforeFutureReady)
         want.push_back(spec.canonical());
     std::sort(want.begin(), want.end());
     EXPECT_EQ(seen, want);
+}
+
+namespace
+{
+
+/**
+ * A thread-safe in-memory backend that counts store() calls, for
+ * asserting that cancelled work never writes through.
+ */
+class CountingBackend : public ResultBackend
+{
+  public:
+    std::shared_ptr<const SimStats>
+    load(const std::string &key) override
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        auto it = map_.find(key);
+        return it == map_.end() ? nullptr : it->second;
+    }
+
+    void
+    store(const std::string &key, const SimStats &stats) override
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        map_[key] = std::make_shared<SimStats>(stats);
+        ++stores_;
+    }
+
+    size_t
+    size() const override
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        return map_.size();
+    }
+
+    int
+    stores() const
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        return stores_;
+    }
+
+  private:
+    mutable std::mutex mutex_;
+    std::unordered_map<std::string, std::shared_ptr<const SimStats>>
+        map_;
+    int stores_ = 0;
+};
+
+/**
+ * Parks a 1-worker engine: submits one spec whose completion hook
+ * blocks until release(), so everything submitted afterwards stays
+ * queued — the deterministic setup for the cancellation and lane
+ * scheduling tests.
+ */
+class WorkerGate
+{
+  public:
+    explicit WorkerGate(ExperimentEngine &engine)
+    {
+        MachineParams params = MachineParams::reference();
+        params.memLatency = 199;  // distinct from every other spec
+        std::shared_future<void> released =
+            gate_.get_future().share();
+        done_ = engine.submit(
+            RunSpec::single("trfd", params, testScale),
+            [released](const RunResult &) { released.wait(); });
+    }
+
+    void
+    release()
+    {
+        gate_.set_value();
+        done_.get();
+    }
+
+  private:
+    std::promise<void> gate_;
+    std::future<RunResult> done_;
+};
+
+} // namespace
+
+TEST(Engine, CancelledBatchNeverSimulatesOrWritesBackend)
+{
+    auto backend = std::make_shared<CountingBackend>();
+    EngineOptions options(1);
+    options.backend = backend;
+    ExperimentEngine engine(options);
+    WorkerGate gate(engine);
+
+    const auto specs = distinctSpecs(5);
+    auto token = std::make_shared<CancelToken>();
+    std::vector<std::future<RunResult>> futures;
+    for (const auto &spec : specs)
+        futures.push_back(engine.submit(spec, nullptr, token));
+    EXPECT_GE(engine.queueDepth(), specs.size());
+
+    // Cancelled while every point still sits in the lane: the worker
+    // must skip them all — no simulation, no backend write-through.
+    token->cancel();
+    gate.release();
+    for (auto &future : futures)
+        EXPECT_THROW(future.get(), CancelledError);
+    EXPECT_EQ(engine.cancelledRuns(), specs.size());
+    EXPECT_EQ(engine.cacheMisses(), 1u);  // the gate spec only
+    EXPECT_EQ(backend->stores(), 1);
+    EXPECT_EQ(engine.queueDepth(), 0u);
+
+    // The engine is healthy: the same specs run normally afterwards.
+    const auto results = engine.runAll(specs);
+    EXPECT_EQ(results.size(), specs.size());
+    EXPECT_EQ(backend->stores(), 1 + static_cast<int>(specs.size()));
+}
+
+TEST(Engine, LaneRoundRobinAvoidsHeadOfLineBlocking)
+{
+    ExperimentEngine engine(1);
+    WorkerGate gate(engine);
+
+    const LaneId bulkLane = engine.openLane();
+    const LaneId interactiveLane = engine.openLane();
+
+    std::mutex orderMutex;
+    std::vector<std::string> order;
+    auto record = [&orderMutex, &order](const RunResult &r) {
+        std::lock_guard<std::mutex> lock(orderMutex);
+        order.push_back(r.spec.canonical());
+    };
+
+    // A 6-point "sweep" queued first on its own lane, then one
+    // interactive point on another: round-robin must run the
+    // interactive point next-ish, not after the whole sweep.
+    const auto bulk = distinctSpecs(6);
+    std::vector<std::future<RunResult>> futures;
+    for (const auto &spec : bulk)
+        futures.push_back(
+            engine.submit(spec, record, nullptr, bulkLane));
+    MachineParams params = MachineParams::reference();
+    params.memLatency = 177;
+    const RunSpec interactive =
+        RunSpec::single("swm256", params, testScale);
+    futures.push_back(engine.submit(interactive, record, nullptr,
+                                    interactiveLane));
+
+    gate.release();
+    for (auto &future : futures)
+        future.get();
+
+    ASSERT_EQ(order.size(), bulk.size() + 1);
+    const auto pos = std::find(order.begin(), order.end(),
+                               interactive.canonical());
+    ASSERT_NE(pos, order.end());
+    EXPECT_LT(pos - order.begin(), 2)
+        << "interactive run was head-of-line blocked by the sweep";
+}
+
+TEST(Engine, CloseLaneDropsQueuedTasksAndAbandonsLateSubmits)
+{
+    ExperimentEngine engine(1);
+    WorkerGate gate(engine);
+
+    const LaneId lane = engine.openLane();
+    const auto specs = distinctSpecs(4);
+    std::vector<std::future<RunResult>> futures;
+    for (const auto &spec : specs)
+        futures.push_back(
+            engine.submit(spec, nullptr, nullptr, lane));
+
+    EXPECT_EQ(engine.closeLane(lane), specs.size());
+    EXPECT_EQ(engine.discardedTasks(), specs.size());
+    // A submit racing the close is abandoned, not lost in limbo.
+    auto late = engine.submit(specs[0], nullptr, nullptr, lane);
+
+    gate.release();
+    for (auto &future : futures)
+        EXPECT_THROW(future.get(), std::future_error);
+    EXPECT_THROW(late.get(), std::future_error);
+    EXPECT_EQ(engine.cacheMisses(), 1u);  // the gate spec only
 }
 
 // ---------------------------------------------------------------------

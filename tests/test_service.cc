@@ -614,6 +614,232 @@ TEST_F(ServiceFixture, SweepErrorsAnswerWithoutKillingDaemon)
     EXPECT_TRUE(roundTrip(channel, ping).getBool("pong"));
 }
 
+// ---------------------------------------------------------------------
+// Request lifecycle: cancel op, reaping on disconnect, fair lanes
+// ---------------------------------------------------------------------
+
+namespace
+{
+
+/** @p n distinct cheap single-mode specs (unique per @p latencyBase). */
+std::vector<RunSpec>
+distinctSpecs(int n, int latencyBase)
+{
+    std::vector<RunSpec> specs;
+    specs.reserve(n);
+    for (int i = 0; i < n; ++i) {
+        MachineParams params = MachineParams::reference();
+        params.memLatency = latencyBase + i;
+        specs.push_back(RunSpec::single(i % 2 ? "swm256" : "trfd",
+                                        params, testScale));
+    }
+    return specs;
+}
+
+/** A "run" request of @p specs tagged @p id. */
+Json
+runRequest(uint64_t id, const std::vector<RunSpec> &specs, bool quiet)
+{
+    Json request = Json::object();
+    request.set("op", "run");
+    request.set("id", id);
+    request.set("quiet", quiet);
+    Json specArray = Json::array();
+    for (const RunSpec &spec : specs)
+        specArray.push(spec.canonical());
+    request.set("specs", std::move(specArray));
+    return request;
+}
+
+} // namespace
+
+TEST_F(ServiceFixture, CancelOpStopsInFlightBatch)
+{
+    // A fat batch on one connection...
+    const auto specs = distinctSpecs(400, 10);
+    LineChannel victim = connect();
+    ASSERT_TRUE(victim.writeLine(runRequest(11, specs, true).dump()));
+    // ...streaming for sure (first result arrived)...
+    std::string line;
+    ASSERT_TRUE(victim.readLine(&line));
+
+    // ...is cancelled BY REQUEST ID from a different connection.
+    LineChannel canceller = connect();
+    Json cancel = Json::object();
+    cancel.set("op", "cancel");
+    cancel.set("id", 11);
+    const Json answer = roundTrip(canceller, cancel);
+    EXPECT_TRUE(answer.getBool("ok"));
+    EXPECT_EQ(answer.get("cancelled").asU64(), 1u);
+
+    // The victim's stream terminates with a cancelled done line.
+    Json done;
+    for (;;) {
+        ASSERT_TRUE(victim.readLine(&line));
+        std::string error;
+        ASSERT_TRUE(Json::parse(line, &done, &error)) << error;
+        ASSERT_FALSE(done.has("error")) << done.getString("error");
+        if (done.getBool("done", false))
+            break;
+    }
+    EXPECT_TRUE(done.getBool("cancelled"));
+    EXPECT_LT(done.get("completed").asU64(), specs.size());
+
+    // The queued remainder is skipped, never simulated: wait for the
+    // lane to drain, then check the engine's books.
+    for (int i = 0; i < 200 && service_->engine().queueDepth() > 0;
+         ++i) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+    EXPECT_EQ(service_->engine().queueDepth(), 0u);
+    EXPECT_GT(service_->engine().cancelledRuns(), 0u);
+    EXPECT_LT(service_->engine().cacheMisses(), specs.size());
+    EXPECT_EQ(service_->cancelledBatches(), 1u);
+
+    // Both connections (and the daemon) survived.
+    Json ping = Json::object();
+    ping.set("op", "ping");
+    EXPECT_TRUE(roundTrip(victim, ping).getBool("pong"));
+    EXPECT_TRUE(roundTrip(canceller, ping).getBool("pong"));
+}
+
+TEST_F(ServiceFixture, DisconnectMidSweepFreesQueuedPoints)
+{
+    // The ISSUE-5 acceptance scenario: a client vanishing mid-sweep
+    // must free its queued points (they never simulate), while a
+    // second client's concurrent sweep completes bit-identical to an
+    // in-process run.
+    const auto abandoned = distinctSpecs(300, 3000);
+    {
+        LineChannel victim = connect();
+        ASSERT_TRUE(
+            victim.writeLine(runRequest(1, abandoned, true).dump()));
+        // One result proves the batch is streaming; then the client
+        // dies without so much as a goodbye (socket closed by the
+        // LineChannel destructor).
+        std::string line;
+        ASSERT_TRUE(victim.readLine(&line));
+    }
+
+    // A live client's sweep, concurrent with the reaping.
+    SweepRequest request;
+    request.family = "groupings";
+    request.program = "trfd";
+    request.contexts = 2;
+    request.scale = testScale;
+    LineChannel survivor = connect();
+    sendSweep(survivor, 2, request);
+    std::unordered_map<uint64_t, StreamTally> tallies;
+    tallies[2] = StreamTally();
+    demux(survivor, tallies);
+
+    // Bit-identical to the in-process expansion of the same sweep.
+    ExperimentEngine localEngine;
+    uint64_t digest = 0xcbf29ce484222325ull;
+    for (const RunResult &r :
+         localEngine.runAll(expandSweep(request).specs())) {
+        const std::string blob = serializeSimStats(r.stats);
+        digest = fnv1a64(blob.data(), blob.size(), digest);
+    }
+    EXPECT_EQ(tallies[2].serverDigest, digestHex(digest));
+
+    // Wait for the reap to settle, then prove the abandoned points
+    // never simulated: far fewer misses than the abandoned batch
+    // alone would have cost, and the reap counters show the kill.
+    for (int i = 0; i < 500 && (service_->activeRequests() > 0 ||
+                                service_->engine().queueDepth() > 0);
+         ++i) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+    EXPECT_EQ(service_->activeRequests(), 0u);
+    EXPECT_EQ(service_->engine().queueDepth(), 0u);
+    EXPECT_EQ(service_->reapedBatches(), 1u);
+    EXPECT_GT(service_->engine().cancelledRuns() +
+                  service_->engine().discardedTasks(),
+              0u);
+    EXPECT_LT(service_->engine().cacheMisses() +
+                  service_->engine().uncachedRuns(),
+              abandoned.size() / 2);
+}
+
+TEST_F(ServiceFixture, InteractiveRunNotBlockedBehindBigSweep)
+{
+    // Per-connection lanes + weighted round-robin: a 150-point batch
+    // on one connection must not head-of-line-block a 1-point run on
+    // another. Before the lanes this deadlocked on the global FIFO —
+    // the interactive run waited out the whole sweep.
+    const auto bulk = distinctSpecs(400, 6000);
+    LineChannel sweeper = connect();
+    ASSERT_TRUE(sweeper.writeLine(runRequest(7, bulk, true).dump()));
+    std::string line;
+    ASSERT_TRUE(sweeper.readLine(&line));  // the sweep is streaming
+
+    const std::vector<RunSpec> one = {RunSpec::single(
+        "dyfesm", MachineParams::reference(), testScale)};
+    LineChannel interactive = connect();
+    ASSERT_TRUE(
+        interactive.writeLine(runRequest(8, one, false).dump()));
+    Json done;
+    for (;;) {
+        ASSERT_TRUE(interactive.readLine(&line));
+        std::string error;
+        ASSERT_TRUE(Json::parse(line, &done, &error)) << error;
+        ASSERT_FALSE(done.has("error")) << done.getString("error");
+        if (done.getBool("done", false))
+            break;
+    }
+    EXPECT_EQ(done.get("count").asU64(), 1u);
+    // The big sweep is still going: the interactive run overtook it.
+    EXPECT_GE(service_->activeRequests(), 1u);
+
+    // Drain the sweep so teardown is orderly.
+    for (;;) {
+        ASSERT_TRUE(sweeper.readLine(&line));
+        Json parsed;
+        std::string error;
+        ASSERT_TRUE(Json::parse(line, &parsed, &error)) << error;
+        if (parsed.getBool("done", false))
+            break;
+    }
+}
+
+TEST_F(ServiceFixture, StatusOpReportsLifecycle)
+{
+    LineChannel channel = connect();
+    Json status = Json::object();
+    status.set("op", "status");
+    const Json idle = roundTrip(channel, status);
+    EXPECT_TRUE(idle.getBool("ok"));
+    EXPECT_EQ(idle.get("queueDepth").asU64(), 0u);
+    EXPECT_EQ(idle.get("activeRequests").asU64(), 0u);
+    EXPECT_EQ(idle.get("connections").asArray().size(), 0u);
+    const Json &counters = idle.get("counters");
+    EXPECT_EQ(counters.get("cancelledBatches").asU64(), 0u);
+    EXPECT_EQ(counters.get("reapedBatches").asU64(), 0u);
+
+    // With a batch in flight the connection shows up, id and all.
+    const auto specs = distinctSpecs(60, 9000);
+    LineChannel runner = connect();
+    ASSERT_TRUE(runner.writeLine(runRequest(21, specs, true).dump()));
+    std::string line;
+    ASSERT_TRUE(runner.readLine(&line));
+    const Json busy = roundTrip(channel, status);
+    ASSERT_EQ(busy.get("connections").asArray().size(), 1u);
+    const Json &conn = busy.get("connections").asArray()[0];
+    EXPECT_EQ(conn.get("inflight").asU64(), 1u);
+    EXPECT_EQ(conn.get("requests").asArray()[0].asU64(), 21u);
+
+    // Drain so teardown is orderly.
+    for (;;) {
+        ASSERT_TRUE(runner.readLine(&line));
+        Json parsed;
+        std::string error;
+        ASSERT_TRUE(Json::parse(line, &parsed, &error)) << error;
+        if (parsed.getBool("done", false))
+            break;
+    }
+}
+
 TEST_F(ServiceFixture, ShutdownOpStopsServe)
 {
     LineChannel channel = connect();

@@ -23,9 +23,22 @@
  *   mtvctl warm [--scale S] [--family F]
  *                                       run the sweep quietly, just to
  *                                       populate the daemon's store
+ *   mtvctl cancel <id>                  cancel the in-flight batch(es)
+ *                                       tagged with request id <id>,
+ *                                       on any connection; queued
+ *                                       points are skipped, points
+ *                                       already simulating finish and
+ *                                       stay cached
+ *   mtvctl status                       request-lifecycle snapshot:
+ *                                       queue depth, per-connection
+ *                                       in-flight batches,
+ *                                       cancelled/reaped counters
  *   mtvctl stats                        cache/store counters
  *   mtvctl clear                        drop the daemon's memory cache
  *   mtvctl shutdown                     stop the daemon
+ *
+ * Numeric flags parse strictly (a typo like "--contexts abc" is a
+ * fatal error, never a silent 0).
  *
  * The digest is FNV-1a over the canonical binary SimStats blobs in
  * submission order: two invocations printing the same digest produced
@@ -40,6 +53,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <limits>
 #include <string>
 #include <vector>
 
@@ -63,11 +77,12 @@ usage()
     std::fprintf(
         stderr,
         "usage: mtvctl [--socket PATH] <command> [options]\n"
-        "  ping | stats | clear | shutdown\n"
+        "  ping | stats | status | clear | shutdown\n"
         "  run <program> [--contexts N] [--scale S]\n"
         "  sweep [--scale S] [--family F] [--program P] "
         "[--contexts N] [--follow] [--local]\n"
-        "  warm [--scale S] [--family F]\n");
+        "  warm [--scale S] [--family F]\n"
+        "  cancel <request-id>\n");
     return 2;
 }
 
@@ -81,6 +96,10 @@ struct BatchOutcome
     /** Folded over blobs client-side; for quiet batches the daemon's
      *  server-folded digest (reported on the done line) instead. */
     uint64_t digest = 0;
+    /** True when the stream ended with a cancelled terminator (a
+     *  `mtvctl cancel` from elsewhere hit this batch); results then
+     *  hold only the points delivered before the cancel. */
+    bool cancelled = false;
 };
 
 Json
@@ -141,6 +160,11 @@ consumeStream(LineChannel &channel, uint64_t id, size_t expected,
             fatal("response for unknown request id %llu",
                   static_cast<unsigned long long>(
                       line.get("id").asU64()));
+        if (line.getBool("done", false) &&
+            line.getBool("cancelled", false)) {
+            outcome.cancelled = true;
+            break;
+        }
         if (line.getBool("done", false)) {
             outcome.simulated = line.get("simulated").asU64();
             outcome.cacheServed = line.get("cacheServed").asU64();
@@ -187,19 +211,10 @@ consumeStream(LineChannel &channel, uint64_t id, size_t expected,
             hook(result, seq);
         outcome.results.push_back(std::move(result));
     }
-    if (outcome.results.size() != expected)
+    if (!outcome.cancelled && outcome.results.size() != expected)
         fatal("daemon returned %zu of %zu results",
               outcome.results.size(), expected);
     return outcome;
-}
-
-double
-scaleArg(const char *text)
-{
-    const double v = std::atof(text);
-    if (v <= 0)
-        fatal("invalid scale '%s'", text);
-    return v;
 }
 
 void
@@ -324,6 +339,13 @@ cmdSweep(const std::string &socketPath, const SweepRequest &request,
             std::chrono::steady_clock::now() - start)
             .count();
 
+    if (outcome.cancelled) {
+        std::fprintf(stderr,
+                     "mtvctl: sweep cancelled by the daemon after "
+                     "%zu/%zu points (%.2fs)\n",
+                     outcome.results.size(), count, seconds);
+        return 3;
+    }
     if (!quiet)
         printSliceReport(slices, outcome.results);
     std::printf("sweep: %zu points in %.2fs (family %s)\n",
@@ -354,6 +376,10 @@ cmdRun(const std::string &socketPath, const std::string &program,
         fatal("cannot send request (daemon gone?)");
     const BatchOutcome outcome =
         consumeStream(channel, 1, 1, nullptr);
+    if (outcome.cancelled) {
+        std::fprintf(stderr, "mtvctl: run cancelled by the daemon\n");
+        return 3;
+    }
     const RunResult &r = outcome.results.at(0);
     std::printf("%s @ %d context%s: %llu cycles, %llu dispatches "
                 "(%s)\n",
@@ -376,6 +402,76 @@ cmdSimple(const std::string &socketPath, const std::string &op)
         fatal("cannot send request (daemon gone?)");
     const Json response = readResponse(channel);
     std::printf("%s\n", response.dump().c_str());
+    return 0;
+}
+
+int
+cmdCancel(const std::string &socketPath, uint64_t requestId)
+{
+    LineChannel channel = connectChannel(socketPath);
+    Json request = Json::object();
+    request.set("op", "cancel");
+    request.set("id", requestId);
+    if (!channel.writeLine(request.dump()))
+        fatal("cannot send request (daemon gone?)");
+    const Json response = readResponse(channel);
+    const uint64_t hit = response.get("cancelled").asU64();
+    std::printf("cancelled %llu batch%s tagged with request id "
+                "%llu\n",
+                static_cast<unsigned long long>(hit),
+                hit == 1 ? "" : "es",
+                static_cast<unsigned long long>(requestId));
+    // "Nothing matched" is worth a nonzero exit: the id was probably
+    // mistyped or the batch already finished.
+    return hit > 0 ? 0 : 1;
+}
+
+int
+cmdStatus(const std::string &socketPath)
+{
+    LineChannel channel = connectChannel(socketPath);
+    Json request = Json::object();
+    request.set("op", "status");
+    if (!channel.writeLine(request.dump()))
+        fatal("cannot send request (daemon gone?)");
+    const Json s = readResponse(channel);
+    std::printf("queue depth: %llu\n",
+                static_cast<unsigned long long>(
+                    s.get("queueDepth").asU64()));
+    std::printf("active requests: %llu\n",
+                static_cast<unsigned long long>(
+                    s.get("activeRequests").asU64()));
+    std::printf("completed points: %llu\n",
+                static_cast<unsigned long long>(
+                    s.get("completedPoints").asU64()));
+    const Json &counters = s.get("counters");
+    // One machine-friendly line (service_smoke.sh greps it).
+    std::printf("counters: cancelledBatches=%llu reapedBatches=%llu "
+                "cancelledPoints=%llu discardedPoints=%llu\n",
+                static_cast<unsigned long long>(
+                    counters.get("cancelledBatches").asU64()),
+                static_cast<unsigned long long>(
+                    counters.get("reapedBatches").asU64()),
+                static_cast<unsigned long long>(
+                    counters.get("cancelledPoints").asU64()),
+                static_cast<unsigned long long>(
+                    counters.get("discardedPoints").asU64()));
+    for (const Json &conn : s.get("connections").asArray()) {
+        std::string ids;
+        for (const Json &id : conn.get("requests").asArray()) {
+            if (!ids.empty())
+                ids += " ";
+            ids += format("%llu", static_cast<unsigned long long>(
+                                      id.asU64()));
+        }
+        std::printf("connection %llu: %llu in flight (request ids: "
+                    "%s)\n",
+                    static_cast<unsigned long long>(
+                        conn.get("client").asU64()),
+                    static_cast<unsigned long long>(
+                        conn.get("inflight").asU64()),
+                    ids.c_str());
+    }
     return 0;
 }
 
@@ -410,7 +506,7 @@ main(int argc, char **argv)
             return argv[++i];
         };
         if (arg == "--scale")
-            sweepRequest.scale = scaleArg(value());
+            sweepRequest.scale = parsePositiveFlag(value(), "--scale");
         else if (arg == "--family")
             sweepRequest.family = value();
         else if (arg == "--program")
@@ -420,7 +516,10 @@ main(int argc, char **argv)
         else if (arg == "--follow")
             follow = true;
         else if (arg == "--contexts")
-            contexts = std::atoi(value());
+            // MachineParams::validate() accepts [1,8] (the paper
+            // stops at 4, the extension benches go to 8).
+            contexts = static_cast<int>(
+                parseIntFlag(value(), "--contexts", 1, 8));
         else if (arg.rfind("--", 0) == 0) {
             std::fprintf(stderr, "mtvctl: unknown option '%s'\n",
                          arg.c_str());
@@ -438,6 +537,18 @@ main(int argc, char **argv)
     if (command == "ping" || command == "stats" ||
         command == "clear" || command == "shutdown") {
         return cmdSimple(socketPath, command);
+    }
+    if (command == "status")
+        return cmdStatus(socketPath);
+    if (command == "cancel") {
+        // The "program" slot caught the positional argument; it is
+        // really the request id to cancel.
+        if (program.empty())
+            return usage();
+        return cmdCancel(socketPath,
+                         static_cast<uint64_t>(parseIntFlag(
+                             program.c_str(), "cancel <request-id>",
+                             1, std::numeric_limits<long long>::max())));
     }
     if (command == "run") {
         if (program.empty())

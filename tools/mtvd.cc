@@ -21,8 +21,10 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <limits>
 
 #include "src/common/logging.hh"
+#include "src/common/strutil.hh"
 #include "src/service/server.hh"
 
 namespace
@@ -62,17 +64,25 @@ main(int argc, char **argv)
                 fatal("missing value for %s", arg.c_str());
             return argv[++i];
         };
+        // Numeric flags parse strictly: "--workers abc" or a negative
+        // "--cache-cap" must fatal(), not atoi/atoll-wrap into 0 (a
+        // silent hardware-concurrency fallback) or SIZE_MAX (an
+        // operator who thinks the cache is bounded gets an unbounded
+        // one).
         if (arg == "--socket") {
             options.socketPath = value();
         } else if (arg == "--store") {
             options.storeDir = value();
         } else if (arg == "--shards") {
-            options.storeShards = std::atoi(value());
+            options.storeShards = static_cast<int>(
+                parseIntFlag(value(), "--shards", 0, 1024));
         } else if (arg == "--workers") {
-            options.workers = std::atoi(value());
+            options.workers = static_cast<int>(
+                parseIntFlag(value(), "--workers", 0, 4096));
         } else if (arg == "--cache-cap") {
-            options.maxCacheEntries =
-                static_cast<size_t>(std::atoll(value()));
+            options.maxCacheEntries = static_cast<size_t>(
+                parseIntFlag(value(), "--cache-cap", 0,
+                             std::numeric_limits<long long>::max()));
         } else if (arg == "--quiet") {
             setLogLevel(LogLevel::Quiet);
         } else if (arg == "--help" || arg == "-h") {

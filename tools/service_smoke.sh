@@ -10,7 +10,11 @@
 #   3. SIGKILL the idle daemon, restart, sweep again: now >= 95% of
 #      the points must be store-served and the digest bit-identical
 #      to the pre-kill run;
-#   4. assert a cold in-process run (mtvctl sweep --local, no daemon)
+#   4. SIGKILL a *client* mid-sweep (ISSUE-5): the daemon must reap
+#      the abandoned batch (visible in `mtvctl status` counters),
+#      stay responsive, and a subsequent sweep must still be
+#      digest-identical;
+#   5. assert a cold in-process run (mtvctl sweep --local, no daemon)
 #      produces the same digest.
 #
 # Usage: tools/service_smoke.sh <build-dir> [scale]
@@ -101,6 +105,50 @@ if [ "$WARM_DIGEST" != "$COLD_DIGEST" ]; then
     exit 1
 fi
 
+echo "== SIGKILL a CLIENT mid-sweep: daemon must reap and stay up =="
+# A heavier, uncached scale so the killed client leaves real queued
+# work behind (the $SCALE points are all store-served by now).
+KILL_SCALE=3e-4
+"$BUILD_DIR/mtvctl" --socket "$SOCKET" sweep --scale "$KILL_SCALE" \
+    > "$WORK/killed_client.out" 2>&1 &
+CLIENT_PID=$!
+sleep 1
+kill -9 "$CLIENT_PID" 2>/dev/null || true
+wait "$CLIENT_PID" 2>/dev/null || true
+
+# The daemon must answer status immediately and, once the reap
+# settles, report the abandoned batch and its freed points.
+REAPED=0; FREED=0
+for _ in $(seq 1 50); do
+    STATUS=$("$BUILD_DIR/mtvctl" --socket "$SOCKET" status) \
+        || { echo "FAIL: daemon unresponsive after client kill"; exit 1; }
+    ACTIVE=$(echo "$STATUS" | grep '^active requests:' | awk '{print $3}')
+    REAPED=$(echo "$STATUS" | grep -o 'reapedBatches=[0-9]*' | cut -d= -f2)
+    CANCELLED=$(echo "$STATUS" | grep -o 'cancelledPoints=[0-9]*' | cut -d= -f2)
+    DISCARDED=$(echo "$STATUS" | grep -o 'discardedPoints=[0-9]*' | cut -d= -f2)
+    FREED=$(( CANCELLED + DISCARDED ))
+    QUEUE=$(echo "$STATUS" | grep '^queue depth:' | awk '{print $3}')
+    if [ "$ACTIVE" = 0 ] && [ "$QUEUE" = 0 ]; then
+        break
+    fi
+    sleep 0.2
+done
+echo "after client kill: reapedBatches=$REAPED freedPoints=$FREED"
+if [ "$REAPED" -lt 1 ] || [ "$FREED" -lt 1 ]; then
+    echo "FAIL: daemon did not reap the killed client's work"
+    "$BUILD_DIR/mtvctl" --socket "$SOCKET" status
+    exit 1
+fi
+
+# And it still serves: the standard sweep stays digest-identical.
+AFTER_OUT=$(sweep)
+AFTER_DIGEST=$(echo "$AFTER_OUT" | grep '^digest:' | awk '{print $2}')
+if [ "$AFTER_DIGEST" != "$COLD_DIGEST" ]; then
+    echo "FAIL: post-kill digest $AFTER_DIGEST != cold digest $COLD_DIGEST"
+    exit 1
+fi
+echo "daemon responsive after client kill, digest still $AFTER_DIGEST"
+
 echo "== cold in-process run (no daemon) =="
 LOCAL_DIGEST=$("$BUILD_DIR/mtvctl" sweep --local --scale "$SCALE" \
     | grep '^digest:' | awk '{print $2}')
@@ -115,4 +163,4 @@ fi
 wait "$DAEMON_PID" 2>/dev/null || true
 DAEMON_PID=""
 
-echo "PASS: mid-sweep SIGKILL recovered; $WARM_STORE/$WARM_TOTAL store-served; digests bit-identical (daemon == restart == --local)"
+echo "PASS: mid-sweep SIGKILL recovered; $WARM_STORE/$WARM_TOTAL store-served; client kill reaped ($REAPED batch, $FREED points freed); digests bit-identical (daemon == restart == --local)"
