@@ -114,4 +114,20 @@ parsePositiveFlag(const char *text, const char *flag)
     return value;
 }
 
+HostPort
+parseHostPort(const char *text, const char *flag)
+{
+    const std::string s(text);
+    const size_t colon = s.rfind(':');
+    if (colon == std::string::npos)
+        fatal("%s expects HOST:PORT, got '%s'", flag, text);
+    HostPort out;
+    out.host = s.substr(0, colon);
+    if (out.host.empty())
+        fatal("%s expects a non-empty host, got '%s'", flag, text);
+    out.port = static_cast<int>(
+        parseIntFlag(s.c_str() + colon + 1, flag, 1, 65535));
+    return out;
+}
+
 } // namespace mtv

@@ -51,6 +51,22 @@ long long parseIntFlag(const char *text, const char *flag,
  */
 double parsePositiveFlag(const char *text, const char *flag);
 
+/** A parsed "host:port" endpoint (see parseHostPort()). */
+struct HostPort
+{
+    std::string host;
+    int port = 0;
+};
+
+/**
+ * Strict "host:port" parse for CLI flag values: the host must be
+ * non-empty and the port a base-10 integer in [1, 65535] (via the
+ * parseIntFlag range checks — "host:abc" or "host:0" fatal()s naming
+ * @p flag, never atoi-wraps to a silent port 0). The port is split
+ * off the *last* ':' so IPv6 literals pass through as the host.
+ */
+HostPort parseHostPort(const char *text, const char *flag);
+
 } // namespace mtv
 
 #endif // MTV_COMMON_STRUTIL_HH

@@ -1,0 +1,441 @@
+#include "src/fleet/fleet_service.hh"
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "src/common/logging.hh"
+#include "src/common/strutil.hh"
+#include "src/service/json.hh"
+
+namespace mtv
+{
+
+namespace
+{
+
+Json
+errorJson(const std::string &message)
+{
+    Json j = Json::object();
+    j.set("error", message);
+    return j;
+}
+
+Json
+requestErrorJson(uint64_t id, const std::string &message)
+{
+    Json j = errorJson(message);
+    j.set("id", id);
+    return j;
+}
+
+/**
+ * Re-orders the fleet's arrival-order point stream back into global
+ * submission order for one client: seq = global index, parked until
+ * every earlier point has been emitted. Invoked under the router's
+ * gather mutex, so writes are serialized.
+ */
+class OrderedEmitter
+{
+  public:
+    OrderedEmitter(LineChannel &channel, uint64_t id, bool quiet)
+        : channel_(channel), id_(id), quiet_(quiet)
+    {
+    }
+
+    void
+    reset(size_t count)
+    {
+        ready_.assign(count, 0);
+        results_.assign(count, RunResult());
+        blobs_.assign(count, std::string());
+        nextEmit_ = 0;
+    }
+
+    /** The FleetRouter::PointHook. */
+    void
+    land(size_t global, const RunResult &result,
+         const std::string &blob)
+    {
+        ready_[global] = 1;
+        results_[global] = result;
+        blobs_[global] = blob;
+        while (nextEmit_ < ready_.size() && ready_[nextEmit_]) {
+            const size_t seq = nextEmit_++;
+            if (writeFailed_)
+                continue;
+            const Json line =
+                resultToJson(results_[seq], id_, seq,
+                             /*includeBlob=*/!quiet_, &blobs_[seq]);
+            if (!channel_.writeLine(line.dump()))
+                writeFailed_ = true;
+            // Emitted points are not needed again (the router holds
+            // its own copies for the final fold).
+            results_[seq] = RunResult();
+            blobs_[seq].clear();
+        }
+    }
+
+    bool writeFailed() const { return writeFailed_; }
+
+    /** The terminator, with the fleet extras the smoke test greps. */
+    bool
+    writeDone(const FleetOutcome &outcome)
+    {
+        Json done = Json::object();
+        done.set("id", id_);
+        done.set("done", true);
+        done.set("count",
+                 static_cast<uint64_t>(outcome.results.size()));
+        done.set("simulated", outcome.simulated);
+        done.set("cacheServed", outcome.cacheServed);
+        done.set("storeServed", outcome.storeServed);
+        done.set("digest",
+                 format("%016llx", static_cast<unsigned long long>(
+                                       outcome.digest)));
+        done.set("rerouted", outcome.rerouted);
+        if (!outcome.deadNodes.empty()) {
+            Json dead = Json::array();
+            for (const std::string &name : outcome.deadNodes)
+                dead.push(name);
+            done.set("deadNodes", std::move(dead));
+        }
+        return channel_.writeLine(done.dump());
+    }
+
+  private:
+    LineChannel &channel_;
+    uint64_t id_;
+    bool quiet_;
+    std::vector<char> ready_;
+    std::vector<RunResult> results_;
+    std::vector<std::string> blobs_;
+    size_t nextEmit_ = 0;
+    bool writeFailed_ = false;
+};
+
+} // namespace
+
+FleetService::FleetService(FleetServiceOptions options)
+    : router_(options.nodes, options.fleet)
+{
+    socketPath_ = options.socketPath.empty() ? defaultSocketPath()
+                                             : options.socketPath;
+
+    // Same stale-socket policy as MtvService: only a *connectable*
+    // socket means a live daemon; a leftover file is unlinked.
+    std::string connectError;
+    const int probe = connectToDaemon(socketPath_, &connectError);
+    if (probe >= 0) {
+        ::close(probe);
+        fatal("another mtvd is already serving '%s'",
+              socketPath_.c_str());
+    }
+    ::unlink(socketPath_.c_str());
+
+    Listener unixListener;
+    unixListener.endpoint = Endpoint::unixSocket(socketPath_);
+    unixListener.fd =
+        listenOnEndpoint(unixListener.endpoint, nullptr);
+    listeners_.push_back(unixListener);
+
+    if (!options.tcpHost.empty()) {
+        Listener tcpListener;
+        tcpListener.fd = listenOnEndpoint(
+            Endpoint::tcp(options.tcpHost, options.tcpPort),
+            &tcpListener.endpoint);
+        tcpPort_ = tcpListener.endpoint.port;
+        listeners_.push_back(tcpListener);
+    }
+}
+
+FleetService::~FleetService()
+{
+    stop();
+    teardownClients();
+    router_.stopHealthMonitor();
+    for (const Listener &listener : listeners_) {
+        if (listener.fd >= 0)
+            ::close(listener.fd);
+    }
+    ::unlink(socketPath_.c_str());
+}
+
+void
+FleetService::joinFinishedLocked()
+{
+    for (auto &thread : finishedClients_)
+        thread.join();
+    finishedClients_.clear();
+}
+
+void
+FleetService::teardownClients()
+{
+    // Joins happen OUTSIDE clientsMutex_: a connection thread's last
+    // act is to lock it and retire its own handle.
+    std::vector<std::thread> threads;
+    {
+        std::lock_guard<std::mutex> lock(clientsMutex_);
+        for (auto &client : activeClients_) {
+            ::shutdown(client.first, SHUT_RDWR);
+            threads.push_back(std::move(client.second));
+        }
+        activeClients_.clear();
+        for (auto &thread : finishedClients_)
+            threads.push_back(std::move(thread));
+        finishedClients_.clear();
+    }
+    for (auto &thread : threads)
+        thread.join();
+}
+
+void
+FleetService::stop()
+{
+    // Async-signal-safe (mtvd wires this to SIGTERM/SIGINT): flag +
+    // shutdown only.
+    stopping_.store(true);
+    for (const Listener &listener : listeners_) {
+        if (listener.fd >= 0)
+            ::shutdown(listener.fd, SHUT_RDWR);
+    }
+}
+
+void
+FleetService::serve()
+{
+    for (const Listener &listener : listeners_) {
+        inform("mtvd: routing for %zu nodes, listening on %s",
+               router_.nodeCount(),
+               listener.endpoint.describe().c_str());
+    }
+    // Dead nodes are discovered between requests too, not only when
+    // a scatter trips over them.
+    router_.startHealthMonitor();
+
+    std::vector<pollfd> fds;
+    fds.reserve(listeners_.size());
+    for (const Listener &listener : listeners_)
+        fds.push_back(pollfd{listener.fd, POLLIN, 0});
+    while (!stopping_.load()) {
+        for (pollfd &p : fds)
+            p.revents = 0;
+        const int ready = ::poll(fds.data(), fds.size(), 500);
+        if (stopping_.load())
+            break;
+        if (ready < 0) {
+            if (errno == EINTR)
+                continue;
+            break;
+        }
+        if (ready == 0)
+            continue;
+        for (size_t i = 0; i < fds.size(); ++i) {
+            if (!(fds[i].revents & (POLLIN | POLLERR | POLLHUP)))
+                continue;
+            const int fd = ::accept(listeners_[i].fd, nullptr,
+                                    nullptr);
+            if (fd < 0) {
+                if (stopping_.load())
+                    break;
+                if (errno == EMFILE || errno == ENFILE ||
+                    errno == ECONNABORTED || errno == EPROTO) {
+                    warn("mtvd: accept failed: %s — retrying",
+                         std::strerror(errno));
+                    std::this_thread::sleep_for(
+                        std::chrono::milliseconds(100));
+                }
+                continue;
+            }
+            std::lock_guard<std::mutex> lock(clientsMutex_);
+            joinFinishedLocked();
+            activeClients_.emplace(
+                fd,
+                std::thread([this, fd] { handleConnection(fd); }));
+        }
+    }
+
+    router_.stopHealthMonitor();
+    teardownClients();
+}
+
+void
+FleetService::handleConnection(int fd)
+{
+    LineChannel channel(fd);
+    std::string line;
+    while (!stopping_.load() && channel.readLine(&line)) {
+        if (line.empty())
+            continue;
+        Json request;
+        std::string parseError;
+        if (!Json::parse(line, &request, &parseError)) {
+            if (!channel.writeLine(errorJson(parseError).dump()))
+                break;
+            continue;
+        }
+        if (!handleRequest(request, channel))
+            break;
+    }
+    // Hand our own thread handle to the finished list; during
+    // teardown the entry may already be gone (the teardown side owns
+    // it then).
+    std::lock_guard<std::mutex> lock(clientsMutex_);
+    auto self = activeClients_.find(fd);
+    if (self != activeClients_.end()) {
+        finishedClients_.push_back(std::move(self->second));
+        activeClients_.erase(self);
+    }
+}
+
+bool
+FleetService::handleRequest(const Json &request, LineChannel &channel)
+{
+    try {
+        // Client input (and downstream-node fatality: a fleet with
+        // zero live nodes left) reports through fatal(); either must
+        // answer this client, not kill the router.
+        ScopedFatalAsException fatalScope;
+        const std::string op = request.getString("op");
+        if (op == "ping") {
+            Json ok = Json::object();
+            ok.set("ok", true);
+            ok.set("pong", true);
+            ok.set("protocol", serviceProtocolVersion);
+            ok.set("fleet", true);
+            ok.set("nodes",
+                   static_cast<uint64_t>(router_.nodeCount()));
+            ok.set("alive",
+                   static_cast<uint64_t>(router_.aliveCount()));
+            Json families = Json::array();
+            for (const SweepFamilyInfo &family : sweepFamilies())
+                families.push(family.name);
+            ok.set("sweepFamilies", std::move(families));
+            return channel.writeLine(ok.dump());
+        }
+        if (op == "status") {
+            Json ok = Json::object();
+            ok.set("ok", true);
+            ok.set("fleet", true);
+            Json nodes = Json::array();
+            for (const FleetNodeStatus &s : router_.status()) {
+                Json node = Json::object();
+                node.set("endpoint", s.name);
+                node.set("alive", s.alive);
+                if (!s.lastError.empty())
+                    node.set("error", s.lastError);
+                node.set("served", s.pointsServed);
+                nodes.push(std::move(node));
+            }
+            ok.set("nodes", std::move(nodes));
+            return channel.writeLine(ok.dump());
+        }
+        if (op == "sweep")
+            return handleSweep(request, channel);
+        if (op == "run")
+            return handleRun(request, channel);
+        if (op == "shutdown") {
+            Json ok = Json::object();
+            ok.set("ok", true);
+            ok.set("stopping", true);
+            channel.writeLine(ok.dump());
+            inform("mtvd: shutdown requested by client");
+            stop();
+            return false;
+        }
+        if (op == "stats" || op == "clear" || op == "cancel") {
+            // The router owns no engine: nothing to clear, no cache
+            // counters, and in-flight bookkeeping lives node-side.
+            return channel.writeLine(
+                errorJson(format("op '%s' is not served by a fleet "
+                                 "router — talk to a node directly",
+                                 op.c_str()))
+                    .dump());
+        }
+        return channel.writeLine(
+            errorJson(op.empty() ? "request names no op"
+                                 : "unknown op '" + op + "'")
+                .dump());
+    } catch (const FatalError &e) {
+        return channel.writeLine(
+            requestErrorJson(
+                request.get("id").type() == Json::Type::Number
+                    ? static_cast<uint64_t>(
+                          request.getNumber("id"))
+                    : 0,
+                e.what())
+                .dump());
+    }
+}
+
+bool
+FleetService::handleSweep(const Json &request, LineChannel &channel)
+{
+    const uint64_t id = request.get("id").asU64();
+    if (request.has("points")) {
+        // A router is not a node: the scatter path terminates here.
+        return channel.writeLine(
+            requestErrorJson(id, "a fleet router does not accept "
+                                 "point subsets")
+                .dump());
+    }
+    const SweepRequest sweep = sweepRequestFromJson(request);
+    OrderedEmitter emitter(channel, id,
+                           request.getBool("quiet", false));
+
+    bool ackOk = true;
+    const FleetOutcome outcome = router_.runSweep(
+        sweep,
+        [&emitter](size_t global, const RunResult &result,
+                   const std::string &blob) {
+            emitter.land(global, result, blob);
+        },
+        [&](size_t count, const std::vector<SweepSlice> &slices) {
+            emitter.reset(count);
+            Json ack = Json::object();
+            ack.set("id", id);
+            ack.set("ack", true);
+            ack.set("count", static_cast<uint64_t>(count));
+            ack.set("total", static_cast<uint64_t>(count));
+            Json sliceArray = Json::array();
+            for (const SweepSlice &slice : slices)
+                sliceArray.push(sliceToJson(slice));
+            ack.set("slices", std::move(sliceArray));
+            ackOk = channel.writeLine(ack.dump());
+        });
+
+    if (!ackOk || emitter.writeFailed())
+        return false;  // the client vanished mid-stream
+    return emitter.writeDone(outcome);
+}
+
+bool
+FleetService::handleRun(const Json &request, LineChannel &channel)
+{
+    const uint64_t id = request.get("id").asU64();
+    std::vector<RunSpec> specs;
+    for (const Json &spec : request.get("specs").asArray())
+        specs.push_back(RunSpec::parse(spec.asString()));
+    if (specs.empty())
+        fatal("run request carries no specs");
+
+    OrderedEmitter emitter(channel, id,
+                           request.getBool("quiet", false));
+    emitter.reset(specs.size());
+    const FleetOutcome outcome = router_.runSpecs(
+        specs, [&emitter](size_t global, const RunResult &result,
+                          const std::string &blob) {
+            emitter.land(global, result, blob);
+        });
+    if (emitter.writeFailed())
+        return false;
+    return emitter.writeDone(outcome);
+}
+
+} // namespace mtv

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * HashRing: the consistent-hash ring behind fleet routing. Each node
+ * contributes a fixed number of virtual points (FNV-1a of
+ * "name#vnode", avalanche-finalized — see ring.cc) on a 64-bit ring;
+ * a key is owned by the first live point clockwise from the key's
+ * position, hashed the same way. Removing a dead node deletes only
+ * its points, so exactly the keys it owned remap (to their next live
+ * successor) and every other key keeps its owner — the property that
+ * lets a mid-sweep failover recompute only the dead node's slice.
+ *
+ * The ring is a value type and fully deterministic: the same node
+ * list (order included — ties between identical hash points break by
+ * node index) always produces the same assignment, on the router and
+ * in tests alike. Not thread-safe; FleetRouter guards its ring with
+ * the membership mutex.
+ */
+
+#ifndef MTV_FLEET_RING_HH
+#define MTV_FLEET_RING_HH
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace mtv
+{
+
+/** Consistent-hash ring over a fixed node list with liveness. */
+class HashRing
+{
+  public:
+    /**
+     * Build the ring over @p nodes (names must be unique — fleet
+     * endpoints are), @p vnodesPerNode points each. More vnodes
+     * smooth the key distribution at the cost of a larger sorted
+     * array; 64 keeps the max/min node share within ~2x.
+     */
+    explicit HashRing(std::vector<std::string> nodes,
+                      int vnodesPerNode = 64);
+
+    /** Total nodes (live and dead). */
+    size_t size() const { return nodes_.size(); }
+
+    /** Nodes still on the ring. */
+    size_t liveCount() const { return liveCount_; }
+
+    const std::vector<std::string> &nodes() const { return nodes_; }
+
+    bool isLive(size_t index) const { return live_.at(index); }
+
+    /**
+     * Index (into nodes()) of the live node owning @p key. fatal()s
+     * when every node has been removed — the caller (FleetRouter)
+     * turns that into "all fleet nodes dead".
+     */
+    size_t nodeFor(const std::string &key) const;
+
+    /**
+     * Drop node @p index's points from the ring (it died): only keys
+     * it owned remap. Idempotent.
+     */
+    void removeNode(size_t index);
+
+  private:
+    std::vector<std::string> nodes_;
+    std::vector<bool> live_;
+    size_t liveCount_ = 0;
+    /** (point hash, node index), sorted — the ring itself. */
+    std::vector<std::pair<uint64_t, uint32_t>> ring_;
+};
+
+} // namespace mtv
+
+#endif // MTV_FLEET_RING_HH

@@ -1,0 +1,223 @@
+/**
+ * @file
+ * FleetRouter: scatter/gather of experiment batches across N mtvd
+ * nodes with mid-sweep failover. The router is pure protocol client —
+ * it owns no engine — so the same class serves both deployments:
+ * client-side routing inside `mtvctl --fleet` and the thin routing
+ * daemon `mtvd --route` (src/fleet/fleet_service.hh).
+ *
+ * Routing: each point's RunSpec::canonical() string is consistent-
+ * hashed (HashRing) across the nodes, so each node's sharded
+ * ResultStore owns a disjoint slice of the key space and a re-run of
+ * the same sweep warms the same node caches. Sweep families are
+ * expanded ONCE (by the router); every node receives the family name
+ * plus only the global point indices it owns via the existing "sweep"
+ * op's "points" field, and expands the family itself — ~100 bytes of
+ * request per node instead of megabytes of specs.
+ *
+ * Gather: one reader thread per node consumes that node's result
+ * stream, mapping subset seq numbers back to global indices. Results
+ * land in a global table, so the caller sees one multiplexed stream
+ * (via the per-point hook, arrival order) and ONE digest: FNV-1a
+ * folded over the canonical stats blobs in GLOBAL submission order,
+ * bit-identical to running the whole sweep on a single node or
+ * `mtvctl sweep --local`.
+ *
+ * Failover: membership is a health table; a node is marked dead by a
+ * sticky mark on any connect/write/read/protocol failure (or by the
+ * periodic status pings of startHealthMonitor()). Death removes the
+ * node from the ring and closes the router's connection to it — on a
+ * half-dead node that close triggers the daemon-side reap path
+ * (cancel tokens + lane drop, see src/service/server.hh), so a
+ * wedged node stops simulating for nobody. Points the dead node had
+ * already streamed are kept (its acked slice map); the unfinished
+ * remainder is rerouted to the survivors on the next scatter round.
+ * The batch completes as long as one node lives; with zero survivors
+ * the router fatal()s (FleetService turns that into a protocol error
+ * for its client).
+ */
+
+#ifndef MTV_FLEET_ROUTER_HH
+#define MTV_FLEET_ROUTER_HH
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/api/run_spec.hh"
+#include "src/api/sweep.hh"
+#include "src/fleet/ring.hh"
+#include "src/service/protocol.hh"
+
+namespace mtv
+{
+
+/** Tunables of one FleetRouter. */
+struct FleetOptions
+{
+    /** Virtual points per node on the hash ring. */
+    int vnodesPerNode = 64;
+    /** Period of the background health pings (startHealthMonitor). */
+    double healthIntervalSeconds = 2.0;
+};
+
+/** Health-table snapshot of one fleet node. */
+struct FleetNodeStatus
+{
+    /** The endpoint text as configured (ring identity). */
+    std::string name;
+    bool alive = true;
+    /** Last connect/protocol failure (empty while healthy). */
+    std::string lastError;
+    /** Result lines this node streamed to us. */
+    uint64_t pointsServed = 0;
+};
+
+/** One gathered batch (the fleet analogue of a done line). */
+struct FleetOutcome
+{
+    /** Global submission order — position i is spec i. */
+    std::vector<RunResult> results;
+    /** Slice map of the sweep expansion (empty for spec batches). */
+    std::vector<SweepSlice> slices;
+    /** FNV-1a over the stats blobs in global submission order —
+     *  bit-identical to a single-node or --local run. */
+    uint64_t digest = 0;
+    uint64_t simulated = 0;
+    uint64_t cacheServed = 0;
+    uint64_t storeServed = 0;
+    /** Points re-homed to survivors after a node died mid-batch. */
+    uint64_t rerouted = 0;
+    /** Nodes lost (newly marked dead) while this batch ran. */
+    std::vector<std::string> deadNodes;
+};
+
+/** Consistent-hash scatter/gather client over N mtvd nodes. */
+class FleetRouter
+{
+  public:
+    /**
+     * @p endpointTexts: one "HOST:PORT" or unix socket path per node
+     * (parsed strictly via parseEndpoint()). The texts are the ring
+     * identities — every router configured with the same list routes
+     * identically. fatal()s on an empty list.
+     */
+    explicit FleetRouter(
+        const std::vector<std::string> &endpointTexts,
+        FleetOptions options = {});
+    ~FleetRouter();
+
+    FleetRouter(const FleetRouter &) = delete;
+    FleetRouter &operator=(const FleetRouter &) = delete;
+
+    size_t nodeCount() const;
+    size_t aliveCount() const;
+
+    /** Health-table snapshot (status op of `mtvd --route`). */
+    std::vector<FleetNodeStatus> status() const;
+
+    /** Ring owner (node index) of one canonical spec key among the
+     *  currently-live nodes. Exposed for ownership tests. */
+    size_t nodeForKey(const std::string &canonical) const;
+
+    /**
+     * Ping every node still considered alive; failures mark the node
+     * dead (sticky). Returns the number of live nodes afterwards.
+     */
+    size_t pingAll();
+
+    /**
+     * Start the periodic health monitor (pingAll() every
+     * healthIntervalSeconds) — `mtvd --route` runs one so dead nodes
+     * are discovered between requests, not only mid-sweep.
+     */
+    void startHealthMonitor();
+    void stopHealthMonitor();
+
+    /**
+     * Per-point callback, invoked as results arrive (arrival order,
+     * concurrent node streams serialized by the router). @p blob is
+     * the canonical stats blob — what the digest folds over.
+     */
+    using PointHook = std::function<void(
+        size_t globalIndex, const RunResult &result,
+        const std::string &blob)>;
+
+    /** Called once after the sweep family expanded, before any node
+     *  is contacted — the ack data (count + slice map). */
+    using ExpandHook = std::function<void(
+        size_t count, const std::vector<SweepSlice> &slices)>;
+
+    /**
+     * Expand @p request once, scatter it across the live nodes, and
+     * gather the folded outcome. Retries dead nodes' unfinished
+     * points on survivors until the batch completes; fatal()s only
+     * when no node is left alive.
+     */
+    FleetOutcome runSweep(const SweepRequest &request,
+                          const PointHook &hook = nullptr,
+                          const ExpandHook &onExpanded = nullptr);
+
+    /**
+     * Scatter an explicit spec batch (the "run" op per node) — the
+     * routing/failover machinery without a sweep family. Duplicate
+     * canonical specs are fine (distinct global positions; the
+     * engine coalesces them node-side).
+     */
+    FleetOutcome runSpecs(const std::vector<RunSpec> &specs,
+                          const PointHook &hook = nullptr);
+
+  private:
+    struct Node
+    {
+        std::string name;  ///< endpoint text (ring identity)
+        Endpoint endpoint;
+        bool alive = true;
+        std::string lastError;
+        uint64_t pointsServed = 0;
+    };
+
+    /** Mutable state of one gather in progress (shared by the node
+     *  reader threads of one scatter round). */
+    struct Gather;
+
+    /** Mark @p index dead (sticky) and drop it from the ring; no-op
+     *  when already dead. Caller must NOT hold membershipMutex_. */
+    void markDead(size_t index, const std::string &error);
+
+    /** Stream one node's subset: send the request, consume the
+     *  stream, land results in @p gather. Any failure marks the node
+     *  dead; already-landed points are kept. */
+    void streamSubset(size_t nodeIndex,
+                      const std::vector<size_t> &indices,
+                      const SweepRequest *sweep, Gather &gather);
+
+    /** The scatter/gather/reroute loop shared by runSweep (sweep op,
+     *  @p sweep non-null) and runSpecs (run op). */
+    FleetOutcome scatter(const std::vector<RunSpec> &specs,
+                         const SweepRequest *sweep,
+                         std::vector<SweepSlice> slices,
+                         const PointHook &hook);
+
+    FleetOptions options_;
+
+    /** Guards nodes_, ring_ and deadDuringBatch_. */
+    mutable std::mutex membershipMutex_;
+    std::vector<Node> nodes_;
+    HashRing ring_;
+    /** Names newly marked dead since the current batch started. */
+    std::vector<std::string> deadDuringBatch_;
+
+    std::mutex monitorMutex_;
+    std::condition_variable monitorWake_;
+    std::thread monitor_;
+    bool monitorStop_ = false;
+};
+
+} // namespace mtv
+
+#endif // MTV_FLEET_ROUTER_HH

@@ -4,11 +4,15 @@
 #include <cstdlib>
 #include <cstring>
 
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
 #include <sys/socket.h>
 #include <sys/un.h>
 #include <unistd.h>
 
 #include "src/common/logging.hh"
+#include "src/common/strutil.hh"
 #include "src/store/stats_codec.hh"
 
 namespace mtv
@@ -28,6 +32,50 @@ defaultSocketPath()
     if (const char *env = std::getenv("MTV_SOCKET"))
         return env;
     return "/tmp/mtvd.sock";
+}
+
+Endpoint
+Endpoint::unixSocket(std::string socketPath)
+{
+    Endpoint e;
+    e.kind = Kind::Unix;
+    e.path = std::move(socketPath);
+    return e;
+}
+
+Endpoint
+Endpoint::tcp(std::string host, int port)
+{
+    Endpoint e;
+    e.kind = Kind::Tcp;
+    e.host = std::move(host);
+    e.port = port;
+    return e;
+}
+
+std::string
+Endpoint::describe() const
+{
+    if (kind == Kind::Unix)
+        return path;
+    return format("%s:%d", host.c_str(), port);
+}
+
+std::string
+Endpoint::startHint() const
+{
+    if (kind == Kind::Unix)
+        return "mtvd --socket " + path;
+    return "mtvd --tcp " + describe();
+}
+
+Endpoint
+parseEndpoint(const std::string &text)
+{
+    if (text.find(':') == std::string::npos)
+        return Endpoint::unixSocket(text);
+    const HostPort hp = parseHostPort(text.c_str(), "endpoint");
+    return Endpoint::tcp(hp.host, hp.port);
 }
 
 Json
@@ -58,6 +106,29 @@ resultToJson(const RunResult &result, uint64_t id, size_t seq,
                                : serializeSimStats(result.stats)));
     }
     return line;
+}
+
+RunResult
+resultFromJson(const Json &line, std::string *blob)
+{
+    RunResult result;
+    result.spec = RunSpec::parse(line.getString("spec"));
+    result.cached = line.getBool("cached");
+    result.fromStore = line.getBool("store");
+    result.stats.cycles = line.get("cycles").asU64();
+    result.stats.dispatches = line.get("dispatches").asU64();
+    result.speedup = line.getNumber("speedup");
+    result.mthOccupation = line.getNumber("mthOccupation");
+    result.refOccupation = line.getNumber("refOccupation");
+    result.mthVopc = line.getNumber("mthVopc");
+    result.refVopc = line.getNumber("refVopc");
+    if (line.has("blob")) {
+        const std::string bytes = hexDecode(line.getString("blob"));
+        result.stats = deserializeSimStats(bytes);
+        if (blob)
+            *blob = bytes;
+    }
+    return result;
 }
 
 Json
@@ -224,6 +295,78 @@ LineChannel::writeLine(const std::string &line)
     return true;
 }
 
+namespace
+{
+
+/** getaddrinfo over the endpoint's host/port, SOCK_STREAM. Returns
+ *  null (with @p error set) on resolution failure. */
+addrinfo *
+resolveTcp(const Endpoint &endpoint, bool passive, std::string *error)
+{
+    addrinfo hints{};
+    hints.ai_family = AF_UNSPEC;
+    hints.ai_socktype = SOCK_STREAM;
+    if (passive)
+        hints.ai_flags = AI_PASSIVE;
+    const std::string port = std::to_string(endpoint.port);
+    addrinfo *info = nullptr;
+    const int rc = ::getaddrinfo(endpoint.host.c_str(), port.c_str(),
+                                 &hints, &info);
+    if (rc != 0) {
+        if (error) {
+            *error = endpoint.describe() + ": " + ::gai_strerror(rc);
+        }
+        return nullptr;
+    }
+    return info;
+}
+
+/** Disable Nagle on a connected/accepted TCP socket: the protocol
+ *  exchanges small request lines and a 40ms coalescing delay per
+ *  round trip would dominate every ping/ack. */
+void
+setNoDelay(int fd)
+{
+    int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+int
+connectTcp(const Endpoint &endpoint, std::string *error)
+{
+    addrinfo *info = resolveTcp(endpoint, /*passive=*/false, error);
+    if (!info)
+        return -1;
+    int fd = -1;
+    int lastErrno = ECONNREFUSED;
+    for (addrinfo *ai = info; ai; ai = ai->ai_next) {
+        fd = ::socket(ai->ai_family, ai->ai_socktype,
+                      ai->ai_protocol);
+        if (fd < 0) {
+            lastErrno = errno;
+            continue;
+        }
+        if (::connect(fd, ai->ai_addr, ai->ai_addrlen) == 0)
+            break;
+        lastErrno = errno;
+        ::close(fd);
+        fd = -1;
+    }
+    ::freeaddrinfo(info);
+    if (fd < 0) {
+        if (error) {
+            *error = endpoint.describe() + ": " +
+                     std::strerror(lastErrno) +
+                     " (is mtvd running?)";
+        }
+        return -1;
+    }
+    setNoDelay(fd);
+    return fd;
+}
+
+} // namespace
+
 int
 connectToDaemon(const std::string &socketPath, std::string *error)
 {
@@ -251,6 +394,99 @@ connectToDaemon(const std::string &socketPath, std::string *error)
         }
         ::close(fd);
         return -1;
+    }
+    return fd;
+}
+
+int
+connectToEndpoint(const Endpoint &endpoint, std::string *error)
+{
+    if (endpoint.kind == Endpoint::Kind::Unix)
+        return connectToDaemon(endpoint.path, error);
+    return connectTcp(endpoint, error);
+}
+
+int
+listenOnEndpoint(const Endpoint &endpoint, Endpoint *bound,
+                 int backlog)
+{
+    if (bound)
+        *bound = endpoint;
+
+    if (endpoint.kind == Endpoint::Kind::Unix) {
+        sockaddr_un addr{};
+        addr.sun_family = AF_UNIX;
+        if (endpoint.path.size() >= sizeof(addr.sun_path)) {
+            fatal("socket path too long (%zu bytes): %s",
+                  endpoint.path.size(), endpoint.path.c_str());
+        }
+        std::strncpy(addr.sun_path, endpoint.path.c_str(),
+                     sizeof(addr.sun_path) - 1);
+        const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+        if (fd < 0) {
+            fatal("cannot create server socket: %s",
+                  std::strerror(errno));
+        }
+        if (::bind(fd, reinterpret_cast<const sockaddr *>(&addr),
+                   sizeof(addr)) != 0) {
+            fatal("cannot bind '%s': %s", endpoint.path.c_str(),
+                  std::strerror(errno));
+        }
+        if (::listen(fd, backlog) != 0) {
+            fatal("cannot listen on '%s': %s", endpoint.path.c_str(),
+                  std::strerror(errno));
+        }
+        return fd;
+    }
+
+    std::string error;
+    addrinfo *info = resolveTcp(endpoint, /*passive=*/true, &error);
+    if (!info)
+        fatal("cannot resolve %s", error.c_str());
+    int fd = -1;
+    std::string lastError = "no usable address";
+    for (addrinfo *ai = info; ai; ai = ai->ai_next) {
+        fd = ::socket(ai->ai_family, ai->ai_socktype,
+                      ai->ai_protocol);
+        if (fd < 0) {
+            lastError = std::strerror(errno);
+            continue;
+        }
+        // Restarting a node must not wait out TIME_WAIT of its own
+        // previous life (the fleet failover scenario restarts nodes
+        // on their old ports).
+        int one = 1;
+        ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one,
+                     sizeof(one));
+        if (::bind(fd, ai->ai_addr, ai->ai_addrlen) == 0 &&
+            ::listen(fd, backlog) == 0) {
+            break;
+        }
+        lastError = std::strerror(errno);
+        ::close(fd);
+        fd = -1;
+    }
+    ::freeaddrinfo(info);
+    if (fd < 0) {
+        fatal("cannot listen on %s: %s", endpoint.describe().c_str(),
+              lastError.c_str());
+    }
+    if (bound) {
+        // Report the kernel-chosen port of an ephemeral (port 0)
+        // bind, so tests and smoke scripts get collision-free ports.
+        sockaddr_storage addr{};
+        socklen_t len = sizeof(addr);
+        if (::getsockname(fd, reinterpret_cast<sockaddr *>(&addr),
+                          &len) == 0) {
+            if (addr.ss_family == AF_INET) {
+                bound->port = ntohs(
+                    reinterpret_cast<sockaddr_in *>(&addr)->sin_port);
+            } else if (addr.ss_family == AF_INET6) {
+                bound->port = ntohs(
+                    reinterpret_cast<sockaddr_in6 *>(&addr)
+                        ->sin6_port);
+            }
+        }
     }
     return fd;
 }

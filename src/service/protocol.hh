@@ -11,11 +11,20 @@
  *   {"op":"run","id":n,"specs":["<RunSpec::canonical()>",...],
  *    "quiet":b}
  *   {"op":"sweep","id":n,"family":"<name>","scale":g,"quiet":b,
- *    "program":"...","contexts":n,"jobs":[...],"latencies":[...]}
+ *    "program":"...","contexts":n,"jobs":[...],"latencies":[...],
+ *    "points":[i,...]}
  *     — a named sweep family (see sweepFamilies()), expanded
  *     *server-side*: the client sends ~100 bytes naming the sweep
  *     instead of megabytes of expanded specs. Family-specific fields
- *     beyond "family" and "scale" are optional.
+ *     beyond "family" and "scale" are optional. "points", when
+ *     present, selects a subset of the expansion by global index —
+ *     the fleet scatter path (src/fleet/): a router expands the
+ *     family once, consistent-hashes each point's canonical spec
+ *     across nodes, and sends every node only the indices it owns.
+ *     Result lines then stream the subset in the given order (seq
+ *     numbers the subset; the ack echoes the full expansion size as
+ *     "total"), so the router can map seq back to global index and
+ *     fold one fleet-wide digest in global submission order.
  *   {"op":"stats"}
  *   {"op":"status"}
  *     — request-lifecycle snapshot: engine queue depth, per-
@@ -106,6 +115,47 @@ constexpr int maxInflightRequestsPerConnection = 8;
 const char *defaultSocketPath();
 
 /**
+ * Where a daemon listens (or a client connects): a unix socket path
+ * or a TCP host:port. Both speak the identical newline-delimited
+ * protocol v3 framing — TCP exists so mtvd nodes can form a fleet
+ * across machines (src/fleet/).
+ */
+struct Endpoint
+{
+    enum class Kind : uint8_t
+    {
+        Unix,
+        Tcp
+    };
+
+    Kind kind = Kind::Unix;
+    /** Unix: the socket path. */
+    std::string path;
+    /** Tcp: host (name or literal) and port (0 = ephemeral bind,
+     *  tests only — parseEndpoint() rejects it). */
+    std::string host;
+    int port = 0;
+
+    static Endpoint unixSocket(std::string socketPath);
+    static Endpoint tcp(std::string host, int port);
+
+    /** Human-readable form: the path, or "host:port". */
+    std::string describe() const;
+
+    /** The mtvd invocation that would serve this endpoint — for
+     *  actionable "daemon not running" messages. */
+    std::string startHint() const;
+};
+
+/**
+ * Parse an endpoint string (fleet node lists, --route): text with a
+ * ':' is TCP "HOST:PORT" — parsed strictly via parseHostPort(), so
+ * "host:abc" fatal()s instead of degrading to a unix path — anything
+ * else is a unix socket path.
+ */
+Endpoint parseEndpoint(const std::string &text);
+
+/**
  * One result line of a streamed response. @p includeBlob attaches the
  * hex serializeSimStats() blob (lossless; JSON numbers alone could
  * not round-trip 64-bit counters); a caller that already serialized
@@ -115,6 +165,14 @@ const char *defaultSocketPath();
 Json resultToJson(const RunResult &result, uint64_t id, size_t seq,
                   bool includeBlob,
                   const std::string *serialized = nullptr);
+
+/**
+ * Inverse of resultToJson(): decode one streamed result line. When
+ * the line carries a blob, the stats are decoded losslessly from it
+ * and @p blob (if non-null) receives the raw blob bytes — the digest
+ * fold input. fatal()s on malformed lines.
+ */
+RunResult resultFromJson(const Json &line, std::string *blob = nullptr);
 
 /** Encode a named-sweep request ("op","id","quiet" added by caller). */
 Json sweepRequestToJson(const SweepRequest &request);
@@ -176,6 +234,25 @@ class LineChannel
  * -1 (with @p error set) when the daemon is not reachable.
  */
 int connectToDaemon(const std::string &socketPath, std::string *error);
+
+/**
+ * Connect to a daemon endpoint of either kind. TCP connections get
+ * TCP_NODELAY (the protocol is small request lines; Nagle would add
+ * 40ms stalls to every ping). Returns the connected fd or -1 (with
+ * @p error set).
+ */
+int connectToEndpoint(const Endpoint &endpoint, std::string *error);
+
+/**
+ * Bind + listen on @p endpoint. fatal()s when the address is
+ * unusable. For TCP, @p endpoint.port may be 0 (ephemeral); the
+ * returned Endpoint carries the actually-bound port — how tests and
+ * the fleet smoke script get collision-free ports. @p backlog is the
+ * listen(2) queue. The unix-socket variant does NOT unlink or probe
+ * the path; MtvService owns that policy.
+ */
+int listenOnEndpoint(const Endpoint &endpoint, Endpoint *bound,
+                     int backlog = 64);
 
 } // namespace mtv
 

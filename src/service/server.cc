@@ -10,6 +10,9 @@
 #include <thread>
 #include <vector>
 
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <sys/un.h>
 #include <unistd.h>
@@ -84,19 +87,6 @@ safeRequestId(const Json &request)
     if (v < 0 || v != std::floor(v) || v > 9.007199254740992e15)
         return 0;
     return static_cast<uint64_t>(v);
-}
-
-sockaddr_un
-socketAddress(const std::string &path)
-{
-    sockaddr_un addr{};
-    addr.sun_family = AF_UNIX;
-    if (path.size() >= sizeof(addr.sun_path))
-        fatal("socket path too long (%zu bytes): %s", path.size(),
-              path.c_str());
-    std::strncpy(addr.sun_path, path.c_str(),
-                 sizeof(addr.sun_path) - 1);
-    return addr;
 }
 
 } // namespace
@@ -211,18 +201,20 @@ MtvService::MtvService(ServiceOptions options)
     }
     ::unlink(socketPath_.c_str());
 
-    const sockaddr_un addr = socketAddress(socketPath_);
-    listenFd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
-    if (listenFd_ < 0)
-        fatal("cannot create server socket: %s", std::strerror(errno));
-    if (::bind(listenFd_, reinterpret_cast<const sockaddr *>(&addr),
-               sizeof(addr)) != 0) {
-        fatal("cannot bind '%s': %s", socketPath_.c_str(),
-              std::strerror(errno));
+    Listener unixListener;
+    unixListener.endpoint = Endpoint::unixSocket(socketPath_);
+    unixListener.fd =
+        listenOnEndpoint(unixListener.endpoint, nullptr);
+    listeners_.push_back(unixListener);
+
+    if (!options.tcpHost.empty()) {
+        Listener tcpListener;
+        tcpListener.fd = listenOnEndpoint(
+            Endpoint::tcp(options.tcpHost, options.tcpPort),
+            &tcpListener.endpoint);
+        tcpPort_ = tcpListener.endpoint.port;
+        listeners_.push_back(tcpListener);
     }
-    if (::listen(listenFd_, 64) != 0)
-        fatal("cannot listen on '%s': %s", socketPath_.c_str(),
-              std::strerror(errno));
 }
 
 MtvService::~MtvService()
@@ -230,8 +222,10 @@ MtvService::~MtvService()
     stop();
     // serve() may never have run; make teardown idempotent here.
     teardownClients();
-    if (listenFd_ >= 0)
-        ::close(listenFd_);
+    for (const Listener &listener : listeners_) {
+        if (listener.fd >= 0)
+            ::close(listener.fd);
+    }
     ::unlink(socketPath_.c_str());
 }
 
@@ -274,34 +268,71 @@ MtvService::teardownClients()
 void
 MtvService::serve()
 {
-    inform("mtvd: listening on %s (%d workers%s)",
-           socketPath_.c_str(), engine_->workers(),
-           store_ ? ", persistent store" : "");
+    for (const Listener &listener : listeners_) {
+        inform("mtvd: listening on %s (%d workers%s)",
+               listener.endpoint.describe().c_str(),
+               engine_->workers(),
+               store_ ? ", persistent store" : "");
+    }
+    // One accept loop over every listener (unix + TCP): poll for a
+    // readable listening socket, accept, hand the connection its
+    // thread. Both transports feed the identical per-connection
+    // protocol path.
+    std::vector<pollfd> fds;
+    fds.reserve(listeners_.size());
+    for (const Listener &listener : listeners_)
+        fds.push_back(pollfd{listener.fd, POLLIN, 0});
     while (!stopping_.load()) {
-        const int fd = ::accept(listenFd_, nullptr, nullptr);
-        if (fd < 0) {
-            if (stopping_.load())
-                break;
+        for (pollfd &p : fds)
+            p.revents = 0;
+        const int ready = ::poll(fds.data(), fds.size(), 500);
+        if (stopping_.load())
+            break;
+        if (ready < 0) {
             if (errno == EINTR)
                 continue;
-            if (errno == EMFILE || errno == ENFILE ||
-                errno == ECONNABORTED || errno == EAGAIN ||
-                errno == EWOULDBLOCK || errno == EPROTO) {
-                // Transient pressure (fd exhaustion, aborted
-                // handshake) must not take the shared daemon down;
-                // back off and keep serving.
-                warn("mtvd: accept failed: %s — retrying",
-                     std::strerror(errno));
-                std::this_thread::sleep_for(
-                    std::chrono::milliseconds(100));
+            break;  // the listen set is genuinely broken
+        }
+        if (ready == 0)
+            continue;
+        for (size_t i = 0; i < fds.size(); ++i) {
+            if (!(fds[i].revents & (POLLIN | POLLERR | POLLHUP)))
+                continue;
+            const int fd = ::accept(listeners_[i].fd, nullptr,
+                                    nullptr);
+            if (fd < 0) {
+                if (stopping_.load())
+                    break;
+                if (errno == EINTR || errno == EAGAIN ||
+                    errno == EWOULDBLOCK) {
+                    continue;
+                }
+                if (errno == EMFILE || errno == ENFILE ||
+                    errno == ECONNABORTED || errno == EPROTO) {
+                    // Transient pressure (fd exhaustion, aborted
+                    // handshake) must not take the shared daemon
+                    // down; back off and keep serving.
+                    warn("mtvd: accept failed: %s — retrying",
+                         std::strerror(errno));
+                    std::this_thread::sleep_for(
+                        std::chrono::milliseconds(100));
+                    continue;
+                }
                 continue;
             }
-            break;  // listen socket is genuinely broken
+            if (listeners_[i].endpoint.kind == Endpoint::Kind::Tcp) {
+                // Nagle would stall every small response line by up
+                // to 40ms; the protocol is latency-bound lines.
+                int one = 1;
+                ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one,
+                             sizeof(one));
+            }
+            std::lock_guard<std::mutex> lock(clientsMutex_);
+            reapFinishedLocked();  // no dead-thread accumulation
+            activeClients_.emplace(
+                fd,
+                std::thread([this, fd] { handleConnection(fd); }));
         }
-        std::lock_guard<std::mutex> lock(clientsMutex_);
-        reapFinishedLocked();  // keep dead threads from accumulating
-        activeClients_.emplace(
-            fd, std::thread([this, fd] { handleConnection(fd); }));
     }
 
     // Teardown on the serve thread: kick every open connection, then
@@ -315,8 +346,10 @@ MtvService::stop()
     // Kept async-signal-safe (mtvd calls this from SIGTERM/SIGINT):
     // flag + shutdown only; joining happens on the serve() thread.
     stopping_.store(true);
-    if (listenFd_ >= 0)
-        ::shutdown(listenFd_, SHUT_RDWR);
+    for (const Listener &listener : listeners_) {
+        if (listener.fd >= 0)
+            ::shutdown(listener.fd, SHUT_RDWR);
+    }
 }
 
 void
@@ -586,15 +619,59 @@ MtvService::handleSweep(const Json &request, ClientState &client)
     const uint64_t id = safeRequestId(request);
     const bool quiet = request.getBool("quiet", false);
 
+    // An unknown family answers with a *structured* error line — the
+    // offending name plus the registered families — so fleet routers
+    // and scripted clients can match on fields instead of parsing
+    // prose. Either way the connection stays open.
+    const SweepRequest sweepRequest = sweepRequestFromJson(request);
+    bool known = false;
+    for (const SweepFamilyInfo &family : sweepFamilies())
+        known = known || family.name == sweepRequest.family;
+    if (!known) {
+        Json err = requestErrorJson(id, "unknown sweep family '" +
+                                            sweepRequest.family +
+                                            "'");
+        err.set("badFamily", sweepRequest.family);
+        Json families = Json::array();
+        for (const SweepFamilyInfo &family : sweepFamilies())
+            families.push(family.name);
+        err.set("families", std::move(families));
+        return client.write(err.dump());
+    }
+
     // Server-side expansion: the ~100-byte family request becomes the
     // full spec batch here, next to the engine, instead of being
     // serialized by every client.
-    SweepBuilder sweep = expandSweep(sweepRequestFromJson(request));
+    SweepBuilder sweep = expandSweep(sweepRequest);
+
+    // "points" selects a subset of the expansion by global index —
+    // the fleet scatter path (a router sends each node only the
+    // indices it owns; seq then numbers the subset in given order).
+    std::vector<RunSpec> specs = sweep.take();
+    const size_t total = specs.size();
+    if (request.has("points")) {
+        const std::vector<Json> &points =
+            request.get("points").asArray();
+        std::vector<RunSpec> subset;
+        subset.reserve(points.size());
+        for (const Json &point : points) {
+            const uint64_t index = point.asU64();
+            if (index >= total) {
+                fatal("sweep point index %llu out of range (family "
+                      "'%s' expands to %zu points)",
+                      static_cast<unsigned long long>(index),
+                      sweepRequest.family.c_str(), total);
+            }
+            subset.push_back(specs[index]);
+        }
+        specs = std::move(subset);
+    }
 
     Json ack = Json::object();
     ack.set("id", id);
     ack.set("ack", true);
-    ack.set("count", static_cast<uint64_t>(sweep.size()));
+    ack.set("count", static_cast<uint64_t>(specs.size()));
+    ack.set("total", static_cast<uint64_t>(total));
     Json slices = Json::array();
     for (const SweepSlice &slice : sweep.slices())
         slices.push(sliceToJson(slice));
@@ -604,7 +681,7 @@ MtvService::handleSweep(const Json &request, ClientState &client)
 
     if (!acquireSlot(client))
         return false;
-    admitBatch(client, id, sweep.take(), quiet);
+    admitBatch(client, id, std::move(specs), quiet);
     return true;
 }
 

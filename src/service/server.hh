@@ -2,9 +2,11 @@
  * @file
  * MtvService: the engine room of the `mtvd` daemon. Owns one
  * ExperimentEngine (optionally backed by a persistent, sharded
- * ResultStore), listens on a unix stream socket, and serves the
- * multiplexed streaming JSON protocol of src/service/protocol.hh to
- * any number of concurrent clients.
+ * ResultStore), listens on a unix stream socket (and, when
+ * configured, a TCP endpoint — the fleet transport) through one
+ * poll()-based accept loop, and serves the multiplexed streaming
+ * JSON protocol of src/service/protocol.hh to any number of
+ * concurrent clients on either transport.
  *
  * Concurrency model: one thread per connection reads and validates
  * requests; each batch request ("run" or server-side-expanded
@@ -55,6 +57,15 @@ struct ServiceOptions
 {
     /** Unix socket path to listen on. Empty = defaultSocketPath(). */
     std::string socketPath;
+    /**
+     * TCP listen host ("mtvd --tcp HOST:PORT"); empty = unix socket
+     * only. Both listeners serve the identical protocol; TCP is what
+     * lets mtvd nodes form a fleet across machines (src/fleet/).
+     */
+    std::string tcpHost;
+    /** TCP listen port; 0 = ephemeral (tests/smoke read the bound
+     *  port back via MtvService::tcpPort()). */
+    int tcpPort = 0;
     /**
      * Result-store directory backing the engine; empty = in-memory
      * only (results die with the daemon).
@@ -107,6 +118,10 @@ class MtvService
 
     /** Path the daemon is listening on. */
     const std::string &socketPath() const { return socketPath_; }
+
+    /** Bound TCP port (the kernel's choice for an ephemeral bind),
+     *  or 0 when no TCP listener was configured. */
+    int tcpPort() const { return tcpPort_; }
 
     /** Batch requests currently streaming, across all connections. */
     uint64_t activeRequests() const { return activeRequests_.load(); }
@@ -181,10 +196,20 @@ class MtvService
      *  join every client thread (serve() teardown and destructor). */
     void teardownClients();
 
+    /** One listening socket (unix or TCP) the accept loop polls. */
+    struct Listener
+    {
+        int fd = -1;
+        Endpoint endpoint;
+    };
+
     std::string socketPath_;
     std::shared_ptr<ResultStore> store_;
     std::unique_ptr<ExperimentEngine> engine_;
-    int listenFd_ = -1;
+    /** All listeners (unix socket always; TCP when configured),
+     *  served by one poll()-based accept loop. */
+    std::vector<Listener> listeners_;
+    int tcpPort_ = 0;
     std::atomic<bool> stopping_{false};
     std::atomic<uint64_t> activeRequests_{0};
     std::atomic<uint64_t> completedPoints_{0};

@@ -6,6 +6,7 @@
 
 #include <gtest/gtest.h>
 
+#include "src/common/logging.hh"
 #include "src/common/random.hh"
 #include "src/common/strutil.hh"
 #include "src/common/table.hh"
@@ -67,6 +68,54 @@ TEST(StrUtil, WithCommas)
     EXPECT_EQ(withCommas(1000), "1,000");
     EXPECT_EQ(withCommas(1234567), "1,234,567");
     EXPECT_EQ(withCommas(1000000000ull), "1,000,000,000");
+}
+
+TEST(StrUtil, ParseHostPortAcceptsStrictForms)
+{
+    const HostPort hp = parseHostPort("localhost:7070", "--tcp");
+    EXPECT_EQ(hp.host, "localhost");
+    EXPECT_EQ(hp.port, 7070);
+
+    const HostPort ip = parseHostPort("10.1.2.3:1", "--tcp");
+    EXPECT_EQ(ip.host, "10.1.2.3");
+    EXPECT_EQ(ip.port, 1);
+
+    // The port splits off the LAST colon, so an IPv6 literal passes
+    // through intact as the host.
+    const HostPort v6 = parseHostPort("::1:65535", "--tcp");
+    EXPECT_EQ(v6.host, "::1");
+    EXPECT_EQ(v6.port, 65535);
+}
+
+TEST(StrUtil, ParseHostPortRejectsMalformedForms)
+{
+    ScopedFatalAsException scope;
+    // No colon, empty host, empty port.
+    EXPECT_THROW(parseHostPort("justahost", "--tcp"), FatalError);
+    EXPECT_THROW(parseHostPort(":8000", "--tcp"), FatalError);
+    EXPECT_THROW(parseHostPort("host:", "--tcp"), FatalError);
+    // Non-numeric and trailing-garbage ports must die loudly, never
+    // atoi-wrap to a silent port 0.
+    EXPECT_THROW(parseHostPort("host:abc", "--tcp"), FatalError);
+    EXPECT_THROW(parseHostPort("host:80x", "--tcp"), FatalError);
+    // Out-of-range ports (0 is reserved for the ephemeral bind,
+    // which has its own flag).
+    EXPECT_THROW(parseHostPort("host:0", "--tcp"), FatalError);
+    EXPECT_THROW(parseHostPort("host:-1", "--tcp"), FatalError);
+    EXPECT_THROW(parseHostPort("host:65536", "--tcp"), FatalError);
+}
+
+TEST(StrUtil, ParseHostPortNamesTheFlagInItsError)
+{
+    ScopedFatalAsException scope;
+    try {
+        parseHostPort("nocolon", "--fleet");
+        FAIL() << "expected a FatalError";
+    } catch (const FatalError &e) {
+        EXPECT_NE(std::string(e.what()).find("--fleet"),
+                  std::string::npos)
+            << e.what();
+    }
 }
 
 TEST(Rng, DeterministicForSameSeed)

@@ -608,10 +608,147 @@ TEST_F(ServiceFixture, SweepErrorsAnswerWithoutKillingDaemon)
     EXPECT_TRUE(response.has("error"));
     EXPECT_EQ(response.get("id").asU64(), 9u);
 
+    // The error is STRUCTURED: the offending family and the
+    // registered ones ride as fields, so fleet routers and scripts
+    // can match on them instead of parsing prose.
+    EXPECT_EQ(response.getString("badFamily"), "no-such-family");
+    const auto &families = response.get("families").asArray();
+    ASSERT_FALSE(families.empty());
+    bool hasGroupings = false;
+    for (const Json &family : families)
+        hasGroupings = hasGroupings || family.asString() == "groupings";
+    EXPECT_TRUE(hasGroupings);
+
     // The daemon survived and still serves this connection.
     Json ping = Json::object();
     ping.set("op", "ping");
     EXPECT_TRUE(roundTrip(channel, ping).getBool("pong"));
+}
+
+TEST_F(ServiceFixture, SweepPointsSubsetStreamsInGivenOrder)
+{
+    // The fleet scatter path: "points" selects global indices of the
+    // server-side expansion, streamed back with subset-local seq
+    // numbers in the given order.
+    SweepRequest request;
+    request.family = "groupings";
+    request.program = "trfd";
+    request.contexts = 2;
+    request.scale = testScale;
+    SweepBuilder local = expandSweep(request);
+    ExperimentEngine localEngine;
+    const auto expected = localEngine.runAll(local.specs());
+    ASSERT_EQ(expected.size(), 5u);
+
+    const std::vector<uint64_t> subset = {3, 0, 4};
+    LineChannel channel = connect();
+    Json line = sweepRequestToJson(request);
+    line.set("op", "sweep");
+    line.set("id", 5);
+    Json points = Json::array();
+    for (const uint64_t global : subset)
+        points.push(global);
+    line.set("points", std::move(points));
+    ASSERT_TRUE(channel.writeLine(line.dump()));
+
+    // The ack reports the subset size AND the full expansion size.
+    std::string text;
+    ASSERT_TRUE(channel.readLine(&text));
+    Json ack;
+    std::string error;
+    ASSERT_TRUE(Json::parse(text, &ack, &error)) << error;
+    ASSERT_TRUE(ack.getBool("ack", false)) << text;
+    EXPECT_EQ(ack.get("count").asU64(), subset.size());
+    EXPECT_EQ(ack.get("total").asU64(), expected.size());
+
+    for (size_t i = 0; i < subset.size(); ++i) {
+        ASSERT_TRUE(channel.readLine(&text));
+        Json result;
+        ASSERT_TRUE(Json::parse(text, &result, &error)) << error;
+        ASSERT_FALSE(result.has("error"))
+            << result.getString("error");
+        EXPECT_EQ(result.get("seq").asU64(), i);
+        // seq i of the stream is global point subset[i].
+        EXPECT_EQ(result.getString("spec"),
+                  local.specs()[subset[i]].canonical());
+        EXPECT_EQ(hexDecode(result.getString("blob")),
+                  serializeSimStats(expected[subset[i]].stats));
+    }
+    ASSERT_TRUE(channel.readLine(&text));
+    Json done;
+    ASSERT_TRUE(Json::parse(text, &done, &error)) << error;
+    EXPECT_TRUE(done.getBool("done", false));
+    EXPECT_EQ(done.get("count").asU64(), subset.size());
+
+    // An out-of-range index is a request error, not a daemon death.
+    Json bad = sweepRequestToJson(request);
+    bad.set("op", "sweep");
+    bad.set("id", 6);
+    Json badPoints = Json::array();
+    badPoints.push(uint64_t{999});
+    bad.set("points", std::move(badPoints));
+    const Json answer = roundTrip(channel, bad);
+    EXPECT_TRUE(answer.has("error"));
+    Json ping = Json::object();
+    ping.set("op", "ping");
+    EXPECT_TRUE(roundTrip(channel, ping).getBool("pong"));
+}
+
+// ---------------------------------------------------------------------
+// TCP transport
+// ---------------------------------------------------------------------
+
+TEST(TcpTransport, ServesTheSameProtocolAsTheUnixSocket)
+{
+    ServiceOptions options;
+    options.socketPath =
+        (std::filesystem::temp_directory_path() /
+         ("mtv_test_tcp_" + std::to_string(::getpid()) + ".sock"))
+            .string();
+    options.tcpHost = "127.0.0.1";
+    options.tcpPort = 0;  // ephemeral: the kernel picks, we read back
+    options.workers = 2;
+    MtvService service(options);
+    ASSERT_GT(service.tcpPort(), 0);
+    std::thread serveThread([&service] { service.serve(); });
+
+    std::string error;
+    const int fd = connectToEndpoint(
+        Endpoint::tcp("127.0.0.1", service.tcpPort()), &error);
+    ASSERT_GE(fd, 0) << error;
+    LineChannel channel(fd);
+
+    Json ping = Json::object();
+    ping.set("op", "ping");
+    ASSERT_TRUE(channel.writeLine(ping.dump()));
+    std::string line;
+    ASSERT_TRUE(channel.readLine(&line));
+    Json pong;
+    ASSERT_TRUE(Json::parse(line, &pong, &error)) << error;
+    EXPECT_TRUE(pong.getBool("pong"));
+    EXPECT_EQ(pong.get("protocol").asU64(),
+              static_cast<uint64_t>(serviceProtocolVersion));
+
+    // A run over TCP answers bit-identical to an in-process engine —
+    // the transport changes nothing about the stream.
+    const RunSpec spec = RunSpec::single(
+        "trfd", MachineParams::reference(), testScale);
+    Json request = Json::object();
+    request.set("op", "run");
+    Json specs = Json::array();
+    specs.push(spec.canonical());
+    request.set("specs", std::move(specs));
+    ASSERT_TRUE(channel.writeLine(request.dump()));
+    ASSERT_TRUE(channel.readLine(&line));
+    Json result;
+    ASSERT_TRUE(Json::parse(line, &result, &error)) << error;
+    ASSERT_FALSE(result.has("error")) << result.getString("error");
+    EXPECT_EQ(
+        hexDecode(result.getString("blob")),
+        serializeSimStats(ExperimentEngine().run(spec).stats));
+
+    service.stop();
+    serveThread.join();
 }
 
 // ---------------------------------------------------------------------

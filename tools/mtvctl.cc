@@ -2,8 +2,11 @@
  * @file
  * mtvctl — client CLI of the mtvd experiment daemon.
  *
- * Usage (global flag first: --socket PATH, default $MTV_SOCKET or
- * /tmp/mtvd.sock):
+ * Usage (global flags first: --socket PATH (default $MTV_SOCKET or
+ * /tmp/mtvd.sock), --tcp HOST:PORT to reach a TCP daemon, or
+ * --fleet EP1,EP2,... to scatter sweeps across several nodes
+ * client-side — consistent-hash routing with mid-sweep failover, the
+ * digest staying bit-identical to --local):
  *   mtvctl ping                         is the daemon up?
  *   mtvctl run <program> [--contexts N] [--scale S]
  *                                       one single-mode point
@@ -62,6 +65,7 @@
 #include "src/common/logging.hh"
 #include "src/common/strutil.hh"
 #include "src/common/table.hh"
+#include "src/fleet/router.hh"
 #include "src/service/protocol.hh"
 #include "src/store/stats_codec.hh"
 #include "src/workload/suite.hh"
@@ -76,13 +80,15 @@ usage()
 {
     std::fprintf(
         stderr,
-        "usage: mtvctl [--socket PATH] <command> [options]\n"
+        "usage: mtvctl [--socket PATH | --tcp HOST:PORT | "
+        "--fleet EP1,EP2,...] <command> [options]\n"
         "  ping | stats | status | clear | shutdown\n"
         "  run <program> [--contexts N] [--scale S]\n"
         "  sweep [--scale S] [--family F] [--program P] "
         "[--contexts N] [--follow] [--local]\n"
         "  warm [--scale S] [--family F]\n"
-        "  cancel <request-id>\n");
+        "  cancel <request-id>\n"
+        "(--fleet applies to sweep and warm)\n");
     return 2;
 }
 
@@ -119,18 +125,19 @@ readResponse(LineChannel &channel)
 }
 
 LineChannel
-connectChannel(const std::string &socketPath)
+connectChannel(const Endpoint &endpoint)
 {
     std::string error;
-    const int fd = connectToDaemon(socketPath, &error);
+    const int fd = connectToEndpoint(endpoint, &error);
     if (fd < 0) {
         // One actionable line, not a raw connect errno: the common
-        // case is simply that no daemon is up (or its socket file is
-        // stale).
+        // case is simply that no daemon is up at that socket path /
+        // TCP endpoint (or the socket file is stale).
         std::fprintf(stderr,
                      "mtvctl: daemon not running at %s (start it "
-                     "with: mtvd --socket %s)\n",
-                     socketPath.c_str(), socketPath.c_str());
+                     "with: %s)\n",
+                     endpoint.describe().c_str(),
+                     endpoint.startHint().c_str());
         std::exit(1);
     }
     return LineChannel(fd);
@@ -188,21 +195,9 @@ consumeStream(LineChannel &channel, uint64_t id, size_t expected,
         const size_t seq = line.get("seq").asU64();
         if (seq != outcome.results.size() || seq >= expected)
             fatal("result stream out of order (seq %zu)", seq);
-        RunResult result;
-        result.spec = RunSpec::parse(line.getString("spec"));
-        result.cached = line.getBool("cached");
-        result.fromStore = line.getBool("store");
-        result.stats.cycles = line.get("cycles").asU64();
-        result.stats.dispatches = line.get("dispatches").asU64();
-        result.speedup = line.getNumber("speedup");
-        result.mthOccupation = line.getNumber("mthOccupation");
-        result.refOccupation = line.getNumber("refOccupation");
-        result.mthVopc = line.getNumber("mthVopc");
-        result.refVopc = line.getNumber("refVopc");
-        if (line.has("blob")) {
-            const std::string blob =
-                hexDecode(line.getString("blob"));
-            result.stats = deserializeSimStats(blob);
+        std::string blob;
+        RunResult result = resultFromJson(line, &blob);
+        if (!blob.empty()) {
             outcome.digest =
                 fnv1a64(blob.data(), blob.size(), outcome.digest);
             sawBlobs = true;
@@ -305,10 +300,10 @@ cmdSweepLocal(const SweepRequest &request)
 }
 
 int
-cmdSweep(const std::string &socketPath, const SweepRequest &request,
+cmdSweep(const Endpoint &endpoint, const SweepRequest &request,
          bool quiet, bool follow)
 {
-    LineChannel channel = connectChannel(socketPath);
+    LineChannel channel = connectChannel(endpoint);
     constexpr uint64_t id = 1;
     Json line = sweepRequestToJson(request);
     line.set("op", "sweep");
@@ -357,15 +352,76 @@ cmdSweep(const std::string &socketPath, const SweepRequest &request,
     return 0;
 }
 
+/**
+ * The client-side fleet path: expand the family once, consistent-
+ * hash every point across the nodes, stream all subsets in parallel,
+ * and fold one digest in global submission order. A node dying
+ * mid-sweep (SIGKILL and all) is absorbed: its unfinished points are
+ * rerouted to the survivors and the sweep completes with the same
+ * digest a single node (or --local) would print.
+ */
 int
-cmdRun(const std::string &socketPath, const std::string &program,
+cmdSweepFleet(const std::vector<std::string> &fleetNodes,
+              const SweepRequest &request, bool quiet, bool follow)
+{
+    FleetRouter router(fleetNodes);
+
+    size_t count = 0;
+    std::vector<SweepSlice> slices;
+    const auto start = std::chrono::steady_clock::now();
+    const FleetOutcome outcome = router.runSweep(
+        request,
+        [follow, &count](size_t global, const RunResult &r,
+                         const std::string &) {
+            // Arrival order, tagged with the global index — the
+            // fleet analogue of --follow.
+            if (follow)
+                printPoint(r, global, count);
+        },
+        [&](size_t total, const std::vector<SweepSlice> &expanded) {
+            count = total;
+            slices = expanded;
+        });
+    const double seconds =
+        std::chrono::duration<double>(
+            std::chrono::steady_clock::now() - start)
+            .count();
+
+    if (!quiet)
+        printSliceReport(slices, outcome.results);
+    std::printf("sweep: %zu points in %.2fs (family %s, fleet of "
+                "%zu nodes)\n",
+                outcome.results.size(), seconds,
+                request.family.c_str(), router.nodeCount());
+    // One machine-friendly line (fleet_smoke.sh greps it): how much
+    // failover the sweep absorbed.
+    std::string dead;
+    for (const FleetNodeStatus &node : router.status()) {
+        if (node.alive)
+            continue;
+        if (!dead.empty())
+            dead += ",";
+        dead += node.name;
+    }
+    std::printf("fleet: nodes=%zu alive=%zu rerouted=%llu dead=%s\n",
+                router.nodeCount(), router.aliveCount(),
+                static_cast<unsigned long long>(outcome.rerouted),
+                dead.empty() ? "none" : dead.c_str());
+    printServed(outcome.simulated, outcome.cacheServed,
+                outcome.storeServed);
+    printDigest(outcome.digest);
+    return 0;
+}
+
+int
+cmdRun(const Endpoint &endpoint, const std::string &program,
        int contexts, double scale)
 {
     const MachineParams params =
         contexts <= 1 ? MachineParams::reference()
                       : MachineParams::multithreaded(contexts);
     const RunSpec spec = RunSpec::single(program, params, scale);
-    LineChannel channel = connectChannel(socketPath);
+    LineChannel channel = connectChannel(endpoint);
     Json request = Json::object();
     request.set("op", "run");
     request.set("id", 1);
@@ -393,9 +449,9 @@ cmdRun(const std::string &socketPath, const std::string &program,
 }
 
 int
-cmdSimple(const std::string &socketPath, const std::string &op)
+cmdSimple(const Endpoint &endpoint, const std::string &op)
 {
-    LineChannel channel = connectChannel(socketPath);
+    LineChannel channel = connectChannel(endpoint);
     Json request = Json::object();
     request.set("op", op);
     if (!channel.writeLine(request.dump()))
@@ -406,9 +462,9 @@ cmdSimple(const std::string &socketPath, const std::string &op)
 }
 
 int
-cmdCancel(const std::string &socketPath, uint64_t requestId)
+cmdCancel(const Endpoint &endpoint, uint64_t requestId)
 {
-    LineChannel channel = connectChannel(socketPath);
+    LineChannel channel = connectChannel(endpoint);
     Json request = Json::object();
     request.set("op", "cancel");
     request.set("id", requestId);
@@ -427,14 +483,28 @@ cmdCancel(const std::string &socketPath, uint64_t requestId)
 }
 
 int
-cmdStatus(const std::string &socketPath)
+cmdStatus(const Endpoint &endpoint)
 {
-    LineChannel channel = connectChannel(socketPath);
+    LineChannel channel = connectChannel(endpoint);
     Json request = Json::object();
     request.set("op", "status");
     if (!channel.writeLine(request.dump()))
         fatal("cannot send request (daemon gone?)");
     const Json s = readResponse(channel);
+    if (s.getBool("fleet", false)) {
+        // A fleet router answers with its membership/health table
+        // instead of engine counters.
+        for (const Json &node : s.get("nodes").asArray()) {
+            std::printf("node %s: %s served=%llu%s%s\n",
+                        node.getString("endpoint").c_str(),
+                        node.getBool("alive") ? "alive" : "dead",
+                        static_cast<unsigned long long>(
+                            node.get("served").asU64()),
+                        node.has("error") ? " error=" : "",
+                        node.getString("error").c_str());
+        }
+        return 0;
+    }
     std::printf("queue depth: %llu\n",
                 static_cast<unsigned long long>(
                     s.get("queueDepth").asU64()));
@@ -482,11 +552,33 @@ main(int argc, char **argv)
 {
     using namespace mtv;
 
-    std::string socketPath = defaultSocketPath();
+    Endpoint endpoint = Endpoint::unixSocket(defaultSocketPath());
+    std::vector<std::string> fleetNodes;
     int i = 1;
-    if (i + 1 < argc && std::strcmp(argv[i], "--socket") == 0) {
-        socketPath = argv[i + 1];
-        i += 2;
+    while (i + 1 < argc) {
+        if (std::strcmp(argv[i], "--socket") == 0) {
+            endpoint = Endpoint::unixSocket(argv[i + 1]);
+            i += 2;
+        } else if (std::strcmp(argv[i], "--tcp") == 0) {
+            const HostPort hp = parseHostPort(argv[i + 1], "--tcp");
+            endpoint = Endpoint::tcp(hp.host, hp.port);
+            i += 2;
+        } else if (std::strcmp(argv[i], "--fleet") == 0) {
+            for (const std::string &node :
+                 split(argv[i + 1], ',')) {
+                if (node.empty())
+                    continue;
+                // Validate eagerly: a typo'd "host:abc" node must
+                // die here, not when the sweep first routes to it.
+                parseEndpoint(node);
+                fleetNodes.push_back(node);
+            }
+            if (fleetNodes.empty())
+                fatal("--fleet expects a comma-separated node list");
+            i += 2;
+        } else {
+            break;
+        }
     }
     if (i >= argc)
         return usage();
@@ -534,18 +626,24 @@ main(int argc, char **argv)
     // reference machine's count); 0 keeps the family defaults.
     sweepRequest.contexts = contexts;
 
+    if (!fleetNodes.empty() && command != "sweep" &&
+        command != "warm") {
+        fatal("--fleet applies to sweep and warm only (use --socket "
+              "or --tcp to address one node)");
+    }
+
     if (command == "ping" || command == "stats" ||
         command == "clear" || command == "shutdown") {
-        return cmdSimple(socketPath, command);
+        return cmdSimple(endpoint, command);
     }
     if (command == "status")
-        return cmdStatus(socketPath);
+        return cmdStatus(endpoint);
     if (command == "cancel") {
         // The "program" slot caught the positional argument; it is
         // really the request id to cancel.
         if (program.empty())
             return usage();
-        return cmdCancel(socketPath,
+        return cmdCancel(endpoint,
                          static_cast<uint64_t>(parseIntFlag(
                              program.c_str(), "cancel <request-id>",
                              1, std::numeric_limits<long long>::max())));
@@ -553,18 +651,25 @@ main(int argc, char **argv)
     if (command == "run") {
         if (program.empty())
             return usage();
-        return cmdRun(socketPath, program,
+        return cmdRun(endpoint, program,
                       contexts == 0 ? 1 : contexts,
                       sweepRequest.scale);
     }
     if (command == "sweep") {
-        return local ? cmdSweepLocal(sweepRequest)
-                     : cmdSweep(socketPath, sweepRequest,
-                                /*quiet=*/false, follow);
+        if (local)
+            return cmdSweepLocal(sweepRequest);
+        return fleetNodes.empty()
+                   ? cmdSweep(endpoint, sweepRequest,
+                              /*quiet=*/false, follow)
+                   : cmdSweepFleet(fleetNodes, sweepRequest,
+                                   /*quiet=*/false, follow);
     }
     if (command == "warm") {
-        return cmdSweep(socketPath, sweepRequest, /*quiet=*/true,
-                        /*follow=*/false);
+        return fleetNodes.empty()
+                   ? cmdSweep(endpoint, sweepRequest, /*quiet=*/true,
+                              /*follow=*/false)
+                   : cmdSweepFleet(fleetNodes, sweepRequest,
+                                   /*quiet=*/true, /*follow=*/false);
     }
     return usage();
 }

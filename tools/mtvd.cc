@@ -1,13 +1,23 @@
 /**
  * @file
  * mtvd — the experiment daemon: an ExperimentEngine behind a unix
- * socket, optionally warm-started from (and writing through to) a
- * persistent on-disk result store, shared by any number of mtvctl /
- * protocol clients.
+ * socket (and optionally a TCP endpoint), optionally warm-started
+ * from (and writing through to) a persistent on-disk result store,
+ * shared by any number of mtvctl / protocol clients.
  *
  * Usage:
- *   mtvd [--socket PATH] [--store DIR] [--shards N] [--workers N]
- *        [--cache-cap N] [--quiet]
+ *   mtvd [--socket PATH] [--tcp HOST:PORT] [--store DIR] [--shards N]
+ *        [--workers N] [--cache-cap N] [--quiet]
+ *   mtvd --route EP1,EP2,... [--socket PATH] [--tcp HOST:PORT]
+ *        [--quiet]
+ *
+ * --tcp adds a TCP listener next to the unix socket (same protocol;
+ * the fleet transport). --tcp-ephemeral HOST binds a kernel-chosen
+ * port instead — tests and the fleet smoke script read it back from
+ * the startup line. --route turns this mtvd into a thin fleet
+ * router over the listed node endpoints ("HOST:PORT" or socket
+ * paths): it owns no engine, so the engine flags (--store, --shards,
+ * --workers, --cache-cap) are rejected in route mode.
  *
  * Defaults: socket $MTV_SOCKET or /tmp/mtvd.sock; no store (results
  * die with the daemon — pass --store to persist; --shards sets the
@@ -25,27 +35,33 @@
 
 #include "src/common/logging.hh"
 #include "src/common/strutil.hh"
+#include "src/fleet/fleet_service.hh"
 #include "src/service/server.hh"
 
 namespace
 {
 
 mtv::MtvService *gService = nullptr;
+mtv::FleetService *gFleetService = nullptr;
 
 void
 onSignal(int)
 {
     if (gService)
         gService->stop();
+    if (gFleetService)
+        gFleetService->stop();
 }
 
 int
 usage()
 {
     std::fprintf(stderr,
-                 "usage: mtvd [--socket PATH] [--store DIR] "
-                 "[--shards N] [--workers N] [--cache-cap N] "
-                 "[--quiet]\n");
+                 "usage: mtvd [--socket PATH] [--tcp HOST:PORT] "
+                 "[--store DIR] [--shards N] [--workers N] "
+                 "[--cache-cap N] [--quiet]\n"
+                 "       mtvd --route EP1,EP2,... [--socket PATH] "
+                 "[--tcp HOST:PORT] [--quiet]\n");
     return 2;
 }
 
@@ -57,6 +73,8 @@ main(int argc, char **argv)
     using namespace mtv;
 
     ServiceOptions options;
+    std::vector<std::string> routeNodes;
+    bool engineFlagSeen = false;
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
         auto value = [&]() -> const char * {
@@ -68,21 +86,42 @@ main(int argc, char **argv)
         // "--cache-cap" must fatal(), not atoi/atoll-wrap into 0 (a
         // silent hardware-concurrency fallback) or SIZE_MAX (an
         // operator who thinks the cache is bounded gets an unbounded
-        // one).
+        // one). --tcp parses HOST:PORT the same way — "host:abc"
+        // dies loudly instead of listening on a surprise port.
         if (arg == "--socket") {
             options.socketPath = value();
+        } else if (arg == "--tcp") {
+            const HostPort hp = parseHostPort(value(), "--tcp");
+            options.tcpHost = hp.host;
+            options.tcpPort = hp.port;
+        } else if (arg == "--tcp-ephemeral") {
+            // Bind port 0 (kernel-chosen); tests and the fleet smoke
+            // script read the port back from the startup line.
+            options.tcpHost = value();
+            options.tcpPort = 0;
+        } else if (arg == "--route") {
+            for (const std::string &node : split(value(), ',')) {
+                if (!node.empty())
+                    routeNodes.push_back(node);
+            }
+            if (routeNodes.empty())
+                fatal("--route expects a comma-separated node list");
         } else if (arg == "--store") {
             options.storeDir = value();
+            engineFlagSeen = true;
         } else if (arg == "--shards") {
             options.storeShards = static_cast<int>(
                 parseIntFlag(value(), "--shards", 0, 1024));
+            engineFlagSeen = true;
         } else if (arg == "--workers") {
             options.workers = static_cast<int>(
                 parseIntFlag(value(), "--workers", 0, 4096));
+            engineFlagSeen = true;
         } else if (arg == "--cache-cap") {
             options.maxCacheEntries = static_cast<size_t>(
                 parseIntFlag(value(), "--cache-cap", 0,
                              std::numeric_limits<long long>::max()));
+            engineFlagSeen = true;
         } else if (arg == "--quiet") {
             setLogLevel(LogLevel::Quiet);
         } else if (arg == "--help" || arg == "-h") {
@@ -93,6 +132,28 @@ main(int argc, char **argv)
                          arg.c_str());
             return usage();
         }
+    }
+
+    if (!routeNodes.empty()) {
+        if (engineFlagSeen) {
+            fatal("--route owns no engine: --store/--shards/"
+                  "--workers/--cache-cap do not apply (set them on "
+                  "the nodes)");
+        }
+        FleetServiceOptions fleetOptions;
+        fleetOptions.socketPath = options.socketPath;
+        fleetOptions.tcpHost = options.tcpHost;
+        fleetOptions.tcpPort = options.tcpPort;
+        fleetOptions.nodes = routeNodes;
+        FleetService service(fleetOptions);
+        gFleetService = &service;
+        std::signal(SIGINT, onSignal);
+        std::signal(SIGTERM, onSignal);
+        std::signal(SIGPIPE, SIG_IGN);
+        service.serve();
+        inform("mtvd: stopped");
+        gFleetService = nullptr;
+        return 0;
     }
 
     MtvService service(options);
