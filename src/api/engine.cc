@@ -37,6 +37,20 @@ ExperimentEngine::ExperimentEngine(EngineOptions options)
     }
     lanes_.emplace(defaultLane, Lane());
     laneOrder_.push_back(defaultLane);
+
+    MetricsRegistry &reg = MetricsRegistry::instance();
+    obsQueueDepth_ = reg.gauge("engine_queue_depth");
+    obsLaneWaitUs_ = reg.histogram("engine_lane_wait_us");
+    obsPointsCompleted_ = reg.counter("engine_points_completed_total");
+    obsPointsSimulated_ = reg.counter("engine_points_simulated_total");
+    obsCacheHits_ = reg.counter("engine_cache_hits_total");
+    obsCacheMisses_ = reg.counter("engine_cache_misses_total");
+    obsStoreHits_ = reg.counter("engine_store_hits_total");
+    obsCacheEvictions_ = reg.counter("engine_cache_evictions_total");
+    obsUncachedRuns_ = reg.counter("engine_uncached_runs_total");
+    obsCancelledRuns_ = reg.counter("engine_cancelled_runs_total");
+    obsDiscardedTasks_ = reg.counter("engine_discarded_tasks_total");
+
     pool_.reserve(workers_);
     for (int i = 0; i < workers_; ++i)
         pool_.emplace_back([this] { workerLoop(); });
@@ -76,6 +90,7 @@ ExperimentEngine::popTaskLocked()
         lane.tasks.pop_front();
         --queuedTasks_;
         --laneBudget_;
+        obsQueueDepth_->add(-1);
         return task;
     }
 }
@@ -139,6 +154,8 @@ ExperimentEngine::closeLane(LaneId lane)
     // Destroying the tasks outside the lock breaks their promises,
     // failing the corresponding futures.
     discardedTasks_.fetch_add(dropped.size());
+    obsDiscardedTasks_->inc(dropped.size());
+    obsQueueDepth_->add(-static_cast<int64_t>(dropped.size()));
     return dropped.size();
 }
 
@@ -172,14 +189,18 @@ ExperimentEngine::runAll(const std::vector<RunSpec> &specs)
     std::mutex doneMutex;
     std::condition_variable doneCv;
     std::exception_ptr firstError;
+    const uint64_t enqueuedUs = monotonicMicros();
     {
         std::lock_guard<std::mutex> lock(queueMutex_);
         Lane &lane = lanes_[defaultLane];
         queuedTasks_ += specs.size();
+        obsQueueDepth_->add(static_cast<int64_t>(specs.size()));
         for (size_t i = 0; i < specs.size(); ++i) {
             lane.tasks.emplace_back([this, &specs, &results,
                                      &remaining, &doneMutex, &doneCv,
-                                     &firstError, i] {
+                                     &firstError, enqueuedUs, i] {
+                obsLaneWaitUs_->observe(
+                    monotonicMicros() - enqueuedUs);
                 // An exception (SimError from a wedged run, or a
                 // thrown fatal()) must reach the batch caller, not
                 // unwind the worker loop into std::terminate. Every
@@ -222,6 +243,7 @@ ExperimentEngine::submit(const RunSpec &spec, SubmitHook hook,
             // same spec runs it through its own (uncancelled) task.
             if (token && token->cancelled()) {
                 cancelledRuns_.fetch_add(1);
+                obsCancelledRuns_->inc();
                 throw CancelledError("batch cancelled before '" +
                                      spec.canonical() + "' ran");
             }
@@ -243,10 +265,16 @@ ExperimentEngine::submit(const RunSpec &spec, SubmitHook hook,
             // task without queueing it. Dropping the only reference
             // breaks the promise, failing the future.
             discardedTasks_.fetch_add(1);
+            obsDiscardedTasks_->inc();
             return future;
         }
-        it->second.tasks.emplace_back([task] { (*task)(); });
+        const uint64_t enqueuedUs = monotonicMicros();
+        it->second.tasks.emplace_back([this, task, enqueuedUs] {
+            obsLaneWaitUs_->observe(monotonicMicros() - enqueuedUs);
+            (*task)();
+        });
         ++queuedTasks_;
+        obsQueueDepth_->add(1);
     }
     queueCv_.notify_one();
     return future;
@@ -271,6 +299,8 @@ ExperimentEngine::discardQueued()
     // Destroying the packaged tasks outside the lock breaks their
     // promises, failing the corresponding futures.
     discardedTasks_.fetch_add(count);
+    obsDiscardedTasks_->inc(count);
+    obsQueueDepth_->add(-static_cast<int64_t>(count));
     return count;
 }
 
@@ -304,12 +334,14 @@ ExperimentEngine::loadOrSimulate(const std::string &key,
     if (backend_) {
         if (CachedStats stored = backend_->load(key)) {
             storeHits_.fetch_add(1);
+            obsStoreHits_->inc();
             if (origin)
                 *origin = Origin::Store;
             return stored;
         }
     }
     auto fresh = std::make_shared<SimStats>(simulate(spec));
+    obsPointsSimulated_->inc();
     if (backend_)
         backend_->store(key, *fresh);
     if (origin)
@@ -327,6 +359,7 @@ ExperimentEngine::insertCompleted(const std::string &key,
         cache_.erase(lru_.back());
         lru_.pop_back();
         cacheEvictions_.fetch_add(1);
+        obsCacheEvictions_->inc();
     }
 }
 
@@ -342,6 +375,7 @@ ExperimentEngine::cachedStats(const RunSpec &spec, Origin *origin)
     // *do* repeat, and they dominate a warm group sweep's cost.
     if (!memoize_ || spec.maxInstructions != 0) {
         uncachedRuns_.fetch_add(1);
+        obsUncachedRuns_->inc();
         return loadOrSimulate(spec.canonical(), spec, origin);
     }
 
@@ -357,6 +391,7 @@ ExperimentEngine::cachedStats(const RunSpec &spec, Origin *origin)
             lru_.splice(lru_.begin(), lru_, it->second.lruPos);
             it->second.lruPos = lru_.begin();
             cacheHits_.fetch_add(1);
+            obsCacheHits_->inc();
             if (origin)
                 *origin = Origin::Cache;
             return it->second.stats;
@@ -366,11 +401,13 @@ ExperimentEngine::cachedStats(const RunSpec &spec, Origin *origin)
             // Coalesce onto the identical in-flight run.
             future = pending->second;
             cacheHits_.fetch_add(1);
+            obsCacheHits_->inc();
         } else {
             future = promise.get_future().share();
             inflight_.emplace(key, future);
             owner = true;
             cacheMisses_.fetch_add(1);
+            obsCacheMisses_->inc();
         }
     }
     if (!owner) {
@@ -460,6 +497,7 @@ ExperimentEngine::execute(const RunSpec &spec,
         result.mthVopc = m.mthVopc;
         result.refVopc = m.refVopc;
     }
+    obsPointsCompleted_->inc();
     return result;
 }
 
@@ -662,6 +700,17 @@ ExperimentEngine::queueDepth() const
 {
     std::lock_guard<std::mutex> lock(queueMutex_);
     return queuedTasks_;
+}
+
+std::vector<std::pair<LaneId, size_t>>
+ExperimentEngine::laneDepths() const
+{
+    std::lock_guard<std::mutex> lock(queueMutex_);
+    std::vector<std::pair<LaneId, size_t>> depths;
+    depths.reserve(laneOrder_.size());
+    for (LaneId id : laneOrder_)
+        depths.emplace_back(id, lanes_.at(id).tasks.size());
+    return depths;
 }
 
 } // namespace mtv

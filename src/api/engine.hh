@@ -66,6 +66,7 @@
 #include "src/api/backend.hh"
 #include "src/api/run_spec.hh"
 #include "src/core/sim.hh"
+#include "src/obs/metrics.hh"
 #include "src/trace/analyzer.hh"
 
 namespace mtv
@@ -299,6 +300,13 @@ class ExperimentEngine
     /** Tasks waiting in the lanes right now (none executing yet). */
     size_t queueDepth() const;
 
+    /**
+     * Per-lane queued-task counts, in round-robin order (lane 0
+     * first). For the daemon's `status` op; a snapshot, racing
+     * submits/dequeues may change it immediately.
+     */
+    std::vector<std::pair<LaneId, size_t>> laneDepths() const;
+
     /** Tasks whose batch was cancelled before they ran: dequeued (or
      *  submitted) with a cancelled token and skipped without
      *  simulating or touching the backend. */
@@ -469,6 +477,22 @@ class ExperimentEngine
                        std::shared_future<std::shared_ptr<
                            const TraceStats>>>
         traceCache_;
+
+    // Process-wide observability handles (src/obs/metrics.hh).
+    // Get-or-create by name, so every engine in the process feeds the
+    // same series and the exported totals aggregate naturally; the
+    // per-engine accessors above stay the per-instance view.
+    Gauge *obsQueueDepth_ = nullptr;
+    Histogram *obsLaneWaitUs_ = nullptr;
+    Counter *obsPointsCompleted_ = nullptr;
+    Counter *obsPointsSimulated_ = nullptr;
+    Counter *obsCacheHits_ = nullptr;
+    Counter *obsCacheMisses_ = nullptr;
+    Counter *obsStoreHits_ = nullptr;
+    Counter *obsCacheEvictions_ = nullptr;
+    Counter *obsUncachedRuns_ = nullptr;
+    Counter *obsCancelledRuns_ = nullptr;
+    Counter *obsDiscardedTasks_ = nullptr;
 };
 
 } // namespace mtv

@@ -1,5 +1,6 @@
 #include "src/common/logging.hh"
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 
@@ -9,13 +10,27 @@ namespace mtv
 namespace
 {
 LogLevel globalLevel = LogLevel::Normal;
+bool globalTimestamps = false;
 
 /** Depth of nested ScopedFatalAsException regions on this thread. */
 thread_local int fatalThrowDepth = 0;
 
+/** Seconds since the process's first timestamped line (steady). */
+double
+monotonicLogSeconds()
+{
+    static const std::chrono::steady_clock::time_point start =
+        std::chrono::steady_clock::now();
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - start)
+        .count();
+}
+
 void
 vreport(const char *tag, const char *fmt, va_list ap)
 {
+    if (globalTimestamps)
+        std::fprintf(stderr, "[%10.3f] ", monotonicLogSeconds());
     std::fprintf(stderr, "%s: ", tag);
     std::vfprintf(stderr, fmt, ap);
     std::fprintf(stderr, "\n");
@@ -55,6 +70,17 @@ LogLevel
 logLevel()
 {
     return globalLevel;
+}
+
+void
+setLogTimestamps(bool enabled)
+{
+    if (enabled) {
+        // Pin the epoch now, so the first line does not pay the
+        // static-init race against concurrent loggers.
+        monotonicLogSeconds();
+    }
+    globalTimestamps = enabled;
 }
 
 void

@@ -59,6 +59,14 @@ void setLogLevel(LogLevel level);
 LogLevel logLevel();
 
 /**
+ * Prefix every log line with a monotonic `[seconds.millis]` stamp
+ * (process-relative, steady clock — immune to wall-clock jumps).
+ * Daemons enable this so multi-process logs (fleet_smoke's N nodes +
+ * router) can be correlated by time; CLI tools leave it off.
+ */
+void setLogTimestamps(bool enabled);
+
+/**
  * Report an internal invariant violation ("this should never happen
  * regardless of what the user does") and abort.
  */

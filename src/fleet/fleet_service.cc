@@ -3,6 +3,7 @@
 #include <cerrno>
 #include <chrono>
 #include <cstring>
+#include <map>
 
 #include <poll.h>
 #include <sys/socket.h>
@@ -336,6 +337,8 @@ FleetService::handleRequest(const Json &request, LineChannel &channel)
             ok.set("nodes", std::move(nodes));
             return channel.writeLine(ok.dump());
         }
+        if (op == "metrics")
+            return handleMetrics(request, channel);
         if (op == "sweep")
             return handleSweep(request, channel);
         if (op == "run")
@@ -372,6 +375,98 @@ FleetService::handleRequest(const Json &request, LineChannel &channel)
                 e.what())
                 .dump());
     }
+}
+
+bool
+FleetService::handleMetrics(const Json &request, LineChannel &channel)
+{
+    (void)request;  // prom exposition is per-node; nothing to forward
+    Json ok = Json::object();
+    ok.set("ok", true);
+    ok.set("fleet", true);
+    ok.set("router",
+           metricsToJson(MetricsRegistry::instance().snapshot()));
+
+    // Fleet-wide counter sums over the nodes that answered. Gauges
+    // and histograms stay per-node: summing a queue-depth gauge or
+    // averaging quantiles would manufacture numbers nobody measured.
+    std::map<std::string, uint64_t> totals;
+    Json nodes = Json::array();
+    for (const FleetNodeStatus &s : router_.status()) {
+        Json node = Json::object();
+        node.set("endpoint", s.name);
+        if (!s.alive) {
+            node.set("ok", false);
+            node.set("error", s.lastError.empty()
+                                  ? "node marked dead"
+                                  : s.lastError);
+            nodes.push(std::move(node));
+            continue;
+        }
+        Json metrics;
+        bool gathered = false;
+        std::string error = "metrics request failed";
+        try {
+            // A node failing its metrics request degrades THIS
+            // response, never the router. (Deliberately no markDead:
+            // the health monitor owns liveness; an observability read
+            // should not reshape the ring.)
+            ScopedFatalAsException scope;
+            std::string connectError;
+            const int fd = connectToEndpoint(parseEndpoint(s.name),
+                                             &connectError);
+            if (fd < 0) {
+                error = connectError;
+            } else {
+                LineChannel nodeChannel(fd);
+                Json nodeRequest = Json::object();
+                nodeRequest.set("op", "metrics");
+                std::string line;
+                if (nodeChannel.writeLine(nodeRequest.dump()) &&
+                    nodeChannel.readLine(&line)) {
+                    Json response;
+                    std::string parseError;
+                    if (!Json::parse(line, &response, &parseError)) {
+                        error = "malformed metrics response: " +
+                                parseError;
+                    } else if (!response.getBool("ok")) {
+                        error = response.getString("error",
+                                                   response.dump());
+                    } else {
+                        metrics = response.get("metrics");
+                        gathered =
+                            metrics.type() == Json::Type::Object;
+                        if (!gathered)
+                            error = "metrics response carries no "
+                                    "metrics object";
+                    }
+                }
+            }
+        } catch (const FatalError &e) {
+            error = e.what();
+        }
+        node.set("ok", gathered);
+        if (gathered) {
+            if (metrics.get("counters").type() ==
+                Json::Type::Object) {
+                for (const auto &counter :
+                     metrics.get("counters").asMembers()) {
+                    totals[counter.first] += static_cast<uint64_t>(
+                        counter.second.asNumber());
+                }
+            }
+            node.set("metrics", std::move(metrics));
+        } else {
+            node.set("error", error);
+        }
+        nodes.push(std::move(node));
+    }
+    ok.set("nodes", std::move(nodes));
+    Json totalsJson = Json::object();
+    for (const auto &total : totals)
+        totalsJson.set(total.first, total.second);
+    ok.set("totals", std::move(totalsJson));
+    return channel.writeLine(ok.dump());
 }
 
 bool

@@ -11,7 +11,9 @@
  * mid-sweep node deaths absorbed by the router's reroute path.
  *
  * Served ops: ping (answers with fleet:true plus node counts),
- * status (the membership/health table), sweep, run, shutdown.
+ * status (the membership/health table), metrics (every live node's
+ * registry gathered per-node plus fleet-wide counter totals and the
+ * router's own registry), sweep, run, shutdown.
  * Engine-bound ops (stats, clear, cancel) answer with an error
  * naming a node to talk to instead — the router has no cache to
  * clear and its in-flight bookkeeping lives in the downstream nodes.
@@ -88,6 +90,9 @@ class FleetService
     bool handleSweep(const Json &request, LineChannel &channel);
     /** Scatter an explicit spec batch the same way. */
     bool handleRun(const Json &request, LineChannel &channel);
+    /** Gather every live node's "metrics" response plus the router's
+     *  own registry; answers with per-node trees and counter totals. */
+    bool handleMetrics(const Json &request, LineChannel &channel);
     void joinFinishedLocked();
     /** Shut down connections and join every client thread. */
     void teardownClients();

@@ -59,6 +59,13 @@ FleetRouter::FleetRouter(
         node.endpoint = parseEndpoint(text);
         nodes_.push_back(std::move(node));
     }
+
+    MetricsRegistry &reg = MetricsRegistry::instance();
+    obsDeadMarks_ = reg.counter("fleet_dead_marks_total");
+    obsReroutes_ = reg.counter("fleet_reroutes_total");
+    obsPingRttUs_ = reg.histogram("fleet_ping_rtt_us");
+    obsScatterPoints_ = reg.histogram(
+        "fleet_scatter_points", MetricsRegistry::countBuckets());
 }
 
 FleetRouter::~FleetRouter() { stopHealthMonitor(); }
@@ -112,6 +119,7 @@ FleetRouter::markDead(size_t index, const std::string &error)
     node.lastError = error;
     ring_.removeNode(index);
     deadDuringBatch_.push_back(node.name);
+    obsDeadMarks_->inc();
     warn("fleet: node %s marked dead (%s); %zu of %zu nodes left",
          node.name.c_str(), error.c_str(), ring_.liveCount(),
          nodes_.size());
@@ -130,6 +138,7 @@ FleetRouter::pingAll()
             endpoint = nodes_[i].endpoint;
         }
         std::string error;
+        const uint64_t pingStartUs = monotonicMicros();
         const int fd = connectToEndpoint(endpoint, &error);
         if (fd < 0) {
             markDead(i, error);
@@ -172,6 +181,8 @@ FleetRouter::pingAll()
         }
         if (!healthy)
             markDead(i, why);
+        else
+            obsPingRttUs_->observe(monotonicMicros() - pingStartUs);
     }
     return aliveCount();
 }
@@ -414,6 +425,7 @@ FleetRouter::scatter(const std::vector<RunSpec> &specs,
             // finishing them — this round recomputes them on the
             // survivors.
             outcome.rerouted += pending;
+            obsReroutes_->inc(pending);
             inform("fleet: rerouting %zu unfinished points to %zu "
                    "surviving nodes",
                    pending, aliveCount());
@@ -424,6 +436,7 @@ FleetRouter::scatter(const std::vector<RunSpec> &specs,
         for (size_t node = 0; node < assignment.size(); ++node) {
             if (assignment[node].empty())
                 continue;
+            obsScatterPoints_->observe(assignment[node].size());
             readers.emplace_back([this, node, &assignment, sweep,
                                   &gather] {
                 streamSubset(node, assignment[node], sweep, gather);

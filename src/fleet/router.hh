@@ -51,6 +51,7 @@
 #include "src/api/run_spec.hh"
 #include "src/api/sweep.hh"
 #include "src/fleet/ring.hh"
+#include "src/obs/metrics.hh"
 #include "src/service/protocol.hh"
 
 namespace mtv
@@ -216,6 +217,12 @@ class FleetRouter
     std::condition_variable monitorWake_;
     std::thread monitor_;
     bool monitorStop_ = false;
+
+    // Process-wide observability handles (src/obs/metrics.hh).
+    Counter *obsDeadMarks_ = nullptr;
+    Counter *obsReroutes_ = nullptr;
+    Histogram *obsPingRttUs_ = nullptr;
+    Histogram *obsScatterPoints_ = nullptr;
 };
 
 } // namespace mtv

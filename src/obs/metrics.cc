@@ -1,0 +1,340 @@
+#include "src/obs/metrics.hh"
+
+#include <algorithm>
+#include <cctype>
+#include <chrono>
+#include <cstdio>
+
+#include "src/common/logging.hh"
+
+namespace mtv
+{
+
+namespace
+{
+
+/**
+ * Split "base{labels}" into its parts. Returns false when the name
+ * carries no label block.
+ */
+bool
+splitLabels(const std::string &name, std::string &base,
+            std::string &labels)
+{
+    const size_t brace = name.find('{');
+    if (brace == std::string::npos) {
+        base = name;
+        labels.clear();
+        return false;
+    }
+    base = name.substr(0, brace);
+    // keep the inner text only; the caller re-wraps as needed
+    labels = name.substr(brace + 1, name.size() - brace - 2);
+    return true;
+}
+
+void
+validateName(const std::string &name)
+{
+    std::string base, labels;
+    const bool hasLabels = splitLabels(name, base, labels);
+    bool ok = !base.empty()
+        && (std::isalpha(static_cast<unsigned char>(base[0]))
+            || base[0] == '_');
+    for (char c : base) {
+        if (!std::isalnum(static_cast<unsigned char>(c)) && c != '_')
+            ok = false;
+    }
+    if (hasLabels && (name.back() != '}' || labels.empty()))
+        ok = false;
+    if (!ok)
+        panic("invalid metric name '%s'", name.c_str());
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------
+// Histogram
+// ---------------------------------------------------------------------
+
+Histogram::Histogram(std::vector<uint64_t> bounds)
+    : bounds_(std::move(bounds))
+{
+    MTV_ASSERT(!bounds_.empty());
+    MTV_ASSERT(std::is_sorted(bounds_.begin(), bounds_.end()));
+    counts_ = std::make_unique<std::atomic<uint64_t>[]>(
+        bounds_.size() + 1);
+    for (size_t i = 0; i <= bounds_.size(); ++i)
+        counts_[i].store(0, std::memory_order_relaxed);
+}
+
+void
+Histogram::observe(uint64_t value) noexcept
+{
+    // Linear scan: the bound arrays are small (~20 entries) and
+    // immutable, so this is a handful of predictable compares —
+    // cheaper in practice than a binary search for short arrays.
+    size_t i = 0;
+    while (i < bounds_.size() && value > bounds_[i])
+        ++i;
+    counts_[i].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(value, std::memory_order_relaxed);
+}
+
+uint64_t
+Histogram::bucketCount(size_t i) const noexcept
+{
+    return counts_[i].load(std::memory_order_relaxed);
+}
+
+double
+HistogramSnapshot::quantile(double q) const
+{
+    if (count == 0)
+        return 0.0;
+    if (q < 0.0)
+        q = 0.0;
+    if (q > 1.0)
+        q = 1.0;
+    const double target = q * static_cast<double>(count);
+    uint64_t cumulative = 0;
+    for (size_t i = 0; i < counts.size(); ++i) {
+        const uint64_t inBucket = counts[i];
+        if (inBucket == 0)
+            continue;
+        if (static_cast<double>(cumulative + inBucket) >= target) {
+            if (i >= bounds.size())
+                return static_cast<double>(bounds.back());
+            const double lower =
+                i == 0 ? 0.0 : static_cast<double>(bounds[i - 1]);
+            const double upper = static_cast<double>(bounds[i]);
+            const double fraction =
+                (target - static_cast<double>(cumulative))
+                / static_cast<double>(inBucket);
+            return lower
+                + std::max(0.0, std::min(1.0, fraction))
+                * (upper - lower);
+        }
+        cumulative += inBucket;
+    }
+    return bounds.empty() ? 0.0 : static_cast<double>(bounds.back());
+}
+
+// ---------------------------------------------------------------------
+// MetricsRegistry
+// ---------------------------------------------------------------------
+
+MetricsRegistry &
+MetricsRegistry::instance()
+{
+    static MetricsRegistry registry;
+    return registry;
+}
+
+Counter *
+MetricsRegistry::counter(const std::string &name)
+{
+    validateName(name);
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (gauges_.count(name) || histograms_.count(name))
+        panic("metric '%s' already registered as another kind",
+              name.c_str());
+    auto &slot = counters_[name];
+    if (!slot)
+        slot.reset(new Counter());
+    return slot.get();
+}
+
+Gauge *
+MetricsRegistry::gauge(const std::string &name)
+{
+    validateName(name);
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (counters_.count(name) || histograms_.count(name))
+        panic("metric '%s' already registered as another kind",
+              name.c_str());
+    auto &slot = gauges_[name];
+    if (!slot)
+        slot.reset(new Gauge());
+    return slot.get();
+}
+
+Histogram *
+MetricsRegistry::histogram(const std::string &name,
+                           const std::vector<uint64_t> &bounds)
+{
+    validateName(name);
+    if (bounds.empty())
+        panic("histogram '%s' needs at least one bucket bound",
+              name.c_str());
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (counters_.count(name) || gauges_.count(name))
+        panic("metric '%s' already registered as another kind",
+              name.c_str());
+    auto &slot = histograms_[name];
+    if (!slot) {
+        slot.reset(new Histogram(bounds));
+    } else if (slot->bounds() != bounds) {
+        panic("histogram '%s' re-registered with different bounds",
+              name.c_str());
+    }
+    return slot.get();
+}
+
+MetricsSnapshot
+MetricsRegistry::snapshot() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    MetricsSnapshot snap;
+    snap.counters.reserve(counters_.size());
+    for (const auto &kv : counters_)
+        snap.counters.emplace_back(kv.first, kv.second->value());
+    snap.gauges.reserve(gauges_.size());
+    for (const auto &kv : gauges_)
+        snap.gauges.emplace_back(kv.first, kv.second->value());
+    snap.histograms.reserve(histograms_.size());
+    for (const auto &kv : histograms_) {
+        const Histogram &h = *kv.second;
+        HistogramSnapshot hs;
+        hs.name = kv.first;
+        hs.bounds = h.bounds();
+        hs.counts.resize(h.bounds().size() + 1);
+        for (size_t i = 0; i < hs.counts.size(); ++i)
+            hs.counts[i] = h.bucketCount(i);
+        hs.count = h.count();
+        hs.sum = h.sum();
+        snap.histograms.push_back(std::move(hs));
+    }
+    return snap;
+}
+
+const std::vector<uint64_t> &
+MetricsRegistry::latencyBucketsUs()
+{
+    // 1-2.5-5 per decade, 100us .. 60s: wide enough that a CI queue
+    // stall is still representable, fine enough that p99 readout has
+    // sub-decade resolution in the interactive range.
+    static const std::vector<uint64_t> bounds = {
+        100,      250,      500,      1000,     2500,     5000,
+        10000,    25000,    50000,    100000,   250000,   500000,
+        1000000,  2500000,  5000000,  10000000, 30000000, 60000000,
+    };
+    return bounds;
+}
+
+const std::vector<uint64_t> &
+MetricsRegistry::countBuckets()
+{
+    static const std::vector<uint64_t> bounds = {
+        1, 2, 5, 10, 25, 50, 100, 250, 500, 1000, 2500, 5000, 10000,
+    };
+    return bounds;
+}
+
+uint64_t
+monotonicMicros()
+{
+    using namespace std::chrono;
+    return static_cast<uint64_t>(duration_cast<microseconds>(
+        steady_clock::now().time_since_epoch()).count());
+}
+
+// ---------------------------------------------------------------------
+// Prometheus text exposition
+// ---------------------------------------------------------------------
+
+namespace
+{
+
+void
+appendPromLine(std::string &out, const std::string &base,
+               const std::string &suffix, const std::string &labels,
+               const std::string &extraLabel, uint64_t value)
+{
+    out += base;
+    out += suffix;
+    if (!labels.empty() || !extraLabel.empty()) {
+        out += '{';
+        out += labels;
+        if (!labels.empty() && !extraLabel.empty())
+            out += ',';
+        out += extraLabel;
+        out += '}';
+    }
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), " %llu\n",
+                  static_cast<unsigned long long>(value));
+    out += buf;
+}
+
+void
+appendTypeOnce(std::string &out, std::string &lastTyped,
+               const std::string &base, const char *kind)
+{
+    // Metrics differing only in labels share one base name; emit the
+    // # TYPE header once per base, relying on the sorted snapshot
+    // order to keep same-base entries adjacent.
+    if (base == lastTyped)
+        return;
+    out += "# TYPE ";
+    out += base;
+    out += ' ';
+    out += kind;
+    out += '\n';
+    lastTyped = base;
+}
+
+} // namespace
+
+std::string
+renderProm(const MetricsSnapshot &snap)
+{
+    std::string out;
+    std::string lastTyped;
+
+    for (const auto &kv : snap.counters) {
+        std::string base, labels;
+        splitLabels(kv.first, base, labels);
+        appendTypeOnce(out, lastTyped, base, "counter");
+        appendPromLine(out, base, "", labels, "", kv.second);
+    }
+    lastTyped.clear();
+    for (const auto &kv : snap.gauges) {
+        std::string base, labels;
+        splitLabels(kv.first, base, labels);
+        appendTypeOnce(out, lastTyped, base, "gauge");
+        out += base;
+        if (!labels.empty()) {
+            out += '{';
+            out += labels;
+            out += '}';
+        }
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), " %lld\n",
+                      static_cast<long long>(kv.second));
+        out += buf;
+    }
+    lastTyped.clear();
+    for (const HistogramSnapshot &h : snap.histograms) {
+        std::string base, labels;
+        splitLabels(h.name, base, labels);
+        appendTypeOnce(out, lastTyped, base, "histogram");
+        uint64_t cumulative = 0;
+        for (size_t i = 0; i < h.bounds.size(); ++i) {
+            cumulative += h.counts[i];
+            char le[40];
+            std::snprintf(le, sizeof(le), "le=\"%llu\"",
+                          static_cast<unsigned long long>(h.bounds[i]));
+            appendPromLine(out, base, "_bucket", labels, le, cumulative);
+        }
+        cumulative += h.counts.back();
+        appendPromLine(out, base, "_bucket", labels, "le=\"+Inf\"",
+                       cumulative);
+        appendPromLine(out, base, "_sum", labels, "", h.sum);
+        appendPromLine(out, base, "_count", labels, "", h.count);
+    }
+    return out;
+}
+
+} // namespace mtv

@@ -1,0 +1,212 @@
+/**
+ * @file
+ * Process-wide metrics registry: named monotonic counters, gauges,
+ * and fixed-bucket latency histograms with quantile readout.
+ *
+ * Design constraints (DESIGN.md §8):
+ *  - the hot path is a single relaxed atomic RMW — no locks, no
+ *    allocation; the registration mutex is taken only when a handle
+ *    is first created (typically once per process in a constructor);
+ *  - handles are get-or-create by name and never invalidated: two
+ *    engines asking for "engine_cache_hits_total" share one counter,
+ *    so per-process totals aggregate naturally and handle lifetime
+ *    is the registry's (process) lifetime — safe to cache raw
+ *    pointers in long-lived objects;
+ *  - snapshots use relaxed loads and are eventually consistent while
+ *    writers race; after writers quiesce they are bit-exact;
+ *  - names follow the Prometheus convention ([a-zA-Z_][a-zA-Z0-9_]*)
+ *    with optional {key="value",...} labels embedded in the name
+ *    string, e.g. store_appends_total{shard="3"}. The registry
+ *    treats the whole string as the identity; the text exposition
+ *    splits it back into base name + labels.
+ *
+ * This layer depends only on src/common/ (no JSON): the service layer
+ * converts MetricsSnapshot to wire JSON (src/service/protocol.hh).
+ */
+
+#ifndef MTV_OBS_METRICS_HH
+#define MTV_OBS_METRICS_HH
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace mtv
+{
+
+/** Monotonic counter. inc() is one relaxed fetch_add. */
+class Counter
+{
+  public:
+    void
+    inc(uint64_t n = 1) noexcept
+    {
+        value_.fetch_add(n, std::memory_order_relaxed);
+    }
+
+    uint64_t
+    value() const noexcept
+    {
+        return value_.load(std::memory_order_relaxed);
+    }
+
+  private:
+    std::atomic<uint64_t> value_{0};
+};
+
+/** Instantaneous signed value (queue depths, in-flight counts). */
+class Gauge
+{
+  public:
+    void
+    set(int64_t v) noexcept
+    {
+        value_.store(v, std::memory_order_relaxed);
+    }
+
+    void
+    add(int64_t delta) noexcept
+    {
+        value_.fetch_add(delta, std::memory_order_relaxed);
+    }
+
+    int64_t
+    value() const noexcept
+    {
+        return value_.load(std::memory_order_relaxed);
+    }
+
+  private:
+    std::atomic<int64_t> value_{0};
+};
+
+/**
+ * Fixed-bucket histogram. observe() does a branch-free-ish linear
+ * scan over the (small, immutable) bound array plus two relaxed
+ * fetch_adds — no locks. Bounds are ascending inclusive upper bounds;
+ * one implicit overflow bucket catches everything above the last.
+ */
+class Histogram
+{
+  public:
+    void observe(uint64_t value) noexcept;
+
+    /** Ascending inclusive upper bounds (excludes the overflow bucket). */
+    const std::vector<uint64_t> &
+    bounds() const noexcept
+    {
+        return bounds_;
+    }
+
+    uint64_t
+    count() const noexcept
+    {
+        return count_.load(std::memory_order_relaxed);
+    }
+
+    uint64_t
+    sum() const noexcept
+    {
+        return sum_.load(std::memory_order_relaxed);
+    }
+
+    /** Per-bucket count, index bounds().size() = overflow bucket. */
+    uint64_t bucketCount(size_t i) const noexcept;
+
+  private:
+    friend class MetricsRegistry;
+    explicit Histogram(std::vector<uint64_t> bounds);
+
+    std::vector<uint64_t> bounds_;
+    std::unique_ptr<std::atomic<uint64_t>[]> counts_; ///< bounds_.size()+1
+    std::atomic<uint64_t> count_{0};
+    std::atomic<uint64_t> sum_{0};
+};
+
+/** Point-in-time copy of one histogram, with quantile readout. */
+struct HistogramSnapshot
+{
+    std::string name;
+    std::vector<uint64_t> bounds;  ///< upper bounds, ascending
+    std::vector<uint64_t> counts;  ///< bounds.size()+1, last = overflow
+    uint64_t count = 0;
+    uint64_t sum = 0;
+
+    /**
+     * Estimate the q-quantile (q in [0,1]) by linear interpolation
+     * inside the containing bucket; values landing in the overflow
+     * bucket clamp to the last bound. Returns 0 when empty.
+     */
+    double quantile(double q) const;
+};
+
+/** Point-in-time copy of every metric, sorted by name. */
+struct MetricsSnapshot
+{
+    std::vector<std::pair<std::string, uint64_t>> counters;
+    std::vector<std::pair<std::string, int64_t>> gauges;
+    std::vector<HistogramSnapshot> histograms;
+};
+
+/**
+ * The registry. One instance per process via instance(); separately
+ * constructible for tests that need isolation from global state.
+ */
+class MetricsRegistry
+{
+  public:
+    MetricsRegistry() = default;
+    MetricsRegistry(const MetricsRegistry &) = delete;
+    MetricsRegistry &operator=(const MetricsRegistry &) = delete;
+
+    /** The process-wide registry every layer instruments into. */
+    static MetricsRegistry &instance();
+
+    /**
+     * Get-or-create handles. Returned pointers live as long as the
+     * registry; callers cache them. panic()s on a malformed name or
+     * when a name is reused across metric kinds (or, for histograms,
+     * re-registered with different bounds).
+     */
+    Counter *counter(const std::string &name);
+    Gauge *gauge(const std::string &name);
+    Histogram *histogram(const std::string &name,
+                         const std::vector<uint64_t> &bounds
+                             = latencyBucketsUs());
+
+    MetricsSnapshot snapshot() const;
+
+    /**
+     * Default histogram bounds for microsecond latencies: roughly
+     * 1-2.5-5 per decade from 100us to 60s.
+     */
+    static const std::vector<uint64_t> &latencyBucketsUs();
+
+    /** Bounds suited to item counts (scatter sizes, batch sizes). */
+    static const std::vector<uint64_t> &countBuckets();
+
+  private:
+    mutable std::mutex mutex_;
+    std::map<std::string, std::unique_ptr<Counter>> counters_;
+    std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+    std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+/** Monotonic clock in microseconds; zero point is process-local. */
+uint64_t monotonicMicros();
+
+/**
+ * Render a snapshot in the Prometheus text exposition format:
+ * one # TYPE line per base metric name, _bucket{le=...}/_sum/_count
+ * triplets for histograms, labels merged from the name string.
+ */
+std::string renderProm(const MetricsSnapshot &snap);
+
+} // namespace mtv
+
+#endif // MTV_OBS_METRICS_HH

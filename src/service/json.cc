@@ -364,6 +364,14 @@ Json::asArray() const
     return array_;
 }
 
+const std::vector<std::pair<std::string, Json>> &
+Json::asMembers() const
+{
+    if (type_ != Type::Object)
+        fatal("JSON value is %s, expected object", typeName(type_));
+    return members_;
+}
+
 const Json &
 Json::get(const std::string &key) const
 {

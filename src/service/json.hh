@@ -60,6 +60,8 @@ class Json
     uint64_t asU64() const;
     const std::string &asString() const;
     const std::vector<Json> &asArray() const;
+    /** Object members in insertion order. */
+    const std::vector<std::pair<std::string, Json>> &asMembers() const;
 
     /** Object member, or a shared null when absent. */
     const Json &get(const std::string &key) const;

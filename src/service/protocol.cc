@@ -238,6 +238,40 @@ storeStatsToJson(const ResultStore &store)
     return j;
 }
 
+Json
+metricsToJson(const MetricsSnapshot &snapshot)
+{
+    Json counters = Json::object();
+    for (const auto &kv : snapshot.counters)
+        counters.set(kv.first, kv.second);
+    Json gauges = Json::object();
+    for (const auto &kv : snapshot.gauges)
+        gauges.set(kv.first, static_cast<double>(kv.second));
+    Json histograms = Json::object();
+    for (const HistogramSnapshot &h : snapshot.histograms) {
+        Json hist = Json::object();
+        hist.set("count", h.count);
+        hist.set("sum", h.sum);
+        hist.set("p50", h.quantile(0.50));
+        hist.set("p95", h.quantile(0.95));
+        hist.set("p99", h.quantile(0.99));
+        Json bounds = Json::array();
+        for (const uint64_t b : h.bounds)
+            bounds.push(b);
+        hist.set("bounds", std::move(bounds));
+        Json counts = Json::array();
+        for (const uint64_t c : h.counts)
+            counts.push(c);
+        hist.set("counts", std::move(counts));
+        histograms.set(h.name, std::move(hist));
+    }
+    Json j = Json::object();
+    j.set("counters", std::move(counters));
+    j.set("gauges", std::move(gauges));
+    j.set("histograms", std::move(histograms));
+    return j;
+}
+
 LineChannel::LineChannel(int fd) : fd_(fd) {}
 
 LineChannel::~LineChannel()

@@ -28,7 +28,22 @@
  *   {"op":"stats"}
  *   {"op":"status"}
  *     — request-lifecycle snapshot: engine queue depth, per-
- *     connection in-flight batch counts, cancelled/reaped counters.
+ *     connection in-flight batch counts, cancelled/reaped counters,
+ *     per-lane queue depths ("lanes") and, when a store is attached,
+ *     per-shard append/hit/recovery counts ("shards").
+ *   {"op":"metrics","prom":b}
+ *     — v4: full dump of the process metrics registry (src/obs/):
+ *     {"ok":true,"metrics":{"counters":{name:v,...},
+ *      "gauges":{name:v,...},"histograms":{name:{"count":c,"sum":s,
+ *      "p50":x,"p95":x,"p99":x,"bounds":[...],"counts":[...]}}}}
+ *     (histogram "counts" has one entry per bound plus a final
+ *     overflow bucket). With "prom":true the response additionally
+ *     carries "prom": the Prometheus text exposition as one string.
+ *     Against a routing daemon (mtvd --route) the op fans out:
+ *     {"ok":true,"fleet":true,"router":{...own registry...},
+ *      "nodes":[{"endpoint":e,"ok":true,"metrics":{...}} |
+ *               {"endpoint":e,"ok":false,"error":m},...],
+ *      "totals":{counter name: sum over reachable nodes}}.
  *   {"op":"cancel","id":n}
  *     — cancel every in-flight batch tagged with request id n, on
  *     ANY connection (cancellation is cooperative: queued points are
@@ -105,7 +120,7 @@ namespace mtv
 {
 
 /** Protocol revision spoken by this build (bump on changes). */
-constexpr int serviceProtocolVersion = 3;
+constexpr int serviceProtocolVersion = 4;
 
 /** Batch requests one connection may keep streaming concurrently;
  *  further requests are not read until a slot frees (backpressure). */
@@ -192,6 +207,14 @@ Json engineStatsToJson(const ExperimentEngine &engine);
 
 /** Store counters as the "store" member of a stats response. */
 Json storeStatsToJson(const ResultStore &store);
+
+/**
+ * A registry snapshot as the "metrics" member of a metrics response:
+ * counters/gauges keyed by full metric name (labels embedded),
+ * histograms with count/sum, p50/p95/p99 readout and the raw
+ * bounds/counts arrays (counts includes the final overflow bucket).
+ */
+Json metricsToJson(const MetricsSnapshot &snapshot);
 
 /**
  * Buffered line IO over a connected stream socket — the framing layer

@@ -108,20 +108,31 @@ struct MtvService::ClientState
     bool
     write(const std::string &line)
     {
-        std::lock_guard<std::mutex> lock(writeMutex);
-        if (writeFailed.load())
-            return false;
-        if (!channel.writeLine(line)) {
-            // Sticky: once the peer is gone, the read loop must stop
-            // admitting its pipelined requests (simulating batches
-            // nobody can receive) and close the connection. Reap
-            // immediately — every in-flight batch of this connection
-            // is now simulating for nobody.
-            writeFailed.store(true);
-            service->reapClient(*this);
-            return false;
+        // Write-stall accounting covers the whole funnel: waiting on
+        // the per-connection write mutex (another stream holds it)
+        // plus the blocking send itself (slow reader, full socket
+        // buffer). Two clock reads per line, next to a syscall.
+        const uint64_t startUs = monotonicMicros();
+        bool ok;
+        {
+            std::lock_guard<std::mutex> lock(writeMutex);
+            if (writeFailed.load())
+                return false;
+            ok = channel.writeLine(line);
+            if (!ok) {
+                // Sticky: once the peer is gone, the read loop must
+                // stop admitting its pipelined requests (simulating
+                // batches nobody can receive) and close the
+                // connection. Reap immediately — every in-flight
+                // batch of this connection is now simulating for
+                // nobody.
+                writeFailed.store(true);
+                service->obsWriteFailures_->inc();
+                service->reapClient(*this);
+            }
         }
-        return true;
+        service->obsWriteStallUs_->inc(monotonicMicros() - startUs);
+        return ok;
     }
 
     MtvService *service;
@@ -189,6 +200,19 @@ MtvService::MtvService(ServiceOptions options)
     engineOptions.backend = store_;
     engineOptions.maxCacheEntries = options.maxCacheEntries;
     engine_ = std::make_unique<ExperimentEngine>(engineOptions);
+
+    MetricsRegistry &reg = MetricsRegistry::instance();
+    obsFirstPointUs_[0] =
+        reg.histogram("service_first_point_us{op=\"run\"}");
+    obsFirstPointUs_[1] =
+        reg.histogram("service_first_point_us{op=\"sweep\"}");
+    obsDoneUs_[0] = reg.histogram("service_done_us{op=\"run\"}");
+    obsDoneUs_[1] = reg.histogram("service_done_us{op=\"sweep\"}");
+    obsInflightBatches_ = reg.gauge("service_inflight_batches");
+    obsConnections_ = reg.gauge("service_connections");
+    obsConnectionsTotal_ = reg.counter("service_connections_total");
+    obsWriteStallUs_ = reg.counter("service_write_stall_us_total");
+    obsWriteFailures_ = reg.counter("service_write_failures_total");
 
     // A leftover socket file from a killed daemon would block bind();
     // only a *connectable* socket means a live daemon.
@@ -358,6 +382,8 @@ MtvService::handleConnection(int fd)
     ClientState client(this, fd);
     client.clientId = nextClientId_.fetch_add(1);
     client.lane = engine_->openLane();
+    obsConnections_->add(1);
+    obsConnectionsTotal_->inc();
     std::string line;
     while (!stopping_.load() && !client.writeFailed.load() &&
            client.channel.readLine(&line)) {
@@ -379,6 +405,7 @@ MtvService::handleConnection(int fd)
     // for nobody — and so the joins below are quick.
     reapClient(client);
     engine_->closeLane(client.lane);
+    obsConnections_->add(-1);
     // In-flight batches drain before the channel closes: their
     // threads hold pointers into this stack frame. A gone peer makes
     // their writes fail fast; daemon shutdown breaks their futures.
@@ -466,6 +493,36 @@ MtvService::statusJson()
     counters.set("cancelledPoints", engine_->cancelledRuns());
     counters.set("discardedPoints", engine_->discardedTasks());
     ok.set("counters", std::move(counters));
+    // Per-lane queue depths: which tenant's work is actually queued
+    // (lane 0 = runAll/plain submit; one lane per connection).
+    Json lanes = Json::array();
+    for (const auto &entry : engine_->laneDepths()) {
+        Json lane = Json::object();
+        lane.set("lane", entry.first);
+        lane.set("depth", static_cast<uint64_t>(entry.second));
+        lanes.push(std::move(lane));
+    }
+    ok.set("lanes", std::move(lanes));
+    // Per-shard store counters, when a store is attached: hot shards,
+    // recovery damage, session appends.
+    if (store_) {
+        Json shards = Json::array();
+        const std::vector<ResultStore::ShardStats> stats =
+            store_->shardStats();
+        for (size_t i = 0; i < stats.size(); ++i) {
+            Json shard = Json::object();
+            shard.set("shard", static_cast<uint64_t>(i));
+            shard.set("appends", stats[i].appends);
+            shard.set("hits", stats[i].hits);
+            shard.set("misses", stats[i].misses);
+            shard.set("records",
+                      static_cast<uint64_t>(stats[i].records));
+            shard.set("recovered", stats[i].loadedRecords);
+            shard.set("dropped", stats[i].droppedRecords);
+            shards.push(std::move(shard));
+        }
+        ok.set("shards", std::move(shards));
+    }
     // Per-connection in-flight accounting, from the batch registry
     // (connections with nothing in flight have nothing to report).
     std::map<uint64_t, std::vector<uint64_t>> perClient;
@@ -534,6 +591,16 @@ MtvService::handleRequest(const Json &request, ClientState &client)
         }
         if (op == "status")
             return client.write(statusJson().dump());
+        if (op == "metrics") {
+            const MetricsSnapshot snap =
+                MetricsRegistry::instance().snapshot();
+            Json ok = Json::object();
+            ok.set("ok", true);
+            ok.set("metrics", metricsToJson(snap));
+            if (request.getBool("prom", false))
+                ok.set("prom", renderProm(snap));
+            return client.write(ok.dump());
+        }
         if (op == "cancel") {
             const uint64_t target = safeRequestId(request);
             if (target == 0) {
@@ -595,6 +662,7 @@ MtvService::acquireSlot(ClientState &client)
 bool
 MtvService::handleRun(const Json &request, ClientState &client)
 {
+    const uint64_t admittedUs = monotonicMicros();
     const uint64_t id = safeRequestId(request);
     const std::vector<Json> &specLines =
         request.get("specs").asArray();
@@ -609,13 +677,15 @@ MtvService::handleRun(const Json &request, ClientState &client)
 
     if (!acquireSlot(client))
         return false;
-    admitBatch(client, id, std::move(specs), quiet);
+    admitBatch(client, id, std::move(specs), quiet, false,
+               admittedUs);
     return true;
 }
 
 bool
 MtvService::handleSweep(const Json &request, ClientState &client)
 {
+    const uint64_t admittedUs = monotonicMicros();
     const uint64_t id = safeRequestId(request);
     const bool quiet = request.getBool("quiet", false);
 
@@ -681,13 +751,15 @@ MtvService::handleSweep(const Json &request, ClientState &client)
 
     if (!acquireSlot(client))
         return false;
-    admitBatch(client, id, std::move(specs), quiet);
+    admitBatch(client, id, std::move(specs), quiet, true,
+               admittedUs);
     return true;
 }
 
 void
 MtvService::admitBatch(ClientState &client, uint64_t id,
-                       std::vector<RunSpec> specs, bool quiet)
+                       std::vector<RunSpec> specs, bool quiet,
+                       bool sweep, uint64_t admittedUs)
 {
     client.reapRetired();
     const uint64_t streamId = client.nextStreamId++;
@@ -711,9 +783,10 @@ MtvService::admitBatch(ClientState &client, uint64_t id,
         streamId,
         std::thread([this, &client, streamId, id,
                      specs = std::move(specs), quiet, token,
-                     batchKey]() mutable {
+                     batchKey, sweep, admittedUs]() mutable {
             streamBatch(client, streamId, id, std::move(specs),
-                        quiet, std::move(token), batchKey);
+                        quiet, std::move(token), batchKey, sweep,
+                        admittedUs);
         }));
 }
 
@@ -722,9 +795,11 @@ MtvService::streamBatch(ClientState &client, uint64_t streamId,
                         uint64_t id, std::vector<RunSpec> specs,
                         bool quiet,
                         std::shared_ptr<CancelToken> token,
-                        uint64_t batchKey)
+                        uint64_t batchKey, bool sweep,
+                        uint64_t admittedUs)
 {
     activeRequests_.fetch_add(1);
+    obsInflightBatches_->add(1);
 
     // Fan the whole batch out up front — identical points of other
     // in-flight requests coalesce inside the engine — then consume
@@ -797,6 +872,12 @@ MtvService::streamBatch(ClientState &client, uint64_t streamId,
             aborted = true;  // client gone; queued work was reaped
             break;
         }
+        // Request→first-point latency: the moment the client could
+        // first see a result of this batch.
+        if (i == 0) {
+            obsFirstPointUs_[sweep]->observe(
+                monotonicMicros() - admittedUs);
+        }
     }
 
     // Unregistered before the terminator goes out: a client that has
@@ -834,8 +915,15 @@ MtvService::streamBatch(ClientState &client, uint64_t streamId,
         done.set("digest", format("%016llx",
                                   static_cast<unsigned long long>(
                                       digest)));
-        client.write(done.dump());
+        if (client.write(done.dump())) {
+            // Request→done latency, clean completions only: aborted
+            // and cancelled streams are deliberately partial and
+            // would pollute the series with early exits.
+            obsDoneUs_[sweep]->observe(monotonicMicros() -
+                                       admittedUs);
+        }
     }
+    obsInflightBatches_->add(-1);
 
     {
         std::lock_guard<std::mutex> lock(client.slotMutex);

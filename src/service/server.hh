@@ -166,9 +166,12 @@ class MtvService
      *  streaming thread. */
     bool handleSweep(const Json &request, ClientState &client);
     /** Admit the validated batch @p specs: take a slot, register its
-     *  cancel token, and start its streaming thread. */
+     *  cancel token, and start its streaming thread. @p sweep tags
+     *  the op's latency series; @p admittedUs is the request's
+     *  arrival timestamp (monotonicMicros()). */
     void admitBatch(ClientState &client, uint64_t id,
-                    std::vector<RunSpec> specs, bool quiet);
+                    std::vector<RunSpec> specs, bool quiet,
+                    bool sweep, uint64_t admittedUs);
     /** Cancel every in-flight batch tagged @p requestId, on any
      *  connection; returns how many were hit. */
     uint64_t cancelBatches(uint64_t requestId);
@@ -188,7 +191,8 @@ class MtvService
     void streamBatch(ClientState &client, uint64_t streamId,
                      uint64_t id, std::vector<RunSpec> specs,
                      bool quiet, std::shared_ptr<CancelToken> token,
-                     uint64_t batchKey);
+                     uint64_t batchKey, bool sweep,
+                     uint64_t admittedUs);
     /** Join threads whose connections have ended. Caller holds
      *  clientsMutex_. */
     void reapFinishedLocked();
@@ -229,6 +233,18 @@ class MtvService
     /** Threads whose connection ended, awaiting a cheap join (reaped
      *  on every accept so the daemon never accumulates dead ones). */
     std::vector<std::thread> finishedClients_;
+
+    // Process-wide observability handles (src/obs/metrics.hh),
+    // request→first-point and request→done latency per op plus
+    // connection/write-path health. ClientState::write() reaches
+    // obsWriteStallUs_/obsWriteFailures_ through its service pointer.
+    Histogram *obsFirstPointUs_[2] = {nullptr, nullptr}; ///< [sweep]
+    Histogram *obsDoneUs_[2] = {nullptr, nullptr};       ///< [sweep]
+    Gauge *obsInflightBatches_ = nullptr;
+    Gauge *obsConnections_ = nullptr;
+    Counter *obsConnectionsTotal_ = nullptr;
+    Counter *obsWriteStallUs_ = nullptr;
+    Counter *obsWriteFailures_ = nullptr;
 };
 
 } // namespace mtv

@@ -133,12 +133,21 @@ ResultStore::ResultStore(const std::string &dir, int shards)
     }
 
     shards_.reserve(count);
+    MetricsRegistry &reg = MetricsRegistry::instance();
     for (int i = 0; i < count; ++i) {
         auto shard = std::make_unique<Shard>();
         shard->dir = dir_ + "/" + shardDirName(i);
         if (::mkdir(shard->dir.c_str(), 0755) != 0 && errno != EEXIST)
             fatal("cannot create store shard '%s': %s",
                   shard->dir.c_str(), std::strerror(errno));
+        char label[48];
+        std::snprintf(label, sizeof(label), "{shard=\"%d\"}", i);
+        shard->obsAppends =
+            reg.counter(std::string("store_appends_total") + label);
+        shard->obsHits =
+            reg.counter(std::string("store_hits_total") + label);
+        shard->obsMisses =
+            reg.counter(std::string("store_misses_total") + label);
         shards_.push_back(std::move(shard));
     }
 
@@ -168,6 +177,16 @@ ResultStore::ResultStore(const std::string &dir, int shards)
     }
 
     migrateLegacySegments();
+
+    // Recovery observability: what the open scan found, per shard.
+    for (size_t i = 0; i < shards_.size(); ++i) {
+        char label[48];
+        std::snprintf(label, sizeof(label), "{shard=\"%zu\"}", i);
+        reg.counter(std::string("store_recovered_records_total")
+                    + label)->inc(shards_[i]->loadedRecords);
+        reg.counter(std::string("store_dropped_records_total")
+                    + label)->inc(shards_[i]->droppedRecords);
+    }
 }
 
 ResultStore::~ResultStore()
@@ -391,6 +410,7 @@ ResultStore::appendLocked(Shard &shard, const std::string &key,
     location.length = static_cast<uint32_t>(blob.size());
     shard.index[key] = location;
     ++shard.appends;
+    shard.obsAppends->inc();
 }
 
 void
@@ -461,6 +481,7 @@ ResultStore::load(const std::string &key)
     auto it = shard.index.find(key);
     if (it == shard.index.end()) {
         ++shard.misses;
+        shard.obsMisses->inc();
         return nullptr;
     }
     const RecordLocation &location = it->second;
@@ -473,6 +494,7 @@ ResultStore::load(const std::string &key)
               location.offset);
     }
     ++shard.hits;
+    shard.obsHits->inc();
     return std::make_shared<const SimStats>(deserializeSimStats(blob));
 }
 
@@ -525,6 +547,25 @@ ResultStore::stats() const
         total.misses += shard->misses;
     }
     return total;
+}
+
+std::vector<ResultStore::ShardStats>
+ResultStore::shardStats() const
+{
+    std::vector<ShardStats> out;
+    out.reserve(shards_.size());
+    for (const auto &shard : shards_) {
+        std::lock_guard<std::mutex> lock(shard->mutex);
+        ShardStats s;
+        s.appends = shard->appends;
+        s.hits = shard->hits;
+        s.misses = shard->misses;
+        s.loadedRecords = shard->loadedRecords;
+        s.droppedRecords = shard->droppedRecords;
+        s.records = shard->index.size();
+        out.push_back(s);
+    }
+    return out;
 }
 
 } // namespace mtv

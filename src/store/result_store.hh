@@ -64,6 +64,7 @@
 #include <vector>
 
 #include "src/api/backend.hh"
+#include "src/obs/metrics.hh"
 
 namespace mtv
 {
@@ -123,6 +124,20 @@ class ResultStore : public ResultBackend
     /** Counter snapshot, aggregated over the shards. */
     Stats stats() const;
 
+    /** One shard's session/recovery counters (for `status`). */
+    struct ShardStats
+    {
+        uint64_t appends = 0;
+        uint64_t hits = 0;
+        uint64_t misses = 0;
+        uint64_t loadedRecords = 0;
+        uint64_t droppedRecords = 0;
+        size_t records = 0;  ///< live index entries right now
+    };
+
+    /** Per-shard counter snapshot, index i = shard i. */
+    std::vector<ShardStats> shardStats() const;
+
     /** The store directory. */
     const std::string &directory() const { return dir_; }
 
@@ -161,6 +176,11 @@ class ResultStore : public ResultBackend
         uint64_t appends = 0;
         uint64_t hits = 0;
         uint64_t misses = 0;
+        // Process-wide observability handles, labelled by shard index
+        // (src/obs/metrics.hh); shared when several stores coexist.
+        Counter *obsAppends = nullptr;
+        Counter *obsHits = nullptr;
+        Counter *obsMisses = nullptr;
     };
 
     /** How one segment scan ended. */

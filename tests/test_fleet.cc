@@ -23,6 +23,7 @@
 
 #include "src/api/engine.hh"
 #include "src/common/logging.hh"
+#include "src/fleet/fleet_service.hh"
 #include "src/fleet/ring.hh"
 #include "src/fleet/router.hh"
 #include "src/service/json.hh"
@@ -519,6 +520,56 @@ TEST_F(FleetFixture, PingAllMarksUnreachableNodesDead)
     router.startHealthMonitor();
     router.stopHealthMonitor();
     EXPECT_EQ(router.aliveCount(), 2u);
+}
+
+TEST_F(FleetFixture, MetricsOpAggregatesAcrossNodes)
+{
+    // A routing daemon over the three fixture nodes: its "metrics"
+    // op must gather every node's registry and sum the counters.
+    FleetServiceOptions options;
+    options.socketPath = tempPath(8);
+    options.nodes = endpoints_;
+    FleetService fleet(options);
+    std::thread serveThread([&fleet] { fleet.serve(); });
+
+    std::string error;
+    const int fd = connectToDaemon(fleet.socketPath(), &error);
+    ASSERT_GE(fd, 0) << error;
+    {
+        LineChannel channel(fd);
+        Json request = Json::object();
+        request.set("op", "metrics");
+        ASSERT_TRUE(channel.writeLine(request.dump()));
+        std::string line;
+        ASSERT_TRUE(channel.readLine(&line));
+        Json response;
+        ASSERT_TRUE(Json::parse(line, &response, &error)) << error;
+
+        EXPECT_TRUE(response.getBool("ok"));
+        EXPECT_TRUE(response.getBool("fleet"));
+        ASSERT_EQ(response.get("nodes").type(), Json::Type::Array);
+        ASSERT_EQ(response.get("nodes").asArray().size(), 3u);
+        for (const Json &node : response.get("nodes").asArray()) {
+            EXPECT_TRUE(node.getBool("ok"))
+                << node.getString("error");
+            EXPECT_EQ(node.get("metrics").type(),
+                      Json::Type::Object);
+        }
+        // The router carries its own registry too.
+        EXPECT_EQ(response.get("router").type(), Json::Type::Object);
+
+        // The gather itself connects once per node, and all three
+        // nodes share this test process's registry — so the summed
+        // connection counter is at least one per node. (No exact
+        // check: the router's health monitor pings concurrently.)
+        const Json &totals = response.get("totals");
+        ASSERT_EQ(totals.type(), Json::Type::Object);
+        EXPECT_GE(totals.get("service_connections_total").asU64(),
+                  3u);
+    }
+
+    fleet.stop();
+    serveThread.join();
 }
 
 TEST(FleetRouterDeath, AllNodesDeadFatals)

@@ -1,0 +1,237 @@
+/**
+ * @file
+ * Unit tests for the observability layer (src/obs/metrics.hh):
+ * concurrent counter/histogram bit-exactness (this binary runs under
+ * TSan in CI), bucket boundary placement, quantile readout, registry
+ * get-or-create identity, and the Prometheus text exposition.
+ */
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "src/obs/metrics.hh"
+
+namespace mtv
+{
+namespace
+{
+
+TEST(Obs, CounterConcurrentIncrementsAreBitExact)
+{
+    MetricsRegistry registry;
+    Counter *counter = registry.counter("t_concurrent_total");
+    constexpr int kThreads = 8;
+    constexpr uint64_t kPerThread = 25000;
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([counter] {
+            for (uint64_t i = 0; i < kPerThread; ++i)
+                counter->inc();
+            counter->inc(5);
+        });
+    }
+    for (std::thread &thread : threads)
+        thread.join();
+    EXPECT_EQ(counter->value(), kThreads * (kPerThread + 5));
+
+    const MetricsSnapshot snap = registry.snapshot();
+    ASSERT_EQ(snap.counters.size(), 1u);
+    EXPECT_EQ(snap.counters[0].first, "t_concurrent_total");
+    EXPECT_EQ(snap.counters[0].second, kThreads * (kPerThread + 5));
+}
+
+TEST(Obs, GaugeBalancedAddsCancelOut)
+{
+    MetricsRegistry registry;
+    Gauge *gauge = registry.gauge("t_depth");
+    gauge->set(7);
+    EXPECT_EQ(gauge->value(), 7);
+    std::vector<std::thread> threads;
+    for (int t = 0; t < 4; ++t) {
+        threads.emplace_back([gauge] {
+            for (int i = 0; i < 10000; ++i) {
+                gauge->add(3);
+                gauge->add(-3);
+            }
+        });
+    }
+    for (std::thread &thread : threads)
+        thread.join();
+    EXPECT_EQ(gauge->value(), 7);
+    gauge->add(-10);
+    EXPECT_EQ(gauge->value(), -3);  // gauges go negative, counters don't
+}
+
+TEST(Obs, HistogramBucketBoundariesAreInclusiveUpperBounds)
+{
+    MetricsRegistry registry;
+    Histogram *h = registry.histogram("t_bounds_us", {10, 20, 30});
+    h->observe(0);    // first bucket
+    h->observe(10);   // still the first bucket (inclusive upper)
+    h->observe(11);   // second
+    h->observe(30);   // third (inclusive)
+    h->observe(31);   // overflow
+    h->observe(1000); // overflow
+    EXPECT_EQ(h->bucketCount(0), 2u);
+    EXPECT_EQ(h->bucketCount(1), 1u);
+    EXPECT_EQ(h->bucketCount(2), 1u);
+    EXPECT_EQ(h->bucketCount(3), 2u);
+    EXPECT_EQ(h->count(), 6u);
+    EXPECT_EQ(h->sum(), 0u + 10 + 11 + 30 + 31 + 1000);
+}
+
+TEST(Obs, HistogramConcurrentObservesAreBitExact)
+{
+    MetricsRegistry registry;
+    Histogram *h = registry.histogram("t_race_us", {100, 200, 300});
+    constexpr int kThreads = 4;
+    constexpr uint64_t kPerThread = 20000;
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([h] {
+            for (uint64_t i = 0; i < kPerThread; ++i)
+                h->observe(i % 400);
+        });
+    }
+    for (std::thread &thread : threads)
+        thread.join();
+    EXPECT_EQ(h->count(), kThreads * kPerThread);
+    // Each thread observed 0..399 fifty times over: the sum and the
+    // per-bucket counts are exactly derivable.
+    const uint64_t cycles = kPerThread / 400;
+    EXPECT_EQ(h->sum(), kThreads * cycles * (399 * 400 / 2));
+    EXPECT_EQ(h->bucketCount(0), kThreads * cycles * 101u); // 0..100
+    EXPECT_EQ(h->bucketCount(1), kThreads * cycles * 100u); // 101..200
+    EXPECT_EQ(h->bucketCount(2), kThreads * cycles * 100u); // 201..300
+    EXPECT_EQ(h->bucketCount(3), kThreads * cycles * 99u);  // 301..399
+}
+
+TEST(Obs, QuantileInterpolatesWithinTheContainingBucket)
+{
+    MetricsRegistry registry;
+    Histogram *h = registry.histogram("t_quantile_us", {10, 20, 30});
+    for (uint64_t v = 1; v <= 30; ++v)
+        h->observe(v);  // 10 per bucket
+    const MetricsSnapshot snap = registry.snapshot();
+    ASSERT_EQ(snap.histograms.size(), 1u);
+    const HistogramSnapshot &hs = snap.histograms[0];
+    EXPECT_DOUBLE_EQ(hs.quantile(0.5), 15.0);
+    EXPECT_DOUBLE_EQ(hs.quantile(0.99), 29.7);
+    EXPECT_DOUBLE_EQ(hs.quantile(1.0), 30.0);
+    EXPECT_DOUBLE_EQ(hs.quantile(0.0), 0.0);
+}
+
+TEST(Obs, QuantileClampsOverflowToTheLastBound)
+{
+    MetricsRegistry registry;
+    Histogram *h = registry.histogram("t_overflow_us", {10});
+    for (int i = 0; i < 100; ++i)
+        h->observe(1000);
+    const MetricsSnapshot snap = registry.snapshot();
+    EXPECT_DOUBLE_EQ(snap.histograms[0].quantile(0.99), 10.0);
+}
+
+TEST(Obs, QuantileOfAnEmptyHistogramIsZero)
+{
+    HistogramSnapshot hs;
+    EXPECT_DOUBLE_EQ(hs.quantile(0.5), 0.0);
+}
+
+TEST(Obs, RegistryReturnsTheSameHandleForTheSameName)
+{
+    MetricsRegistry registry;
+    EXPECT_EQ(registry.counter("t_shared_total"),
+              registry.counter("t_shared_total"));
+    EXPECT_EQ(registry.gauge("t_shared_depth"),
+              registry.gauge("t_shared_depth"));
+    EXPECT_EQ(registry.histogram("t_shared_us", {1, 2}),
+              registry.histogram("t_shared_us", {1, 2}));
+    // Label variants are distinct identities.
+    EXPECT_NE(registry.counter("t_labels_total{shard=\"0\"}"),
+              registry.counter("t_labels_total{shard=\"1\"}"));
+}
+
+TEST(Obs, SnapshotIsSortedByName)
+{
+    MetricsRegistry registry;
+    registry.counter("t_zebra_total");
+    registry.counter("t_apple_total");
+    registry.counter("t_mango_total");
+    const MetricsSnapshot snap = registry.snapshot();
+    ASSERT_EQ(snap.counters.size(), 3u);
+    EXPECT_EQ(snap.counters[0].first, "t_apple_total");
+    EXPECT_EQ(snap.counters[1].first, "t_mango_total");
+    EXPECT_EQ(snap.counters[2].first, "t_zebra_total");
+}
+
+TEST(Obs, DefaultBucketArraysAreStrictlyAscending)
+{
+    const auto strictlyAscending = [](const std::vector<uint64_t> &b) {
+        for (size_t i = 1; i < b.size(); ++i) {
+            if (b[i] <= b[i - 1])
+                return false;
+        }
+        return !b.empty();
+    };
+    EXPECT_TRUE(strictlyAscending(MetricsRegistry::latencyBucketsUs()));
+    EXPECT_TRUE(strictlyAscending(MetricsRegistry::countBuckets()));
+}
+
+TEST(Obs, MonotonicMicrosNeverGoesBackwards)
+{
+    const uint64_t a = monotonicMicros();
+    const uint64_t b = monotonicMicros();
+    EXPECT_LE(a, b);
+}
+
+TEST(Obs, RenderPromEmitsLabelsAndCumulativeBuckets)
+{
+    MetricsRegistry registry;
+    registry.counter("t_appends_total{shard=\"1\"}")->inc(2);
+    registry.counter("t_appends_total{shard=\"3\"}")->inc(7);
+    registry.gauge("t_depth")->set(4);
+    Histogram *h = registry.histogram("t_wait_us", {10, 20});
+    h->observe(5);
+    h->observe(15);
+    h->observe(100);
+    const std::string prom = renderProm(registry.snapshot());
+
+    // One # TYPE header per base name, label variants adjacent.
+    EXPECT_NE(prom.find("# TYPE t_appends_total counter\n"),
+              std::string::npos);
+    EXPECT_EQ(prom.find("# TYPE t_appends_total counter",
+                        prom.find("# TYPE t_appends_total counter")
+                            + 1),
+              std::string::npos);
+    EXPECT_NE(prom.find("t_appends_total{shard=\"1\"} 2\n"),
+              std::string::npos);
+    EXPECT_NE(prom.find("t_appends_total{shard=\"3\"} 7\n"),
+              std::string::npos);
+    EXPECT_NE(prom.find("# TYPE t_depth gauge\nt_depth 4\n"),
+              std::string::npos);
+    // Histogram buckets are cumulative and end at +Inf.
+    EXPECT_NE(prom.find("# TYPE t_wait_us histogram\n"),
+              std::string::npos);
+    EXPECT_NE(prom.find("t_wait_us_bucket{le=\"10\"} 1\n"),
+              std::string::npos);
+    EXPECT_NE(prom.find("t_wait_us_bucket{le=\"20\"} 2\n"),
+              std::string::npos);
+    EXPECT_NE(prom.find("t_wait_us_bucket{le=\"+Inf\"} 3\n"),
+              std::string::npos);
+    EXPECT_NE(prom.find("t_wait_us_sum 120\n"), std::string::npos);
+    EXPECT_NE(prom.find("t_wait_us_count 3\n"), std::string::npos);
+}
+
+TEST(Obs, ProcessRegistryIsASingleton)
+{
+    EXPECT_EQ(&MetricsRegistry::instance(),
+              &MetricsRegistry::instance());
+    // Handles from the process registry are stable across lookups.
+    EXPECT_EQ(MetricsRegistry::instance().counter("t_singleton_total"),
+              MetricsRegistry::instance().counter("t_singleton_total"));
+}
+
+} // namespace
+} // namespace mtv

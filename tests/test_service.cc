@@ -977,6 +977,139 @@ TEST_F(ServiceFixture, StatusOpReportsLifecycle)
     }
 }
 
+TEST_F(ServiceFixture, StatusOpReportsPerLaneDepths)
+{
+    LineChannel channel = connect();
+    Json status = Json::object();
+    status.set("op", "status");
+    const Json s = roundTrip(channel, status);
+    ASSERT_EQ(s.get("lanes").type(), Json::Type::Array);
+    // The engine's default lane plus this connection's own lane.
+    ASSERT_GE(s.get("lanes").asArray().size(), 2u);
+    for (const Json &lane : s.get("lanes").asArray()) {
+        EXPECT_TRUE(lane.has("lane"));
+        EXPECT_EQ(lane.get("depth").asU64(), 0u);  // idle daemon
+    }
+}
+
+TEST_F(ServiceFixture, MetricsOpReportsRegistryAndProm)
+{
+    // Move the registry: stream one small batch to completion.
+    const auto specs = distinctSpecs(3, 12000);
+    LineChannel runner = connect();
+    ASSERT_TRUE(runner.writeLine(runRequest(31, specs, true).dump()));
+    std::string line;
+    for (;;) {
+        ASSERT_TRUE(runner.readLine(&line));
+        Json parsed;
+        std::string error;
+        ASSERT_TRUE(Json::parse(line, &parsed, &error)) << error;
+        if (parsed.getBool("done", false))
+            break;
+    }
+
+    LineChannel channel = connect();
+    Json request = Json::object();
+    request.set("op", "metrics");
+    request.set("prom", true);
+    const Json response = roundTrip(channel, request);
+    EXPECT_TRUE(response.getBool("ok"));
+
+    // The registry is process-wide, so earlier tests in this binary
+    // contribute too — assert lower bounds, not exact values.
+    const Json &metrics = response.get("metrics");
+    ASSERT_EQ(metrics.type(), Json::Type::Object);
+    EXPECT_GE(metrics.get("counters")
+                  .get("engine_points_completed_total")
+                  .asU64(),
+              3u);
+    EXPECT_GE(metrics.get("counters")
+                  .get("service_connections_total")
+                  .asU64(),
+              2u);
+    const Json &firstPoint = metrics.get("histograms")
+                                 .get("service_first_point_us{op=\"run\"}");
+    ASSERT_EQ(firstPoint.type(), Json::Type::Object);
+    EXPECT_GE(firstPoint.get("count").asU64(), 1u);
+    EXPECT_TRUE(firstPoint.has("p50"));
+    EXPECT_TRUE(firstPoint.has("p99"));
+    const Json &done = metrics.get("histograms")
+                           .get("service_done_us{op=\"run\"}");
+    ASSERT_EQ(done.type(), Json::Type::Object);
+    EXPECT_GE(done.get("count").asU64(), 1u);
+
+    const std::string prom = response.getString("prom");
+    EXPECT_NE(
+        prom.find("# TYPE engine_points_completed_total counter"),
+        std::string::npos);
+    EXPECT_NE(prom.find("service_first_point_us_bucket"),
+              std::string::npos);
+    EXPECT_NE(prom.find("le=\"+Inf\""), std::string::npos);
+}
+
+TEST(ServiceStore, StatusReportsPerShardStoreCounters)
+{
+    namespace fs = std::filesystem;
+    const std::string tag =
+        "mtv_test_service_store_" + std::to_string(::getpid());
+    const fs::path dir = fs::temp_directory_path() / tag;
+    fs::remove_all(dir);
+    const std::string sock =
+        (fs::temp_directory_path() / (tag + ".sock")).string();
+
+    ServiceOptions options;
+    options.socketPath = sock;
+    options.storeDir = dir.string();
+    options.storeShards = 4;
+    options.workers = 2;
+    MtvService service(options);
+    std::thread serveThread([&service] { service.serve(); });
+
+    {
+        std::string error;
+        const int fd = connectToDaemon(sock, &error);
+        ASSERT_GE(fd, 0) << error;
+        LineChannel channel(fd);
+        const auto specs = distinctSpecs(6, 20000);
+        ASSERT_TRUE(
+            channel.writeLine(runRequest(41, specs, true).dump()));
+        std::string line;
+        for (;;) {
+            ASSERT_TRUE(channel.readLine(&line));
+            Json parsed;
+            ASSERT_TRUE(Json::parse(line, &parsed, &error)) << error;
+            if (parsed.getBool("done", false))
+                break;
+        }
+
+        Json status = Json::object();
+        status.set("op", "status");
+        ASSERT_TRUE(channel.writeLine(status.dump()));
+        ASSERT_TRUE(channel.readLine(&line));
+        Json s;
+        ASSERT_TRUE(Json::parse(line, &s, &error)) << error;
+        ASSERT_EQ(s.get("shards").type(), Json::Type::Array);
+        ASSERT_EQ(s.get("shards").asArray().size(), 4u);
+        uint64_t appends = 0, records = 0;
+        for (const Json &shard : s.get("shards").asArray()) {
+            EXPECT_TRUE(shard.has("shard"));
+            EXPECT_TRUE(shard.has("hits"));
+            EXPECT_TRUE(shard.has("misses"));
+            EXPECT_EQ(shard.get("recovered").asU64(), 0u);  // fresh
+            EXPECT_EQ(shard.get("dropped").asU64(), 0u);
+            appends += shard.get("appends").asU64();
+            records += shard.get("records").asU64();
+        }
+        // All six distinct points simulated fresh and written through.
+        EXPECT_EQ(appends, 6u);
+        EXPECT_EQ(records, 6u);
+    }
+
+    service.stop();
+    serveThread.join();
+    fs::remove_all(dir);
+}
+
 TEST_F(ServiceFixture, ShutdownOpStopsServe)
 {
     LineChannel channel = connect();

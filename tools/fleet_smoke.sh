@@ -118,6 +118,39 @@ if [ "$ROUTED_DIGEST" != "$LOCAL_DIGEST" ]; then
     exit 1
 fi
 echo "routed digest $ROUTED_DIGEST == --local"
+
+echo "== router metrics op aggregates per-node counters =="
+METRICS_OUT=$("$BUILD_DIR/mtvctl" --socket "$WORK/router.sock" metrics)
+echo "$METRICS_OUT" | grep -q '"fleet":true' \
+    || { echo "FAIL: router metrics response is not fleet-shaped"; \
+         exit 1; }
+# All three nodes must have answered with their registries: the
+# response carries a top-level ok plus one per reachable node.
+NODE_OKS=$(echo "$METRICS_OUT" | grep -o '"ok":true' | wc -l)
+[ "$NODE_OKS" -ge 4 ] \
+    || { echo "FAIL: not every node answered the metrics gather"; \
+         echo "$METRICS_OUT"; exit 1; }
+# The summed completed-points counter must cover the routed sweep
+# that just ran (totals come last in the response, hence tail -1).
+TOTAL_POINTS=$(echo "$METRICS_OUT" \
+    | grep -oE '"engine_points_completed_total":[0-9]+' \
+    | tail -1 | cut -d: -f2)
+[ -n "$TOTAL_POINTS" ] && [ "$TOTAL_POINTS" -ge 250 ] \
+    || { echo "FAIL: fleet totals miss the sweep's points \
+(got '$TOTAL_POINTS')"; exit 1; }
+# The same aggregation client-side, without the routing daemon.
+FLEETMETRICS_OUT=$("$BUILD_DIR/mtvctl" --fleet "$FLEET" metrics)
+echo "$FLEETMETRICS_OUT" | grep -q '"totals"' \
+    || { echo "FAIL: --fleet metrics carries no totals"; exit 1; }
+# And one node's Prometheus exposition, scraped directly.
+PROM_OUT=$("$BUILD_DIR/mtvctl" --tcp "$EP0" metrics --prom)
+echo "$PROM_OUT" \
+    | grep -q '^# TYPE engine_points_completed_total counter' \
+    || { echo "FAIL: node prom exposition misses engine counters"; \
+         exit 1; }
+echo "fleet metrics: 3 nodes gathered, totals cover \
+$TOTAL_POINTS completed points"
+
 kill -9 "$ROUTER_PID" 2>/dev/null || true
 ROUTER_PID=""
 

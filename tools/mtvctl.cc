@@ -33,9 +33,19 @@
  *                                       already simulating finish and
  *                                       stay cached
  *   mtvctl status                       request-lifecycle snapshot:
- *                                       queue depth, per-connection
+ *                                       queue depth, per-lane queue
+ *                                       depths, per-connection
  *                                       in-flight batches,
- *                                       cancelled/reaped counters
+ *                                       cancelled/reaped counters,
+ *                                       per-shard store counters
+ *   mtvctl metrics [--prom]             the daemon's full metrics
+ *                                       registry (counters, gauges,
+ *                                       latency histograms) as JSON;
+ *                                       --prom prints Prometheus text
+ *                                       exposition instead. Against a
+ *                                       fleet router (or with
+ *                                       --fleet), per-node trees plus
+ *                                       fleet-wide counter totals.
  *   mtvctl stats                        cache/store counters
  *   mtvctl clear                        drop the daemon's memory cache
  *   mtvctl shutdown                     stop the daemon
@@ -57,6 +67,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <limits>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -88,7 +99,8 @@ usage()
         "[--contexts N] [--follow] [--local]\n"
         "  warm [--scale S] [--family F]\n"
         "  cancel <request-id>\n"
-        "(--fleet applies to sweep and warm)\n");
+        "  metrics [--prom]\n"
+        "(--fleet applies to sweep, warm and metrics)\n");
     return 2;
 }
 
@@ -482,6 +494,109 @@ cmdCancel(const Endpoint &endpoint, uint64_t requestId)
     return hit > 0 ? 0 : 1;
 }
 
+/**
+ * Dump the daemon's metrics registry: raw JSON (machine-friendly,
+ * like `mtvctl stats`), or the Prometheus text exposition with
+ * --prom. A fleet router answers with per-node trees and counter
+ * totals; those are printed as JSON too (prom is per-node — scrape
+ * the nodes directly for exposition).
+ */
+int
+cmdMetrics(const Endpoint &endpoint, bool prom)
+{
+    LineChannel channel = connectChannel(endpoint);
+    Json request = Json::object();
+    request.set("op", "metrics");
+    request.set("prom", prom);
+    if (!channel.writeLine(request.dump()))
+        fatal("cannot send request (daemon gone?)");
+    const Json response = readResponse(channel);
+    if (prom && response.has("prom")) {
+        std::fputs(response.getString("prom").c_str(), stdout);
+        return 0;
+    }
+    std::printf("%s\n", response.dump().c_str());
+    return 0;
+}
+
+/**
+ * The client-side fleet analogue: ask every node for its registry
+ * and print the same response shape a fleet router's "metrics" op
+ * produces (per-node trees + counter totals), minus the "router"
+ * entry — this process has no router registry worth reporting.
+ * Unreachable nodes degrade to error entries; exits 1 only when NO
+ * node answered.
+ */
+int
+cmdMetricsFleet(const std::vector<std::string> &fleetNodes)
+{
+    std::map<std::string, uint64_t> totals;
+    Json nodes = Json::array();
+    size_t gatheredCount = 0;
+    for (const std::string &name : fleetNodes) {
+        Json node = Json::object();
+        node.set("endpoint", name);
+        Json metrics;
+        bool gathered = false;
+        std::string error;
+        const int fd =
+            connectToEndpoint(parseEndpoint(name), &error);
+        if (fd >= 0) {
+            LineChannel channel(fd);
+            Json request = Json::object();
+            request.set("op", "metrics");
+            std::string line;
+            if (channel.writeLine(request.dump()) &&
+                channel.readLine(&line)) {
+                Json response;
+                std::string parseError;
+                if (!Json::parse(line, &response, &parseError)) {
+                    error = "malformed metrics response: " +
+                            parseError;
+                } else if (!response.getBool("ok")) {
+                    error = response.getString("error",
+                                               response.dump());
+                } else if (response.get("metrics").type() ==
+                           Json::Type::Object) {
+                    metrics = response.get("metrics");
+                    gathered = true;
+                } else {
+                    error = "metrics response carries no metrics "
+                            "object";
+                }
+            } else {
+                error = "node closed the connection";
+            }
+        }
+        node.set("ok", gathered);
+        if (gathered) {
+            ++gatheredCount;
+            if (metrics.get("counters").type() ==
+                Json::Type::Object) {
+                for (const auto &counter :
+                     metrics.get("counters").asMembers()) {
+                    totals[counter.first] += static_cast<uint64_t>(
+                        counter.second.asNumber());
+                }
+            }
+            node.set("metrics", std::move(metrics));
+        } else {
+            node.set("error", error);
+        }
+        nodes.push(std::move(node));
+    }
+    Json out = Json::object();
+    out.set("ok", gatheredCount > 0);
+    out.set("fleet", true);
+    out.set("nodes", std::move(nodes));
+    Json totalsJson = Json::object();
+    for (const auto &total : totals)
+        totalsJson.set(total.first, total.second);
+    out.set("totals", std::move(totalsJson));
+    std::printf("%s\n", out.dump().c_str());
+    return gatheredCount > 0 ? 0 : 1;
+}
+
 int
 cmdStatus(const Endpoint &endpoint)
 {
@@ -508,6 +623,15 @@ cmdStatus(const Endpoint &endpoint)
     std::printf("queue depth: %llu\n",
                 static_cast<unsigned long long>(
                     s.get("queueDepth").asU64()));
+    if (s.get("lanes").type() == Json::Type::Array) {
+        for (const Json &lane : s.get("lanes").asArray()) {
+            std::printf("lane %llu: depth=%llu\n",
+                        static_cast<unsigned long long>(
+                            lane.get("lane").asU64()),
+                        static_cast<unsigned long long>(
+                            lane.get("depth").asU64()));
+        }
+    }
     std::printf("active requests: %llu\n",
                 static_cast<unsigned long long>(
                     s.get("activeRequests").asU64()));
@@ -526,6 +650,27 @@ cmdStatus(const Endpoint &endpoint)
                     counters.get("cancelledPoints").asU64()),
                 static_cast<unsigned long long>(
                     counters.get("discardedPoints").asU64()));
+    if (s.get("shards").type() == Json::Type::Array) {
+        for (const Json &shard : s.get("shards").asArray()) {
+            std::printf(
+                "shard %llu: appends=%llu hits=%llu misses=%llu "
+                "records=%llu recovered=%llu dropped=%llu\n",
+                static_cast<unsigned long long>(
+                    shard.get("shard").asU64()),
+                static_cast<unsigned long long>(
+                    shard.get("appends").asU64()),
+                static_cast<unsigned long long>(
+                    shard.get("hits").asU64()),
+                static_cast<unsigned long long>(
+                    shard.get("misses").asU64()),
+                static_cast<unsigned long long>(
+                    shard.get("records").asU64()),
+                static_cast<unsigned long long>(
+                    shard.get("recovered").asU64()),
+                static_cast<unsigned long long>(
+                    shard.get("dropped").asU64()));
+        }
+    }
     for (const Json &conn : s.get("connections").asArray()) {
         std::string ids;
         for (const Json &id : conn.get("requests").asArray()) {
@@ -588,6 +733,7 @@ main(int argc, char **argv)
     sweepRequest.family = "suite-grouping";
     bool local = false;
     bool follow = false;
+    bool prom = false;
     int contexts = 0;  // 0 = not specified (family/run defaults)
     std::string program;
     for (; i < argc; ++i) {
@@ -607,6 +753,8 @@ main(int argc, char **argv)
             local = true;
         else if (arg == "--follow")
             follow = true;
+        else if (arg == "--prom")
+            prom = true;
         else if (arg == "--contexts")
             // MachineParams::validate() accepts [1,8] (the paper
             // stops at 4, the extension benches go to 8).
@@ -627,9 +775,9 @@ main(int argc, char **argv)
     sweepRequest.contexts = contexts;
 
     if (!fleetNodes.empty() && command != "sweep" &&
-        command != "warm") {
-        fatal("--fleet applies to sweep and warm only (use --socket "
-              "or --tcp to address one node)");
+        command != "warm" && command != "metrics") {
+        fatal("--fleet applies to sweep, warm and metrics only (use "
+              "--socket or --tcp to address one node)");
     }
 
     if (command == "ping" || command == "stats" ||
@@ -638,6 +786,10 @@ main(int argc, char **argv)
     }
     if (command == "status")
         return cmdStatus(endpoint);
+    if (command == "metrics") {
+        return fleetNodes.empty() ? cmdMetrics(endpoint, prom)
+                                  : cmdMetricsFleet(fleetNodes);
+    }
     if (command == "cancel") {
         // The "program" slot caught the positional argument; it is
         // really the request id to cancel.

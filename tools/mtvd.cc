@@ -72,6 +72,11 @@ main(int argc, char **argv)
 {
     using namespace mtv;
 
+    // Daemon log lines carry monotonic timestamps so multi-process
+    // logs (fleet nodes + router) correlate by time; startup-line
+    // greps stay substring-based, so the prefix is transparent.
+    setLogTimestamps(true);
+
     ServiceOptions options;
     std::vector<std::string> routeNodes;
     bool engineFlagSeen = false;

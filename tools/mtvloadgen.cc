@@ -1,0 +1,415 @@
+/**
+ * @file
+ * mtvloadgen — closed-loop load generator for the mtvd daemon.
+ *
+ * Drives N concurrent client connections, each issuing single-point
+ * interactive "run" requests back-to-back (closed loop) or paced to
+ * a target aggregate request rate (--rps), optionally while a big
+ * quiet background sweep streams on its own connection — the
+ * interactive-latency-under-load scenario the engine's weighted
+ * lane scheduling exists for. Prints a latency report (exact
+ * percentiles over every measured request) and, with --json, one
+ * machine-readable line the CI loadgen-smoke job parses.
+ *
+ * Usage:
+ *   mtvloadgen [--socket PATH | --tcp HOST:PORT]
+ *              [--clients N] [--requests N] [--rps R] [--scale S]
+ *              [--spec-space M] [--sweep-points N] [--json]
+ *
+ * Defaults: 8 clients x 50 requests, unpaced, scale 2e-5, 32
+ * distinct specs per client, no background sweep. Each client draws
+ * its specs from its own memory-latency band, so the flows exercise
+ * simulation, the memory cache and (when the daemon has one) the
+ * store rather than one endlessly-cached point.
+ *
+ * Exit status: 0 on success, 1 when any request failed or nothing
+ * completed (the smoke job treats that as a hard failure).
+ */
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <limits>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/api/run_spec.hh"
+#include "src/api/sweep.hh"
+#include "src/common/logging.hh"
+#include "src/common/strutil.hh"
+#include "src/obs/metrics.hh"
+#include "src/service/protocol.hh"
+#include "src/workload/suite.hh"
+
+namespace
+{
+
+using namespace mtv;
+
+int
+usage()
+{
+    std::fprintf(
+        stderr,
+        "usage: mtvloadgen [--socket PATH | --tcp HOST:PORT]\n"
+        "                  [--clients N] [--requests N] [--rps R]\n"
+        "                  [--scale S] [--spec-space M]\n"
+        "                  [--sweep-points N] [--json]\n");
+    return 2;
+}
+
+/** One client thread's tally, merged after the run. */
+struct ClientTally
+{
+    std::vector<uint64_t> latenciesUs;  ///< request -> done, per request
+    uint64_t errors = 0;
+};
+
+/**
+ * Run one closed-loop client: @p requests single-point runs on its
+ * own connection, request->done latency measured around each. A
+ * non-zero @p intervalUs paces the loop (open-loop-ish): the next
+ * request fires on schedule even when the previous one was slow,
+ * without ever pipelining more than one request per connection.
+ */
+ClientTally
+runClient(const Endpoint &endpoint, int index, int requests,
+          int specSpace, double scale, uint64_t intervalUs)
+{
+    ClientTally tally;
+    std::string error;
+    const int fd = connectToEndpoint(endpoint, &error);
+    if (fd < 0) {
+        warn("client %d: connect failed: %s", index, error.c_str());
+        tally.errors = static_cast<uint64_t>(requests);
+        return tally;
+    }
+    LineChannel channel(fd);
+    tally.latenciesUs.reserve(requests);
+
+    const uint64_t startUs = monotonicMicros();
+    for (int i = 0; i < requests; ++i) {
+        if (intervalUs > 0) {
+            const uint64_t slotUs = startUs + i * intervalUs;
+            const uint64_t nowUs = monotonicMicros();
+            if (nowUs < slotUs) {
+                std::this_thread::sleep_for(
+                    std::chrono::microseconds(slotUs - nowUs));
+            }
+        }
+        // Each client owns a disjoint memory-latency band, cycling
+        // through specSpace distinct points: the first lap simulates,
+        // later laps hit the cache/store — mixed traffic, like real
+        // interactive use.
+        MachineParams params = MachineParams::reference();
+        params.memLatency = 1000 + index * specSpace + i % specSpace;
+        const RunSpec spec = RunSpec::single(
+            i % 2 ? "swm256" : "trfd", params, scale);
+
+        Json request = Json::object();
+        request.set("op", "run");
+        request.set("id", static_cast<uint64_t>(i + 1));
+        request.set("quiet", true);
+        Json specs = Json::array();
+        specs.push(spec.canonical());
+        request.set("specs", std::move(specs));
+
+        const uint64_t sentUs = monotonicMicros();
+        if (!channel.writeLine(request.dump())) {
+            tally.errors += requests - i;
+            break;
+        }
+        bool done = false;
+        bool failed = false;
+        std::string line;
+        while (!done) {
+            if (!channel.readLine(&line)) {
+                failed = true;
+                break;
+            }
+            Json response;
+            std::string parseError;
+            if (!Json::parse(line, &response, &parseError)) {
+                warn("client %d: malformed response: %s", index,
+                     parseError.c_str());
+                failed = true;
+                break;
+            }
+            if (response.has("error")) {
+                warn("client %d: daemon error: %s", index,
+                     response.getString("error").c_str());
+                failed = true;
+                break;
+            }
+            done = response.getBool("done", false);
+        }
+        if (failed) {
+            ++tally.errors;
+            break;  // the connection is suspect; stop this client
+        }
+        tally.latenciesUs.push_back(monotonicMicros() - sentUs);
+    }
+    return tally;
+}
+
+/** Tally of the background sweep consumer thread. */
+struct SweepTally
+{
+    uint64_t pointsStreamed = 0;
+    bool requestFailed = false;
+    bool sawTerminator = false;
+};
+
+/** Exact q-quantile of a sorted sample (nearest-rank). */
+uint64_t
+percentileUs(const std::vector<uint64_t> &sorted, double q)
+{
+    if (sorted.empty())
+        return 0;
+    const double rank =
+        std::ceil(q * static_cast<double>(sorted.size()));
+    const size_t index = rank < 1.0
+        ? 0
+        : std::min(sorted.size() - 1,
+                   static_cast<size_t>(rank) - 1);
+    return sorted[index];
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace mtv;
+
+    Endpoint endpoint = Endpoint::unixSocket(defaultSocketPath());
+    int clients = 8;
+    int requests = 50;
+    double rps = 0;
+    double scale = 2e-5;
+    int specSpace = 32;
+    int sweepPoints = 0;
+    bool json = false;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto value = [&]() -> const char * {
+            if (i + 1 >= argc)
+                fatal("missing value for %s", arg.c_str());
+            return argv[++i];
+        };
+        if (arg == "--socket") {
+            endpoint = Endpoint::unixSocket(value());
+        } else if (arg == "--tcp") {
+            const HostPort hp = parseHostPort(value(), "--tcp");
+            endpoint = Endpoint::tcp(hp.host, hp.port);
+        } else if (arg == "--clients") {
+            clients = static_cast<int>(
+                parseIntFlag(value(), "--clients", 1, 10000));
+        } else if (arg == "--requests") {
+            requests = static_cast<int>(
+                parseIntFlag(value(), "--requests", 1, 1000000));
+        } else if (arg == "--rps") {
+            rps = parsePositiveFlag(value(), "--rps");
+        } else if (arg == "--scale") {
+            scale = parsePositiveFlag(value(), "--scale");
+        } else if (arg == "--spec-space") {
+            specSpace = static_cast<int>(
+                parseIntFlag(value(), "--spec-space", 1, 1000000));
+        } else if (arg == "--sweep-points") {
+            sweepPoints = static_cast<int>(
+                parseIntFlag(value(), "--sweep-points", 0, 10000000));
+        } else if (arg == "--json") {
+            json = true;
+        } else if (arg == "--help" || arg == "-h") {
+            usage();
+            return 0;
+        } else {
+            std::fprintf(stderr,
+                         "mtvloadgen: unknown argument '%s'\n",
+                         arg.c_str());
+            return usage();
+        }
+    }
+
+    // -------- background sweep (its own connection + thread) --------
+    constexpr uint64_t sweepId = 900000001;
+    SweepTally sweepTally;
+    std::thread sweepThread;
+    std::unique_ptr<LineChannel> sweepChannel;
+    if (sweepPoints > 0) {
+        std::string error;
+        const int fd = connectToEndpoint(endpoint, &error);
+        if (fd < 0)
+            fatal("sweep connection failed: %s", error.c_str());
+        sweepChannel = std::make_unique<LineChannel>(fd);
+
+        // The latency family expands jobs x latencies points; one
+        // synthetic latency per needed batch of jobs gives at least
+        // the requested point count.
+        SweepRequest sweep;
+        sweep.family = "latency";
+        sweep.scale = scale;
+        const size_t jobs = jobQueueOrder().size();
+        const int bands = static_cast<int>(
+            (static_cast<size_t>(sweepPoints) + jobs - 1) / jobs);
+        for (int lat = 1; lat <= bands; ++lat)
+            sweep.latencies.push_back(100000 + lat);
+        Json request = sweepRequestToJson(sweep);
+        request.set("op", "sweep");
+        request.set("id", sweepId);
+        request.set("quiet", true);
+        if (!sweepChannel->writeLine(request.dump()))
+            fatal("cannot send sweep request (daemon gone?)");
+
+        sweepThread = std::thread([&sweepTally, &sweepChannel] {
+            std::string line;
+            while (sweepChannel->readLine(&line)) {
+                Json response;
+                std::string parseError;
+                if (!Json::parse(line, &response, &parseError)) {
+                    sweepTally.requestFailed = true;
+                    return;
+                }
+                if (response.has("error")) {
+                    warn("sweep: daemon error: %s",
+                         response.getString("error").c_str());
+                    sweepTally.requestFailed = true;
+                    return;
+                }
+                if (response.getBool("ack", false))
+                    continue;
+                if (response.getBool("done", false)) {
+                    // Completed or cancelled: both are clean ends
+                    // for a background-load sweep.
+                    sweepTally.sawTerminator = true;
+                    return;
+                }
+                ++sweepTally.pointsStreamed;
+            }
+            sweepTally.requestFailed = true;
+        });
+    }
+
+    // -------- interactive clients --------
+    const uint64_t intervalUs = rps > 0
+        ? static_cast<uint64_t>(1e6 * clients / rps)
+        : 0;
+    const uint64_t startUs = monotonicMicros();
+    std::vector<ClientTally> tallies(clients);
+    {
+        std::vector<std::thread> threads;
+        threads.reserve(clients);
+        for (int c = 0; c < clients; ++c) {
+            threads.emplace_back([&, c] {
+                tallies[c] = runClient(endpoint, c, requests,
+                                       specSpace, scale, intervalUs);
+            });
+        }
+        for (std::thread &thread : threads)
+            thread.join();
+    }
+    const double durationS =
+        static_cast<double>(monotonicMicros() - startUs) / 1e6;
+
+    // -------- stop the background sweep --------
+    if (sweepPoints > 0) {
+        // Cancel by request id from a control connection; the sweep
+        // stream then terminates with a cancelled done line (or it
+        // already finished and the cancel hits nothing).
+        std::string error;
+        const int fd = connectToEndpoint(endpoint, &error);
+        if (fd >= 0) {
+            LineChannel control(fd);
+            Json cancel = Json::object();
+            cancel.set("op", "cancel");
+            cancel.set("id", sweepId);
+            std::string line;
+            if (control.writeLine(cancel.dump()))
+                control.readLine(&line);
+        }
+        sweepThread.join();
+        sweepChannel.reset();
+        if (sweepTally.requestFailed)
+            warn("background sweep failed mid-stream");
+    }
+
+    // -------- the report --------
+    std::vector<uint64_t> merged;
+    uint64_t errors = 0;
+    for (const ClientTally &tally : tallies) {
+        merged.insert(merged.end(), tally.latenciesUs.begin(),
+                      tally.latenciesUs.end());
+        errors += tally.errors;
+    }
+    std::sort(merged.begin(), merged.end());
+    const uint64_t completed = merged.size();
+    uint64_t sumUs = 0;
+    for (const uint64_t us : merged)
+        sumUs += us;
+    const double meanMs = completed
+        ? static_cast<double>(sumUs) / completed / 1e3
+        : 0.0;
+    const double throughput =
+        durationS > 0 ? completed / durationS : 0.0;
+    const uint64_t p50 = percentileUs(merged, 0.50);
+    const uint64_t p95 = percentileUs(merged, 0.95);
+    const uint64_t p99 = percentileUs(merged, 0.99);
+
+    if (json) {
+        Json out = Json::object();
+        out.set("clients", static_cast<uint64_t>(clients));
+        out.set("requestsPerClient",
+                static_cast<uint64_t>(requests));
+        out.set("completed", completed);
+        out.set("errors", errors);
+        out.set("durationS", durationS);
+        out.set("throughputRps", throughput);
+        out.set("meanMs", meanMs);
+        out.set("p50Ms", static_cast<double>(p50) / 1e3);
+        out.set("p95Ms", static_cast<double>(p95) / 1e3);
+        out.set("p99Ms", static_cast<double>(p99) / 1e3);
+        out.set("minMs", completed
+                             ? static_cast<double>(merged.front()) / 1e3
+                             : 0.0);
+        out.set("maxMs", completed
+                             ? static_cast<double>(merged.back()) / 1e3
+                             : 0.0);
+        out.set("sweepPoints", sweepTally.pointsStreamed);
+        out.set("sweepFailed", sweepTally.requestFailed);
+        std::printf("%s\n", out.dump().c_str());
+    } else {
+        std::printf("loadgen: %d clients x %d requests against %s\n",
+                    clients, requests,
+                    endpoint.describe().c_str());
+        std::printf(
+            "completed: %llu requests in %.2fs (%.1f req/s), "
+            "%llu errors\n",
+            static_cast<unsigned long long>(completed), durationS,
+            throughput, static_cast<unsigned long long>(errors));
+        std::printf("latency: mean=%.2fms p50=%.2fms p95=%.2fms "
+                    "p99=%.2fms max=%.2fms\n",
+                    meanMs, static_cast<double>(p50) / 1e3,
+                    static_cast<double>(p95) / 1e3,
+                    static_cast<double>(p99) / 1e3,
+                    completed
+                        ? static_cast<double>(merged.back()) / 1e3
+                        : 0.0);
+        if (sweepPoints > 0) {
+            std::printf("background sweep: %llu points streamed "
+                        "while measuring%s\n",
+                        static_cast<unsigned long long>(
+                            sweepTally.pointsStreamed),
+                        sweepTally.requestFailed ? " (FAILED)" : "");
+        }
+    }
+
+    if (errors > 0 || completed == 0 || sweepTally.requestFailed)
+        return 1;
+    return 0;
+}
