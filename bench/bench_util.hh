@@ -57,10 +57,10 @@ benchWorkers()
 
 /**
  * Simulation kernel for a bench: the event-driven kernel by default,
- * overridable with MTV_KERNEL=stepped|event. Both kernels produce
- * bit-identical figures (the CI kernel-parity job diffs a bench's
- * output under both), so this knob exists for A/B validation and
- * speedup measurement only.
+ * overridable with MTV_KERNEL=stepped|event|batched. All three
+ * kernels produce bit-identical figures (the CI kernel-parity job
+ * diffs a bench's output under each), so this knob exists for A/B
+ * validation and speedup measurement only.
  */
 inline SimKernel
 benchKernel()
@@ -71,10 +71,12 @@ benchKernel()
             return SimKernel::Stepped;
         if (v == "event")
             return SimKernel::Event;
+        if (v == "batched")
+            return SimKernel::Batched;
         if (!v.empty()) {
             std::fprintf(stderr,
                          "warn: ignoring invalid MTV_KERNEL '%s' "
-                         "(want stepped|event)\n",
+                         "(want stepped|event|batched)\n",
                          env);
         }
     }

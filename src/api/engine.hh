@@ -34,6 +34,14 @@
  *    lane 0 serves runAll() and plain submit()) drained by weighted
  *    round-robin, so one tenant's 10k-point sweep cannot
  *    head-of-line-block another's interactive run.
+ *  - Batched kernel coalescing: with EngineOptions::kernel ==
+ *    SimKernel::Batched, queued specs sharing a sweep family
+ *    (familySignature(): mode + scale + programs) coalesce into one
+ *    lockstep runBatch() call of up to EngineOptions::batchWidth
+ *    points — runAll() pre-groups its batch, submit() stages specs
+ *    per (lane, family) with one drain task each. Results are split
+ *    back per spec, so futures, hooks, cache keys, stored blobs and
+ *    digests are exactly those of solo runs.
  *  - Request lifecycle: submit() takes an optional CancelToken.
  *    Cancellation is cooperative — checked when a worker dequeues the
  *    task and between the reference-term runs of the group
@@ -131,6 +139,15 @@ struct EngineOptions
      * measure a lookup instead of a simulation.
      */
     bool memoize = true;
+    /**
+     * With kernel == SimKernel::Batched: how many queued specs of one
+     * sweep family (same mode/scale/programs — see familySignature())
+     * may coalesce into a single lockstep runBatch() call. 1 disables
+     * coalescing; other kernels ignore the knob. Results are split
+     * back into individual RunResults bit-identical to solo runs, so
+     * cache keys, stored blobs and digests are unaffected.
+     */
+    int batchWidth = 16;
     /**
      * Optional persistent result store consulted on memory-cache
      * misses and written through on every simulation (including the
@@ -322,6 +339,23 @@ class ExperimentEngine
     /** Simulation kernel executing this engine's specs. */
     SimKernel kernel() const { return kernel_; }
 
+    /**
+     * The sweep-family key batching coalesces on: every spec with the
+     * same signature shares one decoded program set, differing only in
+     * machine parameters (and fetch budget) — exactly the shape one
+     * lockstep runBatch() call accepts.
+     */
+    static std::string familySignature(const RunSpec &spec);
+
+    /** Batch width this engine coalesces to (1 = no coalescing). */
+    size_t batchWidth() const { return batchWidth_; }
+
+    /** Lockstep batches this engine has executed. */
+    uint64_t batchesExecuted() const { return batchesExecuted_.load(); }
+
+    /** Points simulated inside those batches (not cache-served). */
+    uint64_t batchedPoints() const { return batchedPoints_.load(); }
+
     /** The persistent backend, when one is attached. */
     const std::shared_ptr<ResultBackend> &backend() const
     {
@@ -383,6 +417,24 @@ class ExperimentEngine
         int weight = 1;
     };
 
+    /** A submit() parked for coalescing (batched engines only). */
+    struct StagedSpec
+    {
+        RunSpec spec;
+        SubmitHook hook;
+        std::shared_ptr<CancelToken> token;
+        /** Dropping the promise (lane close / discard) breaks the
+         *  caller's future, like dropping a queued task does. */
+        std::shared_ptr<std::promise<RunResult>> promise;
+    };
+
+    /** Per-spec outcome of executeBatch(): exactly one side is set. */
+    struct BatchOutcome
+    {
+        RunResult result;
+        std::exception_ptr error;
+    };
+
     /** Run @p spec's simulation (no cache, no group accounting). */
     SimStats simulate(const RunSpec &spec) const;
 
@@ -407,6 +459,30 @@ class ExperimentEngine
      *  @p token (may be null) is polled between reference runs. */
     RunResult execute(const RunSpec &spec,
                       const CancelToken *token = nullptr);
+
+    /**
+     * Execute up to batchWidth_ specs of one sweep family as a single
+     * lockstep runBatch() call, splitting the results back into
+     * per-spec outcomes. Every per-spec concern of execute() —
+     * cancellation, cache/in-flight/backend lookups, write-through,
+     * group accounting — is honored point by point; only specs that
+     * would have simulated anyway enter the batch. Never throws:
+     * per-spec failures (CancelledError, a wedged machine's SimError)
+     * land in the outcome's error slot.
+     */
+    std::vector<BatchOutcome> executeBatch(
+        const std::vector<RunSpec> &specs,
+        const std::vector<const CancelToken *> &tokens);
+
+    /** Staging key of @p lane and @p spec's family. */
+    static std::string stageKey(LaneId lane, const RunSpec &spec);
+
+    /**
+     * Pop up to batchWidth_ staged specs for @p key and execute them
+     * as one batch, settling each one's promise (and hook). A no-op
+     * when an earlier drain already emptied the bucket.
+     */
+    void drainStaged(const std::string &key);
 
     /**
      * Section 4.1 metrics of a group-mode run, memoized per spec so
@@ -434,6 +510,7 @@ class ExperimentEngine
     int workers_ = 1;
     bool memoize_ = true;
     SimKernel kernel_ = SimKernel::Event;
+    size_t batchWidth_ = 1;
     std::shared_ptr<ResultBackend> backend_;
     size_t maxCacheEntries_ = 0;
     std::vector<std::thread> pool_;
@@ -448,11 +525,16 @@ class ExperimentEngine
     /** Tasks waiting across all lanes (workers wait on this). */
     size_t queuedTasks_ = 0;
     LaneId nextLaneId_ = 1;
+    /** Submits parked for coalescing, keyed by stageKey(). Guarded by
+     *  queueMutex_ (staging and task queueing commit together). */
+    std::unordered_map<std::string, std::deque<StagedSpec>> staged_;
     mutable std::mutex queueMutex_;
     std::condition_variable queueCv_;
     bool stopping_ = false;
     std::atomic<uint64_t> cancelledRuns_{0};
     std::atomic<uint64_t> discardedTasks_{0};
+    std::atomic<uint64_t> batchesExecuted_{0};
+    std::atomic<uint64_t> batchedPoints_{0};
 
     mutable std::mutex cacheMutex_;
     /** Completed runs; bounded by maxCacheEntries_ when set. */
@@ -493,6 +575,9 @@ class ExperimentEngine
     Counter *obsUncachedRuns_ = nullptr;
     Counter *obsCancelledRuns_ = nullptr;
     Counter *obsDiscardedTasks_ = nullptr;
+    Counter *obsBatches_ = nullptr;
+    Counter *obsBatchedPoints_ = nullptr;
+    Histogram *obsBatchWidth_ = nullptr;
 };
 
 } // namespace mtv

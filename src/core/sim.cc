@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "src/common/logging.hh"
+#include "src/core/batch_kernel.hh"
 #include "src/core/sim_error.hh"
 
 namespace mtv
@@ -14,6 +15,7 @@ simKernelName(SimKernel kernel)
     switch (kernel) {
       case SimKernel::Event: return "event";
       case SimKernel::Stepped: return "stepped";
+      case SimKernel::Batched: return "batched";
     }
     return "unknown";
 }
@@ -47,6 +49,14 @@ VectorSim::VectorSim(const MachineParams &params, SimKernel kernel)
 SimStats
 VectorSim::runSingle(InstructionSource &source, uint64_t maxInstructions)
 {
+    if (kernel_ == SimKernel::Batched) {
+        BatchPoint point;
+        point.params = params_;
+        point.kind = BatchPoint::Kind::Single;
+        point.sources = {&source};
+        point.maxInstructions = maxInstructions;
+        return takeBatchResult(runBatch({point}), 0);
+    }
     resetMachine(RunMode::UntilThreadZero);
     maxInstructions_ = maxInstructions;
     contexts_[0].source = &source;
@@ -71,6 +81,13 @@ VectorSim::runGroup(const std::vector<InstructionSource *> &programs)
             }
         }
     }
+    if (kernel_ == SimKernel::Batched) {
+        BatchPoint point;
+        point.params = params_;
+        point.kind = BatchPoint::Kind::Group;
+        point.sources = programs;
+        return takeBatchResult(runBatch({point}), 0);
+    }
     resetMachine(RunMode::UntilThreadZero);
     for (size_t i = 0; i < programs.size(); ++i) {
         Context &ctx = contexts_[i];
@@ -87,6 +104,13 @@ VectorSim::runJobQueue(const std::vector<InstructionSource *> &jobs)
 {
     if (jobs.empty())
         fatal("job-queue run needs at least one job");
+    if (kernel_ == SimKernel::Batched) {
+        BatchPoint point;
+        point.params = params_;
+        point.kind = BatchPoint::Kind::JobQueue;
+        point.sources = jobs;
+        return takeBatchResult(runBatch({point}), 0);
+    }
     resetMachine(RunMode::JobQueue);
     jobs_ = jobs;
     nextJob_ = 0;

@@ -87,7 +87,15 @@ enum class SimKernel : uint8_t
     /** Event-driven: skip spans where no context can dispatch. */
     Event,
     /** Cycle-stepped: evaluate decode every cycle (the reference). */
-    Stepped
+    Stepped,
+    /**
+     * Lockstep batch driver (src/core/batch_kernel.hh): runs K sweep
+     * points in one kernel instance over pre-decoded programs. On a
+     * VectorSim it simulates its single point through the same fast
+     * lane; the K-way win comes from ExperimentEngine coalescing.
+     * Bit-identical to Event/Stepped (tests/test_golden.cc).
+     */
+    Batched
 };
 
 /** Short name for reports and the MTV_KERNEL environment knob. */

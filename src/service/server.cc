@@ -199,6 +199,8 @@ MtvService::MtvService(ServiceOptions options)
     engineOptions.workers = options.workers;
     engineOptions.backend = store_;
     engineOptions.maxCacheEntries = options.maxCacheEntries;
+    engineOptions.kernel = options.kernel;
+    engineOptions.batchWidth = options.batchWidth;
     engine_ = std::make_unique<ExperimentEngine>(engineOptions);
 
     MetricsRegistry &reg = MetricsRegistry::instance();
@@ -483,6 +485,7 @@ MtvService::statusJson()
 {
     Json ok = Json::object();
     ok.set("ok", true);
+    ok.set("kernel", simKernelName(engine_->kernel()));
     ok.set("queueDepth",
            static_cast<uint64_t>(engine_->queueDepth()));
     ok.set("activeRequests", activeRequests_.load());

@@ -78,6 +78,13 @@ struct ServiceOptions
     int workers = 0;
     /** Engine memory-cache entry cap; 0 = unbounded. */
     size_t maxCacheEntries = 0;
+    /** Simulation kernel the engine runs (mtvd --kernel). All three
+     *  produce bit-identical results; Batched additionally coalesces
+     *  queued family-mates into lockstep runs. */
+    SimKernel kernel = SimKernel::Event;
+    /** Coalescing width for the batched kernel (mtvd --batch-width;
+     *  ignored by the other kernels, 1 disables coalescing). */
+    int batchWidth = 16;
 };
 
 /** The mtvd daemon core (socket server around an engine + store). */

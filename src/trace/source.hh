@@ -41,6 +41,21 @@ class InstructionSource
 
     /** Program name, e.g. "swm256". */
     virtual const std::string &name() const = 0;
+
+    /**
+     * The whole run as one immutable shared vector, when the source
+     * holds it in memory anyway (synthetic programs do; file readers
+     * return nullptr). The batched kernel fast-lanes such sources:
+     * it keys its decoded-program cache on the vector object and
+     * retains this pointer, so cache entries never alias a recycled
+     * address. Sources without a shared stream simulate through the
+     * generic per-point path instead — slower, never wrong.
+     */
+    virtual std::shared_ptr<const std::vector<Instruction>>
+    sharedStream() const
+    {
+        return nullptr;
+    }
 };
 
 /**

@@ -83,6 +83,14 @@ class SyntheticProgram : public InstructionSource
         return *stream_;
     }
 
+    /** The shared stream itself: batched-kernel fast-lane eligibility
+     *  (see InstructionSource::sharedStream). */
+    std::shared_ptr<const std::vector<Instruction>>
+    sharedStream() const override
+    {
+        return stream_;
+    }
+
   private:
     std::string name_;
     /** Immutable generated stream, shared between copies. */

@@ -1,0 +1,228 @@
+/**
+ * @file
+ * Tests for the batched-kernel coalescing layer (src/api/engine.cc
+ * with EngineOptions::kernel == SimKernel::Batched): family-signature
+ * grouping, runAll()/submit() coalescing into lockstep runBatch()
+ * calls, per-point cancellation splitting, and the bit-identity of
+ * coalesced results against single-point and event-kernel runs (the
+ * invariant tests/test_golden.cc pins with digests; here pinned
+ * field-for-field with the stats codec).
+ */
+
+#include <gtest/gtest.h>
+
+#include <future>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/api/engine.hh"
+#include "src/store/stats_codec.hh"
+#include "src/workload/suite.hh"
+
+namespace mtv
+{
+namespace
+{
+
+constexpr double testScale = 2e-5;
+
+RunSpec
+floAtLatency(int latency, uint64_t maxInstructions = 0)
+{
+    MachineParams p = MachineParams::reference();
+    p.memLatency = latency;
+    return RunSpec::single("flo52", p, testScale, maxInstructions);
+}
+
+EngineOptions
+batchedOptions(int workers = 1, int width = 16)
+{
+    EngineOptions options(workers);
+    options.kernel = SimKernel::Batched;
+    options.batchWidth = width;
+    return options;
+}
+
+/** Bit-identical stats via the lossless store codec. */
+void
+expectIdenticalStats(const SimStats &a, const SimStats &b)
+{
+    EXPECT_EQ(serializeSimStats(a), serializeSimStats(b));
+}
+
+// ---------------------------------------------------------------------
+// Family signatures
+// ---------------------------------------------------------------------
+
+TEST(BatchEngine, FamilySignatureGroupsSweepFamilies)
+{
+    // Machine parameters and the fetch budget vary *within* a sweep
+    // family, so the signature must ignore them...
+    EXPECT_EQ(ExperimentEngine::familySignature(floAtLatency(1)),
+              ExperimentEngine::familySignature(floAtLatency(100)));
+    EXPECT_EQ(ExperimentEngine::familySignature(floAtLatency(1)),
+              ExperimentEngine::familySignature(floAtLatency(1, 500)));
+    MachineParams dual = MachineParams::fujitsuDualScalar();
+    EXPECT_EQ(ExperimentEngine::familySignature(floAtLatency(1)),
+              ExperimentEngine::familySignature(
+                  RunSpec::single("flo52", dual, testScale)));
+
+    // ...while program, scale, and mode all split families.
+    const MachineParams ref = MachineParams::reference();
+    EXPECT_NE(ExperimentEngine::familySignature(floAtLatency(1)),
+              ExperimentEngine::familySignature(
+                  RunSpec::single("dyfesm", ref, testScale)));
+    EXPECT_NE(ExperimentEngine::familySignature(floAtLatency(1)),
+              ExperimentEngine::familySignature(
+                  RunSpec::single("flo52", ref, 2 * testScale)));
+    EXPECT_NE(
+        ExperimentEngine::familySignature(floAtLatency(1)),
+        ExperimentEngine::familySignature(RunSpec::jobQueue(
+            {"flo52"}, MachineParams::crayStyle(2), testScale)));
+}
+
+// ---------------------------------------------------------------------
+// runAll coalescing
+// ---------------------------------------------------------------------
+
+TEST(BatchEngine, RunAllMixedFamiliesMatchEventReference)
+{
+    // Two interleaved families plus the awkward members: a
+    // fetch-truncated point (cache-exempt but still batchable) and a
+    // dual-scalar machine (outside the lockstep fast lane, simulated
+    // through the in-batch fallback).
+    MachineParams dyf1 = MachineParams::reference();
+    dyf1.memLatency = 1;
+    MachineParams dyf20 = MachineParams::reference();
+    dyf20.memLatency = 20;
+    const std::vector<RunSpec> specs = {
+        floAtLatency(1),
+        RunSpec::single("dyfesm", dyf1, testScale),
+        floAtLatency(20),
+        RunSpec::single("dyfesm", dyf20, testScale),
+        floAtLatency(40, 800),
+        RunSpec::single("flo52", MachineParams::fujitsuDualScalar(),
+                        testScale),
+        floAtLatency(60),
+        floAtLatency(100),
+    };
+
+    ExperimentEngine batched(batchedOptions());
+    const auto results = batched.runAll(specs);
+    // flo52 family: 6 points in one batch; dyfesm family: 2 in
+    // another.
+    EXPECT_EQ(batched.batchesExecuted(), 2u);
+    EXPECT_EQ(batched.batchedPoints(), 8u);
+
+    ExperimentEngine reference;  // event kernel, spec at a time
+    ASSERT_EQ(results.size(), specs.size());
+    for (size_t i = 0; i < specs.size(); ++i) {
+        EXPECT_EQ(results[i].spec, specs[i]);
+        expectIdenticalStats(results[i].stats,
+                             reference.run(specs[i]).stats);
+    }
+}
+
+TEST(BatchEngine, RunAllBatchWidthIsDeterministic)
+{
+    std::vector<RunSpec> specs;
+    for (int i = 0; i < 16; ++i)
+        specs.push_back(floAtLatency(1 + i));
+
+    ExperimentEngine wide(batchedOptions());
+    wide.runAll(specs);
+    EXPECT_EQ(wide.batchesExecuted(), 1u);
+    EXPECT_EQ(wide.batchedPoints(), 16u);
+    EXPECT_EQ(wide.batchWidth(), 16u);
+
+    // Width 1 disables coalescing entirely: every point runs as its
+    // own single-point batch through execute().
+    ExperimentEngine narrow(batchedOptions(1, 1));
+    narrow.runAll(specs);
+    EXPECT_EQ(narrow.batchesExecuted(), 0u);
+    EXPECT_EQ(narrow.batchedPoints(), 0u);
+    EXPECT_EQ(narrow.batchWidth(), 1u);
+}
+
+TEST(BatchEngine, CoalescedStatsBitIdenticalToSinglePointRuns)
+{
+    std::vector<RunSpec> specs;
+    for (const int latency : {1, 20, 40, 50, 60, 80, 100})
+        specs.push_back(floAtLatency(latency));
+
+    ExperimentEngine wide(batchedOptions(4, 16));
+    ExperimentEngine narrow(batchedOptions(1, 1));
+    const auto a = wide.runAll(specs);
+    const auto b = narrow.runAll(specs);
+    ASSERT_EQ(a.size(), b.size());
+    for (size_t i = 0; i < a.size(); ++i)
+        expectIdenticalStats(a[i].stats, b[i].stats);
+}
+
+// ---------------------------------------------------------------------
+// submit() coalescing and per-point cancellation
+// ---------------------------------------------------------------------
+
+/**
+ * Parks a 1-worker engine behind a spec whose completion hook blocks
+ * until release(), so everything submitted afterwards is staged
+ * together (the test_api.cc WorkerGate, on the batched engine).
+ */
+class BatchWorkerGate
+{
+  public:
+    explicit BatchWorkerGate(ExperimentEngine &engine)
+    {
+        MachineParams params = MachineParams::reference();
+        params.memLatency = 199;  // distinct from every other spec
+        std::shared_future<void> released =
+            gate_.get_future().share();
+        done_ = engine.submit(
+            RunSpec::single("trfd", params, testScale),
+            [released](const RunResult &) { released.wait(); });
+    }
+
+    void
+    release()
+    {
+        gate_.set_value();
+        done_.get();
+    }
+
+  private:
+    std::promise<void> gate_;
+    std::future<RunResult> done_;
+};
+
+TEST(BatchEngine, SubmitCoalescesFamilyAndSplitsCancellation)
+{
+    ExperimentEngine engine(batchedOptions());
+    BatchWorkerGate gate(engine);
+
+    // One pre-cancelled point staged between two live family-mates:
+    // the drain must batch all three, fail only the cancelled one,
+    // and serve the survivors from the shared lockstep run.
+    auto token = std::make_shared<CancelToken>();
+    token->cancel();
+    auto live = engine.submit(floAtLatency(1));
+    auto cancelled = engine.submit(floAtLatency(20), nullptr, token);
+    auto alsoLive = engine.submit(floAtLatency(40));
+    gate.release();
+
+    EXPECT_THROW(cancelled.get(), CancelledError);
+    EXPECT_EQ(engine.cancelledRuns(), 1u);
+    // The gate spec simulated alone; the two survivors shared one
+    // batch (the cancelled point never reached the kernel).
+    EXPECT_EQ(engine.batchesExecuted(), 2u);
+    EXPECT_EQ(engine.batchedPoints(), 3u);
+
+    ExperimentEngine reference;
+    expectIdenticalStats(live.get().stats,
+                         reference.run(floAtLatency(1)).stats);
+    expectIdenticalStats(alsoLive.get().stats,
+                         reference.run(floAtLatency(40)).stats);
+}
+
+} // namespace
+} // namespace mtv

@@ -2,9 +2,9 @@
  * @file
  * Golden-digest regression test: pins the FNV-1a digest of the
  * canonical SimStats blob for one representative configuration of
- * every figure/table/ablation/extension bench, and checks that BOTH
- * kernels — cycle-stepped and event-driven — reproduce each digest
- * bit-exactly.
+ * every figure/table/ablation/extension bench, and checks that ALL
+ * THREE kernels — cycle-stepped, event-driven and batched — reproduce
+ * each digest bit-exactly.
  *
  * This is the end-to-end guard behind the event kernel: any change
  * to dispatch order, idle accounting, the joint-state histogram or
@@ -278,8 +278,12 @@ TEST(Golden, KernelParityAndPinnedDigests)
             digestOf(simulate(c.spec, SimKernel::Stepped));
         const uint64_t event =
             digestOf(simulate(c.spec, SimKernel::Event));
-        // The tentpole guarantee: event skipping is invisible.
+        const uint64_t batched =
+            digestOf(simulate(c.spec, SimKernel::Batched));
+        // The tentpole guarantees: event skipping is invisible, and
+        // the batched fast lane (or its fallback) equally so.
         EXPECT_EQ(stepped, event);
+        EXPECT_EQ(event, batched);
         if (print) {
             std::printf("    %-28s 0x%llxull\n", c.name,
                         static_cast<unsigned long long>(event));

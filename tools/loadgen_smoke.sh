@@ -2,15 +2,17 @@
 # Loadgen smoke test: interactive latency stays bounded under load —
 # the ISSUE-7 acceptance scenario.
 #
-#   1. start one mtvd on a unix socket;
+#   1. start one mtvd (batched kernel) on a unix socket;
 #   2. mtvloadgen drives 200 closed-loop clients of single-point
 #      interactive runs WHILE a quiet 10k-point background sweep
 #      streams on its own connection (the weighted-lane scheduling
 #      scenario);
 #   3. fail when the p99 interactive latency exceeds the committed
 #      bound, any request errored, the background sweep streamed
-#      nothing, or the daemon's own metrics report write failures /
-#      rerouted points.
+#      nothing, the daemon's own metrics report write failures /
+#      rerouted points, or the batched engine never actually
+#      coalesced the sweep (engine_batched_points_total must exceed
+#      engine_batches_total).
 #
 # On failure the daemon log is copied to <build-dir>/loadgen-logs so
 # CI can upload it as an artifact.
@@ -38,8 +40,8 @@ cleanup() {
 }
 trap cleanup EXIT
 
-echo "== start one mtvd =="
-"$BUILD_DIR/mtvd" --socket "$WORK/mtvd.sock" \
+echo "== start one mtvd (batched kernel) =="
+"$BUILD_DIR/mtvd" --socket "$WORK/mtvd.sock" --kernel batched \
     > "$WORK/mtvd.log" 2>&1 &
 DAEMON_PID=$!
 disown "$DAEMON_PID"
@@ -92,6 +94,20 @@ fi
 PROM=$("$BUILD_DIR/mtvctl" --socket "$WORK/mtvd.sock" metrics --prom)
 echo "$PROM" | grep -q '^service_first_point_us_bucket' \
     || { echo "FAIL: prom exposition misses latency buckets"; exit 1; }
+# The batched kernel must have coalesced the sweep: strictly more
+# points than batches means at least one lockstep run carried >1
+# family-mates (an uncoalesced engine would report points == batches).
+BATCHES=$(echo "$METRICS" | grep -oE '"engine_batches_total":[0-9]+' \
+    | cut -d: -f2)
+BATCHED_POINTS=$(echo "$METRICS" \
+    | grep -oE '"engine_batched_points_total":[0-9]+' | cut -d: -f2)
+[ -n "$BATCHES" ] && [ "$BATCHES" -ge 1 ] \
+    || { echo "FAIL: engine_batches_total missing or zero"; exit 1; }
+[ -n "$BATCHED_POINTS" ] && [ "$BATCHED_POINTS" -gt "$BATCHES" ] \
+    || { echo "FAIL: engine_batched_points_total ($BATCHED_POINTS) \
+not above engine_batches_total ($BATCHES) — the sweep never \
+coalesced"; exit 1; }
+echo "batching: $BATCHED_POINTS points across $BATCHES lockstep runs"
 
 "$BUILD_DIR/mtvctl" --socket "$WORK/mtvd.sock" shutdown > /dev/null
 echo "PASS: p99 ${P99_MS}ms under 200-client load with a background \

@@ -620,6 +620,8 @@ cmdStatus(const Endpoint &endpoint)
         }
         return 0;
     }
+    if (s.has("kernel"))
+        std::printf("kernel: %s\n", s.getString("kernel").c_str());
     std::printf("queue depth: %llu\n",
                 static_cast<unsigned long long>(
                     s.get("queueDepth").asU64()));

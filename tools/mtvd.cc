@@ -7,17 +7,21 @@
  *
  * Usage:
  *   mtvd [--socket PATH] [--tcp HOST:PORT] [--store DIR] [--shards N]
- *        [--workers N] [--cache-cap N] [--quiet]
+ *        [--workers N] [--cache-cap N]
+ *        [--kernel stepped|event|batched] [--batch-width N] [--quiet]
  *   mtvd --route EP1,EP2,... [--socket PATH] [--tcp HOST:PORT]
  *        [--quiet]
  *
  * --tcp adds a TCP listener next to the unix socket (same protocol;
  * the fleet transport). --tcp-ephemeral HOST binds a kernel-chosen
  * port instead — tests and the fleet smoke script read it back from
- * the startup line. --route turns this mtvd into a thin fleet
- * router over the listed node endpoints ("HOST:PORT" or socket
- * paths): it owns no engine, so the engine flags (--store, --shards,
- * --workers, --cache-cap) are rejected in route mode.
+ * the startup line. --kernel selects the simulation kernel (all
+ * three are bit-identical; batched additionally coalesces queued
+ * family-mates into lockstep runs, --batch-width points at a time).
+ * --route turns this mtvd into a thin fleet router over the listed
+ * node endpoints ("HOST:PORT" or socket paths): it owns no engine,
+ * so the engine flags (--store, --shards, --workers, --cache-cap,
+ * --kernel, --batch-width) are rejected in route mode.
  *
  * Defaults: socket $MTV_SOCKET or /tmp/mtvd.sock; no store (results
  * die with the daemon — pass --store to persist; --shards sets the
@@ -59,7 +63,8 @@ usage()
     std::fprintf(stderr,
                  "usage: mtvd [--socket PATH] [--tcp HOST:PORT] "
                  "[--store DIR] [--shards N] [--workers N] "
-                 "[--cache-cap N] [--quiet]\n"
+                 "[--cache-cap N] [--kernel stepped|event|batched] "
+                 "[--batch-width N] [--quiet]\n"
                  "       mtvd --route EP1,EP2,... [--socket PATH] "
                  "[--tcp HOST:PORT] [--quiet]\n");
     return 2;
@@ -127,6 +132,22 @@ main(int argc, char **argv)
                 parseIntFlag(value(), "--cache-cap", 0,
                              std::numeric_limits<long long>::max()));
             engineFlagSeen = true;
+        } else if (arg == "--kernel") {
+            const std::string name = value();
+            if (name == "stepped")
+                options.kernel = SimKernel::Stepped;
+            else if (name == "event")
+                options.kernel = SimKernel::Event;
+            else if (name == "batched")
+                options.kernel = SimKernel::Batched;
+            else
+                fatal("--kernel wants stepped|event|batched, got "
+                      "'%s'", name.c_str());
+            engineFlagSeen = true;
+        } else if (arg == "--batch-width") {
+            options.batchWidth = static_cast<int>(
+                parseIntFlag(value(), "--batch-width", 1, 4096));
+            engineFlagSeen = true;
         } else if (arg == "--quiet") {
             setLogLevel(LogLevel::Quiet);
         } else if (arg == "--help" || arg == "-h") {
@@ -142,8 +163,8 @@ main(int argc, char **argv)
     if (!routeNodes.empty()) {
         if (engineFlagSeen) {
             fatal("--route owns no engine: --store/--shards/"
-                  "--workers/--cache-cap do not apply (set them on "
-                  "the nodes)");
+                  "--workers/--cache-cap/--kernel/--batch-width do "
+                  "not apply (set them on the nodes)");
         }
         FleetServiceOptions fleetOptions;
         fleetOptions.socketPath = options.socketPath;

@@ -3,6 +3,7 @@
 committed baseline and fail on a sim-cycles/s regression.
 
 Usage: perf_gate.py BASELINE FRESH [--threshold 0.25]
+                    [--min-ratio A:B=R ...]
 
 Every benchmark present in the baseline must be present in the fresh
 run (a silently vanished benchmark would rot the gate) and must run at
@@ -11,6 +12,15 @@ fresh run pass through (they become gated once the baseline is
 refreshed). The fresh JSON is uploaded by CI as the next baseline
 artifact, so the committed file only needs refreshing when the
 hardware class or the benchmark set changes.
+
+--min-ratio NAME_A:NAME_B=R (repeatable) ratchets a *relative* speed
+within the fresh run alone: fresh NAME_A must run at >= R x the
+sim_cycles/s of fresh NAME_B (':' separates the names because
+benchmark names themselves contain '/'). Unlike the baseline
+comparison this is hardware-independent (both sides ran on the same
+machine minutes apart), so it pins speedup claims — e.g. the batched
+kernel's >= 3x over the event kernel on the Figure 10 sweep —
+without a calibrated baseline.
 """
 
 import argparse
@@ -28,12 +38,33 @@ def rates(path):
     }
 
 
+def parse_min_ratio(text):
+    """'A:B=R' -> (A, B, R), with argparse-friendly errors."""
+    pair, sep, ratio = text.rpartition("=")
+    if not sep:
+        raise argparse.ArgumentTypeError(
+            f"expected NAME_A:NAME_B=RATIO, got {text!r}")
+    a, sep, b = pair.partition(":")
+    if not sep or not a or not b:
+        raise argparse.ArgumentTypeError(
+            f"expected NAME_A:NAME_B=RATIO, got {text!r}")
+    try:
+        return a, b, float(ratio)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"ratio in {text!r} is not a number")
+
+
 def main():
     parser = argparse.ArgumentParser()
     parser.add_argument("baseline")
     parser.add_argument("fresh")
     parser.add_argument("--threshold", type=float, default=0.25,
                         help="maximum tolerated fractional regression")
+    parser.add_argument("--min-ratio", action="append", default=[],
+                        type=parse_min_ratio, metavar="A:B=R",
+                        help="require fresh A >= R x fresh B "
+                             "sim_cycles/s (repeatable)")
     args = parser.parse_args()
 
     baseline = rates(args.baseline)
@@ -62,6 +93,20 @@ def main():
                 f"{base:.3e} (tolerance {args.threshold * 100:.0f}%)")
     for name in sorted(set(fresh) - set(baseline)):
         print(f"{name:<{width}} {'(new)':>12} {fresh[name]:>12.3e}")
+
+    for fast, slow, need in args.min_ratio:
+        missing = [n for n in (fast, slow) if n not in fresh]
+        if missing:
+            failures.append(
+                f"{fast}:{slow}: missing from the fresh run: "
+                + ", ".join(missing))
+            continue
+        ratio = fresh[fast] / fresh[slow]
+        print(f"{fast} / {slow}: {ratio:.2f}x (need >= {need:.2f}x)")
+        if ratio < need:
+            failures.append(
+                f"{fast}: only {ratio:.2f}x the sim_cycles/s of "
+                f"{slow}, ratchet requires >= {need:.2f}x")
 
     if failures:
         print("\nperf gate FAILED:")
