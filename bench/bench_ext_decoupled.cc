@@ -7,11 +7,17 @@
  * significant fraction of the total execution time". This bench
  * reproduces that comparison: baseline vs decoupled vs multithreaded
  * vs both, across memory latencies.
+ *
+ * Thin adapter over the registered "ext-decoupled" sweep family: the
+ * design/latency grid lives in expandSweep() (src/api/sweep.cc),
+ * shared with the daemon and `mtvctl sweep --family ext-decoupled`;
+ * decoupling rides the RunSpec decoupleDepth axis. `mtvctl compare
+ * --family ext-decoupled` renders the same data as per-latency
+ * speedup curves.
  */
 
 #include "bench/bench_util.hh"
 #include "src/common/table.hh"
-#include "src/workload/suite.hh"
 
 int
 main()
@@ -21,46 +27,40 @@ main()
     benchBanner("Extension - decoupled vector architecture comparison",
                 "paper section 1/2 (HPCA-2'96 predecessor)", scale);
 
-    const auto &jobs = jobQueueOrder();
-    const std::vector<int> lats = {1, 20, 50, 100};
-
-    MachineParams bothP = MachineParams::multithreaded(2);
-    bothP.decoupleDepth = 4;
-    const std::vector<MachineParams> machines = {
-        MachineParams::reference(),
-        MachineParams::decoupledVector(4),
-        MachineParams::multithreaded(2),
-        bothP,
-    };
-    SweepBuilder sweep(scale);
-    for (const int lat : lats) {
-        for (MachineParams p : machines) {
-            p.memLatency = lat;
-            sweep.addJobQueue(jobs, p);
-        }
-    }
+    SweepRequest request;
+    request.family = "ext-decoupled";
+    request.scale = scale;
+    SweepBuilder sweep = expandSweep(request);
 
     ExperimentEngine engine = benchEngine();
     const std::vector<RunResult> results = engine.runAll(sweep.specs());
 
+    // Slices: [0] baseline, [1] decoupled, [2] mth2, [3] both — one
+    // latency-parallel slice per design, extDecoupledLatencies() per
+    // slice in order.
+    const SweepSlice &base = sweep.slices().at(0);
+    const SweepSlice &dva = sweep.slices().at(1);
+    const SweepSlice &mth = sweep.slices().at(2);
+    const SweepSlice &both = sweep.slices().at(3);
+
     Table t({"latency", "baseline (k)", "dva (k)", "mth2 (k)",
              "dva+mth2 (k)", "occ base", "occ dva", "occ mth2"});
-    size_t next = 0;
-    for (const int lat : lats) {
-        const SimStats &base = results[next].stats;
-        const SimStats &dva = results[next + 1].stats;
-        const SimStats &mth = results[next + 2].stats;
-        const SimStats &both = results[next + 3].stats;
-        next += 4;
+    for (size_t i = 0; i < base.count; ++i) {
+        const SimStats &b = results[base.first + i].stats;
+        const SimStats &d = results[dva.first + i].stats;
+        const SimStats &m = results[mth.first + i].stats;
+        const SimStats &bm = results[both.first + i].stats;
+        const MachineParams p =
+            results[base.first + i].spec.effectiveParams();
         t.row()
-            .add(lat)
-            .add(static_cast<double>(base.cycles) / 1e3, 1)
-            .add(static_cast<double>(dva.cycles) / 1e3, 1)
-            .add(static_cast<double>(mth.cycles) / 1e3, 1)
-            .add(static_cast<double>(both.cycles) / 1e3, 1)
-            .add(base.memPortOccupation(), 3)
-            .add(dva.memPortOccupation(), 3)
-            .add(mth.memPortOccupation(), 3);
+            .add(p.memLatency)
+            .add(static_cast<double>(b.cycles) / 1e3, 1)
+            .add(static_cast<double>(d.cycles) / 1e3, 1)
+            .add(static_cast<double>(m.cycles) / 1e3, 1)
+            .add(static_cast<double>(bm.cycles) / 1e3, 1)
+            .add(b.memPortOccupation(), 3)
+            .add(d.memPortOccupation(), 3)
+            .add(m.memPortOccupation(), 3);
     }
     t.print();
     std::printf("\nreading: decoupling flattens the baseline's "

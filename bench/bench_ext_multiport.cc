@@ -7,12 +7,17 @@
  * keeping the number of threads reasonably low" — this bench tests
  * that prediction by crossing port count with context count and
  * decode width.
+ *
+ * Thin adapter over the registered "ext-multiport" sweep family: the
+ * grid lives in expandSweep() (src/api/sweep.cc), where the daemon,
+ * the fleet router and `mtvctl sweep --family ext-multiport` share
+ * it; this bench only renders the slices. The cross-design speedup
+ * view of the same family is `mtvctl compare --family ext-multiport`.
  */
 
 #include "bench/bench_util.hh"
 #include "src/common/strutil.hh"
 #include "src/common/table.hh"
-#include "src/workload/suite.hh"
 
 int
 main()
@@ -22,44 +27,24 @@ main()
     benchBanner("Extension - Cray-style 3-port memory system",
                 "paper section 10 future work", scale);
 
-    const auto &jobs = jobQueueOrder();
-
-    // The cross product, in the table's row order.
-    struct Machine
-    {
-        std::string label;
-        MachineParams params;
-    };
-    std::vector<Machine> machines;
-    for (const bool cray : {false, true}) {
-        for (const int c : {1, 2, 3, 4}) {
-            for (const int width : {1, 2}) {
-                if (width > c)
-                    continue;
-                MachineParams p = cray
-                                      ? MachineParams::crayStyle(c)
-                                      : MachineParams::multithreaded(c);
-                p.decodeWidth = width;
-                machines.push_back(
-                    {format("%s-%dctx", cray ? "cray" : "convex", c),
-                     p});
-            }
-        }
-    }
-    SweepBuilder sweep(scale);
-    for (const auto &m : machines)
-        sweep.addJobQueue(jobs, m.params);
+    SweepRequest request;
+    request.family = "ext-multiport";
+    request.scale = scale;
+    SweepBuilder sweep = expandSweep(request);
 
     ExperimentEngine engine = benchEngine();
     const std::vector<RunResult> results = engine.runAll(sweep.specs());
 
+    // One single-spec slice per machine, labelled "<machine>-wW";
+    // ports and width come back out of the effective machine.
     Table t({"machine", "ports", "width", "cycles (k)",
              "per-port occ", "VOPC"});
-    for (size_t i = 0; i < machines.size(); ++i) {
-        const MachineParams &p = machines[i].params;
-        const SimStats &s = results[i].stats;
+    for (const SweepSlice &slice : sweep.slices()) {
+        const RunResult &r = results[slice.first];
+        const MachineParams p = r.spec.effectiveParams();
+        const SimStats &s = r.stats;
         t.row()
-            .add(machines[i].label)
+            .add(slice.label.substr(0, slice.label.rfind("-w")))
             .add(format("%dld/%dst", p.loadPorts, p.storePorts))
             .add(p.decodeWidth)
             .add(static_cast<double>(s.cycles) / 1e3, 1)

@@ -451,7 +451,7 @@ ExperimentEngine::simulate(const RunSpec &spec) const
         raw.push_back(sources.back().get());
     }
 
-    VectorSim sim(spec.params, kernel_);
+    VectorSim sim(spec.effectiveParams(), kernel_);
     switch (spec.mode) {
       case SpecMode::Single:
         return sim.runSingle(*raw[0], spec.maxInstructions);
@@ -755,7 +755,7 @@ ExperimentEngine::executeBatch(
             for (size_t j = 0; j < sims.size(); ++j) {
                 const RunSpec &spec = specs[sims[j].index];
                 BatchPoint point;
-                point.params = spec.params;
+                point.params = spec.effectiveParams();
                 point.maxInstructions = spec.maxInstructions;
                 switch (spec.mode) {
                   case SpecMode::Single:
@@ -1002,8 +1002,12 @@ ExperimentEngine::computeGroupMetrics(const RunSpec &spec,
             throw CancelledError(
                 "batch cancelled between reference runs of '" +
                 spec.canonical() + "'");
+        // References derive from the *effective* machine: the spec's
+        // extension axes are folded into the reference point too, so
+        // a multi-port or renaming sweep is compared against the
+        // single-context machine with the same extension.
         const CachedStats full = cachedStats(
-            RunSpec::reference(spec.programs[i], spec.params,
+            RunSpec::reference(spec.programs[i], spec.effectiveParams(),
                                spec.scale),
             nullptr);
         if (i == 0) {
@@ -1014,7 +1018,8 @@ ExperimentEngine::computeGroupMetrics(const RunSpec &spec,
                        static_cast<double>(full->cycles);
             if (ts.instructionsThisRun > 0) {
                 const CachedStats frac = cachedStats(
-                    RunSpec::reference(spec.programs[i], spec.params,
+                    RunSpec::reference(spec.programs[i],
+                                       spec.effectiveParams(),
                                        spec.scale,
                                        ts.instructionsThisRun),
                     nullptr);

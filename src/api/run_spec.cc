@@ -135,10 +135,54 @@ RunSpec::jobQueue(const std::vector<std::string> &jobs,
     return spec;
 }
 
+RunSpec
+RunSpec::withExtensions(int memPorts, int renameDepth,
+                        int decoupleDepth) const
+{
+    RunSpec spec = *this;
+    spec.memPorts = memPorts;
+    spec.renameDepth = renameDepth;
+    spec.decoupleDepth = decoupleDepth;
+    spec.validate();
+    return spec;
+}
+
+MachineParams
+RunSpec::effectiveParams() const
+{
+    MachineParams p = params;
+    if (memPorts == 1) {
+        // The Convex-style unified port: loads and stores share it.
+        p.loadPorts = 1;
+        p.storePorts = 0;
+    } else if (memPorts >= 2) {
+        // Cray-style split: dedicated store path, the rest load.
+        p.loadPorts = memPorts - 1;
+        p.storePorts = 1;
+    }
+    if (renameDepth > 0)
+        p.renameDepth = renameDepth;
+    if (decoupleDepth > 0)
+        p.decoupleDepth = decoupleDepth;
+    p.validate();
+    return p;
+}
+
 void
 RunSpec::validate() const
 {
     params.validate();
+    if (memPorts < 0 || memPorts > 5)
+        fatal("RunSpec memPorts must be in [0,5], got %d", memPorts);
+    if (renameDepth < 0 || renameDepth > 8) {
+        fatal("RunSpec renameDepth must be in [0,8], got %d",
+              renameDepth);
+    }
+    if (decoupleDepth < 0 || decoupleDepth > 16) {
+        fatal("RunSpec decoupleDepth must be in [0,16], got %d",
+              decoupleDepth);
+    }
+    effectiveParams();  // overrides must compose into a valid machine
     if (scale <= 0)
         fatal("RunSpec scale must be positive, got %g", scale);
     if (programs.empty())
@@ -167,18 +211,20 @@ RunSpec::canonical() const
             progs += ',';
         progs += name;
     }
-    return format("mode=%s;scale=%.17g;max=%llu;programs=%s;machine=%s",
+    return format("mode=%s;scale=%.17g;max=%llu;ports=%d;rename=%d;"
+                  "decouple=%d;programs=%s;machine=%s",
                   specModeName(mode), scale,
                   static_cast<unsigned long long>(maxInstructions),
-                  progs.c_str(), params.canonical().c_str());
+                  memPorts, renameDepth, decoupleDepth, progs.c_str(),
+                  params.canonical().c_str());
 }
 
 RunSpec
 RunSpec::parse(const std::string &text)
 {
     const std::vector<std::string> fields = split(text, ';');
-    if (fields.size() != 5)
-        fatal("malformed RunSpec '%s' (expected 5 ';'-separated "
+    if (fields.size() != 8)
+        fatal("malformed RunSpec '%s' (expected 8 ';'-separated "
               "fields, got %zu)",
               text.c_str(), fields.size());
 
@@ -196,10 +242,16 @@ RunSpec::parse(const std::string &text)
     spec.scale = parseDouble(expectField(fields[1], "scale"), "scale");
     spec.maxInstructions =
         parseUnsigned(expectField(fields[2], "max"), "max");
+    spec.memPorts = static_cast<int>(
+        parseUnsigned(expectField(fields[3], "ports"), "ports"));
+    spec.renameDepth = static_cast<int>(
+        parseUnsigned(expectField(fields[4], "rename"), "rename"));
+    spec.decoupleDepth = static_cast<int>(
+        parseUnsigned(expectField(fields[5], "decouple"), "decouple"));
     spec.programs = canonicalNames(
-        split(expectField(fields[3], "programs"), ','));
+        split(expectField(fields[6], "programs"), ','));
     spec.params =
-        MachineParams::fromCanonical(expectField(fields[4], "machine"));
+        MachineParams::fromCanonical(expectField(fields[7], "machine"));
     spec.validate();
     return spec;
 }

@@ -60,6 +60,42 @@ struct RunSpec
     /** Single mode only: stop after this many dispatches (0 = none). */
     uint64_t maxInstructions = 0;
 
+    // ----- extension axes (section 10 microarchitectures) -----
+    //
+    // Declarative overrides applied on top of `params` by
+    // effectiveParams() — the sweep axes of the ext-* families. Each
+    // defaults to 0 = "inherit from the machine description", so
+    // every pre-existing spec is unchanged. They are part of the
+    // canonical serialization (and therefore of cache keys and the
+    // store schema): two specs differing in an axis never alias.
+
+    /**
+     * Memory ports (MemSystem swap): 0 = inherit; 1 = the Convex-
+     * style single unified port (1 load port serving stores too);
+     * N >= 2 = a Cray-style split of N-1 load ports + 1 store port
+     * (N = 3 is the paper's section 10 machine). Range 0..5.
+     */
+    int memPorts = 0;
+    /**
+     * Bounded vector register renaming (DispatchUnit swap): 0 =
+     * inherit; N > 0 = renaming with a pool of N spare physical
+     * registers per context (MachineParams::renameDepth). Range 0..8.
+     */
+    int renameDepth = 0;
+    /**
+     * Decoupled slip window (dispatch queue sizing): 0 = inherit;
+     * N > 0 overrides MachineParams::decoupleDepth. Range 0..16.
+     */
+    int decoupleDepth = 0;
+
+    /**
+     * The machine the kernels actually simulate: `params` with the
+     * extension axes folded in (validated). Every kernel consumes
+     * specs through this, so Stepped, Event and Batched honor the
+     * axes identically.
+     */
+    MachineParams effectiveParams() const;
+
     // ----- factories (canonicalize + validate) -----
 
     /** Single run of @p program on @p params. */
@@ -91,13 +127,22 @@ struct RunSpec
                             const MachineParams &params,
                             double scale = workloadDefaultScale);
 
+    /** Copy of this spec with the extension axes set (validated). */
+    RunSpec withExtensions(int memPorts, int renameDepth,
+                           int decoupleDepth) const;
+
     // ----- serialization -----
 
     /**
      * Canonical, lossless serialization:
-     *   `mode=<m>;scale=<g>;max=<n>;programs=<a,b>;machine=<params>`
-     * Two specs with equal canonical strings describe the same
-     * experiment; the engine's result cache keys on this string.
+     *   `mode=<m>;scale=<g>;max=<n>;ports=<p>;rename=<r>;
+     *    decouple=<d>;programs=<a,b>;machine=<params>`
+     * (one line, 8 ';'-separated fields). Two specs with equal
+     * canonical strings describe the same experiment; the engine's
+     * result cache keys on this string. The pre-extension 5-field
+     * format is NOT accepted by parse() — the store schema hash bump
+     * already rejects old segments wholesale, so a stale string is a
+     * caller bug worth a loud error.
      */
     std::string canonical() const;
 

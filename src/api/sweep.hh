@@ -73,6 +73,39 @@ SweepBuilder suiteGroupingSweep(double scale = workloadDefaultScale);
 /** Memory latencies swept in Figures 10-12. */
 const std::vector<int> &sweepLatencies();
 
+/** Memory latencies of the decoupled-architecture comparison. */
+const std::vector<int> &extDecoupledLatencies();
+
+/**
+ * One row of a cross-design comparison table (the speedup-vs-baseline
+ * rendering of the paper's Figure 6/12 style): design = the slice
+ * label, speedup = baseline cycles / this design's cycles on the
+ * matching row of slice 0.
+ */
+struct CompareRow
+{
+    std::string design;    ///< slice label of this design
+    int contexts = 0;      ///< effective context count
+    int ports = 0;         ///< effective memory ports (load + store)
+    int memLatency = 0;    ///< effective memory latency
+    uint64_t cycles = 0;   ///< total simulated cycles
+    double speedup = 0;    ///< slice-0 row's cycles / this cycles
+    double occupation = 0; ///< memory port occupation
+    double vopc = 0;       ///< vector operations per cycle
+};
+
+/**
+ * Pair every slice of a sweep row-wise against slice 0 (the baseline
+ * design) and compute speedups: row i of slice s compares against row
+ * i of slice 0. Every slice must have the same count — families whose
+ * slices are not design-parallel (e.g. suite-grouping) are not
+ * comparable, and fatal() says so. Rows come out slice-major, the
+ * baseline first (speedup 1.0).
+ */
+std::vector<CompareRow>
+compareDesigns(const std::vector<SweepSlice> &slices,
+               const std::vector<RunResult> &results);
+
 // ---------------------------------------------------------------------
 // Named sweep families — the server-side expansion registry.
 // ---------------------------------------------------------------------
@@ -94,12 +127,17 @@ struct SweepRequest
     std::string program;
     /** "groupings": 2..4, required (every slice is one program at
      *  one context count); "latency": context count of the
-     *  multithreaded machine (0 = 4, the paper's largest). */
+     *  multithreaded machine (0 = 4, the paper's largest);
+     *  "ext-decoupled": contexts of the multithreaded designs
+     *  (0 = 2); "ext-compare": contexts of the extended designs
+     *  (0 = 4). */
     int contexts = 0;
-    /** "latency": the job list (empty = the paper's ten-benchmark
-     *  job-queue order). */
+    /** "latency"/"ext-*": the job list (empty = the paper's
+     *  ten-benchmark job-queue order). */
     std::vector<std::string> jobs;
-    /** "latency": memory latencies (empty = sweepLatencies()). */
+    /** "latency": memory latencies (empty = sweepLatencies());
+     *  "ext-decoupled": latencies per design (empty =
+     *  extDecoupledLatencies()). */
     std::vector<int> latencies;
 };
 
@@ -117,6 +155,18 @@ struct SweepFamilyInfo
  *   groupings       every Table 2 grouping of one program at a given
  *                   context count (one figure bar)
  *   latency         a job-queue run per memory latency (Figure 10)
+ *   ext-multiport   Convex 1-port vs Cray 3-port machines crossed
+ *                   with context count and decode width (section 10;
+ *                   one single-spec slice per machine)
+ *   ext-renaming    baseline vs infinite-pool vs bounded-pool vector
+ *                   register renaming across six machines (section
+ *                   10; one design-parallel slice per variant)
+ *   ext-decoupled   baseline vs decoupled vs multithreaded vs both,
+ *                   per memory latency (the HPCA-2'96 comparison;
+ *                   one latency-parallel slice per design)
+ *   ext-compare     one job-queue spec per extension design at a
+ *                   common context count — the compareDesigns()
+ *                   cross-design speedup table
  */
 const std::vector<SweepFamilyInfo> &sweepFamilies();
 
@@ -154,6 +204,19 @@ class SweepBuilder
 
     /** Append an already-built spec verbatim. */
     SweepBuilder &add(const RunSpec &spec);
+
+    // ----- explicit slices -----
+
+    /**
+     * Open a labelled slice: every spec appended before the matching
+     * endSlice() belongs to it. For expansions that the canned
+     * helpers below don't cover (e.g. the ext-* design slices).
+     * Slices cannot nest.
+     */
+    SweepBuilder &beginSlice(const std::string &label, int contexts = 0);
+
+    /** Close the slice opened by beginSlice() (must be non-empty). */
+    SweepBuilder &endSlice();
 
     // ----- methodology expansions -----
 
@@ -193,6 +256,8 @@ class SweepBuilder
     double scale_;
     std::vector<RunSpec> specs_;
     std::vector<SweepSlice> slices_;
+    bool sliceOpen_ = false;
+    SweepSlice pending_;
 };
 
 } // namespace mtv

@@ -183,12 +183,16 @@ struct FastContext
     bool hasWork() const { return !finished || head; }
 };
 
-/** Machines the fast lane's specialization covers exactly. */
+/** Machines the fast lane's specialization covers exactly. Bounded
+ *  renaming (renameDepth > 0) is excluded like decoupling: both add
+ *  per-context pool state the SoA lockstep loop does not model, so
+ *  such points take the per-point generic (Event) fallback. Infinite-
+ *  pool renaming and multi-port memory are handled natively. */
 bool
 fastLaneShape(const MachineParams &params)
 {
     return params.decodeWidth == 1 && !params.dualScalar &&
-           params.decoupleDepth == 0;
+           params.decoupleDepth == 0 && params.renameDepth == 0;
 }
 
 /**

@@ -37,11 +37,29 @@ struct Context
     uint64_t scalarReady[numSRegs + numARegs] = {};
     VRegTiming vregs[numVRegs] = {};
     BankPorts banks[numVRegs / 2] = {};
+    /**
+     * Bounded-renaming pool (MachineParams::renameDepth slots in use;
+     * the array is sized for the validated maximum). Each entry is the
+     * cycle its spare physical register retires — the displaced
+     * register's last read/write. A slot is free once its time has
+     * passed; min over the in-use prefix gates a renamed dispatch.
+     */
+    uint64_t renameSlots[8] = {};
     ThreadStats stats;
     int jobIndex = -1;            ///< job currently assigned
 
     /** Still holds or will fetch work (round-robin eligibility). */
     bool hasWork() const { return !finished || !window.empty(); }
+
+    /** Earliest-retiring rename slot among the first @p depth. */
+    uint64_t
+    minRenameSlot(int depth) const
+    {
+        uint64_t best = renameSlots[0];
+        for (int i = 1; i < depth; ++i)
+            best = best < renameSlots[i] ? best : renameSlots[i];
+        return best;
+    }
 };
 
 } // namespace mtv

@@ -66,6 +66,22 @@ canSlipPast(const Instruction &cand, const Instruction &prior)
     return true;
 }
 
+/**
+ * Claim the earliest-retiring rename slot for the physical register
+ * @p dst displaces: the spare holds the old value until its in-flight
+ * write and last reader complete. Caller checked a slot is free.
+ */
+void
+takeRenameSlot(Context &ctx, const VRegTiming &dst, int depth)
+{
+    int best = 0;
+    for (int i = 1; i < depth; ++i) {
+        if (ctx.renameSlots[i] < ctx.renameSlots[best])
+            best = i;
+    }
+    ctx.renameSlots[best] = std::max(dst.writeDone, dst.readBusy);
+}
+
 } // namespace
 
 std::optional<DispatchPlan>
@@ -181,10 +197,21 @@ DispatchUnit::planDispatch(const Context &ctx, const Instruction &inst,
         if (!isReduce) {
             const VRegTiming &dst = ctx.vregs[inst.dst];
             // Renaming allocates a fresh physical register, so WAW
-            // and WAR hazards vanish (section 10 extension).
-            if (!params_.renaming && !dst.idleAt(now)) {
-                why = BlockReason::DestBusy;
-                return std::nullopt;
+            // and WAR hazards vanish (section 10 extension). The
+            // bounded pool hides a hazard only while a spare slot is
+            // free; with none, the stall is charged as DestBusy like
+            // the baseline's.
+            if (!dst.idleAt(now)) {
+                if (params_.renameBounded()) {
+                    if (ctx.minRenameSlot(params_.renameDepth) > now) {
+                        why = BlockReason::DestBusy;
+                        return std::nullopt;
+                    }
+                    plan.renamed = true;
+                } else if (!params_.renaming) {
+                    why = BlockReason::DestBusy;
+                    return std::nullopt;
+                }
             }
         } else if (inst.dst != noReg &&
                    ctx.scalarReady[inst.dst] > now) {
@@ -199,7 +226,7 @@ DispatchUnit::planDispatch(const Context &ctx, const Instruction &inst,
                     return std::nullopt;
                 }
             }
-            if (!isReduce && !params_.renaming &&
+            if (!isReduce && !params_.renamingEnabled() &&
                 !ctx.banks[vregBank(inst.dst)].writeFreeAt(now)) {
                 why = BlockReason::BankPortBusy;
                 return std::nullopt;
@@ -245,11 +272,19 @@ DispatchUnit::planDispatch(const Context &ctx, const Instruction &inst,
             return std::nullopt;
         }
         const VRegTiming &dst = ctx.vregs[inst.dst];
-        if (!params_.renaming && !dst.idleAt(now)) {
-            why = BlockReason::DestBusy;
-            return std::nullopt;
+        if (!dst.idleAt(now)) {
+            if (params_.renameBounded()) {
+                if (ctx.minRenameSlot(params_.renameDepth) > now) {
+                    why = BlockReason::DestBusy;
+                    return std::nullopt;
+                }
+                plan.renamed = true;
+            } else if (!params_.renaming) {
+                why = BlockReason::DestBusy;
+                return std::nullopt;
+            }
         }
-        if (params_.modelBankPorts && !params_.renaming &&
+        if (params_.modelBankPorts && !params_.renamingEnabled() &&
             !ctx.banks[vregBank(inst.dst)].writeFreeAt(now)) {
             why = BlockReason::BankPortBusy;
             return std::nullopt;
@@ -356,6 +391,8 @@ DispatchUnit::commit(Context &ctx, const DispatchPlan &plan,
                 ctx.scalarReady[inst.dst] = plan.scalarReady;
         } else {
             VRegTiming &dst = ctx.vregs[inst.dst];
+            if (plan.renamed)
+                takeRenameSlot(ctx, dst, params_.renameDepth);
             dst.prodFirst = plan.prodFirst;
             dst.writeDone = plan.writeDone;
             dst.chainable = plan.chainableOut;
@@ -369,6 +406,8 @@ DispatchUnit::commit(Context &ctx, const DispatchPlan &plan,
         plan.port->bus.reserve(plan.start, vl);
         if (isLoad(inst.op)) {
             VRegTiming &dst = ctx.vregs[inst.dst];
+            if (plan.renamed)
+                takeRenameSlot(ctx, dst, params_.renameDepth);
             dst.prodFirst = plan.prodFirst;
             dst.writeDone = plan.writeDone;
             dst.chainable = plan.chainableOut;
@@ -441,6 +480,13 @@ DispatchUnit::considerWakeups(const Context &ctx, EventMin &em) const
             if (inst.op == Opcode::VReduce) {
                 if (inst.dst != noReg)
                     em.consider(ctx.scalarReady[inst.dst]);
+            } else if (params_.renameBounded()) {
+                // The blocked predicate is "dst idle OR slot free";
+                // both arms are stored-time comparisons.
+                const VRegTiming &dst = ctx.vregs[inst.dst];
+                em.consider(dst.writeDone);
+                em.consider(dst.readBusy);
+                em.consider(ctx.minRenameSlot(params_.renameDepth));
             } else if (!params_.renaming) {
                 const VRegTiming &dst = ctx.vregs[inst.dst];
                 em.consider(dst.writeDone);
@@ -456,7 +502,12 @@ DispatchUnit::considerWakeups(const Context &ctx, EventMin &em) const
         for (const MemPort *port : mem_.portsFor(inst.op))
             em.consider(port->nextEventAfter(em.now));
         if (fu == FuClass::VecLoad) {
-            if (!params_.renaming) {
+            if (params_.renameBounded()) {
+                const VRegTiming &dst = ctx.vregs[inst.dst];
+                em.consider(dst.writeDone);
+                em.consider(dst.readBusy);
+                em.consider(ctx.minRenameSlot(params_.renameDepth));
+            } else if (!params_.renaming) {
                 const VRegTiming &dst = ctx.vregs[inst.dst];
                 em.consider(dst.writeDone);
                 em.consider(dst.readBusy);

@@ -42,6 +42,9 @@ struct DispatchPlan
     uint64_t completion = 0;  ///< retire time for run accounting
     uint64_t scalarReady = 0; ///< scalar dst ready time
     bool chainableOut = false;
+    /** Bounded renaming: this dispatch claims a rename-pool slot
+     *  (its busy destination is displaced to a spare register). */
+    bool renamed = false;
 };
 
 /** Plans and commits dispatches against the shared machine state. */

@@ -341,6 +341,8 @@ FleetService::handleRequest(const Json &request, LineChannel &channel)
             return handleMetrics(request, channel);
         if (op == "sweep")
             return handleSweep(request, channel);
+        if (op == "compare")
+            return handleCompare(request, channel);
         if (op == "run")
             return handleRun(request, channel);
         if (op == "shutdown") {
@@ -508,6 +510,60 @@ FleetService::handleSweep(const Json &request, LineChannel &channel)
     if (!ackOk || emitter.writeFailed())
         return false;  // the client vanished mid-stream
     return emitter.writeDone(outcome);
+}
+
+bool
+FleetService::handleCompare(const Json &request,
+                            LineChannel &channel)
+{
+    const uint64_t id = request.get("id").asU64();
+    const SweepRequest sweep = sweepRequestFromJson(request);
+
+    // Comparability is checked against the local expansion before
+    // any node is contacted — the expansion is deterministic, so the
+    // router's copy and every node's copy agree.
+    {
+        SweepBuilder expansion = expandSweep(sweep);
+        const std::vector<SweepSlice> &slices = expansion.slices();
+        bool comparable = slices.size() >= 2;
+        for (const SweepSlice &s : slices)
+            comparable = comparable && s.count == slices[0].count;
+        if (!comparable) {
+            Json err = requestErrorJson(
+                id, "sweep family '" + sweep.family +
+                        "' is not design-parallel and cannot be "
+                        "compared");
+            err.set("notComparable", sweep.family);
+            return channel.writeLine(err.dump());
+        }
+    }
+
+    // Gather fleet-wide; the points stay router-side (no per-point
+    // stream), exactly like a single daemon's compare.
+    const FleetOutcome outcome = router_.runSweep(sweep);
+
+    Json ok = Json::object();
+    ok.set("id", id);
+    ok.set("ok", true);
+    ok.set("compare", true);
+    ok.set("fleet", true);
+    ok.set("family", sweep.family);
+    ok.set("count", static_cast<uint64_t>(outcome.results.size()));
+    ok.set("baseline", outcome.slices.empty()
+                           ? std::string()
+                           : outcome.slices[0].label);
+    ok.set("simulated", outcome.simulated);
+    ok.set("cacheServed", outcome.cacheServed);
+    ok.set("storeServed", outcome.storeServed);
+    ok.set("digest",
+           format("%016llx",
+                  static_cast<unsigned long long>(outcome.digest)));
+    Json rows = Json::array();
+    for (const CompareRow &row :
+         compareDesigns(outcome.slices, outcome.results))
+        rows.push(compareRowToJson(row));
+    ok.set("rows", std::move(rows));
+    return channel.writeLine(ok.dump());
 }
 
 bool

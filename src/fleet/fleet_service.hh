@@ -88,6 +88,10 @@ class FleetService
     /** Scatter one sweep and stream the folded merge, re-ordering
      *  the nodes' arrival order back into global submission order. */
     bool handleSweep(const Json &request, LineChannel &channel);
+    /** The "compare" op, fleet-wide: scatter the family's expansion
+     *  across the nodes, gather, fold through compareDesigns(), and
+     *  answer the one aggregated line. */
+    bool handleCompare(const Json &request, LineChannel &channel);
     /** Scatter an explicit spec batch the same way. */
     bool handleRun(const Json &request, LineChannel &channel);
     /** Gather every live node's "metrics" response plus the router's

@@ -77,6 +77,12 @@ MachineParams::validate() const
         fatal("storePorts must be in [0,4], got %d", storePorts);
     if (decoupleDepth < 0 || decoupleDepth > 16)
         fatal("decoupleDepth must be in [0,16], got %d", decoupleDepth);
+    if (renameDepth < 0 || renameDepth > 8)
+        fatal("renameDepth must be in [0,8], got %d", renameDepth);
+    if (renaming && renameDepth > 0) {
+        fatal("renaming (infinite pool) and renameDepth (bounded "
+              "pool) are mutually exclusive");
+    }
 }
 
 MachineParams
@@ -187,6 +193,8 @@ MachineParams::fromConfig(const Config &config)
     p.storePorts =
         static_cast<int>(config.getInt("store_ports", p.storePorts));
     p.renaming = config.getBool("renaming", p.renaming);
+    p.renameDepth = static_cast<int>(
+        config.getInt("rename_depth", p.renameDepth));
     p.decoupleDepth = static_cast<int>(
         config.getInt("decouple_depth", p.decoupleDepth));
     p.branchStall =
@@ -215,12 +223,13 @@ MachineParams::canonical() const
         "read_xbar=%d write_xbar=%d vector_startup=%d bank_ports=%d "
         "mem_latency=%d banked_memory=%d mem_banks=%d bank_busy=%d "
         "load_chaining=%d load_ports=%d store_ports=%d renaming=%d "
-        "decouple_depth=%d branch_stall=%d",
+        "rename_depth=%d decouple_depth=%d branch_stall=%d",
         contexts, schedPolicyName(sched).c_str(), decodeWidth,
         dualScalar ? 1 : 0, readXbar, writeXbar, vectorStartup,
         modelBankPorts ? 1 : 0, memLatency, bankedMemory ? 1 : 0,
         memBanks, bankBusyCycles, loadChaining ? 1 : 0, loadPorts,
-        storePorts, renaming ? 1 : 0, decoupleDepth, branchStall);
+        storePorts, renaming ? 1 : 0, renameDepth, decoupleDepth,
+        branchStall);
     for (const auto &field : latFields) {
         const LatPair &pair = this->*(field.member);
         out += format(" %s_s=%d %s_v=%d", field.key, pair.scalar,
@@ -263,6 +272,8 @@ MachineParams::describe() const
         extras += format(", ports=%dld/%dst", loadPorts, storePorts);
     if (renaming)
         extras += ", renaming";
+    if (renameDepth > 0)
+        extras += format(", rename=%d", renameDepth);
     if (decoupleDepth > 0)
         extras += format(", decouple=%d", decoupleDepth);
     if (loadChaining)

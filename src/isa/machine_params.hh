@@ -116,6 +116,16 @@ struct MachineParams
      */
     bool renaming = false;
     /**
+     * Bounded vector register renaming: 0 = off, >0 = renaming with a
+     * pool of this many spare physical registers per context. A write
+     * whose destination is busy (the WAW/WAR case unbounded renaming
+     * hides for free) must instead claim a free pool slot; the slot is
+     * held until the displaced physical register's last read and write
+     * complete. Mutually exclusive with `renaming` (which models an
+     * infinite pool). This is the RunSpec `renameDepth` sweep axis.
+     */
+    int renameDepth = 0;
+    /**
      * Decoupled-vector slip window (0 = off), modelling the paper's
      * HPCA-2'96 predecessor: up to this many instructions ahead of a
      * blocked head may be inspected, and a *vector memory*
@@ -124,6 +134,12 @@ struct MachineParams
      * nothing passes a branch).
      */
     int decoupleDepth = 0;
+
+    /** Renaming on in any form (infinite pool or bounded)? */
+    bool renamingEnabled() const { return renaming || renameDepth > 0; }
+
+    /** Renaming on with a finite slot pool (the bounded model)? */
+    bool renameBounded() const { return renameDepth > 0; }
 
     // ----- Functional unit latencies (Table 1 reconstruction) -----
     LatPair latIntAdd{1, 4};
@@ -177,7 +193,8 @@ struct MachineParams
      * (unfair-lowest|round-robin|fair-lru), decode_width, dual_scalar,
      * read_xbar, write_xbar, vector_startup, bank_ports, mem_latency,
      * banked_memory, mem_banks, bank_busy, load_chaining, load_ports,
-     * store_ports, renaming, decouple_depth, branch_stall, and the
+     * store_ports, renaming, rename_depth, decouple_depth,
+     * branch_stall, and the
      * Table 1 latency pairs as lat_<class>_s / lat_<class>_v
      * (int_add, fp_add, logic, int_mul, fp_mul, int_div, fp_div,
      * sqrt, move, control). fatal()s on invalid values (validate()

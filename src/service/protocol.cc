@@ -202,6 +202,38 @@ sliceFromJson(const Json &json)
 }
 
 Json
+compareRowToJson(const CompareRow &row)
+{
+    Json j = Json::object();
+    j.set("design", row.design);
+    j.set("contexts", row.contexts);
+    j.set("ports", row.ports);
+    j.set("latency", row.memLatency);
+    j.set("cycles", row.cycles);
+    j.set("speedup", row.speedup);
+    j.set("occupation", row.occupation);
+    j.set("vopc", row.vopc);
+    return j;
+}
+
+CompareRow
+compareRowFromJson(const Json &json)
+{
+    CompareRow row;
+    row.design = json.getString("design");
+    if (row.design.empty())
+        fatal("compare row names no design");
+    row.contexts = static_cast<int>(json.getNumber("contexts"));
+    row.ports = static_cast<int>(json.getNumber("ports"));
+    row.memLatency = static_cast<int>(json.getNumber("latency"));
+    row.cycles = json.get("cycles").asU64();
+    row.speedup = json.getNumber("speedup");
+    row.occupation = json.getNumber("occupation");
+    row.vopc = json.getNumber("vopc");
+    return row;
+}
+
+Json
 engineStatsToJson(const ExperimentEngine &engine)
 {
     Json j = Json::object();

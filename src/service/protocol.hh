@@ -25,6 +25,17 @@
  *     numbers the subset; the ack echoes the full expansion size as
  *     "total"), so the router can map seq back to global index and
  *     fold one fleet-wide digest in global submission order.
+ *   {"op":"compare","id":n,"family":"<name>","scale":g,
+ *    "program":"...","contexts":n,"jobs":[...],"latencies":[...]}
+ *     — v5: cross-design comparison. The daemon expands the family,
+ *     runs every point (same engine path as a sweep, identical
+ *     caching/coalescing), then pairs every slice row-wise against
+ *     slice 0 (the baseline design) via compareDesigns() and answers
+ *     with ONE aggregated line instead of a result stream — the
+ *     table is the product, not the points. Only design-parallel
+ *     families (every slice the same row count — all ext-* families
+ *     qualify; suite-grouping does not) are comparable; others get a
+ *     protocol error.
  *   {"op":"stats"}
  *   {"op":"status"}
  *     — request-lifecycle snapshot: engine queue depth, per-
@@ -73,6 +84,17 @@
  *       {"id":n,"done":true,"cancelled":true,"count":c,
  *        "completed":k} (k results were delivered before the cancel
  *     took effect; no digest — the stream is deliberately partial).
+ *   compare: one aggregated line
+ *       {"id":n,"ok":true,"compare":true,"family":"...","count":c,
+ *        "baseline":"<slice 0 label>","digest":"<16 hex>",
+ *        "simulated":a,"cacheServed":b,"storeServed":c2,
+ *        "rows":[{"design":s,"contexts":k,"ports":p,"latency":l,
+ *                 "cycles":x,"speedup":g,"occupation":g,
+ *                 "vopc":g},...]}
+ *     ("digest" folds the underlying expansion's stats blobs in
+ *     submission order, exactly as the equivalent sweep would — so a
+ *     compare against a daemon, a fleet and --local can be checked
+ *     for bit-identity).
  *   ping / stats / status / cancel / clear / shutdown: one
  *     {"ok":true,...} object. "cancel" reports how many batches it
  *     hit: {"ok":true,"cancelled":k}. "status" reports
@@ -120,7 +142,7 @@ namespace mtv
 {
 
 /** Protocol revision spoken by this build (bump on changes). */
-constexpr int serviceProtocolVersion = 4;
+constexpr int serviceProtocolVersion = 5;
 
 /** Batch requests one connection may keep streaming concurrently;
  *  further requests are not read until a slot frees (backpressure). */
@@ -132,7 +154,7 @@ const char *defaultSocketPath();
 /**
  * Where a daemon listens (or a client connects): a unix socket path
  * or a TCP host:port. Both speak the identical newline-delimited
- * protocol v3 framing — TCP exists so mtvd nodes can form a fleet
+ * protocol framing — TCP exists so mtvd nodes can form a fleet
  * across machines (src/fleet/).
  */
 struct Endpoint
@@ -201,6 +223,12 @@ Json sliceToJson(const SweepSlice &slice);
 
 /** Inverse of sliceToJson(). */
 SweepSlice sliceFromJson(const Json &json);
+
+/** One row of a compare response's "rows" array. */
+Json compareRowToJson(const CompareRow &row);
+
+/** Inverse of compareRowToJson(). fatal()s on malformed rows. */
+CompareRow compareRowFromJson(const Json &json);
 
 /** Engine counters as the "cache" member of a stats response. */
 Json engineStatsToJson(const ExperimentEngine &engine);

@@ -567,6 +567,8 @@ MtvService::handleRequest(const Json &request, ClientState &client)
             return handleRun(request, client);
         if (op == "sweep")
             return handleSweep(request, client);
+        if (op == "compare")
+            return handleCompare(request, client);
         if (op == "ping") {
             Json ok = Json::object();
             ok.set("ok", true);
@@ -759,10 +761,65 @@ MtvService::handleSweep(const Json &request, ClientState &client)
     return true;
 }
 
+bool
+MtvService::handleCompare(const Json &request, ClientState &client)
+{
+    const uint64_t admittedUs = monotonicMicros();
+    const uint64_t id = safeRequestId(request);
+
+    const SweepRequest sweepRequest = sweepRequestFromJson(request);
+    bool known = false;
+    for (const SweepFamilyInfo &family : sweepFamilies())
+        known = known || family.name == sweepRequest.family;
+    if (!known) {
+        Json err = requestErrorJson(id, "unknown sweep family '" +
+                                            sweepRequest.family +
+                                            "'");
+        err.set("badFamily", sweepRequest.family);
+        Json families = Json::array();
+        for (const SweepFamilyInfo &family : sweepFamilies())
+            families.push(family.name);
+        err.set("families", std::move(families));
+        return client.write(err.dump());
+    }
+
+    SweepBuilder sweep = expandSweep(sweepRequest);
+
+    // Comparability is checked before any simulation: every slice
+    // must pair row-wise against slice 0 (the baseline design).
+    // Families whose slices are not design-parallel (suite-grouping,
+    // groupings) answer a structured error instead of burning a
+    // sweep's worth of work first.
+    const std::vector<SweepSlice> &slices = sweep.slices();
+    bool comparable = slices.size() >= 2;
+    for (const SweepSlice &s : slices)
+        comparable = comparable && s.count == slices[0].count;
+    if (!comparable) {
+        Json err = requestErrorJson(
+            id, "sweep family '" + sweepRequest.family +
+                    "' is not design-parallel and cannot be "
+                    "compared");
+        err.set("notComparable", sweepRequest.family);
+        return client.write(err.dump());
+    }
+
+    auto compare = std::make_shared<CompareJob>();
+    compare->family = sweepRequest.family;
+    compare->baseline = slices[0].label;
+    compare->slices = slices;
+
+    if (!acquireSlot(client))
+        return false;
+    admitBatch(client, id, sweep.take(), /*quiet=*/true,
+               /*sweep=*/true, admittedUs, std::move(compare));
+    return true;
+}
+
 void
 MtvService::admitBatch(ClientState &client, uint64_t id,
                        std::vector<RunSpec> specs, bool quiet,
-                       bool sweep, uint64_t admittedUs)
+                       bool sweep, uint64_t admittedUs,
+                       std::shared_ptr<const CompareJob> compare)
 {
     client.reapRetired();
     const uint64_t streamId = client.nextStreamId++;
@@ -786,10 +843,11 @@ MtvService::admitBatch(ClientState &client, uint64_t id,
         streamId,
         std::thread([this, &client, streamId, id,
                      specs = std::move(specs), quiet, token,
-                     batchKey, sweep, admittedUs]() mutable {
+                     batchKey, sweep, admittedUs,
+                     compare = std::move(compare)]() mutable {
             streamBatch(client, streamId, id, std::move(specs),
                         quiet, std::move(token), batchKey, sweep,
-                        admittedUs);
+                        admittedUs, std::move(compare));
         }));
 }
 
@@ -799,7 +857,8 @@ MtvService::streamBatch(ClientState &client, uint64_t streamId,
                         bool quiet,
                         std::shared_ptr<CancelToken> token,
                         uint64_t batchKey, bool sweep,
-                        uint64_t admittedUs)
+                        uint64_t admittedUs,
+                        std::shared_ptr<const CompareJob> compare)
 {
     activeRequests_.fetch_add(1);
     obsInflightBatches_->add(1);
@@ -830,6 +889,9 @@ MtvService::streamBatch(ClientState &client, uint64_t streamId,
     bool aborted = false;
     bool cancelled = false;
     size_t completed = 0;
+    std::vector<RunResult> collected;
+    if (compare)
+        collected.reserve(futures.size());
     for (size_t i = 0; i < futures.size() && !aborted; ++i) {
         RunResult result;
         try {
@@ -870,6 +932,12 @@ MtvService::streamBatch(ClientState &client, uint64_t streamId,
         // blob, serialized once.
         const std::string blob = serializeSimStats(result.stats);
         digest = fnv1a64(blob.data(), blob.size(), digest);
+        if (compare) {
+            // Compare mode: the points stay server-side; the one
+            // aggregated line after the loop is the whole answer.
+            collected.push_back(std::move(result));
+            continue;
+        }
         if (!client.write(
                 resultToJson(result, id, i, !quiet, &blob).dump())) {
             aborted = true;  // client gone; queued work was reaped
@@ -907,6 +975,36 @@ MtvService::streamBatch(ClientState &client, uint64_t streamId,
         done.set("count", static_cast<uint64_t>(futures.size()));
         done.set("completed", static_cast<uint64_t>(completed));
         client.write(done.dump());
+    } else if (!aborted && compare) {
+        // The compare answer: one aggregated line, the digest folded
+        // over the same blobs the equivalent sweep would stream.
+        try {
+            ScopedFatalAsException fatalScope;
+            Json ok = Json::object();
+            ok.set("id", id);
+            ok.set("ok", true);
+            ok.set("compare", true);
+            ok.set("family", compare->family);
+            ok.set("count", static_cast<uint64_t>(futures.size()));
+            ok.set("baseline", compare->baseline);
+            ok.set("simulated", simulated);
+            ok.set("cacheServed", cacheServed);
+            ok.set("storeServed", storeServed);
+            ok.set("digest",
+                   format("%016llx",
+                          static_cast<unsigned long long>(digest)));
+            Json rows = Json::array();
+            for (const CompareRow &row :
+                 compareDesigns(compare->slices, collected))
+                rows.push(compareRowToJson(row));
+            ok.set("rows", std::move(rows));
+            if (client.write(ok.dump())) {
+                obsDoneUs_[sweep]->observe(monotonicMicros() -
+                                           admittedUs);
+            }
+        } catch (const FatalError &e) {
+            client.write(requestErrorJson(id, e.what()).dump());
+        }
     } else if (!aborted) {
         Json done = Json::object();
         done.set("id", id);

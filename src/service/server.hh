@@ -163,6 +163,19 @@ class MtvService
         std::shared_ptr<CancelToken> token;
     };
 
+    /**
+     * A "compare" op riding the batch machinery: the expansion's
+     * slice map, kept so the streaming thread can fold the results
+     * through compareDesigns() and answer one aggregated line
+     * instead of a result stream.
+     */
+    struct CompareJob
+    {
+        std::string family;
+        std::string baseline;  ///< slice 0's label
+        std::vector<SweepSlice> slices;
+    };
+
     void handleConnection(int fd);
     /** Serve one request; returns false when the connection should
      *  close (shutdown request or write failure). */
@@ -172,13 +185,19 @@ class MtvService
     /** Expand a "sweep" request server-side, ack it, and start its
      *  streaming thread. */
     bool handleSweep(const Json &request, ClientState &client);
+    /** Expand a "compare" request, check the family is design-
+     *  parallel, and start its streaming thread in compare mode. */
+    bool handleCompare(const Json &request, ClientState &client);
     /** Admit the validated batch @p specs: take a slot, register its
      *  cancel token, and start its streaming thread. @p sweep tags
      *  the op's latency series; @p admittedUs is the request's
-     *  arrival timestamp (monotonicMicros()). */
+     *  arrival timestamp (monotonicMicros()). A non-null @p compare
+     *  switches the stream to the one-line aggregated answer. */
     void admitBatch(ClientState &client, uint64_t id,
                     std::vector<RunSpec> specs, bool quiet,
-                    bool sweep, uint64_t admittedUs);
+                    bool sweep, uint64_t admittedUs,
+                    std::shared_ptr<const CompareJob> compare =
+                        nullptr);
     /** Cancel every in-flight batch tagged @p requestId, on any
      *  connection; returns how many were hit. */
     uint64_t cancelBatches(uint64_t requestId);
@@ -199,7 +218,8 @@ class MtvService
                      uint64_t id, std::vector<RunSpec> specs,
                      bool quiet, std::shared_ptr<CancelToken> token,
                      uint64_t batchKey, bool sweep,
-                     uint64_t admittedUs);
+                     uint64_t admittedUs,
+                     std::shared_ptr<const CompareJob> compare);
     /** Join threads whose connections have ended. Caller holds
      *  clientsMutex_. */
     void reapFinishedLocked();

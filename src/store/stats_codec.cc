@@ -245,6 +245,10 @@ storeSchemaHash()
     // shapes or Table 3 targets below to invalidate stale stores.
     std::string schema;
     schema += "codec=" + std::to_string(statsCodecVersion);
+    // RunSpec canonical format generation: bumped when the key string
+    // grows fields (e.g. the extension axes), so segments written
+    // under the old vocabulary are rejected wholesale.
+    schema += ";runspec=8field";
     schema += ";reasons=" +
               std::to_string(
                   static_cast<int>(BlockReason::NumReasons));

@@ -8,6 +8,8 @@
 
 #include <gtest/gtest.h>
 
+#include "src/api/run_spec.hh"
+#include "src/common/logging.hh"
 #include "src/core/sim.hh"
 #include "src/driver/runner.hh"
 #include "src/trace/source.hh"
@@ -357,6 +359,223 @@ TEST(Decoupled, TruncatedRunRespectsBudgetWithWindow)
     VectorSim sim(MachineParams::decoupledVector(4));
     const SimStats s = sim.runSingle(src, 7);
     EXPECT_EQ(s.dispatches, 7u);
+}
+
+// ---------------------------------------------------------------------
+// RunSpec extension axes (memPorts / renameDepth / decoupleDepth)
+// ---------------------------------------------------------------------
+
+TEST(RunSpecExt, CanonicalRoundTripAndKeyStability)
+{
+    const RunSpec spec =
+        RunSpec::jobQueue({"flo52", "tomcatv"},
+                          MachineParams::multithreaded(2), 1e-4)
+            .withExtensions(3, 4, 2);
+    const std::string canonical = spec.canonical();
+    EXPECT_NE(canonical.find(";ports=3;"), std::string::npos);
+    EXPECT_NE(canonical.find(";rename=4;"), std::string::npos);
+    EXPECT_NE(canonical.find(";decouple=2;"), std::string::npos);
+    const RunSpec parsed = RunSpec::parse(canonical);
+    EXPECT_EQ(parsed, spec);
+    EXPECT_EQ(parsed.key(), spec.key());
+    EXPECT_EQ(parsed.memPorts, 3);
+    EXPECT_EQ(parsed.renameDepth, 4);
+    EXPECT_EQ(parsed.decoupleDepth, 2);
+    EXPECT_EQ(parsed.canonical(), canonical);
+}
+
+TEST(RunSpecExt, AxesNeverAlias)
+{
+    // Every axis is part of the canonical string (= the cache and
+    // store key): specs differing only in an axis never collide,
+    // even when the axis folds to the same effective machine (the
+    // Convex ports=1 override equals the reference default).
+    const RunSpec base =
+        RunSpec::single("flo52", MachineParams::reference());
+    const RunSpec ports = base.withExtensions(1, 0, 0);
+    const RunSpec rename = base.withExtensions(0, 1, 0);
+    const RunSpec decouple = base.withExtensions(0, 0, 1);
+    EXPECT_NE(base.canonical(), ports.canonical());
+    EXPECT_NE(base.canonical(), rename.canonical());
+    EXPECT_NE(base.canonical(), decouple.canonical());
+    EXPECT_NE(ports.canonical(), rename.canonical());
+    EXPECT_NE(rename.canonical(), decouple.canonical());
+    EXPECT_NE(base.key(), ports.key());
+    EXPECT_NE(base.key(), rename.key());
+    EXPECT_NE(base.key(), decouple.key());
+}
+
+TEST(RunSpecExt, OldFiveFieldFormatRejected)
+{
+    // The pre-extension 5-field serialization must fail loudly, not
+    // decode with silently-defaulted axes.
+    ScopedFatalAsException scope;
+    const std::string old =
+        "mode=single;scale=0.0001;max=0;programs=flo52;machine=" +
+        MachineParams::reference().canonical();
+    EXPECT_THROW(RunSpec::parse(old), FatalError);
+}
+
+TEST(RunSpecExt, RangeValidation)
+{
+    ScopedFatalAsException scope;
+    const RunSpec base =
+        RunSpec::single("flo52", MachineParams::reference());
+    EXPECT_THROW(base.withExtensions(6, 0, 0), FatalError);
+    EXPECT_THROW(base.withExtensions(-1, 0, 0), FatalError);
+    EXPECT_THROW(base.withExtensions(0, 9, 0), FatalError);
+    EXPECT_THROW(base.withExtensions(0, 0, 17), FatalError);
+}
+
+TEST(RunSpecExt, EffectiveParamsFoldsAxes)
+{
+    const RunSpec spec =
+        RunSpec::jobQueue({"flo52"}, MachineParams::multithreaded(2))
+            .withExtensions(3, 4, 5);
+    const MachineParams p = spec.effectiveParams();
+    EXPECT_EQ(p.loadPorts, 2);  // Cray split: N-1 load + 1 store
+    EXPECT_EQ(p.storePorts, 1);
+    EXPECT_EQ(p.renameDepth, 4);
+    EXPECT_EQ(p.decoupleDepth, 5);
+    // The declarative spec is untouched by the fold.
+    EXPECT_EQ(spec.params.loadPorts, 1);
+    EXPECT_EQ(spec.params.storePorts, 0);
+    EXPECT_EQ(spec.params.renameDepth, 0);
+
+    // ports=1 is the Convex unified port; 0 inherits the machine's.
+    const RunSpec convex =
+        RunSpec::single("flo52", MachineParams::reference())
+            .withExtensions(1, 0, 0);
+    EXPECT_EQ(convex.effectiveParams().loadPorts, 1);
+    EXPECT_EQ(convex.effectiveParams().storePorts, 0);
+    const RunSpec inherit =
+        RunSpec::single("flo52", MachineParams::crayStyle(2));
+    EXPECT_EQ(inherit.effectiveParams().loadPorts, 2);
+    EXPECT_EQ(inherit.effectiveParams().storePorts, 1);
+}
+
+TEST(RunSpecExt, InfiniteAndBoundedRenamingExclusive)
+{
+    ScopedFatalAsException scope;
+    MachineParams p = MachineParams::reference();
+    p.renaming = true;
+    const RunSpec spec = RunSpec::single("flo52", p);
+    EXPECT_THROW(spec.withExtensions(0, 4, 0), FatalError);
+}
+
+TEST(RunSpecExt, ReferenceSpecPreservesAxes)
+{
+    // The derived reference machine keeps the extension overrides:
+    // an ext sweep's speedups compare against the single-context
+    // machine with the same extension.
+    const RunSpec spec =
+        RunSpec::jobQueue({"flo52"}, MachineParams::multithreaded(4))
+            .withExtensions(3, 0, 4);
+    const MachineParams ref = referenceMachineOf(spec.effectiveParams());
+    EXPECT_EQ(ref.contexts, 1);
+    EXPECT_EQ(ref.loadPorts, 2);
+    EXPECT_EQ(ref.storePorts, 1);
+    EXPECT_EQ(ref.decoupleDepth, 4);
+}
+
+// ---------------------------------------------------------------------
+// Bounded renaming (MachineParams::renameDepth)
+// ---------------------------------------------------------------------
+
+TEST(BoundedRenaming, OneSpareMatchesInfiniteOnSingleWaw)
+{
+    // One WAW hazard needs one spare register: a pool of 1 behaves
+    // exactly like the infinite pool (cycles 138, see
+    // Renaming.RemovesWawStall).
+    MachineParams p = MachineParams::reference();
+    p.renameDepth = 1;
+    const SimStats s = runStream(
+        {
+            makeVectorArith(Opcode::VAdd, 2, 0, 0, 128),
+            makeVectorArith(Opcode::VAdd, 2, 4, 4, 128),
+        },
+        p);
+    EXPECT_EQ(s.cycles, 138u);
+}
+
+TEST(BoundedRenaming, OneSpareRemovesWarStall)
+{
+    MachineParams p = MachineParams::reference();
+    p.renameDepth = 1;
+    const SimStats s = runStream(
+        {
+            makeVectorArith(Opcode::VAdd, 2, 0, 0, 128),
+            makeVectorMem(Opcode::VLoad, 0, 128, 0x0, 1),
+        },
+        p);
+    EXPECT_EQ(s.cycles, 182u);  // same as Renaming.RemovesWarStall
+}
+
+TEST(BoundedRenaming, ExhaustedPoolSitsBetweenNoneAndInfinite)
+{
+    // Three back-to-back WAW writers to v2 want two simultaneous
+    // renames; a pool of 1 must serialize on the recycled slot, so
+    // it can never beat the infinite pool nor lose to no renaming.
+    const std::vector<Instruction> stream = {
+        makeVectorArith(Opcode::VAdd, 2, 0, 0, 128),
+        makeVectorArith(Opcode::VAdd, 2, 4, 4, 128),
+        makeVectorArith(Opcode::VAdd, 2, 6, 6, 128),
+    };
+    MachineParams none = MachineParams::reference();
+    MachineParams one = MachineParams::reference();
+    one.renameDepth = 1;
+    MachineParams inf = MachineParams::reference();
+    inf.renaming = true;
+    const uint64_t noneCycles = runStream(stream, none).cycles;
+    const uint64_t oneCycles = runStream(stream, one).cycles;
+    const uint64_t infCycles = runStream(stream, inf).cycles;
+    EXPECT_LE(infCycles, oneCycles);
+    EXPECT_LE(oneCycles, noneCycles);
+    EXPECT_LT(oneCycles, noneCycles);  // one spare still helps
+}
+
+TEST(BoundedRenaming, SteppedAndEventKernelsAgree)
+{
+    // The bounded-rename wakeup predicate must be exact: a late wake
+    // in the event kernel would break bit-identity with the stepped
+    // reference.
+    const std::vector<Instruction> stream = {
+        makeVectorArith(Opcode::VAdd, 2, 0, 0, 128),
+        makeVectorArith(Opcode::VAdd, 2, 4, 4, 128),
+        makeVectorArith(Opcode::VAdd, 2, 6, 6, 128),
+        makeVectorMem(Opcode::VLoad, 2, 128, 0x0, 1),
+        makeVectorArith(Opcode::VMul, 4, 2, 6, 128),
+    };
+    for (const int depth : {1, 2, 4}) {
+        MachineParams p = MachineParams::reference();
+        p.renameDepth = depth;
+        VectorSource steppedSrc("bounded", stream);
+        VectorSim stepped(p, SimKernel::Stepped);
+        VectorSource eventSrc("bounded", stream);
+        VectorSim event(p, SimKernel::Event);
+        EXPECT_EQ(stepped.runSingle(steppedSrc).cycles,
+                  event.runSingle(eventSrc).cycles)
+            << "depth " << depth;
+    }
+}
+
+TEST(BoundedRenaming, DepthFourMatchesInfiniteOnRealWorkloads)
+{
+    // The generator's 8-register bodies never hold more than four
+    // renames at once, so a 4-deep pool reproduces the infinite
+    // pool's cycle counts exactly on the suite.
+    Runner runner(2e-5);
+    const std::vector<std::string> jobs = {"flo52", "tomcatv", "trfd",
+                                           "dyfesm"};
+    for (int c : {1, 2}) {
+        MachineParams bounded = MachineParams::multithreaded(c);
+        bounded.renameDepth = 4;
+        MachineParams inf = MachineParams::multithreaded(c);
+        inf.renaming = true;
+        EXPECT_EQ(runner.runJobQueue(jobs, bounded).cycles,
+                  runner.runJobQueue(jobs, inf).cycles)
+            << c << " contexts";
+    }
 }
 
 } // namespace

@@ -572,6 +572,89 @@ TEST_F(FleetFixture, MetricsOpAggregatesAcrossNodes)
     serveThread.join();
 }
 
+TEST_F(FleetFixture, CompareOpScattersAndMatchesLocalTable)
+{
+    // The fleet frontend's "compare" op: scatter the family across
+    // the ring, fold router-side, answer one aggregated line whose
+    // rows and digest are bit-identical to a local computation.
+    SweepRequest request;
+    request.family = "ext-compare";
+    request.contexts = 2;
+    request.jobs = {"flo52", "trfd"};
+    request.scale = testScale;
+    SweepBuilder reference = expandSweep(request);
+    const LocalFold expected = localFold(reference.specs());
+    const std::vector<CompareRow> localRows =
+        compareDesigns(reference.slices(), expected.results);
+
+    FleetServiceOptions options;
+    options.socketPath = tempPath(9);
+    options.nodes = endpoints_;
+    FleetService fleet(options);
+    std::thread serveThread([&fleet] { fleet.serve(); });
+
+    std::string error;
+    const int fd = connectToDaemon(fleet.socketPath(), &error);
+    ASSERT_GE(fd, 0) << error;
+    {
+        LineChannel channel(fd);
+        Json line = sweepRequestToJson(request);
+        line.set("op", "compare");
+        line.set("id", 31);
+        ASSERT_TRUE(channel.writeLine(line.dump()));
+        std::string text;
+        ASSERT_TRUE(channel.readLine(&text));
+        Json response;
+        ASSERT_TRUE(Json::parse(text, &response, &error)) << error;
+        ASSERT_FALSE(response.has("error"))
+            << response.getString("error");
+        EXPECT_TRUE(response.getBool("ok", false));
+        EXPECT_TRUE(response.getBool("compare", false));
+        EXPECT_TRUE(response.getBool("fleet", false));
+        EXPECT_EQ(response.getString("family"), "ext-compare");
+        EXPECT_EQ(response.get("count").asU64(),
+                  expected.results.size());
+        EXPECT_EQ(response.getString("baseline"),
+                  reference.slices()[0].label);
+        char digestHex[17];
+        std::snprintf(digestHex, sizeof(digestHex), "%016llx",
+                      static_cast<unsigned long long>(
+                          expected.digest));
+        EXPECT_EQ(response.getString("digest"), digestHex);
+        const auto &rows = response.get("rows").asArray();
+        ASSERT_EQ(rows.size(), localRows.size());
+        for (size_t i = 0; i < rows.size(); ++i) {
+            const CompareRow row = compareRowFromJson(rows[i]);
+            EXPECT_EQ(row.design, localRows[i].design)
+                << "row " << i;
+            EXPECT_EQ(row.cycles, localRows[i].cycles)
+                << "row " << i;
+            EXPECT_DOUBLE_EQ(row.speedup, localRows[i].speedup)
+                << "row " << i;
+        }
+
+        // A non-design-parallel family is rejected before any node
+        // sees work, same structured error as a single daemon.
+        SweepRequest grouping;
+        grouping.family = "groupings";
+        grouping.program = "trfd";
+        grouping.contexts = 2;
+        grouping.scale = testScale;
+        Json bad = sweepRequestToJson(grouping);
+        bad.set("op", "compare");
+        bad.set("id", 32);
+        ASSERT_TRUE(channel.writeLine(bad.dump()));
+        ASSERT_TRUE(channel.readLine(&text));
+        Json answer;
+        ASSERT_TRUE(Json::parse(text, &answer, &error)) << error;
+        EXPECT_TRUE(answer.has("error"));
+        EXPECT_EQ(answer.getString("notComparable"), "groupings");
+    }
+
+    fleet.stop();
+    serveThread.join();
+}
+
 TEST(FleetRouterDeath, AllNodesDeadFatals)
 {
     const std::string base =

@@ -57,7 +57,7 @@ simulate(const RunSpec &spec, SimKernel kernel)
         sources.push_back(makeProgram(name, spec.scale));
         raw.push_back(sources.back().get());
     }
-    VectorSim sim(spec.params, kernel);
+    VectorSim sim(spec.effectiveParams(), kernel);
     switch (spec.mode) {
       case SpecMode::Single:
         return sim.runSingle(*raw[0], spec.maxInstructions);
@@ -84,9 +84,10 @@ struct GoldenCase
 };
 
 /**
- * One representative configuration per bench (21 benches). Machine
- * constructions mirror the bench sources so a digest here guards the
- * same simulator paths the figures exercise.
+ * One representative configuration per bench (21 benches), plus one
+ * pin per RunSpec extension axis. Machine constructions mirror the
+ * bench sources so a digest here guards the same simulator paths the
+ * figures exercise.
  */
 std::vector<GoldenCase>
 goldenCases()
@@ -260,6 +261,35 @@ goldenCases()
                                            goldenScale),
                          0xe785997d25dc39b3ull});
     }
+    // RunSpec extension axes (the ext-* sweep families): one pin per
+    // axis plus the fully-combined point, all on the same job-queue
+    // slice so the folds are the only difference. The decouple and
+    // rename pins exercise the batched kernel's per-point Event
+    // fallback; the multiport pin stays on the fast lane.
+    cases.push_back({"axis_multiport3",
+                     RunSpec::jobQueue(shortJobs(),
+                                       MachineParams::multithreaded(2),
+                                       goldenScale)
+                         .withExtensions(3, 0, 0),
+                     0xeec98604fa88ff8full});
+    cases.push_back({"axis_rename4",
+                     RunSpec::jobQueue(shortJobs(),
+                                       MachineParams::multithreaded(2),
+                                       goldenScale)
+                         .withExtensions(0, 4, 0),
+                     0x4e3b63aff21b80e2ull});
+    cases.push_back({"axis_decouple4",
+                     RunSpec::jobQueue(shortJobs(),
+                                       MachineParams::multithreaded(2),
+                                       goldenScale)
+                         .withExtensions(0, 0, 4),
+                     0x66c36065cb1af191ull});
+    cases.push_back({"axis_all_combined",
+                     RunSpec::jobQueue(shortJobs(),
+                                       MachineParams::multithreaded(2),
+                                       goldenScale)
+                         .withExtensions(3, 4, 4),
+                     0xfaabe309e71e374ull});
     // bench_simspeed: the throughput benchmark's reference config.
     cases.push_back({"simspeed_reference",
                      RunSpec::single("flo52",

@@ -695,6 +695,127 @@ TEST_F(ServiceFixture, SweepPointsSubsetStreamsInGivenOrder)
 }
 
 // ---------------------------------------------------------------------
+// Compare op: server-side cross-design tables (protocol v5)
+// ---------------------------------------------------------------------
+
+TEST(Protocol, CompareRowRoundTrip)
+{
+    CompareRow row;
+    row.design = "mth4+rename4";
+    row.contexts = 4;
+    row.ports = 3;
+    row.memLatency = 50;
+    row.cycles = 123456;
+    row.speedup = 1.75;
+    row.occupation = 0.91;
+    row.vopc = 2.5;
+    const CompareRow back = compareRowFromJson(compareRowToJson(row));
+    EXPECT_EQ(back.design, row.design);
+    EXPECT_EQ(back.contexts, row.contexts);
+    EXPECT_EQ(back.ports, row.ports);
+    EXPECT_EQ(back.memLatency, row.memLatency);
+    EXPECT_EQ(back.cycles, row.cycles);
+    EXPECT_DOUBLE_EQ(back.speedup, row.speedup);
+    EXPECT_DOUBLE_EQ(back.occupation, row.occupation);
+    EXPECT_DOUBLE_EQ(back.vopc, row.vopc);
+
+    ScopedFatalAsException scope;
+    EXPECT_THROW(compareRowFromJson(Json::object()), FatalError);
+}
+
+TEST_F(ServiceFixture, CompareOpAggregatesCrossDesignTable)
+{
+    // The daemon expands the family, runs the same engine path a
+    // sweep would, and answers ONE aggregated line whose rows and
+    // digest must match the local computation bit-for-bit.
+    SweepRequest request;
+    request.family = "ext-compare";
+    request.contexts = 2;
+    request.jobs = {"flo52", "trfd"};
+    request.scale = testScale;
+
+    SweepBuilder local = expandSweep(request);
+    ExperimentEngine localEngine;
+    const auto expected = localEngine.runAll(local.specs());
+    uint64_t digest = 0xcbf29ce484222325ull;
+    for (const RunResult &r : expected) {
+        const std::string blob = serializeSimStats(r.stats);
+        digest = fnv1a64(blob.data(), blob.size(), digest);
+    }
+    const std::vector<CompareRow> localRows =
+        compareDesigns(local.slices(), expected);
+
+    LineChannel channel = connect();
+    Json line = sweepRequestToJson(request);
+    line.set("op", "compare");
+    line.set("id", 11);
+    ASSERT_TRUE(channel.writeLine(line.dump()));
+
+    std::string text;
+    ASSERT_TRUE(channel.readLine(&text));
+    Json response;
+    std::string error;
+    ASSERT_TRUE(Json::parse(text, &response, &error)) << error;
+    ASSERT_FALSE(response.has("error"))
+        << response.getString("error");
+    EXPECT_TRUE(response.getBool("ok", false));
+    EXPECT_TRUE(response.getBool("compare", false));
+    EXPECT_EQ(response.get("id").asU64(), 11u);
+    EXPECT_EQ(response.getString("family"), "ext-compare");
+    EXPECT_EQ(response.get("count").asU64(), local.size());
+    EXPECT_EQ(response.getString("baseline"),
+              local.slices()[0].label);
+    // Digest semantics are identical to the equivalent sweep: folded
+    // over the stats blobs in submission order.
+    EXPECT_EQ(response.getString("digest"), digestHex(digest));
+
+    const auto &rows = response.get("rows").asArray();
+    ASSERT_EQ(rows.size(), localRows.size());
+    for (size_t i = 0; i < rows.size(); ++i) {
+        const CompareRow row = compareRowFromJson(rows[i]);
+        EXPECT_EQ(row.design, localRows[i].design) << "row " << i;
+        EXPECT_EQ(row.cycles, localRows[i].cycles) << "row " << i;
+        EXPECT_DOUBLE_EQ(row.speedup, localRows[i].speedup)
+            << "row " << i;
+    }
+    // The baseline row compares against itself.
+    EXPECT_DOUBLE_EQ(compareRowFromJson(rows[0]).speedup, 1.0);
+}
+
+TEST_F(ServiceFixture, CompareRejectsUnknownAndNonParallelFamilies)
+{
+    LineChannel channel = connect();
+
+    // Unknown family: same structured badFamily error as sweep.
+    Json bad = Json::object();
+    bad.set("op", "compare");
+    bad.set("id", 21);
+    bad.set("family", "no-such-family");
+    const Json unknown = roundTrip(channel, bad);
+    EXPECT_TRUE(unknown.has("error"));
+    EXPECT_EQ(unknown.getString("badFamily"), "no-such-family");
+
+    // A family whose slices are not design-parallel is rejected
+    // BEFORE any simulation, with a structured notComparable field.
+    SweepRequest grouping;
+    grouping.family = "groupings";
+    grouping.program = "trfd";
+    grouping.contexts = 2;
+    grouping.scale = testScale;
+    Json line = sweepRequestToJson(grouping);
+    line.set("op", "compare");
+    line.set("id", 22);
+    const Json answer = roundTrip(channel, line);
+    EXPECT_TRUE(answer.has("error"));
+    EXPECT_EQ(answer.getString("notComparable"), "groupings");
+
+    // The daemon survived both rejections.
+    Json ping = Json::object();
+    ping.set("op", "ping");
+    EXPECT_TRUE(roundTrip(channel, ping).getBool("pong"));
+}
+
+// ---------------------------------------------------------------------
 // TCP transport
 // ---------------------------------------------------------------------
 

@@ -1,0 +1,144 @@
+#!/usr/bin/env python3
+"""Markdown lint for the repo docs: every relative link must resolve.
+
+Checks, stdlib only (runs in CI without network access):
+
+  * relative links/images point at files that exist in the repo
+  * intra-document anchors (``#section``) match a heading in the
+    target file, using GitHub's slug rules (lowercase, spaces to
+    dashes, punctuation dropped)
+  * fenced code blocks are balanced (an unclosed fence swallows the
+    rest of the document on GitHub)
+  * no literal merge-conflict markers survive
+
+External http(s)/mailto links are deliberately NOT fetched; CI must
+not depend on the network. Usage:
+
+    python3 tools/docs_lint.py [FILE.md ...]
+
+With no arguments, lints every tracked *.md file under the repo root.
+Exits nonzero with one line per problem.
+"""
+
+import os
+import re
+import subprocess
+import sys
+
+LINK = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+HEADING = re.compile(r"^#{1,6}\s+(.*)$")
+FENCE = re.compile(r"^(```|~~~)")
+CONFLICT = re.compile(r"^(<{7} |={7}$|>{7} )")
+
+
+def repo_root():
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--show-toplevel"],
+            capture_output=True, text=True, check=True)
+        return out.stdout.strip()
+    except (subprocess.CalledProcessError, FileNotFoundError):
+        return os.getcwd()
+
+
+def tracked_markdown(root):
+    try:
+        out = subprocess.run(
+            ["git", "ls-files", "--cached", "--others",
+             "--exclude-standard", "*.md", "**/*.md"],
+            capture_output=True, text=True, check=True, cwd=root)
+        files = [f for f in out.stdout.splitlines() if f]
+    except (subprocess.CalledProcessError, FileNotFoundError):
+        files = []
+        for dirpath, dirnames, filenames in os.walk(root):
+            dirnames[:] = [d for d in dirnames
+                           if d not in (".git", "build")]
+            for name in filenames:
+                if name.endswith(".md"):
+                    files.append(os.path.relpath(
+                        os.path.join(dirpath, name), root))
+    return sorted(set(files))
+
+
+def github_slug(heading):
+    """GitHub's anchor slug: strip punctuation, spaces become dashes."""
+    text = re.sub(r"`([^`]*)`", r"\1", heading.strip())
+    text = re.sub(r"\[([^\]]*)\]\([^)]*\)", r"\1", text)  # linked headings
+    text = text.lower()
+    text = re.sub(r"[^\w\- ]", "", text, flags=re.UNICODE)
+    return text.replace(" ", "-")
+
+
+def parse_document(path):
+    """Return (links, anchors, problems) for one markdown file."""
+    links = []      # (lineno, target)
+    anchors = set()
+    problems = []
+    in_fence = False
+    fence_open_line = 0
+    with open(path, encoding="utf-8") as fh:
+        for lineno, line in enumerate(fh, 1):
+            if CONFLICT.match(line):
+                problems.append((lineno, "merge-conflict marker"))
+            if FENCE.match(line):
+                in_fence = not in_fence
+                fence_open_line = lineno if in_fence else 0
+                continue
+            if in_fence:
+                continue
+            m = HEADING.match(line)
+            if m:
+                anchors.add(github_slug(m.group(1)))
+            for m in LINK.finditer(line):
+                links.append((lineno, m.group(1)))
+    if in_fence:
+        problems.append((fence_open_line, "unclosed code fence"))
+    return links, anchors, problems
+
+
+def main(argv):
+    root = repo_root()
+    files = argv[1:] or tracked_markdown(root)
+    docs = {}
+    errors = []
+    for rel in files:
+        path = os.path.join(root, rel)
+        if not os.path.isfile(path):
+            errors.append(f"{rel}: file not found")
+            continue
+        docs[os.path.normpath(rel)] = parse_document(path)
+
+    for rel, (links, anchors, problems) in sorted(docs.items()):
+        for lineno, what in problems:
+            errors.append(f"{rel}:{lineno}: {what}")
+        base = os.path.dirname(rel)
+        for lineno, target in links:
+            if re.match(r"^[a-z][a-z0-9+.-]*:", target):
+                continue  # http(s)/mailto: not checked offline
+            target, _, fragment = target.partition("#")
+            if target:
+                dest = os.path.normpath(os.path.join(base, target))
+                if not os.path.exists(os.path.join(root, dest)):
+                    errors.append(
+                        f"{rel}:{lineno}: broken link -> {target}")
+                    continue
+            else:
+                dest = rel
+            if fragment:
+                # Anchors are only checkable in files this run parsed.
+                if dest in docs and fragment not in docs[dest][1]:
+                    errors.append(
+                        f"{rel}:{lineno}: missing anchor "
+                        f"#{fragment} in {dest}")
+
+    for error in errors:
+        print(error, file=sys.stderr)
+    if errors:
+        print(f"docs_lint: {len(errors)} problem(s)", file=sys.stderr)
+        return 1
+    print(f"docs_lint: {len(docs)} file(s) clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

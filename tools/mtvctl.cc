@@ -23,6 +23,24 @@
  *                                       arrives; --local runs the
  *                                       identical sweep in-process
  *                                       (no daemon) for comparison.
+ *   mtvctl compare [--scale S] [--family F] [--contexts N] [--local]
+ *                                       cross-design comparison: the
+ *                                       daemon expands a design-
+ *                                       parallel family (default
+ *                                       ext-compare), runs it, pairs
+ *                                       every design slice row-wise
+ *                                       against slice 0 server-side,
+ *                                       and answers one aggregated
+ *                                       speedup table (the paper's
+ *                                       Figure 6/12 rendering).
+ *                                       --local computes the same
+ *                                       table in-process; with
+ *                                       --fleet the expansion is
+ *                                       scattered across the nodes.
+ *                                       All three print the same
+ *                                       digest as the equivalent
+ *                                       sweep — bit-identity is
+ *                                       checkable across transports.
  *   mtvctl warm [--scale S] [--family F]
  *                                       run the sweep quietly, just to
  *                                       populate the daemon's store
@@ -97,10 +115,12 @@ usage()
         "  run <program> [--contexts N] [--scale S]\n"
         "  sweep [--scale S] [--family F] [--program P] "
         "[--contexts N] [--follow] [--local]\n"
+        "  compare [--scale S] [--family F] [--contexts N] "
+        "[--local]\n"
         "  warm [--scale S] [--family F]\n"
         "  cancel <request-id>\n"
         "  metrics [--prom]\n"
-        "(--fleet applies to sweep, warm and metrics)\n");
+        "(--fleet applies to sweep, compare, warm and metrics)\n");
     return 2;
 }
 
@@ -277,6 +297,124 @@ printPoint(const RunResult &r, size_t seq, size_t total)
                     : "",
                 r.cached ? " (cache)"
                          : (r.fromStore ? " (store)" : ""));
+}
+
+/** Render a compare response's rows (the Figure 6/12 table). */
+void
+printCompareTable(const std::string &baseline,
+                  const std::vector<CompareRow> &rows)
+{
+    Table t({"design", "contexts", "ports", "latency", "cycles (k)",
+             "speedup", "occupation", "VOPC"});
+    for (const CompareRow &row : rows) {
+        t.row()
+            .add(row.design)
+            .add(row.contexts)
+            .add(row.ports)
+            .add(row.memLatency)
+            .add(static_cast<double>(row.cycles) / 1e3, 1)
+            .add(row.speedup, 3)
+            .add(row.occupation, 3)
+            .add(row.vopc, 3);
+    }
+    t.print();
+    std::printf("speedup: row-wise vs the '%s' slice\n",
+                baseline.c_str());
+}
+
+int
+cmdCompareLocal(const SweepRequest &request)
+{
+    SweepBuilder sweep = expandSweep(request);
+    ExperimentEngine engine;
+    const auto start = std::chrono::steady_clock::now();
+    const std::vector<RunResult> results =
+        engine.runAll(sweep.specs());
+    const double seconds =
+        std::chrono::duration<double>(
+            std::chrono::steady_clock::now() - start)
+            .count();
+
+    uint64_t digest = 0xcbf29ce484222325ull;
+    uint64_t simulated = 0;
+    uint64_t cacheServed = 0;
+    for (const RunResult &r : results) {
+        const std::string blob = serializeSimStats(r.stats);
+        digest = fnv1a64(blob.data(), blob.size(), digest);
+        if (r.cached)
+            ++cacheServed;
+        else
+            ++simulated;
+    }
+    // compareDesigns fatal()s (with the offending slice named) when
+    // the family is not design-parallel — the right CLI behavior.
+    printCompareTable(sweep.slices().at(0).label,
+                      compareDesigns(sweep.slices(), results));
+    std::printf("compare: %zu points in %.2fs (family %s, local, no "
+                "daemon)\n",
+                results.size(), seconds, request.family.c_str());
+    printServed(simulated, cacheServed, 0);
+    printDigest(digest);
+    return 0;
+}
+
+int
+cmdCompare(const Endpoint &endpoint, const SweepRequest &request)
+{
+    LineChannel channel = connectChannel(endpoint);
+    Json line = sweepRequestToJson(request);
+    line.set("op", "compare");
+    line.set("id", 1);
+    if (!channel.writeLine(line.dump()))
+        fatal("cannot send request (daemon gone?)");
+
+    const Json response = readResponse(channel);
+    if (!response.getBool("compare", false))
+        fatal("expected a compare response, got: %s",
+              response.dump().c_str());
+    std::vector<CompareRow> rows;
+    for (const Json &row : response.get("rows").asArray())
+        rows.push_back(compareRowFromJson(row));
+    printCompareTable(response.getString("baseline"), rows);
+    std::printf("compare: %llu points (family %s%s)\n",
+                static_cast<unsigned long long>(
+                    response.get("count").asU64()),
+                response.getString("family").c_str(),
+                response.getBool("fleet", false) ? ", via fleet router"
+                                                 : "");
+    printServed(response.get("simulated").asU64(),
+                response.get("cacheServed").asU64(),
+                response.get("storeServed").asU64());
+    std::printf("digest: %s\n",
+                response.getString("digest").c_str());
+    return 0;
+}
+
+/** Client-side fleet compare: scatter the expansion, gather, fold
+ *  the table locally — same digest as a daemon or --local compare. */
+int
+cmdCompareFleet(const std::vector<std::string> &fleetNodes,
+                const SweepRequest &request)
+{
+    FleetRouter router(fleetNodes);
+    const auto start = std::chrono::steady_clock::now();
+    const FleetOutcome outcome = router.runSweep(request);
+    const double seconds =
+        std::chrono::duration<double>(
+            std::chrono::steady_clock::now() - start)
+            .count();
+
+    printCompareTable(
+        outcome.slices.at(0).label,
+        compareDesigns(outcome.slices, outcome.results));
+    std::printf("compare: %zu points in %.2fs (family %s, fleet of "
+                "%zu nodes)\n",
+                outcome.results.size(), seconds,
+                request.family.c_str(), router.nodeCount());
+    printServed(outcome.simulated, outcome.cacheServed,
+                outcome.storeServed);
+    printDigest(outcome.digest);
+    return 0;
 }
 
 int
@@ -733,6 +871,7 @@ main(int argc, char **argv)
 
     SweepRequest sweepRequest;
     sweepRequest.family = "suite-grouping";
+    bool familySet = false;
     bool local = false;
     bool follow = false;
     bool prom = false;
@@ -747,8 +886,10 @@ main(int argc, char **argv)
         };
         if (arg == "--scale")
             sweepRequest.scale = parsePositiveFlag(value(), "--scale");
-        else if (arg == "--family")
+        else if (arg == "--family") {
             sweepRequest.family = value();
+            familySet = true;
+        }
         else if (arg == "--program")
             program = value();
         else if (arg == "--local")
@@ -775,11 +916,16 @@ main(int argc, char **argv)
     // An explicit --contexts is forwarded verbatim (1 = the
     // reference machine's count); 0 keeps the family defaults.
     sweepRequest.contexts = contexts;
+    // compare defaults to the one family built for it; an explicit
+    // --family (any design-parallel one, e.g. ext-renaming) wins.
+    if (command == "compare" && !familySet)
+        sweepRequest.family = "ext-compare";
 
     if (!fleetNodes.empty() && command != "sweep" &&
-        command != "warm" && command != "metrics") {
-        fatal("--fleet applies to sweep, warm and metrics only (use "
-              "--socket or --tcp to address one node)");
+        command != "compare" && command != "warm" &&
+        command != "metrics") {
+        fatal("--fleet applies to sweep, compare, warm and metrics "
+              "only (use --socket or --tcp to address one node)");
     }
 
     if (command == "ping" || command == "stats" ||
@@ -808,6 +954,13 @@ main(int argc, char **argv)
         return cmdRun(endpoint, program,
                       contexts == 0 ? 1 : contexts,
                       sweepRequest.scale);
+    }
+    if (command == "compare") {
+        if (local)
+            return cmdCompareLocal(sweepRequest);
+        return fleetNodes.empty()
+                   ? cmdCompare(endpoint, sweepRequest)
+                   : cmdCompareFleet(fleetNodes, sweepRequest);
     }
     if (command == "sweep") {
         if (local)
