@@ -27,6 +27,22 @@
 namespace mtv
 {
 
+/**
+ * A load() hit plus, when the backend can supply it cheaply, the
+ * record's canonical serializeSimStats() bytes. The blob is what a
+ * wire=binary connection streams and what every digest folds over —
+ * a backend that already holds the encoded bytes (the disk store
+ * reads them verbatim off its segment) hands them out here so the
+ * hot result path never re-encodes a stored point.
+ */
+struct StoredRecord
+{
+    std::shared_ptr<const SimStats> stats;  ///< null on a miss
+    /** Canonical blob bytes, or null when the backend only has the
+     *  decoded struct (callers then serialize on demand). */
+    std::shared_ptr<const std::string> blob;
+};
+
 /** Persistent spec-keyed result storage behind an engine cache. */
 class ResultBackend
 {
@@ -41,6 +57,16 @@ class ResultBackend
      */
     virtual std::shared_ptr<const SimStats>
     load(const std::string &key) = 0;
+
+    /**
+     * load() plus the record's canonical blob when available. The
+     * default forwards to load() with no blob; backends holding the
+     * encoded bytes (ResultStore) override for the zero-copy path.
+     */
+    virtual StoredRecord loadRecord(const std::string &key)
+    {
+        return {load(key), nullptr};
+    }
 
     /**
      * Persist @p stats under @p key. Storing an already-present key

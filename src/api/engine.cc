@@ -39,6 +39,7 @@ ExperimentEngine::ExperimentEngine(EngineOptions options)
                       : 1;
     backend_ = std::move(options.backend);
     maxCacheEntries_ = options.maxCacheEntries;
+    canonicalSerializer_ = std::move(options.canonicalSerializer);
     workers_ = options.workers;
     if (workers_ == 0) {
         workers_ = static_cast<int>(
@@ -328,6 +329,61 @@ ExperimentEngine::submit(const RunSpec &spec, SubmitHook hook,
                          std::shared_ptr<CancelToken> token,
                          LaneId laneId)
 {
+    // Completed-cache fast path: a memoized hit has no work left to
+    // schedule, so settle the future on the calling thread and skip
+    // the lane round-trip (queue mutex, worker wakeup, packaged
+    // task) entirely — the hot result path of a warm sweep. Group
+    // specs still dispatch: their reference terms may simulate.
+    // A hit for an already-cancelled token also dispatches, so the
+    // future fails with CancelledError exactly as before.
+    if (memoize_ && spec.maxInstructions == 0 &&
+        spec.mode != SpecMode::Group &&
+        !(token && token->cancelled())) {
+        std::string key = spec.canonical();
+        CachedStats stats;
+        std::shared_ptr<const std::string> blob;
+        {
+            std::lock_guard<std::mutex> lock(cacheMutex_);
+            auto it = cache_.find(key);
+            if (it != cache_.end()) {
+                lru_.splice(lru_.begin(), lru_, it->second.lruPos);
+                it->second.lruPos = lru_.begin();
+                cacheHits_.fetch_add(1);
+                obsCacheHits_->inc();
+                stats = it->second.stats;
+                blob = it->second.blob;
+            }
+        }
+        if (stats) {
+            if (!blob && canonicalSerializer_) {
+                // First streamed hit of this entry: memoize the
+                // canonical bytes so every later hit is zero-copy.
+                // Serialized outside the lock; a racing duplicate
+                // produces the same canonical bytes, so last writer
+                // wins harmlessly.
+                blob = std::make_shared<const std::string>(
+                    canonicalSerializer_(*stats));
+                std::lock_guard<std::mutex> lock(cacheMutex_);
+                auto it = cache_.find(key);
+                if (it != cache_.end())
+                    it->second.blob = blob;
+            }
+            RunResult result;
+            result.spec = spec;
+            result.stats = *stats;
+            result.cached = true;
+            result.blob = std::move(blob);
+            result.specCanonical = std::move(key);
+            obsPointsCompleted_->inc();
+            if (hook)
+                hook(result);
+            std::promise<RunResult> promise;
+            std::future<RunResult> future = promise.get_future();
+            promise.set_value(std::move(result));
+            return future;
+        }
+    }
+
     if (batchWidth_ > 1 && !insideWorker) {
         // Coalescing: park the spec with its family-mates and queue
         // one drain task. Whichever drain runs first takes up to
@@ -464,16 +520,20 @@ ExperimentEngine::simulate(const RunSpec &spec) const
 }
 
 ExperimentEngine::CachedStats
-ExperimentEngine::loadOrSimulate(const std::string &key,
-                                 const RunSpec &spec, Origin *origin)
+ExperimentEngine::loadOrSimulate(
+    const std::string &key, const RunSpec &spec, Origin *origin,
+    std::shared_ptr<const std::string> *blobOut)
 {
     if (backend_) {
-        if (CachedStats stored = backend_->load(key)) {
+        StoredRecord record = backend_->loadRecord(key);
+        if (record.stats) {
             storeHits_.fetch_add(1);
             obsStoreHits_->inc();
             if (origin)
                 *origin = Origin::Store;
-            return stored;
+            if (blobOut)
+                *blobOut = std::move(record.blob);
+            return std::move(record.stats);
         }
     }
     auto fresh = std::make_shared<SimStats>(simulate(spec));
@@ -500,7 +560,9 @@ ExperimentEngine::insertCompleted(const std::string &key,
 }
 
 ExperimentEngine::CachedStats
-ExperimentEngine::cachedStats(const RunSpec &spec, Origin *origin)
+ExperimentEngine::cachedStats(
+    const RunSpec &spec, Origin *origin,
+    std::shared_ptr<const std::string> *blobOut)
 {
     // Truncated runs (the F_i terms of the speedup accounting) are
     // keyed by an exact dispatch count that is essentially unique per
@@ -512,7 +574,8 @@ ExperimentEngine::cachedStats(const RunSpec &spec, Origin *origin)
     if (!memoize_ || spec.maxInstructions != 0) {
         uncachedRuns_.fetch_add(1);
         obsUncachedRuns_->inc();
-        return loadOrSimulate(spec.canonical(), spec, origin);
+        return loadOrSimulate(spec.canonical(), spec, origin,
+                              blobOut);
     }
 
     const std::string key = spec.canonical();
@@ -554,7 +617,7 @@ ExperimentEngine::cachedStats(const RunSpec &spec, Origin *origin)
 
     CachedStats stats;
     try {
-        stats = loadOrSimulate(key, spec, origin);
+        stats = loadOrSimulate(key, spec, origin, blobOut);
     } catch (...) {
         // fatal() may throw (ScopedFatalAsException) from backend or
         // simulation code. Un-poison the key and hand the error to
@@ -621,7 +684,7 @@ ExperimentEngine::execute(const RunSpec &spec,
     RunResult result;
     result.spec = spec;
     Origin origin = Origin::Simulated;
-    result.stats = *cachedStats(spec, &origin);
+    result.stats = *cachedStats(spec, &origin, &result.blob);
     result.cached = origin == Origin::Cache;
     result.fromStore = origin == Origin::Store;
     if (spec.mode == SpecMode::Group) {
@@ -652,6 +715,8 @@ ExperimentEngine::executeBatch(
         size_t index;
         CachedStats stats;
         Origin origin;
+        /** Canonical bytes of a direct store hit (else null). */
+        std::shared_ptr<const std::string> blob;
     };
     /** A spec that must simulate: an in-flight owner, or uncached. */
     struct Sim
@@ -721,8 +786,8 @@ ExperimentEngine::executeBatch(
         std::vector<Sim> misses;
         misses.reserve(sims.size());
         for (Sim &sim : sims) {
-            CachedStats stored = backend_->load(sim.key);
-            if (!stored) {
+            StoredRecord record = backend_->loadRecord(sim.key);
+            if (!record.stats) {
                 misses.push_back(std::move(sim));
                 continue;
             }
@@ -731,13 +796,14 @@ ExperimentEngine::executeBatch(
             if (sim.cacheable) {
                 {
                     std::lock_guard<std::mutex> lock(cacheMutex_);
-                    insertCompleted(sim.key, stored);
+                    insertCompleted(sim.key, record.stats);
                     inflight_.erase(sim.key);
                 }
-                sim.promise.set_value(stored);
+                sim.promise.set_value(record.stats);
             }
-            served.push_back(
-                {sim.index, std::move(stored), Origin::Store});
+            served.push_back({sim.index, std::move(record.stats),
+                              Origin::Store,
+                              std::move(record.blob)});
         }
         sims.swap(misses);
     }
@@ -856,6 +922,7 @@ ExperimentEngine::executeBatch(
         result.stats = *sv.stats;
         result.cached = sv.origin == Origin::Cache;
         result.fromStore = sv.origin == Origin::Store;
+        result.blob = std::move(sv.blob);
         try {
             if (spec.mode == SpecMode::Group) {
                 const GroupMetrics m = groupMetrics(

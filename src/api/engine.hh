@@ -165,6 +165,17 @@ struct EngineOptions
      * references could dangle).
      */
     size_t maxCacheEntries = 0;
+    /**
+     * Optional canonical stats serializer (serializeSimStats). When
+     * set, a memo-cache hit served by the submit() fast path memoizes
+     * the run's canonical wire bytes alongside its stats: the first
+     * hit pays the encode, every later hit hands the same shared
+     * bytes out through RunResult::blob — the in-process analogue of
+     * a backend hit's verbatim stored record. A std::function rather
+     * than a direct call because the store layer owns the canonical
+     * codec and links against the api, not the other way around.
+     */
+    std::function<std::string(const SimStats &)> canonicalSerializer;
 };
 
 /** One executed RunSpec. */
@@ -178,6 +189,26 @@ struct RunResult
     bool cached = false;
     /** True when the spec's own run was served from the backend. */
     bool fromStore = false;
+    /**
+     * The canonical serializeSimStats() bytes of stats, when they
+     * came for free: a backend hit hands the stored record's bytes
+     * through verbatim (see ResultBackend::loadRecord()), and a
+     * memo-cache hit served by the submit() fast path hands out the
+     * entry's memoized bytes (EngineOptions::canonicalSerializer).
+     * Null when the point was simulated, or cache-served on a path
+     * that does not memoize bytes — callers serialize on demand
+     * then. When set, the bytes are guaranteed equal to
+     * serializeSimStats(stats) (the encoding is canonical).
+     */
+    std::shared_ptr<const std::string> blob;
+    /**
+     * spec.canonical(), when a producer already had it in hand: the
+     * submit() fast path reuses its cache-lookup key, and the wire
+     * decoders keep the received spec string. Empty otherwise.
+     * Encoders use it to skip recanonicalizing on the hot result
+     * path; when set it is guaranteed equal to spec.canonical().
+     */
+    std::string specCanonical;
 
     // ----- group-mode extras (zeros for single/job-queue specs) -----
     double speedup = 0;       ///< section 4.1 reference-work formula
@@ -208,8 +239,9 @@ class ExperimentEngine
 
     /**
      * Progress hook of the streaming submit(): invoked once per
-     * submitted spec, on the worker thread that completed it, right
-     * before the future becomes ready. Hooks must be cheap and must
+     * submitted spec, on the thread that completed it (a pool worker,
+     * or the submitting thread itself when a memo-cache hit settles
+     * inline), right before the future becomes ready. Hooks must be cheap and must
      * not throw (an error would unwind the worker loop) — they exist
      * so a caller juggling many in-flight batches (the mtvd sweep
      * protocol) can count completions without blocking on futures.
@@ -398,6 +430,10 @@ class ExperimentEngine
     {
         CachedStats stats;
         std::list<std::string>::iterator lruPos;
+        /** Canonical serializeSimStats() bytes of stats, memoized by
+         *  the submit() fast path on first streamed hit (null until
+         *  then, or when no canonicalSerializer is configured). */
+        std::shared_ptr<const std::string> blob;
     };
 
     /** The section 4.1 accounting of one group run. */
@@ -441,14 +477,20 @@ class ExperimentEngine
     /**
      * Cache/backend-served stats for @p spec; sets @p origin when
      * non-null. The returned pointer keeps the result alive
-     * independent of cache eviction or clear().
+     * independent of cache eviction or clear(). @p blobOut, when
+     * non-null, receives the backend record's canonical bytes on a
+     * direct store hit (RunResult::blob) and is left untouched
+     * otherwise.
      */
-    CachedStats cachedStats(const RunSpec &spec, Origin *origin);
+    CachedStats cachedStats(
+        const RunSpec &spec, Origin *origin,
+        std::shared_ptr<const std::string> *blobOut = nullptr);
 
     /** Backend lookup (when attached) falling back to simulation +
      *  write-through; no memory-cache involvement. */
-    CachedStats loadOrSimulate(const std::string &key,
-                               const RunSpec &spec, Origin *origin);
+    CachedStats loadOrSimulate(
+        const std::string &key, const RunSpec &spec, Origin *origin,
+        std::shared_ptr<const std::string> *blobOut = nullptr);
 
     /** Insert a completed run, evicting LRU entries over the cap.
      *  Caller holds cacheMutex_. */
@@ -513,6 +555,8 @@ class ExperimentEngine
     size_t batchWidth_ = 1;
     std::shared_ptr<ResultBackend> backend_;
     size_t maxCacheEntries_ = 0;
+    /** EngineOptions::canonicalSerializer (may be empty). */
+    std::function<std::string(const SimStats &)> canonicalSerializer_;
     std::vector<std::thread> pool_;
     /** Scheduling lanes by id; lanes_[defaultLane] always exists. */
     std::unordered_map<LaneId, Lane> lanes_;

@@ -44,8 +44,10 @@ requestErrorJson(uint64_t id, const std::string &message)
 class OrderedEmitter
 {
   public:
-    OrderedEmitter(LineChannel &channel, uint64_t id, bool quiet)
-        : channel_(channel), id_(id), quiet_(quiet)
+    OrderedEmitter(LineChannel &channel, uint64_t id, bool quiet,
+                   WireFormat wire)
+        : channel_(channel), id_(id), quiet_(quiet),
+          binary_(wire == WireFormat::Binary)
     {
     }
 
@@ -70,11 +72,23 @@ class OrderedEmitter
             const size_t seq = nextEmit_++;
             if (writeFailed_)
                 continue;
-            const Json line =
-                resultToJson(results_[seq], id_, seq,
-                             /*includeBlob=*/!quiet_, &blobs_[seq]);
-            if (!channel_.writeLine(line.dump()))
-                writeFailed_ = true;
+            if (binary_) {
+                // Re-framed, not re-encoded: the blob bytes a node
+                // streamed pass through verbatim — only the frame
+                // envelope (id, global seq) is rebuilt, so the
+                // client folds the identical digest.
+                std::string frame;
+                appendResultFrame(&frame, results_[seq], id_, seq,
+                                  quiet_ ? nullptr : &blobs_[seq]);
+                if (!channel_.writeBytes(frame))
+                    writeFailed_ = true;
+            } else {
+                const Json line = resultToJson(
+                    results_[seq], id_, seq,
+                    /*includeBlob=*/!quiet_, &blobs_[seq]);
+                if (!channel_.writeLine(line.dump()))
+                    writeFailed_ = true;
+            }
             // Emitted points are not needed again (the router holds
             // its own copies for the final fold).
             results_[seq] = RunResult();
@@ -113,6 +127,7 @@ class OrderedEmitter
     LineChannel &channel_;
     uint64_t id_;
     bool quiet_;
+    bool binary_;
     std::vector<char> ready_;
     std::vector<RunResult> results_;
     std::vector<std::string> blobs_;
@@ -270,8 +285,22 @@ void
 FleetService::handleConnection(int fd)
 {
     LineChannel channel(fd);
+    WireFormat wire = WireFormat::Json;
     std::string line;
-    while (!stopping_.load() && channel.readLine(&line)) {
+    while (!stopping_.load()) {
+        const LineChannel::MessageKind kind =
+            channel.readMessage(&line);
+        if (kind == LineChannel::MessageKind::Eof)
+            break;
+        if (kind != LineChannel::MessageKind::Line) {
+            // Frames flow router->client only; same policy as a
+            // regular daemon — one structured error, clean close.
+            Json err = errorJson(
+                "binary frame on the request channel");
+            err.set("badFrame", true);
+            channel.writeLine(err.dump());
+            break;
+        }
         if (line.empty())
             continue;
         Json request;
@@ -281,7 +310,7 @@ FleetService::handleConnection(int fd)
                 break;
             continue;
         }
-        if (!handleRequest(request, channel))
+        if (!handleRequest(request, channel, wire))
             break;
     }
     // Hand our own thread handle to the finished list; during
@@ -296,7 +325,8 @@ FleetService::handleConnection(int fd)
 }
 
 bool
-FleetService::handleRequest(const Json &request, LineChannel &channel)
+FleetService::handleRequest(const Json &request, LineChannel &channel,
+                            WireFormat &wire)
 {
     try {
         // Client input (and downstream-node fatality: a fleet with
@@ -304,6 +334,28 @@ FleetService::handleRequest(const Json &request, LineChannel &channel)
         // answer this client, not kill the router.
         ScopedFatalAsException fatalScope;
         const std::string op = request.getString("op");
+        if (op == "hello") {
+            // Same negotiation a regular daemon offers: the router
+            // is transparent, so a client negotiating binary gets
+            // frames regardless of what the downstream nodes speak.
+            const std::string wanted =
+                request.has("wire") ? request.getString("wire")
+                                    : "json";
+            if (wanted != "json" && wanted != "binary") {
+                return channel.writeLine(
+                    errorJson("unknown wire format '" + wanted +
+                              "' (expected json or binary)")
+                        .dump());
+            }
+            wire = wanted == "binary" ? WireFormat::Binary
+                                      : WireFormat::Json;
+            Json ok = Json::object();
+            ok.set("ok", true);
+            ok.set("hello", true);
+            ok.set("wire", wanted);
+            ok.set("protocol", serviceProtocolVersion);
+            return channel.writeLine(ok.dump());
+        }
         if (op == "ping") {
             Json ok = Json::object();
             ok.set("ok", true);
@@ -340,11 +392,11 @@ FleetService::handleRequest(const Json &request, LineChannel &channel)
         if (op == "metrics")
             return handleMetrics(request, channel);
         if (op == "sweep")
-            return handleSweep(request, channel);
+            return handleSweep(request, channel, wire);
         if (op == "compare")
             return handleCompare(request, channel);
         if (op == "run")
-            return handleRun(request, channel);
+            return handleRun(request, channel, wire);
         if (op == "shutdown") {
             Json ok = Json::object();
             ok.set("ok", true);
@@ -472,7 +524,8 @@ FleetService::handleMetrics(const Json &request, LineChannel &channel)
 }
 
 bool
-FleetService::handleSweep(const Json &request, LineChannel &channel)
+FleetService::handleSweep(const Json &request, LineChannel &channel,
+                          WireFormat wire)
 {
     const uint64_t id = request.get("id").asU64();
     if (request.has("points")) {
@@ -484,7 +537,7 @@ FleetService::handleSweep(const Json &request, LineChannel &channel)
     }
     const SweepRequest sweep = sweepRequestFromJson(request);
     OrderedEmitter emitter(channel, id,
-                           request.getBool("quiet", false));
+                           request.getBool("quiet", false), wire);
 
     bool ackOk = true;
     const FleetOutcome outcome = router_.runSweep(
@@ -567,7 +620,8 @@ FleetService::handleCompare(const Json &request,
 }
 
 bool
-FleetService::handleRun(const Json &request, LineChannel &channel)
+FleetService::handleRun(const Json &request, LineChannel &channel,
+                        WireFormat wire)
 {
     const uint64_t id = request.get("id").asU64();
     std::vector<RunSpec> specs;
@@ -577,7 +631,7 @@ FleetService::handleRun(const Json &request, LineChannel &channel)
         fatal("run request carries no specs");
 
     OrderedEmitter emitter(channel, id,
-                           request.getBool("quiet", false));
+                           request.getBool("quiet", false), wire);
     emitter.reset(specs.size());
     const FleetOutcome outcome = router_.runSpecs(
         specs, [&emitter](size_t global, const RunResult &result,

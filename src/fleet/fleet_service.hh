@@ -83,17 +83,22 @@ class FleetService
   private:
     void handleConnection(int fd);
     /** Serve one request line; returns false when the connection
-     *  should close (shutdown or write failure). */
-    bool handleRequest(const Json &request, LineChannel &channel);
+     *  should close (shutdown or write failure). @p wire is the
+     *  connection's negotiated result-point format — the "hello" op
+     *  writes it, the streaming ops read it. */
+    bool handleRequest(const Json &request, LineChannel &channel,
+                       WireFormat &wire);
     /** Scatter one sweep and stream the folded merge, re-ordering
      *  the nodes' arrival order back into global submission order. */
-    bool handleSweep(const Json &request, LineChannel &channel);
+    bool handleSweep(const Json &request, LineChannel &channel,
+                     WireFormat wire);
     /** The "compare" op, fleet-wide: scatter the family's expansion
      *  across the nodes, gather, fold through compareDesigns(), and
      *  answer the one aggregated line. */
     bool handleCompare(const Json &request, LineChannel &channel);
     /** Scatter an explicit spec batch the same way. */
-    bool handleRun(const Json &request, LineChannel &channel);
+    bool handleRun(const Json &request, LineChannel &channel,
+                   WireFormat wire);
     /** Gather every live node's "metrics" response plus the router's
      *  own registry; answers with per-node trees and counter totals. */
     bool handleMetrics(const Json &request, LineChannel &channel);

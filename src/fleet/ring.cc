@@ -37,7 +37,7 @@ ringPosition(const std::string &text)
 } // namespace
 
 HashRing::HashRing(std::vector<std::string> nodes, int vnodesPerNode)
-    : nodes_(std::move(nodes))
+    : nodes_(std::move(nodes)), vnodesPerNode_(vnodesPerNode)
 {
     if (nodes_.empty())
         fatal("hash ring needs at least one node");
@@ -87,6 +87,24 @@ HashRing::removeNode(size_t index)
                                    return point.second == index;
                                }),
                 ring_.end());
+}
+
+void
+HashRing::restoreNode(size_t index)
+{
+    if (live_.at(index))
+        return;
+    live_[index] = true;
+    ++liveCount_;
+    // The point positions are a pure function of name and vnode, so
+    // re-insertion reproduces exactly the points removeNode() erased.
+    for (int v = 0; v < vnodesPerNode_; ++v) {
+        const std::string point =
+            format("%s#%d", nodes_[index].c_str(), v);
+        ring_.emplace_back(ringPosition(point),
+                           static_cast<uint32_t>(index));
+    }
+    std::sort(ring_.begin(), ring_.end());
 }
 
 } // namespace mtv

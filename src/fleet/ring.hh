@@ -63,10 +63,19 @@ class HashRing
      */
     void removeNode(size_t index);
 
+    /**
+     * Re-insert node @p index's points (it came back): exactly the
+     * keys those points own clockwise remap back to it, restoring the
+     * assignment the full ring had — revival is the inverse of
+     * removal, deterministically. Idempotent.
+     */
+    void restoreNode(size_t index);
+
   private:
     std::vector<std::string> nodes_;
     std::vector<bool> live_;
     size_t liveCount_ = 0;
+    int vnodesPerNode_ = 0;
     /** (point hash, node index), sorted — the ring itself. */
     std::vector<std::pair<uint64_t, uint32_t>> ring_;
 };

@@ -62,6 +62,7 @@ FleetRouter::FleetRouter(
 
     MetricsRegistry &reg = MetricsRegistry::instance();
     obsDeadMarks_ = reg.counter("fleet_dead_marks_total");
+    obsRevives_ = reg.counter("fleet_revives_total");
     obsReroutes_ = reg.counter("fleet_reroutes_total");
     obsPingRttUs_ = reg.histogram("fleet_ping_rtt_us");
     obsScatterPoints_ = reg.histogram(
@@ -125,23 +126,41 @@ FleetRouter::markDead(size_t index, const std::string &error)
          nodes_.size());
 }
 
+void
+FleetRouter::revive(size_t index)
+{
+    std::lock_guard<std::mutex> lock(membershipMutex_);
+    Node &node = nodes_[index];
+    if (node.alive)
+        return;
+    node.alive = true;
+    node.lastError.clear();
+    ring_.restoreNode(index);
+    obsRevives_->inc();
+    inform("fleet: node %s revived; %zu of %zu nodes live",
+           node.name.c_str(), ring_.liveCount(), nodes_.size());
+}
+
 size_t
 FleetRouter::pingAll()
 {
     const size_t count = nodeCount();
     for (size_t i = 0; i < count; ++i) {
         Endpoint endpoint;
+        bool wasAlive;
         {
             std::lock_guard<std::mutex> lock(membershipMutex_);
-            if (!nodes_[i].alive)
-                continue;
+            wasAlive = nodes_[i].alive;
             endpoint = nodes_[i].endpoint;
         }
         std::string error;
         const uint64_t pingStartUs = monotonicMicros();
         const int fd = connectToEndpoint(endpoint, &error);
         if (fd < 0) {
-            markDead(i, error);
+            // A dead node that still refuses connections simply stays
+            // dead — no counter churn, no re-mark.
+            if (wasAlive)
+                markDead(i, error);
             continue;
         }
         LineChannel channel(fd);
@@ -179,10 +198,13 @@ FleetRouter::pingAll()
         } catch (const FatalError &e) {
             why = e.what();
         }
-        if (!healthy)
-            markDead(i, why);
-        else
+        if (healthy) {
             obsPingRttUs_->observe(monotonicMicros() - pingStartUs);
+            if (!wasAlive)
+                revive(i);  // a restarted daemon rejoins the ring
+        } else if (wasAlive) {
+            markDead(i, why);
+        }
     }
     return aliveCount();
 }
@@ -244,6 +266,34 @@ FleetRouter::streamSubset(size_t nodeIndex,
     // simulating for nobody.
     LineChannel channel(fd);
 
+    // Negotiate the binary result wire (protocol v6): frames carry
+    // the canonical stats blob verbatim, so the router folds its
+    // digest and forwards bytes without a JSON round-trip. A node
+    // that refuses (or an old daemon answering "unknown op") simply
+    // leaves this stream on JSON lines — mixed fleets fold the same
+    // blob bytes either way, so the digest is unaffected.
+    {
+        Json hello = Json::object();
+        hello.set("op", "hello");
+        hello.set("wire", "binary");
+        std::string line;
+        if (!channel.writeLine(hello.dump()) ||
+            !channel.readLine(&line)) {
+            markDead(nodeIndex, "connection lost during hello");
+            return;
+        }
+        Json response;
+        std::string parseError;
+        if (!Json::parse(line, &response, &parseError)) {
+            markDead(nodeIndex,
+                     "malformed hello response: " + parseError);
+            return;
+        }
+        // The answer only matters as "did binary get negotiated";
+        // an error answer is the JSON fallback, not a failure.
+        (void)response;
+    }
+
     constexpr uint64_t id = 1;
     Json request;
     if (sweep) {
@@ -278,12 +328,83 @@ FleetRouter::streamSubset(size_t nodeIndex,
     bool sawAck = sweep == nullptr;  // the run op has no ack line
     for (;;) {
         std::string line;
-        if (!channel.readLine(&line)) {
+        const LineChannel::MessageKind kind =
+            channel.readMessage(&line);
+        if (kind == LineChannel::MessageKind::Eof) {
             markDead(nodeIndex,
                      format("connection closed after %zu of %zu "
                             "points",
                             received, indices.size()));
             return;
+        }
+        if (kind == LineChannel::MessageKind::BadFrame) {
+            markDead(nodeIndex,
+                     format("bad result frame after %zu of %zu "
+                            "points",
+                            received, indices.size()));
+            return;
+        }
+        if (kind == LineChannel::MessageKind::Frame) {
+            // A binary result point. The spec check and the digest
+            // fold work on the frame's raw strings — no JSON object,
+            // no stats decode on the integrity path; only the result
+            // landed in the gather table is decoded (the caller's
+            // hook and compare folds want a RunResult).
+            try {
+                ScopedFatalAsException scope;
+                ResultFrame frame;
+                std::string frameError;
+                if (!decodeResultFrame(line, &frame, &frameError))
+                    fatal("bad result frame: %s", frameError.c_str());
+                if (frame.id != id) {
+                    fatal("frame for unknown request id %llu",
+                          static_cast<unsigned long long>(frame.id));
+                }
+                if (!sawAck)
+                    fatal("result frame before the sweep ack");
+                const size_t seq = frame.seq;
+                if (seq != received || seq >= indices.size()) {
+                    fatal("result stream out of order (seq %zu, "
+                          "expected %zu)",
+                          seq, received);
+                }
+                if (!frame.hasBlob)
+                    fatal("node streamed a result without a blob");
+                if (frame.spec !=
+                    (*gather.specs)[indices[seq]].canonical()) {
+                    fatal("node answered the wrong spec for point "
+                          "%zu",
+                          indices[seq]);
+                }
+                subsetDigest = fnv1a64(frame.blob.data(),
+                                       frame.blob.size(),
+                                       subsetDigest);
+                const size_t global = indices[seq];
+                ++received;
+                {
+                    std::lock_guard<std::mutex> lock(gather.mutex);
+                    if (!gather.done[global]) {
+                        gather.done[global] = 1;
+                        gather.results[global] =
+                            resultFromFrame(frame);
+                        gather.blobs[global] = std::move(frame.blob);
+                        if (*gather.hook) {
+                            (*gather.hook)(global,
+                                           gather.results[global],
+                                           gather.blobs[global]);
+                        }
+                    }
+                }
+                {
+                    std::lock_guard<std::mutex> lock(
+                        membershipMutex_);
+                    ++nodes_[nodeIndex].pointsServed;
+                }
+            } catch (const FatalError &e) {
+                markDead(nodeIndex, e.what());
+                return;
+            }
+            continue;
         }
         Json msg;
         std::string parseError;

@@ -126,8 +126,13 @@ class FleetRouter
     size_t nodeForKey(const std::string &canonical) const;
 
     /**
-     * Ping every node still considered alive; failures mark the node
-     * dead (sticky). Returns the number of live nodes afterwards.
+     * Ping every node — the live ones AND the dead ones. A failure
+     * marks a live node dead (sticky within a batch round); a healthy
+     * pong from a dead node revives it: its ring points come back, so
+     * exactly its old key slice re-homes to it and subsequent scatter
+     * rounds use it again — a restarted daemon rejoins the fleet
+     * without a router restart. Returns the number of live nodes
+     * afterwards.
      */
     size_t pingAll();
 
@@ -190,6 +195,10 @@ class FleetRouter
      *  when already dead. Caller must NOT hold membershipMutex_. */
     void markDead(size_t index, const std::string &error);
 
+    /** The inverse: put a healthy-again node back on the ring; no-op
+     *  when already alive. Caller must NOT hold membershipMutex_. */
+    void revive(size_t index);
+
     /** Stream one node's subset: send the request, consume the
      *  stream, land results in @p gather. Any failure marks the node
      *  dead; already-landed points are kept. */
@@ -220,6 +229,7 @@ class FleetRouter
 
     // Process-wide observability handles (src/obs/metrics.hh).
     Counter *obsDeadMarks_ = nullptr;
+    Counter *obsRevives_ = nullptr;
     Counter *obsReroutes_ = nullptr;
     Histogram *obsPingRttUs_ = nullptr;
     Histogram *obsScatterPoints_ = nullptr;

@@ -1,5 +1,7 @@
 #include "src/isa/machine_params.hh"
 
+#include <charconv>
+
 #include "src/common/config.hh"
 #include "src/common/logging.hh"
 #include "src/common/strutil.hh"
@@ -153,6 +155,18 @@ const LatField latFields[] = {
     {"lat_control", &MachineParams::latControl},
 };
 
+/** Append `<prefix><value>`; std::to_chars emits exactly the digits
+ *  printf's %d would, so canonical strings stay byte-identical to the
+ *  format()-built ones they replace. */
+void
+appendKV(std::string *out, const char *prefix, int value)
+{
+    out->append(prefix);
+    char buf[16];
+    const auto r = std::to_chars(buf, buf + sizeof(buf), value);
+    out->append(buf, static_cast<size_t>(r.ptr - buf));
+}
+
 } // namespace
 
 MachineParams
@@ -218,22 +232,39 @@ MachineParams::canonical() const
     // strings are compared byte-for-byte by the experiment cache, so
     // every public field (including the Table 1 latency pairs) must
     // appear — two machines differing anywhere must never alias.
-    std::string out = format(
-        "contexts=%d sched=%s decode_width=%d dual_scalar=%d "
-        "read_xbar=%d write_xbar=%d vector_startup=%d bank_ports=%d "
-        "mem_latency=%d banked_memory=%d mem_banks=%d bank_busy=%d "
-        "load_chaining=%d load_ports=%d store_ports=%d renaming=%d "
-        "rename_depth=%d decouple_depth=%d branch_stall=%d",
-        contexts, schedPolicyName(sched).c_str(), decodeWidth,
-        dualScalar ? 1 : 0, readXbar, writeXbar, vectorStartup,
-        modelBankPorts ? 1 : 0, memLatency, bankedMemory ? 1 : 0,
-        memBanks, bankBusyCycles, loadChaining ? 1 : 0, loadPorts,
-        storePorts, renaming ? 1 : 0, renameDepth, decoupleDepth,
-        branchStall);
+    // Built by appending rather than format(): the string is
+    // recomputed for every sweep point on the hot result path, and
+    // vsnprintf's measure-then-write double pass dominated it.
+    std::string out;
+    out.reserve(512);
+    appendKV(&out, "contexts=", contexts);
+    out += " sched=";
+    out += schedPolicyName(sched);
+    appendKV(&out, " decode_width=", decodeWidth);
+    appendKV(&out, " dual_scalar=", dualScalar ? 1 : 0);
+    appendKV(&out, " read_xbar=", readXbar);
+    appendKV(&out, " write_xbar=", writeXbar);
+    appendKV(&out, " vector_startup=", vectorStartup);
+    appendKV(&out, " bank_ports=", modelBankPorts ? 1 : 0);
+    appendKV(&out, " mem_latency=", memLatency);
+    appendKV(&out, " banked_memory=", bankedMemory ? 1 : 0);
+    appendKV(&out, " mem_banks=", memBanks);
+    appendKV(&out, " bank_busy=", bankBusyCycles);
+    appendKV(&out, " load_chaining=", loadChaining ? 1 : 0);
+    appendKV(&out, " load_ports=", loadPorts);
+    appendKV(&out, " store_ports=", storePorts);
+    appendKV(&out, " renaming=", renaming ? 1 : 0);
+    appendKV(&out, " rename_depth=", renameDepth);
+    appendKV(&out, " decouple_depth=", decoupleDepth);
+    appendKV(&out, " branch_stall=", branchStall);
     for (const auto &field : latFields) {
         const LatPair &pair = this->*(field.member);
-        out += format(" %s_s=%d %s_v=%d", field.key, pair.scalar,
-                      field.key, pair.vector);
+        out.push_back(' ');
+        out += field.key;
+        appendKV(&out, "_s=", pair.scalar);
+        out.push_back(' ');
+        out += field.key;
+        appendKV(&out, "_v=", pair.vector);
     }
     return out;
 }

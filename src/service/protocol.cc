@@ -11,6 +11,7 @@
 #include <sys/un.h>
 #include <unistd.h>
 
+#include "src/common/endian.hh"
 #include "src/common/logging.hh"
 #include "src/common/strutil.hh"
 #include "src/store/stats_codec.hh"
@@ -21,8 +22,136 @@ namespace mtv
 namespace
 {
 
-/** A line longer than this is not a protocol message. */
+/** A line longer than this is not a protocol message; the same
+ *  bound caps a binary frame's length prefix. */
 constexpr size_t maxLineBytes = 64u * 1024 * 1024;
+
+/** Bytes before a frame's payload: marker + u32 length prefix. */
+constexpr size_t frameHeaderBytes = 1 + 4;
+
+/** Bytes after a frame's payload: the u64 frameChecksum(). */
+constexpr size_t frameTrailerBytes = 8;
+
+/** ResultFrame flag bits (payload byte 16). */
+constexpr uint8_t frameFlagCached = 1u << 0;
+constexpr uint8_t frameFlagFromStore = 1u << 1;
+constexpr uint8_t frameFlagGroupExtras = 1u << 2;
+constexpr uint8_t frameFlagHasBlob = 1u << 3;
+
+void
+appendFrameU32(std::string *out, uint32_t v)
+{
+    uint8_t raw[4];
+    writeLe32(raw, v);
+    out->append(reinterpret_cast<const char *>(raw), sizeof(raw));
+}
+
+void
+appendFrameU64(std::string *out, uint64_t v)
+{
+    uint8_t raw[8];
+    writeLe64(raw, v);
+    out->append(reinterpret_cast<const char *>(raw), sizeof(raw));
+}
+
+} // namespace
+
+uint64_t
+frameChecksum(const void *data, size_t size)
+{
+    // FNV-1a over little-endian u64 words (see the declaration for
+    // why word-wise): one multiply per 8 bytes instead of one per
+    // byte. The trailing 0-7 bytes are zero-padded into a final
+    // word, and the length is mixed last so "abc" + zero padding
+    // and "abc\0" + shorter padding cannot collide.
+    const uint8_t *bytes = static_cast<const uint8_t *>(data);
+    uint64_t h = 0xcbf29ce484222325ull;
+    constexpr uint64_t prime = 0x100000001b3ull;
+    size_t i = 0;
+    for (; i + 8 <= size; i += 8)
+        h = (h ^ readLe64(bytes + i)) * prime;
+    if (i < size) {
+        uint64_t tail = 0;
+        for (size_t j = 0; i + j < size; ++j)
+            tail |= static_cast<uint64_t>(bytes[i + j]) << (8 * j);
+        h = (h ^ tail) * prime;
+    }
+    return (h ^ static_cast<uint64_t>(size)) * prime;
+}
+
+namespace
+{
+
+uint64_t
+doubleBits(double v)
+{
+    uint64_t bits = 0;
+    static_assert(sizeof(bits) == sizeof(v), "double is 64-bit");
+    std::memcpy(&bits, &v, sizeof(bits));
+    return bits;
+}
+
+double
+bitsDouble(uint64_t bits)
+{
+    double v = 0;
+    std::memcpy(&v, &bits, sizeof(v));
+    return v;
+}
+
+/** Bounds-checked cursor over a frame payload; unlike the stats
+ *  codec's BlobReader a truncated payload is a recoverable protocol
+ *  error (the peer sent garbage), not a fatal(). */
+struct FrameReader
+{
+    const uint8_t *data;
+    size_t size;
+    size_t pos = 0;
+    bool ok = true;
+
+    bool need(size_t n)
+    {
+        if (!ok || size - pos < n) {
+            ok = false;
+            return false;
+        }
+        return true;
+    }
+
+    uint64_t u64()
+    {
+        if (!need(8))
+            return 0;
+        const uint64_t v = readLe64(data + pos);
+        pos += 8;
+        return v;
+    }
+
+    uint32_t u32()
+    {
+        if (!need(4))
+            return 0;
+        const uint32_t v = readLe32(data + pos);
+        pos += 4;
+        return v;
+    }
+
+    uint8_t u8()
+    {
+        if (!need(1))
+            return 0;
+        return data[pos++];
+    }
+
+    std::string bytes(size_t n)
+    {
+        if (!need(n))
+            return std::string();
+        std::string v(reinterpret_cast<const char *>(data + pos), n);
+        pos += n;
+        return v;
+    }
+};
 
 } // namespace
 
@@ -85,7 +214,9 @@ resultToJson(const RunResult &result, uint64_t id, size_t seq,
     Json line = Json::object();
     line.set("id", id);
     line.set("seq", static_cast<uint64_t>(seq));
-    line.set("spec", result.spec.canonical());
+    line.set("spec", result.specCanonical.empty()
+                         ? result.spec.canonical()
+                         : result.specCanonical);
     line.set("cached", result.cached);
     line.set("store", result.fromStore);
     // Headline numbers for human consumption; the blob is the source
@@ -112,7 +243,8 @@ RunResult
 resultFromJson(const Json &line, std::string *blob)
 {
     RunResult result;
-    result.spec = RunSpec::parse(line.getString("spec"));
+    result.specCanonical = line.getString("spec");
+    result.spec = RunSpec::parse(result.specCanonical);
     result.cached = line.getBool("cached");
     result.fromStore = line.getBool("store");
     result.stats.cycles = line.get("cycles").asU64();
@@ -128,6 +260,187 @@ resultFromJson(const Json &line, std::string *blob)
         if (blob)
             *blob = bytes;
     }
+    return result;
+}
+
+std::string
+encodeResultFrame(const ResultFrame &frame)
+{
+    std::string payload;
+    payload.reserve(8 + 8 + 1 + 4 + frame.spec.size() +
+                    (frame.hasGroupExtras ? 40 : 0) + 4 +
+                    frame.blob.size());
+    appendFrameU64(&payload, frame.id);
+    appendFrameU64(&payload, frame.seq);
+    uint8_t flags = 0;
+    if (frame.cached)
+        flags |= frameFlagCached;
+    if (frame.fromStore)
+        flags |= frameFlagFromStore;
+    if (frame.hasGroupExtras)
+        flags |= frameFlagGroupExtras;
+    if (frame.hasBlob)
+        flags |= frameFlagHasBlob;
+    payload.push_back(static_cast<char>(flags));
+    appendFrameU32(&payload,
+                   static_cast<uint32_t>(frame.spec.size()));
+    payload.append(frame.spec);
+    if (frame.hasGroupExtras) {
+        appendFrameU64(&payload, doubleBits(frame.speedup));
+        appendFrameU64(&payload, doubleBits(frame.mthOccupation));
+        appendFrameU64(&payload, doubleBits(frame.refOccupation));
+        appendFrameU64(&payload, doubleBits(frame.mthVopc));
+        appendFrameU64(&payload, doubleBits(frame.refVopc));
+    }
+    appendFrameU32(&payload,
+                   static_cast<uint32_t>(frame.blob.size()));
+    payload.append(frame.blob);
+
+    std::string wire;
+    wire.reserve(frameHeaderBytes + payload.size() +
+                 frameTrailerBytes);
+    wire.push_back(static_cast<char>(resultFrameMarker));
+    appendFrameU32(&wire, static_cast<uint32_t>(payload.size()));
+    wire.append(payload);
+    appendFrameU64(&wire,
+                   frameChecksum(payload.data(), payload.size()));
+    return wire;
+}
+
+void
+appendResultFrame(std::string *out, const RunResult &result,
+                  uint64_t id, uint64_t seq, const std::string *blob)
+{
+    std::string computed;
+    if (result.specCanonical.empty())
+        computed = result.spec.canonical();
+    const std::string &spec =
+        computed.empty() ? result.specCanonical : computed;
+    const bool groupExtras = result.spec.mode == SpecMode::Group;
+    const size_t blobLen = blob ? blob->size() : 0;
+    const size_t payloadLen = 8 + 8 + 1 + 4 + spec.size() +
+                              (groupExtras ? 40 : 0) + 4 + blobLen;
+    out->reserve(out->size() + frameHeaderBytes + payloadLen +
+                 frameTrailerBytes);
+    out->push_back(static_cast<char>(resultFrameMarker));
+    appendFrameU32(out, static_cast<uint32_t>(payloadLen));
+    const size_t payloadStart = out->size();
+    appendFrameU64(out, id);
+    appendFrameU64(out, seq);
+    uint8_t flags = 0;
+    if (result.cached)
+        flags |= frameFlagCached;
+    if (result.fromStore)
+        flags |= frameFlagFromStore;
+    if (groupExtras)
+        flags |= frameFlagGroupExtras;
+    if (blob)
+        flags |= frameFlagHasBlob;
+    out->push_back(static_cast<char>(flags));
+    appendFrameU32(out, static_cast<uint32_t>(spec.size()));
+    out->append(spec);
+    if (groupExtras) {
+        appendFrameU64(out, doubleBits(result.speedup));
+        appendFrameU64(out, doubleBits(result.mthOccupation));
+        appendFrameU64(out, doubleBits(result.refOccupation));
+        appendFrameU64(out, doubleBits(result.mthVopc));
+        appendFrameU64(out, doubleBits(result.refVopc));
+    }
+    appendFrameU32(out, static_cast<uint32_t>(blobLen));
+    if (blob)
+        out->append(*blob);
+    appendFrameU64(out, frameChecksum(out->data() + payloadStart,
+                                      out->size() - payloadStart));
+}
+
+bool
+decodeResultFrame(const std::string &payload, ResultFrame *out,
+                  std::string *error)
+{
+    FrameReader r{
+        reinterpret_cast<const uint8_t *>(payload.data()),
+        payload.size()};
+    ResultFrame frame;
+    frame.id = r.u64();
+    frame.seq = r.u64();
+    const uint8_t flags = r.u8();
+    frame.cached = (flags & frameFlagCached) != 0;
+    frame.fromStore = (flags & frameFlagFromStore) != 0;
+    frame.hasGroupExtras = (flags & frameFlagGroupExtras) != 0;
+    frame.hasBlob = (flags & frameFlagHasBlob) != 0;
+    frame.spec = r.bytes(r.u32());
+    if (frame.hasGroupExtras) {
+        frame.speedup = bitsDouble(r.u64());
+        frame.mthOccupation = bitsDouble(r.u64());
+        frame.refOccupation = bitsDouble(r.u64());
+        frame.mthVopc = bitsDouble(r.u64());
+        frame.refVopc = bitsDouble(r.u64());
+    }
+    frame.blob = r.bytes(r.u32());
+    if (!r.ok || r.pos != r.size) {
+        if (error) {
+            *error = r.ok ? format("frame payload carries %zu "
+                                   "trailing bytes",
+                                   r.size - r.pos)
+                          : "truncated frame payload";
+        }
+        return false;
+    }
+    if (frame.hasBlob == frame.blob.empty()) {
+        if (error)
+            *error = "frame blob contradicts its hasBlob flag";
+        return false;
+    }
+    *out = std::move(frame);
+    return true;
+}
+
+ResultFrame
+resultToFrame(const RunResult &result, uint64_t id, uint64_t seq,
+              const std::string *blob)
+{
+    ResultFrame frame;
+    frame.id = id;
+    frame.seq = seq;
+    frame.cached = result.cached;
+    frame.fromStore = result.fromStore;
+    frame.spec = result.specCanonical.empty()
+                     ? result.spec.canonical()
+                     : result.specCanonical;
+    if (result.spec.mode == SpecMode::Group) {
+        frame.hasGroupExtras = true;
+        frame.speedup = result.speedup;
+        frame.mthOccupation = result.mthOccupation;
+        frame.refOccupation = result.refOccupation;
+        frame.mthVopc = result.mthVopc;
+        frame.refVopc = result.refVopc;
+    }
+    if (blob) {
+        frame.hasBlob = true;
+        frame.blob = *blob;
+    }
+    return frame;
+}
+
+RunResult
+resultFromFrame(const ResultFrame &frame)
+{
+    RunResult result;
+    result.spec = RunSpec::parse(frame.spec);
+    // Keep the wire string: re-encoders (the fleet's ordered emitter)
+    // forward it verbatim instead of recanonicalizing the spec.
+    result.specCanonical = frame.spec;
+    result.cached = frame.cached;
+    result.fromStore = frame.fromStore;
+    if (frame.hasGroupExtras) {
+        result.speedup = frame.speedup;
+        result.mthOccupation = frame.mthOccupation;
+        result.refOccupation = frame.refOccupation;
+        result.mthVopc = frame.mthVopc;
+        result.refVopc = frame.refVopc;
+    }
+    if (frame.hasBlob)
+        result.stats = deserializeSimStats(frame.blob);
     return result;
 }
 
@@ -313,6 +626,38 @@ LineChannel::~LineChannel()
 }
 
 bool
+LineChannel::fillMore()
+{
+    char chunk[65536];
+    for (;;) {
+        const ssize_t got = ::recv(fd_, chunk, sizeof(chunk), 0);
+        if (got < 0 && errno == EINTR)
+            continue;
+        if (got <= 0)
+            return false;  // EOF or error
+        buffer_.append(chunk, static_cast<size_t>(got));
+        bytesRead_ += static_cast<uint64_t>(got);
+        return true;
+    }
+}
+
+void
+LineChannel::consume(size_t n)
+{
+    head_ += n;
+    if (head_ == buffer_.size()) {
+        buffer_.clear();
+        head_ = 0;
+    } else if (head_ >= 4u * 1024 * 1024) {
+        // Bound memory when the peer outruns the parser for a long
+        // stretch: reclaim the parsed prefix in one move.
+        buffer_.erase(0, head_);
+        head_ = 0;
+    }
+    searchPos_ = head_;
+}
+
+bool
 LineChannel::readLine(std::string *line)
 {
     for (;;) {
@@ -321,26 +666,80 @@ LineChannel::readLine(std::string *line)
         // work.
         const size_t newline = buffer_.find('\n', searchPos_);
         if (newline != std::string::npos) {
-            *line = buffer_.substr(0, newline);
-            buffer_.erase(0, newline + 1);
-            searchPos_ = 0;
+            line->assign(buffer_, head_, newline - head_);
+            consume(newline + 1 - head_);
             return true;
         }
         searchPos_ = buffer_.size();
-        if (buffer_.size() > maxLineBytes) {
+        if (buffer_.size() - head_ > maxLineBytes) {
             warn("service: dropping connection with a %zu-byte "
                  "unterminated line",
-                 buffer_.size());
+                 buffer_.size() - head_);
             return false;
         }
-        char chunk[65536];
-        const ssize_t got = ::recv(fd_, chunk, sizeof(chunk), 0);
-        if (got < 0 && errno == EINTR)
-            continue;
-        if (got <= 0)
-            return false;  // EOF or error
-        buffer_.append(chunk, static_cast<size_t>(got));
+        if (!fillMore())
+            return false;
     }
+}
+
+LineChannel::MessageKind
+LineChannel::readMessage(std::string *out)
+{
+    while (head_ == buffer_.size()) {
+        if (!fillMore())
+            return MessageKind::Eof;
+    }
+    if (static_cast<uint8_t>(buffer_[head_]) != resultFrameMarker) {
+        return readLine(out) ? MessageKind::Line : MessageKind::Eof;
+    }
+    // A frame. EOF from here on is a SHORT READ — the peer vanished
+    // (or lied) mid-frame — which is a framing error, not a clean
+    // close.
+    while (buffer_.size() - head_ < frameHeaderBytes) {
+        if (!fillMore())
+            return MessageKind::BadFrame;
+    }
+    const uint32_t payloadLen = readLe32(
+        reinterpret_cast<const uint8_t *>(buffer_.data()) + head_ +
+        1);
+    if (payloadLen > maxLineBytes) {
+        warn("service: frame claims a %u-byte payload; framing lost",
+             payloadLen);
+        return MessageKind::BadFrame;
+    }
+    const size_t total =
+        frameHeaderBytes + payloadLen + frameTrailerBytes;
+    while (buffer_.size() - head_ < total) {
+        if (!fillMore())
+            return MessageKind::BadFrame;
+    }
+    const char *payload = buffer_.data() + head_ + frameHeaderBytes;
+    const uint64_t want = readLe64(
+        reinterpret_cast<const uint8_t *>(payload) + payloadLen);
+    if (frameChecksum(payload, payloadLen) != want) {
+        warn("service: frame checksum mismatch; framing lost");
+        return MessageKind::BadFrame;
+    }
+    out->assign(payload, payloadLen);
+    consume(total);
+    return MessageKind::Frame;
+}
+
+bool
+LineChannel::writeBytes(const std::string &bytes)
+{
+    size_t sent = 0;
+    while (sent < bytes.size()) {
+        const ssize_t n = ::send(fd_, bytes.data() + sent,
+                                 bytes.size() - sent, MSG_NOSIGNAL);
+        if (n < 0 && errno == EINTR)
+            continue;
+        if (n <= 0)
+            return false;
+        sent += static_cast<size_t>(n);
+        bytesWritten_ += static_cast<uint64_t>(n);
+    }
+    return true;
 }
 
 bool
@@ -348,17 +747,7 @@ LineChannel::writeLine(const std::string &line)
 {
     std::string framed = line;
     framed.push_back('\n');
-    size_t sent = 0;
-    while (sent < framed.size()) {
-        const ssize_t n = ::send(fd_, framed.data() + sent,
-                                 framed.size() - sent, MSG_NOSIGNAL);
-        if (n < 0 && errno == EINTR)
-            continue;
-        if (n <= 0)
-            return false;
-        sent += static_cast<size_t>(n);
-    }
-    return true;
+    return writeBytes(framed);
 }
 
 namespace

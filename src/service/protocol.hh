@@ -59,6 +59,17 @@
  *     — cancel every in-flight batch tagged with request id n, on
  *     ANY connection (cancellation is cooperative: queued points are
  *     skipped, points already simulating finish and stay cached).
+ *   {"op":"hello","wire":"json"|"binary"}
+ *     — v6: per-connection content negotiation. The answer
+ *     {"ok":true,"hello":true,"wire":w,"protocol":6} confirms the
+ *     wire format this connection's streamed RESULT POINTS will use
+ *     from then on. "binary" switches result lines to length-
+ *     prefixed canonical SimStats frames (see ResultFrame below);
+ *     every control message (requests, acks, done lines, errors,
+ *     compare answers) stays a JSON line in either mode. A client
+ *     that never sends hello gets pure v5-style JSON — old clients
+ *     keep working unchanged. An unknown "wire" value answers an
+ *     error and leaves the connection on JSON.
  *   {"op":"clear"}
  *   {"op":"shutdown"}
  *
@@ -74,7 +85,10 @@
  *       {"id":n,"seq":i,"spec":"...","cached":b,"store":b,
  *        "cycles":x,"dispatches":x,"speedup":x,...,"blob":"<hex>"}
  *     ("blob" is the full hex-encoded serializeSimStats() record and
- *     is omitted for quiet requests) — then a terminator
+ *     is omitted for quiet requests). On a connection negotiated to
+ *     wire=binary the same points arrive as ResultFrame frames
+ *     instead — raw canonical blob bytes, no hex, no JSON — and the
+ *     two encodings fold to bit-identical digests. Then a terminator
  *       {"id":n,"done":true,"count":c,"simulated":a,"cacheServed":b,
  *        "storeServed":c2,"digest":"<16 hex>"}
  *     where "digest" is FNV-1a folded over the canonical stats blobs
@@ -142,11 +156,110 @@ namespace mtv
 {
 
 /** Protocol revision spoken by this build (bump on changes). */
-constexpr int serviceProtocolVersion = 5;
+constexpr int serviceProtocolVersion = 6;
 
 /** Batch requests one connection may keep streaming concurrently;
  *  further requests are not read until a slot frees (backpressure). */
 constexpr int maxInflightRequestsPerConnection = 8;
+
+/** Wire format of a connection's streamed result points (v6). The
+ *  default — and the only format v5 clients ever see — is Json. */
+enum class WireFormat : uint8_t
+{
+    Json,
+    Binary
+};
+
+/**
+ * First byte of every binary result frame. Deliberately NOT a byte a
+ * JSON line can start with ('{' is 0x7b), so a reader can tell the
+ * two apart by peeking one byte: frames and JSON control lines
+ * interleave on the same stream.
+ */
+constexpr uint8_t resultFrameMarker = 0xBF;
+
+/**
+ * One streamed result point on a wire=binary connection — the binary
+ * twin of a resultToJson() line. On the wire:
+ *
+ *     [0xBF][u32 payloadLen][payload][u64 frameChecksum(payload)]
+ *
+ * (all integers little-endian; no trailing newline). Payload layout:
+ *
+ *     u64 id | u64 seq | u8 flags | u32 specLen | spec bytes
+ *     | 5 x u64 group-metric doubles (bit patterns, iff flags bit 2)
+ *     | u32 blobLen | blob bytes
+ *
+ * flags: bit 0 = cached, bit 1 = fromStore, bit 2 = group extras
+ * present (SpecMode::Group points), bit 3 = blob present (quiet
+ * requests stream blobLen=0 frames). The blob is the canonical
+ * serializeSimStats() record, byte-for-byte the digest fold input —
+ * a store hit streams its stored bytes without re-encoding.
+ */
+struct ResultFrame
+{
+    uint64_t id = 0;
+    uint64_t seq = 0;
+    bool cached = false;
+    bool fromStore = false;
+    /** SpecMode::Group extras (speedup etc.) are carried. */
+    bool hasGroupExtras = false;
+    /** False on quiet streams (digest comes from the done line). */
+    bool hasBlob = false;
+    std::string spec;  ///< RunSpec::canonical()
+    double speedup = 0.0;
+    double mthOccupation = 0.0;
+    double refOccupation = 0.0;
+    double mthVopc = 0.0;
+    double refVopc = 0.0;
+    /** Canonical serializeSimStats() bytes (empty when !hasBlob). */
+    std::string blob;
+};
+
+/**
+ * The frame trailer checksum: FNV-1a folded over little-endian
+ * 64-bit words (trailing bytes zero-padded into a final word), with
+ * the length mixed in last. Word-wise instead of the store digest's
+ * byte-wise FNV because the trailer is computed AND verified for
+ * every streamed point — at streaming rates the byte loop costs
+ * more than the rest of the encoder. Guards transport framing only;
+ * the cross-transport digest contract stays byte-wise fnv1a64 over
+ * the blobs.
+ */
+uint64_t frameChecksum(const void *data, size_t size);
+
+/** Encode a frame to its full wire bytes (marker, length prefix,
+ *  payload, checksum). */
+std::string encodeResultFrame(const ResultFrame &frame);
+
+/**
+ * Decode a frame *payload* (the bytes LineChannel::readMessage()
+ * returns for MessageKind::Frame — marker, length and checksum
+ * already stripped and verified). Returns false with @p error set on
+ * a malformed payload (truncated field, trailing garbage).
+ */
+bool decodeResultFrame(const std::string &payload, ResultFrame *out,
+                       std::string *error);
+
+/** Build the frame for one result (the binary twin of
+ *  resultToJson()). @p blob carries the canonical stats bytes, or
+ *  null for a quiet stream. */
+ResultFrame resultToFrame(const RunResult &result, uint64_t id,
+                          uint64_t seq, const std::string *blob);
+
+/**
+ * Append one result's full wire frame to @p out in a single pass —
+ * the streaming hot path's encoder. Byte-identical to appending
+ * encodeResultFrame(resultToFrame(result, id, seq, blob)), without
+ * the intermediate ResultFrame or the payload/wire copies.
+ */
+void appendResultFrame(std::string *out, const RunResult &result,
+                       uint64_t id, uint64_t seq,
+                       const std::string *blob);
+
+/** Decode a frame into a RunResult (stats decoded from the blob when
+ *  present). fatal()s on a malformed embedded blob. */
+RunResult resultFromFrame(const ResultFrame &frame);
 
 /** Default daemon socket path (overridden by --socket / MTV_SOCKET). */
 const char *defaultSocketPath();
@@ -260,6 +373,16 @@ class LineChannel
     LineChannel(const LineChannel &) = delete;
     LineChannel &operator=(const LineChannel &) = delete;
 
+    /** What readMessage() pulled off the stream. */
+    enum class MessageKind : uint8_t
+    {
+        Line,     ///< a JSON line (newline stripped)
+        Frame,    ///< a binary result frame (payload, verified)
+        Eof,      ///< clean EOF / transport error between messages
+        BadFrame  ///< malformed frame: bad length, checksum
+                  ///< mismatch, or EOF mid-frame (short read)
+    };
+
     /**
      * Read one newline-terminated line (the newline is stripped).
      * Returns false on EOF or error. Lines over 64 MiB abort the
@@ -267,17 +390,52 @@ class LineChannel
      */
     bool readLine(std::string *line);
 
+    /**
+     * Read the next message of a v6 stream, whichever kind it is: a
+     * peek at the first byte dispatches between a JSON line (any
+     * byte but the frame marker) and a binary result frame. For
+     * Frame, @p out receives the verified payload (feed it to
+     * decodeResultFrame()); for Line, the line. BadFrame means the
+     * stream is unrecoverable (framing lost) — close the connection.
+     */
+    MessageKind readMessage(std::string *out);
+
     /** Write @p line plus a newline; false on error (peer gone). */
     bool writeLine(const std::string &line);
+
+    /** Write raw bytes as-is (frame writes — no newline added);
+     *  false on error (peer gone). */
+    bool writeBytes(const std::string &bytes);
 
     /** The underlying file descriptor (for poll/shutdown). */
     int fd() const { return fd_; }
 
+    /** Total bytes received / sent over this channel — the
+     *  service_bytes_* counters' and MB/s readouts' source. */
+    uint64_t bytesRead() const { return bytesRead_; }
+    uint64_t bytesWritten() const { return bytesWritten_; }
+
   private:
+    /** recv() one more chunk into buffer_; false on EOF/error. */
+    bool fillMore();
+
+    /**
+     * Retire @p n parsed bytes by advancing head_ instead of
+     * erasing: an erase memmoves every byte still buffered, which
+     * at streaming rates (tens of messages per recv chunk) costs
+     * more than the messages themselves. The prefix is reclaimed
+     * in one move when the buffer drains or head_ grows large.
+     */
+    void consume(size_t n);
+
     int fd_ = -1;
     std::string buffer_;
+    /** Bytes of buffer_ already parsed and handed out. */
+    size_t head_ = 0;
     /** First buffer_ position not yet scanned for '\n'. */
     size_t searchPos_ = 0;
+    uint64_t bytesRead_ = 0;
+    uint64_t bytesWritten_ = 0;
 };
 
 /**

@@ -108,6 +108,19 @@ struct MtvService::ClientState
     bool
     write(const std::string &line)
     {
+        return writeOut(line, /*frame=*/false);
+    }
+
+    /** Thread-safe write of pre-encoded frame bytes (no newline). */
+    bool
+    writeFrameBytes(const std::string &bytes)
+    {
+        return writeOut(bytes, /*frame=*/true);
+    }
+
+    bool
+    writeOut(const std::string &bytes, bool frame)
+    {
         // Write-stall accounting covers the whole funnel: waiting on
         // the per-connection write mutex (another stream holds it)
         // plus the blocking send itself (slow reader, full socket
@@ -118,7 +131,11 @@ struct MtvService::ClientState
             std::lock_guard<std::mutex> lock(writeMutex);
             if (writeFailed.load())
                 return false;
-            ok = channel.writeLine(line);
+            ok = frame ? channel.writeBytes(bytes)
+                       : channel.writeLine(bytes);
+            const uint64_t sent = channel.bytesWritten();
+            service->obsBytesSent_->inc(sent - lastBytesSent);
+            lastBytesSent = sent;
             if (!ok) {
                 // Sticky: once the peer is gone, the read loop must
                 // stop admitting its pipelined requests (simulating
@@ -139,6 +156,13 @@ struct MtvService::ClientState
     LineChannel channel;
     std::mutex writeMutex;
     std::atomic<bool> writeFailed{false};
+    /** channel.bytesWritten() already fed to the byte counter
+     *  (guarded by writeMutex). */
+    uint64_t lastBytesSent = 0;
+
+    /** Result-point wire format of this connection, set by the
+     *  "hello" op (the streaming threads read it per batch). */
+    std::atomic<WireFormat> wire{WireFormat::Json};
 
     /** This connection's engine scheduling lane. */
     LaneId lane = ExperimentEngine::defaultLane;
@@ -201,6 +225,12 @@ MtvService::MtvService(ServiceOptions options)
     engineOptions.maxCacheEntries = options.maxCacheEntries;
     engineOptions.kernel = options.kernel;
     engineOptions.batchWidth = options.batchWidth;
+    // Warm cache hits hand their canonical bytes straight to the
+    // wire (see RunResult::blob) instead of re-serializing per
+    // stream.
+    engineOptions.canonicalSerializer = [](const SimStats &stats) {
+        return serializeSimStats(stats);
+    };
     engine_ = std::make_unique<ExperimentEngine>(engineOptions);
 
     MetricsRegistry &reg = MetricsRegistry::instance();
@@ -210,11 +240,21 @@ MtvService::MtvService(ServiceOptions options)
         reg.histogram("service_first_point_us{op=\"sweep\"}");
     obsDoneUs_[0] = reg.histogram("service_done_us{op=\"run\"}");
     obsDoneUs_[1] = reg.histogram("service_done_us{op=\"sweep\"}");
+    obsEncodeUs_[0][0] = reg.histogram(
+        "service_encode_us{op=\"run\",wire=\"json\"}");
+    obsEncodeUs_[0][1] = reg.histogram(
+        "service_encode_us{op=\"run\",wire=\"binary\"}");
+    obsEncodeUs_[1][0] = reg.histogram(
+        "service_encode_us{op=\"sweep\",wire=\"json\"}");
+    obsEncodeUs_[1][1] = reg.histogram(
+        "service_encode_us{op=\"sweep\",wire=\"binary\"}");
     obsInflightBatches_ = reg.gauge("service_inflight_batches");
     obsConnections_ = reg.gauge("service_connections");
     obsConnectionsTotal_ = reg.counter("service_connections_total");
     obsWriteStallUs_ = reg.counter("service_write_stall_us_total");
     obsWriteFailures_ = reg.counter("service_write_failures_total");
+    obsBytesSent_ = reg.counter("service_bytes_sent");
+    obsBytesReceived_ = reg.counter("service_bytes_received");
 
     // A leftover socket file from a killed daemon would block bind();
     // only a *connectable* socket means a live daemon.
@@ -387,8 +427,27 @@ MtvService::handleConnection(int fd)
     obsConnections_->add(1);
     obsConnectionsTotal_->inc();
     std::string line;
-    while (!stopping_.load() && !client.writeFailed.load() &&
-           client.channel.readLine(&line)) {
+    uint64_t lastBytesReceived = 0;
+    while (!stopping_.load() && !client.writeFailed.load()) {
+        const LineChannel::MessageKind kind =
+            client.channel.readMessage(&line);
+        const uint64_t received = client.channel.bytesRead();
+        obsBytesReceived_->inc(received - lastBytesReceived);
+        lastBytesReceived = received;
+        if (kind == LineChannel::MessageKind::Eof)
+            break;
+        if (kind != LineChannel::MessageKind::Line) {
+            // Result frames flow server->client only; a frame (or
+            // frame-marker garbage) on the request channel means the
+            // peer lost the framing. One structured error, then a
+            // clean close — resynchronizing an unframed byte stream
+            // is not possible.
+            Json err = errorJson(
+                "binary frame on the request channel");
+            err.set("badFrame", true);
+            client.write(err.dump());
+            break;
+        }
         if (line.empty())
             continue;
         Json request;
@@ -563,6 +622,34 @@ MtvService::handleRequest(const Json &request, ClientState &client)
         ScopedFatalAsException fatalScope;
 
         const std::string op = request.getString("op");
+        if (op == "hello") {
+            // Wire negotiation (protocol v6): the client asks for a
+            // result-point encoding; everything else on the stream
+            // stays JSON lines. An unknown value answers an error and
+            // leaves the connection on JSON — old daemons answer
+            // "unknown op" here, which v6 clients treat the same way.
+            const std::string wanted =
+                request.has("wire") ? request.getString("wire")
+                                    : "json";
+            WireFormat wire;
+            if (wanted == "json")
+                wire = WireFormat::Json;
+            else if (wanted == "binary")
+                wire = WireFormat::Binary;
+            else {
+                return client.write(
+                    errorJson("unknown wire format '" + wanted +
+                              "' (expected json or binary)")
+                        .dump());
+            }
+            client.wire.store(wire);
+            Json ok = Json::object();
+            ok.set("ok", true);
+            ok.set("hello", true);
+            ok.set("wire", wanted);
+            ok.set("protocol", serviceProtocolVersion);
+            return client.write(ok.dump());
+        }
         if (op == "run")
             return handleRun(request, client);
         if (op == "sweep")
@@ -863,6 +950,12 @@ MtvService::streamBatch(ClientState &client, uint64_t streamId,
     activeRequests_.fetch_add(1);
     obsInflightBatches_->add(1);
 
+    // The wire format is sampled once per batch: a hello racing an
+    // in-flight stream must not flip the encoding mid-stream (the
+    // ack's ordering guarantee is per-request, not per-connection).
+    const bool binary =
+        client.wire.load() == WireFormat::Binary && !compare;
+
     // Fan the whole batch out up front — identical points of other
     // in-flight requests coalesce inside the engine — then consume
     // the futures in submission order, writing each line as its
@@ -892,6 +985,20 @@ MtvService::streamBatch(ClientState &client, uint64_t streamId,
     std::vector<RunResult> collected;
     if (compare)
         collected.reserve(futures.size());
+    // Encoded points waiting for one coalesced write. A point is
+    // held back only while the NEXT future is already settled (a
+    // warm sweep draining the cache), so a trickling stream still
+    // flushes every point the moment it lands — same latency, far
+    // fewer write() syscalls on the hot path.
+    std::string outbox;
+    constexpr size_t maxOutboxBytes = 256u * 1024;
+    const auto flushOutbox = [&]() {
+        if (outbox.empty())
+            return true;
+        const bool ok = client.writeFrameBytes(outbox);
+        outbox.clear();
+        return ok;
+    };
     for (size_t i = 0; i < futures.size() && !aborted; ++i) {
         RunResult result;
         try {
@@ -912,10 +1019,12 @@ MtvService::streamBatch(ClientState &client, uint64_t streamId,
             // A wedged simulation is a model bug worth reporting in
             // full, but never worth the daemon's life.
             warn("mtvd: %s", e.what());
+            flushOutbox();
             client.write(simErrorJson(id, e).dump());
             aborted = true;
             break;
         } catch (const FatalError &e) {
+            flushOutbox();
             client.write(requestErrorJson(id, e.what()).dump());
             aborted = true;
             break;
@@ -928,18 +1037,42 @@ MtvService::streamBatch(ClientState &client, uint64_t streamId,
             ++simulated;
         ++completed;
         // Folded server-side so even quiet requests get the
-        // bit-identity digest; the same bytes feed the result line's
-        // blob, serialized once.
-        const std::string blob = serializeSimStats(result.stats);
-        digest = fnv1a64(blob.data(), blob.size(), digest);
+        // bit-identity digest; the same bytes feed the result's
+        // blob, serialized once — or not at all on the zero-copy
+        // path, where a store hit carries the exact bytes read off
+        // disk (segments store verbatim serializeSimStats output).
+        std::string localBlob;
+        const std::string *blob = result.blob.get();
+        if (!blob) {
+            localBlob = serializeSimStats(result.stats);
+            blob = &localBlob;
+        }
+        digest = fnv1a64(blob->data(), blob->size(), digest);
         if (compare) {
             // Compare mode: the points stay server-side; the one
             // aggregated line after the loop is the whole answer.
             collected.push_back(std::move(result));
             continue;
         }
-        if (!client.write(
-                resultToJson(result, id, i, !quiet, &blob).dump())) {
+        if (binary) {
+            const uint64_t encodeStartUs = monotonicMicros();
+            appendResultFrame(&outbox, result, id, i,
+                              quiet ? nullptr : blob);
+            obsEncodeUs_[sweep][1]->observe(monotonicMicros() -
+                                            encodeStartUs);
+        } else {
+            const uint64_t encodeStartUs = monotonicMicros();
+            outbox += resultToJson(result, id, i, !quiet, blob).dump();
+            outbox.push_back('\n');
+            obsEncodeUs_[sweep][0]->observe(monotonicMicros() -
+                                            encodeStartUs);
+        }
+        const bool nextReady =
+            i + 1 < futures.size() &&
+            futures[i + 1].wait_for(std::chrono::seconds(0)) ==
+                std::future_status::ready;
+        if ((!nextReady || outbox.size() >= maxOutboxBytes) &&
+            !flushOutbox()) {
             aborted = true;  // client gone; queued work was reaped
             break;
         }
@@ -950,6 +1083,11 @@ MtvService::streamBatch(ClientState &client, uint64_t streamId,
                 monotonicMicros() - admittedUs);
         }
     }
+
+    // Points the loop held back for coalescing go out before any
+    // terminator below.
+    if (!aborted && !flushOutbox())
+        aborted = true;
 
     // Unregistered before the terminator goes out: a client that has
     // read "done" must not observe its own request as still active

@@ -267,11 +267,16 @@ class MtvService
     // obsWriteStallUs_/obsWriteFailures_ through its service pointer.
     Histogram *obsFirstPointUs_[2] = {nullptr, nullptr}; ///< [sweep]
     Histogram *obsDoneUs_[2] = {nullptr, nullptr};       ///< [sweep]
+    /** Per-point result encode latency, [sweep][binary wire]. */
+    Histogram *obsEncodeUs_[2][2] = {{nullptr, nullptr},
+                                     {nullptr, nullptr}};
     Gauge *obsInflightBatches_ = nullptr;
     Gauge *obsConnections_ = nullptr;
     Counter *obsConnectionsTotal_ = nullptr;
     Counter *obsWriteStallUs_ = nullptr;
     Counter *obsWriteFailures_ = nullptr;
+    Counter *obsBytesSent_ = nullptr;
+    Counter *obsBytesReceived_ = nullptr;
 };
 
 } // namespace mtv

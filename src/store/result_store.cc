@@ -476,26 +476,40 @@ ResultStore::readHandle(Shard &shard, uint32_t segment)
 std::shared_ptr<const SimStats>
 ResultStore::load(const std::string &key)
 {
+    return loadRecord(key).stats;
+}
+
+StoredRecord
+ResultStore::loadRecord(const std::string &key)
+{
     Shard &shard = shardFor(key);
     std::lock_guard<std::mutex> lock(shard.mutex);
     auto it = shard.index.find(key);
     if (it == shard.index.end()) {
         ++shard.misses;
         shard.obsMisses->inc();
-        return nullptr;
+        return {nullptr, nullptr};
     }
     const RecordLocation &location = it->second;
     std::FILE *f = readHandle(shard, location.segment);
-    std::string blob(location.length, '\0');
+    // The segment stores the record's blob as the verbatim
+    // serializeSimStats() output, so these disk bytes double as the
+    // canonical wire/digest encoding — hand them out unmodified.
+    auto blob = std::make_shared<std::string>(location.length, '\0');
     if (std::fseek(f, location.offset, SEEK_SET) != 0 ||
-        std::fread(blob.data(), 1, blob.size(), f) != blob.size()) {
+        std::fread(blob->data(), 1, blob->size(), f) !=
+            blob->size()) {
         fatal("store segment '%s' shrank underneath us (offset %ld)",
               shard.segmentPaths[location.segment].c_str(),
               location.offset);
     }
     ++shard.hits;
     shard.obsHits->inc();
-    return std::make_shared<const SimStats>(deserializeSimStats(blob));
+    StoredRecord record;
+    record.stats = std::make_shared<const SimStats>(
+        deserializeSimStats(*blob));
+    record.blob = std::move(blob);
+    return record;
 }
 
 void

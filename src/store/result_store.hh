@@ -117,6 +117,14 @@ class ResultStore : public ResultBackend
     std::shared_ptr<const SimStats>
     load(const std::string &key) override;
 
+    /**
+     * load() plus the record's canonical blob bytes — the zero-copy
+     * path of the binary result wire: the segment stores the exact
+     * serializeSimStats() output, so the bytes read off disk ARE the
+     * canonical encoding and stream/digest without re-encoding.
+     */
+    StoredRecord loadRecord(const std::string &key) override;
+
     void store(const std::string &key, const SimStats &stats) override;
 
     size_t size() const override;

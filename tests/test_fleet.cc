@@ -26,6 +26,7 @@
 #include "src/fleet/fleet_service.hh"
 #include "src/fleet/ring.hh"
 #include "src/fleet/router.hh"
+#include "src/obs/metrics.hh"
 #include "src/service/json.hh"
 #include "src/service/server.hh"
 #include "src/store/stats_codec.hh"
@@ -450,6 +451,21 @@ class FakeHalfDeadNode
         std::string error;
         if (!Json::parse(line, &request, &error))
             return;
+        if (request.has("op") &&
+            request.getString("op") == "hello") {
+            // Refuse the binary wire like a JSON-only daemon: the
+            // router must fall back to v5-style lines on this node.
+            Json ok = Json::object();
+            ok.set("ok", true);
+            ok.set("hello", true);
+            ok.set("wire", std::string("json"));
+            ok.set("protocol", static_cast<uint64_t>(6));
+            if (!channel.writeLine(ok.dump()) ||
+                !channel.readLine(&line) ||
+                !Json::parse(line, &request, &error)) {
+                return;
+            }
+        }
         const auto &specs = request.get("specs").asArray();
         if (specs.empty())
             return;
@@ -503,6 +519,48 @@ TEST_F(FleetFixture, NodeDeathMidStreamReroutesUnfinishedPoints)
     EXPECT_EQ(status[2].pointsServed, 1u);
     EXPECT_EQ(status[0].pointsServed + status[1].pointsServed,
               specs.size() - 1);
+}
+
+TEST_F(FleetFixture, PingAllRevivesARestartedNode)
+{
+    FleetRouter router(endpoints_);
+    ASSERT_EQ(router.pingAll(), 3u);
+    const uint64_t revivesBefore =
+        MetricsRegistry::instance()
+            .counter("fleet_revives_total")
+            ->value();
+
+    // Node 2 goes away; it stays sticky-dead across pings.
+    const std::string path = services_[2]->socketPath();
+    services_[2]->stop();
+    serveThreads_[2].join();
+    services_[2].reset();
+    EXPECT_EQ(router.pingAll(), 2u);
+    EXPECT_FALSE(router.status()[2].alive);
+    EXPECT_EQ(router.pingAll(), 2u);
+
+    // A daemon restarted on the same endpoint pongs the next ping:
+    // the node rejoins the ring and the revival is counted.
+    ServiceOptions options;
+    options.socketPath = path;
+    options.workers = 2;
+    services_[2] = std::make_unique<MtvService>(options);
+    serveThreads_[2] =
+        std::thread([s = services_[2].get()] { s->serve(); });
+    EXPECT_EQ(router.pingAll(), 3u);
+    EXPECT_TRUE(router.status()[2].alive)
+        << router.status()[2].lastError;
+    EXPECT_GE(MetricsRegistry::instance()
+                  .counter("fleet_revives_total")
+                  ->value(),
+              revivesBefore + 1);
+
+    // And the revived node serves points again, bit-identical.
+    const auto specs = distinctSpecs(6);
+    const LocalFold expected = localFold(specs);
+    const FleetOutcome outcome = router.runSpecs(specs);
+    EXPECT_EQ(outcome.digest, expected.digest);
+    EXPECT_TRUE(outcome.deadNodes.empty());
 }
 
 TEST_F(FleetFixture, PingAllMarksUnreachableNodesDead)

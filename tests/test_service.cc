@@ -12,6 +12,7 @@
 #include <filesystem>
 #include <thread>
 
+#include <sys/socket.h>
 #include <unistd.h>
 
 #include "src/api/engine.hh"
@@ -1229,6 +1230,469 @@ TEST(ServiceStore, StatusReportsPerShardStoreCounters)
     service.stop();
     serveThread.join();
     fs::remove_all(dir);
+}
+
+// ---------------------------------------------------------------------
+// Protocol v6: binary result frames
+// ---------------------------------------------------------------------
+
+namespace
+{
+
+/** Little-endian field reads for picking a wire frame apart. */
+uint32_t
+wireU32(const std::string &bytes, size_t at)
+{
+    uint32_t v = 0;
+    for (size_t i = 0; i < 4; ++i)
+        v |= static_cast<uint32_t>(
+                 static_cast<uint8_t>(bytes[at + i]))
+             << (8 * i);
+    return v;
+}
+
+uint64_t
+wireU64(const std::string &bytes, size_t at)
+{
+    uint64_t v = 0;
+    for (size_t i = 0; i < 8; ++i)
+        v |= static_cast<uint64_t>(
+                 static_cast<uint8_t>(bytes[at + i]))
+             << (8 * i);
+    return v;
+}
+
+/** A representative frame: group extras, flags set, and a blob with
+ *  bytes a naive framing would trip on (the marker, newlines, NULs). */
+ResultFrame
+sampleFrame()
+{
+    ResultFrame frame;
+    frame.id = 7;
+    frame.seq = 3;
+    frame.cached = true;
+    frame.fromStore = true;
+    frame.hasGroupExtras = true;
+    frame.spec = "mode=group;scale=2e-05;programs=trfd,swm256";
+    frame.speedup = 1.75;
+    frame.mthOccupation = 0.5;
+    frame.refOccupation = -0.25;
+    frame.mthVopc = 2.5;
+    frame.refVopc = 1e300;
+    frame.hasBlob = true;
+    frame.blob = std::string("\xbf\n\x00{\"x\"}\x00\xff", 11);
+    return frame;
+}
+
+/** The payload slice of a full wire encoding (marker, length and
+ *  trailer stripped), layout-checked along the way. */
+std::string
+framePayload(const ResultFrame &frame)
+{
+    const std::string wire = encodeResultFrame(frame);
+    EXPECT_GE(wire.size(), 13u);
+    EXPECT_EQ(static_cast<uint8_t>(wire[0]), resultFrameMarker);
+    const uint32_t payloadLen = wireU32(wire, 1);
+    EXPECT_EQ(wire.size(), 5u + payloadLen + 8u);
+    const std::string payload = wire.substr(5, payloadLen);
+    EXPECT_EQ(wireU64(wire, 5 + payloadLen),
+              frameChecksum(payload.data(), payload.size()));
+    return payload;
+}
+
+} // namespace
+
+TEST(Protocol, FrameCodecRoundTripAllShapes)
+{
+    const auto roundTrips = [](const ResultFrame &frame) {
+        ResultFrame back;
+        std::string error;
+        ASSERT_TRUE(decodeResultFrame(framePayload(frame), &back,
+                                      &error))
+            << error;
+        EXPECT_EQ(back.id, frame.id);
+        EXPECT_EQ(back.seq, frame.seq);
+        EXPECT_EQ(back.cached, frame.cached);
+        EXPECT_EQ(back.fromStore, frame.fromStore);
+        EXPECT_EQ(back.hasGroupExtras, frame.hasGroupExtras);
+        EXPECT_EQ(back.hasBlob, frame.hasBlob);
+        EXPECT_EQ(back.spec, frame.spec);
+        EXPECT_EQ(back.blob, frame.blob);
+        if (frame.hasGroupExtras) {
+            EXPECT_DOUBLE_EQ(back.speedup, frame.speedup);
+            EXPECT_DOUBLE_EQ(back.mthOccupation,
+                             frame.mthOccupation);
+            EXPECT_DOUBLE_EQ(back.refOccupation,
+                             frame.refOccupation);
+            EXPECT_DOUBLE_EQ(back.mthVopc, frame.mthVopc);
+            EXPECT_DOUBLE_EQ(back.refVopc, frame.refVopc);
+        }
+    };
+
+    // Group extras + binary-hostile blob bytes.
+    roundTrips(sampleFrame());
+
+    // A plain single-spec point: no extras, no flags.
+    ResultFrame single;
+    single.id = 0;
+    single.seq = 0;
+    single.spec = "mode=single;scale=2e-05;programs=trfd";
+    single.hasBlob = true;
+    single.blob = "canonical bytes";
+    roundTrips(single);
+
+    // Quiet stream: blobLen=0 frames, empty spec allowed too.
+    ResultFrame quiet;
+    quiet.id = 12;
+    quiet.seq = 999;
+    quiet.spec = "";
+    roundTrips(quiet);
+}
+
+TEST(Protocol, AppendResultFrameMatchesTwoStepEncoder)
+{
+    ExperimentEngine engine;
+    RunResult group = engine.run(RunSpec::group(
+        {"trfd", "swm256"}, MachineParams::multithreaded(2),
+        testScale));
+    const RunResult single = engine.run(RunSpec::single(
+        "dyfesm", MachineParams::reference(), testScale));
+    const std::string groupBlob = serializeSimStats(group.stats);
+    const std::string singleBlob = serializeSimStats(single.stats);
+
+    // The one-pass encoder must be byte-identical to the two-step
+    // form, appended onto a buffer that already holds other frames.
+    const auto matches = [](const RunResult &result, uint64_t id,
+                            uint64_t seq, const std::string *blob) {
+        std::string streamed = "already-buffered-bytes";
+        appendResultFrame(&streamed, result, id, seq, blob);
+        const std::string wire =
+            encodeResultFrame(resultToFrame(result, id, seq, blob));
+        EXPECT_EQ(streamed, "already-buffered-bytes" + wire);
+    };
+    matches(group, 3, 0, &groupBlob);       // group extras ride along
+    matches(single, 3, 1, &singleBlob);     // no extras
+    matches(single, 3, 2, nullptr);         // quiet: blobLen=0 frame
+
+    // A carried specCanonical (the wire decoders and the submit fast
+    // path set it) must not change a single encoded byte.
+    group.specCanonical = group.spec.canonical();
+    matches(group, 4, 0, &groupBlob);
+}
+
+TEST(Protocol, DecodeResultFrameRejectsMalformedPayloads)
+{
+    const std::string payload = framePayload(sampleFrame());
+    ResultFrame out;
+    std::string error;
+
+    // Every proper prefix is a truncation, never a crash.
+    for (size_t cut = 0; cut < payload.size(); ++cut) {
+        error.clear();
+        EXPECT_FALSE(decodeResultFrame(payload.substr(0, cut), &out,
+                                       &error))
+            << "cut at " << cut;
+        EXPECT_FALSE(error.empty()) << "cut at " << cut;
+    }
+
+    // Trailing garbage after a complete payload.
+    EXPECT_FALSE(decodeResultFrame(payload + 'x', &out, &error));
+    EXPECT_NE(error.find("trailing"), std::string::npos);
+
+    // hasBlob flag contradicting the blob it frames (flags byte sits
+    // at payload offset 16, hasBlob is bit 3), both directions.
+    std::string lying = payload;
+    lying[16] = static_cast<char>(
+        static_cast<uint8_t>(lying[16]) & ~uint8_t{0x08});
+    EXPECT_FALSE(decodeResultFrame(lying, &out, &error));
+    EXPECT_NE(error.find("hasBlob"), std::string::npos);
+
+    ResultFrame quiet;
+    quiet.id = 1;
+    quiet.spec = "mode=single;scale=1;programs=trfd";
+    std::string quietLying = framePayload(quiet);
+    quietLying[16] = static_cast<char>(
+        static_cast<uint8_t>(quietLying[16]) | uint8_t{0x08});
+    EXPECT_FALSE(decodeResultFrame(quietLying, &out, &error));
+    EXPECT_NE(error.find("hasBlob"), std::string::npos);
+}
+
+TEST(Protocol, ChannelDemuxesFramesAndRejectsCorruption)
+{
+    const std::string wire = encodeResultFrame(sampleFrame());
+    const std::string payload = framePayload(sampleFrame());
+
+    // Write @p bytes into a fresh socketpair, close the writer, and
+    // report the first message kind the reading channel sees.
+    const auto firstKind = [](const std::string &bytes,
+                              std::string *out) {
+        int fds[2];
+        EXPECT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+        size_t sent = 0;
+        while (sent < bytes.size()) {
+            const ssize_t n = ::write(fds[1], bytes.data() + sent,
+                                      bytes.size() - sent);
+            EXPECT_GT(n, 0);
+            sent += static_cast<size_t>(n);
+        }
+        ::close(fds[1]);
+        LineChannel reader(fds[0]);
+        return reader.readMessage(out);
+    };
+
+    // Frames and JSON control lines interleave on one stream; the
+    // first byte demultiplexes them.
+    {
+        int fds[2];
+        ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+        const std::string stream =
+            wire + "{\"done\":true}\n" + wire;
+        ASSERT_EQ(::write(fds[1], stream.data(), stream.size()),
+                  static_cast<ssize_t>(stream.size()));
+        ::close(fds[1]);
+        LineChannel reader(fds[0]);
+        std::string message;
+        ASSERT_EQ(reader.readMessage(&message),
+                  LineChannel::MessageKind::Frame);
+        EXPECT_EQ(message, payload);
+        ASSERT_EQ(reader.readMessage(&message),
+                  LineChannel::MessageKind::Line);
+        EXPECT_EQ(message, "{\"done\":true}");
+        ASSERT_EQ(reader.readMessage(&message),
+                  LineChannel::MessageKind::Frame);
+        EXPECT_EQ(message, payload);
+        EXPECT_EQ(reader.readMessage(&message),
+                  LineChannel::MessageKind::Eof);
+    }
+
+    // Any corrupted byte past the marker is caught: either the
+    // length claim goes absurd or the trailer checksum disagrees.
+    // (Index 0 would flip the marker and reroute to readLine.)
+    std::string message;
+    for (const size_t at :
+         {size_t{1}, size_t{4}, size_t{5}, size_t{16},
+          size_t{25}, wire.size() - 9, wire.size() - 8,
+          wire.size() - 1}) {
+        std::string corrupt = wire;
+        corrupt[at] = static_cast<char>(
+            static_cast<uint8_t>(corrupt[at]) ^ 0x5a);
+        EXPECT_EQ(firstKind(corrupt, &message),
+                  LineChannel::MessageKind::BadFrame)
+            << "corrupt byte " << at;
+    }
+
+    // EOF mid-frame is a short read, not a clean close.
+    EXPECT_EQ(firstKind(wire.substr(0, wire.size() - 3), &message),
+              LineChannel::MessageKind::BadFrame);
+    EXPECT_EQ(firstKind(wire.substr(0, 3), &message),
+              LineChannel::MessageKind::BadFrame);
+
+    // A length claim beyond the message cap is framing lost, without
+    // waiting for the bytes.
+    std::string huge;
+    huge.push_back(static_cast<char>(resultFrameMarker));
+    huge.append("\xff\xff\xff\xff", 4);
+    EXPECT_EQ(firstKind(huge, &message),
+              LineChannel::MessageKind::BadFrame);
+}
+
+TEST(Protocol, SubmitFastPathCarriesCanonicalBlobZeroCopy)
+{
+    // The store->wire zero-copy contract: with a canonical
+    // serializer installed, a warm memo hit hands out the memoized
+    // canonical bytes and the cache key it already computed, so the
+    // daemon streams frames without re-encoding or recanonicalizing.
+    EngineOptions options;
+    options.canonicalSerializer = [](const SimStats &stats) {
+        return serializeSimStats(stats);
+    };
+    ExperimentEngine engine(options);
+    const RunSpec spec = RunSpec::single(
+        "swm256", MachineParams::reference(), testScale);
+
+    const RunResult cold = engine.submit(spec).get();
+    EXPECT_FALSE(cold.cached);
+
+    const RunResult warm = engine.submit(spec).get();
+    EXPECT_TRUE(warm.cached);
+    ASSERT_TRUE(warm.blob);
+    EXPECT_EQ(*warm.blob, serializeSimStats(warm.stats));
+    EXPECT_EQ(warm.specCanonical, spec.canonical());
+
+    // Later hits share the same memoized allocation.
+    const RunResult again = engine.submit(spec).get();
+    ASSERT_TRUE(again.blob);
+    EXPECT_EQ(again.blob.get(), warm.blob.get());
+
+    // A store hit streams its stored bytes the same way.
+    const auto dir = std::filesystem::temp_directory_path() /
+                     ("mtv_test_zerocopy_" +
+                      std::to_string(::getpid()));
+    std::filesystem::remove_all(dir);
+    {
+        EngineOptions writer;
+        writer.backend =
+            std::make_shared<ResultStore>(dir.string());
+        ExperimentEngine persist(writer);
+        persist.run(spec);
+    }
+    EngineOptions reader;
+    reader.backend = std::make_shared<ResultStore>(dir.string());
+    ExperimentEngine reload(reader);
+    const RunResult fromStore = reload.submit(spec).get();
+    EXPECT_TRUE(fromStore.fromStore);
+    ASSERT_TRUE(fromStore.blob);
+    EXPECT_EQ(*fromStore.blob,
+              serializeSimStats(fromStore.stats));
+    std::filesystem::remove_all(dir);
+}
+
+TEST_F(ServiceFixture, HelloNegotiatesWireFormat)
+{
+    LineChannel channel = connect();
+    Json hello = Json::object();
+    hello.set("op", "hello");
+    hello.set("wire", std::string("binary"));
+    const Json confirm = roundTrip(channel, hello);
+    EXPECT_TRUE(confirm.getBool("ok"));
+    EXPECT_TRUE(confirm.getBool("hello"));
+    EXPECT_EQ(confirm.getString("wire"), "binary");
+    EXPECT_EQ(confirm.get("protocol").asU64(),
+              static_cast<uint64_t>(serviceProtocolVersion));
+
+    // An unknown wire value is an error and the connection stays on
+    // JSON — control ops keep answering lines.
+    LineChannel other = connect();
+    Json bad = Json::object();
+    bad.set("op", "hello");
+    bad.set("wire", std::string("carrier-pigeon"));
+    EXPECT_TRUE(roundTrip(other, bad).has("error"));
+    Json ping = Json::object();
+    ping.set("op", "ping");
+    EXPECT_TRUE(roundTrip(other, ping).getBool("pong"));
+}
+
+TEST_F(ServiceFixture, BinarySweepStreamsBitIdenticalFrames)
+{
+    SweepRequest request;
+    request.family = "groupings";
+    request.program = "trfd";
+    request.contexts = 2;
+    request.scale = testScale;
+    ExperimentEngine localEngine;
+    const auto expected =
+        localEngine.runAll(expandSweep(request).specs());
+
+    // The v5-style JSON stream of the same sweep, for comparison.
+    LineChannel jsonChannel = connect();
+    sendSweep(jsonChannel, 1, request);
+    std::unordered_map<uint64_t, StreamTally> tallies;
+    tallies[1] = StreamTally();
+    demux(jsonChannel, tallies);
+    const StreamTally &jsonTally = tallies[1];
+    ASSERT_EQ(jsonTally.blobs.size(), expected.size());
+
+    // Binary side: negotiate, then the points arrive as frames while
+    // the ack and done lines stay JSON.
+    LineChannel channel = connect();
+    Json hello = Json::object();
+    hello.set("op", "hello");
+    hello.set("wire", std::string("binary"));
+    ASSERT_TRUE(roundTrip(channel, hello).getBool("ok"));
+    sendSweep(channel, 2, request);
+
+    uint64_t seq = 0;
+    uint64_t clientDigest = 0xcbf29ce484222325ull;
+    std::vector<std::string> blobs;
+    std::string serverDigest;
+    bool sawAck = false;
+    bool done = false;
+    while (!done) {
+        std::string message;
+        const auto kind = channel.readMessage(&message);
+        if (kind == LineChannel::MessageKind::Line) {
+            Json line;
+            std::string error;
+            ASSERT_TRUE(Json::parse(message, &line, &error))
+                << error;
+            ASSERT_FALSE(line.has("error"))
+                << line.getString("error");
+            if (line.getBool("ack", false)) {
+                EXPECT_EQ(line.get("count").asU64(),
+                          expected.size());
+                sawAck = true;
+                continue;
+            }
+            ASSERT_TRUE(line.getBool("done", false)) << message;
+            serverDigest = line.getString("digest");
+            done = true;
+            continue;
+        }
+        ASSERT_EQ(kind, LineChannel::MessageKind::Frame);
+        ResultFrame frame;
+        std::string error;
+        ASSERT_TRUE(decodeResultFrame(message, &frame, &error))
+            << error;
+        ASSERT_LT(seq, expected.size());
+        EXPECT_EQ(frame.id, 2u);
+        EXPECT_EQ(frame.seq, seq);
+        ASSERT_TRUE(frame.hasBlob);
+        EXPECT_EQ(frame.spec, expected[seq].spec.canonical());
+        EXPECT_EQ(frame.hasGroupExtras,
+                  expected[seq].spec.mode == SpecMode::Group);
+        if (frame.hasGroupExtras) {
+            EXPECT_DOUBLE_EQ(frame.speedup, expected[seq].speedup);
+        }
+        clientDigest = fnv1a64(frame.blob.data(),
+                               frame.blob.size(), clientDigest);
+        blobs.push_back(frame.blob);
+        ++seq;
+    }
+
+    EXPECT_TRUE(sawAck);
+    ASSERT_EQ(blobs.size(), expected.size());
+    // Frame blobs byte-identical to the JSON stream's hex blobs and
+    // to the in-process run; both wires fold to one digest.
+    for (size_t i = 0; i < blobs.size(); ++i) {
+        EXPECT_EQ(blobs[i], jsonTally.blobs[i]) << "point " << i;
+        EXPECT_EQ(blobs[i], serializeSimStats(expected[i].stats))
+            << "point " << i;
+    }
+    EXPECT_EQ(serverDigest, digestHex(clientDigest));
+    EXPECT_EQ(serverDigest, jsonTally.serverDigest);
+}
+
+TEST_F(ServiceFixture, FrameOnRequestChannelAnswersBadFrame)
+{
+    // Clients never send frames; a frame marker on the request
+    // channel means framing is lost. The daemon answers a structured
+    // badFrame error, closes the connection, and keeps serving
+    // everyone else.
+    LineChannel channel = connect();
+    std::string garbage;
+    garbage.push_back(static_cast<char>(resultFrameMarker));
+    garbage.append("\x03\x00\x00\x00", 4);
+    garbage.append("abc");
+    const uint64_t checksum = frameChecksum("abc", 3);
+    for (size_t i = 0; i < 8; ++i)
+        garbage.push_back(
+            static_cast<char>((checksum >> (8 * i)) & 0xff));
+    ASSERT_TRUE(channel.writeBytes(garbage));
+
+    std::string line;
+    ASSERT_TRUE(channel.readLine(&line));
+    Json response;
+    std::string error;
+    ASSERT_TRUE(Json::parse(line, &response, &error)) << error;
+    EXPECT_TRUE(response.has("error"));
+    EXPECT_TRUE(response.getBool("badFrame", false));
+    EXPECT_FALSE(channel.readLine(&line));  // connection closed
+
+    // The daemon survived.
+    LineChannel fresh = connect();
+    Json ping = Json::object();
+    ping.set("op", "ping");
+    EXPECT_TRUE(roundTrip(fresh, ping).getBool("pong"));
 }
 
 TEST_F(ServiceFixture, ShutdownOpStopsServe)

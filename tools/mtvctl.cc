@@ -110,7 +110,8 @@ usage()
     std::fprintf(
         stderr,
         "usage: mtvctl [--socket PATH | --tcp HOST:PORT | "
-        "--fleet EP1,EP2,...] <command> [options]\n"
+        "--fleet EP1,EP2,...] [--wire binary|json] <command> "
+        "[options]\n"
         "  ping | stats | status | clear | shutdown\n"
         "  run <program> [--contexts N] [--scale S]\n"
         "  sweep [--scale S] [--family F] [--program P] "
@@ -120,8 +121,45 @@ usage()
         "  warm [--scale S] [--family F]\n"
         "  cancel <request-id>\n"
         "  metrics [--prom]\n"
-        "(--fleet applies to sweep, compare, warm and metrics)\n");
+        "(--fleet applies to sweep, compare, warm and metrics;\n"
+        " --wire picks the result-point encoding — binary "
+        "negotiates\n"
+        " the v6 frame wire and falls back to json on old "
+        "daemons)\n");
     return 2;
+}
+
+/** Result-point wire the client asks for (global --wire flag).
+ *  Binary is the default; negotiation falls back to JSON against a
+ *  daemon that does not speak it. */
+WireFormat requestedWire = WireFormat::Binary;
+
+/**
+ * Negotiate the result-point wire on a fresh connection (streaming
+ * commands only — one-line answers have no result points). Returns
+ * true when the daemon confirmed binary frames; false means the
+ * connection stays on JSON — either by request (--wire json) or
+ * because an old daemon answered "unknown op" (the v5 fallback).
+ */
+bool
+negotiateWire(LineChannel &channel)
+{
+    if (requestedWire != WireFormat::Binary)
+        return false;
+    Json hello = Json::object();
+    hello.set("op", "hello");
+    hello.set("wire", "binary");
+    if (!channel.writeLine(hello.dump()))
+        fatal("cannot send hello (daemon gone?)");
+    std::string line;
+    if (!channel.readLine(&line))
+        fatal("daemon closed the connection during hello");
+    Json response;
+    std::string error;
+    if (!Json::parse(line, &response, &error))
+        fatal("malformed hello response: %s", error.c_str());
+    return response.getBool("ok", false) &&
+           response.getString("wire", "") == "binary";
 }
 
 /** Outcome of one streamed batch (run or sweep) from the daemon. */
@@ -194,7 +232,48 @@ consumeStream(LineChannel &channel, uint64_t id, size_t expected,
     outcome.results.reserve(expected);
     bool sawBlobs = false;
     for (;;) {
-        const Json line = readResponse(channel);
+        // A v6 stream interleaves two message kinds: binary result
+        // frames (wire=binary points) and JSON lines (every point of
+        // a JSON stream, plus acks/done/errors in either mode).
+        std::string msg;
+        const LineChannel::MessageKind kind =
+            channel.readMessage(&msg);
+        if (kind == LineChannel::MessageKind::Eof)
+            fatal("daemon closed the connection");
+        if (kind == LineChannel::MessageKind::BadFrame)
+            fatal("malformed binary frame from the daemon");
+        if (kind == LineChannel::MessageKind::Frame) {
+            ResultFrame frame;
+            std::string frameError;
+            if (!decodeResultFrame(msg, &frame, &frameError))
+                fatal("bad result frame: %s", frameError.c_str());
+            if (frame.id != id)
+                fatal("frame for unknown request id %llu",
+                      static_cast<unsigned long long>(frame.id));
+            const size_t seq = frame.seq;
+            if (seq != outcome.results.size() || seq >= expected)
+                fatal("result stream out of order (seq %zu)", seq);
+            if (frame.hasBlob) {
+                // Same fold as the JSON path: raw canonical bytes,
+                // here straight from the frame — no hex decode.
+                outcome.digest = fnv1a64(frame.blob.data(),
+                                         frame.blob.size(),
+                                         outcome.digest);
+                sawBlobs = true;
+            }
+            RunResult result = resultFromFrame(frame);
+            if (hook)
+                hook(result, seq);
+            outcome.results.push_back(std::move(result));
+            continue;
+        }
+        Json line;
+        std::string parseError;
+        if (!Json::parse(msg, &line, &parseError))
+            fatal("malformed response: %s", parseError.c_str());
+        if (line.has("error"))
+            fatal("daemon error: %s",
+                  line.getString("error").c_str());
         if (line.get("id").asU64() != id)
             fatal("response for unknown request id %llu",
                   static_cast<unsigned long long>(
@@ -454,6 +533,7 @@ cmdSweep(const Endpoint &endpoint, const SweepRequest &request,
          bool quiet, bool follow)
 {
     LineChannel channel = connectChannel(endpoint);
+    const bool binaryWire = negotiateWire(channel);
     constexpr uint64_t id = 1;
     Json line = sweepRequestToJson(request);
     line.set("op", "sweep");
@@ -496,6 +576,15 @@ cmdSweep(const Endpoint &endpoint, const SweepRequest &request,
     std::printf("sweep: %zu points in %.2fs (family %s)\n",
                 outcome.results.size(), seconds,
                 request.family.c_str());
+    // The stream's wire throughput, client-side: every byte the
+    // daemon sent this connection (results AND control lines).
+    std::printf("wire: %s received=%llu bytes (%.1f MB/s)\n",
+                binaryWire ? "binary" : "json",
+                static_cast<unsigned long long>(channel.bytesRead()),
+                seconds > 0
+                    ? static_cast<double>(channel.bytesRead()) /
+                          seconds / 1e6
+                    : 0.0);
     printServed(outcome.simulated, outcome.cacheServed,
                 outcome.storeServed);
     printDigest(outcome.digest);
@@ -572,6 +661,7 @@ cmdRun(const Endpoint &endpoint, const std::string &program,
                       : MachineParams::multithreaded(contexts);
     const RunSpec spec = RunSpec::single(program, params, scale);
     LineChannel channel = connectChannel(endpoint);
+    negotiateWire(channel);
     Json request = Json::object();
     request.set("op", "run");
     request.set("id", 1);
@@ -860,6 +950,16 @@ main(int argc, char **argv)
             }
             if (fleetNodes.empty())
                 fatal("--fleet expects a comma-separated node list");
+            i += 2;
+        } else if (std::strcmp(argv[i], "--wire") == 0) {
+            const std::string wanted = argv[i + 1];
+            if (wanted == "json")
+                requestedWire = WireFormat::Json;
+            else if (wanted == "binary")
+                requestedWire = WireFormat::Binary;
+            else
+                fatal("--wire expects json or binary, got '%s'",
+                      wanted.c_str());
             i += 2;
         } else {
             break;

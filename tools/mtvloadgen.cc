@@ -14,13 +14,26 @@
  * Usage:
  *   mtvloadgen [--socket PATH | --tcp HOST:PORT]
  *              [--clients N] [--requests N] [--rps R] [--scale S]
- *              [--spec-space M] [--sweep-points N] [--json]
+ *              [--spec-space M] [--sweep-points N]
+ *              [--wire binary|json] [--stream-bench N] [--json]
  *
  * Defaults: 8 clients x 50 requests, unpaced, scale 2e-5, 32
  * distinct specs per client, no background sweep. Each client draws
  * its specs from its own memory-latency band, so the flows exercise
  * simulation, the memory cache and (when the daemon has one) the
  * store rather than one endlessly-cached point.
+ *
+ * --wire picks the v6 result-point encoding (binary negotiates the
+ * frame wire, falling back to JSON on old daemons); the report then
+ * carries the received byte count and MB/s.
+ *
+ * --stream-bench N replaces the closed-loop run with a streaming
+ * throughput measurement: warm an N-point sweep once (quiet), then
+ * stream it non-quiet twice — once per wire format — and report
+ * points/s for each. With --json the output is bench-shaped
+ * ({"benchmarks":[{"name":"stream_binary","sim_cycles/s":p},...]}),
+ * so tools/perf_gate.py --min-ratio can ratchet binary >= k x JSON
+ * in CI.
  *
  * Exit status: 0 on success, 1 when any request failed or nothing
  * completed (the smoke job treats that as a hard failure).
@@ -59,8 +72,36 @@ usage()
         "usage: mtvloadgen [--socket PATH | --tcp HOST:PORT]\n"
         "                  [--clients N] [--requests N] [--rps R]\n"
         "                  [--scale S] [--spec-space M]\n"
-        "                  [--sweep-points N] [--json]\n");
+        "                  [--sweep-points N] [--wire binary|json]\n"
+        "                  [--stream-bench N] [--json]\n");
     return 2;
+}
+
+/** Result-point wire the clients ask for (--wire). */
+WireFormat requestedWire = WireFormat::Binary;
+
+/** Send the v6 hello on a fresh connection when binary was
+ *  requested; false = the stream stays JSON (explicit --wire json,
+ *  or an old daemon answered "unknown op"). */
+bool
+negotiateWire(LineChannel &channel, bool binary)
+{
+    if (!binary)
+        return false;
+    Json hello = Json::object();
+    hello.set("op", "hello");
+    hello.set("wire", "binary");
+    std::string line;
+    if (!channel.writeLine(hello.dump()) ||
+        !channel.readLine(&line)) {
+        return false;
+    }
+    Json response;
+    std::string parseError;
+    if (!Json::parse(line, &response, &parseError))
+        return false;
+    return response.getBool("ok", false) &&
+           response.getString("wire", "") == "binary";
 }
 
 /** One client thread's tally, merged after the run. */
@@ -68,6 +109,7 @@ struct ClientTally
 {
     std::vector<uint64_t> latenciesUs;  ///< request -> done, per request
     uint64_t errors = 0;
+    uint64_t bytesRead = 0;  ///< wire bytes received on the connection
 };
 
 /**
@@ -90,6 +132,7 @@ runClient(const Endpoint &endpoint, int index, int requests,
         return tally;
     }
     LineChannel channel(fd);
+    negotiateWire(channel, requestedWire == WireFormat::Binary);
     tally.latenciesUs.reserve(requests);
 
     const uint64_t startUs = monotonicMicros();
@@ -128,9 +171,17 @@ runClient(const Endpoint &endpoint, int index, int requests,
         bool failed = false;
         std::string line;
         while (!done) {
-            if (!channel.readLine(&line)) {
+            const LineChannel::MessageKind kind =
+                channel.readMessage(&line);
+            if (kind == LineChannel::MessageKind::Eof ||
+                kind == LineChannel::MessageKind::BadFrame) {
                 failed = true;
                 break;
+            }
+            if (kind == LineChannel::MessageKind::Frame) {
+                // A binary result point; "done" is a JSON line in
+                // either wire mode, so just keep reading.
+                continue;
             }
             Json response;
             std::string parseError;
@@ -154,6 +205,7 @@ runClient(const Endpoint &endpoint, int index, int requests,
         }
         tally.latenciesUs.push_back(monotonicMicros() - sentUs);
     }
+    tally.bytesRead = channel.bytesRead();
     return tally;
 }
 
@@ -164,6 +216,192 @@ struct SweepTally
     bool requestFailed = false;
     bool sawTerminator = false;
 };
+
+/** The N-point latency-family sweep the stream bench measures (the
+ *  family expands one job-queue run per latency, so one synthetic
+ *  latency per requested point). */
+SweepRequest
+benchSweep(int points, double scale)
+{
+    SweepRequest sweep;
+    sweep.family = "latency";
+    sweep.scale = scale;
+    // Stream points carrying a loaded queue — the section-7 order
+    // three times over — so every result hauls a realistically full
+    // set of job records. The bench measures result *streaming*, and
+    // a near-empty payload would mostly measure per-point fixed
+    // overhead that both wires share.
+    for (int rep = 0; rep < 3; ++rep)
+        for (const auto &job : jobQueueOrder())
+            sweep.jobs.push_back(job);
+    for (int lat = 1; lat <= points; ++lat)
+        sweep.latencies.push_back(200000 + lat);
+    return sweep;
+}
+
+/** One measured pass of the stream bench. */
+struct StreamPass
+{
+    bool ok = false;
+    bool binary = false;  ///< what the connection actually negotiated
+    uint64_t points = 0;
+    uint64_t bytes = 0;
+    double seconds = 0;
+};
+
+/**
+ * Stream @p sweep once on a fresh connection negotiated to the
+ * requested wire, timing ack -> done. Non-quiet unless @p quiet, so
+ * the measured passes carry the full per-point stats payload — the
+ * thing the two wire formats encode differently.
+ */
+StreamPass
+streamOnce(const Endpoint &endpoint, const SweepRequest &sweep,
+           bool binary, bool quiet)
+{
+    StreamPass pass;
+    std::string error;
+    const int fd = connectToEndpoint(endpoint, &error);
+    if (fd < 0) {
+        warn("stream bench: connect failed: %s", error.c_str());
+        return pass;
+    }
+    LineChannel channel(fd);
+    pass.binary = negotiateWire(channel, binary);
+    if (binary && !pass.binary) {
+        warn("stream bench: daemon refused the binary wire");
+        return pass;
+    }
+    Json request = sweepRequestToJson(sweep);
+    request.set("op", "sweep");
+    request.set("id", static_cast<uint64_t>(1));
+    request.set("quiet", quiet);
+    if (!channel.writeLine(request.dump())) {
+        warn("stream bench: cannot send sweep (daemon gone?)");
+        return pass;
+    }
+    const uint64_t startUs = monotonicMicros();
+    std::string message;
+    for (;;) {
+        const LineChannel::MessageKind kind =
+            channel.readMessage(&message);
+        if (kind == LineChannel::MessageKind::Eof ||
+            kind == LineChannel::MessageKind::BadFrame) {
+            warn("stream bench: stream broke after %llu points",
+                 static_cast<unsigned long long>(pass.points));
+            return pass;
+        }
+        if (kind == LineChannel::MessageKind::Frame) {
+            ++pass.points;
+            continue;
+        }
+        Json response;
+        std::string parseError;
+        if (!Json::parse(message, &response, &parseError)) {
+            warn("stream bench: malformed response: %s",
+                 parseError.c_str());
+            return pass;
+        }
+        if (response.has("error")) {
+            warn("stream bench: daemon error: %s",
+                 response.getString("error").c_str());
+            return pass;
+        }
+        if (response.getBool("ack", false))
+            continue;
+        if (response.getBool("done", false)) {
+            if (response.getBool("cancelled", false))
+                return pass;
+            break;
+        }
+        ++pass.points;
+    }
+    pass.seconds =
+        static_cast<double>(monotonicMicros() - startUs) / 1e6;
+    pass.bytes = channel.bytesRead();
+    pass.ok = pass.points > 0;
+    return pass;
+}
+
+/**
+ * The --stream-bench mode: warm the sweep once (quiet, JSON — the
+ * results land in cache/store so the measured passes stream finished
+ * points and the wire is the only variable), then stream it
+ * non-quiet once per wire format and report points/s for each.
+ */
+int
+runStreamBench(const Endpoint &endpoint, int points, double scale,
+               bool json)
+{
+    const SweepRequest sweep = benchSweep(points, scale);
+    const StreamPass warm =
+        streamOnce(endpoint, sweep, /*binary=*/false, /*quiet=*/true);
+    if (!warm.ok)
+        return 1;
+    // Best of three alternating passes per wire: every point is a
+    // warm cache hit, so pass time is pure streaming cost and the
+    // fastest pass is the least scheduler-perturbed sample.
+    constexpr int benchPasses = 3;
+    StreamPass jsonPass{};
+    StreamPass binaryPass{};
+    for (int pass = 0; pass < benchPasses; ++pass) {
+        const StreamPass j = streamOnce(
+            endpoint, sweep, /*binary=*/false, /*quiet=*/false);
+        if (!j.ok)
+            return 1;
+        if (!jsonPass.ok || j.seconds < jsonPass.seconds)
+            jsonPass = j;
+        const StreamPass b = streamOnce(
+            endpoint, sweep, /*binary=*/true, /*quiet=*/false);
+        if (!b.ok || !b.binary)
+            return 1;
+        if (!binaryPass.ok || b.seconds < binaryPass.seconds)
+            binaryPass = b;
+    }
+    const double jsonRate = static_cast<double>(jsonPass.points) /
+                            std::max(jsonPass.seconds, 1e-9);
+    const double binaryRate =
+        static_cast<double>(binaryPass.points) /
+        std::max(binaryPass.seconds, 1e-9);
+    if (json) {
+        // Bench-shaped on purpose: perf_gate.py --min-ratio reads
+        // benchmarks[].{name, sim_cycles/s} (here points/s — the
+        // gate only ever compares the two rates to each other).
+        Json out = Json::object();
+        Json benches = Json::array();
+        const struct
+        {
+            const char *name;
+            double rate;
+        } rows[] = {{"stream_binary", binaryRate},
+                    {"stream_json", jsonRate}};
+        for (const auto &row : rows) {
+            Json bench = Json::object();
+            bench.set("name", std::string(row.name));
+            bench.set("sim_cycles/s", row.rate);
+            benches.push(std::move(bench));
+        }
+        out.set("benchmarks", std::move(benches));
+        std::printf("%s\n", out.dump().c_str());
+    } else {
+        std::printf("stream bench: %llu warmed points on %s\n",
+                    static_cast<unsigned long long>(warm.points),
+                    endpoint.describe().c_str());
+        std::printf("json:   %.0f points/s (%llu bytes, %.1f MB/s)\n",
+                    jsonRate,
+                    static_cast<unsigned long long>(jsonPass.bytes),
+                    static_cast<double>(jsonPass.bytes) /
+                        std::max(jsonPass.seconds, 1e-9) / 1e6);
+        std::printf("binary: %.0f points/s (%llu bytes, %.1f MB/s), "
+                    "%.2fx json\n",
+                    binaryRate,
+                    static_cast<unsigned long long>(binaryPass.bytes),
+                    static_cast<double>(binaryPass.bytes) /
+                        std::max(binaryPass.seconds, 1e-9) / 1e6,
+                    binaryRate / std::max(jsonRate, 1e-9));
+    }
+    return 0;
+}
 
 /** Exact q-quantile of a sorted sample (nearest-rank). */
 uint64_t
@@ -194,6 +432,7 @@ main(int argc, char **argv)
     double scale = 2e-5;
     int specSpace = 32;
     int sweepPoints = 0;
+    int streamBench = 0;
     bool json = false;
 
     for (int i = 1; i < argc; ++i) {
@@ -224,6 +463,18 @@ main(int argc, char **argv)
         } else if (arg == "--sweep-points") {
             sweepPoints = static_cast<int>(
                 parseIntFlag(value(), "--sweep-points", 0, 10000000));
+        } else if (arg == "--wire") {
+            const std::string wanted = value();
+            if (wanted == "json")
+                requestedWire = WireFormat::Json;
+            else if (wanted == "binary")
+                requestedWire = WireFormat::Binary;
+            else
+                fatal("--wire expects json or binary, got '%s'",
+                      wanted.c_str());
+        } else if (arg == "--stream-bench") {
+            streamBench = static_cast<int>(
+                parseIntFlag(value(), "--stream-bench", 1, 10000000));
         } else if (arg == "--json") {
             json = true;
         } else if (arg == "--help" || arg == "-h") {
@@ -236,6 +487,9 @@ main(int argc, char **argv)
             return usage();
         }
     }
+
+    if (streamBench > 0)
+        return runStreamBench(endpoint, streamBench, scale, json);
 
     // -------- background sweep (its own connection + thread) --------
     constexpr uint64_t sweepId = 900000001;
@@ -342,10 +596,12 @@ main(int argc, char **argv)
     // -------- the report --------
     std::vector<uint64_t> merged;
     uint64_t errors = 0;
+    uint64_t bytesRead = 0;
     for (const ClientTally &tally : tallies) {
         merged.insert(merged.end(), tally.latenciesUs.begin(),
                       tally.latenciesUs.end());
         errors += tally.errors;
+        bytesRead += tally.bytesRead;
     }
     std::sort(merged.begin(), merged.end());
     const uint64_t completed = merged.size();
@@ -380,6 +636,14 @@ main(int argc, char **argv)
         out.set("maxMs", completed
                              ? static_cast<double>(merged.back()) / 1e3
                              : 0.0);
+        out.set("wire", std::string(requestedWire == WireFormat::Binary
+                                        ? "binary"
+                                        : "json"));
+        out.set("bytesRead", bytesRead);
+        out.set("mbPerS", durationS > 0
+                              ? static_cast<double>(bytesRead) /
+                                    durationS / 1e6
+                              : 0.0);
         out.set("sweepPoints", sweepTally.pointsStreamed);
         out.set("sweepFailed", sweepTally.requestFailed);
         std::printf("%s\n", out.dump().c_str());
@@ -400,6 +664,13 @@ main(int argc, char **argv)
                     completed
                         ? static_cast<double>(merged.back()) / 1e3
                         : 0.0);
+        std::printf("wire: %s received=%llu bytes (%.1f MB/s)\n",
+                    requestedWire == WireFormat::Binary ? "binary"
+                                                        : "json",
+                    static_cast<unsigned long long>(bytesRead),
+                    durationS > 0 ? static_cast<double>(bytesRead) /
+                                        durationS / 1e6
+                                  : 0.0);
         if (sweepPoints > 0) {
             std::printf("background sweep: %llu points streamed "
                         "while measuring%s\n",

@@ -1,0 +1,88 @@
+#!/usr/bin/env bash
+# Wire-compat smoke test: the protocol-v6 cross-wire contract, end
+# to end, against one daemon.
+#
+#   1. a v5-style JSON client (--wire json: never sends hello) and a
+#      v6 binary client (--wire binary: negotiates frames) run the
+#      same sweep and must fold bit-identical digests;
+#   2. so must a cold in-process run (sweep --local, no daemon) —
+#      the digest contract is wire-independent;
+#   3. the binary client must actually have negotiated frames (its
+#      `wire:` readout reports the format the daemon confirmed), so
+#      the check cannot silently degrade to JSON-vs-JSON;
+#   4. quiet warms and re-sweeps cross wires: points persisted by a
+#      JSON client are store-served to a binary client unchanged.
+#
+# Usage: tools/wire_smoke.sh <build-dir> [scale]
+set -euo pipefail
+
+BUILD_DIR=${1:?usage: wire_smoke.sh <build-dir> [scale]}
+SCALE=${2:-1e-5}
+WORK=$(mktemp -d /tmp/mtv_wire_smoke.XXXXXX)
+SOCKET="$WORK/mtvd.sock"
+STORE="$WORK/store"
+DAEMON_PID=""
+
+cleanup() {
+    [ -n "$DAEMON_PID" ] && kill -9 "$DAEMON_PID" 2>/dev/null || true
+    rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+"$BUILD_DIR/mtvd" --socket "$SOCKET" --store "$STORE" \
+    >> "$WORK/daemon.log" 2>&1 &
+DAEMON_PID=$!
+for _ in $(seq 1 50); do
+    if "$BUILD_DIR/mtvctl" --socket "$SOCKET" ping \
+        > /dev/null 2>&1; then
+        break
+    fi
+    sleep 0.1
+done
+
+digest_of() { echo "$1" | grep '^digest:' | awk '{print $2}'; }
+
+echo "== the same sweep over both wires must fold one digest =="
+JSON_OUT=$("$BUILD_DIR/mtvctl" --socket "$SOCKET" --wire json \
+    sweep --family latency --scale "$SCALE")
+BIN_OUT=$("$BUILD_DIR/mtvctl" --socket "$SOCKET" --wire binary \
+    sweep --family latency --scale "$SCALE")
+JSON_DIGEST=$(digest_of "$JSON_OUT")
+BIN_DIGEST=$(digest_of "$BIN_OUT")
+echo "json digest:   $JSON_DIGEST"
+echo "binary digest: $BIN_DIGEST"
+[ -n "$JSON_DIGEST" ] || { echo "FAIL: no json digest"; exit 1; }
+if [ "$JSON_DIGEST" != "$BIN_DIGEST" ]; then
+    echo "FAIL: binary wire digest differs from json"; exit 1
+fi
+
+# The binary run must really have streamed frames — a daemon that
+# refused the hello would fall back to JSON and hide a regression.
+echo "$BIN_OUT" | grep '^wire:' | grep -q 'binary' \
+    || { echo "FAIL: binary client did not negotiate frames"; \
+         echo "$BIN_OUT" | grep '^wire:'; exit 1; }
+echo "$JSON_OUT" | grep '^wire:' | grep -q 'json' \
+    || { echo "FAIL: json client reports a non-json wire"; exit 1; }
+
+echo "== a daemonless --local run folds the same digest =="
+LOCAL_OUT=$("$BUILD_DIR/mtvctl" \
+    sweep --family latency --scale "$SCALE" --local)
+LOCAL_DIGEST=$(digest_of "$LOCAL_OUT")
+[ "$LOCAL_DIGEST" = "$JSON_DIGEST" ] \
+    || { echo "FAIL: --local digest $LOCAL_DIGEST != $JSON_DIGEST"; \
+         exit 1; }
+echo "local digest:  $LOCAL_DIGEST"
+
+echo "== store written via one wire serves the other =="
+WARM_OUT=$("$BUILD_DIR/mtvctl" --socket "$SOCKET" --wire binary \
+    sweep --family latency --scale "$SCALE")
+WARM_DIGEST=$(digest_of "$WARM_OUT")
+[ "$WARM_DIGEST" = "$JSON_DIGEST" ] \
+    || { echo "FAIL: warm binary digest differs"; exit 1; }
+SERVED=$(echo "$WARM_OUT" | grep '^served:')
+echo "warm binary: $SERVED digest=$WARM_DIGEST"
+echo "$SERVED" | grep -qE 'simulated=0( |$)' \
+    || { echo "FAIL: warm cross-wire sweep re-simulated points"; \
+         exit 1; }
+
+echo "PASS: wire smoke"
